@@ -1,0 +1,45 @@
+//! Arena allocator throughput: the simulated caching-allocator fast path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mimose_simgpu::Arena;
+use std::hint::black_box;
+
+fn bench_alloc_free(c: &mut Criterion) {
+    c.bench_function("arena_alloc_free_cycle", |b| {
+        b.iter_batched_ref(
+            || Arena::new(1 << 30),
+            |arena| {
+                let id = arena.alloc(black_box(96 << 10)).unwrap();
+                arena.free(id);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("arena_iteration_pattern", |b| {
+        // A BERT-like pattern: ~180 tensor allocs, half freed mid-way
+        // (checkpointing), then everything released in reverse.
+        b.iter_batched_ref(
+            || Arena::new(8 << 30),
+            |arena| {
+                let mut live = Vec::with_capacity(180);
+                for i in 0..180usize {
+                    let sz = 512 << 10 | (i << 9);
+                    let id = arena.alloc(sz).unwrap();
+                    if i % 2 == 0 {
+                        arena.free(id);
+                    } else {
+                        live.push(id);
+                    }
+                }
+                for id in live.into_iter().rev() {
+                    arena.free(id);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_alloc_free);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Table IV/V latency columns: fit and predict per regressor family.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mimose_bench::{shuttle_samples, TEN_SEQS};
+use mimose_estimator::{
+    DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
+};
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let (xs, per_block) = shuttle_samples(&TEN_SEQS);
+    let ys = &per_block[1]; // one encoder block
+    let mut g = c.benchmark_group("fit_10_samples");
+    g.bench_function("poly_n1", |b| {
+        b.iter_batched(
+            || PolynomialRegressor::new(1),
+            |mut m| m.fit(&xs, ys).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("poly_n2", |b| {
+        b.iter_batched(
+            || PolynomialRegressor::new(2),
+            |mut m| m.fit(&xs, ys).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("svr", |b| {
+        b.iter_batched(
+            SvrRegressor::default_params,
+            |mut m| m.fit(&xs, ys).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decision_tree", |b| {
+        b.iter_batched(
+            DecisionTreeRegressor::default_params,
+            |mut m| m.fit(&xs, ys).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("xgboost", |b| {
+        b.iter_batched(
+            GbtRegressor::default_params,
+            |mut m| m.fit(&xs, ys).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (xs, per_block) = shuttle_samples(&TEN_SEQS);
+    let ys = &per_block[1];
+    let mut poly = PolynomialRegressor::new(2);
+    poly.fit(&xs, ys).unwrap();
+    let mut svr = SvrRegressor::default_params();
+    svr.fit(&xs, ys).unwrap();
+    let mut tree = DecisionTreeRegressor::default_params();
+    tree.fit(&xs, ys).unwrap();
+    let mut gbt = GbtRegressor::default_params();
+    gbt.fit(&xs, ys).unwrap();
+    let x = 32.0 * 222.0;
+    let mut g = c.benchmark_group("predict_one");
+    g.bench_function("poly_n2", |b| b.iter(|| black_box(poly.predict(black_box(x)))));
+    g.bench_function("svr", |b| b.iter(|| black_box(svr.predict(black_box(x)))));
+    g.bench_function("decision_tree", |b| {
+        b.iter(|| black_box(tree.predict(black_box(x))))
+    });
+    g.bench_function("xgboost", |b| b.iter(|| black_box(gbt.predict(black_box(x)))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end single-iteration cost per planner — a micro-slice of Fig 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::tc_bert_profile;
+use mimose_exec::{run_block_iteration, run_dtr_iteration, BlockMode};
+use mimose_planner::{CheckpointPlan, SublinearPolicy};
+use mimose_simgpu::DeviceProfile;
+use std::hint::black_box;
+
+fn bench_iteration(c: &mut Criterion) {
+    let profile = tc_bert_profile(200);
+    let dev = DeviceProfile::v100();
+    let n = profile.blocks.len();
+    let none = CheckpointPlan::none(n);
+    let sub = SublinearPolicy::plan_offline(&tc_bert_profile(332), 5 << 30)
+        .plan()
+        .clone();
+    let mut g = c.benchmark_group("simulate_one_iteration");
+    g.bench_function("baseline_plan", |b| {
+        b.iter(|| {
+            black_box(run_block_iteration(
+                black_box(&profile),
+                BlockMode::Plan(&none),
+                16 << 30,
+                &dev,
+                0,
+                0,
+            ))
+        })
+    });
+    g.bench_function("sublinear_plan", |b| {
+        b.iter(|| {
+            black_box(run_block_iteration(
+                black_box(&profile),
+                BlockMode::Plan(&sub),
+                16 << 30,
+                &dev,
+                0,
+                0,
+            ))
+        })
+    });
+    g.bench_function("shuttle", |b| {
+        b.iter(|| {
+            black_box(run_block_iteration(
+                black_box(&profile),
+                BlockMode::Shuttle,
+                16 << 30,
+                &dev,
+                0,
+                0,
+            ))
+        })
+    });
+    g.bench_function("dtr", |b| {
+        b.iter(|| {
+            black_box(run_dtr_iteration(
+                black_box(&profile),
+                5 << 30,
+                16 << 30,
+                &dev,
+                0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

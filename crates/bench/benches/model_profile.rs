@@ -1,0 +1,33 @@
+//! Cost of computing a model profile (shape inference + cost model) — this
+//! runs once per simulated iteration, so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::tc_bert_model;
+use mimose_models::builders::{resnet50_od, t5_base};
+use mimose_models::ModelInput;
+use std::hint::black_box;
+
+fn bench_profiles(c: &mut Criterion) {
+    let bert = tc_bert_model();
+    let t5 = t5_base();
+    let r50 = resnet50_od();
+    let mut g = c.benchmark_group("model_profile");
+    g.bench_function("bert_base", |b| {
+        b.iter(|| black_box(bert.profile(black_box(&ModelInput::tokens(32, 200))).unwrap()))
+    });
+    g.bench_function("t5_base", |b| {
+        b.iter(|| black_box(t5.profile(black_box(&ModelInput::tokens(8, 180))).unwrap()))
+    });
+    g.bench_function("resnet50_od", |b| {
+        b.iter(|| {
+            black_box(
+                r50.profile(black_box(&ModelInput::image(8, 800, 1216)))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table I "solving time" row: offline solve cost of the static planners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::tc_bert_profile;
+use mimose_planner::{CheckmatePolicy, MonetPolicy, SublinearPolicy};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let worst = tc_bert_profile(332);
+    let budget = 5usize << 30;
+    let mut g = c.benchmark_group("offline_solve_tc_bert");
+    g.bench_function("sublinear", |b| {
+        b.iter(|| black_box(SublinearPolicy::plan_offline(black_box(&worst), budget)))
+    });
+    g.bench_function("checkmate", |b| {
+        b.iter(|| black_box(CheckmatePolicy::plan_offline(black_box(&worst), budget)))
+    });
+    g.bench_function("monet", |b| {
+        b.iter(|| black_box(MonetPolicy::plan_offline(black_box(&worst), budget)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

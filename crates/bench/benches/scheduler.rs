@@ -1,0 +1,36 @@
+//! Table III's sub-millisecond claim: Algorithm 1 plan generation, the
+//! knapsack alternative, and the plan-cache hit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::tc_bert_profile;
+use mimose_core::{GreedyBucketScheduler, KnapsackScheduler, PlanCache, Scheduler};
+use mimose_planner::CheckpointPlan;
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let profile = tc_bert_profile(260);
+    let budget = 5usize << 30;
+    let greedy = GreedyBucketScheduler::new(0.10);
+    let knapsack = KnapsackScheduler;
+    let mut g = c.benchmark_group("schedule_tc_bert_seq260");
+    g.bench_function("greedy_bucket", |b| {
+        b.iter(|| black_box(greedy.schedule(black_box(&profile), budget)))
+    });
+    g.bench_function("knapsack", |b| {
+        b.iter(|| black_box(knapsack.schedule(black_box(&profile), budget)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = PlanCache::new(0.04);
+    for i in 1..40usize {
+        cache.insert(i * 500, CheckpointPlan::all(14));
+    }
+    c.bench_function("plan_cache_hit", |b| {
+        b.iter(|| black_box(cache.get(black_box(7_013))))
+    });
+}
+
+criterion_group!(benches, bench_schedulers, bench_cache);
+criterion_main!(benches);

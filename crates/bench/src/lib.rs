@@ -1,0 +1,47 @@
+//! # mimose-bench
+//!
+//! Criterion benchmarks for the latency-sensitive claims of the paper:
+//! estimator fit/predict (Tables IV/V), scheduler plan generation
+//! (Table III's sub-millisecond claim), static-planner solve times
+//! (Table I), allocator throughput, and end-to-end iteration cost per
+//! planner (a micro-slice of Fig 10). Shared fixtures live here.
+
+#![warn(missing_docs)]
+
+use mimose_models::builders::{bert_base, BertHead};
+use mimose_models::{ModelGraph, ModelInput, ModelProfile};
+
+/// BERT-base with the TC-Bert classification head (the Table IV model).
+pub fn tc_bert_model() -> ModelGraph {
+    bert_base(BertHead::Classification { labels: 2 })
+}
+
+/// Profile of TC-Bert at the given sequence length (batch 32).
+pub fn tc_bert_profile(seq: usize) -> ModelProfile {
+    tc_bert_model()
+        .profile(&ModelInput::tokens(32, seq))
+        .expect("validates")
+}
+
+/// Shuttle-style training data: (input sizes, per-block act+out bytes).
+pub fn shuttle_samples(seqs: &[usize]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let model = tc_bert_model();
+    let mut xs = Vec::new();
+    let mut per_block: Vec<Vec<f64>> = Vec::new();
+    for &s in seqs {
+        let p = model
+            .profile(&ModelInput::tokens(32, s))
+            .expect("validates");
+        if per_block.is_empty() {
+            per_block = vec![Vec::new(); p.blocks.len()];
+        }
+        xs.push(p.input_size as f64);
+        for (bi, b) in p.blocks.iter().enumerate() {
+            per_block[bi].push((b.act_bytes + b.out_bytes) as f64);
+        }
+    }
+    (xs, per_block)
+}
+
+/// The ten collection sizes used across the benches.
+pub const TEN_SEQS: [usize; 10] = [40, 60, 80, 100, 120, 150, 180, 220, 260, 300];

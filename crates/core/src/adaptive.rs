@@ -1,0 +1,111 @@
+//! Adaptive extensions to the base Mimose policy.
+//!
+//! Two mechanisms beyond the paper's evaluated configuration, both in the
+//! spirit of its discussion sections:
+//!
+//! * **Adaptive re-collection** (§IV-B: the collector cost is `O(n/N)` when
+//!   shuttling only "when meeting new input size"): in responsive execution,
+//!   an input far outside the fitted support triggers one more shuttle
+//!   iteration and a refit, instead of trusting polynomial extrapolation.
+//! * **OOM feedback** (the safety companion to §VI-D's fragmentation
+//!   reserve): if a planned iteration still overruns — an estimator
+//!   under-prediction — the policy widens its safety margin and invalidates
+//!   the plan cache, so the failure cannot repeat.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive extensions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Re-shuttle when the input size exceeds the fitted support by this
+    /// factor (or falls below its inverse). 0 disables re-collection.
+    pub recollect_beyond: f64,
+    /// Extra bytes added to the reserve after each in-budget OOM.
+    pub oom_backoff_bytes: usize,
+    /// Upper bound on the accumulated backoff.
+    pub max_backoff_bytes: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            recollect_beyond: 1.25,
+            oom_backoff_bytes: 256 << 20,
+            max_backoff_bytes: 2 << 30,
+        }
+    }
+}
+
+/// Runtime state of the adaptive extensions.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveState {
+    /// Extra reserve accumulated from OOM feedback.
+    pub backoff_bytes: usize,
+    /// Number of responsive-phase re-collections triggered.
+    pub recollections: usize,
+    /// Number of OOM-feedback events.
+    pub oom_events: usize,
+}
+
+impl AdaptiveState {
+    /// Whether `input_size` lies outside the fitted support
+    /// `[x_min, x_max]` by more than the configured factor.
+    pub fn needs_recollect(
+        &self,
+        cfg: &AdaptiveConfig,
+        input_size: f64,
+        x_min: f64,
+        x_max: f64,
+    ) -> bool {
+        if cfg.recollect_beyond <= 1.0 {
+            return false;
+        }
+        input_size > x_max * cfg.recollect_beyond || input_size < x_min / cfg.recollect_beyond
+    }
+
+    /// Register an in-budget OOM; returns the new backoff.
+    pub fn on_oom(&mut self, cfg: &AdaptiveConfig) -> usize {
+        self.oom_events += 1;
+        self.backoff_bytes = (self.backoff_bytes + cfg.oom_backoff_bytes).min(cfg.max_backoff_bytes);
+        self.backoff_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recollect_only_outside_factor() {
+        let cfg = AdaptiveConfig::default();
+        let s = AdaptiveState::default();
+        assert!(!s.needs_recollect(&cfg, 1_000.0, 500.0, 1_000.0));
+        assert!(!s.needs_recollect(&cfg, 1_200.0, 500.0, 1_000.0)); // 1.2x < 1.25x
+        assert!(s.needs_recollect(&cfg, 1_300.0, 500.0, 1_000.0));
+        assert!(s.needs_recollect(&cfg, 300.0, 500.0, 1_000.0));
+    }
+
+    #[test]
+    fn disabled_when_factor_not_above_one() {
+        let cfg = AdaptiveConfig {
+            recollect_beyond: 0.0,
+            ..Default::default()
+        };
+        let s = AdaptiveState::default();
+        assert!(!s.needs_recollect(&cfg, 1e12, 1.0, 2.0));
+    }
+
+    #[test]
+    fn oom_backoff_accumulates_and_caps() {
+        let cfg = AdaptiveConfig {
+            oom_backoff_bytes: 1 << 30,
+            max_backoff_bytes: 2 << 30,
+            ..Default::default()
+        };
+        let mut s = AdaptiveState::default();
+        assert_eq!(s.on_oom(&cfg), 1 << 30);
+        assert_eq!(s.on_oom(&cfg), 2 << 30);
+        assert_eq!(s.on_oom(&cfg), 2 << 30, "capped");
+        assert_eq!(s.oom_events, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Plan cache keyed by quantised input size (§V "responsive execution").
+//!
+//! "The memory usages of similar input sizes are similar, and the generated
+//! plans are also similar. Therefore, they can also be the plans of each
+//! other." — sizes within one relative-width quantile share a plan.
+
+use mimose_planner::CheckpointPlan;
+use std::collections::HashMap;
+
+/// Cache of generated plans.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    /// Relative quantisation width (0.04 → ~4 % of the size per bucket).
+    width: f64,
+    map: HashMap<u64, CheckpointPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Create a cache with the given relative quantisation width.
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0 && width < 1.0);
+        PlanCache {
+            width,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Quantise an input size to its cache key: geometric bucketing so the
+    /// *relative* width stays constant across scales.
+    fn key(&self, input_size: usize) -> u64 {
+        let x = (input_size.max(1)) as f64;
+        (x.ln() / (1.0 + self.width).ln()).floor() as u64
+    }
+
+    /// Look up a plan for this input size.
+    pub fn get(&mut self, input_size: usize) -> Option<CheckpointPlan> {
+        let k = self.key(input_size);
+        match self.map.get(&k) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a plan for this input size's bucket.
+    pub fn insert(&mut self, input_size: usize, plan: CheckpointPlan) {
+        let k = self.key(input_size);
+        self.map.insert(k, plan);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of stored plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no plans are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all stored plans (e.g. after re-fitting the estimator).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearby_sizes_share_a_bucket() {
+        let mut c = PlanCache::new(0.05);
+        c.insert(10_000, CheckpointPlan::all(4));
+        assert!(c.get(10_100).is_some(), "1 % away should hit");
+        assert!(c.get(20_000).is_none(), "2x away should miss");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn relative_width_scales_with_magnitude() {
+        let mut c = PlanCache::new(0.05);
+        c.insert(1_000_000, CheckpointPlan::none(4));
+        // 3 % away at the million scale still hits.
+        assert!(c.get(1_030_000).is_some());
+    }
+
+    #[test]
+    fn distinct_plans_per_bucket() {
+        let mut c = PlanCache::new(0.04);
+        c.insert(1_000, CheckpointPlan::all(3));
+        c.insert(4_000, CheckpointPlan::none(3));
+        assert_eq!(c.get(1_000).unwrap().count(), 3);
+        assert_eq!(c.get(4_000).unwrap().count(), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = PlanCache::new(0.04);
+        c.insert(100, CheckpointPlan::none(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(100).is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Mimose configuration.
+
+use crate::AdaptiveConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the Mimose planner (§IV, §V).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MimoseConfig {
+    /// GPU memory budget in bytes that every iteration must respect.
+    pub budget_bytes: usize,
+    /// Number of sheltered (shuttle-collection) iterations before the
+    /// estimator is trained. Paper: 10 (evaluated 10–30 in §VI-E).
+    pub collect_iters: usize,
+    /// Bucket tolerance of Algorithm 1: layers within `(1 − tol)` of a
+    /// bucket head's estimated memory join the bucket. Paper: ±10 %.
+    pub bucket_tolerance: f64,
+    /// Plan-cache quantisation: input sizes within the same quantile share a
+    /// plan ("the memory usages of similar input sizes are similar", §V).
+    /// Expressed as a relative width, e.g. 0.05 → sizes within 5 % share.
+    pub cache_relative_width: f64,
+    /// Headroom subtracted from the budget to absorb allocator fragmentation
+    /// (§VI-D: "Mimose usually needs to reserve 0.5 GB~1 GB").
+    pub reserve_bytes: usize,
+    /// Polynomial order of the memory estimator. Paper: 2 (Table IV).
+    pub poly_order: usize,
+    /// Keep shuttling past `collect_iters` until this many *distinct* input
+    /// sizes have been observed (a degenerate loader could repeat one size;
+    /// a quadratic needs ≥ 3 support points). Hard cap at 30 (§IV-A).
+    pub min_distinct_sizes: usize,
+    /// Optional adaptive extensions: responsive-phase re-collection on
+    /// far-out-of-support inputs and OOM backoff (see [`AdaptiveConfig`]).
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl MimoseConfig {
+    /// Paper defaults for the given budget.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        MimoseConfig {
+            budget_bytes,
+            collect_iters: 10,
+            bucket_tolerance: 0.10,
+            cache_relative_width: 0.04,
+            reserve_bytes: 512 << 20,
+            poly_order: 2,
+            min_distinct_sizes: 4,
+            adaptive: None,
+        }
+    }
+
+    /// Paper defaults plus the adaptive extensions enabled.
+    pub fn with_budget_adaptive(budget_bytes: usize) -> Self {
+        MimoseConfig {
+            adaptive: Some(AdaptiveConfig::default()),
+            ..MimoseConfig::with_budget(budget_bytes)
+        }
+    }
+
+    /// The budget actually available to the scheduler after the
+    /// fragmentation reserve.
+    pub fn effective_budget(&self) -> usize {
+        self.budget_bytes.saturating_sub(self.reserve_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MimoseConfig::with_budget(6 << 30);
+        assert_eq!(c.collect_iters, 10);
+        assert!((c.bucket_tolerance - 0.10).abs() < 1e-12);
+        assert_eq!(c.poly_order, 2);
+        assert!(c.reserve_bytes >= 256 << 20);
+    }
+
+    #[test]
+    fn effective_budget_subtracts_reserve() {
+        let c = MimoseConfig::with_budget(6 << 30);
+        assert_eq!(c.effective_budget(), (6 << 30) - (512 << 20));
+        let tiny = MimoseConfig::with_budget(100);
+        assert_eq!(tiny.effective_budget(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The lightning memory estimator (§IV-C): per-block polynomial models of
+//! activation memory, output size and forward time as functions of the
+//! iteration input size, trained from shuttle-collector samples.
+
+use mimose_estimator::{FitError, PolynomialRegressor, Regressor};
+use mimose_models::{BlockProfile, ModelProfile};
+use mimose_planner::BlockObservation;
+
+/// One shuttle-collector sample: the input size and per-block measurements.
+#[derive(Debug, Clone)]
+pub struct ShuttleSample {
+    /// The iteration's scalar input size.
+    pub input_size: usize,
+    /// Input-tensor bytes.
+    pub input_bytes: usize,
+    /// Per-block measurements, indexed by global block index.
+    pub blocks: Vec<BlockObservation>,
+}
+
+/// Per-block fitted estimators.
+#[derive(Debug, Clone)]
+pub struct MemoryEstimator {
+    act: Vec<PolynomialRegressor>,
+    out: Vec<PolynomialRegressor>,
+    input_bytes: PolynomialRegressor,
+    fwd_ns: Vec<PolynomialRegressor>,
+    /// Input-size range seen during collection.
+    pub x_min: f64,
+    /// Input-size range seen during collection.
+    pub x_max: f64,
+}
+
+impl MemoryEstimator {
+    /// Fit per-block polynomials of the given order from samples.
+    ///
+    /// Requires at least `order + 1` *distinct* input sizes; callers keep
+    /// shuttling until that holds (§IV-B: 10–30 iterations suffice).
+    pub fn fit(samples: &[ShuttleSample], order: usize) -> Result<Self, FitError> {
+        let first = samples.first().ok_or(FitError::TooFewSamples {
+            got: 0,
+            need: order + 1,
+        })?;
+        let n_blocks = first.blocks.len();
+        let xs: Vec<f64> = samples.iter().map(|s| s.input_size as f64).collect();
+        let mut distinct: Vec<f64> = xs.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        if distinct.len() < order + 1 {
+            return Err(FitError::TooFewSamples {
+                got: distinct.len(),
+                need: order + 1,
+            });
+        }
+        let fit_one = |ys: Vec<f64>| -> Result<PolynomialRegressor, FitError> {
+            let mut p = PolynomialRegressor::new(order);
+            p.fit(&xs, &ys)?;
+            Ok(p)
+        };
+        let mut act = Vec::with_capacity(n_blocks);
+        let mut out = Vec::with_capacity(n_blocks);
+        let mut fwd = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            act.push(fit_one(
+                samples.iter().map(|s| s.blocks[b].act_bytes as f64).collect(),
+            )?);
+            out.push(fit_one(
+                samples.iter().map(|s| s.blocks[b].out_bytes as f64).collect(),
+            )?);
+            fwd.push(fit_one(
+                samples.iter().map(|s| s.blocks[b].fwd_ns as f64).collect(),
+            )?);
+        }
+        let input_bytes = fit_one(samples.iter().map(|s| s.input_bytes as f64).collect())?;
+        Ok(MemoryEstimator {
+            act,
+            out,
+            input_bytes,
+            fwd_ns: fwd,
+            x_min: distinct[0],
+            x_max: *distinct.last().expect("nonempty"),
+        })
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.act.len()
+    }
+
+    /// Predicted activation bytes of block `b` at input size `x`.
+    pub fn act_bytes(&self, b: usize, x: f64) -> f64 {
+        self.act[b].predict(x).max(0.0)
+    }
+
+    /// Predicted output bytes of block `b` at input size `x`.
+    pub fn out_bytes(&self, b: usize, x: f64) -> f64 {
+        self.out[b].predict(x).max(0.0)
+    }
+
+    /// Predicted forward time (ns) of block `b` at input size `x`.
+    pub fn fwd_ns(&self, b: usize, x: f64) -> f64 {
+        self.fwd_ns[b].predict(x).max(0.0)
+    }
+
+    /// Build an *estimated* model profile at input size `x`, shaped like the
+    /// ground-truth [`ModelProfile`] so the shared analytic peak model (and
+    /// Algorithm 1) can run on predictions. `const_bytes` is structural
+    /// information (parameters + optimizer states) legitimately available
+    /// from the framework without profiling.
+    pub fn estimated_profile(&self, template: &ModelProfile, x: f64) -> ModelProfile {
+        let mut blocks = Vec::with_capacity(self.num_blocks());
+        let mut prev_out = self.input_bytes.predict(x).max(0.0) as usize;
+        for b in 0..self.num_blocks() {
+            let act = self.act_bytes(b, x) as usize;
+            let out = self.out_bytes(b, x) as usize;
+            blocks.push(BlockProfile {
+                name: template.blocks[b].name.clone(),
+                stage: template.blocks[b].stage,
+                index: b,
+                act_bytes: act,
+                out_bytes: out,
+                in_bytes: prev_out,
+                fwd_flops: 0.0,
+                bwd_flops: 0.0,
+                fwd_bytes_moved: 0,
+                tensors: Vec::new(),
+            });
+            prev_out = out;
+        }
+        ModelProfile {
+            model: template.model.clone(),
+            input: template.input,
+            input_size: x as usize,
+            blocks,
+            const_bytes: template.const_bytes,
+            param_count: template.param_count,
+            input_bytes: self.input_bytes.predict(x).max(0.0) as usize,
+        }
+    }
+
+    /// Sum of predicted per-block memory at `x` (Algorithm 1's Σ est_mem).
+    pub fn total_act_bytes(&self, x: f64) -> f64 {
+        (0..self.num_blocks())
+            .map(|b| self.act_bytes(b, x) + self.out_bytes(b, x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    /// Fabricate shuttle samples from ground-truth profiles (what the
+    /// collector would measure on a perfect device).
+    pub(crate) fn samples_from_truth(seqs: &[usize]) -> (Vec<ShuttleSample>, ModelProfile) {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let mut samples = Vec::new();
+        let mut template = None;
+        for &s in seqs {
+            let p = m.profile(&ModelInput::tokens(32, s)).unwrap();
+            samples.push(ShuttleSample {
+                input_size: p.input_size,
+                input_bytes: p.input_bytes,
+                blocks: p
+                    .blocks
+                    .iter()
+                    .map(|b| BlockObservation {
+                        index: b.index,
+                        act_bytes: b.act_bytes,
+                        out_bytes: b.out_bytes,
+                        in_bytes: b.in_bytes,
+                        fwd_ns: (b.fwd_flops / 6e3) as u64, // arbitrary scale
+                    })
+                    .collect(),
+            });
+            template = Some(p);
+        }
+        (samples, template.unwrap())
+    }
+
+    #[test]
+    fn quadratic_fit_predicts_unseen_sizes_accurately() {
+        let (samples, _) = samples_from_truth(&[40, 55, 70, 90, 105, 120, 135, 150, 170, 190]);
+        let est = MemoryEstimator::fit(&samples, 2).unwrap();
+        // Evaluate at an unseen, larger size.
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let truth = m.profile(&ModelInput::tokens(32, 260)).unwrap();
+        let x = truth.input_size as f64;
+        let pred: f64 = (0..est.num_blocks())
+            .map(|b| est.act_bytes(b, x) + est.out_bytes(b, x))
+            .sum();
+        let actual = truth.total_act_bytes() as f64;
+        let rel = (pred - actual).abs() / actual;
+        // Paper Table V: thousandth-level error.
+        assert!(rel < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn linear_fit_is_visibly_worse() {
+        let (samples, _) = samples_from_truth(&[40, 55, 70, 90, 105, 120, 135, 150, 170, 190]);
+        let quad = MemoryEstimator::fit(&samples, 2).unwrap();
+        let lin = MemoryEstimator::fit(&samples, 1).unwrap();
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let truth = m.profile(&ModelInput::tokens(32, 300)).unwrap();
+        let x = truth.input_size as f64;
+        let err = |e: &MemoryEstimator| {
+            let pred: f64 = (0..e.num_blocks())
+                .map(|b| e.act_bytes(b, x) + e.out_bytes(b, x))
+                .sum();
+            (pred - truth.total_act_bytes() as f64).abs() / truth.total_act_bytes() as f64
+        };
+        assert!(err(&lin) > 3.0 * err(&quad), "lin {} quad {}", err(&lin), err(&quad));
+    }
+
+    #[test]
+    fn too_few_distinct_sizes_rejected() {
+        let (samples, _) = samples_from_truth(&[64, 64, 64]);
+        assert!(matches!(
+            MemoryEstimator::fit(&samples, 2),
+            Err(FitError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn estimated_profile_matches_truth_structure() {
+        let (samples, template) = samples_from_truth(&[40, 80, 120, 160, 200]);
+        let est = MemoryEstimator::fit(&samples, 2).unwrap();
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let truth = m.profile(&ModelInput::tokens(32, 100)).unwrap();
+        let ep = est.estimated_profile(&template, truth.input_size as f64);
+        assert_eq!(ep.blocks.len(), truth.blocks.len());
+        for (e, t) in ep.blocks.iter().zip(&truth.blocks) {
+            let rel = (e.act_bytes as f64 - t.act_bytes as f64).abs() / t.act_bytes.max(1) as f64;
+            assert!(rel < 0.02, "block {}: rel {}", t.name, rel);
+        }
+    }
+}

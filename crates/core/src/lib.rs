@@ -1,0 +1,24 @@
+//! # mimose-core
+//!
+//! *Mimose*: the input-aware tensor-checkpointing planner of the paper. The
+//! three components of Fig 6 live here — the **shuttling online collector**
+//! (sheltered execution; the double-forward measurement itself runs in
+//! `mimose-exec`), the **lightning memory estimator** (per-block quadratic
+//! polynomials over the input size) and the **responsive memory scheduler**
+//! (Algorithm 1 greedy bucketing + plan cache).
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod cache;
+mod config;
+mod estimator;
+mod policy;
+mod scheduler;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveState};
+pub use cache::PlanCache;
+pub use config::MimoseConfig;
+pub use estimator::{MemoryEstimator, ShuttleSample};
+pub use policy::{MimosePolicy, MimoseStats, Phase};
+pub use scheduler::{CostAwareScheduler, GreedyBucketScheduler, KnapsackScheduler, Scheduler};

@@ -1,0 +1,433 @@
+//! The Mimose memory policy: sheltered execution (shuttle collection) then
+//! responsive execution (estimate → schedule → cache), per Fig 6.
+
+use crate::{AdaptiveState, MemoryEstimator, MimoseConfig, PlanCache, Scheduler, ShuttleSample};
+use mimose_planner::{
+    CheckpointPlan, Directive, Granularity, IterationObservation, MemoryPolicy, PlanTiming,
+    PlannerMeta,
+};
+use mimose_models::ModelProfile;
+use std::time::Instant;
+
+/// Execution phase (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Collecting per-block memory/time samples with the shuttling collector.
+    Sheltered,
+    /// Estimator trained; plans are generated (or cache-served) per input.
+    Responsive,
+}
+
+/// Running statistics for the Table III overhead breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct MimoseStats {
+    /// Shuttle (collection) iterations executed.
+    pub shuttle_iters: usize,
+    /// Wall-clock time spent fitting the estimator (ns).
+    pub estimator_fit_ns: u64,
+    /// Wall-clock time of each plan generation (estimator + scheduler), ns.
+    pub plan_gen_ns: Vec<u64>,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Plans generated (cache misses).
+    pub plans_generated: u64,
+    /// Responsive-phase re-collections (adaptive extension).
+    pub recollections: usize,
+    /// In-budget OOM feedback events (adaptive extension).
+    pub oom_feedback: usize,
+}
+
+impl MimoseStats {
+    /// Total estimator+scheduler wall time (ns).
+    pub fn total_plan_ns(&self) -> u64 {
+        self.plan_gen_ns.iter().sum()
+    }
+
+    /// (min, max) single plan-generation time in ns, zero when none.
+    pub fn plan_ns_range(&self) -> (u64, u64) {
+        match (self.plan_gen_ns.iter().min(), self.plan_gen_ns.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0, 0),
+        }
+    }
+}
+
+/// The Mimose planner (input-aware checkpointing, this paper).
+pub struct MimosePolicy {
+    cfg: MimoseConfig,
+    scheduler: Box<dyn Scheduler>,
+    phase: Phase,
+    samples: Vec<ShuttleSample>,
+    estimator: Option<MemoryEstimator>,
+    cache: PlanCache,
+    stats: MimoseStats,
+    last_overhead_ns: u64,
+    /// Hard cap on sheltered iterations (§IV-A: "10~30 iterations").
+    max_collect_iters: usize,
+    /// Sheltered iterations attempted (including OOMed ones that produced
+    /// no sample).
+    sheltered_attempts: usize,
+    /// Adaptive-extension runtime state.
+    adaptive: AdaptiveState,
+    /// Set when the current responsive iteration is an adaptive re-shuttle.
+    pending_recollect: bool,
+}
+
+impl MimosePolicy {
+    /// Mimose with the paper's greedy bucket scheduler.
+    pub fn new(cfg: MimoseConfig) -> Self {
+        let tol = cfg.bucket_tolerance;
+        Self::with_scheduler(cfg, Box::new(crate::GreedyBucketScheduler::new(tol)))
+    }
+
+    /// Mimose with a custom scheduler (the §IV-D "flexible interface").
+    pub fn with_scheduler(cfg: MimoseConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        let cache = PlanCache::new(cfg.cache_relative_width);
+        MimosePolicy {
+            cfg,
+            scheduler,
+            phase: Phase::Sheltered,
+            samples: Vec::new(),
+            estimator: None,
+            cache,
+            stats: MimoseStats::default(),
+            last_overhead_ns: 0,
+            max_collect_iters: 30,
+            sheltered_attempts: 0,
+            adaptive: AdaptiveState::default(),
+            pending_recollect: false,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &MimoseStats {
+        &self.stats
+    }
+
+    /// The fitted estimator (None during sheltered execution).
+    pub fn estimator(&self) -> Option<&MemoryEstimator> {
+        self.estimator.as_ref()
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &MimoseConfig {
+        &self.cfg
+    }
+
+    fn distinct_sizes(&self) -> usize {
+        let mut s: Vec<usize> = self.samples.iter().map(|x| x.input_size).collect();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    }
+
+    fn ready_to_fit(&self) -> bool {
+        let enough_iters = self.samples.len() >= self.cfg.collect_iters;
+        let enough_support =
+            self.distinct_sizes() >= self.cfg.min_distinct_sizes.max(self.cfg.poly_order + 1);
+        (enough_iters && enough_support)
+            || self.samples.len() >= self.max_collect_iters
+            // A budget too tight even for fully-checkpointed collection can
+            // OOM shuttle iterations on the largest inputs; once enough
+            // sheltered attempts have passed, fit from whatever succeeded
+            // rather than shuttling forever.
+            || (self.sheltered_attempts >= 2 * self.max_collect_iters && self.samples.len() >= 2)
+    }
+
+    fn try_fit(&mut self) {
+        let t0 = Instant::now();
+        match MemoryEstimator::fit(&self.samples, self.cfg.poly_order) {
+            Ok(est) => {
+                self.estimator = Some(est);
+                self.phase = Phase::Responsive;
+                self.cache.clear();
+            }
+            Err(_) => {
+                // Degenerate support (e.g. a loader that always pads to one
+                // size): fall back to a linear fit, then constant.
+                for order in (0..self.cfg.poly_order).rev() {
+                    if let Ok(est) = MemoryEstimator::fit(&self.samples, order) {
+                        self.estimator = Some(est);
+                        self.phase = Phase::Responsive;
+                        self.cache.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.estimator_fit_ns += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+impl MemoryPolicy for MimosePolicy {
+    fn meta(&self) -> PlannerMeta {
+        PlannerMeta {
+            name: "Mimose",
+            swapping: false,
+            checkpointing: true,
+            dynamic_input: true,
+            dynamic_graph: false,
+            frag_avoidance: "side-effect",
+            granularity: Granularity::Block,
+            timing: PlanTiming::Runtime,
+            search_space: "holistic",
+            search_algorithm: "greedy",
+            solving_time: "short",
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        self.cfg.budget_bytes
+    }
+
+    fn begin_iteration(&mut self, _iter: usize, profile: &ModelProfile) -> Directive {
+        // Honesty note: Mimose reads only the input size, block count and
+        // structural constants from `profile`; memory knowledge comes from
+        // its own shuttle measurements.
+        let n = profile.blocks.len();
+        match self.phase {
+            Phase::Sheltered => {
+                self.last_overhead_ns = 0;
+                Directive::Shuttle(CheckpointPlan::all(n))
+            }
+            Phase::Responsive => {
+                // Adaptive extension: an input far outside the fitted
+                // support triggers one more shuttle instead of trusting
+                // extrapolation.
+                if let (Some(acfg), Some(est)) = (&self.cfg.adaptive, &self.estimator) {
+                    let x = profile.input_size as f64;
+                    if self
+                        .adaptive
+                        .needs_recollect(acfg, x, est.x_min, est.x_max)
+                    {
+                        self.pending_recollect = true;
+                        self.last_overhead_ns = 0;
+                        return Directive::Shuttle(CheckpointPlan::all(n));
+                    }
+                }
+                let t0 = Instant::now();
+                let x = profile.input_size;
+                let plan = match self.cache.get(x) {
+                    Some(p) => {
+                        self.stats.cache_hits += 1;
+                        p
+                    }
+                    None => {
+                        let est = self
+                            .estimator
+                            .as_ref()
+                            .expect("responsive phase without estimator");
+                        let est_profile = est.estimated_profile(profile, x as f64);
+                        let budget = self
+                            .cfg
+                            .effective_budget()
+                            .saturating_sub(self.adaptive.backoff_bytes);
+                        let plan = self.scheduler.schedule(&est_profile, budget);
+                        self.cache.insert(x, plan.clone());
+                        self.stats.plans_generated += 1;
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        self.stats.plan_gen_ns.push(ns);
+                        plan
+                    }
+                };
+                self.last_overhead_ns = t0.elapsed().as_nanos() as u64;
+                Directive::RunPlan(plan)
+            }
+        }
+    }
+
+    fn end_iteration(&mut self, obs: &IterationObservation) {
+        if self.phase == Phase::Responsive {
+            if self.pending_recollect {
+                self.pending_recollect = false;
+                if let Some(blocks) = &obs.blocks {
+                    self.adaptive.recollections += 1;
+                    self.stats.recollections += 1;
+                    self.stats.shuttle_iters += 1;
+                    self.samples.push(ShuttleSample {
+                        input_size: obs.input_size,
+                        input_bytes: blocks.first().map(|b| b.in_bytes).unwrap_or(0),
+                        blocks: blocks.clone(),
+                    });
+                    self.try_fit(); // refit with the widened support
+                }
+            }
+            if obs.oom {
+                if let Some(acfg) = &self.cfg.adaptive {
+                    self.adaptive.on_oom(acfg);
+                    self.stats.oom_feedback += 1;
+                    // Plans generated under the old margin are suspect.
+                    self.cache.clear();
+                }
+            }
+            return;
+        }
+        if self.phase == Phase::Sheltered {
+            self.sheltered_attempts += 1;
+            if let Some(blocks) = &obs.blocks {
+                self.stats.shuttle_iters += 1;
+                self.samples.push(ShuttleSample {
+                    input_size: obs.input_size,
+                    input_bytes: blocks.first().map(|b| b.in_bytes).unwrap_or(0),
+                    blocks: blocks.clone(),
+                });
+            }
+            if self.ready_to_fit() {
+                self.try_fit();
+            }
+        }
+    }
+
+    fn last_plan_overhead_ns(&self) -> u64 {
+        self.last_overhead_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+    use mimose_planner::memory_model::peak_bytes;
+    use mimose_planner::BlockObservation;
+
+    fn feed_iteration(pol: &mut MimosePolicy, seq: usize, iter: usize) -> Directive {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(32, seq)).unwrap();
+        let d = pol.begin_iteration(iter, &p);
+        // Simulate the executor's measurement feedback for shuttle iters.
+        let blocks = match &d {
+            Directive::Shuttle(_) => Some(
+                p.blocks
+                    .iter()
+                    .map(|b| BlockObservation {
+                        index: b.index,
+                        act_bytes: b.act_bytes,
+                        out_bytes: b.out_bytes,
+                        in_bytes: b.in_bytes,
+                        fwd_ns: (b.fwd_flops / 6e3) as u64,
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        pol.end_iteration(&IterationObservation {
+            iter,
+            input: p.input,
+            input_size: p.input_size,
+            blocks,
+            peak_bytes: 0,
+            oom: false,
+        });
+        d
+    }
+
+    fn varied_seqs() -> Vec<usize> {
+        vec![60, 85, 110, 70, 95, 130, 75, 100, 120, 90, 140, 105]
+    }
+
+    #[test]
+    fn ten_iterations_then_responsive() {
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(6 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            if pol.phase() == Phase::Responsive {
+                break;
+            }
+            let d = feed_iteration(&mut pol, *s, i);
+            assert!(matches!(d, Directive::Shuttle(_)));
+        }
+        assert_eq!(pol.phase(), Phase::Responsive);
+        assert_eq!(pol.stats().shuttle_iters, 10);
+    }
+
+    #[test]
+    fn responsive_plans_fit_budget() {
+        let budget = 4usize << 30;
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        assert_eq!(pol.phase(), Phase::Responsive);
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        for seq in [60, 150, 250, 320] {
+            let p = m.profile(&ModelInput::tokens(32, seq)).unwrap();
+            match pol.begin_iteration(100, &p) {
+                Directive::RunPlan(plan) => {
+                    let peak = peak_bytes(&p, &plan);
+                    assert!(
+                        peak <= budget,
+                        "seq {seq}: true peak {} MiB over budget",
+                        peak >> 20
+                    );
+                }
+                d => panic!("expected RunPlan, got {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_without_checkpointing() {
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(8 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(32, 45)).unwrap();
+        match pol.begin_iteration(50, &p) {
+            Directive::RunPlan(plan) => assert_eq!(plan.count(), 0),
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_sizes_hit_the_cache() {
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(32, 200)).unwrap();
+        let _ = pol.begin_iteration(20, &p);
+        let gen_before = pol.stats().plans_generated;
+        let _ = pol.begin_iteration(21, &p);
+        let _ = pol.begin_iteration(22, &p);
+        assert_eq!(pol.stats().plans_generated, gen_before);
+        assert!(pol.stats().cache_hits >= 2);
+    }
+
+    #[test]
+    fn plan_generation_is_sub_millisecond() {
+        // The "lightning" claim: estimator + scheduler < 1 ms per plan.
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        for seq in [150, 200, 260, 310] {
+            let p = m.profile(&ModelInput::tokens(32, seq)).unwrap();
+            let _ = pol.begin_iteration(30, &p);
+        }
+        let (_, max_ns) = pol.stats().plan_ns_range();
+        let limit = if cfg!(debug_assertions) { 30_000_000 } else { 1_000_000 };
+        assert!(max_ns < limit, "plan generation took {max_ns} ns");
+    }
+
+    #[test]
+    fn degenerate_single_size_falls_back() {
+        // A loader that always produces one size cannot support a quadratic;
+        // Mimose must still leave sheltered execution by the 30-iter cap.
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(6 << 30));
+        for i in 0..35 {
+            feed_iteration(&mut pol, 128, i);
+            if pol.phase() == Phase::Responsive {
+                break;
+            }
+        }
+        assert_eq!(pol.phase(), Phase::Responsive, "stuck in sheltered phase");
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-sample size distributions.
+//!
+//! Fig 3 of the paper shows that input sizes across datasets "tend to follow
+//! a certain probability distribution, such as normal distribution and
+//! power-law distribution". These samplers generate per-sample token lengths
+//! (or image extents) with the shapes and ranges reported there.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A bounded distribution over per-sample sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LengthSampler {
+    /// Truncated normal distribution (SWAG-, SQuAD-like).
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+        /// Inclusive lower clip.
+        min: usize,
+        /// Inclusive upper clip.
+        max: usize,
+    },
+    /// Truncated log-normal (power-law-ish tail: QQP-, UN_PC-like).
+    LogNormal {
+        /// Mean of ln(x).
+        mu_ln: f64,
+        /// Std-dev of ln(x).
+        sigma_ln: f64,
+        /// Inclusive lower clip.
+        min: usize,
+        /// Inclusive upper clip.
+        max: usize,
+    },
+    /// Uniform over an inclusive range (multi-scale resize chooses the short
+    /// side uniformly from a pre-defined ladder).
+    Uniform {
+        /// Inclusive lower bound.
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    },
+    /// Discrete choice from an explicit ladder (DETR-style resize steps).
+    Ladder {
+        /// The candidate values.
+        steps: Vec<usize>,
+    },
+}
+
+impl LengthSampler {
+    /// Draw one size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self {
+            LengthSampler::Normal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                let d = Normal::new(*mu, *sigma).expect("sigma > 0");
+                let v = d.sample(rng).round();
+                (v.max(*min as f64) as usize).min(*max)
+            }
+            LengthSampler::LogNormal {
+                mu_ln,
+                sigma_ln,
+                min,
+                max,
+            } => {
+                let d = LogNormal::new(*mu_ln, *sigma_ln).expect("sigma > 0");
+                let v = d.sample(rng).round();
+                (v.max(*min as f64) as usize).min(*max)
+            }
+            LengthSampler::Uniform { min, max } => rng.gen_range(*min..=*max),
+            LengthSampler::Ladder { steps } => {
+                assert!(!steps.is_empty(), "empty ladder");
+                steps[rng.gen_range(0..steps.len())]
+            }
+        }
+    }
+
+    /// Inclusive support bounds (after clipping).
+    pub fn bounds(&self) -> (usize, usize) {
+        match self {
+            LengthSampler::Normal { min, max, .. }
+            | LengthSampler::LogNormal { min, max, .. }
+            | LengthSampler::Uniform { min, max } => (*min, *max),
+            LengthSampler::Ladder { steps } => {
+                let lo = *steps.iter().min().expect("empty ladder");
+                let hi = *steps.iter().max().expect("empty ladder");
+                (lo, hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws(s: &LengthSampler, n: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_respects_clip_bounds() {
+        let s = LengthSampler::Normal {
+            mu: 72.0,
+            sigma: 40.0,
+            min: 35,
+            max: 141,
+        };
+        let xs = draws(&s, 5000);
+        assert!(xs.iter().all(|&x| (35..=141).contains(&x)));
+        let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+        assert!((60.0..90.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_has_right_tail() {
+        let s = LengthSampler::LogNormal {
+            mu_ln: 50f64.ln(),
+            sigma_ln: 0.5,
+            min: 30,
+            max: 332,
+        };
+        let xs = draws(&s, 5000);
+        assert!(xs.iter().all(|&x| (30..=332).contains(&x)));
+        let median = {
+            let mut v = xs.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        let p95 = {
+            let mut v = xs.clone();
+            v.sort_unstable();
+            v[(v.len() as f64 * 0.95) as usize]
+        };
+        // Right-skew: the 95th percentile is far above the median.
+        assert!(p95 as f64 > 1.8 * median as f64, "median {median} p95 {p95}");
+    }
+
+    #[test]
+    fn ladder_only_emits_steps() {
+        let s = LengthSampler::Ladder {
+            steps: vec![480, 512, 544, 576, 608],
+        };
+        let xs = draws(&s, 200);
+        assert!(xs.iter().all(|x| [480, 512, 544, 576, 608].contains(x)));
+        assert_eq!(s.bounds(), (480, 608));
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let s = LengthSampler::Uniform { min: 5, max: 8 };
+        let xs = draws(&s, 1000);
+        for v in 5..=8 {
+            assert!(xs.contains(&v), "missing {v}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # mimose-data
+//!
+//! Synthetic dataset generators reproducing the paper's input-tensor
+//! dynamics: per-sample length distributions (Fig 3 ranges), multi-scale
+//! resize augmentation for detection, and pad/truncate/collate semantics
+//! that turn per-sample dims into the per-iteration input size every planner
+//! keys on.
+
+#![warn(missing_docs)]
+
+mod length;
+mod loader;
+pub mod presets;
+mod text;
+mod vision;
+
+pub use length::LengthSampler;
+pub use loader::{BatchStream, Dataset};
+pub use text::TextDataset;
+pub use vision::{CocoLikeDataset, MAX_LONG_SIDE, MULTISCALE_LADDER};

@@ -1,0 +1,113 @@
+//! Unified dataset handle + deterministic batch stream.
+
+use crate::{CocoLikeDataset, TextDataset};
+use mimose_models::ModelInput;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Any dataset in the evaluation suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Dataset {
+    /// NLP dataset (SWAG, SQuAD, GLUE-QQP, UN_PC).
+    Text(TextDataset),
+    /// Detection dataset (COCO with multi-scale resize).
+    Vision(CocoLikeDataset),
+}
+
+impl Dataset {
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        match self {
+            Dataset::Text(d) => &d.name,
+            Dataset::Vision(d) => &d.name,
+        }
+    }
+
+    /// Mini-batch size in samples.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Dataset::Text(d) => d.batch_size,
+            Dataset::Vision(d) => d.batch_size,
+        }
+    }
+
+    /// Iterations per epoch.
+    pub fn iters_per_epoch(&self) -> usize {
+        match self {
+            Dataset::Text(d) => d.iters_per_epoch(),
+            Dataset::Vision(d) => d.iters_per_epoch(),
+        }
+    }
+
+    /// Worst-case collated input, used by static planners.
+    pub fn worst_case(&self) -> ModelInput {
+        match self {
+            Dataset::Text(d) => d.worst_case(),
+            Dataset::Vision(d) => d.worst_case(),
+        }
+    }
+
+    /// Open a deterministic batch stream with the given seed.
+    pub fn stream(&self, seed: u64) -> BatchStream<'_> {
+        BatchStream {
+            dataset: self,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Deterministic, infinite stream of collated mini-batches.
+pub struct BatchStream<'a> {
+    dataset: &'a Dataset,
+    rng: StdRng,
+}
+
+impl BatchStream<'_> {
+    /// Draw the next collated batch.
+    pub fn next_batch(&mut self) -> ModelInput {
+        match self.dataset {
+            Dataset::Text(d) => d.next_batch(&mut self.rng),
+            Dataset::Vision(d) => d.next_batch(&mut self.rng),
+        }
+    }
+
+    /// Draw `n` batches.
+    pub fn take_batches(&mut self, n: usize) -> Vec<ModelInput> {
+        (0..n).map(|_| self.next_batch()).collect()
+    }
+}
+
+impl Iterator for BatchStream<'_> {
+    type Item = ModelInput;
+    fn next(&mut self) -> Option<ModelInput> {
+        Some(self.next_batch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::presets;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let ds = presets::swag();
+        let a = ds.stream(42).take_batches(20);
+        let b = ds.stream(42).take_batches(20);
+        assert_eq!(a, b);
+        let c = ds.stream(43).take_batches(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worst_case_bounds_stream() {
+        for ds in [presets::swag(), presets::squad(), presets::glue_qqp()] {
+            let wc = ds.worst_case().input_size();
+            let mut s = ds.stream(1);
+            for _ in 0..300 {
+                assert!(s.next_batch().input_size() <= wc, "{}", ds.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Dataset presets matching the paper's Table II and Fig 3.
+//!
+//! Distribution parameters are calibrated so per-sample token lengths fall
+//! in the ranges Fig 3 reports: SWAG 35–141, SQuAD 153–512, GLUE-QQP 30–332,
+//! UN_PC 17–460; COCO uses the DETR multi-scale ladder.
+
+use crate::{CocoLikeDataset, Dataset, LengthSampler, TextDataset};
+
+/// SWAG (multiple choice, RoBERTa-base, batch 16 × 4 choices).
+pub fn swag() -> Dataset {
+    Dataset::Text(TextDataset {
+        name: "SWAG".into(),
+        lengths: LengthSampler::Normal {
+            mu: 72.0,
+            sigma: 22.0,
+            min: 35,
+            max: 141,
+        },
+        batch_size: 16,
+        choices: 4,
+        max_len: 512,
+        epoch_samples: 73_546,
+        grouped: true,
+    })
+}
+
+/// SQuAD (question answering, BERT-base, batch 12).
+pub fn squad() -> Dataset {
+    Dataset::Text(TextDataset {
+        name: "SQuAD".into(),
+        lengths: LengthSampler::Normal {
+            mu: 270.0,
+            sigma: 75.0,
+            min: 153,
+            max: 512,
+        },
+        batch_size: 12,
+        choices: 1,
+        max_len: 512,
+        epoch_samples: 87_599,
+        grouped: true,
+    })
+}
+
+/// GLUE-QQP (text classification, BERT-base, batch 32). Power-law-ish.
+pub fn glue_qqp() -> Dataset {
+    Dataset::Text(TextDataset {
+        name: "GLUE-QQP".into(),
+        lengths: LengthSampler::LogNormal {
+            mu_ln: 50f64.ln(),
+            sigma_ln: 0.60,
+            min: 30,
+            max: 332,
+        },
+        batch_size: 32,
+        choices: 1,
+        max_len: 512,
+        epoch_samples: 363_846,
+        grouped: true,
+    })
+}
+
+/// UN_PC (translation, T5-base, batch 8). Long-tailed sentence lengths.
+pub fn un_pc() -> Dataset {
+    Dataset::Text(TextDataset {
+        name: "UN_PC".into(),
+        lengths: LengthSampler::LogNormal {
+            mu_ln: 90f64.ln(),
+            sigma_ln: 0.65,
+            min: 17,
+            max: 460,
+        },
+        batch_size: 8,
+        choices: 1,
+        max_len: 512,
+        epoch_samples: 100_000,
+        grouped: true,
+    })
+}
+
+/// COCO with multi-scale resize (object detection, batch as given).
+pub fn coco(batch_size: usize) -> Dataset {
+    Dataset::Vision(CocoLikeDataset::coco(batch_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_ranges_match_fig3() {
+        let cases = [
+            (swag(), 35, 141),
+            (squad(), 153, 512),
+            (glue_qqp(), 30, 332),
+            (un_pc(), 17, 460),
+        ];
+        for (ds, lo, hi) in cases {
+            let mut s = ds.stream(99);
+            for _ in 0..500 {
+                let b = s.next_batch();
+                let ext = b.per_sample_extent();
+                assert!(
+                    (lo..=hi).contains(&ext),
+                    "{}: extent {ext} outside [{lo},{hi}]",
+                    ds.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sizes_match_table2() {
+        assert_eq!(swag().batch_size(), 16);
+        assert_eq!(squad().batch_size(), 12);
+        assert_eq!(glue_qqp().batch_size(), 32);
+        assert_eq!(un_pc().batch_size(), 8);
+        assert_eq!(coco(8).batch_size(), 8);
+        assert_eq!(coco(6).batch_size(), 6);
+    }
+
+    #[test]
+    fn epochs_contain_thousands_of_iterations() {
+        // Table III normalises overhead against epochs of thousands of
+        // iterations.
+        for ds in [swag(), squad(), glue_qqp(), un_pc(), coco(8)] {
+            assert!(ds.iters_per_epoch() > 1000, "{}", ds.name());
+        }
+    }
+}

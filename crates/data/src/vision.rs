@@ -1,0 +1,180 @@
+//! COCO-like image dataset with multi-scale resize augmentation.
+//!
+//! Object-detection pipelines (DETR, Sparse R-CNN, Swin — paper §II-A)
+//! randomly resize each image so the shorter side lands on a ladder between
+//! 480 and 800 while the longer side is capped at 1333, preserving aspect
+//! ratio; the batch is then padded to its largest height/width (rounded to a
+//! multiple of 32 for FPN strides).
+
+use mimose_models::ModelInput;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The standard multi-scale ladder used by DETR/Sparse-RCNN configs.
+pub const MULTISCALE_LADDER: [usize; 11] =
+    [480, 512, 544, 576, 608, 640, 672, 704, 736, 768, 800];
+
+/// Maximum longer-side extent.
+pub const MAX_LONG_SIDE: usize = 1333;
+
+/// COCO-like synthetic detection dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CocoLikeDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Mini-batch size in images.
+    pub batch_size: usize,
+    /// Samples per epoch.
+    pub epoch_samples: usize,
+    /// Spatial padding granularity (detector stride), typically 32.
+    pub pad_multiple: usize,
+}
+
+impl CocoLikeDataset {
+    /// COCO train2017-like defaults.
+    pub fn coco(batch_size: usize) -> Self {
+        CocoLikeDataset {
+            name: "COCO".into(),
+            batch_size,
+            epoch_samples: 118_000,
+            pad_multiple: 32,
+        }
+    }
+
+    /// Iterations per epoch.
+    pub fn iters_per_epoch(&self) -> usize {
+        self.epoch_samples / self.batch_size
+    }
+
+    /// Sample one raw image aspect ratio (w/h). COCO aspect ratios cluster
+    /// around 4:3 and 3:4 with a broad spread (paper cites [19]).
+    fn sample_aspect<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Mixture: 70 % landscape ~4:3, 25 % portrait ~3:4, 5 % extreme.
+        let u: f64 = rng.gen();
+        if u < 0.70 {
+            rng.gen_range(1.15..1.55)
+        } else if u < 0.95 {
+            rng.gen_range(0.65..0.90)
+        } else {
+            rng.gen_range(0.45..2.2)
+        }
+    }
+
+    /// Apply multi-scale resize to one image: pick a short side from the
+    /// ladder, scale so aspect is preserved, cap the long side at 1333.
+    fn resize_one<R: Rng + ?Sized>(rng: &mut R) -> (usize, usize) {
+        let short = MULTISCALE_LADDER[rng.gen_range(0..MULTISCALE_LADDER.len())];
+        let aspect = Self::sample_aspect(rng);
+        // aspect = w/h. Short side is the smaller of h, w.
+        let (h, w) = if aspect >= 1.0 {
+            let h = short as f64;
+            let mut w = h * aspect;
+            if w > MAX_LONG_SIDE as f64 {
+                let scale = MAX_LONG_SIDE as f64 / w;
+                w = MAX_LONG_SIDE as f64;
+                return ((h * scale).round() as usize, w as usize);
+            }
+            (h, w)
+        } else {
+            let w = short as f64;
+            let mut h = w / aspect;
+            if h > MAX_LONG_SIDE as f64 {
+                let scale = MAX_LONG_SIDE as f64 / h;
+                h = MAX_LONG_SIDE as f64;
+                return (h as usize, (w * scale).round() as usize);
+            }
+            (h, w)
+        };
+        (h.round() as usize, w.round() as usize)
+    }
+
+    fn pad_up(&self, v: usize) -> usize {
+        v.div_ceil(self.pad_multiple) * self.pad_multiple
+    }
+
+    /// Draw and collate one mini-batch: per-image resize, then pad the batch
+    /// to its max height/width (rounded to `pad_multiple`).
+    pub fn next_batch<R: Rng + ?Sized>(&self, rng: &mut R) -> ModelInput {
+        let mut max_h = 0usize;
+        let mut max_w = 0usize;
+        for _ in 0..self.batch_size {
+            let (h, w) = Self::resize_one(rng);
+            max_h = max_h.max(h);
+            max_w = max_w.max(w);
+        }
+        ModelInput::image(self.batch_size, self.pad_up(max_h), self.pad_up(max_w))
+    }
+
+    /// Worst-case collated input for static planning. Because the batch is
+    /// padded to its max height *and* max width independently, a portrait
+    /// image (height at the 1333 cap) and a landscape image (width at the
+    /// cap) in the same batch drive both dims to the cap.
+    pub fn worst_case(&self) -> ModelInput {
+        ModelInput::image(
+            self.batch_size,
+            self.pad_up(MAX_LONG_SIDE),
+            self.pad_up(MAX_LONG_SIDE),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::ModelInputKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resized_batches_respect_detr_constraints() {
+        let ds = CocoLikeDataset::coco(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let b = ds.next_batch(&mut rng);
+            let (h, w) = match b.kind {
+                ModelInputKind::Image { h, w } => (h, w),
+                _ => unreachable!(),
+            };
+            assert_eq!(h % 32, 0);
+            assert_eq!(w % 32, 0);
+            // Short side ≥ ladder minimum (after padding), long ≤ cap+pad.
+            assert!(h.min(w) >= 480, "short {}", h.min(w));
+            assert!(h.max(w) <= MAX_LONG_SIDE + 31, "long {}", h.max(w));
+        }
+    }
+
+    #[test]
+    fn input_sizes_vary() {
+        let ds = CocoLikeDataset::coco(8);
+        let mut rng = StdRng::seed_from_u64(12);
+        let sizes: std::collections::HashSet<usize> =
+            (0..100).map(|_| ds.next_batch(&mut rng).input_size()).collect();
+        assert!(sizes.len() > 20, "only {} distinct sizes", sizes.len());
+    }
+
+    #[test]
+    fn worst_case_dominates() {
+        let ds = CocoLikeDataset::coco(8);
+        let wc = ds.worst_case().input_size();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..300 {
+            assert!(ds.next_batch(&mut rng).input_size() <= wc);
+        }
+    }
+
+    #[test]
+    fn aspect_preserved_before_padding() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..500 {
+            let (h, w) = CocoLikeDataset::resize_one(&mut rng);
+            let short = h.min(w);
+            let long = h.max(w);
+            assert!(short >= 279, "short side {short} collapsed"); // 1333-capped extreme aspect
+            assert!(long <= MAX_LONG_SIDE);
+            assert!(
+                MULTISCALE_LADDER.contains(&short) || long == MAX_LONG_SIDE,
+                "short {short} long {long}"
+            );
+        }
+    }
+}

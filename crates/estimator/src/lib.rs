@@ -1,0 +1,22 @@
+//! # mimose-estimator
+//!
+//! From-scratch regression library backing the paper's *lightning memory
+//! estimator* comparison (Tables IV and V): polynomial least squares
+//! (orders 1–3), RBF ε-SVR, a CART regression tree, and gradient-boosted
+//! trees as the XGBoost stand-in — all behind one [`Regressor`] trait.
+
+#![warn(missing_docs)]
+
+mod gbt;
+mod linalg;
+pub mod metrics;
+mod poly;
+mod svr;
+mod traits;
+mod tree;
+
+pub use gbt::GbtRegressor;
+pub use poly::PolynomialRegressor;
+pub use svr::SvrRegressor;
+pub use traits::{FitError, Regressor};
+pub use tree::DecisionTreeRegressor;

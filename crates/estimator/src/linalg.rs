@@ -1,0 +1,93 @@
+//! Minimal dense linear algebra: Gaussian elimination with partial pivoting,
+//! sized for the tiny normal-equation systems of polynomial fitting.
+
+use crate::FitError;
+
+/// Solve `A x = b` in place for a square row-major `a` of dimension `n`.
+pub fn solve(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, FitError> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(FitError::Singular);
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        // A = [[2,1,1],[1,3,2],[1,0,0]], x = [1,2,3] → b = [7, 13, 1]
+        let mut a = vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0];
+        let mut b = vec![7.0, 13.0, 1.0];
+        let x = solve(&mut a, &mut b, 3).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(solve(&mut a, &mut b, 2), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![5.0, 7.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Accuracy metrics used by the Table IV/V comparisons.
+
+/// Mean relative error `mean(|pred − true| / |true|)` over paired slices.
+///
+/// This is the "Error" column of Tables IV and V: the paper sums per-layer
+/// predictions and compares against actual usage; callers pass those sums.
+pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs() / t.abs().max(f64::MIN_POSITIVE))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Maximum relative error over paired slices.
+pub fn max_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs() / t.abs().max(f64::MIN_POSITIVE))
+        .fold(0.0, f64::max)
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!truth.is_empty());
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_zero_error() {
+        let t = [1.0, 2.0, 4.0];
+        assert_eq!(mean_relative_error(&t, &t), 0.0);
+        assert_eq!(max_relative_error(&t, &t), 0.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn relative_error_is_scale_free() {
+        let pred = [110.0];
+        let truth = [100.0];
+        assert!((mean_relative_error(&pred, &truth) - 0.1).abs() < 1e-12);
+        let pred = [1.1e9];
+        let truth = [1.0e9];
+        assert!((mean_relative_error(&pred, &truth) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error_picks_worst_case() {
+        let pred = [100.0, 150.0];
+        let truth = [100.0, 100.0];
+        assert!((max_relative_error(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_penalises_bad_fits() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&pred, &truth) < 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! ε-insensitive support-vector regression with an RBF kernel (the `SVR`
+//! baseline of Table IV).
+//!
+//! Trained by active-set kernel ridge: an exact regularised least-squares
+//! solve in the RBF feature space, followed by ε-insensitive refinement
+//! passes that shrink targets to the tube boundary — a deterministic
+//! small-sample stand-in for the SMO solver with the same qualitative
+//! profile as sklearn's `SVR`: cubic-in-samples fit cost, kernel-sum
+//! prediction (an order slower than the polynomial's Horner evaluation),
+//! decent interpolation, poor extrapolation.
+
+use crate::linalg::solve;
+use crate::traits::check_lengths;
+use crate::{FitError, Regressor};
+
+/// RBF ε-SVR.
+#[derive(Debug, Clone)]
+pub struct SvrRegressor {
+    /// ε-tube half-width as a fraction of max |y|.
+    pub epsilon_frac: f64,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// RBF bandwidth as a multiple of the x range (γ = 1/(2·bw²) over the
+    /// normalised distance).
+    pub bandwidth_frac: f64,
+    /// ε-refinement passes after the initial solve.
+    pub passes: usize,
+    // Fitted state.
+    betas: Vec<f64>,
+    centers: Vec<f64>,
+    gamma: f64,
+    y_scale: f64,
+    x_lo: f64,
+    x_hi: f64,
+}
+
+impl SvrRegressor {
+    /// Defaults comparable to sklearn's `SVR(kernel="rbf")` on this problem.
+    pub fn default_params() -> Self {
+        SvrRegressor {
+            epsilon_frac: 0.01,
+            lambda: 4e-2,
+            bandwidth_frac: 0.25,
+            passes: 3,
+            betas: Vec::new(),
+            centers: Vec::new(),
+            gamma: 1.0,
+            y_scale: 1.0,
+            x_lo: 0.0,
+            x_hi: 1.0,
+        }
+    }
+
+    /// Kernel with an additive constant term standing in for the bias.
+    #[inline]
+    fn kernel(&self, a: f64, b: f64) -> f64 {
+        let span = (self.x_hi - self.x_lo).max(1e-12);
+        let d = (a - b) / span;
+        (-self.gamma * d * d).exp() + 1.0
+    }
+}
+
+impl Regressor for SvrRegressor {
+    fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<(), FitError> {
+        check_lengths(xs, ys, 2)?;
+        let n = xs.len();
+        self.x_lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        self.x_hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let y_max = ys
+            .iter()
+            .copied()
+            .fold(0.0f64, |m, y| m.max(y.abs()))
+            .max(1e-12);
+        self.y_scale = y_max;
+        self.gamma = 1.0 / (2.0 * self.bandwidth_frac * self.bandwidth_frac);
+        self.centers = xs.to_vec();
+        let ys_n: Vec<f64> = ys.iter().map(|&y| y / y_max).collect();
+
+        // Kernel matrix (with the bias-absorbing constant).
+        let k: Vec<f64> = (0..n * n)
+            .map(|ij| self.kernel(xs[ij / n], xs[ij % n]))
+            .collect();
+
+        // Initial kernel ridge solve: (K + λI) β = y. The ridge is absolute
+        // (not scaled with n) so extra samples sharpen rather than shrink
+        // the fit — mirroring sklearn's fixed-C behaviour in Table IV.
+        let solve_for = |targets: &[f64]| -> Result<Vec<f64>, FitError> {
+            let mut a = k.clone();
+            for i in 0..n {
+                a[i * n + i] += self.lambda;
+            }
+            let mut b = targets.to_vec();
+            solve(&mut a, &mut b, n)
+        };
+        let mut betas = solve_for(&ys_n)?;
+
+        // ε-insensitive refinement: pull targets to the tube boundary so
+        // residuals inside the tube stop influencing the solution.
+        let eps = self.epsilon_frac;
+        for _ in 0..self.passes {
+            let mut targets = Vec::with_capacity(n);
+            for i in 0..n {
+                let f: f64 = (0..n).map(|j| betas[j] * k[i * n + j]).sum();
+                let r = f - ys_n[i];
+                // Inside the tube: accept the current prediction; outside:
+                // demand the tube boundary.
+                let t = if r.abs() <= eps {
+                    f
+                } else {
+                    ys_n[i] + eps * r.signum()
+                };
+                targets.push(t);
+            }
+            betas = solve_for(&targets)?;
+        }
+        self.betas = betas;
+        Ok(())
+    }
+
+    fn predict(&self, x: f64) -> f64 {
+        debug_assert!(!self.centers.is_empty(), "predict before fit");
+        let mut f = 0.0;
+        for (b, c) in self.betas.iter().zip(&self.centers) {
+            f += b * self.kernel(x, *c);
+        }
+        f * self.y_scale
+    }
+
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_smooth_function_reasonably() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 400.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1e6 + 250.0 * x + 0.08 * x * x).collect();
+        let mut m = SvrRegressor::default_params();
+        m.fit(&xs, &ys).unwrap();
+        // Interpolation error within a few percent (paper: 3.8 %).
+        let x = 1_800.0;
+        let want = 1e6 + 250.0 * x + 0.08 * x * x;
+        let rel = (m.predict(x) - want).abs() / want;
+        assert!(rel < 0.05, "rel error {rel}");
+    }
+
+    #[test]
+    fn more_samples_reduce_error() {
+        // Paper Table IV: SVR improves from 3.80 % (10 samples) to 3.56 %
+        // (50 samples).
+        let f = |x: f64| 1e6 + 250.0 * x + 0.08 * x * x;
+        let fit_with = |n: usize| {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| 400.0 + 3_600.0 * i as f64 / (n - 1) as f64)
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+            let mut m = SvrRegressor::default_params();
+            m.fit(&xs, &ys).unwrap();
+            // Mean relative error over an in-range test grid.
+            (0..20)
+                .map(|i| {
+                    let x = 500.0 + 3_300.0 * i as f64 / 19.0;
+                    (m.predict(x) - f(x)).abs() / f(x)
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let e10 = fit_with(10);
+        let e50 = fit_with(50);
+        assert!(e50 <= e10 * 1.2, "e10 {e10} e50 {e50}");
+        assert!(e50 < 0.03, "e50 {e50}");
+    }
+
+    #[test]
+    fn worse_than_quadratic_polynomial_out_of_range() {
+        use crate::PolynomialRegressor;
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 400.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1e6 + 250.0 * x + 0.08 * x * x).collect();
+        let mut svr = SvrRegressor::default_params();
+        let mut quad = PolynomialRegressor::new(2);
+        svr.fit(&xs, &ys).unwrap();
+        quad.fit(&xs, &ys).unwrap();
+        // Extrapolate 30 % beyond the training range: RBF kernels decay,
+        // polynomials keep the trend.
+        let x = 5_200.0;
+        let want = 1e6 + 250.0 * x + 0.08 * x * x;
+        let svr_err = (svr.predict(x) - want).abs() / want;
+        let quad_err = (quad.predict(x) - want).abs() / want;
+        assert!(svr_err > 10.0 * quad_err.max(1e-12), "svr {svr_err} quad {quad_err}");
+    }
+
+    #[test]
+    fn two_samples_suffice_to_fit() {
+        let mut m = SvrRegressor::default_params();
+        m.fit(&[0.0, 10.0], &[1.0, 2.0]).unwrap();
+        assert!(m.predict(5.0).is_finite());
+    }
+
+    #[test]
+    fn rejects_single_sample() {
+        let mut m = SvrRegressor::default_params();
+        assert!(matches!(
+            m.fit(&[1.0], &[1.0]),
+            Err(FitError::TooFewSamples { .. })
+        ));
+    }
+}

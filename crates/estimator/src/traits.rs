@@ -1,0 +1,59 @@
+//! The regressor interface shared by every estimator candidate (Table IV).
+
+/// Error fitting a regression model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than the model requires.
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// xs and ys lengths differ.
+    LengthMismatch,
+    /// The underlying linear system was singular beyond recovery.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples { got, need } => {
+                write!(f, "too few samples: got {got}, need {need}")
+            }
+            FitError::LengthMismatch => write!(f, "xs/ys length mismatch"),
+            FitError::Singular => write!(f, "singular system"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A one-dimensional regression model `x → y` (input size → bytes).
+///
+/// The paper's estimator maps the scalar iteration input size to per-layer
+/// memory usage, so one feature is all any candidate needs.
+pub trait Regressor {
+    /// Fit the model to the samples. Refitting replaces previous state.
+    fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<(), FitError>;
+
+    /// Predict y at x. Must only be called after a successful `fit`.
+    fn predict(&self, x: f64) -> f64;
+
+    /// Model family name (for tables).
+    fn name(&self) -> &'static str;
+}
+
+pub(crate) fn check_lengths(xs: &[f64], ys: &[f64], need: usize) -> Result<(), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < need {
+        return Err(FitError::TooFewSamples {
+            got: xs.len(),
+            need,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! CART regression tree (1-D), the `DecisionTree` baseline of Table IV.
+//!
+//! Trees partition the x-axis into constant-valued leaves, so they cannot
+//! extrapolate the polynomial growth of activation memory — which is exactly
+//! why Table IV shows them overfitting with 10 samples (5.67 % error) and
+//! still trailing the quadratic fit with 50.
+
+use crate::traits::check_lengths;
+use crate::{FitError, Regressor};
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        threshold: f64,
+        left: Box<TreeNode>,
+        right: Box<TreeNode>,
+    },
+}
+
+/// 1-D CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    max_depth: usize,
+    min_leaf: usize,
+    root: Option<TreeNode>,
+}
+
+impl DecisionTreeRegressor {
+    /// Create an unfitted tree.
+    pub fn new(max_depth: usize, min_leaf: usize) -> Self {
+        assert!(max_depth >= 1 && min_leaf >= 1);
+        DecisionTreeRegressor {
+            max_depth,
+            min_leaf,
+            root: None,
+        }
+    }
+
+    /// sklearn-like defaults used by the Table IV comparison.
+    pub fn default_params() -> Self {
+        DecisionTreeRegressor::new(6, 1)
+    }
+
+    fn build(points: &mut [(f64, f64)], depth: usize, max_depth: usize, min_leaf: usize) -> TreeNode {
+        let n = points.len();
+        let mean = points.iter().map(|p| p.1).sum::<f64>() / n as f64;
+        if depth >= max_depth || n < 2 * min_leaf {
+            return TreeNode::Leaf { value: mean };
+        }
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Find the split minimising total SSE via prefix sums.
+        let prefix: Vec<(f64, f64)> = points
+            .iter()
+            .scan((0.0, 0.0), |acc, p| {
+                acc.0 += p.1;
+                acc.1 += p.1 * p.1;
+                Some(*acc)
+            })
+            .collect();
+        let (total_sum, total_sq) = prefix[n - 1];
+        let sse = |sum: f64, sq: f64, cnt: usize| sq - sum * sum / cnt as f64;
+        let base_sse = sse(total_sum, total_sq, n);
+        let mut best: Option<(usize, f64)> = None;
+        for i in min_leaf..=(n - min_leaf) {
+            if i < n && points[i - 1].0 == points[i].0 {
+                continue; // cannot split between equal x
+            }
+            let (ls, lq) = prefix[i - 1];
+            let rs = total_sum - ls;
+            let rq = total_sq - lq;
+            let cost = sse(ls, lq, i) + sse(rs, rq, n - i);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+        }
+        match best {
+            Some((i, cost)) if cost < base_sse - 1e-12 => {
+                let threshold = (points[i - 1].0 + points[i].0) / 2.0;
+                let (l, r) = points.split_at_mut(i);
+                TreeNode::Split {
+                    threshold,
+                    left: Box::new(Self::build(l, depth + 1, max_depth, min_leaf)),
+                    right: Box::new(Self::build(r, depth + 1, max_depth, min_leaf)),
+                }
+            }
+            _ => TreeNode::Leaf { value: mean },
+        }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<(), FitError> {
+        check_lengths(xs, ys, 1)?;
+        let mut pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        self.root = Some(Self::build(&mut pts, 0, self.max_depth, self.min_leaf));
+        Ok(())
+    }
+
+    fn predict(&self, x: f64) -> f64 {
+        let mut node = self.root.as_ref().expect("predict before fit");
+        loop {
+            match node {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_piecewise_constant_exactly() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let ys = [5.0, 5.0, 5.0, 9.0, 9.0, 9.0];
+        let mut t = DecisionTreeRegressor::new(4, 1);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.predict(2.0), 5.0);
+        assert_eq!(t.predict(11.0), 9.0);
+    }
+
+    #[test]
+    fn interpolates_within_training_range() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x).collect();
+        let mut t = DecisionTreeRegressor::default_params();
+        t.fit(&xs, &ys).unwrap();
+        let got = t.predict(2_450.0);
+        let want = 4_900.0;
+        assert!((got - want).abs() / want < 0.2, "got {got}");
+    }
+
+    #[test]
+    fn cannot_extrapolate_beyond_training_range() {
+        // The key weakness versus the polynomial: predictions saturate at
+        // the last leaf's mean.
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+        let mut t = DecisionTreeRegressor::default_params();
+        t.fit(&xs, &ys).unwrap();
+        let at_2000 = t.predict(2_000.0);
+        assert!(at_2000 <= 1_000.0 * 1_000.0 + 1.0, "tree extrapolated: {at_2000}");
+        // True value is 4e6 — the tree is off by ~4x out of range.
+        assert!(at_2000 < 0.5 * 4e6);
+    }
+
+    #[test]
+    fn duplicate_x_values_do_not_split() {
+        let xs = [5.0, 5.0, 5.0, 5.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let mut t = DecisionTreeRegressor::new(3, 1);
+        t.fit(&xs, &ys).unwrap();
+        assert!((t.predict(5.0) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mimose-exec
+//!
+//! The training-iteration executor: a block-granularity engine that runs
+//! checkpoint plans (and Mimose's double-forward shuttle iterations) against
+//! the simulated arena allocator and virtual clock, a tensor-granularity
+//! engine with DTR-style reactive eviction, and a [`Trainer`] that drives
+//! any [`mimose_planner::MemoryPolicy`] over a dataset stream.
+
+#![warn(missing_docs)]
+
+mod block_engine;
+mod dtr_engine;
+mod report;
+mod trainer;
+
+pub use block_engine::{run_block_iteration, BlockMode, BlockRun};
+pub use dtr_engine::{run_dtr_iteration, run_dtr_iteration_with_policy};
+pub use report::{IterationReport, OomReport, RunSummary, TimeBreakdown};
+pub use trainer::Trainer;

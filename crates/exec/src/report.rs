@@ -1,0 +1,199 @@
+//! Iteration and epoch reports: the measurements every experiment consumes.
+
+use mimose_models::ModelInput;
+use serde::{Deserialize, Serialize};
+
+/// Why an iteration failed.
+#[derive(Debug, Clone, Serialize)]
+pub struct OomReport {
+    /// Bytes requested when the failure occurred.
+    pub requested: usize,
+    /// Total free bytes at the time.
+    pub free_bytes: usize,
+    /// Largest contiguous free range at the time.
+    pub largest_free: usize,
+    /// Where in the iteration the failure happened.
+    pub phase: &'static str,
+}
+
+/// Virtual-time breakdown of one iteration (the Fig 5 categories).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Useful forward+backward+optimizer compute, ns.
+    pub compute_ns: u64,
+    /// Recomputation of checkpointed/evicted activations, ns.
+    pub recompute_ns: u64,
+    /// Plan generation (estimator + scheduler, or DTR eviction search), ns.
+    pub planning_ns: u64,
+    /// Per-tensor metadata maintenance (DTR cost bookkeeping), ns.
+    pub bookkeeping_ns: u64,
+    /// Allocator call overhead, ns.
+    pub allocator_ns: u64,
+    /// Non-overlapped host↔device swap transfer time (hybrid planners), ns.
+    #[serde(default)]
+    pub swap_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Total iteration time, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns
+            + self.recompute_ns
+            + self.planning_ns
+            + self.bookkeeping_ns
+            + self.allocator_ns
+            + self.swap_ns
+    }
+
+    /// Fraction of the iteration spent outside useful compute.
+    pub fn overhead_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            return 0.0;
+        }
+        (t - self.compute_ns) as f64 / t as f64
+    }
+
+    /// Accumulate another breakdown.
+    pub fn add(&mut self, other: &TimeBreakdown) {
+        self.compute_ns += other.compute_ns;
+        self.recompute_ns += other.recompute_ns;
+        self.planning_ns += other.planning_ns;
+        self.bookkeeping_ns += other.bookkeeping_ns;
+        self.allocator_ns += other.allocator_ns;
+        self.swap_ns += other.swap_ns;
+    }
+}
+
+/// Result of simulating one training iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationReport {
+    /// Iteration number.
+    pub iter: usize,
+    /// The collated input.
+    pub input: ModelInput,
+    /// The paper's scalar input size.
+    pub input_size: usize,
+    /// Virtual-time breakdown.
+    pub time: TimeBreakdown,
+    /// Peak logically-allocated bytes.
+    pub peak_bytes: usize,
+    /// Peak address-space extent (≈ bytes actually reserved on the device).
+    pub peak_extent: usize,
+    /// Peak fragmentation (free-but-unusable bytes).
+    pub frag_bytes: usize,
+    /// Number of blocks/tensors checkpointed or evicted this iteration.
+    pub dropped_units: usize,
+    /// Whether this was a shuttle (collection) iteration.
+    pub shuttle: bool,
+    /// OOM failure, if the iteration could not complete.
+    pub oom: Option<OomReport>,
+}
+
+impl IterationReport {
+    /// Whether the iteration completed within budget.
+    pub fn ok(&self) -> bool {
+        self.oom.is_none()
+    }
+}
+
+/// Aggregate over a run of iterations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Iterations simulated.
+    pub iters: usize,
+    /// Total virtual time, ns.
+    pub total_ns: u64,
+    /// Accumulated breakdown.
+    pub time: TimeBreakdown,
+    /// Maximum peak bytes over all iterations.
+    pub max_peak_bytes: usize,
+    /// Maximum address-space extent over all iterations.
+    pub max_peak_extent: usize,
+    /// Maximum fragmentation over all iterations.
+    pub max_frag_bytes: usize,
+    /// Iterations that hit OOM.
+    pub oom_iters: usize,
+    /// Shuttle iterations.
+    pub shuttle_iters: usize,
+}
+
+impl RunSummary {
+    /// Fold one iteration into the summary.
+    pub fn absorb(&mut self, r: &IterationReport) {
+        self.iters += 1;
+        self.total_ns += r.time.total_ns();
+        self.time.add(&r.time);
+        self.max_peak_bytes = self.max_peak_bytes.max(r.peak_bytes);
+        self.max_peak_extent = self.max_peak_extent.max(r.peak_extent);
+        self.max_frag_bytes = self.max_frag_bytes.max(r.frag_bytes);
+        if !r.ok() {
+            self.oom_iters += 1;
+        }
+        if r.shuttle {
+            self.shuttle_iters += 1;
+        }
+    }
+
+    /// Mean iteration time in ns.
+    pub fn mean_iter_ns(&self) -> u64 {
+        if self.iters == 0 {
+            0
+        } else {
+            self.total_ns / self.iters as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let t = TimeBreakdown {
+            compute_ns: 100,
+            recompute_ns: 20,
+            planning_ns: 5,
+            bookkeeping_ns: 10,
+            allocator_ns: 1,
+            swap_ns: 4,
+        };
+        assert_eq!(t.total_ns(), 140);
+        assert!((t.overhead_fraction() - 40.0 / 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_maxima() {
+        let mut s = RunSummary::default();
+        let mk = |peak, oom| IterationReport {
+            iter: 0,
+            input: ModelInput::tokens(1, 1),
+            input_size: 1,
+            time: TimeBreakdown {
+                compute_ns: 10,
+                ..Default::default()
+            },
+            peak_bytes: peak,
+            peak_extent: peak,
+            frag_bytes: 1,
+            dropped_units: 0,
+            shuttle: false,
+            oom,
+        };
+        s.absorb(&mk(100, None));
+        s.absorb(&mk(
+            50,
+            Some(OomReport {
+                requested: 1,
+                free_bytes: 0,
+                largest_free: 0,
+                phase: "fwd",
+            }),
+        ));
+        assert_eq!(s.iters, 2);
+        assert_eq!(s.max_peak_bytes, 100);
+        assert_eq!(s.oom_iters, 1);
+        assert_eq!(s.mean_iter_ns(), 10);
+    }
+}

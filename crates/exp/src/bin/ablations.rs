@@ -1,0 +1,30 @@
+//! Runs the ablation suite: plan cache, bucket tolerance, scheduler
+//! algorithm, allocator fit policy, adaptive re-collection.
+
+use mimose_exp::experiments::ablations as ab;
+
+fn main() {
+    let budget = 5usize << 30;
+    print!("{}", ab::render_cache(&ab::cache_ablation(budget, 400), 400));
+    println!();
+    print!(
+        "{}",
+        ab::render_tolerance(&ab::tolerance_ablation(
+            budget,
+            200,
+            &[0.0, 0.05, 0.10, 0.20, 0.40]
+        ))
+    );
+    println!();
+    print!(
+        "{}",
+        ab::render_collect(&ab::collect_ablation(budget, &[5, 10, 20, 30], 250))
+    );
+    println!();
+    let sb = 8usize << 30;
+    print!("{}", ab::render_scheduler(&ab::scheduler_ablation(sb, 150), sb));
+    println!();
+    print!("{}", ab::render_allocator(&ab::allocator_ablation(budget), budget));
+    println!();
+    print!("{}", ab::render_adaptive(&ab::adaptive_ablation(budget), budget));
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence — the full paper regeneration.
+
+use mimose_exp::experiments::*;
+
+fn main() {
+    println!("# Mimose-rs: full experiment suite\n");
+    print!("{}", table1::render(&table1::run()));
+    println!();
+    print!("{}", fig3::render(&fig3::run(2000)));
+    let budget = 3usize << 30;
+    print!("{}", fig4::render(&fig4::run(budget), budget));
+    println!();
+    print!("{}", fig5::render(&fig5::run(&[4.2, 4.5, 5.0, 5.5], 120)));
+    println!();
+    print!("{}", fig9::render(&fig9::run(&[128, 192, 256, 320])));
+    println!();
+    let f10 = fig10::run(400, 120);
+    print!("{}", fig10::render(&f10));
+    let (vs_sub, vs_dtr) = fig10::improvements(&f10);
+    println!(
+        "Mimose mean improvement: {:.1}% vs Sublinear, {:.1}% vs DTR\n",
+        vs_sub * 100.0,
+        vs_dtr * 100.0
+    );
+    print!("{}", fig11::render(&fig11::run(&[4, 5, 6, 7, 8], 600)));
+    println!();
+    print!("{}", table3::render(&table3::run(6 << 30, 4000)));
+    println!();
+    print!("{}", table45::render_table4(&table45::run_table4()));
+    println!();
+    print!("{}", table45::render_table5(&table45::run_table5()));
+}

@@ -1,0 +1,9 @@
+//! Extension: planner overheads across device generations (V100 vs A100).
+
+use mimose_exp::experiments::ext_device;
+
+fn main() {
+    let budget = 5usize << 30;
+    let rows = ext_device::run(budget, 150);
+    print!("{}", ext_device::render(&rows, budget));
+}

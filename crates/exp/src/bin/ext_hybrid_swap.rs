@@ -1,0 +1,9 @@
+//! Extension: swap-vs-recompute crossover sweep over host-link bandwidth.
+
+use mimose_exp::experiments::ext_hybrid;
+
+fn main() {
+    let budget = 4usize << 30;
+    let rows = ext_hybrid::run(budget, 120, &[2e9, 6e9, 12e9, 25e9, 50e9]);
+    print!("{}", ext_hybrid::render(&rows, budget));
+}

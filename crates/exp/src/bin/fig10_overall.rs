@@ -1,0 +1,16 @@
+//! Regenerates Fig 10: the overall planner comparison across tasks and
+//! budgets. This is the heaviest experiment (runs the full grid in
+//! parallel); expect a few minutes.
+
+use mimose_exp::experiments::fig10;
+
+fn main() {
+    let r = fig10::run(400, 120);
+    print!("{}", fig10::render(&r));
+    let (vs_sub, vs_dtr) = fig10::improvements(&r);
+    println!(
+        "Mimose mean improvement: {:.1}% vs Sublinear, {:.1}% vs DTR",
+        vs_sub * 100.0,
+        vs_dtr * 100.0
+    );
+}

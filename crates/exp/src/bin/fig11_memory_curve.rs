@@ -1,0 +1,8 @@
+//! Regenerates Fig 11: Mimose's memory consumption vs input size.
+
+use mimose_exp::experiments::fig11;
+
+fn main() {
+    let series = fig11::run(&[4, 5, 6, 7, 8], 600);
+    print!("{}", fig11::render(&series));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 3: input-size distributions and memory footprints.
+
+use mimose_exp::experiments::fig3;
+
+fn main() {
+    let results = fig3::run(2000);
+    print!("{}", fig3::render(&results));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 4: the static planner's wasted budget on TC-Bert.
+
+use mimose_exp::experiments::fig4;
+
+fn main() {
+    let budget = 3usize << 30;
+    let points = fig4::run(budget);
+    print!("{}", fig4::render(&points, budget));
+}

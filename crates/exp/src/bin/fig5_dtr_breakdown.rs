@@ -1,0 +1,8 @@
+//! Regenerates Fig 5: DTR's time breakdown and real memory usage.
+
+use mimose_exp::experiments::fig5;
+
+fn main() {
+    let rows = fig5::run(&[4.2, 4.5, 5.0, 5.5], 120);
+    print!("{}", fig5::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 9: peak memory vs which encoder is checkpointed.
+
+use mimose_exp::experiments::fig9;
+
+fn main() {
+    let r = fig9::run(&[128, 192, 256, 320]);
+    print!("{}", fig9::render(&r));
+}

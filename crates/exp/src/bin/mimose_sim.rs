@@ -1,0 +1,68 @@
+//! `mimose_sim`: simulate budgeted training for any (task, planner, budget)
+//! from the command line; text summary or per-iteration CSV.
+
+use mimose_exp::cli::{find_task, parse_args, SimOptions, USAGE};
+use mimose_exp::csv::iterations_to_csv;
+use mimose_exp::planners::build_policy;
+use mimose_exp::table::{gib, ms};
+use mimose_exec::Trainer;
+use mimose_simgpu::DeviceProfile;
+
+fn run(opt: &SimOptions) {
+    let task = find_task(&opt.task).expect("validated by parse_args");
+    let mut policy = build_policy(opt.planner, &task, opt.budget_bytes);
+    let mut trainer = Trainer::new(&task.model, &task.dataset, policy.as_mut(), opt.seed);
+    if opt.a100 {
+        trainer.device = DeviceProfile::a100();
+    }
+    let reports = trainer.run(opt.iters);
+    if opt.csv {
+        print!("{}", iterations_to_csv(&reports));
+        return;
+    }
+    let mut summary = mimose_exec::RunSummary::default();
+    for r in &reports {
+        summary.absorb(r);
+    }
+    println!(
+        "task {} | planner {} | budget {} GiB | {} iters | device {}",
+        task.abbr,
+        opt.planner.name(),
+        gib(opt.budget_bytes),
+        opt.iters,
+        if opt.a100 { "A100" } else { "V100" }
+    );
+    println!(
+        "total {} ms ({} ms/iter) | peak {} GiB | reserved {} GiB | frag {} GiB",
+        ms(summary.total_ns),
+        ms(summary.mean_iter_ns()),
+        gib(summary.max_peak_bytes),
+        gib(summary.max_peak_extent),
+        gib(summary.max_frag_bytes),
+    );
+    println!(
+        "compute {} ms | recompute {} ms | planning {} ms | bookkeeping {} ms | swap {} ms",
+        ms(summary.time.compute_ns),
+        ms(summary.time.recompute_ns),
+        ms(summary.time.planning_ns),
+        ms(summary.time.bookkeeping_ns),
+        ms(summary.time.swap_ns),
+    );
+    println!(
+        "oom iters: {} | shuttle iters: {}",
+        summary.oom_iters, summary.shuttle_iters
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Some(opt)) => run(&opt),
+        Ok(None) => print!("{USAGE}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

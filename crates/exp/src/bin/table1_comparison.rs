@@ -1,0 +1,8 @@
+//! Regenerates Table I: the planner feature matrix.
+
+use mimose_exp::experiments::table1;
+
+fn main() {
+    let rows = table1::run();
+    print!("{}", table1::render(&rows));
+}

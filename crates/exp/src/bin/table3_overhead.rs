@@ -1,0 +1,8 @@
+//! Regenerates Table III: Mimose's overhead breakdown.
+
+use mimose_exp::experiments::table3;
+
+fn main() {
+    let rows = table3::run(6 << 30, 4000);
+    print!("{}", table3::render(&rows));
+}

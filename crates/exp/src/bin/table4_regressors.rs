@@ -1,0 +1,8 @@
+//! Regenerates Table IV: regression-model comparison on TC-Bert.
+
+use mimose_exp::experiments::table45;
+
+fn main() {
+    let rows = table45::run_table4();
+    print!("{}", table45::render_table4(&rows));
+}

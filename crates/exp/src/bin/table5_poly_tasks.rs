@@ -1,0 +1,8 @@
+//! Regenerates Table V: the quadratic polynomial across all six tasks.
+
+use mimose_exp::experiments::table45;
+
+fn main() {
+    let rows = table45::run_table5();
+    print!("{}", table45::render_table5(&rows));
+}

@@ -1,0 +1,187 @@
+//! Hand-rolled argument parsing for the `mimose_sim` CLI driver (the
+//! workspace avoids an argument-parsing dependency).
+
+use crate::planners::PlannerKind;
+use crate::tasks::Task;
+
+/// Parsed CLI options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Task abbreviation (Table II).
+    pub task: String,
+    /// Planner under test.
+    pub planner: PlannerKind,
+    /// Memory budget in bytes.
+    pub budget_bytes: usize,
+    /// Iterations to simulate.
+    pub iters: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Emit per-iteration CSV instead of the text summary.
+    pub csv: bool,
+    /// Use the A100 device profile instead of the V100.
+    pub a100: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            task: "TC-Bert".into(),
+            planner: PlannerKind::Mimose,
+            budget_bytes: 6 << 30,
+            iters: 200,
+            seed: 42,
+            csv: false,
+            a100: false,
+        }
+    }
+}
+
+/// Usage text shown for `--help` and on parse errors.
+pub const USAGE: &str = "\
+mimose_sim — simulate budgeted training with any planner
+
+USAGE:
+    mimose_sim [OPTIONS]
+
+OPTIONS:
+    --task <ABBR>       MC-Roberta | TR-T5 | QA-Bert | TC-Bert | OD-R50 | OD-R101  [TC-Bert]
+    --planner <NAME>    baseline | sublinear | checkmate | monet | dtr | mimose | mimose-ks  [mimose]
+    --budget <GiB>      memory budget in GiB (fractions allowed)  [6]
+    --iters <N>         iterations to simulate  [200]
+    --seed <N>          batch-stream seed  [42]
+    --csv               emit per-iteration CSV on stdout
+    --a100              use the A100 device profile
+    --help              print this message
+";
+
+/// Parse-time failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a planner name.
+pub fn parse_planner(name: &str) -> Result<PlannerKind, ParseError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "baseline" => PlannerKind::Baseline,
+        "sublinear" => PlannerKind::Sublinear,
+        "checkmate" => PlannerKind::Checkmate,
+        "monet" => PlannerKind::Monet,
+        "dtr" => PlannerKind::Dtr,
+        "mimose" => PlannerKind::Mimose,
+        "mimose-ks" => PlannerKind::MimoseKnapsack,
+        other => return Err(ParseError(format!("unknown planner '{other}'"))),
+    })
+}
+
+/// Look up a task by its Table II abbreviation (case-insensitive).
+pub fn find_task(abbr: &str) -> Result<Task, ParseError> {
+    Task::all()
+        .into_iter()
+        .find(|t| t.abbr.eq_ignore_ascii_case(abbr))
+        .ok_or_else(|| ParseError(format!("unknown task '{abbr}'")))
+}
+
+/// Parse argv (without the program name). `Ok(None)` means `--help`.
+pub fn parse_args(args: &[String]) -> Result<Option<SimOptions>, ParseError> {
+    let mut opt = SimOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--csv" => opt.csv = true,
+            "--a100" => opt.a100 = true,
+            "--task" => opt.task = value("--task")?.clone(),
+            "--planner" => opt.planner = parse_planner(value("--planner")?)?,
+            "--budget" => {
+                let v: f64 = value("--budget")?
+                    .parse()
+                    .map_err(|_| ParseError("--budget must be a number of GiB".into()))?;
+                if !(v > 0.0 && v < 1024.0) {
+                    return Err(ParseError("--budget out of range".into()));
+                }
+                opt.budget_bytes = (v * (1u64 << 30) as f64) as usize;
+            }
+            "--iters" => {
+                opt.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| ParseError("--iters must be an integer".into()))?;
+            }
+            "--seed" => {
+                opt.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--seed must be an integer".into()))?;
+            }
+            other => return Err(ParseError(format!("unknown option '{other}'"))),
+        }
+    }
+    // Validate the task eagerly so errors surface before any simulation.
+    find_task(&opt.task)?;
+    Ok(Some(opt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let opt = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opt, SimOptions::default());
+    }
+
+    #[test]
+    fn full_command_line() {
+        let opt = parse_args(&v(&[
+            "--task", "qa-bert", "--planner", "dtr", "--budget", "4.5", "--iters", "50",
+            "--seed", "9", "--csv", "--a100",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opt.planner, PlannerKind::Dtr);
+        assert_eq!(opt.budget_bytes, (4.5 * (1u64 << 30) as f64) as usize);
+        assert_eq!(opt.iters, 50);
+        assert_eq!(opt.seed, 9);
+        assert!(opt.csv && opt.a100);
+        assert_eq!(opt.task, "qa-bert");
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse_args(&v(&["--help"])).unwrap(), None);
+        assert_eq!(parse_args(&v(&["--task", "TC-Bert", "-h"])).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(parse_args(&v(&["--planner", "magic"])).is_err());
+        assert!(parse_args(&v(&["--budget"])).is_err());
+        assert!(parse_args(&v(&["--budget", "-3"])).is_err());
+        assert!(parse_args(&v(&["--task", "nonsense"])).is_err());
+        assert!(parse_args(&v(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn every_comparison_planner_parses() {
+        for k in crate::planners::PlannerKind::comparison_set() {
+            let name = k.name().to_ascii_lowercase();
+            let name = if name == "monet" { "monet".to_string() } else { name };
+            assert_eq!(parse_planner(&name).unwrap(), k, "{name}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig 3: input-size distributions of the four NLP datasets and the GPU
+//! memory footprint as a function of input size.
+
+use crate::table::{gib, render_histogram, render_table};
+use crate::tasks::Task;
+
+/// One dataset's distribution + memory curve.
+pub struct Fig3Result {
+    /// Task abbreviation.
+    pub task: &'static str,
+    /// Collated per-sample extents (seqlen) over the sampled iterations.
+    pub extents: Vec<usize>,
+    /// (seqlen, no-checkpoint peak bytes) curve.
+    pub memory_curve: Vec<(usize, usize)>,
+}
+
+/// Sample `iters` batches per NLP task and profile the memory footprint at
+/// a sweep of sizes across each dataset's range.
+pub fn run(iters: usize) -> Vec<Fig3Result> {
+    Task::nlp()
+        .into_iter()
+        .map(|task| {
+            let mut stream = task.dataset.stream(33);
+            let extents: Vec<usize> = (0..iters)
+                .map(|_| stream.next_batch().per_sample_extent())
+                .collect();
+            let lo = *extents.iter().min().expect("nonempty");
+            let hi = *extents.iter().max().expect("nonempty");
+            let batch = task.dataset.batch_size();
+            let choices = match &task.dataset {
+                mimose_data::Dataset::Text(t) => t.choices,
+                _ => 1,
+            };
+            let memory_curve: Vec<(usize, usize)> = (0..=10)
+                .map(|i| {
+                    let seq = lo + (hi - lo) * i / 10;
+                    let input = mimose_models::ModelInput::tokens(batch * choices, seq);
+                    let p = task.model.profile(&input).expect("validates");
+                    (seq, p.peak_no_checkpoint())
+                })
+                .collect();
+            Fig3Result {
+                task: task.abbr,
+                extents,
+                memory_curve,
+            }
+        })
+        .collect()
+}
+
+/// Render the Fig 3 report.
+pub fn render(results: &[Fig3Result]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&render_histogram(
+            &format!("{} collated seqlen distribution", r.task),
+            &r.extents,
+            12,
+            40,
+        ));
+        let rows: Vec<Vec<String>> = r
+            .memory_curve
+            .iter()
+            .map(|(s, b)| vec![s.to_string(), gib(*b)])
+            .collect();
+        out.push_str(&render_table(
+            &format!("{} memory footprint vs seqlen (no checkpointing)", r.task),
+            &["seqlen", "peak GiB"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_fig3() {
+        let results = run(400);
+        let expect = [
+            ("MC-Roberta", 35, 141),
+            ("TR-T5", 17, 460),
+            ("QA-Bert", 153, 512),
+            ("TC-Bert", 30, 332),
+        ];
+        for (task, lo, hi) in expect {
+            let r = results.iter().find(|r| r.task == task).expect("task present");
+            let got_lo = *r.extents.iter().min().expect("nonempty");
+            let got_hi = *r.extents.iter().max().expect("nonempty");
+            assert!(got_lo >= lo, "{task}: min {got_lo} < {lo}");
+            assert!(got_hi <= hi, "{task}: max {got_hi} > {hi}");
+        }
+    }
+
+    #[test]
+    fn memory_curve_is_monotone_and_smooth() {
+        // §III-A: "the GPU memory usage curve is quite smooth".
+        let results = run(50);
+        for r in &results {
+            let peaks: Vec<usize> = r.memory_curve.iter().map(|c| c.1).collect();
+            assert!(
+                peaks.windows(2).all(|w| w[1] >= w[0]),
+                "{}: non-monotone",
+                r.task
+            );
+        }
+    }
+}

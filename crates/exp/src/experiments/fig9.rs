@@ -1,0 +1,93 @@
+//! Fig 9: peak memory when checkpointing a single encoder of BERT-base —
+//! earlier encoders help, the last one does not.
+
+use crate::table::{gib, render_table};
+use mimose_models::builders::{bert_base, BertHead};
+use mimose_models::ModelInput;
+use mimose_planner::memory_model::peak_bytes;
+use mimose_planner::CheckpointPlan;
+
+/// Peak bytes for (seqlen, encoder index 1..=12) plus the no-checkpoint
+/// reference per seqlen.
+pub struct Fig9Result {
+    /// Sequence lengths evaluated.
+    pub seqlens: Vec<usize>,
+    /// `peaks[s][k]` = peak bytes at `seqlens[s]` when checkpointing only
+    /// encoder `k+1`.
+    pub peaks: Vec<Vec<usize>>,
+    /// No-checkpoint peak per seqlen.
+    pub none: Vec<usize>,
+}
+
+/// Evaluate the sweep.
+pub fn run(seqlens: &[usize]) -> Fig9Result {
+    let model = bert_base(BertHead::Classification { labels: 2 });
+    let mut peaks = Vec::new();
+    let mut none = Vec::new();
+    for &s in seqlens {
+        let p = model.profile(&ModelInput::tokens(32, s)).expect("validates");
+        let n = p.blocks.len();
+        none.push(peak_bytes(&p, &CheckpointPlan::none(n)));
+        // Encoders are blocks 1..=12 (0 = embeddings, 13 = head).
+        peaks.push(
+            (1..=12)
+                .map(|k| peak_bytes(&p, &CheckpointPlan::from_indices(n, &[k])))
+                .collect(),
+        );
+    }
+    Fig9Result {
+        seqlens: seqlens.to_vec(),
+        peaks,
+        none,
+    }
+}
+
+/// Render the Fig 9 report.
+pub fn render(r: &Fig9Result) -> String {
+    let mut header = vec!["encoder".to_string()];
+    for &s in &r.seqlens {
+        header.push(format!("seq {s} (GiB)"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for k in 0..12 {
+        let mut row = vec![format!("{}", k + 1)];
+        for si in 0..r.seqlens.len() {
+            row.push(gib(r.peaks[si][k]));
+        }
+        rows.push(row);
+    }
+    let mut base = vec!["none".to_string()];
+    for si in 0..r.seqlens.len() {
+        base.push(gib(r.none[si]));
+    }
+    rows.push(base);
+    render_table(
+        "Fig 9: peak memory when checkpointing encoder k of Bert-base (batch 32)",
+        &header_refs,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earlier_encoders_lower_peak_more() {
+        let r = run(&[128, 256]);
+        for si in 0..r.seqlens.len() {
+            let peaks = &r.peaks[si];
+            // Monotone non-decreasing in encoder index.
+            assert!(
+                peaks.windows(2).all(|w| w[0] <= w[1]),
+                "seq {}: {:?}",
+                r.seqlens[si],
+                peaks
+            );
+            // First encoder strictly helps; last is as bad as no plan.
+            assert!(peaks[0] < r.none[si]);
+            assert_eq!(peaks[11], r.none[si]);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod ext_device;
+pub mod ext_hybrid;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table45;

@@ -1,0 +1,95 @@
+//! Table I: the qualitative feature matrix, generated from each planner's
+//! self-reported metadata.
+
+use crate::planners::{build_policy, PlannerKind};
+use crate::table::render_table;
+use crate::tasks::Task;
+use mimose_planner::{Granularity, PlanTiming};
+
+/// Generate the feature matrix rows.
+pub fn run() -> Vec<Vec<String>> {
+    let task = Task::tc_bert();
+    let kinds = [
+        PlannerKind::Mimose,
+        PlannerKind::Dtr,
+        PlannerKind::Sublinear,
+        PlannerKind::Checkmate,
+        PlannerKind::Monet,
+    ];
+    kinds
+        .iter()
+        .map(|&k| {
+            let m = build_policy(k, &task, 6 << 30).meta();
+            let b = |v: bool| if v { "yes" } else { "no" }.to_string();
+            vec![
+                m.name.to_string(),
+                b(m.swapping),
+                b(m.checkpointing),
+                b(m.dynamic_input),
+                b(m.dynamic_graph),
+                m.frag_avoidance.to_string(),
+                match m.granularity {
+                    Granularity::Block => "block",
+                    Granularity::Layer => "layer",
+                    Granularity::Tensor => "tensor",
+                }
+                .to_string(),
+                match m.timing {
+                    PlanTiming::Offline => "offline",
+                    PlanTiming::Runtime => "runtime",
+                }
+                .to_string(),
+                m.search_space.to_string(),
+                m.search_algorithm.to_string(),
+                m.solving_time.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Render Table I.
+pub fn render(rows: &[Vec<String>]) -> String {
+    render_table(
+        "Table I: planner comparison",
+        &[
+            "planner",
+            "swap",
+            "ckpt",
+            "dyn input",
+            "dyn graph",
+            "frag avoid",
+            "granularity",
+            "timing",
+            "search space",
+            "algorithm",
+            "solve time",
+        ],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_claims() {
+        let rows = run();
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let mimose = find("Mimose");
+        assert_eq!(mimose[3], "yes"); // dynamic input
+        assert_eq!(mimose[7], "runtime");
+        assert_eq!(mimose[6], "block");
+        let sub = find("Sublinear");
+        assert_eq!(sub[3], "no");
+        assert_eq!(sub[7], "offline");
+        let dtr = find("DTR");
+        assert_eq!(dtr[3], "yes");
+        assert_eq!(dtr[4], "yes"); // dynamic graph
+        assert_eq!(dtr[6], "tensor");
+    }
+}

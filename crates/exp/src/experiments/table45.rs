@@ -1,0 +1,266 @@
+//! Tables IV and V: the memory-estimator comparison.
+//!
+//! Table IV compares six regression families on TC-Bert (training time,
+//! prediction latency, relative error of the summed per-layer prediction);
+//! Table V runs the winning quadratic polynomial across all six tasks.
+
+use crate::table::render_table;
+use crate::tasks::Task;
+use mimose_estimator::{
+    metrics, DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Relative std-dev of the profiling noise injected into collected samples.
+///
+/// The real collector reads `torch.cuda` memory statistics, which jitter
+/// with allocator caching and cuDNN workspace choices; the paper's quadratic
+/// fit bottoms out at ~0.3 % error (Table IV) rather than zero. Our
+/// simulator measures exactly, so we model that jitter explicitly.
+pub const PROFILING_NOISE_STD: f64 = 0.004;
+
+/// One estimator-comparison measurement.
+pub struct EstimatorRow {
+    /// Regressor family label.
+    pub model: String,
+    /// Training samples used.
+    pub samples: usize,
+    /// Total fit time across all per-block regressors, ns.
+    pub train_ns: u64,
+    /// Whole-model prediction latency (all blocks, one input size), ns.
+    pub predict_ns: u64,
+    /// Mean relative error of the summed prediction on held-out inputs.
+    pub error: f64,
+}
+
+/// Collect (input_size, per-block act+out bytes) training data for a task:
+/// what the shuttle collector would have measured over `n` iterations.
+fn collect(task: &Task, n: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut stream = task.dataset.stream(seed);
+    let mut noise = Noise::new(seed ^ 0x9e37);
+    let mut xs = Vec::with_capacity(n);
+    let mut per_block: Vec<Vec<f64>> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while xs.len() < n {
+        let input = stream.next_batch();
+        // Distinct sizes only — repeated sizes add no information and the
+        // shuttle collector skips known sizes.
+        if !seen.insert(input.input_size()) {
+            continue;
+        }
+        let p = task.model.profile(&input).expect("validates");
+        if per_block.is_empty() {
+            per_block = vec![Vec::with_capacity(n); p.blocks.len()];
+        }
+        xs.push(p.input_size as f64);
+        for (bi, b) in p.blocks.iter().enumerate() {
+            per_block[bi].push((b.act_bytes + b.out_bytes) as f64 * noise.sample());
+        }
+    }
+    (xs, per_block)
+}
+
+/// Multiplicative Gaussian noise source (Box-Muller over a seeded RNG).
+struct Noise {
+    rng: StdRng,
+}
+
+impl Noise {
+    fn new(seed: u64) -> Self {
+        Noise {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn sample(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        1.0 + PROFILING_NOISE_STD * z
+    }
+}
+
+/// Evaluate one regressor family (constructed per block by `make`).
+fn evaluate(
+    task: &Task,
+    label: &str,
+    samples: usize,
+    make: &dyn Fn() -> Box<dyn Regressor>,
+) -> EstimatorRow {
+    let (xs, per_block) = collect(task, samples, 77);
+    // Fit one regressor per block, timing the whole ensemble.
+    let t0 = Instant::now();
+    let mut fitted: Vec<Box<dyn Regressor>> = Vec::with_capacity(per_block.len());
+    for ys in &per_block {
+        let mut m = make();
+        m.fit(&xs, ys).expect("fit succeeds");
+        fitted.push(m);
+    }
+    let train_ns = t0.elapsed().as_nanos() as u64;
+
+    // Held-out inputs from a different stream seed.
+    let mut stream = task.dataset.stream(507);
+    let tests: Vec<mimose_models::ModelInput> = (0..30).map(|_| stream.next_batch()).collect();
+    let mut pred = Vec::new();
+    let mut truth = Vec::new();
+    let t1 = Instant::now();
+    let mut predictions = 0u32;
+    for input in &tests {
+        let x = input.input_size() as f64;
+        let p: f64 = fitted.iter().map(|m| m.predict(x)).sum();
+        pred.push(p);
+        predictions += 1;
+    }
+    let predict_ns = t1.elapsed().as_nanos() as u64 / u64::from(predictions.max(1));
+    for input in &tests {
+        let p = task.model.profile(input).expect("validates");
+        truth.push(p.total_act_bytes() as f64);
+    }
+    EstimatorRow {
+        model: label.to_string(),
+        samples,
+        train_ns,
+        predict_ns,
+        error: metrics::mean_relative_error(&pred, &truth),
+    }
+}
+
+/// Table IV: six regressor configurations on TC-Bert.
+pub fn run_table4() -> Vec<EstimatorRow> {
+    let task = Task::tc_bert();
+    let mut rows = Vec::new();
+    for order in [1usize, 2, 3] {
+        rows.push(evaluate(
+            &task,
+            &format!("Polynomial (n={order})"),
+            10,
+            &|| Box::new(PolynomialRegressor::new(order)),
+        ));
+    }
+    for n in [10usize, 50] {
+        rows.push(evaluate(&task, "SVR", n, &|| {
+            Box::new(SvrRegressor::default_params())
+        }));
+    }
+    for n in [10usize, 50] {
+        rows.push(evaluate(&task, "DecisionTree", n, &|| {
+            Box::new(DecisionTreeRegressor::default_params())
+        }));
+    }
+    for n in [10usize, 50] {
+        rows.push(evaluate(&task, "XGBoost", n, &|| {
+            Box::new(GbtRegressor::default_params())
+        }));
+    }
+    rows
+}
+
+/// Table V: the quadratic polynomial across all six tasks.
+pub fn run_table5() -> Vec<(String, EstimatorRow)> {
+    Task::all()
+        .into_iter()
+        .map(|task| {
+            let row = evaluate(&task, "Polynomial (n=2)", 10, &|| {
+                Box::new(PolynomialRegressor::new(2))
+            });
+            (task.abbr.to_string(), row)
+        })
+        .collect()
+}
+
+/// Render Table IV.
+pub fn render_table4(rows: &[EstimatorRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.samples.to_string(),
+                format!("{:.2}", r.train_ns as f64 / 1e6),
+                format!("{:.2}", r.predict_ns as f64 / 1e3),
+                format!("{:.2}%", r.error * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table IV: regression models on TC-Bert",
+        &["Model", "# Samples", "Train (ms)", "Predict (us)", "Error"],
+        &table,
+    )
+}
+
+/// Render Table V.
+pub fn render_table5(rows: &[(String, EstimatorRow)]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(task, r)| {
+            vec![
+                task.clone(),
+                r.samples.to_string(),
+                format!("{:.2}", r.train_ns as f64 / 1e6),
+                format!("{:.2}", r.predict_ns as f64 / 1e3),
+                format!("{:.2}%", r.error * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table V: quadratic polynomial across tasks",
+        &["Task", "# Samples", "Train (ms)", "Predict (us)", "Error"],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_wins_table4() {
+        let rows = run_table4();
+        let err = |name: &str, n: usize| {
+            rows.iter()
+                .find(|r| r.model == name && r.samples == n)
+                .unwrap_or_else(|| panic!("{name}/{n} missing"))
+                .error
+        };
+        let quad = err("Polynomial (n=2)", 10);
+        // Paper: quadratic at thousandth-level error, linear ~4 %, trees and
+        // SVR visibly worse at 10 samples.
+        assert!(quad < 0.02, "quadratic error {quad}");
+        assert!(err("Polynomial (n=1)", 10) > quad);
+        assert!(err("DecisionTree", 10) > quad);
+        assert!(err("SVR", 10) > quad);
+        assert!(err("XGBoost", 10) > quad);
+    }
+
+    #[test]
+    fn xgboost_is_orders_slower() {
+        let rows = run_table4();
+        let find = |name: &str, n: usize| {
+            rows.iter()
+                .find(|r| r.model == name && r.samples == n)
+                .expect("present")
+        };
+        let quad = find("Polynomial (n=2)", 10);
+        let xgb = find("XGBoost", 10);
+        assert!(
+            xgb.train_ns > 20 * quad.train_ns,
+            "xgb {} vs quad {}",
+            xgb.train_ns,
+            quad.train_ns
+        );
+        assert!(xgb.predict_ns > 5 * quad.predict_ns);
+    }
+
+    #[test]
+    fn table5_errors_low_everywhere() {
+        let rows = run_table5();
+        assert_eq!(rows.len(), 6);
+        for (task, r) in &rows {
+            // Paper: ≤ 2.3 % (OD tasks worst).
+            assert!(r.error < 0.06, "{task}: error {:.3}", r.error);
+        }
+    }
+}

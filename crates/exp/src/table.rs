@@ -1,0 +1,131 @@
+//! Plain-text table and chart rendering for experiment binaries.
+
+/// Render an aligned text table. `rows` must all have `header.len()` cells.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged row in table {title}");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:w$}", c, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// Render a horizontal ASCII bar chart (value label + proportional bar).
+pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|e| e.1).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = entries.iter().map(|e| e.0.len()).max().unwrap_or(0);
+    let mut out = format!("-- {title} --\n");
+    for (label, v) in entries {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:label_w$}  {:>10.3}  {}\n",
+            label,
+            v,
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+/// Render a histogram of values into `bins` buckets.
+pub fn render_histogram(title: &str, values: &[usize], bins: usize, width: usize) -> String {
+    assert!(bins > 0 && !values.is_empty());
+    let lo = *values.iter().min().expect("nonempty");
+    let hi = *values.iter().max().expect("nonempty");
+    let span = (hi - lo).max(1);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = ((v - lo) * bins / (span + 1)).min(bins - 1);
+        counts[b] += 1;
+    }
+    let maxc = *counts.iter().max().expect("nonempty") as f64;
+    let mut out = format!("-- {title} (n={}, range {lo}..{hi}) --\n", values.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let b_lo = lo + span * i / bins;
+        let b_hi = lo + span * (i + 1) / bins;
+        let n = ((c as f64 / maxc) * width as f64).round() as usize;
+        let label = format!("[{b_lo}-{b_hi})");
+        out.push_str(&format!("{label:>15}  {c:>5}  {}\n", "#".repeat(n)));
+    }
+    out
+}
+
+/// Format bytes as GiB with two decimals.
+pub fn gib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// Format a nanosecond count as milliseconds with two decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            "t",
+            &["a", "bb"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
+        );
+        assert!(s.contains("== t =="));
+        assert!(s.contains("long"));
+        // Header and rows share alignment width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table("t", &["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let values = vec![1, 2, 3, 10, 10, 10];
+        let s = render_histogram("h", &values, 3, 20);
+        let total: usize = s
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().nth(1).and_then(|x| x.parse::<usize>().ok()))
+            .sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(gib(1 << 30), "1.00");
+        assert_eq!(ms(1_500_000), "1.50");
+    }
+}

@@ -1,0 +1,156 @@
+//! The six training tasks of Table II.
+
+use mimose_data::{presets, Dataset};
+use mimose_models::builders::{
+    bert_base, resnet101_od, resnet50_od, roberta_base, t5_base, BertHead,
+};
+use mimose_models::{ModelGraph, ModelProfile};
+
+/// One evaluation task: model + dataset + batch size (batch size lives in
+/// the dataset preset).
+pub struct Task {
+    /// Paper abbreviation, e.g. `MC-Roberta`.
+    pub abbr: &'static str,
+    /// Task description.
+    pub kind: &'static str,
+    /// The model graph.
+    pub model: ModelGraph,
+    /// The dataset.
+    pub dataset: Dataset,
+}
+
+impl Task {
+    /// MC-Roberta: multiple choice on SWAG with RoBERTa-base, batch 16.
+    pub fn mc_roberta() -> Task {
+        Task {
+            abbr: "MC-Roberta",
+            kind: "Multiple Choice",
+            model: roberta_base(BertHead::Classification { labels: 1 }),
+            dataset: presets::swag(),
+        }
+    }
+
+    /// TR-T5: translation on UN_PC with T5-base, batch 8.
+    pub fn tr_t5() -> Task {
+        Task {
+            abbr: "TR-T5",
+            kind: "Translation",
+            model: t5_base(),
+            dataset: presets::un_pc(),
+        }
+    }
+
+    /// QA-Bert: question answering on SQuAD with BERT-base, batch 12.
+    pub fn qa_bert() -> Task {
+        Task {
+            abbr: "QA-Bert",
+            kind: "Question Answering",
+            model: bert_base(BertHead::QuestionAnswering),
+            dataset: presets::squad(),
+        }
+    }
+
+    /// TC-Bert: text classification on GLUE-QQP with BERT-base, batch 32.
+    pub fn tc_bert() -> Task {
+        Task {
+            abbr: "TC-Bert",
+            kind: "Text Classification",
+            model: bert_base(BertHead::Classification { labels: 2 }),
+            dataset: presets::glue_qqp(),
+        }
+    }
+
+    /// OD-R50: object detection on COCO with ResNet-50, batch 8.
+    pub fn od_r50() -> Task {
+        Task {
+            abbr: "OD-R50",
+            kind: "Object Detection",
+            model: resnet50_od(),
+            dataset: presets::coco(8),
+        }
+    }
+
+    /// OD-R101: object detection on COCO with ResNet-101, batch 6.
+    pub fn od_r101() -> Task {
+        Task {
+            abbr: "OD-R101",
+            kind: "Object Detection",
+            model: resnet101_od(),
+            dataset: presets::coco(6),
+        }
+    }
+
+    /// All six tasks of Table II.
+    pub fn all() -> Vec<Task> {
+        vec![
+            Task::mc_roberta(),
+            Task::tr_t5(),
+            Task::qa_bert(),
+            Task::tc_bert(),
+            Task::od_r50(),
+            Task::od_r101(),
+        ]
+    }
+
+    /// The four NLP tasks.
+    pub fn nlp() -> Vec<Task> {
+        vec![
+            Task::mc_roberta(),
+            Task::tr_t5(),
+            Task::qa_bert(),
+            Task::tc_bert(),
+        ]
+    }
+
+    /// Ground-truth profile of the worst-case collated input.
+    pub fn worst_profile(&self) -> ModelProfile {
+        self.model
+            .profile(&self.dataset.worst_case())
+            .expect("worst case must validate")
+    }
+
+    /// A "typical" profile near the distribution's centre (what a static
+    /// graph export would be solved against when the tool cannot handle
+    /// dynamic shapes — the OD failure mode of §VI-B).
+    pub fn typical_profile(&self) -> ModelProfile {
+        let mut stream = self.dataset.stream(1234);
+        // Median-ish input: take the median input size of 31 draws.
+        let mut batches = stream.take_batches(31);
+        batches.sort_by_key(|b| b.input_size());
+        let median = batches[batches.len() / 2];
+        self.model.profile(&median).expect("median must validate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tasks_validate_worst_case() {
+        for t in Task::all() {
+            let p = t.worst_profile();
+            assert!(p.input_size > 0, "{}", t.abbr);
+            assert!(!p.blocks.is_empty(), "{}", t.abbr);
+        }
+    }
+
+    #[test]
+    fn batch_sizes_match_table2() {
+        assert_eq!(Task::mc_roberta().dataset.batch_size(), 16);
+        assert_eq!(Task::tr_t5().dataset.batch_size(), 8);
+        assert_eq!(Task::qa_bert().dataset.batch_size(), 12);
+        assert_eq!(Task::tc_bert().dataset.batch_size(), 32);
+        assert_eq!(Task::od_r50().dataset.batch_size(), 8);
+        assert_eq!(Task::od_r101().dataset.batch_size(), 6);
+    }
+
+    #[test]
+    fn typical_profile_below_worst() {
+        for t in Task::nlp() {
+            let w = t.worst_profile();
+            let ty = t.typical_profile();
+            assert!(ty.input_size <= w.input_size, "{}", t.abbr);
+        }
+    }
+}

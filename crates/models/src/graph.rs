@@ -1,0 +1,351 @@
+//! Block/stage model graphs.
+//!
+//! A model is an ordered chain of **stages** (the user-visible code
+//! structures the paper uses as "natural separators", §IV-D), each stage a
+//! chain of **blocks** — the checkpointing unit, mirroring the granularity of
+//! `torch.utils.checkpoint` that Mimose plans at. Inside a block, operators
+//! form a small DAG evaluated in topological (insertion) order.
+
+use crate::ModelInput;
+use mimose_ops::{OpError, OpKind};
+use mimose_tensor::TensorMeta;
+use serde::{Deserialize, Serialize};
+
+/// Where a node's operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeInput {
+    /// The tensor entering the block (the previous block's output).
+    BlockInput,
+    /// Output of an earlier node in the same block.
+    Node(usize),
+    /// The model-level context tensor (e.g. T5 encoder output consumed by
+    /// decoder cross-attention). Set by a stage with `capture_context`.
+    Context,
+}
+
+/// One operator application inside a block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// The operator.
+    pub op: OpKind,
+    /// Operand sources, length == `op.arity()`.
+    pub inputs: Vec<NodeInput>,
+}
+
+/// A checkpointable unit: a named DAG of operators. The output of the block
+/// is the output of its last node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable name, e.g. `encoder.3`.
+    pub name: String,
+    /// Operators in evaluation order.
+    pub nodes: Vec<Node>,
+}
+
+impl Block {
+    /// Start building a block.
+    pub fn builder(name: impl Into<String>) -> BlockBuilder {
+        BlockBuilder {
+            block: Block {
+                name: name.into(),
+                nodes: Vec::new(),
+            },
+        }
+    }
+
+    /// Total learnable parameters in the block.
+    pub fn param_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.op.param_count()).sum()
+    }
+}
+
+/// Fluent builder used by the model constructors.
+pub struct BlockBuilder {
+    block: Block,
+}
+
+impl BlockBuilder {
+    /// Append a node; returns its index for later reference.
+    pub fn push(&mut self, op: OpKind, inputs: &[NodeInput]) -> usize {
+        debug_assert_eq!(op.arity(), inputs.len(), "{}", op.mnemonic());
+        self.block.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        self.block.nodes.len() - 1
+    }
+
+    /// Append a unary node reading the block input.
+    pub fn push_on_input(&mut self, op: OpKind) -> usize {
+        self.push(op, &[NodeInput::BlockInput])
+    }
+
+    /// Append a unary node reading node `src`.
+    pub fn push_on(&mut self, op: OpKind, src: usize) -> usize {
+        self.push(op, &[NodeInput::Node(src)])
+    }
+
+    /// Finish the block.
+    pub fn build(self) -> Block {
+        assert!(!self.block.nodes.is_empty(), "empty block {}", self.block.name);
+        self.block
+    }
+}
+
+/// A named group of blocks. `capture_context` marks the stage whose final
+/// output becomes the model-level context tensor (T5 encoder).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage name, e.g. `encoder` / `layer2`.
+    pub name: String,
+    /// Blocks in execution order.
+    pub blocks: Vec<Block>,
+    /// Whether this stage's output is captured as the context tensor.
+    pub capture_context: bool,
+}
+
+/// Optimizer whose state size contributes to the constant memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// SGD with momentum: 1 extra f32 per parameter.
+    SgdMomentum,
+    /// Adam/AdamW: 2 extra f32 per parameter (m and v).
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Extra state bytes per parameter (beyond weight + gradient).
+    pub fn state_bytes_per_param(self) -> usize {
+        match self {
+            OptimizerKind::SgdMomentum => 4,
+            OptimizerKind::Adam => 8,
+        }
+    }
+}
+
+/// A complete model: stages of blocks plus footprint constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name (e.g. `bert-base`).
+    pub name: String,
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+    /// Optimizer used for training (affects constant memory only).
+    pub optimizer: OptimizerKind,
+    /// Maximum supported per-sample extent (512 tokens for BERT; data
+    /// pipelines truncate to this).
+    pub max_extent: usize,
+    /// Framework overhead bytes that exist regardless of the model: CUDA
+    /// context, cuDNN workspaces, framework-internal buffers.
+    pub framework_const_bytes: usize,
+    /// Extra reserved bytes for unpredictable structures (the paper reserves
+    /// memory for detection heads whose proposal counts are content-
+    /// dependent, §IV-C last paragraph).
+    pub reserved_bytes: usize,
+}
+
+/// Error evaluating a model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Operator-level shape failure.
+    Op {
+        /// Offending block name.
+        block: String,
+        /// Node index inside the block.
+        node: usize,
+        /// Underlying error.
+        source: OpError,
+    },
+    /// A node referenced `Context` but no stage captured one yet.
+    MissingContext {
+        /// Offending block name.
+        block: String,
+    },
+    /// A node referenced a later or non-existent node.
+    BadNodeRef {
+        /// Offending block name.
+        block: String,
+        /// Node index inside the block.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Op {
+                block,
+                node,
+                source,
+            } => write!(f, "{block}[{node}]: {source}"),
+            ModelError::MissingContext { block } => {
+                write!(f, "{block}: Context input before any capture_context stage")
+            }
+            ModelError::BadNodeRef { block, node } => {
+                write!(f, "{block}[{node}]: forward/invalid node reference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelGraph {
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.blocks)
+            .map(Block::param_count)
+            .sum()
+    }
+
+    /// Constant (input-independent) memory footprint: weights + gradients +
+    /// optimizer state + framework overhead + reservation.
+    pub fn const_bytes(&self) -> usize {
+        let p = self.param_count();
+        p * 4 // weights (f32)
+            + p * 4 // gradients
+            + p * self.optimizer.state_bytes_per_param()
+            + self.framework_const_bytes
+            + self.reserved_bytes
+    }
+
+    /// Total number of blocks across all stages.
+    pub fn num_blocks(&self) -> usize {
+        self.stages.iter().map(|s| s.blocks.len()).sum()
+    }
+
+    /// Iterate `(stage_index, block)` pairs in execution order.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, &Block)> {
+        self.stages
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| s.blocks.iter().map(move |b| (si, b)))
+    }
+
+    /// Evaluate shapes through one block given its input (and the model
+    /// context, if any). Returns per-node output metadata.
+    pub(crate) fn eval_block(
+        block: &Block,
+        input: TensorMeta,
+        context: Option<TensorMeta>,
+    ) -> Result<Vec<TensorMeta>, ModelError> {
+        let mut outs: Vec<TensorMeta> = Vec::with_capacity(block.nodes.len());
+        for (ni, node) in block.nodes.iter().enumerate() {
+            let mut operands: Vec<TensorMeta> = Vec::with_capacity(node.inputs.len());
+            for src in &node.inputs {
+                let t = match *src {
+                    NodeInput::BlockInput => input,
+                    NodeInput::Node(j) => {
+                        if j >= ni {
+                            return Err(ModelError::BadNodeRef {
+                                block: block.name.clone(),
+                                node: ni,
+                            });
+                        }
+                        outs[j]
+                    }
+                    NodeInput::Context => context.ok_or_else(|| ModelError::MissingContext {
+                        block: block.name.clone(),
+                    })?,
+                };
+                operands.push(t);
+            }
+            let out = node.op.infer(&operands).map_err(|source| ModelError::Op {
+                block: block.name.clone(),
+                node: ni,
+                source,
+            })?;
+            outs.push(out);
+        }
+        Ok(outs)
+    }
+
+    /// Validate the graph end-to-end for a given input (shape-checks every
+    /// node). Cheap; used by builders' tests and by planners before running.
+    pub fn validate(&self, input: &ModelInput) -> Result<(), ModelError> {
+        self.profile(input).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_ops::OpKind;
+
+    fn tiny_model() -> ModelGraph {
+        let mut b = Block::builder("emb");
+        b.push_on_input(OpKind::Embedding {
+            vocab: 100,
+            hidden: 8,
+        });
+        let emb = b.build();
+        let mut b = Block::builder("mlp");
+        let l1 = b.push_on_input(OpKind::Linear {
+            in_features: 8,
+            out_features: 16,
+            bias: true,
+        });
+        let r = b.push_on(OpKind::Relu, l1);
+        b.push_on(
+            OpKind::Linear {
+                in_features: 16,
+                out_features: 8,
+                bias: true,
+            },
+            r,
+        );
+        let mlp = b.build();
+        ModelGraph {
+            name: "tiny".into(),
+            stages: vec![Stage {
+                name: "all".into(),
+                blocks: vec![emb, mlp],
+                capture_context: false,
+            }],
+            optimizer: OptimizerKind::Adam,
+            max_extent: 64,
+            framework_const_bytes: 0,
+            reserved_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn param_count_sums_blocks() {
+        let m = tiny_model();
+        // embedding 100*8 + linear 8*16+16 + linear 16*8+8
+        assert_eq!(m.param_count(), 800 + 144 + 136);
+    }
+
+    #[test]
+    fn const_bytes_includes_optimizer() {
+        let m = tiny_model();
+        let p = m.param_count();
+        assert_eq!(m.const_bytes(), p * (4 + 4 + 8));
+    }
+
+    #[test]
+    fn validate_accepts_good_input() {
+        let m = tiny_model();
+        assert!(m.validate(&ModelInput::tokens(4, 10)).is_ok());
+    }
+
+    #[test]
+    fn forward_node_reference_rejected() {
+        let mut b = Block::builder("bad");
+        b.push(OpKind::Relu, &[NodeInput::Node(5)]);
+        let blk = b.build();
+        let err = ModelGraph::eval_block(&blk, ModelInput::tokens(1, 4).meta(), None);
+        assert!(matches!(err, Err(ModelError::BadNodeRef { .. })));
+    }
+
+    #[test]
+    fn context_before_capture_rejected() {
+        let mut b = Block::builder("x");
+        b.push(OpKind::Relu, &[NodeInput::Context]);
+        let blk = b.build();
+        let err = ModelGraph::eval_block(&blk, ModelInput::tokens(1, 4).meta(), None);
+        assert!(matches!(err, Err(ModelError::MissingContext { .. })));
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-iteration model inputs.
+
+use mimose_tensor::{DType, Shape, TensorMeta};
+use serde::{Deserialize, Serialize};
+
+/// Data-dependent dimensions of one mini-batch, after augmentation and
+/// collation. Everything else about a model is fixed at design time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelInputKind {
+    /// Token-id sequences `[batch, seq]` (NLP tasks).
+    Tokens {
+        /// Padded sequence length of the collated batch.
+        seq: usize,
+    },
+    /// RGB images `[batch, 3, h, w]` (vision tasks).
+    Image {
+        /// Image height after augmentation + padding.
+        h: usize,
+        /// Image width after augmentation + padding.
+        w: usize,
+    },
+}
+
+/// One collated mini-batch input, as seen by the planner at the start of a
+/// forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelInput {
+    /// Number of samples in the mini-batch (× choices for multiple-choice
+    /// tasks, already folded in by the data pipeline).
+    pub batch: usize,
+    /// Data-dependent dimensions.
+    pub kind: ModelInputKind,
+}
+
+impl ModelInput {
+    /// Token-sequence input.
+    pub fn tokens(batch: usize, seq: usize) -> Self {
+        ModelInput {
+            batch,
+            kind: ModelInputKind::Tokens { seq },
+        }
+    }
+
+    /// Image input.
+    pub fn image(batch: usize, h: usize, w: usize) -> Self {
+        ModelInput {
+            batch,
+            kind: ModelInputKind::Image { h, w },
+        }
+    }
+
+    /// The paper's "input size": number of elements in the collated input
+    /// tensor for this mini-batch.
+    pub fn input_size(&self) -> usize {
+        match self.kind {
+            ModelInputKind::Tokens { seq } => self.batch * seq,
+            ModelInputKind::Image { h, w } => self.batch * 3 * h * w,
+        }
+    }
+
+    /// Tensor metadata fed to the model's first block.
+    pub fn meta(&self) -> TensorMeta {
+        match self.kind {
+            ModelInputKind::Tokens { seq } => {
+                TensorMeta::new(Shape::new(&[self.batch, seq]), DType::I64)
+            }
+            ModelInputKind::Image { h, w } => {
+                TensorMeta::new(Shape::new(&[self.batch, 3, h, w]), DType::F32)
+            }
+        }
+    }
+
+    /// Per-sample sequence length or spatial extent, used as plan-cache keys.
+    pub fn per_sample_extent(&self) -> usize {
+        match self.kind {
+            ModelInputKind::Tokens { seq } => seq,
+            ModelInputKind::Image { h, w } => h.max(w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_size_matches_paper_definition() {
+        assert_eq!(ModelInput::tokens(32, 128).input_size(), 4096);
+        assert_eq!(
+            ModelInput::image(8, 800, 1216).input_size(),
+            8 * 3 * 800 * 1216
+        );
+    }
+
+    #[test]
+    fn token_meta_is_i64_ids() {
+        let m = ModelInput::tokens(16, 75).meta();
+        assert_eq!(m.shape.dims(), &[16, 75]);
+        assert_eq!(m.dtype, DType::I64);
+    }
+
+    #[test]
+    fn image_meta_is_f32_chw() {
+        let m = ModelInput::image(2, 480, 640).meta();
+        assert_eq!(m.shape.dims(), &[2, 3, 480, 640]);
+        assert_eq!(m.dtype, DType::F32);
+    }
+}

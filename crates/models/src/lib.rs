@@ -1,0 +1,20 @@
+//! # mimose-models
+//!
+//! Block/stage model graphs for the Mimose reproduction: the model is a chain
+//! of stages, each stage a chain of checkpointable blocks (mirroring
+//! `torch.utils.checkpoint` granularity), each block a small DAG of
+//! `mimose-ops` operators. Builders construct every architecture in the
+//! paper's Table II plus Swin-tiny (§IV-D).
+
+#![warn(missing_docs)]
+
+pub mod builders;
+mod graph;
+mod input;
+mod profile;
+
+pub use graph::{
+    Block, BlockBuilder, ModelError, ModelGraph, Node, NodeInput, OptimizerKind, Stage,
+};
+pub use input::{ModelInput, ModelInputKind};
+pub use profile::{BlockProfile, ModelProfile, TensorRecord, ALLOC_ALIGN};

@@ -1,0 +1,70 @@
+//! The four operator categories of the paper (§IV-C, Fig 8).
+//!
+//! The taxonomy is what justifies Mimose's *lightning memory estimator*: for
+//! every category the output size is at most polynomially (and in practice at
+//! most quadratically) related to the iteration input size, so per-layer
+//! memory can be fitted with a low-order polynomial from a handful of online
+//! samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Relationship class between an operator's input and output tensor sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Output has exactly the input's size (ReLU, add, dropout, …).
+    Elementwise,
+    /// Output has a size fixed by the operator's attributes regardless of the
+    /// input (AdaptiveAvgPool, pooler/CLS selection, loss reduction).
+    FixedOutput,
+    /// Operators with implicit reductions whose non-reduced output dims are
+    /// hyper-parameters fixed at model-design time (Linear, GEMM, Conv,
+    /// maxPool) — output size is *linearly* correlated with input size.
+    ImplicitReduction,
+    /// Composite structures such as attention, where intermediates like
+    /// `Q·Kᵀ` are *quadratic* in the per-sample sequence length while the
+    /// final output stays linear, preventing size explosion under function
+    /// composition.
+    Structure,
+    /// Metadata-only operators (view/reshape/transpose) that neither move
+    /// bytes nor save activations. Not part of the paper's taxonomy — they
+    /// are invisible to the memory planner.
+    View,
+}
+
+impl OpCategory {
+    /// Maximum polynomial degree (in the iteration input size) of the output
+    /// byte count for this category, as argued in §IV-C.
+    pub const fn max_poly_degree(self) -> u32 {
+        match self {
+            OpCategory::FixedOutput => 0,
+            OpCategory::Elementwise | OpCategory::ImplicitReduction | OpCategory::View => 1,
+            OpCategory::Structure => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpCategory::Elementwise => "elementwise",
+            OpCategory::FixedOutput => "fixed-output",
+            OpCategory::ImplicitReduction => "implicit-reduction",
+            OpCategory::Structure => "structure",
+            OpCategory::View => "view",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_match_paper_taxonomy() {
+        assert_eq!(OpCategory::FixedOutput.max_poly_degree(), 0);
+        assert_eq!(OpCategory::Elementwise.max_poly_degree(), 1);
+        assert_eq!(OpCategory::ImplicitReduction.max_poly_degree(), 1);
+        assert_eq!(OpCategory::Structure.max_poly_degree(), 2);
+    }
+}

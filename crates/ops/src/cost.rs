@@ -1,0 +1,184 @@
+//! FLOP and byte cost model for every primitive operator.
+//!
+//! The simulator's virtual clock converts these into time via a roofline
+//! model (see `mimose-simgpu::DeviceProfile`). Absolute accuracy is not the
+//! goal — the *relative* cost of recomputing one block versus another is what
+//! every checkpointing planner in the paper consumes.
+
+use crate::OpKind;
+use mimose_tensor::{DType, TensorMeta};
+
+/// Cost summary of one operator application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Forward floating-point operations.
+    pub fwd_flops: f64,
+    /// Backward floating-point operations.
+    pub bwd_flops: f64,
+    /// Bytes read + written in the forward pass (roofline memory term).
+    pub fwd_bytes_moved: usize,
+    /// Activation bytes that must stay resident until this op's backward
+    /// runs (what checkpointing reclaims).
+    pub saved_bytes: usize,
+}
+
+impl OpCost {
+    /// Zero-cost marker used for view operators.
+    pub const ZERO: OpCost = OpCost {
+        fwd_flops: 0.0,
+        bwd_flops: 0.0,
+        fwd_bytes_moved: 0,
+        saved_bytes: 0,
+    };
+}
+
+impl OpKind {
+    /// Compute the cost of applying this operator to `inputs`, producing
+    /// `output` (as returned by [`OpKind::infer`]).
+    pub fn cost(&self, inputs: &[TensorMeta], output: TensorMeta) -> OpCost {
+        use OpKind::*;
+        if self.is_view() {
+            return OpCost::ZERO;
+        }
+        let in_bytes: usize = inputs.iter().map(|t| t.bytes()).sum();
+        let out_elems = output.elems() as f64;
+        let out_bytes = output.bytes();
+        let moved = in_bytes + out_bytes;
+
+        // Forward FLOPs per operator family.
+        let fwd = match self {
+            Relu | Sigmoid | Scale | MaskedFill => out_elems,
+            Tanh | Gelu => 8.0 * out_elems, // transcendental approximations
+            Add | Mul | Dropout { .. } => out_elems,
+            Softmax => 5.0 * out_elems, // max, sub, exp, sum, div
+            AdaptiveAvgPool2d { .. } => inputs[0].elems() as f64,
+            ClsSelect => 0.0,
+            LossReduce => 4.0 * inputs[0].elems() as f64,
+            Linear {
+                in_features,
+                out_features,
+                ..
+            }
+            | TiedLinear {
+                in_features,
+                out_features,
+            } => {
+                let rows = inputs[0].elems() as f64 / *in_features as f64;
+                2.0 * rows * (*in_features as f64) * (*out_features as f64)
+            }
+            MatMul => {
+                // [.., m, k] x [.., k, n]: 2*batch*m*k*n
+                let k = inputs[0].shape.back(0) as f64;
+                2.0 * out_elems * k
+            }
+            Conv2d {
+                in_c, kernel, ..
+            } => 2.0 * out_elems * (*in_c as f64) * (*kernel as f64) * (*kernel as f64),
+            MaxPool2d { kernel, .. } | AvgPool2d { kernel, .. } => {
+                out_elems * (*kernel as f64) * (*kernel as f64)
+            }
+            ConcatLast | ZeroPad2d { .. } => out_elems, // pure data movement
+            LayerNorm { .. } => 8.0 * out_elems,
+            BatchNorm2d { .. } => 5.0 * out_elems,
+            Embedding { .. } => out_elems, // gather traffic dominates
+            Reshape(_) | TransposeLast2 => 0.0,
+        };
+
+        // Backward work: elementwise ops re-traverse once; reduction ops do
+        // roughly twice the forward work (grad wrt input + grad wrt weight).
+        let bwd = match self.category() {
+            crate::OpCategory::Elementwise => fwd,
+            crate::OpCategory::FixedOutput => fwd,
+            crate::OpCategory::ImplicitReduction | crate::OpCategory::Structure => 2.0 * fwd,
+            crate::OpCategory::View => 0.0,
+        };
+
+        // Activation bytes retained for backward. PyTorch semantics: the
+        // op's output (or input, depending on the op) is stashed in the
+        // autograd graph. We charge the output, plus a byte mask for dropout.
+        let saved = match self {
+            LossReduce | ClsSelect => 0,
+            Dropout { .. } => out_bytes + output.elems() * DType::U8.size_bytes(),
+            MaxPool2d { .. } => out_bytes + output.elems() * DType::I64.size_bytes() / 2,
+            _ => out_bytes,
+        };
+
+        OpCost {
+            fwd_flops: fwd,
+            bwd_flops: bwd,
+            fwd_bytes_moved: moved,
+            saved_bytes: saved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_tensor::Shape;
+
+    fn t(dims: &[usize]) -> TensorMeta {
+        TensorMeta::f32(Shape::new(dims))
+    }
+
+    #[test]
+    fn views_cost_nothing() {
+        let x = t(&[8, 128, 768]);
+        let op = OpKind::TransposeLast2;
+        let out = op.infer(&[x]).unwrap();
+        assert_eq!(op.cost(&[x], out), OpCost::ZERO);
+    }
+
+    #[test]
+    fn linear_flops_formula() {
+        let x = t(&[32, 100, 768]);
+        let lin = OpKind::Linear {
+            in_features: 768,
+            out_features: 768,
+            bias: true,
+        };
+        let out = lin.infer(&[x]).unwrap();
+        let c = lin.cost(&[x], out);
+        let expect = 2.0 * (32.0 * 100.0) * 768.0 * 768.0;
+        assert!((c.fwd_flops - expect).abs() < 1.0);
+        assert!((c.bwd_flops - 2.0 * expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn matmul_flops_quadratic_in_seq() {
+        // Q·Kᵀ with [bh, s, d] x [bh, d, s]: flops = 2*bh*s*s*d — quadratic in s.
+        let cost_at = |s: usize| {
+            let q = t(&[96, s, 64]);
+            let kt = t(&[96, 64, s]);
+            let out = OpKind::MatMul.infer(&[q, kt]).unwrap();
+            OpKind::MatMul.cost(&[q, kt], out).fwd_flops
+        };
+        let c1 = cost_at(128);
+        let c2 = cost_at(256);
+        assert!((c2 / c1 - 4.0).abs() < 1e-9, "ratio {}", c2 / c1);
+    }
+
+    #[test]
+    fn dropout_saves_mask_extra() {
+        let x = t(&[4, 4]);
+        let op = OpKind::Dropout { p: 0.1 };
+        let out = op.infer(&[x]).unwrap();
+        let c = op.cost(&[x], out);
+        assert_eq!(c.saved_bytes, 16 * 4 + 16);
+    }
+
+    #[test]
+    fn saved_bytes_track_output() {
+        let x = t(&[8, 100, 768]);
+        let op = OpKind::Gelu;
+        let out = op.infer(&[x]).unwrap();
+        assert_eq!(op.cost(&[x], out).saved_bytes, out.bytes());
+    }
+
+    #[test]
+    fn loss_saves_nothing() {
+        let x = t(&[32, 2]);
+        let out = OpKind::LossReduce.infer(&[x]).unwrap();
+        assert_eq!(OpKind::LossReduce.cost(&[x], out).saved_bytes, 0);
+    }
+}

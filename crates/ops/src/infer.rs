@@ -1,0 +1,569 @@
+//! Shape inference for every primitive operator.
+
+use crate::{OpKind, ReshapeRule};
+use mimose_tensor::{DType, Shape, TensorMeta};
+
+/// Error raised when an operator is applied to incompatible inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// The operator received a different number of inputs than its arity.
+    Arity {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Expected input count.
+        expected: usize,
+        /// Observed input count.
+        got: usize,
+    },
+    /// Input shape is incompatible with the operator's attributes.
+    Shape {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::Arity { op, expected, got } => {
+                write!(f, "{op}: expected {expected} inputs, got {got}")
+            }
+            OpError::Shape { op, detail } => write!(f, "{op}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+fn shape_err(op: &'static str, detail: impl Into<String>) -> OpError {
+    OpError::Shape {
+        op,
+        detail: detail.into(),
+    }
+}
+
+/// Compute spatial output extent of a conv/pool window.
+fn window_out(extent: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+    let padded = extent + 2 * pad;
+    if padded < kernel || stride == 0 {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+impl OpKind {
+    /// Infer the output tensor metadata for the given inputs.
+    pub fn infer(&self, inputs: &[TensorMeta]) -> Result<TensorMeta, OpError> {
+        let op = self.mnemonic();
+        if inputs.len() != self.arity() {
+            return Err(OpError::Arity {
+                op,
+                expected: self.arity(),
+                got: inputs.len(),
+            });
+        }
+        use OpKind::*;
+        match self {
+            Relu | Gelu | Tanh | Sigmoid | Dropout { .. } | Scale | Softmax => Ok(inputs[0]),
+            Add | Mul => {
+                if inputs[0].shape != inputs[1].shape {
+                    return Err(shape_err(
+                        op,
+                        format!("operands differ: {} vs {}", inputs[0], inputs[1]),
+                    ));
+                }
+                Ok(inputs[0])
+            }
+            // The mask operand may be broadcast (e.g. [b,1,1,s]); output always
+            // follows the score tensor.
+            MaskedFill => Ok(inputs[0]),
+            AdaptiveAvgPool2d { out_h, out_w } => {
+                let s = inputs[0].shape;
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("expected rank-4 input, got {s}")));
+                }
+                let d = s.dims();
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1], *out_h, *out_w]),
+                    inputs[0].dtype,
+                ))
+            }
+            ClsSelect => {
+                let s = inputs[0].shape;
+                if s.rank() != 3 {
+                    return Err(shape_err(op, format!("expected [b,s,h], got {s}")));
+                }
+                let d = s.dims();
+                Ok(TensorMeta::new(Shape::new(&[d[0], d[2]]), inputs[0].dtype))
+            }
+            LossReduce => Ok(TensorMeta::new(Shape::scalar(), DType::F32)),
+            Linear {
+                in_features,
+                out_features,
+                ..
+            }
+            | TiedLinear {
+                in_features,
+                out_features,
+            } => {
+                let s = inputs[0].shape;
+                if s.rank() == 0 || s.back(0) != *in_features {
+                    return Err(shape_err(
+                        op,
+                        format!("trailing dim of {s} != in_features {in_features}"),
+                    ));
+                }
+                Ok(TensorMeta::new(s.with_last(*out_features), inputs[0].dtype))
+            }
+            MatMul => {
+                let (a, b) = (inputs[0].shape, inputs[1].shape);
+                if a.rank() < 2 || b.rank() < 2 || a.rank() != b.rank() {
+                    return Err(shape_err(op, format!("ranks incompatible: {a} x {b}")));
+                }
+                if a.back(0) != b.back(1) {
+                    return Err(shape_err(
+                        op,
+                        format!("inner dims differ: {a} x {b}"),
+                    ));
+                }
+                if a.dims()[..a.rank() - 2] != b.dims()[..b.rank() - 2] {
+                    return Err(shape_err(op, format!("batch dims differ: {a} x {b}")));
+                }
+                let out = a.with_last(b.back(0));
+                Ok(TensorMeta::new(out, inputs[0].dtype))
+            }
+            Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                let s = inputs[0].shape;
+                if s.rank() != 4 || s.dims()[1] != *in_c {
+                    return Err(shape_err(
+                        op,
+                        format!("expected [b,{in_c},h,w], got {s}"),
+                    ));
+                }
+                let d = s.dims();
+                let oh = window_out(d[2], *kernel, *stride, *pad)
+                    .ok_or_else(|| shape_err(op, format!("window too large for {s}")))?;
+                let ow = window_out(d[3], *kernel, *stride, *pad)
+                    .ok_or_else(|| shape_err(op, format!("window too large for {s}")))?;
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], *out_c, oh, ow]),
+                    inputs[0].dtype,
+                ))
+            }
+            AvgPool2d {
+                kernel,
+                stride,
+                pad,
+            }
+            | MaxPool2d {
+                kernel,
+                stride,
+                pad,
+            } => {
+                let s = inputs[0].shape;
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("expected rank-4 input, got {s}")));
+                }
+                let d = s.dims();
+                let oh = window_out(d[2], *kernel, *stride, *pad)
+                    .ok_or_else(|| shape_err(op, format!("window too large for {s}")))?;
+                let ow = window_out(d[3], *kernel, *stride, *pad)
+                    .ok_or_else(|| shape_err(op, format!("window too large for {s}")))?;
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1], oh, ow]),
+                    inputs[0].dtype,
+                ))
+            }
+            ConcatLast => {
+                let (a, b) = (inputs[0].shape, inputs[1].shape);
+                if a.rank() != b.rank() || a.rank() == 0 {
+                    return Err(shape_err(op, format!("ranks differ: {a} vs {b}")));
+                }
+                if a.dims()[..a.rank() - 1] != b.dims()[..b.rank() - 1] {
+                    return Err(shape_err(op, format!("leading dims differ: {a} vs {b}")));
+                }
+                Ok(TensorMeta::new(
+                    a.with_last(a.back(0) + b.back(0)),
+                    inputs[0].dtype,
+                ))
+            }
+            ZeroPad2d { pad } => {
+                let s = inputs[0].shape;
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("expected rank-4 input, got {s}")));
+                }
+                let d = s.dims();
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1], d[2] + 2 * pad, d[3] + 2 * pad]),
+                    inputs[0].dtype,
+                ))
+            }
+            LayerNorm { features } => {
+                let s = inputs[0].shape;
+                if s.rank() == 0 || s.back(0) != *features {
+                    return Err(shape_err(
+                        op,
+                        format!("trailing dim of {s} != features {features}"),
+                    ));
+                }
+                Ok(inputs[0])
+            }
+            BatchNorm2d { channels } => {
+                let s = inputs[0].shape;
+                if s.rank() != 4 || s.dims()[1] != *channels {
+                    return Err(shape_err(
+                        op,
+                        format!("expected [b,{channels},h,w], got {s}"),
+                    ));
+                }
+                Ok(inputs[0])
+            }
+            Embedding { hidden, .. } => {
+                let s = inputs[0].shape;
+                if s.rank() != 2 {
+                    return Err(shape_err(op, format!("expected [b,s] ids, got {s}")));
+                }
+                Ok(TensorMeta::new(s.push_back(*hidden), DType::F32))
+            }
+            Reshape(rule) => rule.infer(inputs[0], op),
+            TransposeLast2 => {
+                let s = inputs[0].shape;
+                if s.rank() < 2 {
+                    return Err(shape_err(op, format!("rank < 2: {s}")));
+                }
+                let mut d = s.dims().to_vec();
+                let r = d.len();
+                d.swap(r - 1, r - 2);
+                Ok(TensorMeta::new(Shape::new(&d), inputs[0].dtype))
+            }
+        }
+    }
+}
+
+impl ReshapeRule {
+    fn infer(&self, input: TensorMeta, op: &'static str) -> Result<TensorMeta, OpError> {
+        let s = input.shape;
+        match self {
+            ReshapeRule::SplitHeads { heads } => {
+                if s.rank() != 3 {
+                    return Err(shape_err(op, format!("split_heads expects [b,s,h]: {s}")));
+                }
+                let d = s.dims();
+                if !d[2].is_multiple_of(*heads) {
+                    return Err(shape_err(
+                        op,
+                        format!("hidden {} not divisible by heads {heads}", d[2]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0] * heads, d[1], d[2] / heads]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::MergeHeads { heads } => {
+                if s.rank() != 3 {
+                    return Err(shape_err(op, format!("merge_heads expects [bh,s,d]: {s}")));
+                }
+                let d = s.dims();
+                if !d[0].is_multiple_of(*heads) {
+                    return Err(shape_err(
+                        op,
+                        format!("batch*heads {} not divisible by heads {heads}", d[0]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0] / heads, d[1], d[2] * heads]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::Flatten => {
+                if s.rank() < 2 {
+                    return Err(shape_err(op, format!("flatten expects rank ≥ 2: {s}")));
+                }
+                let d = s.dims();
+                let rest: usize = d[1..].iter().product();
+                Ok(TensorMeta::new(Shape::new(&[d[0], rest]), input.dtype))
+            }
+            ReshapeRule::ToTokens => {
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("to_tokens expects [b,c,h,w]: {s}")));
+                }
+                let d = s.dims();
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[2] * d[3], d[1]]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::Window { window } => {
+                if s.rank() != 3 {
+                    return Err(shape_err(op, format!("window expects [b,n,d]: {s}")));
+                }
+                let d = s.dims();
+                if *window == 0 || !d[1].is_multiple_of(*window) {
+                    return Err(shape_err(
+                        op,
+                        format!("tokens {} not divisible by window {window}", d[1]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1] / window, *window, d[2]]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::Unwindow => {
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("unwindow expects [b,k,w,d]: {s}")));
+                }
+                let d = s.dims();
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1] * d[2], d[3]]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::SplitHeads4 { heads } => {
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("split_heads4 expects [b,k,w,d]: {s}")));
+                }
+                let d = s.dims();
+                if !d[3].is_multiple_of(*heads) {
+                    return Err(shape_err(
+                        op,
+                        format!("dim {} not divisible by heads {heads}", d[3]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1] * heads, d[2], d[3] / heads]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::MergeHeads4 { heads } => {
+                if s.rank() != 4 {
+                    return Err(shape_err(op, format!("merge_heads4 expects [b,kh,w,dh]: {s}")));
+                }
+                let d = s.dims();
+                if !d[1].is_multiple_of(*heads) {
+                    return Err(shape_err(
+                        op,
+                        format!("dim {} not divisible by heads {heads}", d[1]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1] / heads, d[2], d[3] * heads]),
+                    input.dtype,
+                ))
+            }
+            ReshapeRule::Merge2x2 => {
+                if s.rank() != 3 {
+                    return Err(shape_err(op, format!("merge2x2 expects [b,n,d]: {s}")));
+                }
+                let d = s.dims();
+                if !d[1].is_multiple_of(4) {
+                    return Err(shape_err(
+                        op,
+                        format!("tokens {} not divisible by 4", d[1]),
+                    ));
+                }
+                Ok(TensorMeta::new(
+                    Shape::new(&[d[0], d[1] / 4, 4 * d[2]]),
+                    input.dtype,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize]) -> TensorMeta {
+        TensorMeta::f32(Shape::new(dims))
+    }
+
+    #[test]
+    fn elementwise_preserves_shape() {
+        let x = t(&[8, 128, 768]);
+        assert_eq!(OpKind::Relu.infer(&[x]).unwrap(), x);
+        assert_eq!(OpKind::Softmax.infer(&[x]).unwrap(), x);
+    }
+
+    #[test]
+    fn add_requires_same_shapes() {
+        let a = t(&[2, 3]);
+        let b = t(&[2, 4]);
+        assert!(OpKind::Add.infer(&[a, a]).is_ok());
+        assert!(matches!(
+            OpKind::Add.infer(&[a, b]),
+            Err(OpError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let a = t(&[2, 3]);
+        assert!(matches!(
+            OpKind::Add.infer(&[a]),
+            Err(OpError::Arity { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn linear_replaces_trailing_dim() {
+        let x = t(&[8, 128, 768]);
+        let lin = OpKind::Linear {
+            in_features: 768,
+            out_features: 3072,
+            bias: true,
+        };
+        assert_eq!(lin.infer(&[x]).unwrap().shape.dims(), &[8, 128, 3072]);
+        let bad = t(&[8, 128, 512]);
+        assert!(lin.infer(&[bad]).is_err());
+    }
+
+    #[test]
+    fn matmul_contracts_inner_dim() {
+        let a = t(&[96, 128, 64]);
+        let b = t(&[96, 64, 128]);
+        let out = OpKind::MatMul.infer(&[a, b]).unwrap();
+        assert_eq!(out.shape.dims(), &[96, 128, 128]);
+        // Mismatched inner dim rejected.
+        let c = t(&[96, 32, 128]);
+        assert!(OpKind::MatMul.infer(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn conv_spatial_arithmetic() {
+        let x = t(&[8, 3, 224, 224]);
+        let conv = OpKind::Conv2d {
+            in_c: 3,
+            out_c: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+            bias: false,
+        };
+        let out = conv.infer(&[x]).unwrap();
+        assert_eq!(out.shape.dims(), &[8, 64, 112, 112]);
+    }
+
+    #[test]
+    fn maxpool_halves_resolution() {
+        let x = t(&[8, 64, 112, 112]);
+        let mp = OpKind::MaxPool2d {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(mp.infer(&[x]).unwrap().shape.dims(), &[8, 64, 56, 56]);
+    }
+
+    #[test]
+    fn embedding_maps_ids_to_vectors() {
+        let ids = TensorMeta::new(Shape::new(&[8, 128]), DType::I64);
+        let emb = OpKind::Embedding {
+            vocab: 30522,
+            hidden: 768,
+        };
+        let out = emb.infer(&[ids]).unwrap();
+        assert_eq!(out.shape.dims(), &[8, 128, 768]);
+        assert_eq!(out.dtype, DType::F32);
+    }
+
+    #[test]
+    fn adaptive_pool_fixes_output() {
+        let small = t(&[8, 512, 7, 7]);
+        let big = t(&[8, 512, 28, 28]);
+        let pool = OpKind::AdaptiveAvgPool2d { out_h: 1, out_w: 1 };
+        assert_eq!(pool.infer(&[small]).unwrap().shape.dims(), &[8, 512, 1, 1]);
+        assert_eq!(pool.infer(&[big]).unwrap().shape.dims(), &[8, 512, 1, 1]);
+    }
+
+    #[test]
+    fn split_merge_heads_roundtrip() {
+        let x = t(&[8, 128, 768]);
+        let split = OpKind::Reshape(ReshapeRule::SplitHeads { heads: 12 });
+        let merged = OpKind::Reshape(ReshapeRule::MergeHeads { heads: 12 });
+        let mid = split.infer(&[x]).unwrap();
+        assert_eq!(mid.shape.dims(), &[96, 128, 64]);
+        let back = merged.infer(&[mid]).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn transpose_swaps_trailing_dims() {
+        let x = t(&[96, 128, 64]);
+        let out = OpKind::TransposeLast2.infer(&[x]).unwrap();
+        assert_eq!(out.shape.dims(), &[96, 64, 128]);
+    }
+
+    #[test]
+    fn loss_is_scalar() {
+        let x = t(&[32, 2]);
+        let out = OpKind::LossReduce.infer(&[x]).unwrap();
+        assert_eq!(out.shape.rank(), 0);
+    }
+
+    #[test]
+    fn cls_select_drops_sequence() {
+        let x = t(&[16, 75, 768]);
+        let out = OpKind::ClsSelect.infer(&[x]).unwrap();
+        assert_eq!(out.shape.dims(), &[16, 768]);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use mimose_tensor::Shape;
+
+    fn t(dims: &[usize]) -> TensorMeta {
+        TensorMeta::f32(Shape::new(dims))
+    }
+
+    #[test]
+    fn avg_pool_matches_max_pool_shapes() {
+        let x = t(&[8, 64, 112, 112]);
+        let avg = OpKind::AvgPool2d {
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(avg.infer(&[x]).unwrap().shape.dims(), &[8, 64, 56, 56]);
+    }
+
+    #[test]
+    fn concat_adds_trailing_dims() {
+        let a = t(&[4, 10, 32]);
+        let b = t(&[4, 10, 64]);
+        let out = OpKind::ConcatLast.infer(&[a, b]).unwrap();
+        assert_eq!(out.shape.dims(), &[4, 10, 96]);
+        let bad = t(&[4, 11, 64]);
+        assert!(OpKind::ConcatLast.infer(&[a, bad]).is_err());
+    }
+
+    #[test]
+    fn zero_pad_grows_spatial_dims() {
+        let x = t(&[2, 3, 30, 40]);
+        let out = OpKind::ZeroPad2d { pad: 3 }.infer(&[x]).unwrap();
+        assert_eq!(out.shape.dims(), &[2, 3, 36, 46]);
+    }
+
+    #[test]
+    fn new_ops_have_costs() {
+        let a = t(&[4, 10, 32]);
+        let b = t(&[4, 10, 64]);
+        let out = OpKind::ConcatLast.infer(&[a, b]).unwrap();
+        let c = OpKind::ConcatLast.cost(&[a, b], out);
+        assert!(c.fwd_flops > 0.0);
+        assert_eq!(c.saved_bytes, out.bytes());
+    }
+}

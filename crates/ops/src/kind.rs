@@ -1,0 +1,332 @@
+//! Primitive operator definitions.
+
+use crate::OpCategory;
+use serde::{Deserialize, Serialize};
+
+/// A primitive operator with its design-time attributes.
+///
+/// Attributes such as hidden sizes, channel counts, kernel/stride/padding are
+/// "specially fixed" at model-design time (paper §IV-C); only the data-dependent
+/// dimensions (batch, sequence length, image height/width) vary across
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    // --- Elementwise ----------------------------------------------------
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (BERT family activations).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Sigmoid.
+    Sigmoid,
+    /// Elementwise addition of two same-shaped tensors (residual links).
+    Add,
+    /// Elementwise multiplication (gating).
+    Mul,
+    /// Dropout with keep-probability bookkeeping; saves a byte mask.
+    Dropout {
+        /// Drop probability (affects nothing but documentation; the mask is
+        /// saved regardless).
+        p: f32,
+    },
+    /// Scale by a scalar (the 1/√d in attention).
+    Scale,
+    /// Additive attention masking (scores + mask).
+    MaskedFill,
+    /// Row-wise softmax over the last dimension (output saved for backward).
+    Softmax,
+
+    // --- Fixed output ----------------------------------------------------
+    /// Adaptive average pooling to a fixed spatial size.
+    AdaptiveAvgPool2d {
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+    },
+    /// Select the first (CLS) token: `[b, s, h] -> [b, h]`.
+    ClsSelect,
+    /// Reduce to a scalar training loss.
+    LossReduce,
+
+    // --- Implicit reduction ----------------------------------------------
+    /// Fully connected layer `[.., in] -> [.., out]`.
+    Linear {
+        /// Input feature size (fixed hyper-parameter).
+        in_features: usize,
+        /// Output feature size (fixed hyper-parameter).
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Weight-tied fully connected layer (e.g. a T5/GPT LM head sharing the
+    /// embedding matrix): computes like `Linear` but owns no parameters.
+    TiedLinear {
+        /// Input feature size.
+        in_features: usize,
+        /// Output feature size.
+        out_features: usize,
+    },
+    /// Batched matrix multiply of two inputs `[.., m, k] x [.., k, n]`.
+    MatMul,
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// 2-D average pooling.
+    AvgPool2d {
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Concatenate two tensors along the trailing dimension.
+    ConcatLast,
+    /// Zero-pad the spatial dims of `[b, c, h, w]`.
+    ZeroPad2d {
+        /// Padding added on each side.
+        pad: usize,
+    },
+    /// 2-D max pooling.
+    MaxPool2d {
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Layer normalisation over the trailing feature dimension.
+    LayerNorm {
+        /// Normalised feature size.
+        features: usize,
+    },
+    /// Batch normalisation over channels of `[b, c, h, w]`.
+    BatchNorm2d {
+        /// Channel count.
+        channels: usize,
+    },
+    /// Token embedding lookup `[b, s] (i64) -> [b, s, h]`.
+    Embedding {
+        /// Vocabulary size (parameter count contributor only).
+        vocab: usize,
+        /// Embedding width.
+        hidden: usize,
+    },
+
+    // --- Views -----------------------------------------------------------
+    /// Metadata-only reshape to an explicit target described by a transform.
+    Reshape(ReshapeRule),
+    /// Metadata-only transpose of the last two dimensions.
+    TransposeLast2,
+}
+
+/// Reshape rules used by the model builders. Kept closed-form (rather than a
+/// target shape) so the same graph works for any input size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReshapeRule {
+    /// `[b, s, h] -> [b, s, heads, h/heads] -> [b, heads, s, h/heads]`
+    /// collapsed to `[b*heads, s, h/heads]` for batched attention matmuls.
+    SplitHeads {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Inverse of `SplitHeads`: `[b*heads, s, d] -> [b, s, heads*d]`.
+    MergeHeads {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// `[b, c, h, w] -> [b, c*h*w]` (flatten before a classifier head).
+    Flatten,
+    /// `[b, c, h, w] -> [b, h*w, c]` (patch embedding output to tokens).
+    ToTokens,
+    /// `[b, n, d] -> [b, n/w, w, d]` window partition (Swin attention).
+    Window {
+        /// Tokens per window.
+        window: usize,
+    },
+    /// Inverse of `Window`: `[b, k, w, d] -> [b, k*w, d]`.
+    Unwindow,
+    /// Head split inside windows: `[b, k, w, d] -> [b, k*heads, w, d/heads]`.
+    SplitHeads4 {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Inverse of `SplitHeads4`: `[b, kh, w, dh] -> [b, kh/heads, w, dh*heads]`.
+    MergeHeads4 {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// 2x2 patch merging concat: `[b, n, d] -> [b, n/4, 4d]` (followed by a
+    /// Linear 4d -> 2d in Swin's patch-merging layer).
+    Merge2x2,
+}
+
+impl OpKind {
+    /// The paper's category for this operator.
+    pub const fn category(&self) -> OpCategory {
+        use OpKind::*;
+        match self {
+            Relu | Gelu | Tanh | Sigmoid | Add | Mul | Dropout { .. } | Scale | MaskedFill
+            | Softmax => OpCategory::Elementwise,
+            AdaptiveAvgPool2d { .. } | ClsSelect | LossReduce => OpCategory::FixedOutput,
+            Linear { .. } | TiedLinear { .. } | MatMul | Conv2d { .. } | MaxPool2d { .. }
+            | AvgPool2d { .. } | LayerNorm { .. } | BatchNorm2d { .. } | Embedding { .. }
+            | ConcatLast | ZeroPad2d { .. } => OpCategory::ImplicitReduction,
+            Reshape(_) | TransposeLast2 => OpCategory::View,
+        }
+    }
+
+    /// Number of tensor inputs this operator consumes.
+    pub const fn arity(&self) -> usize {
+        use OpKind::*;
+        match self {
+            Add | Mul | MaskedFill | MatMul | ConcatLast => 2,
+            _ => 1,
+        }
+    }
+
+    /// Learnable parameter count contributed by this operator.
+    pub fn param_count(&self) -> usize {
+        use OpKind::*;
+        match self {
+            Linear {
+                in_features,
+                out_features,
+                bias,
+            } => in_features * out_features + if *bias { *out_features } else { 0 },
+            Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                bias,
+                ..
+            } => in_c * out_c * kernel * kernel + if *bias { *out_c } else { 0 },
+            LayerNorm { features } => 2 * features,
+            BatchNorm2d { channels } => 2 * channels,
+            Embedding { vocab, hidden } => vocab * hidden,
+            _ => 0,
+        }
+    }
+
+    /// True for metadata-only operators that neither compute nor save bytes.
+    pub const fn is_view(&self) -> bool {
+        matches!(self, OpKind::Reshape(_) | OpKind::TransposeLast2)
+    }
+
+    /// Short printable mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Relu => "relu",
+            Gelu => "gelu",
+            Tanh => "tanh",
+            Sigmoid => "sigmoid",
+            Add => "add",
+            Mul => "mul",
+            Dropout { .. } => "dropout",
+            Scale => "scale",
+            MaskedFill => "masked_fill",
+            Softmax => "softmax",
+            AdaptiveAvgPool2d { .. } => "adaptive_avg_pool2d",
+            ClsSelect => "cls_select",
+            LossReduce => "loss",
+            Linear { .. } => "linear",
+            TiedLinear { .. } => "tied_linear",
+            MatMul => "matmul",
+            Conv2d { .. } => "conv2d",
+            MaxPool2d { .. } => "max_pool2d",
+            AvgPool2d { .. } => "avg_pool2d",
+            ConcatLast => "concat",
+            ZeroPad2d { .. } => "zero_pad2d",
+            LayerNorm { .. } => "layer_norm",
+            BatchNorm2d { .. } => "batch_norm2d",
+            Embedding { .. } => "embedding",
+            Reshape(_) => "reshape",
+            TransposeLast2 => "transpose",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_taxonomy() {
+        assert_eq!(OpKind::Relu.category(), OpCategory::Elementwise);
+        assert_eq!(
+            OpKind::AdaptiveAvgPool2d { out_h: 1, out_w: 1 }.category(),
+            OpCategory::FixedOutput
+        );
+        assert_eq!(
+            OpKind::Linear {
+                in_features: 8,
+                out_features: 8,
+                bias: true
+            }
+            .category(),
+            OpCategory::ImplicitReduction
+        );
+        assert_eq!(
+            OpKind::Reshape(ReshapeRule::Flatten).category(),
+            OpCategory::View
+        );
+    }
+
+    #[test]
+    fn arity_of_binary_ops() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::MatMul.arity(), 2);
+        assert_eq!(OpKind::Softmax.arity(), 1);
+    }
+
+    #[test]
+    fn param_counts() {
+        let lin = OpKind::Linear {
+            in_features: 768,
+            out_features: 3072,
+            bias: true,
+        };
+        assert_eq!(lin.param_count(), 768 * 3072 + 3072);
+        let conv = OpKind::Conv2d {
+            in_c: 3,
+            out_c: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+            bias: false,
+        };
+        assert_eq!(conv.param_count(), 3 * 64 * 49);
+        assert_eq!(OpKind::Relu.param_count(), 0);
+        assert_eq!(
+            OpKind::Embedding {
+                vocab: 100,
+                hidden: 8
+            }
+            .param_count(),
+            800
+        );
+    }
+
+    #[test]
+    fn views_are_views() {
+        assert!(OpKind::TransposeLast2.is_view());
+        assert!(OpKind::Reshape(ReshapeRule::SplitHeads { heads: 12 }).is_view());
+        assert!(!OpKind::Softmax.is_view());
+    }
+}

@@ -1,0 +1,17 @@
+//! # mimose-ops
+//!
+//! Operator definitions for the Mimose training simulator: the paper's four
+//! operator categories (§IV-C, Fig 8), shape-inference rules, and a
+//! FLOP/byte cost model that the checkpointing planners consume.
+
+#![warn(missing_docs)]
+
+mod category;
+mod cost;
+mod infer;
+mod kind;
+
+pub use category::OpCategory;
+pub use cost::OpCost;
+pub use infer::OpError;
+pub use kind::{OpKind, ReshapeRule};

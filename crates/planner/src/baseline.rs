@@ -1,0 +1,61 @@
+//! The no-checkpointing baseline (original PyTorch in the paper's Fig 10).
+
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
+};
+use mimose_models::ModelProfile;
+
+/// Baseline policy: never checkpoints; memory is whatever the model needs.
+#[derive(Debug, Clone, Default)]
+pub struct BaselinePolicy;
+
+impl BaselinePolicy {
+    /// Create the baseline policy.
+    pub fn new() -> Self {
+        BaselinePolicy
+    }
+}
+
+impl MemoryPolicy for BaselinePolicy {
+    fn meta(&self) -> PlannerMeta {
+        PlannerMeta {
+            name: "Baseline",
+            swapping: false,
+            checkpointing: false,
+            dynamic_input: true,
+            dynamic_graph: true,
+            frag_avoidance: "-",
+            granularity: Granularity::Tensor,
+            timing: PlanTiming::Runtime,
+            search_space: "-",
+            search_algorithm: "-",
+            solving_time: "-",
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        usize::MAX
+    }
+
+    fn begin_iteration(&mut self, _iter: usize, profile: &ModelProfile) -> Directive {
+        Directive::RunPlan(CheckpointPlan::none(profile.blocks.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    #[test]
+    fn baseline_never_checkpoints() {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(8, 64)).unwrap();
+        let mut pol = BaselinePolicy::new();
+        match pol.begin_iteration(0, &p) {
+            Directive::RunPlan(plan) => assert_eq!(plan.count(), 0),
+            _ => panic!("expected RunPlan"),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! *Capuchin*-style hybrid planner (Peng et al., ASPLOS'20): per-block
+//! choice between **recomputation** and **swapping** to host memory.
+//!
+//! Capuchin passively profiles the first iterations, then greedily assigns
+//! each evictable tensor the cheaper of (a) recompute on demand and
+//! (b) swap out over PCIe with best-effort overlap. This block-granularity
+//! stand-in makes the same choice per block using the device's PCIe model:
+//! a block is swapped when its non-overlapped transfer time beats its
+//! recompute time, and blocks are selected (cheapest effective cost per
+//! byte first) until the reference profile fits the budget. Not part of the
+//! paper's Fig 10 comparison (which is checkpointing-only); provided for
+//! the Table I taxonomy and the swap-vs-recompute crossover extension
+//! experiment.
+
+use crate::memory_model::peak_bytes;
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
+};
+use mimose_models::ModelProfile;
+use mimose_simgpu::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Per-block action of a hybrid plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockAction {
+    /// Keep activations resident.
+    Keep,
+    /// Drop + recompute in backward (checkpointing).
+    Recompute,
+    /// Swap to host after forward, prefetch before backward.
+    Swap,
+}
+
+/// A hybrid checkpoint/swap plan over a model's blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridPlan {
+    /// Action per block, indexed by global block index.
+    pub actions: Vec<BlockAction>,
+}
+
+impl HybridPlan {
+    /// All-keep plan over `n` blocks.
+    pub fn keep_all(n: usize) -> Self {
+        HybridPlan {
+            actions: vec![BlockAction::Keep; n],
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when covering zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The memory-equivalent checkpoint plan: both `Recompute` and `Swap`
+    /// free the block's internals between forward and backward, so the
+    /// peak-memory timeline is identical to a checkpoint plan.
+    pub fn as_checkpoint_equivalent(&self) -> CheckpointPlan {
+        let mut p = CheckpointPlan::none(self.actions.len());
+        for (i, a) in self.actions.iter().enumerate() {
+            if *a != BlockAction::Keep {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+
+    /// Count of blocks with the given action.
+    pub fn count(&self, action: BlockAction) -> usize {
+        self.actions.iter().filter(|&&a| a == action).count()
+    }
+}
+
+/// Peak bytes under a hybrid plan (swapped == recomputed, memory-wise).
+pub fn peak_bytes_hybrid(profile: &ModelProfile, plan: &HybridPlan) -> usize {
+    peak_bytes(profile, &plan.as_checkpoint_equivalent())
+}
+
+/// Hybrid swap+recompute policy.
+#[derive(Debug, Clone)]
+pub struct CapuchinPolicy {
+    budget: usize,
+    plan: HybridPlan,
+    feasible: bool,
+}
+
+impl CapuchinPolicy {
+    /// Plan against `reference` under `budget`, choosing per block the
+    /// cheaper of swap and recompute given `dev`'s PCIe model.
+    pub fn plan_offline(reference: &ModelProfile, budget: usize, dev: &DeviceProfile) -> Self {
+        let n = reference.blocks.len();
+        let mut plan = HybridPlan::keep_all(n);
+        let mut feasible = peak_bytes_hybrid(reference, &plan) <= budget;
+        if !feasible {
+            // Per-block: effective eviction cost = min(recompute, swap).
+            let costed: Vec<(usize, f64, BlockAction)> = reference
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let recompute_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved);
+                    // Swap moves the internals out and back.
+                    let swap_ns = 2.0 * dev.swap_ns(b.act_bytes);
+                    if swap_ns < recompute_ns {
+                        (i, swap_ns, BlockAction::Swap)
+                    } else {
+                        (i, recompute_ns, BlockAction::Recompute)
+                    }
+                })
+                .collect();
+            // Cheapest cost per byte reclaimed first.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let ea = costed[a].1 / reference.blocks[a].act_bytes.max(1) as f64;
+                let eb = costed[b].1 / reference.blocks[b].act_bytes.max(1) as f64;
+                ea.total_cmp(&eb)
+            });
+            for &i in &order {
+                plan.actions[i] = costed[i].2;
+                if peak_bytes_hybrid(reference, &plan) <= budget {
+                    feasible = true;
+                    break;
+                }
+            }
+        }
+        CapuchinPolicy {
+            budget,
+            plan,
+            feasible,
+        }
+    }
+
+    /// Whether the reference fits under the budget.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// The hybrid plan.
+    pub fn plan(&self) -> &HybridPlan {
+        &self.plan
+    }
+}
+
+impl MemoryPolicy for CapuchinPolicy {
+    fn meta(&self) -> PlannerMeta {
+        PlannerMeta {
+            name: "Capuchin",
+            swapping: true,
+            checkpointing: true,
+            dynamic_input: false,
+            dynamic_graph: false,
+            frag_avoidance: "x",
+            granularity: Granularity::Tensor,
+            timing: PlanTiming::Runtime,
+            search_space: "holistic",
+            search_algorithm: "greedy",
+            solving_time: "short",
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
+        Directive::RunHybrid(self.plan.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_fits_reference() {
+        let p = profile(300);
+        let dev = DeviceProfile::v100();
+        let pol = CapuchinPolicy::plan_offline(&p, 5 << 30, &dev);
+        assert!(pol.is_feasible());
+        assert!(peak_bytes_hybrid(&p, pol.plan()) <= 5 << 30);
+    }
+
+    #[test]
+    fn fast_pcie_prefers_swapping() {
+        let p = profile(300);
+        let mut fast = DeviceProfile::v100();
+        fast.pcie_bytes_per_sec = 1e12; // NVLink-class
+        fast.swap_overlap = 0.9;
+        let pol = CapuchinPolicy::plan_offline(&p, 4 << 30, &fast);
+        assert!(pol.plan().count(BlockAction::Swap) > pol.plan().count(BlockAction::Recompute));
+    }
+
+    #[test]
+    fn slow_pcie_prefers_recompute() {
+        let p = profile(300);
+        let mut slow = DeviceProfile::v100();
+        slow.pcie_bytes_per_sec = 1e9; // congested PCIe
+        slow.swap_overlap = 0.0;
+        let pol = CapuchinPolicy::plan_offline(&p, 4 << 30, &slow);
+        assert!(pol.plan().count(BlockAction::Recompute) > pol.plan().count(BlockAction::Swap));
+    }
+
+    #[test]
+    fn hybrid_peak_equals_checkpoint_equivalent() {
+        let p = profile(200);
+        let n = p.blocks.len();
+        let mut plan = HybridPlan::keep_all(n);
+        plan.actions[1] = BlockAction::Swap;
+        plan.actions[2] = BlockAction::Recompute;
+        let eq = plan.as_checkpoint_equivalent();
+        assert_eq!(eq.count(), 2);
+        assert_eq!(peak_bytes_hybrid(&p, &plan), peak_bytes(&p, &eq));
+    }
+}

@@ -1,0 +1,211 @@
+//! *Checkmate*-style planner (Jain et al., MLSys'20): cost-optimal static
+//! rematerialisation.
+//!
+//! Checkmate formulates tensor rematerialisation as an MILP and solves it
+//! offline (up to an hour per plan). At the block granularity of this
+//! simulator the same objective — minimise recomputation FLOPs subject to
+//! the peak-memory budget — is solved with a greedy seed plus exhaustive
+//! local search (swap/prune passes to a fixed point), our "MILP + approx."
+//! stand-in. Like the original, the plan is computed for **one** reference
+//! input and cannot adapt to input dynamics.
+
+use crate::memory_model::fits;
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
+};
+use mimose_models::ModelProfile;
+use std::time::Instant;
+
+/// Static cost-optimal planner (Checkmate stand-in).
+#[derive(Debug, Clone)]
+pub struct CheckmatePolicy {
+    budget: usize,
+    plan: CheckpointPlan,
+    feasible: bool,
+    solve_time_ns: u64,
+}
+
+/// Greedy seed: add blocks by bytes-per-FLOP efficiency until the plan fits.
+fn greedy_seed(reference: &ModelProfile, budget: usize) -> (CheckpointPlan, bool) {
+    let n = reference.blocks.len();
+    let mut plan = CheckpointPlan::none(n);
+    if fits(reference, &plan, budget) {
+        return (plan, true);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ea = reference.blocks[a].act_bytes as f64 / reference.blocks[a].fwd_flops.max(1.0);
+        let eb = reference.blocks[b].act_bytes as f64 / reference.blocks[b].fwd_flops.max(1.0);
+        eb.total_cmp(&ea)
+    });
+    for &i in &order {
+        plan.set(i, true);
+        if fits(reference, &plan, budget) {
+            return (plan, true);
+        }
+    }
+    (plan, false)
+}
+
+/// Local search: prune unnecessary blocks, then try cost-reducing swaps,
+/// until a fixed point.
+fn local_search(reference: &ModelProfile, budget: usize, plan: &mut CheckpointPlan) {
+    let n = plan.len();
+    loop {
+        let mut improved = false;
+        // Prune: drop the most expensive removable block first.
+        let mut in_plan: Vec<usize> = plan.indices().collect();
+        in_plan.sort_by(|&a, &b| {
+            reference.blocks[b]
+                .fwd_flops
+                .total_cmp(&reference.blocks[a].fwd_flops)
+        });
+        for &i in &in_plan {
+            plan.set(i, false);
+            if fits(reference, plan, budget) {
+                improved = true;
+            } else {
+                plan.set(i, true);
+            }
+        }
+        // Swap: replace an expensive in-plan block with a cheaper out-of-plan
+        // block when the budget still holds.
+        let in_plan: Vec<usize> = plan.indices().collect();
+        let out_plan: Vec<usize> = (0..n).filter(|&i| !plan.is_checkpointed(i)).collect();
+        'swap: for &i in &in_plan {
+            for &j in &out_plan {
+                if reference.blocks[j].fwd_flops < reference.blocks[i].fwd_flops {
+                    plan.set(i, false);
+                    plan.set(j, true);
+                    if fits(reference, plan, budget) {
+                        improved = true;
+                        continue 'swap;
+                    }
+                    plan.set(i, true);
+                    plan.set(j, false);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+impl CheckmatePolicy {
+    /// Solve offline against `reference` (the input the static graph was
+    /// exported for) under `budget` bytes.
+    pub fn plan_offline(reference: &ModelProfile, budget: usize) -> Self {
+        let t0 = Instant::now();
+        let (mut plan, feasible) = greedy_seed(reference, budget);
+        if feasible {
+            local_search(reference, budget, &mut plan);
+        }
+        CheckmatePolicy {
+            budget,
+            plan,
+            feasible,
+            solve_time_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Whether the reference input fits under the budget.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// The static plan.
+    pub fn plan(&self) -> &CheckpointPlan {
+        &self.plan
+    }
+
+    /// Wall-clock solve time (ns).
+    pub fn solve_time_ns(&self) -> u64 {
+        self.solve_time_ns
+    }
+}
+
+impl MemoryPolicy for CheckmatePolicy {
+    fn meta(&self) -> PlannerMeta {
+        PlannerMeta {
+            name: "Checkmate",
+            swapping: false,
+            checkpointing: true,
+            dynamic_input: false,
+            dynamic_graph: false,
+            frag_avoidance: "x",
+            granularity: Granularity::Layer,
+            timing: PlanTiming::Offline,
+            search_space: "reduced",
+            search_algorithm: "MILP+approx.",
+            solving_time: "<1 hour",
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
+        Directive::RunPlan(self.plan.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_model::{peak_bytes, recompute_flops};
+    use crate::SublinearPolicy;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_fits_reference() {
+        let p = profile(300);
+        let budget = 5 << 30;
+        let pol = CheckmatePolicy::plan_offline(&p, budget);
+        assert!(pol.is_feasible());
+        assert!(peak_bytes(&p, pol.plan()) <= budget);
+    }
+
+    #[test]
+    fn at_least_as_cheap_as_sublinear() {
+        // The cost-aware search must never recompute more than the
+        // byte-greedy Sublinear plan under the same budget.
+        let p = profile(300);
+        for budget in [4usize << 30, 5 << 30, 6 << 30] {
+            let cm = CheckmatePolicy::plan_offline(&p, budget);
+            let sl = SublinearPolicy::plan_offline(&p, budget);
+            assert!(cm.is_feasible() && sl.is_feasible());
+            let c_cost = recompute_flops(&p, cm.plan());
+            let s_cost = recompute_flops(&p, sl.plan());
+            assert!(
+                c_cost <= s_cost + 1.0,
+                "budget {}: checkmate {} > sublinear {}",
+                budget >> 30,
+                c_cost,
+                s_cost
+            );
+        }
+    }
+
+    #[test]
+    fn loose_budget_needs_no_checkpointing() {
+        let p = profile(64);
+        let pol = CheckmatePolicy::plan_offline(&p, 16 << 30);
+        assert_eq!(pol.plan().count(), 0);
+    }
+
+    #[test]
+    fn infeasible_budget_flagged() {
+        let p = profile(300);
+        let pol = CheckmatePolicy::plan_offline(&p, 1 << 30);
+        assert!(!pol.is_feasible());
+    }
+}

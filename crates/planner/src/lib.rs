@@ -1,0 +1,32 @@
+//! # mimose-planner
+//!
+//! Checkpointing-plan representation, the analytic peak-memory model shared
+//! by every planner, the [`MemoryPolicy`] interface the executor drives, and
+//! the four comparison planners of the paper's evaluation: the PyTorch
+//! baseline, *Sublinear* (static greedy), *Checkmate* (static cost-optimal),
+//! *MONeT* (static tensor-granular) and *DTR* (reactive tensor eviction).
+//! Mimose itself lives in `mimose-core`.
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod capuchin;
+mod checkmate;
+mod dtr;
+pub mod memory_model;
+mod monet;
+mod plan;
+mod sublinear;
+mod traits;
+
+pub use baseline::BaselinePolicy;
+pub use capuchin::{peak_bytes_hybrid, BlockAction, CapuchinPolicy, HybridPlan};
+pub use checkmate::CheckmatePolicy;
+pub use dtr::{h_dtr, DtrPolicy};
+pub use monet::MonetPolicy;
+pub use plan::CheckpointPlan;
+pub use sublinear::SublinearPolicy;
+pub use traits::{
+    input_of, BlockObservation, Directive, Granularity, IterationObservation, MemoryPolicy,
+    PlanTiming, PlannerMeta,
+};

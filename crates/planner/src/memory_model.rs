@@ -1,0 +1,221 @@
+//! Analytic peak-memory and recompute-cost model of one training iteration
+//! under a checkpoint plan.
+//!
+//! This is the arithmetic twin of the executor's block engine
+//! (`mimose-exec`): both walk the same forward/backward timeline, so the
+//! planner's budget checks agree with what the simulated allocator will
+//! observe (integration tests cross-validate the two). Keeping it allocator-
+//! free makes it cheap enough for Mimose's sub-millisecond planning path.
+
+use crate::CheckpointPlan;
+use mimose_models::ModelProfile;
+
+/// Peak resident bytes of one iteration executed under `plan`.
+///
+/// ```
+/// use mimose_models::builders::{bert_base, BertHead};
+/// use mimose_models::ModelInput;
+/// use mimose_planner::memory_model::peak_bytes;
+/// use mimose_planner::CheckpointPlan;
+///
+/// let model = bert_base(BertHead::Classification { labels: 2 });
+/// let profile = model.profile(&ModelInput::tokens(32, 128)).unwrap();
+/// let n = profile.blocks.len();
+/// let none = peak_bytes(&profile, &CheckpointPlan::none(n));
+/// let all = peak_bytes(&profile, &CheckpointPlan::all(n));
+/// assert!(all < none, "checkpointing must lower the peak");
+/// ```
+///
+/// Timeline model:
+/// * forward block *i*: its working set (`act + out`) lives on top of the
+///   running residency; afterwards a checkpointed block retains only its
+///   output, an uncheckpointed one retains internals + output;
+/// * backward block *i* (reverse order): a checkpointed block first
+///   recomputes its internals (residency grows by `act`), then backward for
+///   either kind transiently needs the output gradient (`out`) and the input
+///   gradient (`in`); afterwards internals + output are freed.
+pub fn peak_bytes(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
+    assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+    let mut resident = profile.const_bytes + profile.input_bytes;
+    let mut peak = resident;
+
+    // Forward pass.
+    for (i, b) in profile.blocks.iter().enumerate() {
+        peak = peak.max(resident + b.act_bytes + b.out_bytes);
+        if plan.is_checkpointed(i) {
+            resident += b.out_bytes;
+        } else {
+            resident += b.act_bytes + b.out_bytes;
+        }
+    }
+    // Backward pass.
+    for (i, b) in profile.blocks.iter().enumerate().rev() {
+        if plan.is_checkpointed(i) {
+            // Recompute internals, then they stay for the backward step.
+            resident += b.act_bytes;
+        }
+        // Output gradient + input gradient are transient extras.
+        peak = peak.max(resident + b.out_bytes + b.in_bytes);
+        resident -= b.act_bytes + b.out_bytes;
+    }
+    peak
+}
+
+/// Tensor-granular plan (MONeT): per block, how many activation bytes are
+/// dropped and how many FLOPs their recomputation costs. A block plan is the
+/// special case `dropped == act_bytes`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FinePlan {
+    /// Bytes dropped inside each block after its forward pass.
+    pub dropped_bytes: Vec<usize>,
+    /// FLOPs to recompute each block's dropped tensors in backward.
+    pub recompute_flops: Vec<f64>,
+}
+
+impl FinePlan {
+    /// Nothing dropped.
+    pub fn none(n: usize) -> Self {
+        FinePlan {
+            dropped_bytes: vec![0; n],
+            recompute_flops: vec![0.0; n],
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.dropped_bytes.len()
+    }
+
+    /// True when covering zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.dropped_bytes.is_empty()
+    }
+
+    /// Total recompute FLOPs.
+    pub fn total_recompute_flops(&self) -> f64 {
+        self.recompute_flops.iter().sum()
+    }
+}
+
+/// Peak resident bytes under a tensor-granular plan. Same timeline as
+/// [`peak_bytes`], but each block retains `act − dropped` internals.
+pub fn peak_bytes_fine(profile: &ModelProfile, plan: &FinePlan) -> usize {
+    assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+    let mut resident = profile.const_bytes + profile.input_bytes;
+    let mut peak = resident;
+    for (i, b) in profile.blocks.iter().enumerate() {
+        // The full working set materialises during the block's forward.
+        peak = peak.max(resident + b.act_bytes + b.out_bytes);
+        let dropped = plan.dropped_bytes[i].min(b.act_bytes);
+        resident += b.act_bytes - dropped + b.out_bytes;
+    }
+    for (i, b) in profile.blocks.iter().enumerate().rev() {
+        let dropped = plan.dropped_bytes[i].min(b.act_bytes);
+        resident += dropped; // recomputed tensors come back
+        peak = peak.max(resident + b.out_bytes + b.in_bytes);
+        resident -= b.act_bytes + b.out_bytes;
+    }
+    peak
+}
+
+/// Extra forward FLOPs spent on recomputation under `plan`.
+pub fn recompute_flops(profile: &ModelProfile, plan: &CheckpointPlan) -> f64 {
+    plan.indices().map(|i| profile.blocks[i].fwd_flops).sum()
+}
+
+/// Total compute FLOPs of one iteration under `plan` (forward + backward +
+/// recomputation).
+pub fn total_flops(profile: &ModelProfile, plan: &CheckpointPlan) -> f64 {
+    profile.total_fwd_flops() + profile.total_bwd_flops() + recompute_flops(profile, plan)
+}
+
+/// Whether `plan` fits `budget` under the analytic model.
+pub fn fits(profile: &ModelProfile, plan: &CheckpointPlan, budget: usize) -> bool {
+    peak_bytes(profile, plan) <= budget
+}
+
+/// The smallest budget any plan can satisfy for this profile (everything
+/// checkpointed) — the paper's lower "★" marker in Fig 10.
+pub fn min_feasible_budget(profile: &ModelProfile) -> usize {
+    peak_bytes(profile, &CheckpointPlan::all(profile.blocks.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn bert_profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn no_plan_matches_profile_peak() {
+        let p = bert_profile(128);
+        let none = CheckpointPlan::none(p.blocks.len());
+        // The analytic peak under "no checkpointing" must be at least the
+        // sum-of-activations estimate (it adds transient grad buffers).
+        let peak = peak_bytes(&p, &none);
+        assert!(peak >= p.peak_no_checkpoint(), "{peak}");
+        assert!(peak < p.peak_no_checkpoint() * 11 / 10);
+    }
+
+    #[test]
+    fn checkpointing_monotonically_reduces_peak() {
+        let p = bert_profile(256);
+        let n = p.blocks.len();
+        let mut prev = peak_bytes(&p, &CheckpointPlan::none(n));
+        // Checkpoint encoders one by one from the front.
+        let mut plan = CheckpointPlan::none(n);
+        for i in 1..n - 1 {
+            plan.set(i, true);
+            let now = peak_bytes(&p, &plan);
+            assert!(now <= prev, "peak rose at block {i}: {now} > {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn checkpointing_last_encoder_is_useless() {
+        // Fig 9: checkpointing the final encoder leaves peak essentially at
+        // the no-checkpoint level because its recomputation happens when
+        // everything else is still resident.
+        let p = bert_profile(256);
+        let n = p.blocks.len();
+        let none = peak_bytes(&p, &CheckpointPlan::none(n));
+        let last_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[12]));
+        let first_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[1]));
+        assert_eq!(last_enc, none, "last-encoder checkpoint changed peak");
+        assert!(first_enc < none, "first-encoder checkpoint must help");
+    }
+
+    #[test]
+    fn recompute_cost_sums_checkpointed_blocks() {
+        let p = bert_profile(128);
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::from_indices(n, &[1, 2, 3]);
+        let want: f64 = (1..=3).map(|i| p.blocks[i].fwd_flops).sum();
+        assert_eq!(recompute_flops(&p, &plan), want);
+        assert_eq!(recompute_flops(&p, &CheckpointPlan::none(n)), 0.0);
+    }
+
+    #[test]
+    fn min_feasible_budget_is_attainable() {
+        let p = bert_profile(332);
+        let min = min_feasible_budget(&p);
+        assert!(fits(&p, &CheckpointPlan::all(p.blocks.len()), min));
+        assert!(!fits(&p, &CheckpointPlan::none(p.blocks.len()), min));
+    }
+
+    #[test]
+    fn peak_grows_with_input_size() {
+        let n = 14;
+        let plan = CheckpointPlan::none(n);
+        let p1 = peak_bytes(&bert_profile(64), &plan);
+        let p2 = peak_bytes(&bert_profile(256), &plan);
+        assert!(p2 > p1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Checkpoint plan representation.
+
+use serde::{Deserialize, Serialize};
+
+/// A checkpointing plan over a model's blocks: `drop[i] == true` means block
+/// `i` is checkpointed — its internal activations are dropped after the
+/// block's forward pass and recomputed at the start of its backward pass
+/// (the semantics of `torch.utils.checkpoint`, which Mimose builds on).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    drop: Vec<bool>,
+}
+
+impl CheckpointPlan {
+    /// A plan over `n` blocks with nothing checkpointed.
+    pub fn none(n: usize) -> Self {
+        CheckpointPlan {
+            drop: vec![false; n],
+        }
+    }
+
+    /// A plan over `n` blocks with everything checkpointed.
+    pub fn all(n: usize) -> Self {
+        CheckpointPlan {
+            drop: vec![true; n],
+        }
+    }
+
+    /// Build from an explicit set of checkpointed block indices.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Self {
+        let mut drop = vec![false; n];
+        for &i in indices {
+            assert!(i < n, "block index {i} out of range {n}");
+            drop[i] = true;
+        }
+        CheckpointPlan { drop }
+    }
+
+    /// Number of blocks the plan covers.
+    pub fn len(&self) -> usize {
+        self.drop.len()
+    }
+
+    /// True when the plan covers zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.drop.is_empty()
+    }
+
+    /// Whether block `i` is checkpointed.
+    #[inline]
+    pub fn is_checkpointed(&self, i: usize) -> bool {
+        self.drop[i]
+    }
+
+    /// Mark block `i` checkpointed.
+    pub fn set(&mut self, i: usize, checkpoint: bool) {
+        self.drop[i] = checkpoint;
+    }
+
+    /// Number of checkpointed blocks.
+    pub fn count(&self) -> usize {
+        self.drop.iter().filter(|&&d| d).count()
+    }
+
+    /// Iterator over checkpointed block indices.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.drop
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+    }
+}
+
+impl std::fmt::Display for CheckpointPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ckpt{{")?;
+        let mut first = true;
+        for i in self.indices() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}/{}", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_and_all() {
+        assert_eq!(CheckpointPlan::none(5).count(), 0);
+        assert_eq!(CheckpointPlan::all(5).count(), 5);
+    }
+
+    #[test]
+    fn from_indices_roundtrip() {
+        let p = CheckpointPlan::from_indices(10, &[2, 7]);
+        assert!(p.is_checkpointed(2));
+        assert!(p.is_checkpointed(7));
+        assert!(!p.is_checkpointed(3));
+        assert_eq!(p.indices().collect::<Vec<_>>(), vec![2, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let _ = CheckpointPlan::from_indices(3, &[3]);
+    }
+
+    #[test]
+    fn display_lists_indices() {
+        let p = CheckpointPlan::from_indices(4, &[1, 3]);
+        assert_eq!(p.to_string(), "ckpt{1,3}/4");
+    }
+}

@@ -1,0 +1,151 @@
+//! *Sublinear* (Chen et al., "Training Deep Nets with Sublinear Memory
+//! Cost") — the static checkpointing baseline.
+//!
+//! The plan is computed **once**, offline, against a worst-case input
+//! profile, and applied unchanged to every iteration (Fig 2 "static
+//! planner"). On small inputs this wastes budget and recomputes needlessly —
+//! the inefficiency Fig 4 quantifies (up to 35 % throughput loss).
+
+use crate::memory_model::fits;
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
+};
+use mimose_models::ModelProfile;
+
+/// Static greedy planner in the Sublinear style.
+#[derive(Debug, Clone)]
+pub struct SublinearPolicy {
+    budget: usize,
+    plan: CheckpointPlan,
+    feasible: bool,
+}
+
+impl SublinearPolicy {
+    /// Plan offline for `worst` (the largest input the dataset can collate)
+    /// under `budget` bytes.
+    pub fn plan_offline(worst: &ModelProfile, budget: usize) -> Self {
+        let n = worst.blocks.len();
+        let mut plan = CheckpointPlan::none(n);
+        // Greedy over segments: repeatedly checkpoint the block with the
+        // largest activation footprint until the worst case fits.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| worst.blocks[b].act_bytes.cmp(&worst.blocks[a].act_bytes));
+        let mut feasible = fits(worst, &plan, budget);
+        if !feasible {
+            for &i in &order {
+                plan.set(i, true);
+                if fits(worst, &plan, budget) {
+                    feasible = true;
+                    break;
+                }
+            }
+        }
+        SublinearPolicy {
+            budget,
+            plan,
+            feasible,
+        }
+    }
+
+    /// Whether the offline plan satisfies the budget for the worst case.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// The static plan.
+    pub fn plan(&self) -> &CheckpointPlan {
+        &self.plan
+    }
+}
+
+impl MemoryPolicy for SublinearPolicy {
+    fn meta(&self) -> PlannerMeta {
+        PlannerMeta {
+            name: "Sublinear",
+            swapping: false,
+            checkpointing: true,
+            dynamic_input: false,
+            dynamic_graph: false,
+            frag_avoidance: "x",
+            granularity: Granularity::Layer,
+            timing: PlanTiming::Offline,
+            search_space: "segments",
+            search_algorithm: "greedy",
+            solving_time: "short",
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
+        // The same conservative plan regardless of the actual input.
+        Directive::RunPlan(self.plan.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_model::peak_bytes;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_fits_worst_case() {
+        let worst = profile(332);
+        let budget = 6 << 30;
+        let pol = SublinearPolicy::plan_offline(&worst, budget);
+        assert!(pol.is_feasible());
+        assert!(peak_bytes(&worst, pol.plan()) <= budget);
+    }
+
+    #[test]
+    fn smaller_budget_checkpoints_more() {
+        let worst = profile(332);
+        let loose = SublinearPolicy::plan_offline(&worst, 9 << 30);
+        let tight = SublinearPolicy::plan_offline(&worst, 4 << 30);
+        assert!(tight.plan().count() >= loose.plan().count());
+    }
+
+    #[test]
+    fn plan_is_static_across_inputs() {
+        let worst = profile(332);
+        let mut pol = SublinearPolicy::plan_offline(&worst, 5 << 30);
+        let small = profile(40);
+        let d1 = pol.begin_iteration(0, &small);
+        let d2 = pol.begin_iteration(1, &worst);
+        assert_eq!(d1, d2, "static planner must not adapt to input");
+    }
+
+    #[test]
+    fn impossible_budget_reported_infeasible() {
+        let worst = profile(332);
+        let pol = SublinearPolicy::plan_offline(&worst, 1 << 30); // < const bytes
+        assert!(!pol.is_feasible());
+        assert_eq!(pol.plan().count(), worst.blocks.len());
+    }
+
+    #[test]
+    fn small_inputs_leave_budget_unused() {
+        // The Fig 4 observation: the static plan leaves a large part of the
+        // budget unused on a small input.
+        let worst = profile(300);
+        let budget = 3 << 30;
+        let pol = SublinearPolicy::plan_offline(&worst, budget);
+        let small = profile(55);
+        let used = peak_bytes(&small, pol.plan());
+        assert!(
+            (budget - used) > (900 << 20),
+            "unused budget only {} MiB",
+            (budget - used) >> 20
+        );
+    }
+}

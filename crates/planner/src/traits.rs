@@ -1,0 +1,139 @@
+//! Planner interfaces: the per-iteration policy hook the executor drives,
+//! plus the Table I feature metadata.
+
+use crate::CheckpointPlan;
+use mimose_models::{ModelInput, ModelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Plan granularity (Table I row "Granularity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Whole checkpointable blocks (Mimose).
+    Block,
+    /// Individual layers (Sublinear, Checkmate).
+    Layer,
+    /// Individual tensors (DTR, MONeT).
+    Tensor,
+}
+
+/// When the plan is generated (Table I row "Timing for generating plan").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanTiming {
+    /// Before training starts.
+    Offline,
+    /// During training.
+    Runtime,
+}
+
+/// Table I feature row for one planner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerMeta {
+    /// Planner name.
+    pub name: &'static str,
+    /// Uses swapping.
+    pub swapping: bool,
+    /// Uses checkpointing.
+    pub checkpointing: bool,
+    /// Adapts to dynamic input sizes.
+    pub dynamic_input: bool,
+    /// Supports dynamic graphs.
+    pub dynamic_graph: bool,
+    /// Memory-fragmentation avoidance description.
+    pub frag_avoidance: &'static str,
+    /// Planning granularity.
+    pub granularity: Granularity,
+    /// Plan-generation timing.
+    pub timing: PlanTiming,
+    /// Search space description.
+    pub search_space: &'static str,
+    /// Search algorithm description.
+    pub search_algorithm: &'static str,
+    /// Typical solving time description.
+    pub solving_time: &'static str,
+}
+
+/// What the executor should do this iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// Run the block engine under this plan.
+    RunPlan(CheckpointPlan),
+    /// Run the block engine under a tensor-granular plan (MONeT).
+    RunFine(crate::memory_model::FinePlan),
+    /// Run the block engine under a hybrid swap/recompute plan (Capuchin).
+    RunHybrid(crate::capuchin::HybridPlan),
+    /// Run Mimose's shuttling collection iteration: every block forwards
+    /// twice and per-block memory/time are measured. The embedded plan (all
+    /// blocks checkpointed) bounds memory like *Sublinear* does (§IV-B).
+    Shuttle(CheckpointPlan),
+    /// Run the tensor engine with DTR-style reactive eviction.
+    DtrDynamic,
+}
+
+/// Per-block measurement produced by a shuttle iteration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BlockObservation {
+    /// Global block index.
+    pub index: usize,
+    /// Internal activation bytes measured for this block.
+    pub act_bytes: usize,
+    /// Output bytes.
+    pub out_bytes: usize,
+    /// Input bytes.
+    pub in_bytes: usize,
+    /// Forward computation time (ns).
+    pub fwd_ns: u64,
+}
+
+/// End-of-iteration feedback delivered to the policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationObservation {
+    /// Iteration number.
+    pub iter: usize,
+    /// The iteration's collated input.
+    pub input: ModelInput,
+    /// The paper's scalar input size.
+    pub input_size: usize,
+    /// Per-block measurements (only present after a shuttle iteration).
+    pub blocks: Option<Vec<BlockObservation>>,
+    /// Observed peak resident bytes.
+    pub peak_bytes: usize,
+    /// Whether the iteration hit an unrecoverable OOM.
+    pub oom: bool,
+}
+
+/// A memory policy drives checkpointing decisions across a training run.
+///
+/// The executor calls [`MemoryPolicy::begin_iteration`] at the start of each
+/// forward pass (the red arrow in Fig 2 for Mimose) and
+/// [`MemoryPolicy::end_iteration`] after the optimizer step.
+pub trait MemoryPolicy {
+    /// Table I metadata.
+    fn meta(&self) -> PlannerMeta;
+
+    /// The memory budget this policy was configured with, in bytes.
+    fn budget_bytes(&self) -> usize;
+
+    /// Decide what to do for the upcoming iteration.
+    ///
+    /// `profile` is the ground-truth profile the simulator executes; honest
+    /// runtime policies (Mimose) must consult only `profile.input` /
+    /// `profile.input_size` and structural facts (block count), relying on
+    /// their own measurements for memory — static planners bake in plans
+    /// computed offline from a worst-case profile they were given at
+    /// construction.
+    fn begin_iteration(&mut self, iter: usize, profile: &ModelProfile) -> Directive;
+
+    /// Receive end-of-iteration measurements.
+    fn end_iteration(&mut self, _obs: &IterationObservation) {}
+
+    /// Planning overhead (ns) the policy spent in `begin_iteration` this
+    /// iteration, to be charged to the virtual clock by the executor.
+    fn last_plan_overhead_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Helper: the collated input of a profile (convenience for policies).
+pub fn input_of(profile: &ModelProfile) -> ModelInput {
+    profile.input
+}

@@ -1,0 +1,431 @@
+//! Byte-addressed device-memory arena with a first-fit free list.
+//!
+//! This models the CUDA caching allocator at the level the paper's results
+//! depend on: allocations carve address ranges out of a fixed-capacity
+//! arena, frees coalesce with adjacent free ranges, and an allocation can
+//! fail *even when enough total bytes are free* because no single contiguous
+//! range fits — exactly the fragmentation pathology that inflates DTR's real
+//! memory usage in Fig 5 (budget 4.2 GB, actual 6.7 GB).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Allocation alignment (the CUDA caching allocator rounds to 512 B).
+pub const ARENA_ALIGN: usize = 512;
+
+/// Free-range selection policy.
+///
+/// The CUDA caching allocator behaves first-fit-ish within size pools;
+/// best-fit trades allocation speed for tighter packing. The ablation bench
+/// `ablation_allocator` compares their fragmentation under DTR's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AllocPolicy {
+    /// Lowest-address range that fits (default).
+    #[default]
+    FirstFit,
+    /// Smallest range that fits (ties broken by address).
+    BestFit,
+}
+
+/// Opaque handle to a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocId(u64);
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes requested (aligned).
+    pub requested: usize,
+    /// Total free bytes at the time of failure.
+    pub free_bytes: usize,
+    /// Largest contiguous free range at the time of failure.
+    pub largest_free: usize,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OOM: requested {} B, free {} B (largest contiguous {} B)",
+            self.requested, self.free_bytes, self.largest_free
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+impl OomError {
+    /// True when the failure is due to fragmentation rather than genuine
+    /// exhaustion: enough bytes are free, just not contiguously.
+    pub fn is_fragmentation(&self) -> bool {
+        self.free_bytes >= self.requested
+    }
+}
+
+/// Running statistics of an arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of frees.
+    pub frees: u64,
+    /// Number of failed allocations.
+    pub oom_events: u64,
+    /// High-watermark of used bytes.
+    pub peak_used: usize,
+    /// High-watermark of fragmentation (free bytes unusable for the largest
+    /// failed or succeeded request pattern; tracked as free − largest free).
+    pub peak_frag: usize,
+    /// High-watermark of the address-space extent (highest end address of
+    /// any allocation). This approximates the bytes the caching allocator
+    /// actually reserved from the device — the "actually used" memory that
+    /// exceeds DTR's nominal budget in Fig 5.
+    pub peak_extent: usize,
+    /// High-watermark of `used + fragmentation` — the reserved-memory proxy
+    /// (allocated bytes plus free-but-unusable cache) reported as "actual"
+    /// usage in Fig 5.
+    pub peak_footprint: usize,
+}
+
+/// Fixed-capacity arena with a selectable fit policy.
+///
+/// ```
+/// use mimose_simgpu::Arena;
+///
+/// let mut arena = Arena::new(1 << 20);
+/// let a = arena.alloc(100_000).unwrap();
+/// let b = arena.alloc(200_000).unwrap();
+/// arena.free(a);
+/// // Freed space is reusable; fragmentation is tracked explicitly.
+/// assert!(arena.would_fit(100_000));
+/// assert_eq!(arena.free_bytes() - arena.largest_free(), arena.fragmentation_bytes());
+/// arena.free(b);
+/// assert_eq!(arena.used_bytes(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arena {
+    capacity: usize,
+    policy: AllocPolicy,
+    /// Free ranges: start address → length; disjoint, non-adjacent.
+    free: BTreeMap<usize, usize>,
+    /// Live allocations: id → (start, length).
+    live: BTreeMap<AllocId, (usize, usize)>,
+    next_id: u64,
+    used: usize,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    /// Create a first-fit arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Arena::with_policy(capacity, AllocPolicy::FirstFit)
+    }
+
+    /// Create an arena with an explicit fit policy.
+    pub fn with_policy(capacity: usize, policy: AllocPolicy) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        Arena {
+            capacity,
+            policy,
+            free,
+            live: BTreeMap::new(),
+            next_id: 0,
+            used: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// The arena's fit policy.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Arena capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Largest contiguous free range.
+    pub fn largest_free(&self) -> usize {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// Free bytes that cannot satisfy a request the size of the largest
+    /// contiguous range — the fragmentation measure reported in Fig 5/§VI-B.
+    pub fn fragmentation_bytes(&self) -> usize {
+        self.free_bytes() - self.largest_free()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether a request of `bytes` (unaligned) would currently succeed.
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        let need = Self::aligned(bytes);
+        self.free.values().any(|&len| len >= need)
+    }
+
+    #[inline]
+    fn aligned(bytes: usize) -> usize {
+        ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
+    }
+
+    /// Allocate `bytes` (rounded up to alignment, minimum one granule).
+    pub fn alloc(&mut self, bytes: usize) -> Result<AllocId, OomError> {
+        let need = Self::aligned(bytes);
+        let slot = match self.policy {
+            AllocPolicy::FirstFit => self
+                .free
+                .iter()
+                .find(|(_, &len)| len >= need)
+                .map(|(&addr, &len)| (addr, len)),
+            AllocPolicy::BestFit => self
+                .free
+                .iter()
+                .filter(|(_, &len)| len >= need)
+                .min_by_key(|(&addr, &len)| (len, addr))
+                .map(|(&addr, &len)| (addr, len)),
+        };
+        let Some((addr, len)) = slot else {
+            self.stats.oom_events += 1;
+            return Err(OomError {
+                requested: need,
+                free_bytes: self.free_bytes(),
+                largest_free: self.largest_free(),
+            });
+        };
+        self.free.remove(&addr);
+        if len > need {
+            self.free.insert(addr + need, len - need);
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, (addr, need));
+        self.used += need;
+        self.stats.allocs += 1;
+        self.stats.peak_used = self.stats.peak_used.max(self.used);
+        self.stats.peak_frag = self.stats.peak_frag.max(self.fragmentation_bytes());
+        self.stats.peak_extent = self.stats.peak_extent.max(addr + need);
+        self.stats.peak_footprint = self
+            .stats
+            .peak_footprint
+            .max(self.used + self.fragmentation_bytes());
+        Ok(id)
+    }
+
+    /// Free a live allocation.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live (double free / foreign id) — that is a
+    /// simulator bug, not a recoverable condition.
+    pub fn free(&mut self, id: AllocId) {
+        let (addr, len) = self
+            .live
+            .remove(&id)
+            .unwrap_or_else(|| panic!("free of non-live allocation {id:?}"));
+        self.used -= len;
+        self.stats.frees += 1;
+        // Coalesce with predecessor.
+        let mut start = addr;
+        let mut length = len;
+        if let Some((&paddr, &plen)) = self.free.range(..addr).next_back() {
+            if paddr + plen == addr {
+                self.free.remove(&paddr);
+                start = paddr;
+                length += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&naddr, &nlen)) = self.free.range(addr + len..).next() {
+            if addr + len == naddr {
+                self.free.remove(&naddr);
+                length += nlen;
+            }
+        }
+        self.free.insert(start, length);
+        self.stats.peak_footprint = self
+            .stats
+            .peak_footprint
+            .max(self.used + self.fragmentation_bytes());
+    }
+
+    /// Size (aligned) of a live allocation.
+    pub fn size_of(&self, id: AllocId) -> Option<usize> {
+        self.live.get(&id).map(|&(_, len)| len)
+    }
+
+    /// Free every live allocation (end of iteration): the arena returns to a
+    /// single free range.
+    pub fn reset(&mut self) {
+        self.live.clear();
+        self.used = 0;
+        self.free.clear();
+        if self.capacity > 0 {
+            self.free.insert(0, self.capacity);
+        }
+    }
+
+    /// Internal invariant check used by tests: free ranges are disjoint,
+    /// non-adjacent, within capacity, and free+used == capacity.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end: Option<usize> = None;
+        let mut total_free = 0usize;
+        for (&addr, &len) in &self.free {
+            if len == 0 {
+                return Err(format!("zero-length free range at {addr}"));
+            }
+            if addr + len > self.capacity {
+                return Err(format!("free range [{addr}, {}) beyond capacity", addr + len));
+            }
+            if let Some(pe) = prev_end {
+                if addr < pe {
+                    return Err(format!("overlapping free ranges at {addr}"));
+                }
+                if addr == pe {
+                    return Err(format!("uncoalesced adjacent free ranges at {addr}"));
+                }
+            }
+            prev_end = Some(addr + len);
+            total_free += len;
+        }
+        let live_total: usize = self.live.values().map(|&(_, len)| len).sum();
+        if live_total != self.used {
+            return Err("live total != used".into());
+        }
+        if total_free + self.used != self.capacity {
+            return Err(format!(
+                "bytes lost: free {total_free} + used {} != capacity {}",
+                self.used, self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = Arena::new(1 << 20);
+        let id = a.alloc(1000).unwrap();
+        assert_eq!(a.size_of(id), Some(1024));
+        assert_eq!(a.used_bytes(), 1024);
+        a.free(id);
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.largest_free(), 1 << 20);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let mut a = Arena::new(4096);
+        let _x = a.alloc(4096).unwrap();
+        let err = a.alloc(1).unwrap_err();
+        assert_eq!(err.free_bytes, 0);
+        assert!(!err.is_fragmentation());
+        assert_eq!(a.stats().oom_events, 1);
+    }
+
+    #[test]
+    fn fragmentation_oom_detected() {
+        let mut a = Arena::new(4 * 512);
+        let x = a.alloc(512).unwrap();
+        let y = a.alloc(512).unwrap();
+        let _z = a.alloc(512).unwrap();
+        a.free(x);
+        a.free(y);
+        // 1024 free bytes in one coalesced range — fits 1024.
+        assert!(a.would_fit(1024));
+        let w = a.alloc(1024).unwrap();
+        a.free(w);
+        // Now fragment: three granules live at 0/512/1024 plus z at 1536;
+        // free the first and third to leave two non-adjacent 512 B holes.
+        let p = a.alloc(512).unwrap();
+        let q = a.alloc(512).unwrap();
+        a.free(p);
+        let r = a.alloc(512).unwrap(); // reuses the hole at 0
+        assert_eq!(a.used_bytes(), 3 * 512);
+        a.free(q);
+        let err = a.alloc(1024).unwrap_err();
+        assert!(err.is_fragmentation());
+        assert_eq!(err.free_bytes, 1024);
+        assert_eq!(err.largest_free, 512);
+        assert_eq!(a.fragmentation_bytes(), 512);
+        a.free(r);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = Arena::new(4 * 512);
+        let ids: Vec<_> = (0..4).map(|_| a.alloc(512).unwrap()).collect();
+        // Free middle two in both orders; they must coalesce.
+        a.free(ids[2]);
+        a.free(ids[1]);
+        assert_eq!(a.largest_free(), 1024);
+        a.free(ids[0]);
+        assert_eq!(a.largest_free(), 1536);
+        a.free(ids[3]);
+        assert_eq!(a.largest_free(), 4 * 512);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn double_free_panics() {
+        let mut a = Arena::new(4096);
+        let id = a.alloc(100).unwrap();
+        a.free(id);
+        a.free(id);
+    }
+
+    #[test]
+    fn reset_restores_full_capacity() {
+        let mut a = Arena::new(1 << 16);
+        for _ in 0..10 {
+            let _ = a.alloc(1000).unwrap();
+        }
+        a.reset();
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.largest_free(), 1 << 16);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn peak_used_tracks_high_watermark() {
+        let mut a = Arena::new(1 << 16);
+        let x = a.alloc(8192).unwrap();
+        a.free(x);
+        let _y = a.alloc(512).unwrap();
+        assert_eq!(a.stats().peak_used, 8192);
+    }
+
+    #[test]
+    fn zero_sized_alloc_takes_one_granule() {
+        let mut a = Arena::new(4096);
+        let id = a.alloc(0).unwrap();
+        assert_eq!(a.size_of(id), Some(512));
+    }
+}

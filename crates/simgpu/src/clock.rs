@@ -1,0 +1,69 @@
+//! Deterministic virtual clock.
+//!
+//! All simulated durations are accounted in nanoseconds on a monotonically
+//! advancing virtual clock, so experiment outputs are bit-identical across
+//! runs and machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual time, nanoseconds since iteration zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Duration since `earlier`.
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+/// A monotone virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: VirtualTime,
+}
+
+impl VirtualClock {
+    /// New clock at t=0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Advance by `ns` nanoseconds.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        self.now.0 += ns;
+    }
+
+    /// Advance by a floating-point nanosecond amount (cost-model output),
+    /// rounding to the nearest nanosecond.
+    #[inline]
+    pub fn advance_f64(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0 && ns.is_finite(), "bad duration {ns}");
+        self.now.0 += ns.round() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        let t0 = c.now();
+        c.advance(100);
+        c.advance_f64(0.4);
+        let t1 = c.now();
+        assert_eq!(t1.since(t0), 100);
+        c.advance_f64(1.6);
+        assert_eq!(c.now().since(t0), 102);
+    }
+}

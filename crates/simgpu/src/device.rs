@@ -1,0 +1,140 @@
+//! Device cost profile: converts the operator cost model (FLOPs + bytes
+//! moved) into virtual time via a roofline rule, and holds the calibration
+//! constants for framework/planner overheads.
+//!
+//! Constants are calibrated to a V100-class card so the *shapes* of the
+//! paper's results (overhead percentages, who-wins orderings) reproduce;
+//! absolute times are not expected to match the authors' testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost constants of the simulated GPU + framework.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Sustained compute throughput in FLOP/s (fp32, after efficiency
+    /// derating — V100 peak is 15.7 TFLOP/s; real kernels sustain ~35-50 %).
+    pub flops_per_sec: f64,
+    /// Sustained memory bandwidth in B/s (V100 HBM2: 900 GB/s peak,
+    /// ~75 % achievable).
+    pub bytes_per_sec: f64,
+    /// Fixed per-operator kernel-launch latency in ns.
+    pub kernel_launch_ns: f64,
+    /// Total device memory in bytes (V100: 16 GiB).
+    pub total_mem_bytes: usize,
+    /// Per-saved-tensor bookkeeping cost charged to DTR-style runtime
+    /// planners for maintaining checkpointing metadata (timestamps, costs)
+    /// on every operator, in ns. Calibrated so DTR's cost-maintenance
+    /// overhead lands in the paper's observed 20-40 % band (Fig 5).
+    pub dtr_meta_ns_per_tensor: f64,
+    /// Per-candidate scan cost of one DTR eviction search, in ns.
+    pub dtr_search_ns_per_tensor: f64,
+    /// Cost of one simulated allocator call (cudaMalloc-equivalents are
+    /// cached; this is the caching-allocator fast path), in ns.
+    pub alloc_ns: f64,
+    /// Sustained host↔device copy bandwidth in B/s (PCIe 3.0 x16:
+    /// ~12 GB/s achievable of 16 GB/s peak) — used by swapping planners.
+    pub pcie_bytes_per_sec: f64,
+    /// Fraction of a swap transfer that overlaps with computation when the
+    /// adjacent blocks are busy (double-buffered copy engines).
+    pub swap_overlap: f64,
+}
+
+impl DeviceProfile {
+    /// V100-16GB calibration used throughout the evaluation.
+    pub fn v100() -> Self {
+        DeviceProfile {
+            flops_per_sec: 6.0e12,
+            bytes_per_sec: 6.5e11,
+            kernel_launch_ns: 4_000.0,
+            total_mem_bytes: 16 << 30,
+            dtr_meta_ns_per_tensor: 340_000.0,
+            dtr_search_ns_per_tensor: 6_000.0,
+            alloc_ns: 700.0,
+            pcie_bytes_per_sec: 1.2e10,
+            swap_overlap: 0.65,
+        }
+    }
+
+    /// Non-overlapped time of transferring `bytes` over PCIe, in ns.
+    #[inline]
+    pub fn swap_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_sec * 1e9 * (1.0 - self.swap_overlap)
+    }
+
+    /// A100-40GB calibration: ~3x the V100's sustained compute and ~2.4x
+    /// the memory bandwidth, NVLink-class host link on SXM boards. Used by
+    /// the device-sensitivity extension experiment.
+    pub fn a100() -> Self {
+        DeviceProfile {
+            flops_per_sec: 1.8e13,
+            bytes_per_sec: 1.55e12,
+            kernel_launch_ns: 3_500.0,
+            total_mem_bytes: 40 << 30,
+            dtr_meta_ns_per_tensor: 340_000.0,
+            dtr_search_ns_per_tensor: 6_000.0,
+            alloc_ns: 700.0,
+            pcie_bytes_per_sec: 2.2e10,
+            swap_overlap: 0.7,
+        }
+    }
+
+    /// Roofline execution time for a kernel with the given work.
+    #[inline]
+    pub fn exec_ns(&self, flops: f64, bytes_moved: usize) -> f64 {
+        let compute = flops / self.flops_per_sec * 1e9;
+        let memory = bytes_moved as f64 / self.bytes_per_sec * 1e9;
+        self.kernel_launch_ns + compute.max(memory)
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_kernel_uses_flops() {
+        let d = DeviceProfile::v100();
+        // 6 TFLOP at 6 TFLOP/s = 1 s.
+        let ns = d.exec_ns(6.0e12, 1024);
+        assert!((ns - 1e9 - d.kernel_launch_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_uses_bandwidth() {
+        let d = DeviceProfile::v100();
+        let ns = d.exec_ns(10.0, 650_000_000_000);
+        assert!((ns - 1e9 - d.kernel_launch_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn launch_latency_floors_small_kernels() {
+        let d = DeviceProfile::v100();
+        assert!(d.exec_ns(1.0, 1) >= d.kernel_launch_ns);
+    }
+
+    #[test]
+    fn a100_is_faster_than_v100() {
+        let v = DeviceProfile::v100();
+        let a = DeviceProfile::a100();
+        assert!(a.exec_ns(1e12, 1 << 30) < v.exec_ns(1e12, 1 << 30));
+        assert!(a.total_mem_bytes > v.total_mem_bytes);
+        assert!(a.swap_ns(1 << 30) < v.swap_ns(1 << 30));
+    }
+
+    #[test]
+    fn bert_iteration_time_is_plausible() {
+        // Bert-base fwd ≈ 2 * 110e6 params * 4096 tokens ≈ 0.9 TFLOP;
+        // fwd+bwd ≈ 2.7 TFLOP → ~450 ms at 6 TFLOP/s sustained. The paper's
+        // TC-Bert iteration is 250 ms (bs 32, shorter seqs) — same decade.
+        let d = DeviceProfile::v100();
+        let ns = d.exec_ns(2.7e12, 0);
+        let ms = ns / 1e6;
+        assert!((100.0..1000.0).contains(&ms), "{ms} ms");
+    }
+}

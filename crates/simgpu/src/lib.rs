@@ -1,0 +1,16 @@
+//! # mimose-simgpu
+//!
+//! The simulated GPU substrate: a deterministic virtual clock, a V100-class
+//! device cost profile (roofline FLOPs/bandwidth → ns), and a byte-addressed
+//! memory arena with first-fit allocation, coalescing frees, OOM signalling
+//! and fragmentation accounting.
+
+#![warn(missing_docs)]
+
+mod arena;
+mod clock;
+mod device;
+
+pub use arena::{AllocId, AllocPolicy, Arena, ArenaStats, OomError, ARENA_ALIGN};
+pub use clock::{VirtualClock, VirtualTime};
+pub use device::DeviceProfile;

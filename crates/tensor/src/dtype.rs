@@ -1,0 +1,88 @@
+//! Element datatypes and their storage widths.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a simulated tensor.
+///
+/// Only the storage width matters for the memory planner; no numeric data is
+/// ever materialised in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (the default training dtype in the paper).
+    F32,
+    /// 16-bit IEEE-754 float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 64-bit signed integer (token ids, index tensors).
+    I64,
+    /// 32-bit signed integer.
+    I32,
+    /// Unsigned byte (dropout masks and similar).
+    U8,
+    /// Boolean stored as one byte (attention masks).
+    Bool,
+}
+
+impl DType {
+    /// Storage width of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::I64 => 8,
+            DType::U8 | DType::Bool => 1,
+        }
+    }
+
+    /// True for floating-point types.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16 | DType::BF16)
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::I64 => "i64",
+            DType::I32 => "i32",
+            DType::U8 => "u8",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_ieee() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::U8.size_bytes(), 1);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::BF16.is_float());
+        assert!(!DType::I64.is_float());
+        assert!(!DType::Bool.is_float());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,16 @@
+//! # mimose-tensor
+//!
+//! Shape/dtype substrate for the Mimose reproduction. The training simulator
+//! never materialises tensor *data* — every subsystem (cost model, memory
+//! planner, allocator) operates on `(shape, dtype)` metadata only, which is
+//! exactly the information the paper's planners consume.
+
+#![warn(missing_docs)]
+
+mod dtype;
+mod meta;
+mod shape;
+
+pub use dtype::DType;
+pub use meta::{aligned_bytes, TensorMeta};
+pub use shape::{Shape, MAX_RANK};

@@ -1,0 +1,85 @@
+//! Tensor metadata: the (shape, dtype) pair every cost model works over.
+
+use crate::{DType, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Metadata of a simulated tensor. No element data is ever stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Logical shape.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorMeta {
+    /// Construct from a shape and dtype.
+    #[inline]
+    pub fn new(shape: impl Into<Shape>, dtype: DType) -> Self {
+        TensorMeta {
+            shape: shape.into(),
+            dtype,
+        }
+    }
+
+    /// f32 tensor — the common case for activations.
+    #[inline]
+    pub fn f32(shape: impl Into<Shape>) -> Self {
+        TensorMeta::new(shape, DType::F32)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.shape.elems()
+    }
+
+    /// Storage footprint in bytes (unaligned; allocator alignment is applied
+    /// by the memory simulator, not here).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.elems() * self.dtype.size_bytes()
+    }
+}
+
+impl std::fmt::Display for TensorMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.dtype, self.shape)
+    }
+}
+
+/// Round `bytes` up to the allocator block granularity used by the CUDA
+/// caching allocator (512 B), which the paper's memory numbers implicitly
+/// include.
+#[inline]
+pub fn aligned_bytes(bytes: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (bytes + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_scale_with_dtype() {
+        let s = Shape::new(&[32, 128]);
+        assert_eq!(TensorMeta::new(s, DType::F32).bytes(), 32 * 128 * 4);
+        assert_eq!(TensorMeta::new(s, DType::F16).bytes(), 32 * 128 * 2);
+        assert_eq!(TensorMeta::new(s, DType::I64).bytes(), 32 * 128 * 8);
+    }
+
+    #[test]
+    fn alignment_rounds_up() {
+        assert_eq!(aligned_bytes(1, 512), 512);
+        assert_eq!(aligned_bytes(512, 512), 512);
+        assert_eq!(aligned_bytes(513, 512), 1024);
+        assert_eq!(aligned_bytes(0, 512), 0);
+    }
+
+    #[test]
+    fn display_includes_dtype_and_shape() {
+        let t = TensorMeta::f32([2, 2]);
+        assert_eq!(t.to_string(), "f32[2x2]");
+    }
+}

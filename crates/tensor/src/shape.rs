@@ -1,0 +1,186 @@
+//! Tensor shapes.
+//!
+//! Shapes in the simulator are small (rank ≤ 5 in every model the paper
+//! evaluates), so they are stored inline in a fixed array to avoid a heap
+//! allocation per intermediate tensor — shape arithmetic is on the planner's
+//! critical path (the "lightning" estimator must run in sub-millisecond time).
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum rank supported by the inline representation.
+pub const MAX_RANK: usize = 6;
+
+/// A tensor shape with inline dimension storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// Build a shape from a dimension slice.
+    ///
+    /// # Panics
+    /// Panics if `dims.len() > MAX_RANK`.
+    #[inline]
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {}",
+            dims.len(),
+            MAX_RANK
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
+    }
+
+    /// A scalar (rank-0) shape.
+    #[inline]
+    pub fn scalar() -> Self {
+        Shape::new(&[])
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Total number of elements (product of dims, 1 for scalars).
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Dimension at `idx` counted from the back (`back(0)` is the last dim).
+    ///
+    /// # Panics
+    /// Panics if `idx >= rank`.
+    #[inline]
+    pub fn back(&self, idx: usize) -> usize {
+        let r = self.rank();
+        assert!(idx < r, "back({idx}) out of range for rank {r}");
+        self.dims[r - 1 - idx]
+    }
+
+    /// Returns a copy with the trailing dimension replaced.
+    #[inline]
+    pub fn with_last(&self, dim: usize) -> Self {
+        let mut out = *self;
+        let r = self.rank();
+        assert!(r > 0, "with_last on scalar shape");
+        out.dims[r - 1] = dim;
+        out
+    }
+
+    /// Returns a copy with one more trailing dimension appended.
+    #[inline]
+    pub fn push_back(&self, dim: usize) -> Self {
+        let r = self.rank();
+        assert!(r < MAX_RANK, "push_back beyond MAX_RANK");
+        let mut out = *self;
+        out.dims[r] = dim;
+        out.rank += 1;
+        out
+    }
+
+    /// Returns a copy with the trailing dimension removed.
+    #[inline]
+    pub fn pop_back(&self) -> Self {
+        let r = self.rank();
+        assert!(r > 0, "pop_back on scalar shape");
+        let mut out = *self;
+        out.dims[r - 1] = 0;
+        out.rank -= 1;
+        out
+    }
+
+    /// Elementwise-compatibility check (exact match; the simulator does not
+    /// model broadcasting beyond identical shapes since every graph we build
+    /// uses explicit shapes).
+    #[inline]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self == other
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(d: [usize; N]) -> Self {
+        Shape::new(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).elems(), 24);
+        assert_eq!(Shape::scalar().elems(), 1);
+        assert_eq!(Shape::new(&[0, 5]).elems(), 0);
+    }
+
+    #[test]
+    fn back_indexing() {
+        let s = Shape::new(&[8, 128, 768]);
+        assert_eq!(s.back(0), 768);
+        assert_eq!(s.back(1), 128);
+        assert_eq!(s.back(2), 8);
+    }
+
+    #[test]
+    fn with_last_replaces_trailing() {
+        let s = Shape::new(&[8, 128, 768]);
+        assert_eq!(s.with_last(3072).dims(), &[8, 128, 3072]);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let s = Shape::new(&[4, 4]);
+        let pushed = s.push_back(9);
+        assert_eq!(pushed.dims(), &[4, 4, 9]);
+        assert_eq!(pushed.pop_back(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn overly_deep_shape_panics() {
+        let _ = Shape::new(&[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

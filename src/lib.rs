@@ -1,0 +1,49 @@
+//! # mimose
+//!
+//! A full-system Rust reproduction of **"Exploiting Input Tensor Dynamics in
+//! Activation Checkpointing for Efficient Training on GPU"** (Liao, Li, Yang
+//! et al., IPDPS 2023) — the *Mimose* input-aware checkpointing planner,
+//! every baseline planner it is evaluated against, and the simulated
+//! training substrate (operator cost model, model graphs, GPU memory arena,
+//! data pipeline) the evaluation runs on.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`tensor`] — shapes and dtypes;
+//! * [`ops`] — operator taxonomy, shape inference, FLOP/byte costs;
+//! * [`models`] — BERT/RoBERTa/T5/ResNet/Swin block graphs;
+//! * [`simgpu`] — virtual clock, device profile, memory arena;
+//! * [`data`] — synthetic datasets with the paper's input dynamics;
+//! * [`estimator`] — polynomial/SVR/tree/GBT regression library;
+//! * [`planner`] — plan types, policy trait, Sublinear/Checkmate/MONeT/DTR;
+//! * [`core`] — Mimose itself (collector, estimator, scheduler, cache);
+//! * [`exec`] — the iteration executor and trainer;
+//! * [`exp`] — the experiment harness regenerating every table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mimose::core::{MimoseConfig, MimosePolicy};
+//! use mimose::data::presets;
+//! use mimose::exec::Trainer;
+//! use mimose::models::builders::{bert_base, BertHead};
+//!
+//! let model = bert_base(BertHead::Classification { labels: 2 });
+//! let dataset = presets::glue_qqp();
+//! let mut policy = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
+//! let mut trainer = Trainer::new(&model, &dataset, &mut policy, 42);
+//! let summary = trainer.run_summary(50);
+//! assert_eq!(summary.oom_iters, 0);
+//! assert!(summary.max_peak_bytes <= 5 << 30);
+//! ```
+
+pub use mimose_core as core;
+pub use mimose_data as data;
+pub use mimose_estimator as estimator;
+pub use mimose_exec as exec;
+pub use mimose_exp as exp;
+pub use mimose_models as models;
+pub use mimose_ops as ops;
+pub use mimose_planner as planner;
+pub use mimose_simgpu as simgpu;
+pub use mimose_tensor as tensor;

@@ -1,0 +1,99 @@
+//! Property tests on the memory-arena substrate: no byte is ever lost, free
+//! ranges stay disjoint and coalesced, and fragmentation accounting is
+//! consistent under arbitrary alloc/free interleavings.
+
+use mimose::simgpu::{AllocId, Arena};
+use proptest::prelude::*;
+
+/// A random allocator script: sizes to allocate, and for each step whether
+/// to free a previously live allocation (chosen by index).
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc(usize),
+    FreeNth(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1usize..512 * 1024).prop_map(Step::Alloc),
+            (0usize..64).prop_map(Step::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_under_random_scripts(script in steps()) {
+        let mut arena = Arena::new(8 << 20);
+        let mut live: Vec<AllocId> = Vec::new();
+        for step in script {
+            match step {
+                Step::Alloc(sz) => {
+                    if let Ok(id) = arena.alloc(sz) {
+                        live.push(id);
+                    }
+                }
+                Step::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(n % live.len());
+                        arena.free(id);
+                    }
+                }
+            }
+            arena.check_invariants().expect("invariant violated");
+            prop_assert!(arena.used_bytes() <= arena.capacity());
+            prop_assert!(arena.largest_free() <= arena.free_bytes());
+            prop_assert_eq!(
+                arena.fragmentation_bytes(),
+                arena.free_bytes() - arena.largest_free()
+            );
+        }
+        // Free everything: the arena must return to one pristine range.
+        for id in live {
+            arena.free(id);
+        }
+        arena.check_invariants().expect("invariant violated after drain");
+        prop_assert_eq!(arena.used_bytes(), 0);
+        prop_assert_eq!(arena.largest_free(), arena.capacity());
+        prop_assert_eq!(arena.fragmentation_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_are_monotone(script in steps()) {
+        let mut arena = Arena::new(4 << 20);
+        let mut live: Vec<AllocId> = Vec::new();
+        let mut prev_peak = 0usize;
+        for step in script {
+            match step {
+                Step::Alloc(sz) => {
+                    if let Ok(id) = arena.alloc(sz) {
+                        live.push(id);
+                    }
+                }
+                Step::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(n % live.len());
+                        arena.free(id);
+                    }
+                }
+            }
+            let stats = arena.stats();
+            prop_assert!(stats.peak_used >= prev_peak);
+            prop_assert!(stats.peak_used >= arena.used_bytes());
+            prop_assert!(stats.peak_extent <= arena.capacity());
+            prop_assert!(stats.peak_footprint >= stats.peak_used);
+            prev_peak = stats.peak_used;
+        }
+    }
+
+    #[test]
+    fn alloc_sizes_are_aligned_and_sufficient(sz in 1usize..1_000_000) {
+        let mut arena = Arena::new(16 << 20);
+        let id = arena.alloc(sz).expect("fits");
+        let got = arena.size_of(id).expect("live");
+        prop_assert!(got >= sz);
+        prop_assert_eq!(got % 512, 0);
+    }
+}

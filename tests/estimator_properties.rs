@@ -1,0 +1,80 @@
+//! Property tests on the regression library: the quadratic polynomial must
+//! recover arbitrary quadratics exactly (the property §IV-C relies on), and
+//! every family must stay finite on arbitrary valid inputs.
+
+use mimose::estimator::{
+    DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quadratic_fit_recovers_random_quadratics(
+        c0 in 1.0e3f64..1.0e9,
+        c1 in 0.0f64..1.0e4,
+        c2 in 0.0f64..10.0,
+        x0 in 100.0f64..10_000.0,
+    ) {
+        let xs: Vec<f64> = (0..10).map(|i| x0 * (1.0 + i as f64 * 0.35)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let mut p = PolynomialRegressor::new(2);
+        p.fit(&xs, &ys).expect("fit succeeds");
+        // Predict inside and outside the training range.
+        for &x in &[x0 * 0.5, x0 * 2.0, x0 * 6.0] {
+            let want = c0 + c1 * x + c2 * x * x;
+            let got = p.predict(x);
+            prop_assert!(
+                (got - want).abs() / want.abs().max(1.0) < 1e-4,
+                "x={x}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_random_lines(
+        c0 in -1.0e6f64..1.0e6,
+        c1 in -100.0f64..100.0,
+    ) {
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 137.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x).collect();
+        let mut p = PolynomialRegressor::new(1);
+        p.fit(&xs, &ys).expect("fit succeeds");
+        let x = 555.0;
+        let want = c0 + c1 * x;
+        prop_assert!((p.predict(x) - want).abs() < 1e-3 * (want.abs() + 1.0));
+    }
+
+    #[test]
+    fn all_families_stay_finite(
+        seed_ys in prop::collection::vec(1.0f64..1.0e9, 6..20),
+    ) {
+        let xs: Vec<f64> = (0..seed_ys.len()).map(|i| 100.0 + i as f64 * 250.0).collect();
+        let families: Vec<Box<dyn Regressor>> = vec![
+            Box::new(PolynomialRegressor::new(2)),
+            Box::new(SvrRegressor::default_params()),
+            Box::new(DecisionTreeRegressor::default_params()),
+            Box::new(GbtRegressor::new(25, 0.1, 3)),
+        ];
+        for mut m in families {
+            m.fit(&xs, &seed_ys).expect("fit succeeds");
+            for &x in &[50.0, 1_000.0, 10_000.0] {
+                prop_assert!(m.predict(x).is_finite(), "{} produced non-finite", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_within_target_range(
+        ys in prop::collection::vec(0.0f64..1.0e6, 4..30),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let mut t = DecisionTreeRegressor::default_params();
+        t.fit(&xs, &ys).expect("fit succeeds");
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &[-5.0, 3.5, 1_000.0] {
+            let p = t.predict(x);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo},{hi}]");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate consistency: the planner's analytic peak-memory model and
+//! the executor's allocator measurements must agree, and every plan a
+//! planner claims feasible must actually execute within budget.
+
+use mimose::exec::{run_block_iteration, BlockMode};
+use mimose::models::builders::{bert_base, roberta_base, t5_base, BertHead};
+use mimose::models::{ModelGraph, ModelInput, ModelProfile};
+use mimose::planner::memory_model::{min_feasible_budget, peak_bytes};
+use mimose::planner::{CheckmatePolicy, CheckpointPlan, SublinearPolicy};
+use mimose::simgpu::DeviceProfile;
+use proptest::prelude::*;
+
+fn models() -> Vec<(ModelGraph, ModelInput)> {
+    vec![
+        (
+            bert_base(BertHead::Classification { labels: 2 }),
+            ModelInput::tokens(32, 200),
+        ),
+        (
+            roberta_base(BertHead::Classification { labels: 1 }),
+            ModelInput::tokens(64, 110),
+        ),
+        (t5_base(), ModelInput::tokens(8, 180)),
+    ]
+}
+
+fn engine_peak(p: &ModelProfile, plan: &CheckpointPlan) -> usize {
+    let dev = DeviceProfile::v100();
+    let run = run_block_iteration(p, BlockMode::Plan(plan), 64 << 30, &dev, 0, 0);
+    assert!(run.report.ok(), "engine OOMed in an unconstrained arena");
+    run.report.peak_bytes
+}
+
+#[test]
+fn analytic_peak_matches_engine_for_structured_plans() {
+    for (model, input) in models() {
+        let p = model.profile(&input).unwrap();
+        let n = p.blocks.len();
+        for plan in [
+            CheckpointPlan::none(n),
+            CheckpointPlan::all(n),
+            CheckpointPlan::from_indices(n, &[1, 3, 5]),
+            CheckpointPlan::from_indices(n, &(1..n - 1).collect::<Vec<_>>()),
+        ] {
+            let analytic = peak_bytes(&p, &plan);
+            let engine = engine_peak(&p, &plan);
+            let rel = (engine as f64 - analytic as f64).abs() / analytic as f64;
+            assert!(
+                rel < 0.002,
+                "{} {plan}: engine {engine} vs analytic {analytic}",
+                model.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn analytic_peak_matches_engine_for_random_plans(
+        mask in prop::collection::vec(any::<bool>(), 14),
+        seq in 32usize..332,
+    ) {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let p = model.profile(&ModelInput::tokens(32, seq)).unwrap();
+        let mut plan = CheckpointPlan::none(14);
+        for (i, &m) in mask.iter().enumerate() {
+            plan.set(i, m);
+        }
+        let analytic = peak_bytes(&p, &plan);
+        let engine = engine_peak(&p, &plan);
+        let rel = (engine as f64 - analytic as f64).abs() / analytic as f64;
+        prop_assert!(rel < 0.002, "seq {seq} {plan}: {engine} vs {analytic}");
+    }
+
+    #[test]
+    fn feasible_static_plans_execute_within_budget(
+        seq in 100usize..332,
+        budget_gb in 4usize..12,
+    ) {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let p = model.profile(&ModelInput::tokens(32, seq)).unwrap();
+        let budget = budget_gb << 30;
+        if budget < min_feasible_budget(&p) {
+            return Ok(()); // nothing can fit; skip
+        }
+        for plan in [
+            SublinearPolicy::plan_offline(&p, budget).plan().clone(),
+            CheckmatePolicy::plan_offline(&p, budget).plan().clone(),
+        ] {
+            let engine = engine_peak(&p, &plan);
+            prop_assert!(
+                engine <= budget,
+                "seq {seq} budget {budget_gb} GiB: engine peak {engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_never_increases_peak(
+        base_mask in prop::collection::vec(any::<bool>(), 14),
+        extra in 0usize..14,
+    ) {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let p = model.profile(&ModelInput::tokens(32, 128)).unwrap();
+        let mut plan = CheckpointPlan::none(14);
+        for (i, &m) in base_mask.iter().enumerate() {
+            plan.set(i, m);
+        }
+        let before = peak_bytes(&p, &plan);
+        plan.set(extra, true);
+        let after = peak_bytes(&p, &plan);
+        prop_assert!(after <= before, "checkpointing block {extra} raised peak");
+    }
+}
