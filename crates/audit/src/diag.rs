@@ -1,0 +1,187 @@
+//! Diagnostic types shared by every audit pass.
+//!
+//! Each pass returns a flat `Vec<Diagnostic>`; callers decide how to render
+//! them (the `audit` binary prints JSON and exits non-zero on any
+//! [`Severity::Error`]).
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth surfacing, never actionable on its own.
+    Info,
+    /// Suspicious but not provably wrong (e.g. a degenerate plan).
+    Warning,
+    /// A violated invariant: the trace, plan, or profile is broken.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding from an audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Machine-readable check id in kebab-case (e.g. `double-free`).
+    pub check: &'static str,
+    /// What was audited (a plan name, an event index, a block name …).
+    pub subject: String,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An [`Severity::Error`] finding.
+    pub fn error(
+        check: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            check,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A [`Severity::Warning`] finding.
+    pub fn warning(
+        check: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            check,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An [`Severity::Info`] finding.
+    pub fn info(
+        check: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Info,
+            check,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Render as a single JSON object (no external JSON crate — the
+    /// diagnostic shape is flat strings, so escaping by hand is safe).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"check\":\"{}\",\"subject\":\"{}\",\"message\":\"{}\"}}",
+            self.severity.label(),
+            json_escape(self.check),
+            json_escape(&self.subject),
+            json_escape(&self.message),
+        )
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.check, self.subject, self.message
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a slice of diagnostics as a JSON array.
+pub fn to_json_array(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Whether any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// The worst severity present, if any.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let d = Diagnostic::error("double-free", "event 3", "id 7 freed \"twice\"");
+        let j = d.to_json();
+        assert!(j.contains("\\\"twice\\\""), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn array_rendering_and_predicates() {
+        let diags = vec![
+            Diagnostic::info("leak", "end", "1 live allocation"),
+            Diagnostic::error("double-free", "event 3", "boom"),
+        ];
+        assert!(has_errors(&diags));
+        assert_eq!(max_severity(&diags), Some(Severity::Error));
+        assert!(!has_errors(&diags[..1]));
+        let arr = to_json_array(&diags);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("severity").count(), 2);
+        assert_eq!(to_json_array(&[]), "[]");
+    }
+}

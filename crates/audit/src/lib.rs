@@ -1,0 +1,35 @@
+//! # mimose-audit
+//!
+//! Invariant-checking and lint layer for the Mimose simulator: independent
+//! re-derivations of properties the rest of the workspace is supposed to
+//! maintain, reported as structured [`Diagnostic`]s with JSON output.
+//!
+//! Three passes:
+//!
+//! * [`audit_trace`] — replay an arena [`TraceEvent`](mimose_simgpu::TraceEvent)
+//!   stream through a shadow allocator and catch double-frees, overlapping
+//!   live ranges, missed coalescing / spurious OOMs, and `ArenaStats`
+//!   divergence;
+//! * [`lint_plan`] / [`lint_fine_plan`] / [`lint_hybrid_plan`] — static
+//!   checks of checkpoint plans against a model profile and a byte budget;
+//! * [`lint_profile`] — well-formedness of the profile itself (block chain,
+//!   tensor accounting, cost sanity).
+//!
+//! The runtime counterpart — the planner/executor shadow checker that
+//! compares the allocator's live bytes against the analytic residency curve
+//! at every block boundary — lives in `mimose_exec::shadow` (it needs the
+//! engines); this crate holds the offline/static passes. The `audit` binary
+//! in `mimose-exp` runs every pass over every preset task × planner
+//! combination and exits non-zero on any error-severity finding.
+
+#![warn(missing_docs)]
+
+mod diag;
+mod lint;
+mod profile;
+mod trace;
+
+pub use diag::{has_errors, json_escape, max_severity, to_json_array, Diagnostic, Severity};
+pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};
+pub use profile::lint_profile;
+pub use trace::audit_trace;

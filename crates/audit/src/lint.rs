@@ -1,0 +1,329 @@
+//! Static linting of checkpoint plans against a model profile.
+//!
+//! A plan can be structurally valid yet useless or infeasible; these passes
+//! catch the failure modes *before* an engine burns an iteration on them:
+//! shape mismatches, budget infeasibility under the analytic memory model,
+//! degenerate all-drop / no-drop plans, and recompute-cost pathologies
+//! (e.g. checkpointing the final block, which the paper's Fig 9 shows
+//! saves nothing).
+
+use crate::diag::Diagnostic;
+use mimose_models::ModelProfile;
+use mimose_planner::memory_model::{
+    min_feasible_budget, peak_bytes, peak_bytes_fine, recompute_flops, FinePlan,
+};
+use mimose_planner::{peak_bytes_hybrid, BlockAction, CheckpointPlan, HybridPlan};
+
+/// Lint a block-granularity [`CheckpointPlan`] for `profile`, optionally
+/// against a byte `budget`. `subject` labels the diagnostics (planner or
+/// task name).
+pub fn lint_plan(
+    profile: &ModelProfile,
+    plan: &CheckpointPlan,
+    budget: Option<usize>,
+    subject: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = profile.blocks.len();
+    if plan.len() != n {
+        diags.push(Diagnostic::error(
+            "plan-length-mismatch",
+            subject,
+            format!("plan covers {} blocks but the profile has {n}", plan.len()),
+        ));
+        return diags; // nothing below is meaningful on a mis-sized plan
+    }
+    if n == 0 {
+        diags.push(Diagnostic::warning(
+            "empty-profile",
+            subject,
+            "plan and profile cover zero blocks",
+        ));
+        return diags;
+    }
+
+    let peak = peak_bytes(profile, plan);
+    if let Some(b) = budget {
+        if min_feasible_budget(profile) > b {
+            diags.push(Diagnostic::error(
+                "budget-infeasible",
+                subject,
+                format!(
+                    "no plan fits: even all-checkpointed peaks at {} B against a {b} B budget",
+                    min_feasible_budget(profile)
+                ),
+            ));
+        } else if peak > b {
+            diags.push(Diagnostic::error(
+                "plan-over-budget",
+                subject,
+                format!("analytic peak {peak} B exceeds the {b} B budget"),
+            ));
+        }
+    }
+
+    if plan.count() == n {
+        diags.push(Diagnostic::warning(
+            "plan-all-checkpointed",
+            subject,
+            "every block is checkpointed — maximal recompute; a scheduler \
+             should keep blocks whenever the budget allows",
+        ));
+    } else if plan.count() == 0 {
+        diags.push(Diagnostic::info(
+            "plan-no-checkpointing",
+            subject,
+            "nothing checkpointed (correct when the full model fits the budget)",
+        ));
+    }
+
+    // Fig 9: the last block's recomputation happens while everything else is
+    // still resident, so checkpointing it costs FLOPs and saves no memory.
+    if plan.is_checkpointed(n - 1) && plan.count() < n {
+        diags.push(Diagnostic::warning(
+            "useless-last-checkpoint",
+            subject,
+            "final block is checkpointed: pure recompute cost, zero peak reduction",
+        ));
+    }
+    for i in plan.indices() {
+        if profile.blocks[i].act_bytes == 0 {
+            diags.push(Diagnostic::warning(
+                "checkpoint-of-empty-block",
+                subject,
+                format!(
+                    "block {i} ('{}') has no internal activations to drop",
+                    profile.blocks[i].name
+                ),
+            ));
+        }
+    }
+
+    // Recompute-cost sanity: recomputation re-runs a subset of the forward
+    // pass, so it can never exceed it.
+    let rec = recompute_flops(profile, plan);
+    let fwd = profile.total_fwd_flops();
+    if rec > fwd {
+        diags.push(Diagnostic::error(
+            "recompute-exceeds-forward",
+            subject,
+            format!("recompute cost {rec:.3e} FLOPs exceeds the full forward pass {fwd:.3e}"),
+        ));
+    }
+    diags
+}
+
+/// Lint a tensor-granular [`FinePlan`] (MONeT) against `profile`.
+pub fn lint_fine_plan(
+    profile: &ModelProfile,
+    plan: &FinePlan,
+    budget: Option<usize>,
+    subject: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = profile.blocks.len();
+    if plan.len() != n {
+        diags.push(Diagnostic::error(
+            "plan-length-mismatch",
+            subject,
+            format!(
+                "fine plan covers {} blocks but the profile has {n}",
+                plan.len()
+            ),
+        ));
+        return diags;
+    }
+    for (i, b) in profile.blocks.iter().enumerate() {
+        let dropped = plan.dropped_bytes[i];
+        let flops = plan.recompute_flops[i];
+        if dropped > b.act_bytes {
+            diags.push(Diagnostic::warning(
+                "fine-drop-exceeds-activations",
+                subject,
+                format!(
+                    "block {i} drops {dropped} B but only holds {} B of internals \
+                     (the engine clamps, the surplus is dead weight in the plan)",
+                    b.act_bytes
+                ),
+            ));
+        }
+        if !flops.is_finite() || flops < 0.0 {
+            diags.push(Diagnostic::error(
+                "invalid-recompute-flops",
+                subject,
+                format!("block {i} claims a recompute cost of {flops} FLOPs"),
+            ));
+        } else if dropped > 0 && flops == 0.0 && b.act_bytes > 0 {
+            diags.push(Diagnostic::warning(
+                "free-recompute-claimed",
+                subject,
+                format!("block {i} drops {dropped} B at a claimed cost of zero FLOPs"),
+            ));
+        }
+    }
+    if let Some(b) = budget {
+        let peak = peak_bytes_fine(profile, plan);
+        if peak > b {
+            diags.push(Diagnostic::error(
+                "plan-over-budget",
+                subject,
+                format!("analytic fine-plan peak {peak} B exceeds the {b} B budget"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Lint a hybrid swap/recompute [`HybridPlan`] (Capuchin) against `profile`.
+pub fn lint_hybrid_plan(
+    profile: &ModelProfile,
+    plan: &HybridPlan,
+    budget: Option<usize>,
+    subject: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = profile.blocks.len();
+    if plan.actions.len() != n {
+        diags.push(Diagnostic::error(
+            "plan-length-mismatch",
+            subject,
+            format!(
+                "hybrid plan covers {} blocks but the profile has {n}",
+                plan.actions.len()
+            ),
+        ));
+        return diags;
+    }
+    for (i, (a, b)) in plan.actions.iter().zip(&profile.blocks).enumerate() {
+        if *a != BlockAction::Keep && b.act_bytes == 0 {
+            diags.push(Diagnostic::warning(
+                "checkpoint-of-empty-block",
+                subject,
+                format!(
+                    "block {i} ('{}') is marked {a:?} but has no internal activations",
+                    b.name
+                ),
+            ));
+        }
+    }
+    if let Some(bud) = budget {
+        let peak = peak_bytes_hybrid(profile, plan);
+        if peak > bud {
+            diags.push(Diagnostic::error(
+                "plan-over-budget",
+                subject,
+                format!("analytic hybrid-plan peak {peak} B exceeds the {bud} B budget"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn sane_plan_has_no_errors() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::from_indices(n, &[1, 2, 3, 4, 5]).unwrap();
+        let budget = peak_bytes(&p, &plan) + (1 << 20);
+        let diags = lint_plan(&p, &plan, Some(budget), "test");
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_plan_shape_is_an_error() {
+        // A plan built for the wrong model size — the static analogue of an
+        // out-of-range index surviving into execution.
+        let p = profile(128);
+        let plan = CheckpointPlan::all(p.blocks.len() + 3);
+        let diags = lint_plan(&p, &plan, None, "test");
+        assert!(
+            diags.iter().any(|d| d.check == "plan-length-mismatch"),
+            "{diags:?}"
+        );
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn over_budget_plan_is_an_error() {
+        let p = profile(256);
+        let n = p.blocks.len();
+        let none = CheckpointPlan::none(n);
+        let tight = peak_bytes(&p, &CheckpointPlan::all(n)) + (1 << 20);
+        let diags = lint_plan(&p, &none, Some(tight), "test");
+        assert!(
+            diags.iter().any(|d| d.check == "plan-over-budget"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_error() {
+        let p = profile(256);
+        let n = p.blocks.len();
+        let diags = lint_plan(&p, &CheckpointPlan::all(n), Some(1 << 20), "test");
+        assert!(
+            diags.iter().any(|d| d.check == "budget-infeasible"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_and_useless_plans_are_warnings() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let all = lint_plan(&p, &CheckpointPlan::all(n), None, "test");
+        assert!(all.iter().any(|d| d.check == "plan-all-checkpointed"));
+        assert!(!has_errors(&all), "{all:?}");
+        let last = lint_plan(
+            &p,
+            &CheckpointPlan::from_indices(n, &[n - 1]).unwrap(),
+            None,
+            "test",
+        );
+        assert!(last.iter().any(|d| d.check == "useless-last-checkpoint"));
+    }
+
+    #[test]
+    fn fine_plan_lints() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let mut fine = FinePlan::none(n);
+        fine.dropped_bytes[1] = p.blocks[1].act_bytes * 2; // over-drop
+        fine.recompute_flops[2] = f64::NAN;
+        let diags = lint_fine_plan(&p, &fine, None, "test");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == "fine-drop-exceeds-activations"),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.check == "invalid-recompute-flops"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_plan_lints() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let ok = lint_hybrid_plan(&p, &HybridPlan::keep_all(n), Some(usize::MAX), "test");
+        assert!(!has_errors(&ok), "{ok:?}");
+        let short = HybridPlan::keep_all(n - 1);
+        let diags = lint_hybrid_plan(&p, &short, None, "test");
+        assert!(has_errors(&diags), "{diags:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Well-formedness checks for [`ModelProfile`] graphs.
+//!
+//! Every planner and both engines consume profiles; a malformed one (broken
+//! block chain, tensor accounting that disagrees with the block totals,
+//! non-finite costs) corrupts every downstream result silently. These
+//! invariants hold by construction for `ModelGraph::profile` output — the
+//! auditor exists to catch hand-built or mutated profiles.
+
+use crate::diag::Diagnostic;
+use mimose_models::ModelProfile;
+use mimose_simgpu::ARENA_ALIGN;
+
+/// Lint `profile` for structural and accounting invariants.
+pub fn lint_profile(profile: &ModelProfile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let subject = profile.model.clone();
+    if profile.blocks.is_empty() {
+        diags.push(Diagnostic::error(
+            "empty-profile",
+            subject,
+            "profile has zero blocks",
+        ));
+        return diags;
+    }
+    for (i, b) in profile.blocks.iter().enumerate() {
+        let bsub = format!("{subject}/{}", b.name);
+        if b.index != i {
+            diags.push(Diagnostic::error(
+                "block-index-mismatch",
+                bsub.clone(),
+                format!("block at position {i} carries index {}", b.index),
+            ));
+        }
+        let tensor_sum: usize = b.tensors.iter().map(|t| t.bytes).sum();
+        if tensor_sum != b.act_bytes {
+            diags.push(Diagnostic::error(
+                "tensor-sum-mismatch",
+                bsub.clone(),
+                format!(
+                    "per-tensor records sum to {tensor_sum} B but act_bytes is {} B",
+                    b.act_bytes
+                ),
+            ));
+        }
+        for (name, v) in [("fwd_flops", b.fwd_flops), ("bwd_flops", b.bwd_flops)] {
+            if !v.is_finite() || v < 0.0 {
+                diags.push(Diagnostic::error(
+                    "invalid-flops",
+                    bsub.clone(),
+                    format!("{name} is {v}"),
+                ));
+            }
+        }
+        for (name, v) in [
+            ("act_bytes", b.act_bytes),
+            ("out_bytes", b.out_bytes),
+            ("in_bytes", b.in_bytes),
+        ] {
+            if v % ARENA_ALIGN != 0 {
+                diags.push(Diagnostic::warning(
+                    "unaligned-profile-bytes",
+                    bsub.clone(),
+                    format!("{name} = {v} B is not a multiple of {ARENA_ALIGN}"),
+                ));
+            }
+        }
+        if i + 1 < profile.blocks.len() {
+            let next = &profile.blocks[i + 1];
+            if next.in_bytes != b.out_bytes {
+                diags.push(Diagnostic::error(
+                    "io-chain-broken",
+                    bsub,
+                    format!(
+                        "output is {} B but the next block ('{}') expects a {} B input",
+                        b.out_bytes, next.name, next.in_bytes
+                    ),
+                ));
+            }
+        }
+    }
+    if profile.const_bytes == 0 {
+        diags.push(Diagnostic::warning(
+            "zero-const-footprint",
+            subject.clone(),
+            "profile claims no weights/optimizer footprint",
+        ));
+    }
+    if profile.input_bytes == 0 {
+        diags.push(Diagnostic::warning(
+            "zero-input",
+            subject,
+            "profile claims a zero-byte input tensor",
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use mimose_models::builders::{bert_base, t5_base, BertHead};
+    use mimose_models::ModelInput;
+
+    #[test]
+    fn generated_profiles_are_well_formed() {
+        for (model, input) in [
+            (
+                bert_base(BertHead::Classification { labels: 2 }),
+                ModelInput::tokens(32, 128),
+            ),
+            (t5_base(), ModelInput::tokens(8, 200)),
+        ] {
+            let p = model.profile(&input).unwrap();
+            let diags = lint_profile(&p);
+            assert!(!has_errors(&diags), "{}: {diags:?}", model.name);
+        }
+    }
+
+    #[test]
+    fn mutated_profile_is_caught() {
+        let mut p = bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, 128))
+            .unwrap();
+        p.blocks[3].act_bytes += 1; // breaks tensor-sum and alignment
+        p.blocks[5].index = 0;
+        p.blocks[7].fwd_flops = f64::NAN;
+        p.blocks[2].out_bytes += ARENA_ALIGN; // breaks the io chain
+        let diags = lint_profile(&p);
+        for check in [
+            "tensor-sum-mismatch",
+            "block-index-mismatch",
+            "invalid-flops",
+            "io-chain-broken",
+        ] {
+            assert!(
+                diags.iter().any(|d| d.check == check),
+                "missing {check}: {diags:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Allocator-trace auditing: replay a [`TraceEvent`] stream through an
+//! independent shadow allocator and cross-check every invariant the arena
+//! is supposed to maintain.
+//!
+//! The shadow keeps only the live address ranges, reconstructing the free
+//! list as the complement of the live set — so it shares no code (and no
+//! bugs) with the arena's `BTreeMap` free-list bookkeeping. Detected
+//! classes:
+//!
+//! * **double-free / foreign free** — freeing an id that is not live;
+//! * **use-after-free id reuse** — an id handed out twice;
+//! * **overlapping live ranges** — two allocations sharing bytes;
+//! * **out-of-bounds / misaligned carves**;
+//! * **missed coalescing / spurious OOM** — the arena reported failure (or
+//!   a `largest_free`) inconsistent with the true gap structure of the
+//!   address space, which is exactly what broken coalescing looks like;
+//! * **stats divergence** — recomputed `peak_used` / `peak_frag` /
+//!   event counts disagree with the arena's own [`ArenaStats`].
+
+use crate::diag::Diagnostic;
+use mimose_simgpu::{ArenaStats, TraceEvent, ARENA_ALIGN};
+use std::collections::{BTreeMap, HashSet};
+
+fn align_up(bytes: usize) -> usize {
+    ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
+}
+
+/// Shadow replay state: live ranges indexed both ways, plus recomputed
+/// statistics.
+struct Shadow {
+    capacity: usize,
+    /// id → (offset, size).
+    by_id: BTreeMap<u64, (usize, usize)>,
+    /// offset → (size, id). Disjointness of this map is the overlap check.
+    by_offset: BTreeMap<usize, (usize, u64)>,
+    /// Ids freed at least once (distinguishes double-free from foreign id).
+    freed: HashSet<u64>,
+    /// Ids ever issued (detects id reuse).
+    issued: HashSet<u64>,
+    used: usize,
+    stats: ArenaStats,
+}
+
+impl Shadow {
+    fn new(capacity: usize) -> Self {
+        Shadow {
+            capacity,
+            by_id: BTreeMap::new(),
+            by_offset: BTreeMap::new(),
+            freed: HashSet::new(),
+            issued: HashSet::new(),
+            used: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    fn free_bytes(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Largest gap between live ranges (the true `largest_free`),
+    /// reconstructed from the live set alone.
+    fn largest_gap(&self) -> usize {
+        let mut largest = 0usize;
+        let mut cursor = 0usize;
+        for (&off, &(size, _)) in &self.by_offset {
+            if off > cursor {
+                largest = largest.max(off - cursor);
+            }
+            cursor = cursor.max(off + size);
+        }
+        if self.capacity > cursor {
+            largest = largest.max(self.capacity - cursor);
+        }
+        largest
+    }
+
+    fn frag(&self) -> usize {
+        self.free_bytes().saturating_sub(self.largest_gap())
+    }
+}
+
+/// Replay `events` against an arena of `capacity` bytes and report every
+/// violated invariant. When `stats` is given, the recomputed statistics
+/// must match it field for field.
+///
+/// Leaked allocations at the end of the trace are reported at info
+/// severity: engines legitimately end an iteration with the constant
+/// footprint still live.
+pub fn audit_trace(
+    capacity: usize,
+    events: &[TraceEvent],
+    stats: Option<&ArenaStats>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut s = Shadow::new(capacity);
+
+    for (ev_idx, ev) in events.iter().enumerate() {
+        let subject = format!("event {ev_idx}");
+        match *ev {
+            TraceEvent::Alloc {
+                id,
+                offset,
+                size,
+                requested,
+            } => {
+                let raw = id.raw();
+                if s.by_id.contains_key(&raw) {
+                    diags.push(Diagnostic::error(
+                        "alloc-id-reuse",
+                        subject.clone(),
+                        format!("id {raw} allocated while already live"),
+                    ));
+                } else if s.issued.contains(&raw) {
+                    diags.push(Diagnostic::error(
+                        "alloc-id-reuse",
+                        subject.clone(),
+                        format!("id {raw} reissued after being freed (dangling-handle hazard)"),
+                    ));
+                }
+                if offset % ARENA_ALIGN != 0 || size % ARENA_ALIGN != 0 {
+                    diags.push(Diagnostic::error(
+                        "misaligned-carve",
+                        subject.clone(),
+                        format!(
+                            "range [{offset}, {}) not aligned to {ARENA_ALIGN} B",
+                            offset + size
+                        ),
+                    ));
+                }
+                if offset + size > capacity {
+                    diags.push(Diagnostic::error(
+                        "out-of-bounds",
+                        subject.clone(),
+                        format!(
+                            "range [{offset}, {}) exceeds capacity {capacity}",
+                            offset + size
+                        ),
+                    ));
+                }
+                if size != align_up(requested) {
+                    diags.push(Diagnostic::error(
+                        "size-mismatch",
+                        subject.clone(),
+                        format!(
+                            "carved {size} B for a {requested} B request (expected {} B)",
+                            align_up(requested)
+                        ),
+                    ));
+                }
+                // Overlap against the nearest live neighbours on each side.
+                if let Some((&poff, &(psize, pid))) = s.by_offset.range(..=offset).next_back() {
+                    if poff + psize > offset {
+                        diags.push(Diagnostic::error(
+                            "overlapping-live-ranges",
+                            subject.clone(),
+                            format!(
+                                "[{offset}, {}) overlaps live id {pid} at [{poff}, {})",
+                                offset + size,
+                                poff + psize
+                            ),
+                        ));
+                    }
+                }
+                if let Some((&noff, &(nsize, nid))) = s.by_offset.range(offset + 1..).next() {
+                    if offset + size > noff {
+                        diags.push(Diagnostic::error(
+                            "overlapping-live-ranges",
+                            subject.clone(),
+                            format!(
+                                "[{offset}, {}) overlaps live id {nid} at [{noff}, {})",
+                                offset + size,
+                                noff + nsize
+                            ),
+                        ));
+                    }
+                }
+                s.issued.insert(raw);
+                s.by_id.insert(raw, (offset, size));
+                s.by_offset.insert(offset, (size, raw));
+                s.used += size;
+                s.stats.allocs += 1;
+                s.stats.peak_used = s.stats.peak_used.max(s.used);
+                // Mirror the arena exactly: peak_frag and peak_extent are
+                // sampled after each *successful* allocation.
+                s.stats.peak_frag = s.stats.peak_frag.max(s.frag());
+                s.stats.peak_extent = s.stats.peak_extent.max(offset + size);
+                s.stats.peak_footprint = s.stats.peak_footprint.max(s.used + s.frag());
+            }
+            TraceEvent::Free { id, offset, size } => {
+                let raw = id.raw();
+                match s.by_id.remove(&raw) {
+                    None => {
+                        if s.freed.contains(&raw) {
+                            diags.push(Diagnostic::error(
+                                "double-free",
+                                subject.clone(),
+                                format!("id {raw} freed again after an earlier free"),
+                            ));
+                        } else {
+                            diags.push(Diagnostic::error(
+                                "foreign-free",
+                                subject.clone(),
+                                format!("free of id {raw} that was never allocated"),
+                            ));
+                        }
+                    }
+                    Some((live_off, live_size)) => {
+                        if live_off != offset || live_size != size {
+                            diags.push(Diagnostic::error(
+                                "free-metadata-mismatch",
+                                subject.clone(),
+                                format!(
+                                    "id {raw} freed as [{offset}, {}) but was carved at [{live_off}, {})",
+                                    offset + size,
+                                    live_off + live_size
+                                ),
+                            ));
+                        }
+                        s.by_offset.remove(&live_off);
+                        s.used -= live_size;
+                        s.stats.frees += 1;
+                        s.stats.peak_footprint = s.stats.peak_footprint.max(s.used + s.frag());
+                    }
+                }
+                s.freed.insert(raw);
+            }
+            TraceEvent::Oom {
+                requested,
+                free_bytes,
+                largest_free,
+            } => {
+                s.stats.oom_events += 1;
+                let true_free = s.free_bytes();
+                let true_largest = s.largest_gap();
+                if free_bytes != true_free {
+                    diags.push(Diagnostic::error(
+                        "oom-accounting",
+                        subject.clone(),
+                        format!(
+                            "OOM reported {free_bytes} B free but the live set leaves {true_free} B"
+                        ),
+                    ));
+                }
+                if largest_free != true_largest {
+                    diags.push(Diagnostic::error(
+                        "missed-coalescing",
+                        subject.clone(),
+                        format!(
+                            "OOM reported largest contiguous range {largest_free} B but the \
+                             address space has a {true_largest} B gap — the free list is not \
+                             coalescing adjacent ranges"
+                        ),
+                    ));
+                }
+                if requested <= true_largest {
+                    diags.push(Diagnostic::error(
+                        "spurious-oom",
+                        subject,
+                        format!(
+                            "OOM for a {requested} B request although a {true_largest} B \
+                             contiguous gap exists"
+                        ),
+                    ));
+                }
+            }
+            TraceEvent::Reset => {
+                s.by_id.clear();
+                s.by_offset.clear();
+                s.used = 0;
+            }
+        }
+    }
+
+    if !s.by_id.is_empty() {
+        diags.push(Diagnostic::info(
+            "live-at-end",
+            "end of trace",
+            format!(
+                "{} allocation(s) totalling {} B still live (normal for the constant \
+                 footprint; a growing count across iterations is a leak)",
+                s.by_id.len(),
+                s.used
+            ),
+        ));
+    }
+
+    if let Some(actual) = stats {
+        let fields: [(&'static str, u64, u64); 7] = [
+            ("allocs", s.stats.allocs, actual.allocs),
+            ("frees", s.stats.frees, actual.frees),
+            ("oom_events", s.stats.oom_events, actual.oom_events),
+            (
+                "peak_used",
+                s.stats.peak_used as u64,
+                actual.peak_used as u64,
+            ),
+            (
+                "peak_frag",
+                s.stats.peak_frag as u64,
+                actual.peak_frag as u64,
+            ),
+            (
+                "peak_extent",
+                s.stats.peak_extent as u64,
+                actual.peak_extent as u64,
+            ),
+            (
+                "peak_footprint",
+                s.stats.peak_footprint as u64,
+                actual.peak_footprint as u64,
+            ),
+        ];
+        for (name, recomputed, reported) in fields {
+            if recomputed != reported {
+                diags.push(Diagnostic::error(
+                    "stats-divergence",
+                    format!("ArenaStats.{name}"),
+                    format!("arena reports {reported} but the trace replays to {recomputed}"),
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use mimose_simgpu::{AllocId, Arena};
+
+    fn ev_alloc(id: u64, offset: usize, requested: usize) -> TraceEvent {
+        TraceEvent::Alloc {
+            id: AllocId::from_raw(id),
+            offset,
+            size: align_up(requested),
+            requested,
+        }
+    }
+
+    fn ev_free(id: u64, offset: usize, requested: usize) -> TraceEvent {
+        TraceEvent::Free {
+            id: AllocId::from_raw(id),
+            offset,
+            size: align_up(requested),
+        }
+    }
+
+    #[test]
+    fn clean_arena_trace_is_clean() {
+        let mut a = Arena::new(1 << 20);
+        a.set_tracing(true);
+        let x = a.alloc(1000).unwrap();
+        let y = a.alloc(5000).unwrap();
+        a.free(x);
+        let z = a.alloc(700).unwrap();
+        a.free(y);
+        a.free(z);
+        let stats = a.stats();
+        let diags = audit_trace(a.capacity(), &a.take_trace(), Some(&stats));
+        assert!(!has_errors(&diags), "{diags:?}");
+        assert!(
+            diags.is_empty(),
+            "all freed, so not even a leak note: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn oom_and_reset_replay_cleanly() {
+        let mut a = Arena::new(4096);
+        a.set_tracing(true);
+        let _x = a.alloc(4096).unwrap();
+        assert!(a.alloc(1).is_err());
+        a.reset();
+        let _y = a.alloc(512).unwrap();
+        let stats = a.stats();
+        let diags = audit_trace(a.capacity(), &a.take_trace(), Some(&stats));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let events = [ev_alloc(0, 0, 512), ev_free(0, 0, 512), ev_free(0, 0, 512)];
+        let diags = audit_trace(4096, &events, None);
+        assert!(diags.iter().any(|d| d.check == "double-free"), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn foreign_free_is_distinguished_from_double_free() {
+        let diags = audit_trace(4096, &[ev_free(9, 0, 512)], None);
+        assert!(diags.iter().any(|d| d.check == "foreign-free"), "{diags:?}");
+    }
+
+    #[test]
+    fn overlapping_ranges_detected() {
+        let events = [ev_alloc(0, 0, 1024), ev_alloc(1, 512, 1024)];
+        let diags = audit_trace(1 << 20, &events, None);
+        assert!(
+            diags.iter().any(|d| d.check == "overlapping-live-ranges"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn spurious_oom_and_missed_coalescing_detected() {
+        // Live: [0,512) and [1536,2048); the gap [512,1536) is 1024 B.
+        let events = [
+            ev_alloc(0, 0, 512),
+            ev_alloc(1, 1536, 512),
+            TraceEvent::Oom {
+                requested: 1024,
+                free_bytes: 3072,
+                largest_free: 512, // arena claims the gap is only 512 B
+            },
+        ];
+        let diags = audit_trace(4096, &events, None);
+        assert!(
+            diags.iter().any(|d| d.check == "missed-coalescing"),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.check == "spurious-oom"), "{diags:?}");
+    }
+
+    #[test]
+    fn stats_divergence_detected() {
+        let mut a = Arena::new(1 << 20);
+        a.set_tracing(true);
+        let x = a.alloc(1000).unwrap();
+        a.free(x);
+        let mut stats = a.stats();
+        stats.peak_used += 512; // tamper
+        let diags = audit_trace(a.capacity(), &a.take_trace(), Some(&stats));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == "stats-divergence" && d.subject.contains("peak_used")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn leak_is_reported_at_info_only() {
+        let diags = audit_trace(4096, &[ev_alloc(0, 0, 512)], None);
+        assert!(!has_errors(&diags));
+        assert!(diags.iter().any(|d| d.check == "live-at-end"));
+    }
+
+    #[test]
+    fn out_of_bounds_and_misalignment_detected() {
+        let events = [
+            TraceEvent::Alloc {
+                id: AllocId::from_raw(0),
+                offset: 100, // unaligned
+                size: 512,
+                requested: 512,
+            },
+            ev_alloc(1, 4096, 512), // beyond a 4096 B arena
+        ];
+        let diags = audit_trace(4096, &events, None);
+        assert!(
+            diags.iter().any(|d| d.check == "misaligned-carve"),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.check == "out-of-bounds"),
+            "{diags:?}"
+        );
+    }
+}

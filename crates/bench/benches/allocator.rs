@@ -1,6 +1,7 @@
 //! Arena allocator throughput: the simulated caching-allocator fast path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mimose_bench::harness::{BatchSize, Criterion};
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_simgpu::Arena;
 use std::hint::black_box;
 

@@ -1,6 +1,7 @@
 //! Table IV/V latency columns: fit and predict per regressor family.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mimose_bench::harness::{BatchSize, Criterion};
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_bench::{shuttle_samples, TEN_SEQS};
 use mimose_estimator::{
     DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
@@ -62,12 +63,16 @@ fn bench_predict(c: &mut Criterion) {
     gbt.fit(&xs, ys).unwrap();
     let x = 32.0 * 222.0;
     let mut g = c.benchmark_group("predict_one");
-    g.bench_function("poly_n2", |b| b.iter(|| black_box(poly.predict(black_box(x)))));
+    g.bench_function("poly_n2", |b| {
+        b.iter(|| black_box(poly.predict(black_box(x))))
+    });
     g.bench_function("svr", |b| b.iter(|| black_box(svr.predict(black_box(x)))));
     g.bench_function("decision_tree", |b| {
         b.iter(|| black_box(tree.predict(black_box(x))))
     });
-    g.bench_function("xgboost", |b| b.iter(|| black_box(gbt.predict(black_box(x)))));
+    g.bench_function("xgboost", |b| {
+        b.iter(|| black_box(gbt.predict(black_box(x))))
+    });
     g.finish();
 }
 

@@ -1,7 +1,8 @@
 //! End-to-end single-iteration cost per planner — a micro-slice of Fig 10.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_profile;
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_exec::{run_block_iteration, run_dtr_iteration, BlockMode};
 use mimose_planner::{CheckpointPlan, SublinearPolicy};
 use mimose_simgpu::DeviceProfile;

@@ -1,8 +1,9 @@
 //! Cost of computing a model profile (shape inference + cost model) — this
 //! runs once per simulated iteration, so it must stay cheap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_model;
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_models::builders::{resnet50_od, t5_base};
 use mimose_models::ModelInput;
 use std::hint::black_box;
@@ -13,7 +14,12 @@ fn bench_profiles(c: &mut Criterion) {
     let r50 = resnet50_od();
     let mut g = c.benchmark_group("model_profile");
     g.bench_function("bert_base", |b| {
-        b.iter(|| black_box(bert.profile(black_box(&ModelInput::tokens(32, 200))).unwrap()))
+        b.iter(|| {
+            black_box(
+                bert.profile(black_box(&ModelInput::tokens(32, 200)))
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("t5_base", |b| {
         b.iter(|| black_box(t5.profile(black_box(&ModelInput::tokens(8, 180))).unwrap()))

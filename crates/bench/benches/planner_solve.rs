@@ -1,7 +1,8 @@
 //! Table I "solving time" row: offline solve cost of the static planners.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_profile;
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_planner::{CheckmatePolicy, MonetPolicy, SublinearPolicy};
 use std::hint::black_box;
 

@@ -1,8 +1,9 @@
 //! Table III's sub-millisecond claim: Algorithm 1 plan generation, the
 //! knapsack alternative, and the plan-cache hit path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_profile;
+use mimose_bench::{criterion_group, criterion_main};
 use mimose_core::{GreedyBucketScheduler, KnapsackScheduler, PlanCache, Scheduler};
 use mimose_planner::CheckpointPlan;
 use std::hint::black_box;

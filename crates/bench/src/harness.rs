@@ -1,0 +1,163 @@
+//! Minimal benchmark harness exposing the slice of the Criterion API the
+//! bench targets use (`bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched[_ref]`). Criterion itself is unavailable in the offline
+//! build environment; this harness keeps the targets runnable and prints
+//! median ns/iter per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint (accepted for API compatibility; batches are per-call).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    #[default]
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by the `iter*` methods.
+    ns_per_iter: f64,
+}
+
+const WARMUP_ITERS: usize = 3;
+const MAX_SAMPLES: usize = 101;
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut one: F) {
+        for _ in 0..WARMUP_ITERS {
+            let _ = one();
+        }
+        let started = Instant::now();
+        let mut samples = Vec::with_capacity(MAX_SAMPLES);
+        while samples.len() < MAX_SAMPLES && started.elapsed() < SAMPLE_BUDGET {
+            samples.push(one().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    /// Time `routine` on a fresh value from `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+
+    /// Time `routine` on a mutable reference to a fresh value from `setup`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            t0.elapsed()
+        });
+    }
+}
+
+/// Result line for one benchmark.
+struct Entry {
+    name: String,
+    ns_per_iter: f64,
+}
+
+/// Benchmark registry + runner.
+#[derive(Default)]
+pub struct Criterion {
+    entries: Vec<Entry>,
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.entries.push(Entry {
+            name: name.to_string(),
+            ns_per_iter: b.ns_per_iter,
+        });
+        self
+    }
+
+    /// Open a named group; member benchmarks are prefixed with the group name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Print all collected measurements.
+    pub fn report(&self) {
+        for e in &self.entries {
+            println!("{:<48} {:>14.0} ns/iter", e.name, e.ns_per_iter);
+        }
+    }
+}
+
+/// Group handle mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.report();
+        }
+    };
+}

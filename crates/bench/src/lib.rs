@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use mimose_models::builders::{bert_base, BertHead};
 use mimose_models::{ModelGraph, ModelInput, ModelProfile};
 

@@ -12,10 +12,8 @@
 //!   under-prediction — the policy widens its safety margin and invalidates
 //!   the plan cache, so the failure cannot repeat.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the adaptive extensions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveConfig {
     /// Re-shuttle when the input size exceeds the fitted support by this
     /// factor (or falls below its inverse). 0 disables re-collection.
@@ -66,7 +64,8 @@ impl AdaptiveState {
     /// Register an in-budget OOM; returns the new backoff.
     pub fn on_oom(&mut self, cfg: &AdaptiveConfig) -> usize {
         self.oom_events += 1;
-        self.backoff_bytes = (self.backoff_bytes + cfg.oom_backoff_bytes).min(cfg.max_backoff_bytes);
+        self.backoff_bytes =
+            (self.backoff_bytes + cfg.oom_backoff_bytes).min(cfg.max_backoff_bytes);
         self.backoff_bytes
     }
 }

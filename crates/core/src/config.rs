@@ -1,10 +1,9 @@
 //! Mimose configuration.
 
 use crate::AdaptiveConfig;
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the Mimose planner (§IV, §V).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MimoseConfig {
     /// GPU memory budget in bytes that every iteration must respect.
     pub budget_bytes: usize,

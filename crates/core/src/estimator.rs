@@ -61,10 +61,16 @@ impl MemoryEstimator {
         let mut fwd = Vec::with_capacity(n_blocks);
         for b in 0..n_blocks {
             act.push(fit_one(
-                samples.iter().map(|s| s.blocks[b].act_bytes as f64).collect(),
+                samples
+                    .iter()
+                    .map(|s| s.blocks[b].act_bytes as f64)
+                    .collect(),
             )?);
             out.push(fit_one(
-                samples.iter().map(|s| s.blocks[b].out_bytes as f64).collect(),
+                samples
+                    .iter()
+                    .map(|s| s.blocks[b].out_bytes as f64)
+                    .collect(),
             )?);
             fwd.push(fit_one(
                 samples.iter().map(|s| s.blocks[b].fwd_ns as f64).collect(),
@@ -210,7 +216,12 @@ mod tests {
                 .sum();
             (pred - truth.total_act_bytes() as f64).abs() / truth.total_act_bytes() as f64
         };
-        assert!(err(&lin) > 3.0 * err(&quad), "lin {} quad {}", err(&lin), err(&quad));
+        assert!(
+            err(&lin) > 3.0 * err(&quad),
+            "lin {} quad {}",
+            err(&lin),
+            err(&quad)
+        );
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! responsive execution (estimate → schedule → cache), per Fig 6.
 
 use crate::{AdaptiveState, MemoryEstimator, MimoseConfig, PlanCache, Scheduler, ShuttleSample};
+use mimose_models::ModelProfile;
 use mimose_planner::{
     CheckpointPlan, Directive, Granularity, IterationObservation, MemoryPolicy, PlanTiming,
     PlannerMeta,
 };
-use mimose_models::ModelProfile;
 use std::time::Instant;
 
 /// Execution phase (§IV-A).
@@ -201,10 +201,7 @@ impl MemoryPolicy for MimosePolicy {
                 // extrapolation.
                 if let (Some(acfg), Some(est)) = (&self.cfg.adaptive, &self.estimator) {
                     let x = profile.input_size as f64;
-                    if self
-                        .adaptive
-                        .needs_recollect(acfg, x, est.x_min, est.x_max)
-                    {
+                    if self.adaptive.needs_recollect(acfg, x, est.x_min, est.x_max) {
                         self.pending_recollect = true;
                         self.last_overhead_ns = 0;
                         return Directive::Shuttle(CheckpointPlan::all(n));
@@ -413,7 +410,11 @@ mod tests {
             let _ = pol.begin_iteration(30, &p);
         }
         let (_, max_ns) = pol.stats().plan_ns_range();
-        let limit = if cfg!(debug_assertions) { 30_000_000 } else { 1_000_000 };
+        let limit = if cfg!(debug_assertions) {
+            30_000_000
+        } else {
+            1_000_000
+        };
         assert!(max_ns < limit, "plan generation took {max_ns} ns");
     }
 

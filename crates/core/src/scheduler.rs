@@ -357,16 +357,16 @@ mod tests {
             input_bytes: 1 << 20,
         };
         // Budget that fits once either big block is checkpointed.
-        let budget = peak_bytes(&p, &CheckpointPlan::from_indices(3, &[0]))
-            .max(peak_bytes(&p, &CheckpointPlan::from_indices(3, &[1])));
+        let budget = peak_bytes(&p, &CheckpointPlan::from_indices(3, &[0]).unwrap()).max(
+            peak_bytes(&p, &CheckpointPlan::from_indices(3, &[1]).unwrap()),
+        );
         let greedy = GreedyBucketScheduler::new(0.10).schedule(&p, budget);
         let aware = CostAwareScheduler::new(0.10).schedule(&p, budget);
         assert!(greedy.is_checkpointed(0), "size-greedy takes the big block");
         assert!(aware.is_checkpointed(1), "cost-aware takes the cheap block");
         assert!(!aware.is_checkpointed(0));
-        let cost = |plan: &CheckpointPlan| -> f64 {
-            plan.indices().map(|i| p.blocks[i].fwd_flops).sum()
-        };
+        let cost =
+            |plan: &CheckpointPlan| -> f64 { plan.indices().map(|i| p.blocks[i].fwd_flops).sum() };
         assert!(cost(&aware) < cost(&greedy));
     }
 

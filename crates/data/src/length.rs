@@ -5,12 +5,11 @@
 //! power-law distribution". These samplers generate per-sample token lengths
 //! (or image extents) with the shapes and ranges reported there.
 
-use rand::Rng;
-use rand_distr::{Distribution, LogNormal, Normal};
-use serde::{Deserialize, Serialize};
+use mimose_rng::Rng;
+use mimose_rng::{Distribution, LogNormal, Normal};
 
 /// A bounded distribution over per-sample sizes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LengthSampler {
     /// Truncated normal distribution (SWAG-, SQuAD-like).
     Normal {
@@ -99,8 +98,8 @@ impl LengthSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mimose_rng::SeedableRng;
+    use mimose_rng::StdRng;
 
     fn draws(s: &LengthSampler, n: usize) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(7);
@@ -142,7 +141,10 @@ mod tests {
             v[(v.len() as f64 * 0.95) as usize]
         };
         // Right-skew: the 95th percentile is far above the median.
-        assert!(p95 as f64 > 1.8 * median as f64, "median {median} p95 {p95}");
+        assert!(
+            p95 as f64 > 1.8 * median as f64,
+            "median {median} p95 {p95}"
+        );
     }
 
     #[test]

@@ -2,12 +2,11 @@
 
 use crate::{CocoLikeDataset, TextDataset};
 use mimose_models::ModelInput;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use mimose_rng::SeedableRng;
+use mimose_rng::StdRng;
 
 /// Any dataset in the evaluation suite.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Dataset {
     /// NLP dataset (SWAG, SQuAD, GLUE-QQP, UN_PC).
     Text(TextDataset),
@@ -87,7 +86,7 @@ impl Iterator for BatchStream<'_> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::presets;
 
     #[test]

@@ -3,14 +3,13 @@
 
 use crate::LengthSampler;
 use mimose_models::ModelInput;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mimose_rng::Rng;
 
 /// A synthetic text dataset that reproduces a real dataset's per-sample
 /// token-length distribution. Samples are collated by padding every sequence
 /// in the mini-batch to the batch maximum and truncating at `max_len`
 /// (paper §II-A).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TextDataset {
     /// Dataset name (e.g. `SWAG`).
     pub name: String,
@@ -72,8 +71,8 @@ impl TextDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mimose_rng::SeedableRng;
+    use mimose_rng::StdRng;
 
     fn swag_like() -> TextDataset {
         TextDataset {
@@ -120,9 +119,15 @@ mod tests {
         // iteration.
         let ds = swag_like();
         let mut rng = StdRng::seed_from_u64(3);
-        let sizes: Vec<usize> = (0..50).map(|_| ds.next_batch(&mut rng).input_size()).collect();
+        let sizes: Vec<usize> = (0..50)
+            .map(|_| ds.next_batch(&mut rng).input_size())
+            .collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
-        assert!(distinct.len() > 10, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct sizes",
+            distinct.len()
+        );
     }
 
     #[test]

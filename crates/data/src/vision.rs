@@ -7,18 +7,16 @@
 //! multiple of 32 for FPN strides).
 
 use mimose_models::ModelInput;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mimose_rng::Rng;
 
 /// The standard multi-scale ladder used by DETR/Sparse-RCNN configs.
-pub const MULTISCALE_LADDER: [usize; 11] =
-    [480, 512, 544, 576, 608, 640, 672, 704, 736, 768, 800];
+pub const MULTISCALE_LADDER: [usize; 11] = [480, 512, 544, 576, 608, 640, 672, 704, 736, 768, 800];
 
 /// Maximum longer-side extent.
 pub const MAX_LONG_SIDE: usize = 1333;
 
 /// COCO-like synthetic detection dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CocoLikeDataset {
     /// Dataset name.
     pub name: String,
@@ -122,8 +120,8 @@ impl CocoLikeDataset {
 mod tests {
     use super::*;
     use mimose_models::ModelInputKind;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mimose_rng::SeedableRng;
+    use mimose_rng::StdRng;
 
     #[test]
     fn resized_batches_respect_detr_constraints() {
@@ -147,8 +145,9 @@ mod tests {
     fn input_sizes_vary() {
         let ds = CocoLikeDataset::coco(8);
         let mut rng = StdRng::seed_from_u64(12);
-        let sizes: std::collections::HashSet<usize> =
-            (0..100).map(|_| ds.next_batch(&mut rng).input_size()).collect();
+        let sizes: std::collections::HashSet<usize> = (0..100)
+            .map(|_| ds.next_batch(&mut rng).input_size())
+            .collect();
         assert!(sizes.len() > 20, "only {} distinct sizes", sizes.len());
     }
 

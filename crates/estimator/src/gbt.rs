@@ -6,8 +6,8 @@
 //! prediction walks every tree (1.3 ms vs 16 µs) — reproduced here
 //! structurally by the same round count.
 
-use crate::tree::DecisionTreeRegressor;
 use crate::traits::check_lengths;
+use crate::tree::DecisionTreeRegressor;
 use crate::{FitError, Regressor};
 
 /// Gradient-boosted trees regressor.
@@ -112,7 +112,11 @@ mod tests {
         let mut g = GbtRegressor::default_params();
         g.fit(&xs, &ys).unwrap();
         // Out-of-range prediction saturates around the max training y.
-        assert!(g.predict(3_000.0) < 1.2e6, "extrapolated: {}", g.predict(3_000.0));
+        assert!(
+            g.predict(3_000.0) < 1.2e6,
+            "extrapolated: {}",
+            g.predict(3_000.0)
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     assert!(!truth.is_empty());
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
-    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| (t - p) * (t - p)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (t - p) * (t - p))
+        .sum();
     let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {

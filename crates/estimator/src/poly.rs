@@ -96,10 +96,7 @@ impl Regressor for PolynomialRegressor {
         debug_assert!(!self.coeffs.is_empty(), "predict before fit");
         let xs = x / self.x_scale;
         // Horner evaluation.
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * xs + c)
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * xs + c)
     }
 
     fn name(&self) -> &'static str {

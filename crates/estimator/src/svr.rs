@@ -190,7 +190,10 @@ mod tests {
         let want = 1e6 + 250.0 * x + 0.08 * x * x;
         let svr_err = (svr.predict(x) - want).abs() / want;
         let quad_err = (quad.predict(x) - want).abs() / want;
-        assert!(svr_err > 10.0 * quad_err.max(1e-12), "svr {svr_err} quad {quad_err}");
+        assert!(
+            svr_err > 10.0 * quad_err.max(1e-12),
+            "svr {svr_err} quad {quad_err}"
+        );
     }
 
     #[test]

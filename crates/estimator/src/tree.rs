@@ -44,7 +44,12 @@ impl DecisionTreeRegressor {
         DecisionTreeRegressor::new(6, 1)
     }
 
-    fn build(points: &mut [(f64, f64)], depth: usize, max_depth: usize, min_leaf: usize) -> TreeNode {
+    fn build(
+        points: &mut [(f64, f64)],
+        depth: usize,
+        max_depth: usize,
+        min_leaf: usize,
+    ) -> TreeNode {
         let n = points.len();
         let mean = points.iter().map(|p| p.1).sum::<f64>() / n as f64;
         if depth >= max_depth || n < 2 * min_leaf {
@@ -154,7 +159,10 @@ mod tests {
         let mut t = DecisionTreeRegressor::default_params();
         t.fit(&xs, &ys).unwrap();
         let at_2000 = t.predict(2_000.0);
-        assert!(at_2000 <= 1_000.0 * 1_000.0 + 1.0, "tree extrapolated: {at_2000}");
+        assert!(
+            at_2000 <= 1_000.0 * 1_000.0 + 1.0,
+            "tree extrapolated: {at_2000}"
+        );
         // True value is 4e6 — the tree is off by ~4x out of range.
         assert!(at_2000 < 0.5 * 4e6);
     }

@@ -11,7 +11,7 @@ use crate::report::{IterationReport, OomReport, TimeBreakdown};
 use mimose_models::{BlockProfile, ModelProfile};
 use mimose_planner::memory_model::FinePlan;
 use mimose_planner::{BlockAction, BlockObservation, CheckpointPlan, HybridPlan};
-use mimose_simgpu::{AllocId, Arena, DeviceProfile, OomError};
+use mimose_simgpu::{AllocId, Arena, ArenaStats, DeviceProfile, OomError, TraceEvent};
 
 /// How to run the iteration.
 #[derive(Debug, Clone)]
@@ -55,7 +55,40 @@ pub fn run_block_iteration(
     iter: usize,
     planning_ns: u64,
 ) -> BlockRun {
+    run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, false).0
+}
+
+/// Like [`run_block_iteration`], but with arena event tracing enabled:
+/// additionally returns the full [`TraceEvent`] log and the arena's final
+/// statistics, ready for `mimose_audit::audit_trace`.
+pub fn run_block_iteration_traced(
+    profile: &ModelProfile,
+    mode: BlockMode<'_>,
+    capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+    planning_ns: u64,
+) -> (BlockRun, Vec<TraceEvent>, ArenaStats) {
+    let (run, mut arena) =
+        run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, true);
+    let trace = arena.take_trace();
+    let stats = arena.stats();
+    (run, trace, stats)
+}
+
+fn run_block_iteration_impl(
+    profile: &ModelProfile,
+    mode: BlockMode<'_>,
+    capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+    planning_ns: u64,
+    trace: bool,
+) -> (BlockRun, Arena) {
     let mut arena = Arena::new(capacity);
+    if trace {
+        arena.set_tracing(true);
+    }
     let mut time = TimeBreakdown {
         planning_ns,
         ..Default::default()
@@ -63,11 +96,11 @@ pub fn run_block_iteration(
     let shuttle = matches!(mode, BlockMode::Shuttle);
     let n = profile.blocks.len();
 
-    let finish = |arena: &Arena, time: TimeBreakdown, oom: Option<OomReport>, dropped| {
+    let finish = |arena: Arena, time: TimeBreakdown, oom: Option<OomReport>, dropped| {
         let stats = arena.stats();
         let mut time = time;
         time.allocator_ns += ((stats.allocs + stats.frees) as f64 * dev.alloc_ns) as u64;
-        BlockRun {
+        let run = BlockRun {
             report: IterationReport {
                 iter,
                 input: profile.input,
@@ -81,7 +114,8 @@ pub fn run_block_iteration(
                 oom,
             },
             observations: None,
-        }
+        };
+        (run, arena)
     };
 
     let oom_report = |e: OomError, phase: &'static str| OomReport {
@@ -93,31 +127,50 @@ pub fn run_block_iteration(
 
     // Constant footprint + input tensor.
     let Ok(_const_id) = arena.alloc(profile.const_bytes) else {
-        return finish(
-            &arena,
-            time,
-            Some(OomReport {
-                requested: profile.const_bytes,
-                free_bytes: arena.free_bytes(),
-                largest_free: arena.largest_free(),
-                phase: "const",
-            }),
-            0,
-        );
+        let report = OomReport {
+            requested: profile.const_bytes,
+            free_bytes: arena.free_bytes(),
+            largest_free: arena.largest_free(),
+            phase: "const",
+        };
+        return finish(arena, time, Some(report), 0);
     };
     let Ok(_input_id) = arena.alloc(profile.input_bytes) else {
-        return finish(
-            &arena,
-            time,
-            Some(OomReport {
-                requested: profile.input_bytes,
-                free_bytes: arena.free_bytes(),
-                largest_free: arena.largest_free(),
-                phase: "input",
-            }),
-            0,
-        );
+        let report = OomReport {
+            requested: profile.input_bytes,
+            free_bytes: arena.free_bytes(),
+            largest_free: arena.largest_free(),
+            phase: "input",
+        };
+        return finish(arena, time, Some(report), 0);
     };
+
+    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): cross-validate
+    // the arena's live bytes against the analytic model's residency curve at
+    // every block boundary. Fine plans are excluded — the engine drops whole
+    // tensors until the planned byte count is covered, deliberately
+    // overshooting the analytic figure. Hybrid swap blocks free internals
+    // exactly like recompute blocks, so both map to "checkpointed".
+    let mut shadow = if crate::shadow::shadow_check_enabled() {
+        let plan = match &mode {
+            BlockMode::Plan(p) => Some((*p).clone()),
+            BlockMode::Shuttle => Some(CheckpointPlan::all(n)),
+            BlockMode::Hybrid(h) => {
+                let mut pl = CheckpointPlan::none(n);
+                for (i, a) in h.actions.iter().enumerate() {
+                    pl.set(i, *a != BlockAction::Keep);
+                }
+                Some(pl)
+            }
+            BlockMode::Fine(_) => None,
+        };
+        plan.map(|pl| crate::shadow::ShadowChecker::new(profile, &pl))
+    } else {
+        None
+    };
+    if let Some(s) = &mut shadow {
+        s.check(&arena, "init");
+    }
 
     // Decide per-block drop behaviour.
     let is_ckpt = |i: usize| -> bool {
@@ -173,12 +226,14 @@ pub fn run_block_iteration(
         for t in &b.tensors {
             match arena.alloc(t.bytes) {
                 Ok(id) => ids.push(id),
-                Err(e) => return finish(&arena, time, Some(oom_report(e, "forward")), dropped_units),
+                Err(e) => {
+                    return finish(arena, time, Some(oom_report(e, "forward")), dropped_units)
+                }
             }
         }
         let out_id = match arena.alloc(b.out_bytes) {
             Ok(id) => id,
-            Err(e) => return finish(&arena, time, Some(oom_report(e, "forward")), dropped_units),
+            Err(e) => return finish(arena, time, Some(oom_report(e, "forward")), dropped_units),
         };
         if shuttle {
             observations.push(BlockObservation {
@@ -224,6 +279,9 @@ pub fn run_block_iteration(
             lb.dropped = drops;
         }
         live.push(lb);
+        if let Some(s) = &mut shadow {
+            s.check(&arena, &format!("forward '{}'", b.name));
+        }
     }
 
     // ---------------- backward ----------------
@@ -241,7 +299,7 @@ pub fn run_block_iteration(
                 match arena.alloc(t.bytes) {
                     Ok(id) => live[i].tensor_ids.push(id),
                     Err(e) => {
-                        return finish(&arena, time, Some(oom_report(e, "recompute")), dropped_units)
+                        return finish(arena, time, Some(oom_report(e, "recompute")), dropped_units)
                     }
                 }
             }
@@ -266,7 +324,7 @@ pub fn run_block_iteration(
                         Ok(id) => live[i].tensor_ids.push(id),
                         Err(e) => {
                             return finish(
-                                &arena,
+                                arena,
                                 time,
                                 Some(oom_report(e, "recompute")),
                                 dropped_units,
@@ -279,11 +337,11 @@ pub fn run_block_iteration(
         // Gradient transients: output grad + input grad.
         let gout = match arena.alloc(b.out_bytes) {
             Ok(id) => id,
-            Err(e) => return finish(&arena, time, Some(oom_report(e, "backward")), dropped_units),
+            Err(e) => return finish(arena, time, Some(oom_report(e, "backward")), dropped_units),
         };
         let gin = match arena.alloc(b.in_bytes) {
             Ok(id) => id,
-            Err(e) => return finish(&arena, time, Some(oom_report(e, "backward")), dropped_units),
+            Err(e) => return finish(arena, time, Some(oom_report(e, "backward")), dropped_units),
         };
         time.compute_ns += dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64;
         arena.free(gout);
@@ -295,17 +353,20 @@ pub fn run_block_iteration(
         if let Some(id) = live[i].out_id.take() {
             arena.free(id);
         }
+        if let Some(s) = &mut shadow {
+            s.check(&arena, &format!("backward '{}'", b.name));
+        }
     }
 
     // Optimizer step: elementwise update over all parameters.
     let p = profile.param_count as f64;
     time.compute_ns += dev.exec_ns(4.0 * p, profile.param_count * 16) as u64;
 
-    let mut run = finish(&arena, time, None, dropped_units);
+    let (mut run, arena) = finish(arena, time, None, dropped_units);
     if shuttle {
         run.observations = Some(observations);
     }
-    run
+    (run, arena)
 }
 
 #[cfg(test)]
@@ -328,7 +389,7 @@ mod tests {
         for plan in [
             CheckpointPlan::none(p.blocks.len()),
             CheckpointPlan::all(p.blocks.len()),
-            CheckpointPlan::from_indices(p.blocks.len(), &[1, 2, 3, 4, 5]),
+            CheckpointPlan::from_indices(p.blocks.len(), &[1, 2, 3, 4, 5]).unwrap(),
         ] {
             let run = run_block_iteration(&p, BlockMode::Plan(&plan), 64 << 30, &dev, 0, 0);
             assert!(run.report.ok());

@@ -240,9 +240,7 @@ pub fn run_dtr_iteration_with_policy(
         });
         match sim.budgeted_alloc(b.out_bytes) {
             Ok(id) => sim.slots[out_idx].alloc = Some(id),
-            Err(DtrFail::NoVictim { requested }) => {
-                return fail_report(&sim, requested, "forward")
-            }
+            Err(DtrFail::NoVictim { requested }) => return fail_report(&sim, requested, "forward"),
         }
         // Unpin the previous block's tensors; keep this block's output
         // pinned until the next block consumed it.
@@ -263,6 +261,30 @@ pub fn run_dtr_iteration_with_policy(
     if let Some(&o) = block_out.last() {
         sim.slots[o].pinned = false;
     }
+
+    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): the slot
+    // table and the arena must account for exactly the same live bytes, and
+    // logical usage must stay under the budget at every block boundary.
+    let residency_check = |sim: &DtrSim, site: &str| {
+        if !crate::shadow::shadow_check_enabled() {
+            return;
+        }
+        let live_bytes: usize = sim
+            .slots
+            .iter()
+            .filter(|s| s.alloc.is_some())
+            .map(|s| s.bytes)
+            .sum();
+        crate::shadow::check_dtr_residency(
+            &sim.arena,
+            live_bytes,
+            profile.const_bytes,
+            profile.input_bytes,
+            budget,
+            site,
+        );
+    };
+    residency_check(&sim, "end of forward");
 
     // ---------------- backward ----------------
     for (i, b) in profile.blocks.iter().enumerate().rev() {
@@ -308,6 +330,7 @@ pub fn run_dtr_iteration_with_policy(
             sim.slots[si].dead = true;
             sim.slots[si].pinned = false;
         }
+        residency_check(&sim, &format!("backward block {i}"));
     }
 
     // Optimizer step.

@@ -1,10 +1,9 @@
 //! Iteration and epoch reports: the measurements every experiment consumes.
 
 use mimose_models::ModelInput;
-use serde::{Deserialize, Serialize};
 
 /// Why an iteration failed.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OomReport {
     /// Bytes requested when the failure occurred.
     pub requested: usize,
@@ -17,7 +16,7 @@ pub struct OomReport {
 }
 
 /// Virtual-time breakdown of one iteration (the Fig 5 categories).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TimeBreakdown {
     /// Useful forward+backward+optimizer compute, ns.
     pub compute_ns: u64,
@@ -30,7 +29,6 @@ pub struct TimeBreakdown {
     /// Allocator call overhead, ns.
     pub allocator_ns: u64,
     /// Non-overlapped host↔device swap transfer time (hybrid planners), ns.
-    #[serde(default)]
     pub swap_ns: u64,
 }
 
@@ -66,7 +64,7 @@ impl TimeBreakdown {
 }
 
 /// Result of simulating one training iteration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IterationReport {
     /// Iteration number.
     pub iter: usize,
@@ -98,7 +96,7 @@ impl IterationReport {
 }
 
 /// Aggregate over a run of iterations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunSummary {
     /// Iterations simulated.
     pub iters: usize,

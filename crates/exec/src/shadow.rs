@@ -1,0 +1,203 @@
+//! Planner/executor cross-validation ("shadow checking").
+//!
+//! The analytic memory model in `mimose-planner` and the engines in this
+//! crate walk the same allocation timeline by construction — but nothing
+//! used to *enforce* that beyond a handful of peak comparisons in tests.
+//! The shadow checker closes the gap: at every block boundary it compares
+//! the arena's live-byte count against the model's predicted residency
+//! ([`mimose_planner::memory_model::resident_curve`]) and fails fast with a
+//! precise diff when the two disagree.
+//!
+//! Enabled by default in debug builds (`debug_assertions`); override either
+//! way with the `MIMOSE_SHADOW_CHECK` environment variable (`1`/`0`). The
+//! check is skipped entirely in release builds unless opted in, so the hot
+//! experiment paths pay nothing.
+
+use mimose_models::ModelProfile;
+use mimose_planner::memory_model::resident_curve;
+use mimose_planner::CheckpointPlan;
+use mimose_simgpu::{Arena, ARENA_ALIGN};
+use std::sync::OnceLock;
+
+/// Whether shadow checking is active for this process.
+///
+/// `MIMOSE_SHADOW_CHECK=1` (or any value other than `0`/`off`/`false`)
+/// forces it on, `MIMOSE_SHADOW_CHECK=0` forces it off; otherwise it
+/// follows `cfg!(debug_assertions)`. Cached after the first call.
+pub fn shadow_check_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("MIMOSE_SHADOW_CHECK") {
+        Ok(v) => {
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+fn align(bytes: usize) -> usize {
+    ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
+}
+
+/// Compares the block engine's arena residency against the analytic
+/// [`resident_curve`] at successive block boundaries.
+///
+/// The model works in logical (profile) bytes while the arena rounds the
+/// constant footprint and input tensor up to [`ARENA_ALIGN`]; the checker
+/// shifts the curve by exactly that slack, so the comparison is *exact* —
+/// per-block tensor sizes are pre-aligned in the profile.
+pub struct ShadowChecker {
+    curve: Vec<usize>,
+    /// Aligned-base minus logical-base correction applied to every point.
+    base_slack: usize,
+    cursor: usize,
+}
+
+impl ShadowChecker {
+    /// Build a checker for one iteration of `profile` under `plan`.
+    pub fn new(profile: &ModelProfile, plan: &CheckpointPlan) -> Self {
+        let logical = profile.const_bytes + profile.input_bytes;
+        let aligned = align(profile.const_bytes) + align(profile.input_bytes);
+        ShadowChecker {
+            curve: resident_curve(profile, plan),
+            base_slack: aligned - logical,
+            cursor: 0,
+        }
+    }
+
+    /// Assert the arena agrees with the model at the next boundary.
+    ///
+    /// # Panics
+    /// Panics with a detailed diff when the engine's live bytes diverge
+    /// from the model's prediction — that is a planner/executor drift bug,
+    /// not a recoverable condition.
+    pub fn check(&mut self, arena: &Arena, site: &str) {
+        let expected = self.curve[self.cursor] + self.base_slack;
+        let actual = arena.used_bytes();
+        assert!(
+            expected == actual,
+            "shadow check failed at {site} (boundary {} of {}): \
+             engine has {actual} B live, memory model predicts {expected} B \
+             (diff {:+} B) — the planner and executor timelines have diverged",
+            self.cursor,
+            self.curve.len(),
+            actual as i64 - expected as i64,
+        );
+        self.cursor += 1;
+    }
+}
+
+/// DTR-engine residency cross-check: the slot table's notion of live bytes
+/// must match the arena exactly, and logical usage must respect the budget.
+///
+/// # Panics
+/// Panics on divergence (slot-table/arena leak) or a budget breach.
+pub fn check_dtr_residency(
+    arena: &Arena,
+    live_slot_bytes: usize,
+    const_bytes: usize,
+    input_bytes: usize,
+    budget: usize,
+    site: &str,
+) {
+    let expected = align(const_bytes) + align(input_bytes) + live_slot_bytes;
+    let actual = arena.used_bytes();
+    assert!(
+        expected == actual,
+        "DTR shadow check failed at {site}: arena has {actual} B live but the \
+         slot table accounts for {expected} B (diff {:+} B) — a slot free or \
+         rematerialisation was not mirrored in the arena",
+        actual as i64 - expected as i64,
+    );
+    assert!(
+        actual <= budget,
+        "DTR shadow check failed at {site}: {actual} B live exceeds the \
+         logical budget of {budget} B",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    #[test]
+    fn checker_walks_a_consistent_timeline() {
+        let p = bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(8, 64))
+            .unwrap();
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::all(n);
+        let mut arena = Arena::new(64 << 30);
+        let mut checker = ShadowChecker::new(&p, &plan);
+        let cid = arena.alloc(p.const_bytes).unwrap();
+        let iid = arena.alloc(p.input_bytes).unwrap();
+        checker.check(&arena, "init");
+        // Forward: checkpointed blocks retain only their output.
+        let mut outs = Vec::new();
+        for (i, b) in p.blocks.iter().enumerate() {
+            outs.push(arena.alloc(b.out_bytes).unwrap());
+            checker.check(&arena, &format!("forward block {i}"));
+        }
+        // Backward: recompute internals, free them + output.
+        for (i, b) in p.blocks.iter().enumerate().rev() {
+            let acts: Vec<_> = b
+                .tensors
+                .iter()
+                .map(|t| arena.alloc(t.bytes).unwrap())
+                .collect();
+            for id in acts {
+                arena.free(id);
+            }
+            arena.free(outs.pop().unwrap());
+            checker.check(&arena, &format!("backward block {i}"));
+        }
+        arena.free(cid);
+        arena.free(iid);
+        assert_eq!(arena.used_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow check failed")]
+    fn checker_catches_a_leak() {
+        let p = bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(8, 64))
+            .unwrap();
+        let plan = CheckpointPlan::none(p.blocks.len());
+        let mut arena = Arena::new(64 << 30);
+        let mut checker = ShadowChecker::new(&p, &plan);
+        let _c = arena.alloc(p.const_bytes).unwrap();
+        let _i = arena.alloc(p.input_bytes).unwrap();
+        checker.check(&arena, "init");
+        // A stray allocation the model knows nothing about.
+        let _leak = arena.alloc(123 << 20).unwrap();
+        let b = &p.blocks[0];
+        for t in &b.tensors {
+            let _ = arena.alloc(t.bytes).unwrap();
+        }
+        let _ = arena.alloc(b.out_bytes).unwrap();
+        checker.check(&arena, "forward block 0");
+    }
+
+    #[test]
+    fn dtr_check_accepts_consistent_state() {
+        let mut arena = Arena::new(1 << 30);
+        let _c = arena.alloc(1000).unwrap();
+        let _i = arena.alloc(2000).unwrap();
+        let _t = arena.alloc(4096).unwrap();
+        check_dtr_residency(&arena, 4096, 1000, 2000, 1 << 30, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the logical budget")]
+    fn dtr_check_catches_budget_breach() {
+        let mut arena = Arena::new(1 << 30);
+        let _c = arena.alloc(1000).unwrap();
+        let _i = arena.alloc(2000).unwrap();
+        let _t = arena.alloc(1 << 20).unwrap();
+        check_dtr_residency(&arena, 1 << 20, 1000, 2000, 4096, "test");
+    }
+}

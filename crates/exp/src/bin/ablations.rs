@@ -5,7 +5,10 @@ use mimose_exp::experiments::ablations as ab;
 
 fn main() {
     let budget = 5usize << 30;
-    print!("{}", ab::render_cache(&ab::cache_ablation(budget, 400), 400));
+    print!(
+        "{}",
+        ab::render_cache(&ab::cache_ablation(budget, 400), 400)
+    );
     println!();
     print!(
         "{}",
@@ -22,9 +25,18 @@ fn main() {
     );
     println!();
     let sb = 8usize << 30;
-    print!("{}", ab::render_scheduler(&ab::scheduler_ablation(sb, 150), sb));
+    print!(
+        "{}",
+        ab::render_scheduler(&ab::scheduler_ablation(sb, 150), sb)
+    );
     println!();
-    print!("{}", ab::render_allocator(&ab::allocator_ablation(budget), budget));
+    print!(
+        "{}",
+        ab::render_allocator(&ab::allocator_ablation(budget), budget)
+    );
     println!();
-    print!("{}", ab::render_adaptive(&ab::adaptive_ablation(budget), budget));
+    print!(
+        "{}",
+        ab::render_adaptive(&ab::adaptive_ablation(budget), budget)
+    );
 }

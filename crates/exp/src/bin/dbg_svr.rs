@@ -4,7 +4,9 @@ use mimose_estimator::{Regressor, SvrRegressor};
 fn main() {
     // Quadratic-ish target like a BERT block.
     let n = 50;
-    let xs: Vec<f64> = (0..n).map(|i| 1000.0 + 9600.0 * (i as f64) / (n as f64 - 1.0)).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|i| 1000.0 + 9600.0 * (i as f64) / (n as f64 - 1.0))
+        .collect();
     let f = |x: f64| 1e6 + 300.0 * x + 0.05 * x * x;
     let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
     let mut m = SvrRegressor::default_params();
@@ -16,6 +18,11 @@ fn main() {
     println!("train rel err {:.4}", tr_err / n as f64);
     for &x in &[1500.0, 4000.0, 8000.0, 10_000.0, 11_000.0] {
         let y = f(x);
-        println!("x={x}: pred {:.3e} true {:.3e} rel {:.4}", m.predict(x), y, (m.predict(x)-y).abs()/y);
+        println!(
+            "x={x}: pred {:.3e} true {:.3e} rel {:.4}",
+            m.predict(x),
+            y,
+            (m.predict(x) - y).abs() / y
+        );
     }
 }

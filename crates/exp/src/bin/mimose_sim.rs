@@ -1,11 +1,11 @@
 //! `mimose_sim`: simulate budgeted training for any (task, planner, budget)
 //! from the command line; text summary or per-iteration CSV.
 
+use mimose_exec::Trainer;
 use mimose_exp::cli::{find_task, parse_args, SimOptions, USAGE};
 use mimose_exp::csv::iterations_to_csv;
 use mimose_exp::planners::build_policy;
 use mimose_exp::table::{gib, ms};
-use mimose_exec::Trainer;
 use mimose_simgpu::DeviceProfile;
 
 fn run(opt: &SimOptions) {

@@ -148,8 +148,18 @@ mod tests {
     #[test]
     fn full_command_line() {
         let opt = parse_args(&v(&[
-            "--task", "qa-bert", "--planner", "dtr", "--budget", "4.5", "--iters", "50",
-            "--seed", "9", "--csv", "--a100",
+            "--task",
+            "qa-bert",
+            "--planner",
+            "dtr",
+            "--budget",
+            "4.5",
+            "--iters",
+            "50",
+            "--seed",
+            "9",
+            "--csv",
+            "--a100",
         ]))
         .unwrap()
         .unwrap();
@@ -180,7 +190,11 @@ mod tests {
     fn every_comparison_planner_parses() {
         for k in crate::planners::PlannerKind::comparison_set() {
             let name = k.name().to_ascii_lowercase();
-            let name = if name == "monet" { "monet".to_string() } else { name };
+            let name = if name == "monet" {
+                "monet".to_string()
+            } else {
+                name
+            };
             assert_eq!(parse_planner(&name).unwrap(), k, "{name}");
         }
     }

@@ -292,8 +292,7 @@ pub fn allocator_ablation(budget: usize) -> Vec<AllocatorRow> {
     ]
     .into_iter()
     .map(|(name, policy)| {
-        let r =
-            run_dtr_iteration_with_policy(&p, budget, dev.total_mem_bytes, &dev, 0, policy);
+        let r = run_dtr_iteration_with_policy(&p, budget, dev.total_mem_bytes, &dev, 0, policy);
         AllocatorRow {
             policy: name,
             frag: r.frag_bytes,
@@ -391,7 +390,12 @@ pub fn render_adaptive(rows: &[AdaptiveRow], budget: usize) -> String {
             "Ablation: adaptive re-collection under drift (budget {} GiB, linear estimator)",
             gib(budget)
         ),
-        &["config", "budget violations", "re-collections", "oom feedback"],
+        &[
+            "config",
+            "budget violations",
+            "re-collections",
+            "oom feedback",
+        ],
         &t,
     )
 }
@@ -424,7 +428,12 @@ mod tests {
         // in both (the paper's "10~30 iterations" claim).
         assert!(rows[1].overhead_iters > rows[0].overhead_iters);
         for r in &rows {
-            assert!(r.est_error < 0.02, "{} iters: err {}", r.collect_iters, r.est_error);
+            assert!(
+                r.est_error < 0.02,
+                "{} iters: err {}",
+                r.collect_iters,
+                r.est_error
+            );
         }
     }
 

@@ -1,13 +1,13 @@
 //! Fig 10: end-to-end comparison — normalised training time for every
 //! planner on every task across a memory-budget sweep.
 
+use crate::par::parallel_map;
 use crate::planners::{build_policy, PlannerKind};
 use crate::table::{gib, render_table};
 use crate::tasks::Task;
 use mimose_data::Dataset;
 use mimose_exec::{RunSummary, Trainer};
 use mimose_planner::memory_model::min_feasible_budget;
-use rayon::prelude::*;
 
 /// One (task, budget, planner) measurement.
 pub struct Fig10Cell {
@@ -42,11 +42,11 @@ pub fn budgets_for(task: &Task) -> Vec<usize> {
     let lo = min_feasible_budget(&worst);
     // Budgets cannot exceed the physical device (16 GB V100); leave ~0.5 GB
     // for the driver like real deployments do.
-    let hi = worst.peak_no_checkpoint().min((15usize << 30) + (512 << 20));
+    let hi = worst
+        .peak_no_checkpoint()
+        .min((15usize << 30) + (512 << 20));
     let lo = lo + (hi - lo) / 20; // 5 % above the lower star
-    (0..5)
-        .map(|i| lo + (hi - lo) * i / 5)
-        .collect()
+    (0..5).map(|i| lo + (hi - lo) * i / 5).collect()
 }
 
 fn run_one(task: &Task, budget: usize, kind: PlannerKind, iters: usize, seed: u64) -> RunSummary {
@@ -75,25 +75,22 @@ pub fn run(nlp_iters: usize, od_iters: usize) -> Fig10Result {
             }
         }
     }
-    let cells: Vec<Fig10Cell> = work
-        .par_iter()
-        .map(|&(ti, budget, kind)| {
-            let task = &tasks[ti];
-            let iters = if matches!(task.dataset, Dataset::Vision(_)) {
-                od_iters
-            } else {
-                nlp_iters
-            };
-            let summary = run_one(task, budget, kind, iters, 97);
-            Fig10Cell {
-                task: task.abbr,
-                budget,
-                planner: kind,
-                summary,
-                normalized: 0.0, // filled below against the baseline
-            }
-        })
-        .collect();
+    let cells: Vec<Fig10Cell> = parallel_map(&work, |&(ti, budget, kind)| {
+        let task = &tasks[ti];
+        let iters = if matches!(task.dataset, Dataset::Vision(_)) {
+            od_iters
+        } else {
+            nlp_iters
+        };
+        let summary = run_one(task, budget, kind, iters, 97);
+        Fig10Cell {
+            task: task.abbr,
+            budget,
+            planner: kind,
+            summary,
+            normalized: 0.0, // filled below against the baseline
+        }
+    });
 
     // Normalise against the baseline of the same (task, budget).
     let mut cells = cells;
@@ -237,6 +234,9 @@ mod tests {
         let mim = run_one(&task, budget, PlannerKind::Mimose, iters, 3).total_ns;
         assert!(mim < sub, "mimose {mim} !< sublinear {sub}");
         assert!(mim < dtr, "mimose {mim} !< dtr {dtr}");
-        assert!(mim as f64 >= base as f64 * 0.99, "mimose faster than baseline?");
+        assert!(
+            mim as f64 >= base as f64 * 0.99,
+            "mimose faster than baseline?"
+        );
     }
 }

@@ -87,7 +87,10 @@ mod tests {
             ("TC-Bert", 30, 332),
         ];
         for (task, lo, hi) in expect {
-            let r = results.iter().find(|r| r.task == task).expect("task present");
+            let r = results
+                .iter()
+                .find(|r| r.task == task)
+                .expect("task present");
             let got_lo = *r.extents.iter().min().expect("nonempty");
             let got_hi = *r.extents.iter().max().expect("nonempty");
             assert!(got_lo >= lo, "{task}: min {got_lo} < {lo}");

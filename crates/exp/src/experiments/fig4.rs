@@ -44,22 +44,14 @@ pub fn run(budget: usize) -> Vec<Fig4Point> {
                 .profile(&ModelInput::tokens(batch, seqlen))
                 .expect("validates");
             let n = p.blocks.len();
-            let run_static = run_block_iteration(
-                &p,
-                BlockMode::Plan(sublinear.plan()),
-                budget,
-                &dev,
-                0,
-                0,
-            );
+            let run_static =
+                run_block_iteration(&p, BlockMode::Plan(sublinear.plan()), budget, &dev, 0, 0);
             // The input-aware reference: a plan computed for *this* input
             // (ground-truth version of what Mimose generates).
             let adaptive = mimose_core::GreedyBucketScheduler::new(0.10);
             let aplan = mimose_core::Scheduler::schedule(&adaptive, &p, budget);
-            let run_adaptive =
-                run_block_iteration(&p, BlockMode::Plan(&aplan), budget, &dev, 0, 0);
-            let peak_none =
-                mimose_planner::memory_model::peak_bytes(&p, &CheckpointPlan::none(n));
+            let run_adaptive = run_block_iteration(&p, BlockMode::Plan(&aplan), budget, &dev, 0, 0);
+            let peak_none = mimose_planner::memory_model::peak_bytes(&p, &CheckpointPlan::none(n));
             Fig4Point {
                 seqlen,
                 peak_static: run_static.report.peak_bytes,
@@ -77,8 +69,7 @@ pub fn render(points: &[Fig4Point], budget: usize) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let slowdown =
-                p.time_static_ns as f64 / p.time_adaptive_ns as f64 - 1.0;
+            let slowdown = p.time_static_ns as f64 / p.time_adaptive_ns as f64 - 1.0;
             vec![
                 p.seqlen.to_string(),
                 gib(p.peak_static),
@@ -123,7 +114,11 @@ mod tests {
         // Paper: throughput degradation up to 35 %.
         let slowdown = small.time_static_ns as f64 / small.time_adaptive_ns as f64 - 1.0;
         assert!(slowdown > 0.10, "slowdown only {:.1}%", slowdown * 100.0);
-        assert!(slowdown < 0.80, "slowdown implausible {:.1}%", slowdown * 100.0);
+        assert!(
+            slowdown < 0.80,
+            "slowdown implausible {:.1}%",
+            slowdown * 100.0
+        );
     }
 
     #[test]

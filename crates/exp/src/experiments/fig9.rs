@@ -25,13 +25,15 @@ pub fn run(seqlens: &[usize]) -> Fig9Result {
     let mut peaks = Vec::new();
     let mut none = Vec::new();
     for &s in seqlens {
-        let p = model.profile(&ModelInput::tokens(32, s)).expect("validates");
+        let p = model
+            .profile(&ModelInput::tokens(32, s))
+            .expect("validates");
         let n = p.blocks.len();
         none.push(peak_bytes(&p, &CheckpointPlan::none(n)));
         // Encoders are blocks 1..=12 (0 = embeddings, 13 = head).
         peaks.push(
             (1..=12)
-                .map(|k| peak_bytes(&p, &CheckpointPlan::from_indices(n, &[k])))
+                .map(|k| peak_bytes(&p, &CheckpointPlan::from_indices(n, &[k]).unwrap()))
                 .collect(),
         );
     }

@@ -56,8 +56,8 @@ pub fn run(budget: usize, max_iters: usize) -> Vec<Table3Row> {
             let reports = tr.run(iters);
             let normal: Vec<&mimose_exec::IterationReport> =
                 reports.iter().filter(|r| !r.shuttle).collect();
-            let iter_ns = normal.iter().map(|r| r.time.total_ns()).sum::<u64>()
-                / normal.len().max(1) as u64;
+            let iter_ns =
+                normal.iter().map(|r| r.time.total_ns()).sum::<u64>() / normal.len().max(1) as u64;
             let shuttles: Vec<&mimose_exec::IterationReport> =
                 reports.iter().filter(|r| r.shuttle).collect();
             // The collector's extra cost is the shuttle iteration's
@@ -87,14 +87,22 @@ pub fn render(rows: &[Table3Row]) -> String {
         .map(|r| {
             vec![
                 format!("{} ({} ms/iter)", r.task, ms(r.iter_ns)),
-                format!("{} ms ({} times)", ms(r.collector_per_iter_ns), r.collector_count),
+                format!(
+                    "{} ms ({} times)",
+                    ms(r.collector_per_iter_ns),
+                    r.collector_count
+                ),
                 format!(
                     "{} ms~{} ms ({} times)",
                     ms(r.plan_ns_range.0),
                     ms(r.plan_ns_range.1),
                     r.plans_generated
                 ),
-                format!("{} ms ({:.2} iters)", ms(r.total_overhead_ns), r.overhead_iters()),
+                format!(
+                    "{} ms ({:.2} iters)",
+                    ms(r.total_overhead_ns),
+                    r.overhead_iters()
+                ),
             ]
         })
         .collect();

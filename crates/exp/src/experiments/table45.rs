@@ -9,8 +9,8 @@ use crate::tasks::Task;
 use mimose_estimator::{
     metrics, DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mimose_rng::StdRng;
+use mimose_rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Relative std-dev of the profiling noise injected into collected samples.

@@ -1,0 +1,68 @@
+//! Scoped-thread work distribution (rayon is unavailable in the offline
+//! build environment; this covers the embarrassingly-parallel map the
+//! experiment grids need).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on up to `std::thread::available_parallelism()`
+/// worker threads, preserving input order in the output.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                // Each index is claimed by exactly one worker, so writes
+                // never alias.
+                unsafe { *slots_ptr.0.add(i) = Some(out) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+struct SendPtr<U>(*mut Option<U>);
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = parallel_map(&Vec::<usize>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+}

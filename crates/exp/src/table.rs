@@ -36,7 +36,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
 
 /// Render a horizontal ASCII bar chart (value label + proportional bar).
 pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> String {
-    let max = entries.iter().map(|e| e.1).fold(f64::MIN_POSITIVE, f64::max);
+    let max = entries
+        .iter()
+        .map(|e| e.1)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let label_w = entries.iter().map(|e| e.0.len()).max().unwrap_or(0);
     let mut out = format!("-- {title} --\n");
     for (label, v) in entries {
@@ -118,7 +121,11 @@ mod tests {
         let total: usize = s
             .lines()
             .skip(1)
-            .filter_map(|l| l.split_whitespace().nth(1).and_then(|x| x.parse::<usize>().ok()))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|x| x.parse::<usize>().ok())
+            })
             .sum();
         assert_eq!(total, 6);
     }

@@ -1,0 +1,527 @@
+//! Builders for the architectures of the paper's Table II.
+//!
+//! Each builder returns a [`ModelGraph`] whose block boundaries mirror the
+//! `torch.utils.checkpoint` granularity the paper plans at: one block per
+//! transformer encoder/decoder layer (NLP) or per residual bottleneck
+//! (detection backbones). Design-time hyper-parameters (hidden sizes, head
+//! counts, channel widths) are fixed here; only the data-dependent input
+//! dimensions vary across iterations.
+//!
+//! Parameter counts are calibrated to the real checkpoints (BERT-base
+//! ≈ 109.5 M, RoBERTa-base ≈ 124.6 M, T5-base ≈ 222.9 M, ResNet-50/101
+//! detection backbones ≈ 28/47 M) so the constant memory footprint — and
+//! therefore every budget experiment — lands in the right range.
+
+use crate::{Block, BlockBuilder, ModelGraph, NodeInput, OptimizerKind, Stage};
+use mimose_ops::{OpKind, ReshapeRule};
+
+/// Framework overhead charged to every model: CUDA context, cuDNN
+/// workspaces, allocator slack (≈ what `nvidia-smi` shows for an idle
+/// PyTorch process).
+const FRAMEWORK_CONST_BYTES: usize = 256 << 20;
+
+/// Extra reservation for detection heads whose proposal counts are content-
+/// dependent (paper §IV-C, last paragraph).
+const DETECTION_RESERVED_BYTES: usize = 256 << 20;
+
+/// Dropout probability used throughout the transformer builders.
+const DROPOUT_P: f32 = 0.1;
+
+/// The task head attached to a BERT-family encoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BertHead {
+    /// Pooled-CLS classification over `labels` classes (GLUE-style tasks,
+    /// and multiple choice with `labels == 1` per flattened choice).
+    Classification {
+        /// Number of output classes.
+        labels: usize,
+    },
+    /// SQuAD-style span prediction: per-token start/end logits.
+    QuestionAnswering,
+}
+
+fn linear(i: usize, o: usize, bias: bool) -> OpKind {
+    OpKind::Linear {
+        in_features: i,
+        out_features: o,
+        bias,
+    }
+}
+
+/// Append a multi-head attention core to `b`: Q/K/V projections, scaled
+/// dot-product scores, softmax, dropout, context matmul, head merge.
+/// Returns the merged `[b, s, hidden]` node (before the output projection).
+fn attention(
+    b: &mut BlockBuilder,
+    hidden: usize,
+    heads: usize,
+    bias: bool,
+    q_src: NodeInput,
+    kv_src: NodeInput,
+) -> usize {
+    let q = b.push(linear(hidden, hidden, bias), &[q_src]);
+    let k = b.push(linear(hidden, hidden, bias), &[kv_src]);
+    let v = b.push(linear(hidden, hidden, bias), &[kv_src]);
+    let split = OpKind::Reshape(ReshapeRule::SplitHeads { heads });
+    let qh = b.push_on(split, q);
+    let kh = b.push_on(split, k);
+    let vh = b.push_on(split, v);
+    let kt = b.push_on(OpKind::TransposeLast2, kh);
+    let scores = b.push(OpKind::MatMul, &[NodeInput::Node(qh), NodeInput::Node(kt)]);
+    let scaled = b.push_on(OpKind::Scale, scores);
+    let attn = b.push_on(OpKind::Softmax, scaled);
+    let drop = b.push_on(OpKind::Dropout { p: DROPOUT_P }, attn);
+    let ctx = b.push(
+        OpKind::MatMul,
+        &[NodeInput::Node(drop), NodeInput::Node(vh)],
+    );
+    b.push_on(OpKind::Reshape(ReshapeRule::MergeHeads { heads }), ctx)
+}
+
+/// One post-LayerNorm (BERT-style) encoder layer as a checkpointable block.
+fn bert_encoder(idx: usize, hidden: usize, heads: usize, ff: usize) -> Block {
+    let mut b = Block::builder(format!("encoder.{idx}"));
+    let merged = attention(
+        &mut b,
+        hidden,
+        heads,
+        true,
+        NodeInput::BlockInput,
+        NodeInput::BlockInput,
+    );
+    let proj = b.push_on(linear(hidden, hidden, true), merged);
+    let proj_d = b.push_on(OpKind::Dropout { p: DROPOUT_P }, proj);
+    let res1 = b.push(
+        OpKind::Add,
+        &[NodeInput::Node(proj_d), NodeInput::BlockInput],
+    );
+    let ln1 = b.push_on(OpKind::LayerNorm { features: hidden }, res1);
+    let ff1 = b.push_on(linear(hidden, ff, true), ln1);
+    let gelu = b.push_on(OpKind::Gelu, ff1);
+    let ff2 = b.push_on(linear(ff, hidden, true), gelu);
+    let ff2_d = b.push_on(OpKind::Dropout { p: DROPOUT_P }, ff2);
+    let res2 = b.push(OpKind::Add, &[NodeInput::Node(ff2_d), NodeInput::Node(ln1)]);
+    b.push_on(OpKind::LayerNorm { features: hidden }, res2);
+    b.build()
+}
+
+/// BERT-family embedding block: token + position (+ optional segment)
+/// lookups, sum, LayerNorm, dropout.
+fn bert_embeddings(vocab: usize, max_pos: usize, type_vocab: usize, hidden: usize) -> Block {
+    let mut b = Block::builder("embeddings");
+    let tok = b.push_on_input(OpKind::Embedding { vocab, hidden });
+    let pos = b.push_on_input(OpKind::Embedding {
+        vocab: max_pos,
+        hidden,
+    });
+    let mut sum = b.push(OpKind::Add, &[NodeInput::Node(tok), NodeInput::Node(pos)]);
+    if type_vocab > 0 {
+        let typ = b.push_on_input(OpKind::Embedding {
+            vocab: type_vocab,
+            hidden,
+        });
+        sum = b.push(OpKind::Add, &[NodeInput::Node(sum), NodeInput::Node(typ)]);
+    }
+    let ln = b.push_on(OpKind::LayerNorm { features: hidden }, sum);
+    b.push_on(OpKind::Dropout { p: DROPOUT_P }, ln);
+    b.build()
+}
+
+/// BERT-family task head block.
+fn bert_head(hidden: usize, head: BertHead) -> Block {
+    let mut b = Block::builder("head");
+    match head {
+        BertHead::Classification { labels } => {
+            let cls = b.push_on_input(OpKind::ClsSelect);
+            let pool = b.push_on(linear(hidden, hidden, true), cls);
+            let tanh = b.push_on(OpKind::Tanh, pool);
+            let logits = b.push_on(linear(hidden, labels, true), tanh);
+            b.push_on(OpKind::LossReduce, logits);
+        }
+        BertHead::QuestionAnswering => {
+            let logits = b.push_on_input(linear(hidden, 2, true));
+            b.push_on(OpKind::LossReduce, logits);
+        }
+    }
+    b.build()
+}
+
+fn bert_family(
+    name: &str,
+    vocab: usize,
+    max_pos: usize,
+    type_vocab: usize,
+    head: BertHead,
+) -> ModelGraph {
+    let (hidden, heads, ff, layers) = (768, 12, 3072, 12);
+    let encoders = (0..layers)
+        .map(|i| bert_encoder(i, hidden, heads, ff))
+        .collect();
+    ModelGraph {
+        name: name.into(),
+        stages: vec![
+            Stage {
+                name: "embeddings".into(),
+                blocks: vec![bert_embeddings(vocab, max_pos, type_vocab, hidden)],
+                capture_context: false,
+            },
+            Stage {
+                name: "encoder".into(),
+                blocks: encoders,
+                capture_context: false,
+            },
+            Stage {
+                name: "head".into(),
+                blocks: vec![bert_head(hidden, head)],
+                capture_context: false,
+            },
+        ],
+        optimizer: OptimizerKind::Adam,
+        max_extent: 512,
+        framework_const_bytes: FRAMEWORK_CONST_BYTES,
+        reserved_bytes: 0,
+    }
+}
+
+/// BERT-base (12 layers, hidden 768, 12 heads, ≈ 109.5 M parameters) with
+/// the given task head. Blocks: embeddings, `encoder.0..=11`, head — 14
+/// total, so encoders are global blocks `1..=12` (Fig 9's indexing).
+pub fn bert_base(head: BertHead) -> ModelGraph {
+    bert_family("bert-base", 30_522, 512, 2, head)
+}
+
+/// RoBERTa-base: BERT-base geometry with the 50 k BPE vocabulary and no
+/// segment embeddings (≈ 124.6 M parameters).
+pub fn roberta_base(head: BertHead) -> ModelGraph {
+    bert_family("roberta-base", 50_265, 514, 0, head)
+}
+
+/// One pre-LayerNorm T5 encoder layer.
+fn t5_encoder(idx: usize, hidden: usize, heads: usize, ff: usize) -> Block {
+    let mut b = Block::builder(format!("encoder.{idx}"));
+    let ln1 = b.push_on_input(OpKind::LayerNorm { features: hidden });
+    let merged = attention(
+        &mut b,
+        hidden,
+        heads,
+        false,
+        NodeInput::Node(ln1),
+        NodeInput::Node(ln1),
+    );
+    let o = b.push_on(linear(hidden, hidden, false), merged);
+    let res1 = b.push(OpKind::Add, &[NodeInput::Node(o), NodeInput::BlockInput]);
+    let ln2 = b.push_on(OpKind::LayerNorm { features: hidden }, res1);
+    let ff1 = b.push_on(linear(hidden, ff, false), ln2);
+    let relu = b.push_on(OpKind::Relu, ff1);
+    let ff2 = b.push_on(linear(ff, hidden, false), relu);
+    let drop = b.push_on(OpKind::Dropout { p: DROPOUT_P }, ff2);
+    b.push(OpKind::Add, &[NodeInput::Node(drop), NodeInput::Node(res1)]);
+    b.build()
+}
+
+/// One pre-LayerNorm T5 decoder layer: self-attention, cross-attention over
+/// the captured encoder context, feed-forward.
+fn t5_decoder(idx: usize, hidden: usize, heads: usize, ff: usize) -> Block {
+    let mut b = Block::builder(format!("decoder.{idx}"));
+    let ln1 = b.push_on_input(OpKind::LayerNorm { features: hidden });
+    let merged = attention(
+        &mut b,
+        hidden,
+        heads,
+        false,
+        NodeInput::Node(ln1),
+        NodeInput::Node(ln1),
+    );
+    let o = b.push_on(linear(hidden, hidden, false), merged);
+    let res1 = b.push(OpKind::Add, &[NodeInput::Node(o), NodeInput::BlockInput]);
+    let ln2 = b.push_on(OpKind::LayerNorm { features: hidden }, res1);
+    let merged2 = attention(
+        &mut b,
+        hidden,
+        heads,
+        false,
+        NodeInput::Node(ln2),
+        NodeInput::Context,
+    );
+    let o2 = b.push_on(linear(hidden, hidden, false), merged2);
+    let res2 = b.push(OpKind::Add, &[NodeInput::Node(o2), NodeInput::Node(res1)]);
+    let ln3 = b.push_on(OpKind::LayerNorm { features: hidden }, res2);
+    let ff1 = b.push_on(linear(hidden, ff, false), ln3);
+    let relu = b.push_on(OpKind::Relu, ff1);
+    let ff2 = b.push_on(linear(ff, hidden, false), relu);
+    let drop = b.push_on(OpKind::Dropout { p: DROPOUT_P }, ff2);
+    b.push(OpKind::Add, &[NodeInput::Node(drop), NodeInput::Node(res2)]);
+    b.build()
+}
+
+/// T5-base (12 encoder + 12 decoder layers, hidden 768, ff 3072, ≈ 222.9 M
+/// parameters). The encoder stage captures the model-level context consumed
+/// by decoder cross-attention; the LM head ties the embedding matrix
+/// ([`OpKind::TiedLinear`]), so it adds no parameters. Blocks: shared
+/// embedding, `encoder.0..=11`, `decoder.0..=11`, head — 26 total.
+pub fn t5_base() -> ModelGraph {
+    let (hidden, heads, ff, layers, vocab) = (768, 12, 3072, 12, 32_128);
+    let mut emb = Block::builder("shared_embedding");
+    let tok = emb.push_on_input(OpKind::Embedding { vocab, hidden });
+    emb.push_on(OpKind::Dropout { p: DROPOUT_P }, tok);
+    let emb = emb.build();
+
+    let mut head = Block::builder("lm_head");
+    let ln = head.push_on_input(OpKind::LayerNorm { features: hidden });
+    let logits = head.push_on(
+        OpKind::TiedLinear {
+            in_features: hidden,
+            out_features: vocab,
+        },
+        ln,
+    );
+    head.push_on(OpKind::LossReduce, logits);
+    let head = head.build();
+
+    ModelGraph {
+        name: "t5-base".into(),
+        stages: vec![
+            Stage {
+                name: "embedding".into(),
+                blocks: vec![emb],
+                capture_context: false,
+            },
+            Stage {
+                name: "encoder".into(),
+                blocks: (0..layers)
+                    .map(|i| t5_encoder(i, hidden, heads, ff))
+                    .collect(),
+                capture_context: true,
+            },
+            Stage {
+                name: "decoder".into(),
+                blocks: (0..layers)
+                    .map(|i| t5_decoder(i, hidden, heads, ff))
+                    .collect(),
+                capture_context: false,
+            },
+            Stage {
+                name: "head".into(),
+                blocks: vec![head],
+                capture_context: false,
+            },
+        ],
+        optimizer: OptimizerKind::Adam,
+        max_extent: 512,
+        framework_const_bytes: FRAMEWORK_CONST_BYTES,
+        reserved_bytes: 0,
+    }
+}
+
+fn conv(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize) -> OpKind {
+    OpKind::Conv2d {
+        in_c,
+        out_c,
+        kernel,
+        stride,
+        pad,
+        bias: false,
+    }
+}
+
+/// ResNet stem: 7×7/2 convolution, BN, ReLU, 3×3/2 max-pool.
+fn resnet_stem() -> Block {
+    let mut b = Block::builder("stem");
+    let c = b.push_on_input(conv(3, 64, 7, 2, 3));
+    let bn = b.push_on(OpKind::BatchNorm2d { channels: 64 }, c);
+    let r = b.push_on(OpKind::Relu, bn);
+    b.push_on(
+        OpKind::MaxPool2d {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        },
+        r,
+    );
+    b.build()
+}
+
+/// One ResNet bottleneck (1×1 reduce, 3×3, 1×1 expand, projection shortcut
+/// when the shape changes) as a checkpointable block.
+fn bottleneck(name: String, c_in: usize, mid: usize, c_out: usize, stride: usize) -> Block {
+    let mut b = Block::builder(name);
+    let c1 = b.push_on_input(conv(c_in, mid, 1, 1, 0));
+    let b1 = b.push_on(OpKind::BatchNorm2d { channels: mid }, c1);
+    let r1 = b.push_on(OpKind::Relu, b1);
+    let c2 = b.push_on(conv(mid, mid, 3, stride, 1), r1);
+    let b2 = b.push_on(OpKind::BatchNorm2d { channels: mid }, c2);
+    let r2 = b.push_on(OpKind::Relu, b2);
+    let c3 = b.push_on(conv(mid, c_out, 1, 1, 0), r2);
+    let b3 = b.push_on(OpKind::BatchNorm2d { channels: c_out }, c3);
+    let shortcut = if c_in != c_out || stride != 1 {
+        let dc = b.push_on_input(conv(c_in, c_out, 1, stride, 0));
+        NodeInput::Node(b.push_on(OpKind::BatchNorm2d { channels: c_out }, dc))
+    } else {
+        NodeInput::BlockInput
+    };
+    let add = b.push(OpKind::Add, &[NodeInput::Node(b3), shortcut]);
+    b.push_on(OpKind::Relu, add);
+    b.build()
+}
+
+/// A residual stage of `n` bottlenecks; the first carries the stride and
+/// channel expansion.
+fn resnet_stage(name: &str, n: usize, c_in: usize, mid: usize, stride: usize) -> Stage {
+    let c_out = mid * 4;
+    let mut blocks = vec![bottleneck(format!("{name}.0"), c_in, mid, c_out, stride)];
+    for i in 1..n {
+        blocks.push(bottleneck(format!("{name}.{i}"), c_out, mid, c_out, 1));
+    }
+    Stage {
+        name: name.into(),
+        blocks,
+        capture_context: false,
+    }
+}
+
+/// Dense detection head over the backbone's C5 feature map.
+fn detection_head() -> Block {
+    let mut b = Block::builder("det_head");
+    let c = b.push_on_input(OpKind::Conv2d {
+        in_c: 2048,
+        out_c: 256,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        bias: true,
+    });
+    let r = b.push_on(OpKind::Relu, c);
+    let logits = b.push_on(
+        OpKind::Conv2d {
+            in_c: 256,
+            out_c: 36,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            bias: true,
+        },
+        r,
+    );
+    b.push_on(OpKind::LossReduce, logits);
+    b.build()
+}
+
+fn resnet_od(name: &str, layer3_blocks: usize) -> ModelGraph {
+    ModelGraph {
+        name: name.into(),
+        stages: vec![
+            Stage {
+                name: "stem".into(),
+                blocks: vec![resnet_stem()],
+                capture_context: false,
+            },
+            resnet_stage("layer1", 3, 64, 64, 1),
+            resnet_stage("layer2", 4, 256, 128, 2),
+            resnet_stage("layer3", layer3_blocks, 512, 256, 2),
+            resnet_stage("layer4", 3, 1024, 512, 2),
+            Stage {
+                name: "head".into(),
+                blocks: vec![detection_head()],
+                capture_context: false,
+            },
+        ],
+        optimizer: OptimizerKind::SgdMomentum,
+        max_extent: 1344,
+        framework_const_bytes: FRAMEWORK_CONST_BYTES,
+        reserved_bytes: DETECTION_RESERVED_BYTES,
+    }
+}
+
+/// ResNet-50 detection backbone + dense head (OD-R50 of Table II). One
+/// block per bottleneck: stem + 3+4+6+3 bottlenecks + head = 18 blocks.
+pub fn resnet50_od() -> ModelGraph {
+    resnet_od("resnet50-od", 6)
+}
+
+/// ResNet-101 detection backbone + dense head (OD-R101 of Table II). Stem +
+/// 3+4+23+3 bottlenecks + head = 35 blocks.
+pub fn resnet101_od() -> ModelGraph {
+    resnet_od("resnet101-od", 23)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelInput;
+
+    #[test]
+    fn bert_base_has_fourteen_blocks_and_real_scale() {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        assert_eq!(m.num_blocks(), 14);
+        // ≈ 109.5 M parameters, within 2 %.
+        let p = m.param_count() as f64;
+        assert!((p / 109.5e6 - 1.0).abs() < 0.02, "{p}");
+        m.validate(&ModelInput::tokens(32, 128)).unwrap();
+        m.validate(&ModelInput::tokens(1, 512)).unwrap();
+    }
+
+    #[test]
+    fn bert_encoders_are_interchangeable() {
+        // Algorithm 1's bucket assumption and Fig 9's flat curve both rely
+        // on the 12 encoders having identical per-block profiles.
+        let m = bert_base(BertHead::QuestionAnswering);
+        let p = m.profile(&ModelInput::tokens(12, 384)).unwrap();
+        for i in 2..=12 {
+            assert_eq!(p.blocks[i].act_bytes, p.blocks[1].act_bytes, "block {i}");
+            assert_eq!(p.blocks[i].out_bytes, p.blocks[1].out_bytes, "block {i}");
+            assert_eq!(p.blocks[i].in_bytes, p.blocks[1].in_bytes, "block {i}");
+        }
+    }
+
+    #[test]
+    fn roberta_drops_segments_and_grows_vocab() {
+        let r = roberta_base(BertHead::Classification { labels: 1 });
+        let b = bert_base(BertHead::Classification { labels: 1 });
+        assert!(r.param_count() > b.param_count());
+        let p = r.param_count() as f64;
+        assert!((p / 124.6e6 - 1.0).abs() < 0.02, "{p}");
+        r.validate(&ModelInput::tokens(64, 141)).unwrap();
+    }
+
+    #[test]
+    fn t5_base_matches_published_scale() {
+        let m = t5_base();
+        assert_eq!(m.num_blocks(), 26);
+        let p = m.param_count() as f64;
+        assert!((p / 222.9e6 - 1.0).abs() < 0.02, "{p}");
+        m.validate(&ModelInput::tokens(8, 460)).unwrap();
+        m.validate(&ModelInput::tokens(8, 17)).unwrap();
+    }
+
+    #[test]
+    fn t5_decoder_consumes_encoder_context() {
+        let m = t5_base();
+        let enc_stage = m.stages.iter().position(|s| s.capture_context).unwrap();
+        assert_eq!(m.stages[enc_stage].name, "encoder");
+        let uses_context = m.stages[enc_stage + 1].blocks.iter().any(|b| {
+            b.nodes
+                .iter()
+                .any(|n| n.inputs.contains(&NodeInput::Context))
+        });
+        assert!(uses_context, "decoder never reads the captured context");
+    }
+
+    #[test]
+    fn resnets_validate_across_the_multiscale_ladder() {
+        for m in [resnet50_od(), resnet101_od()] {
+            m.validate(&ModelInput::image(8, 1344, 1344)).unwrap();
+            m.validate(&ModelInput::image(8, 480, 672)).unwrap();
+            m.validate(&ModelInput::image(6, 800, 1216)).unwrap();
+        }
+        assert_eq!(resnet50_od().num_blocks(), 18);
+        assert_eq!(resnet101_od().num_blocks(), 35);
+        assert!(resnet101_od().param_count() > resnet50_od().param_count());
+    }
+
+    #[test]
+    fn detection_models_reserve_head_memory() {
+        let m = resnet50_od();
+        assert!(m.reserved_bytes > 0);
+        assert_eq!(m.optimizer, OptimizerKind::SgdMomentum);
+    }
+}

@@ -9,10 +9,9 @@
 use crate::ModelInput;
 use mimose_ops::{OpError, OpKind};
 use mimose_tensor::TensorMeta;
-use serde::{Deserialize, Serialize};
 
 /// Where a node's operand comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeInput {
     /// The tensor entering the block (the previous block's output).
     BlockInput,
@@ -24,7 +23,7 @@ pub enum NodeInput {
 }
 
 /// One operator application inside a block.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The operator.
     pub op: OpKind,
@@ -34,7 +33,7 @@ pub struct Node {
 
 /// A checkpointable unit: a named DAG of operators. The output of the block
 /// is the output of its last node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Block {
     /// Human-readable name, e.g. `encoder.3`.
     pub name: String,
@@ -87,14 +86,18 @@ impl BlockBuilder {
 
     /// Finish the block.
     pub fn build(self) -> Block {
-        assert!(!self.block.nodes.is_empty(), "empty block {}", self.block.name);
+        assert!(
+            !self.block.nodes.is_empty(),
+            "empty block {}",
+            self.block.name
+        );
         self.block
     }
 }
 
 /// A named group of blocks. `capture_context` marks the stage whose final
 /// output becomes the model-level context tensor (T5 encoder).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Stage {
     /// Stage name, e.g. `encoder` / `layer2`.
     pub name: String,
@@ -105,7 +108,7 @@ pub struct Stage {
 }
 
 /// Optimizer whose state size contributes to the constant memory footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OptimizerKind {
     /// SGD with momentum: 1 extra f32 per parameter.
     SgdMomentum,
@@ -124,7 +127,7 @@ impl OptimizerKind {
 }
 
 /// A complete model: stages of blocks plus footprint constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelGraph {
     /// Model name (e.g. `bert-base`).
     pub name: String,

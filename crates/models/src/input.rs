@@ -1,11 +1,10 @@
 //! Per-iteration model inputs.
 
 use mimose_tensor::{DType, Shape, TensorMeta};
-use serde::{Deserialize, Serialize};
 
 /// Data-dependent dimensions of one mini-batch, after augmentation and
 /// collation. Everything else about a model is fixed at design time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelInputKind {
     /// Token-id sequences `[batch, seq]` (NLP tasks).
     Tokens {
@@ -23,7 +22,7 @@ pub enum ModelInputKind {
 
 /// One collated mini-batch input, as seen by the planner at the start of a
 /// forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelInput {
     /// Number of samples in the mini-batch (× choices for multiple-choice
     /// tasks, already folded in by the data pipeline).

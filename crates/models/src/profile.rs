@@ -8,14 +8,13 @@
 use crate::{ModelError, ModelGraph, ModelInput, NodeInput};
 use mimose_ops::OpCategory;
 use mimose_tensor::{aligned_bytes, TensorMeta};
-use serde::{Deserialize, Serialize};
 
 /// Allocator granularity used when converting logical bytes to resident
 /// bytes (the CUDA caching allocator rounds to 512 B).
 pub const ALLOC_ALIGN: usize = 512;
 
 /// One saved activation tensor inside a block (DTR's planning granularity).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TensorRecord {
     /// Resident bytes (alignment included).
     pub bytes: usize,
@@ -26,7 +25,7 @@ pub struct TensorRecord {
 }
 
 /// Cost/memory summary of one block for one concrete input.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockProfile {
     /// Block name.
     pub name: String,
@@ -52,7 +51,7 @@ pub struct BlockProfile {
 }
 
 /// Whole-model profile for one concrete input.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelProfile {
     /// Model name.
     pub model: String,
@@ -74,10 +73,7 @@ impl ModelProfile {
     /// Total activation bytes if nothing is checkpointed (internal
     /// activations plus every block output).
     pub fn total_act_bytes(&self) -> usize {
-        self.blocks
-            .iter()
-            .map(|b| b.act_bytes + b.out_bytes)
-            .sum()
+        self.blocks.iter().map(|b| b.act_bytes + b.out_bytes).sum()
     }
 
     /// Peak memory if nothing is checkpointed: constant + input + all
@@ -91,12 +87,7 @@ impl ModelProfile {
     /// block's transient working set during recomputation.
     pub fn peak_all_checkpointed(&self) -> usize {
         let outs: usize = self.blocks.iter().map(|b| b.out_bytes).sum();
-        let max_work = self
-            .blocks
-            .iter()
-            .map(|b| b.act_bytes)
-            .max()
-            .unwrap_or(0);
+        let max_work = self.blocks.iter().map(|b| b.act_bytes).max().unwrap_or(0);
         self.const_bytes + self.input_bytes + outs + max_work
     }
 
@@ -205,10 +196,7 @@ mod tests {
                 bias: true,
             });
             let g = b.push_on(OpKind::Gelu, l);
-            b.push(
-                OpKind::Add,
-                &[NodeInput::Node(g), NodeInput::BlockInput],
-            );
+            b.push(OpKind::Add, &[NodeInput::Node(g), NodeInput::BlockInput]);
             blocks.push(b.build());
         }
         ModelGraph {

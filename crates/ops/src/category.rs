@@ -6,10 +6,8 @@
 //! memory can be fitted with a low-order polynomial from a handful of online
 //! samples.
 
-use serde::{Deserialize, Serialize};
-
 /// Relationship class between an operator's input and output tensor sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpCategory {
     /// Output has exactly the input's size (ReLU, add, dropout, …).
     Elementwise,

@@ -71,9 +71,9 @@ impl OpKind {
                 let k = inputs[0].shape.back(0) as f64;
                 2.0 * out_elems * k
             }
-            Conv2d {
-                in_c, kernel, ..
-            } => 2.0 * out_elems * (*in_c as f64) * (*kernel as f64) * (*kernel as f64),
+            Conv2d { in_c, kernel, .. } => {
+                2.0 * out_elems * (*in_c as f64) * (*kernel as f64) * (*kernel as f64)
+            }
             MaxPool2d { kernel, .. } | AvgPool2d { kernel, .. } => {
                 out_elems * (*kernel as f64) * (*kernel as f64)
             }

@@ -123,10 +123,7 @@ impl OpKind {
                     return Err(shape_err(op, format!("ranks incompatible: {a} x {b}")));
                 }
                 if a.back(0) != b.back(1) {
-                    return Err(shape_err(
-                        op,
-                        format!("inner dims differ: {a} x {b}"),
-                    ));
+                    return Err(shape_err(op, format!("inner dims differ: {a} x {b}")));
                 }
                 if a.dims()[..a.rank() - 2] != b.dims()[..b.rank() - 2] {
                     return Err(shape_err(op, format!("batch dims differ: {a} x {b}")));
@@ -144,10 +141,7 @@ impl OpKind {
             } => {
                 let s = inputs[0].shape;
                 if s.rank() != 4 || s.dims()[1] != *in_c {
-                    return Err(shape_err(
-                        op,
-                        format!("expected [b,{in_c},h,w], got {s}"),
-                    ));
+                    return Err(shape_err(op, format!("expected [b,{in_c},h,w], got {s}")));
                 }
                 let d = s.dims();
                 let oh = window_out(d[2], *kernel, *stride, *pad)
@@ -331,7 +325,10 @@ impl ReshapeRule {
             }
             ReshapeRule::SplitHeads4 { heads } => {
                 if s.rank() != 4 {
-                    return Err(shape_err(op, format!("split_heads4 expects [b,k,w,d]: {s}")));
+                    return Err(shape_err(
+                        op,
+                        format!("split_heads4 expects [b,k,w,d]: {s}"),
+                    ));
                 }
                 let d = s.dims();
                 if !d[3].is_multiple_of(*heads) {
@@ -347,7 +344,10 @@ impl ReshapeRule {
             }
             ReshapeRule::MergeHeads4 { heads } => {
                 if s.rank() != 4 {
-                    return Err(shape_err(op, format!("merge_heads4 expects [b,kh,w,dh]: {s}")));
+                    return Err(shape_err(
+                        op,
+                        format!("merge_heads4 expects [b,kh,w,dh]: {s}"),
+                    ));
                 }
                 let d = s.dims();
                 if !d[1].is_multiple_of(*heads) {
@@ -367,10 +367,7 @@ impl ReshapeRule {
                 }
                 let d = s.dims();
                 if !d[1].is_multiple_of(4) {
-                    return Err(shape_err(
-                        op,
-                        format!("tokens {} not divisible by 4", d[1]),
-                    ));
+                    return Err(shape_err(op, format!("tokens {} not divisible by 4", d[1])));
                 }
                 Ok(TensorMeta::new(
                     Shape::new(&[d[0], d[1] / 4, 4 * d[2]]),
@@ -412,7 +409,11 @@ mod tests {
         let a = t(&[2, 3]);
         assert!(matches!(
             OpKind::Add.infer(&[a]),
-            Err(OpError::Arity { expected: 2, got: 1, .. })
+            Err(OpError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

@@ -1,7 +1,6 @@
 //! Primitive operator definitions.
 
 use crate::OpCategory;
-use serde::{Deserialize, Serialize};
 
 /// A primitive operator with its design-time attributes.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// "specially fixed" at model-design time (paper §IV-C); only the data-dependent
 /// dimensions (batch, sequence length, image height/width) vary across
 /// iterations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OpKind {
     // --- Elementwise ----------------------------------------------------
     /// Rectified linear unit.
@@ -137,7 +136,7 @@ pub enum OpKind {
 
 /// Reshape rules used by the model builders. Kept closed-form (rather than a
 /// target shape) so the same graph works for any input size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReshapeRule {
     /// `[b, s, h] -> [b, s, heads, h/heads] -> [b, heads, s, h/heads]`
     /// collapsed to `[b*heads, s, h/heads]` for batched attention matmuls.
@@ -181,12 +180,28 @@ impl OpKind {
     pub const fn category(&self) -> OpCategory {
         use OpKind::*;
         match self {
-            Relu | Gelu | Tanh | Sigmoid | Add | Mul | Dropout { .. } | Scale | MaskedFill
+            Relu
+            | Gelu
+            | Tanh
+            | Sigmoid
+            | Add
+            | Mul
+            | Dropout { .. }
+            | Scale
+            | MaskedFill
             | Softmax => OpCategory::Elementwise,
             AdaptiveAvgPool2d { .. } | ClsSelect | LossReduce => OpCategory::FixedOutput,
-            Linear { .. } | TiedLinear { .. } | MatMul | Conv2d { .. } | MaxPool2d { .. }
-            | AvgPool2d { .. } | LayerNorm { .. } | BatchNorm2d { .. } | Embedding { .. }
-            | ConcatLast | ZeroPad2d { .. } => OpCategory::ImplicitReduction,
+            Linear { .. }
+            | TiedLinear { .. }
+            | MatMul
+            | Conv2d { .. }
+            | MaxPool2d { .. }
+            | AvgPool2d { .. }
+            | LayerNorm { .. }
+            | BatchNorm2d { .. }
+            | Embedding { .. }
+            | ConcatLast
+            | ZeroPad2d { .. } => OpCategory::ImplicitReduction,
             Reshape(_) | TransposeLast2 => OpCategory::View,
         }
     }

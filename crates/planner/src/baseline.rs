@@ -1,8 +1,6 @@
 //! The no-checkpointing baseline (original PyTorch in the paper's Fig 10).
 
-use crate::{
-    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
-};
+use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
 use mimose_models::ModelProfile;
 
 /// Baseline policy: never checkpoints; memory is whatever the model needs.

@@ -13,15 +13,12 @@
 //! experiment.
 
 use crate::memory_model::peak_bytes;
-use crate::{
-    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
-};
+use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
 use mimose_models::ModelProfile;
 use mimose_simgpu::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Per-block action of a hybrid plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockAction {
     /// Keep activations resident.
     Keep,
@@ -32,7 +29,7 @@ pub enum BlockAction {
 }
 
 /// A hybrid checkpoint/swap plan over a model's blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HybridPlan {
     /// Action per block, indexed by global block index.
     pub actions: Vec<BlockAction>,

@@ -10,9 +10,7 @@
 //! input and cannot adapt to input dynamics.
 
 use crate::memory_model::fits;
-use crate::{
-    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
-};
+use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
 use mimose_models::ModelProfile;
 use std::time::Instant;
 

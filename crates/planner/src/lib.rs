@@ -24,7 +24,7 @@ pub use capuchin::{peak_bytes_hybrid, BlockAction, CapuchinPolicy, HybridPlan};
 pub use checkmate::CheckmatePolicy;
 pub use dtr::{h_dtr, DtrPolicy};
 pub use monet::MonetPolicy;
-pub use plan::CheckpointPlan;
+pub use plan::{CheckpointPlan, PlanIndexError};
 pub use sublinear::SublinearPolicy;
 pub use traits::{
     input_of, BlockObservation, Directive, Granularity, IterationObservation, MemoryPolicy,

@@ -61,10 +61,49 @@ pub fn peak_bytes(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
     peak
 }
 
+/// Predicted resident bytes at every block boundary of one iteration under
+/// `plan` — the full curve whose maximum is [`peak_bytes`].
+///
+/// The curve has `1 + 2n` points for an `n`-block profile:
+/// * point `0`: after the constant footprint + input tensor are resident;
+/// * points `1..=n`: after forward block `i-1` finishes (internals dropped
+///   if checkpointed, output retained);
+/// * points `n+1..=2n`: after backward block `n - (k - n)` finishes (its
+///   internals, output, and gradient transients all released).
+///
+/// The executor's shadow checker (`mimose-exec`, enabled under
+/// `debug_assertions` or `MIMOSE_SHADOW_CHECK=1`) compares the allocator's
+/// live-byte count against this curve at every boundary, so the analytic
+/// model and the engine cannot silently drift apart.
+pub fn resident_curve(profile: &ModelProfile, plan: &CheckpointPlan) -> Vec<usize> {
+    assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+    let n = profile.blocks.len();
+    let mut resident = profile.const_bytes + profile.input_bytes;
+    let mut curve = Vec::with_capacity(1 + 2 * n);
+    curve.push(resident);
+    for (i, b) in profile.blocks.iter().enumerate() {
+        if plan.is_checkpointed(i) {
+            resident += b.out_bytes;
+        } else {
+            resident += b.act_bytes + b.out_bytes;
+        }
+        curve.push(resident);
+    }
+    for (i, b) in profile.blocks.iter().enumerate().rev() {
+        if plan.is_checkpointed(i) {
+            resident += b.act_bytes; // rematerialised, then released below
+        }
+        resident -= b.act_bytes + b.out_bytes;
+        curve.push(resident);
+    }
+    debug_assert_eq!(resident, profile.const_bytes + profile.input_bytes);
+    curve
+}
+
 /// Tensor-granular plan (MONeT): per block, how many activation bytes are
 /// dropped and how many FLOPs their recomputation costs. A block plan is the
 /// special case `dropped == act_bytes`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FinePlan {
     /// Bytes dropped inside each block after its forward pass.
     pub dropped_bytes: Vec<usize>,
@@ -186,8 +225,8 @@ mod tests {
         let p = bert_profile(256);
         let n = p.blocks.len();
         let none = peak_bytes(&p, &CheckpointPlan::none(n));
-        let last_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[12]));
-        let first_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[1]));
+        let last_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[12]).unwrap());
+        let first_enc = peak_bytes(&p, &CheckpointPlan::from_indices(n, &[1]).unwrap());
         assert_eq!(last_enc, none, "last-encoder checkpoint changed peak");
         assert!(first_enc < none, "first-encoder checkpoint must help");
     }
@@ -196,7 +235,7 @@ mod tests {
     fn recompute_cost_sums_checkpointed_blocks() {
         let p = bert_profile(128);
         let n = p.blocks.len();
-        let plan = CheckpointPlan::from_indices(n, &[1, 2, 3]);
+        let plan = CheckpointPlan::from_indices(n, &[1, 2, 3]).unwrap();
         let want: f64 = (1..=3).map(|i| p.blocks[i].fwd_flops).sum();
         assert_eq!(recompute_flops(&p, &plan), want);
         assert_eq!(recompute_flops(&p, &CheckpointPlan::none(n)), 0.0);
@@ -208,6 +247,27 @@ mod tests {
         let min = min_feasible_budget(&p);
         assert!(fits(&p, &CheckpointPlan::all(p.blocks.len()), min));
         assert!(!fits(&p, &CheckpointPlan::none(p.blocks.len()), min));
+    }
+
+    #[test]
+    fn resident_curve_brackets_the_peak() {
+        let p = bert_profile(160);
+        let n = p.blocks.len();
+        for plan in [
+            CheckpointPlan::none(n),
+            CheckpointPlan::all(n),
+            CheckpointPlan::from_indices(n, &[1, 4, 9]).unwrap(),
+        ] {
+            let curve = resident_curve(&p, &plan);
+            assert_eq!(curve.len(), 1 + 2 * n);
+            let base = p.const_bytes + p.input_bytes;
+            assert_eq!(curve[0], base);
+            assert_eq!(*curve.last().unwrap(), base);
+            // The curve's max can only miss the peak by transient extras
+            // (block working sets / gradient buffers), never exceed it.
+            let max = *curve.iter().max().unwrap();
+            assert!(max <= peak_bytes(&p, &plan));
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@ fn apply(plan: &mut FinePlan, c: &Candidate, on: bool) {
         plan.recompute_flops[c.block] += c.flops;
     } else {
         plan.dropped_bytes[c.block] -= c.bytes;
-        plan.recompute_flops[c.block] -= c.flops;
+        // Clamp: repeated add/subtract of the same candidate can leave a
+        // tiny negative rounding residue where an exact zero is meant.
+        plan.recompute_flops[c.block] = (plan.recompute_flops[c.block] - c.flops).max(0.0);
     }
 }
 

@@ -1,12 +1,32 @@
 //! Checkpoint plan representation.
 
-use serde::{Deserialize, Serialize};
+/// Error building or indexing a [`CheckpointPlan`]: a block index fell
+/// outside the plan's range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanIndexError {
+    /// The offending block index.
+    pub index: usize,
+    /// Number of blocks the plan covers.
+    pub len: usize,
+}
+
+impl std::fmt::Display for PlanIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block index {} out of range for plan over {} blocks",
+            self.index, self.len
+        )
+    }
+}
+
+impl std::error::Error for PlanIndexError {}
 
 /// A checkpointing plan over a model's blocks: `drop[i] == true` means block
 /// `i` is checkpointed — its internal activations are dropped after the
 /// block's forward pass and recomputed at the start of its backward pass
 /// (the semantics of `torch.utils.checkpoint`, which Mimose builds on).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CheckpointPlan {
     drop: Vec<bool>,
 }
@@ -27,13 +47,19 @@ impl CheckpointPlan {
     }
 
     /// Build from an explicit set of checkpointed block indices.
-    pub fn from_indices(n: usize, indices: &[usize]) -> Self {
+    ///
+    /// Returns [`PlanIndexError`] when any index is `>= n` — planner inputs
+    /// (deserialized configs, experiment sweeps) are untrusted, so this is a
+    /// recoverable condition rather than a panic.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Result<Self, PlanIndexError> {
         let mut drop = vec![false; n];
         for &i in indices {
-            assert!(i < n, "block index {i} out of range {n}");
+            if i >= n {
+                return Err(PlanIndexError { index: i, len: n });
+            }
             drop[i] = true;
         }
-        CheckpointPlan { drop }
+        Ok(CheckpointPlan { drop })
     }
 
     /// Number of blocks the plan covers.
@@ -47,14 +73,52 @@ impl CheckpointPlan {
     }
 
     /// Whether block `i` is checkpointed.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`; use [`CheckpointPlan::get`] for a
+    /// non-panicking lookup.
     #[inline]
     pub fn is_checkpointed(&self, i: usize) -> bool {
+        debug_assert!(
+            i < self.drop.len(),
+            "is_checkpointed({i}) out of range for plan over {} blocks",
+            self.drop.len()
+        );
         self.drop[i]
     }
 
+    /// Whether block `i` is checkpointed, or `None` when `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.drop.get(i).copied()
+    }
+
     /// Mark block `i` checkpointed.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`; use [`CheckpointPlan::try_set`] for a
+    /// non-panicking variant.
     pub fn set(&mut self, i: usize, checkpoint: bool) {
+        debug_assert!(
+            i < self.drop.len(),
+            "set({i}) out of range for plan over {} blocks",
+            self.drop.len()
+        );
         self.drop[i] = checkpoint;
+    }
+
+    /// Mark block `i` checkpointed, reporting out-of-range indices.
+    pub fn try_set(&mut self, i: usize, checkpoint: bool) -> Result<(), PlanIndexError> {
+        match self.drop.get_mut(i) {
+            Some(slot) => {
+                *slot = checkpoint;
+                Ok(())
+            }
+            None => Err(PlanIndexError {
+                index: i,
+                len: self.drop.len(),
+            }),
+        }
     }
 
     /// Number of checkpointed blocks.
@@ -98,7 +162,7 @@ mod tests {
 
     #[test]
     fn from_indices_roundtrip() {
-        let p = CheckpointPlan::from_indices(10, &[2, 7]);
+        let p = CheckpointPlan::from_indices(10, &[2, 7]).unwrap();
         assert!(p.is_checkpointed(2));
         assert!(p.is_checkpointed(7));
         assert!(!p.is_checkpointed(3));
@@ -106,14 +170,33 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_index_is_an_error() {
+        let err = CheckpointPlan::from_indices(3, &[3]).unwrap_err();
+        assert_eq!(err, PlanIndexError { index: 3, len: 3 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn get_and_try_set_report_out_of_range() {
+        let mut p = CheckpointPlan::none(4);
+        assert_eq!(p.get(3), Some(false));
+        assert_eq!(p.get(4), None);
+        assert!(p.try_set(3, true).is_ok());
+        assert!(p.is_checkpointed(3));
+        assert_eq!(p.try_set(9, true), Err(PlanIndexError { index: 9, len: 4 }));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
-    fn out_of_range_index_panics() {
-        let _ = CheckpointPlan::from_indices(3, &[3]);
+    fn set_out_of_range_panics_with_context() {
+        let mut p = CheckpointPlan::none(3);
+        p.set(5, true);
     }
 
     #[test]
     fn display_lists_indices() {
-        let p = CheckpointPlan::from_indices(4, &[1, 3]);
+        let p = CheckpointPlan::from_indices(4, &[1, 3]).unwrap();
         assert_eq!(p.to_string(), "ckpt{1,3}/4");
     }
 }

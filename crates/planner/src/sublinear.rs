@@ -7,9 +7,7 @@
 //! the inefficiency Fig 4 quantifies (up to 35 % throughput loss).
 
 use crate::memory_model::fits;
-use crate::{
-    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta,
-};
+use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
 use mimose_models::ModelProfile;
 
 /// Static greedy planner in the Sublinear style.

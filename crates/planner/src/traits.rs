@@ -3,10 +3,9 @@
 
 use crate::CheckpointPlan;
 use mimose_models::{ModelInput, ModelProfile};
-use serde::{Deserialize, Serialize};
 
 /// Plan granularity (Table I row "Granularity").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Granularity {
     /// Whole checkpointable blocks (Mimose).
     Block,
@@ -17,7 +16,7 @@ pub enum Granularity {
 }
 
 /// When the plan is generated (Table I row "Timing for generating plan").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanTiming {
     /// Before training starts.
     Offline,
@@ -26,7 +25,7 @@ pub enum PlanTiming {
 }
 
 /// Table I feature row for one planner.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlannerMeta {
     /// Planner name.
     pub name: &'static str,
@@ -70,7 +69,7 @@ pub enum Directive {
 }
 
 /// Per-block measurement produced by a shuttle iteration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BlockObservation {
     /// Global block index.
     pub index: usize,
@@ -85,7 +84,7 @@ pub struct BlockObservation {
 }
 
 /// End-of-iteration feedback delivered to the policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationObservation {
     /// Iteration number.
     pub iter: usize,

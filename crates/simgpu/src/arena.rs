@@ -7,7 +7,6 @@
 //! range fits — exactly the fragmentation pathology that inflates DTR's real
 //! memory usage in Fig 5 (budget 4.2 GB, actual 6.7 GB).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Allocation alignment (the CUDA caching allocator rounds to 512 B).
@@ -18,7 +17,7 @@ pub const ARENA_ALIGN: usize = 512;
 /// The CUDA caching allocator behaves first-fit-ish within size pools;
 /// best-fit trades allocation speed for tighter packing. The ablation bench
 /// `ablation_allocator` compares their fragmentation under DTR's workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocPolicy {
     /// Lowest-address range that fits (default).
     #[default]
@@ -30,6 +29,59 @@ pub enum AllocPolicy {
 /// Opaque handle to a live allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AllocId(u64);
+
+impl AllocId {
+    /// The raw id value (stable within one arena; used by trace tooling).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id from its raw value. Only meaningful for trace tooling
+    /// (replaying or synthesizing [`TraceEvent`] streams); passing a
+    /// fabricated id to [`Arena::free`] is a simulator bug.
+    pub fn from_raw(raw: u64) -> Self {
+        AllocId(raw)
+    }
+}
+
+/// One allocator event, recorded when tracing is enabled (see
+/// [`Arena::set_tracing`]). The `mimose-audit` trace auditor replays these
+/// events through an independent shadow allocator and cross-checks every
+/// memory-safety and accounting invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A successful allocation.
+    Alloc {
+        /// Handle returned to the caller.
+        id: AllocId,
+        /// Start address of the carved range.
+        offset: usize,
+        /// Aligned length of the carved range.
+        size: usize,
+        /// Bytes the caller asked for (pre-alignment).
+        requested: usize,
+    },
+    /// A free of a live allocation.
+    Free {
+        /// Handle being released.
+        id: AllocId,
+        /// Start address of the released range.
+        offset: usize,
+        /// Aligned length of the released range.
+        size: usize,
+    },
+    /// A failed allocation.
+    Oom {
+        /// Aligned bytes requested.
+        requested: usize,
+        /// Total free bytes at the time of failure.
+        free_bytes: usize,
+        /// Largest contiguous free range at the time of failure.
+        largest_free: usize,
+    },
+    /// The arena was reset to a single pristine free range.
+    Reset,
+}
 
 /// Allocation failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,14 +108,22 @@ impl std::error::Error for OomError {}
 
 impl OomError {
     /// True when the failure is due to fragmentation rather than genuine
-    /// exhaustion: enough bytes are free, just not contiguously.
+    /// exhaustion: enough bytes are free in total, just not contiguously
+    /// (`free_bytes >= requested` yet `largest_free < requested`).
+    ///
+    /// The distinction matters for policy: a fragmentation OOM can be cured
+    /// by defragmentation or a different eviction order (the DTR pathology
+    /// of Fig 5), while genuine exhaustion (`free_bytes < requested`) can
+    /// only be cured by freeing more bytes. `requested` is the *aligned*
+    /// request, so a caller asking for `free_bytes` exactly can still see
+    /// a genuine-exhaustion OOM after rounding.
     pub fn is_fragmentation(&self) -> bool {
         self.free_bytes >= self.requested
     }
 }
 
 /// Running statistics of an arena.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Number of successful allocations.
     pub allocs: u64,
@@ -73,8 +133,17 @@ pub struct ArenaStats {
     pub oom_events: u64,
     /// High-watermark of used bytes.
     pub peak_used: usize,
-    /// High-watermark of fragmentation (free bytes unusable for the largest
-    /// failed or succeeded request pattern; tracked as free − largest free).
+    /// High-watermark of fragmentation, measured as
+    /// `free_bytes − largest_free`: the free bytes that could *not* satisfy
+    /// a request the size of the largest contiguous range.
+    ///
+    /// Sampled after every **successful** allocation (the moment a carve
+    /// can split a range) — not on frees or failed allocations, which only
+    /// merge ranges or leave them untouched. A free that coalesces can
+    /// therefore lower instantaneous fragmentation below `peak_frag`
+    /// without the watermark ever moving; `peak_footprint` (updated on
+    /// both paths) is the measure that tracks frees too. The trace auditor
+    /// in `mimose-audit` recomputes this field with identical sampling.
     pub peak_frag: usize,
     /// High-watermark of the address-space extent (highest end address of
     /// any allocation). This approximates the bytes the caching allocator
@@ -113,6 +182,8 @@ pub struct Arena {
     next_id: u64,
     used: usize,
     stats: ArenaStats,
+    /// Event log, recorded only when tracing is enabled.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl Arena {
@@ -135,6 +206,28 @@ impl Arena {
             next_id: 0,
             used: 0,
             stats: ArenaStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enable or disable event tracing. Enabling starts a fresh log;
+    /// disabling discards it. Tracing costs one `Vec` push per allocator
+    /// call and is off by default.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded events so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Take ownership of the recorded events, leaving an empty log (tracing
+    /// stays enabled). Returns an empty vec when tracing is off.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
         }
     }
 
@@ -208,11 +301,19 @@ impl Arena {
         };
         let Some((addr, len)) = slot else {
             self.stats.oom_events += 1;
-            return Err(OomError {
+            let err = OomError {
                 requested: need,
                 free_bytes: self.free_bytes(),
                 largest_free: self.largest_free(),
-            });
+            };
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Oom {
+                    requested: err.requested,
+                    free_bytes: err.free_bytes,
+                    largest_free: err.largest_free,
+                });
+            }
+            return Err(err);
         };
         self.free.remove(&addr);
         if len > need {
@@ -230,6 +331,14 @@ impl Arena {
             .stats
             .peak_footprint
             .max(self.used + self.fragmentation_bytes());
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Alloc {
+                id,
+                offset: addr,
+                size: need,
+                requested: bytes,
+            });
+        }
         Ok(id)
     }
 
@@ -245,6 +354,13 @@ impl Arena {
             .unwrap_or_else(|| panic!("free of non-live allocation {id:?}"));
         self.used -= len;
         self.stats.frees += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Free {
+                id,
+                offset: addr,
+                size: len,
+            });
+        }
         // Coalesce with predecessor.
         let mut start = addr;
         let mut length = len;
@@ -283,6 +399,9 @@ impl Arena {
         if self.capacity > 0 {
             self.free.insert(0, self.capacity);
         }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Reset);
+        }
     }
 
     /// Internal invariant check used by tests: free ranges are disjoint,
@@ -295,7 +414,10 @@ impl Arena {
                 return Err(format!("zero-length free range at {addr}"));
             }
             if addr + len > self.capacity {
-                return Err(format!("free range [{addr}, {}) beyond capacity", addr + len));
+                return Err(format!(
+                    "free range [{addr}, {}) beyond capacity",
+                    addr + len
+                ));
             }
             if let Some(pe) = prev_end {
                 if addr < pe {
@@ -374,6 +496,38 @@ mod tests {
         assert_eq!(err.largest_free, 512);
         assert_eq!(a.fragmentation_bytes(), 512);
         a.free(r);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fragmentation_oom_vs_genuine_exhaustion() {
+        // Same request size, two different failure causes — the OomError
+        // classification must tell them apart.
+        let mut a = Arena::new(3 * 512);
+        let x = a.alloc(512).unwrap();
+        let _y = a.alloc(512).unwrap();
+        let z = a.alloc(512).unwrap();
+
+        // Genuine exhaustion: zero bytes free anywhere.
+        let err = a.alloc(1024).unwrap_err();
+        assert!(!err.is_fragmentation());
+        assert_eq!(err.free_bytes, 0);
+
+        // Fragmentation: 1024 B free in total, but split into two
+        // non-adjacent 512 B holes around the middle allocation.
+        a.free(x);
+        a.free(z);
+        let err = a.alloc(1024).unwrap_err();
+        assert!(err.is_fragmentation());
+        assert_eq!(err.free_bytes, 1024);
+        assert_eq!(err.largest_free, 512);
+        // Both failures recorded; peak_frag was sampled at alloc time, and
+        // no successful alloc has happened since the holes appeared.
+        assert_eq!(a.stats().oom_events, 2);
+        assert_eq!(a.fragmentation_bytes(), 512);
+        let before = a.stats().peak_frag;
+        let _w = a.alloc(512).unwrap(); // fills one hole: frag becomes 0
+        assert_eq!(a.stats().peak_frag, before);
         a.check_invariants().unwrap();
     }
 

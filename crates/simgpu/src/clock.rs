@@ -4,10 +4,8 @@
 //! advancing virtual clock, so experiment outputs are bit-identical across
 //! runs and machines.
 
-use serde::{Deserialize, Serialize};
-
 /// Virtual time, nanoseconds since iteration zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct VirtualTime(pub u64);
 
 impl VirtualTime {

@@ -6,10 +6,8 @@
 //! paper's results (overhead percentages, who-wins orderings) reproduce;
 //! absolute times are not expected to match the authors' testbed.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost constants of the simulated GPU + framework.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceProfile {
     /// Sustained compute throughput in FLOP/s (fp32, after efficiency
     /// derating — V100 peak is 15.7 TFLOP/s; real kernels sustain ~35-50 %).

@@ -1,12 +1,10 @@
 //! Element datatypes and their storage widths.
 
-use serde::{Deserialize, Serialize};
-
 /// Element type of a simulated tensor.
 ///
 /// Only the storage width matters for the memory planner; no numeric data is
 /// ever materialised in the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit IEEE-754 float (the default training dtype in the paper).
     F32,

@@ -1,10 +1,9 @@
 //! Tensor metadata: the (shape, dtype) pair every cost model works over.
 
 use crate::{DType, Shape};
-use serde::{Deserialize, Serialize};
 
 /// Metadata of a simulated tensor. No element data is ever stored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TensorMeta {
     /// Logical shape.
     pub shape: Shape,

@@ -5,13 +5,11 @@
 //! allocation per intermediate tensor — shape arithmetic is on the planner's
 //! critical path (the "lightning" estimator must run in sub-millisecond time).
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum rank supported by the inline representation.
 pub const MAX_RANK: usize = 6;
 
 /// A tensor shape with inline dimension storage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: [usize; MAX_RANK],
     rank: u8,

@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example nlp_finetune`
 
+use mimose::exec::Trainer;
 use mimose::exp::planners::{build_policy, PlannerKind};
 use mimose::exp::tasks::Task;
-use mimose::exec::Trainer;
 
 fn main() {
     let task = Task::qa_bert();

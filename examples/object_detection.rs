@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example object_detection`
 
 use mimose::core::{MimoseConfig, MimosePolicy};
-use mimose::exp::tasks::Task;
 use mimose::exec::Trainer;
+use mimose::exp::tasks::Task;
 use mimose::planner::SublinearPolicy;
 
 fn main() {

@@ -29,7 +29,11 @@ fn main() {
 
     println!("iter  seqlen  phase       peak(GiB)  ckpt  time(ms)");
     for (i, report) in trainer.run(40).into_iter().enumerate() {
-        let phase = if report.shuttle { "sheltered " } else { "responsive" };
+        let phase = if report.shuttle {
+            "sheltered "
+        } else {
+            "responsive"
+        };
         println!(
             "{:>4}  {:>6}  {}  {:>9.2}  {:>4}  {:>8.1}",
             i,
@@ -47,9 +51,7 @@ fn main() {
     let stats = policy.stats();
     println!(
         "\ncollected {} shuttle iterations, generated {} plans ({} cache hits)",
-        stats.shuttle_iters,
-        stats.plans_generated,
-        stats.cache_hits
+        stats.shuttle_iters, stats.plans_generated, stats.cache_hits
     );
     let (lo, hi) = stats.plan_ns_range();
     println!(

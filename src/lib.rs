@@ -37,6 +37,7 @@
 //! assert!(summary.max_peak_bytes <= 5 << 30);
 //! ```
 
+pub use mimose_audit as audit;
 pub use mimose_core as core;
 pub use mimose_data as data;
 pub use mimose_estimator as estimator;
@@ -45,5 +46,6 @@ pub use mimose_exp as exp;
 pub use mimose_models as models;
 pub use mimose_ops as ops;
 pub use mimose_planner as planner;
+pub use mimose_rng as rng;
 pub use mimose_simgpu as simgpu;
 pub use mimose_tensor as tensor;

@@ -1,9 +1,13 @@
 //! Property tests on the memory-arena substrate: no byte is ever lost, free
 //! ranges stay disjoint and coalesced, and fragmentation accounting is
 //! consistent under arbitrary alloc/free interleavings.
+//!
+//! The randomized scripts are seeded-deterministic (see `mimose::rng`), so
+//! failures reproduce exactly.
 
-use mimose::simgpu::{AllocId, Arena};
-use proptest::prelude::*;
+use mimose::audit::{audit_trace, has_errors};
+use mimose::rng::{Rng, SeedableRng, StdRng};
+use mimose::simgpu::{AllocId, AllocPolicy, Arena};
 
 /// A random allocator script: sizes to allocate, and for each step whether
 /// to free a previously live allocation (chosen by index).
@@ -13,87 +17,143 @@ enum Step {
     FreeNth(usize),
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1usize..512 * 1024).prop_map(Step::Alloc),
-            (0usize..64).prop_map(Step::FreeNth),
-        ],
-        1..200,
-    )
+fn random_script(rng: &mut StdRng, len: usize) -> Vec<Step> {
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.55) {
+                Step::Alloc(rng.gen_range(1usize..512 * 1024))
+            } else {
+                Step::FreeNth(rng.gen_range(0usize..64))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn invariants_hold_under_random_scripts(script in steps()) {
-        let mut arena = Arena::new(8 << 20);
-        let mut live: Vec<AllocId> = Vec::new();
-        for step in script {
-            match step {
-                Step::Alloc(sz) => {
-                    if let Ok(id) = arena.alloc(sz) {
-                        live.push(id);
-                    }
-                }
-                Step::FreeNth(n) => {
-                    if !live.is_empty() {
-                        let id = live.swap_remove(n % live.len());
-                        arena.free(id);
-                    }
+fn run_script(arena: &mut Arena, script: &[Step], mut each: impl FnMut(&Arena)) -> Vec<AllocId> {
+    let mut live: Vec<AllocId> = Vec::new();
+    for step in script {
+        match *step {
+            Step::Alloc(sz) => {
+                if let Ok(id) = arena.alloc(sz) {
+                    live.push(id);
                 }
             }
+            Step::FreeNth(n) => {
+                if !live.is_empty() {
+                    let id = live.swap_remove(n % live.len());
+                    arena.free(id);
+                }
+            }
+        }
+        each(arena);
+    }
+    live
+}
+
+#[test]
+fn invariants_hold_under_random_scripts() {
+    let mut rng = StdRng::seed_from_u64(0xA3EA_0001);
+    for _ in 0..48 {
+        let len = 1 + rng.gen_range(0usize..200);
+        let script = random_script(&mut rng, len);
+        let mut arena = Arena::new(8 << 20);
+        let live = run_script(&mut arena, &script, |arena| {
             arena.check_invariants().expect("invariant violated");
-            prop_assert!(arena.used_bytes() <= arena.capacity());
-            prop_assert!(arena.largest_free() <= arena.free_bytes());
-            prop_assert_eq!(
+            assert!(arena.used_bytes() <= arena.capacity());
+            assert!(arena.largest_free() <= arena.free_bytes());
+            assert_eq!(
                 arena.fragmentation_bytes(),
                 arena.free_bytes() - arena.largest_free()
             );
-        }
+        });
         // Free everything: the arena must return to one pristine range.
         for id in live {
             arena.free(id);
         }
-        arena.check_invariants().expect("invariant violated after drain");
-        prop_assert_eq!(arena.used_bytes(), 0);
-        prop_assert_eq!(arena.largest_free(), arena.capacity());
-        prop_assert_eq!(arena.fragmentation_bytes(), 0);
+        arena
+            .check_invariants()
+            .expect("invariant violated after drain");
+        assert_eq!(arena.used_bytes(), 0);
+        assert_eq!(arena.largest_free(), arena.capacity());
+        assert_eq!(arena.fragmentation_bytes(), 0);
     }
+}
 
-    #[test]
-    fn stats_are_monotone(script in steps()) {
+#[test]
+fn stats_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA3EA_0002);
+    for _ in 0..48 {
+        let len = 1 + rng.gen_range(0usize..200);
+        let script = random_script(&mut rng, len);
         let mut arena = Arena::new(4 << 20);
-        let mut live: Vec<AllocId> = Vec::new();
         let mut prev_peak = 0usize;
-        for step in script {
-            match step {
-                Step::Alloc(sz) => {
-                    if let Ok(id) = arena.alloc(sz) {
-                        live.push(id);
-                    }
-                }
-                Step::FreeNth(n) => {
-                    if !live.is_empty() {
-                        let id = live.swap_remove(n % live.len());
-                        arena.free(id);
-                    }
-                }
-            }
+        run_script(&mut arena, &script, |arena| {
             let stats = arena.stats();
-            prop_assert!(stats.peak_used >= prev_peak);
-            prop_assert!(stats.peak_used >= arena.used_bytes());
-            prop_assert!(stats.peak_extent <= arena.capacity());
-            prop_assert!(stats.peak_footprint >= stats.peak_used);
+            assert!(stats.peak_used >= prev_peak);
+            assert!(stats.peak_used >= arena.used_bytes());
+            assert!(stats.peak_extent <= arena.capacity());
+            assert!(stats.peak_footprint >= stats.peak_used);
             prev_peak = stats.peak_used;
-        }
+        });
     }
+}
 
-    #[test]
-    fn alloc_sizes_are_aligned_and_sufficient(sz in 1usize..1_000_000) {
+#[test]
+fn alloc_sizes_are_aligned_and_sufficient() {
+    let mut rng = StdRng::seed_from_u64(0xA3EA_0003);
+    for _ in 0..256 {
+        let sz = rng.gen_range(1usize..1_000_000);
         let mut arena = Arena::new(16 << 20);
         let id = arena.alloc(sz).expect("fits");
         let got = arena.size_of(id).expect("live");
-        prop_assert!(got >= sz);
-        prop_assert_eq!(got % 512, 0);
+        assert!(got >= sz);
+        assert_eq!(got % 512, 0);
+    }
+}
+
+/// Differential check: random alloc/free scripts, replayed through the
+/// trace auditor's independent shadow allocator, must produce zero
+/// error-severity diagnostics under both fit policies — the arena and the
+/// auditor derive the free-space structure by entirely different code
+/// paths, so agreement here pins down coalescing, alignment, range
+/// accounting, and the `ArenaStats` high-watermarks all at once.
+#[test]
+fn trace_audit_is_clean_for_both_fit_policies() {
+    for (policy, seed) in [
+        (AllocPolicy::FirstFit, 0xD1FF_0001u64),
+        (AllocPolicy::BestFit, 0xD1FF_0002u64),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..32 {
+            // A small arena so OOM (and fragmentation-OOM) paths are hit too.
+            let mut arena = Arena::with_policy(2 << 20, policy);
+            arena.set_tracing(true);
+            let len = 1 + rng.gen_range(0usize..300);
+            let mut script = random_script(&mut rng, len);
+            // Guarantee at least one allocation so every trace has content.
+            script.insert(0, Step::Alloc(4096));
+            let live = run_script(&mut arena, &script, |_| {});
+            // Occasionally drain or reset so end-of-trace states vary.
+            match case % 3 {
+                0 => {
+                    for id in live {
+                        arena.free(id);
+                    }
+                }
+                1 => arena.reset(),
+                _ => {}
+            }
+            let stats = arena.stats();
+            let trace = arena.take_trace();
+            assert!(
+                stats.allocs + stats.oom_events > 0,
+                "script exercised nothing"
+            );
+            let diags = audit_trace(arena.capacity(), &trace, Some(&stats));
+            assert!(
+                !has_errors(&diags),
+                "{policy:?} case {case}: auditor disagrees with arena: {diags:?}"
+            );
+        }
     }
 }

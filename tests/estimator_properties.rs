@@ -1,20 +1,21 @@
 //! Property tests on the regression library: the quadratic polynomial must
 //! recover arbitrary quadratics exactly (the property §IV-C relies on), and
-//! every family must stay finite on arbitrary valid inputs.
+//! every family must stay finite on arbitrary valid inputs. Cases are drawn
+//! from a seeded generator so failures reproduce exactly.
 
 use mimose::estimator::{
     DecisionTreeRegressor, GbtRegressor, PolynomialRegressor, Regressor, SvrRegressor,
 };
-use proptest::prelude::*;
+use mimose::rng::{Rng, SeedableRng, StdRng};
 
-proptest! {
-    #[test]
-    fn quadratic_fit_recovers_random_quadratics(
-        c0 in 1.0e3f64..1.0e9,
-        c1 in 0.0f64..1.0e4,
-        c2 in 0.0f64..10.0,
-        x0 in 100.0f64..10_000.0,
-    ) {
+#[test]
+fn quadratic_fit_recovers_random_quadratics() {
+    let mut rng = StdRng::seed_from_u64(0xE571_0001);
+    for _ in 0..64 {
+        let c0 = rng.gen_range(1.0e3f64..1.0e9);
+        let c1 = rng.gen_range(0.0f64..1.0e4);
+        let c2 = rng.gen_range(0.0f64..10.0);
+        let x0 = rng.gen_range(100.0f64..10_000.0);
         let xs: Vec<f64> = (0..10).map(|i| x0 * (1.0 + i as f64 * 0.35)).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
         let mut p = PolynomialRegressor::new(2);
@@ -23,32 +24,39 @@ proptest! {
         for &x in &[x0 * 0.5, x0 * 2.0, x0 * 6.0] {
             let want = c0 + c1 * x + c2 * x * x;
             let got = p.predict(x);
-            prop_assert!(
+            assert!(
                 (got - want).abs() / want.abs().max(1.0) < 1e-4,
                 "x={x}: got {got}, want {want}"
             );
         }
     }
+}
 
-    #[test]
-    fn linear_fit_recovers_random_lines(
-        c0 in -1.0e6f64..1.0e6,
-        c1 in -100.0f64..100.0,
-    ) {
+#[test]
+fn linear_fit_recovers_random_lines() {
+    let mut rng = StdRng::seed_from_u64(0xE571_0002);
+    for _ in 0..64 {
+        let c0 = rng.gen_range(-1.0e6f64..1.0e6);
+        let c1 = rng.gen_range(-100.0f64..100.0);
         let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 137.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x).collect();
         let mut p = PolynomialRegressor::new(1);
         p.fit(&xs, &ys).expect("fit succeeds");
         let x = 555.0;
         let want = c0 + c1 * x;
-        prop_assert!((p.predict(x) - want).abs() < 1e-3 * (want.abs() + 1.0));
+        assert!((p.predict(x) - want).abs() < 1e-3 * (want.abs() + 1.0));
     }
+}
 
-    #[test]
-    fn all_families_stay_finite(
-        seed_ys in prop::collection::vec(1.0f64..1.0e9, 6..20),
-    ) {
-        let xs: Vec<f64> = (0..seed_ys.len()).map(|i| 100.0 + i as f64 * 250.0).collect();
+#[test]
+fn all_families_stay_finite() {
+    let mut rng = StdRng::seed_from_u64(0xE571_0003);
+    for _ in 0..24 {
+        let n = rng.gen_range(6usize..20);
+        let seed_ys: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0f64..1.0e9)).collect();
+        let xs: Vec<f64> = (0..seed_ys.len())
+            .map(|i| 100.0 + i as f64 * 250.0)
+            .collect();
         let families: Vec<Box<dyn Regressor>> = vec![
             Box::new(PolynomialRegressor::new(2)),
             Box::new(SvrRegressor::default_params()),
@@ -58,15 +66,18 @@ proptest! {
         for mut m in families {
             m.fit(&xs, &seed_ys).expect("fit succeeds");
             for &x in &[50.0, 1_000.0, 10_000.0] {
-                prop_assert!(m.predict(x).is_finite(), "{} produced non-finite", m.name());
+                assert!(m.predict(x).is_finite(), "{} produced non-finite", m.name());
             }
         }
     }
+}
 
-    #[test]
-    fn tree_predictions_stay_within_target_range(
-        ys in prop::collection::vec(0.0f64..1.0e6, 4..30),
-    ) {
+#[test]
+fn tree_predictions_stay_within_target_range() {
+    let mut rng = StdRng::seed_from_u64(0xE571_0004);
+    for _ in 0..32 {
+        let n = rng.gen_range(4usize..30);
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..1.0e6)).collect();
         let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
         let mut t = DecisionTreeRegressor::default_params();
         t.fit(&xs, &ys).expect("fit succeeds");
@@ -74,7 +85,10 @@ proptest! {
         let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for &x in &[-5.0, 3.5, 1_000.0] {
             let p = t.predict(x);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo},{hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "prediction {p} outside [{lo},{hi}]"
+            );
         }
     }
 }
