@@ -42,5 +42,5 @@ fn bench_alloc_free(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_alloc_free);
+criterion_group!(benches, bench_alloc_free, mimose_bench::suites::arena_suite);
 criterion_main!(benches);

@@ -22,5 +22,5 @@ fn bench_solvers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+criterion_group!(benches, bench_solvers, mimose_bench::suites::planner_suite);
 criterion_main!(benches);

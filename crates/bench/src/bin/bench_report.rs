@@ -1,0 +1,30 @@
+//! Runs the planner and arena before/after suites and writes
+//! `BENCH_planner.json` + `BENCH_arena.json` at the repository root — the
+//! machine-readable record the acceptance criteria (and future regression
+//! tracking) read. `cargo run --release -p mimose-bench --bin bench_report`.
+
+use mimose_bench::harness::Criterion;
+use mimose_bench::suites::{arena_suite, planner_suite};
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+
+    let mut planner = Criterion::default();
+    planner_suite(&mut planner);
+    planner.report();
+    let planner_path = root.join("BENCH_planner.json");
+    planner
+        .write_json("planner", &planner_path)
+        .expect("write BENCH_planner.json");
+    eprintln!("wrote {}", planner_path.display());
+
+    let mut arena = Criterion::default();
+    arena_suite(&mut arena);
+    arena.report();
+    let arena_path = root.join("BENCH_arena.json");
+    arena
+        .write_json("arena", &arena_path)
+        .expect("write BENCH_arena.json");
+    eprintln!("wrote {}", arena_path.display());
+}

@@ -3,8 +3,38 @@
 //! `iter_batched[_ref]`). Criterion itself is unavailable in the offline
 //! build environment; this harness keeps the targets runnable and prints
 //! median ns/iter per benchmark.
+//!
+//! Beyond the Criterion surface, the harness emits machine-readable results:
+//! [`Criterion::write_json`] dumps every measurement (with optional
+//! [`BenchMeta`] — problem size in blocks, allocator ops per iteration) as a
+//! hand-rolled JSON document, and `criterion_main!` honours two env vars:
+//! `MIMOSE_BENCH_JSON=<path>` writes the JSON there, and
+//! `MIMOSE_BENCH_SMOKE=1` shrinks sampling to a fast smoke run so CI can
+//! exercise every bench target without paying full measurement cost.
 
+use std::io::Write;
+use std::path::Path;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// True when `MIMOSE_BENCH_SMOKE` is set (non-empty, not `0`): benches run
+/// with minimal sampling, checking only that the code paths work.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::var("MIMOSE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Optional per-benchmark metadata carried into the JSON report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchMeta {
+    /// Problem size in model blocks (planner/scheduler benches).
+    pub blocks: Option<usize>,
+    /// Allocator (or other) operations performed per iteration; the report
+    /// derives ops/sec from this and the median iteration time.
+    pub ops_per_iter: Option<u64>,
+}
 
 /// Batch-size hint (accepted for API compatibility; batches are per-call).
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,12 +58,17 @@ const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
 
 impl Bencher {
     fn measure<F: FnMut() -> Duration>(&mut self, mut one: F) {
-        for _ in 0..WARMUP_ITERS {
+        let (warmup, max_samples, budget) = if smoke_mode() {
+            (0, 3, Duration::from_millis(20))
+        } else {
+            (WARMUP_ITERS, MAX_SAMPLES, SAMPLE_BUDGET)
+        };
+        for _ in 0..warmup {
             let _ = one();
         }
         let started = Instant::now();
-        let mut samples = Vec::with_capacity(MAX_SAMPLES);
-        while samples.len() < MAX_SAMPLES && started.elapsed() < SAMPLE_BUDGET {
+        let mut samples = Vec::with_capacity(max_samples);
+        while samples.len() < max_samples && (samples.is_empty() || started.elapsed() < budget) {
             samples.push(one().as_nanos() as f64);
         }
         samples.sort_by(f64::total_cmp);
@@ -84,6 +119,7 @@ impl Bencher {
 struct Entry {
     name: String,
     ns_per_iter: f64,
+    meta: BenchMeta,
 }
 
 /// Benchmark registry + runner.
@@ -92,14 +128,39 @@ pub struct Criterion {
     entries: Vec<Entry>,
 }
 
+/// Escape a string for a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Criterion {
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_function_with(name, BenchMeta::default(), f)
+    }
+
+    /// Run one named benchmark carrying metadata into the JSON report.
+    pub fn bench_function_with<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        meta: BenchMeta,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
         self.entries.push(Entry {
             name: name.to_string(),
             ns_per_iter: b.ns_per_iter,
+            meta,
         });
         self
     }
@@ -118,6 +179,47 @@ impl Criterion {
             println!("{:<48} {:>14.0} ns/iter", e.name, e.ns_per_iter);
         }
     }
+
+    /// Serialise all measurements as a JSON document (no external deps, so
+    /// the document is hand-rolled): suite name plus one record per bench
+    /// with the median iteration time and any metadata.
+    pub fn to_json(&self, suite: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", json_escape(suite)));
+        out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+        out.push_str("  \"results\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\"", json_escape(&e.name)));
+            out.push_str(&format!(", \"median_ns\": {:.1}", e.ns_per_iter));
+            if let Some(blocks) = e.meta.blocks {
+                out.push_str(&format!(", \"blocks\": {blocks}"));
+            }
+            if let Some(ops) = e.meta.ops_per_iter {
+                out.push_str(&format!(", \"ops_per_iter\": {ops}"));
+                if e.ns_per_iter > 0.0 {
+                    out.push_str(&format!(
+                        ", \"ops_per_sec\": {:.1}",
+                        ops as f64 / (e.ns_per_iter * 1e-9)
+                    ));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write_json(&self, suite: &str, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json(suite).as_bytes())
+    }
 }
 
 /// Group handle mirroring `criterion::BenchmarkGroup`.
@@ -129,8 +231,19 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Run one benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_function_with(name, BenchMeta::default(), f)
+    }
+
+    /// Run one benchmark inside the group, carrying metadata into the
+    /// JSON report.
+    pub fn bench_function_with<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        meta: BenchMeta,
+        f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.prefix, name);
-        self.c.bench_function(&full, f);
+        self.c.bench_function_with(&full, meta, f);
         self
     }
 
@@ -150,7 +263,8 @@ macro_rules! criterion_group {
 }
 
 /// Entry point running one or more groups, mirroring
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`. When `MIMOSE_BENCH_JSON=<path>` is set,
+/// the measurements are also written there as JSON (suite = crate name).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:ident),+ $(,)?) => {
@@ -158,6 +272,13 @@ macro_rules! criterion_main {
             let mut c = $crate::harness::Criterion::default();
             $( $group(&mut c); )+
             c.report();
+            if let Ok(path) = std::env::var("MIMOSE_BENCH_JSON") {
+                if !path.is_empty() {
+                    c.write_json(env!("CARGO_CRATE_NAME"), std::path::Path::new(&path))
+                        .expect("write bench JSON");
+                    eprintln!("bench JSON written to {path}");
+                }
+            }
         }
     };
 }

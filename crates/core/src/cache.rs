@@ -3,29 +3,54 @@
 //! "The memory usages of similar input sizes are similar, and the generated
 //! plans are also similar. Therefore, they can also be the plans of each
 //! other." — sizes within one relative-width quantile share a plan.
+//!
+//! The cache is bounded: when a capacity is set, inserting into a full cache
+//! evicts the least-recently-used bucket. Long multi-dataset runs cycle
+//! through many size distributions; without the bound the map grows with the
+//! union of every distribution ever seen.
 
 use mimose_planner::CheckpointPlan;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-/// Cache of generated plans.
+/// Cache of generated plans with an optional LRU capacity bound.
 #[derive(Debug, Clone)]
 pub struct PlanCache {
     /// Relative quantisation width (0.04 → ~4 % of the size per bucket).
     width: f64,
-    map: HashMap<u64, CheckpointPlan>,
+    /// Maximum number of stored plans; `usize::MAX` means unbounded.
+    capacity: usize,
+    /// Bucket key → (plan, recency stamp of the last touch).
+    map: HashMap<u64, (CheckpointPlan, u64)>,
+    /// Recency index: stamp → bucket key, kept in lockstep with `map`.
+    /// The smallest stamp is the least-recently-used bucket.
+    recency: BTreeMap<u64, u64>,
+    /// Monotonic touch counter feeding the stamps.
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
-    /// Create a cache with the given relative quantisation width.
+    /// Create an unbounded cache with the given relative quantisation width.
     pub fn new(width: f64) -> Self {
+        PlanCache::with_capacity(width, usize::MAX)
+    }
+
+    /// Create a cache holding at most `capacity` plans; inserting beyond
+    /// that evicts the least-recently-used bucket.
+    pub fn with_capacity(width: f64, capacity: usize) -> Self {
         assert!(width > 0.0 && width < 1.0);
+        assert!(capacity > 0, "zero-capacity cache cannot hold any plan");
         PlanCache {
             width,
+            capacity,
             map: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -36,13 +61,26 @@ impl PlanCache {
         (x.ln() / (1.0 + self.width).ln()).floor() as u64
     }
 
-    /// Look up a plan for this input size.
+    /// Mark bucket `k` as most-recently-used, returning its new stamp.
+    fn touch(&mut self, k: u64, prev_stamp: Option<u64>) -> u64 {
+        if let Some(s) = prev_stamp {
+            self.recency.remove(&s);
+        }
+        self.clock += 1;
+        self.recency.insert(self.clock, k);
+        self.clock
+    }
+
+    /// Look up a plan for this input size; a hit refreshes its recency.
     pub fn get(&mut self, input_size: usize) -> Option<CheckpointPlan> {
         let k = self.key(input_size);
         match self.map.get(&k) {
-            Some(p) => {
+            Some((p, stamp)) => {
                 self.hits += 1;
-                Some(p.clone())
+                let (plan, prev) = (p.clone(), *stamp);
+                let stamp = self.touch(k, Some(prev));
+                self.map.get_mut(&k).expect("just read").1 = stamp;
+                Some(plan)
             }
             None => {
                 self.misses += 1;
@@ -51,10 +89,20 @@ impl PlanCache {
         }
     }
 
-    /// Store a plan for this input size's bucket.
+    /// Store a plan for this input size's bucket, evicting the
+    /// least-recently-used bucket when the cache is at capacity.
     pub fn insert(&mut self, input_size: usize, plan: CheckpointPlan) {
         let k = self.key(input_size);
-        self.map.insert(k, plan);
+        let prev = self.map.get(&k).map(|&(_, s)| s);
+        if prev.is_none() && self.map.len() >= self.capacity {
+            if let Some((&stamp, &victim)) = self.recency.iter().next() {
+                self.recency.remove(&stamp);
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        let stamp = self.touch(k, prev);
+        self.map.insert(k, (plan, stamp));
     }
 
     /// Cache hits so far.
@@ -65,6 +113,16 @@ impl PlanCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Maximum number of stored plans (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of stored plans.
@@ -78,8 +136,10 @@ impl PlanCache {
     }
 
     /// Drop all stored plans (e.g. after re-fitting the estimator).
+    /// Eviction/hit/miss counters are preserved; `clear` is not an eviction.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.recency.clear();
     }
 }
 
@@ -122,5 +182,57 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert!(c.get(100).is_none());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let mut c = PlanCache::with_capacity(0.04, 2);
+        // Three well-separated sizes → three distinct buckets.
+        c.insert(1_000, CheckpointPlan::all(1));
+        c.insert(10_000, CheckpointPlan::all(2));
+        // Touch the older bucket so 10_000 becomes the LRU.
+        assert!(c.get(1_000).is_some());
+        c.insert(100_000, CheckpointPlan::all(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(10_000).is_none(), "LRU bucket was evicted");
+        assert!(c.get(1_000).is_some(), "recently touched bucket survives");
+        assert!(c.get(100_000).is_some());
+    }
+
+    #[test]
+    fn reinsert_into_existing_bucket_never_evicts() {
+        let mut c = PlanCache::with_capacity(0.04, 2);
+        c.insert(1_000, CheckpointPlan::all(1));
+        c.insert(10_000, CheckpointPlan::all(2));
+        // Overwriting a resident bucket is an update, not a new entry.
+        c.insert(1_000, CheckpointPlan::none(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(1_000).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn hit_miss_evict_accounting() {
+        let mut c = PlanCache::with_capacity(0.04, 1);
+        assert!(c.get(500).is_none()); // miss
+        c.insert(500, CheckpointPlan::all(1));
+        assert!(c.get(500).is_some()); // hit
+        c.insert(50_000, CheckpointPlan::all(2)); // evicts 500's bucket
+        assert!(c.get(500).is_none()); // miss
+        assert!(c.get(50_000).is_some()); // hit
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = PlanCache::new(0.04);
+        for i in 0..64 {
+            c.insert(1_000 << i.min(40), CheckpointPlan::none(1));
+        }
+        assert_eq!(c.evictions(), 0);
     }
 }

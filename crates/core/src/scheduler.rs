@@ -13,7 +13,8 @@
 
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::peak_bytes;
-use mimose_planner::CheckpointPlan;
+use mimose_planner::{CheckpointPlan, ResidencyModel};
+use std::collections::BTreeMap;
 
 /// The pluggable scheduling interface (§IV-D last paragraph).
 pub trait Scheduler: Send + Sync {
@@ -36,6 +37,68 @@ impl GreedyBucketScheduler {
     pub fn new(tolerance: f64) -> Self {
         assert!((0.0..1.0).contains(&tolerance));
         GreedyBucketScheduler { tolerance }
+    }
+}
+
+/// Bucket state for one scheduling run: the buckets themselves (block
+/// indices in forward-timestamp order, consumed front-to-back via a cursor)
+/// plus a size-sorted index of every non-exhausted bucket's current head.
+///
+/// The index keys are `(est_mem[head], bucket_id)`, so both Algorithm 1
+/// selections become O(log B) BTreeMap seeks instead of O(B) scans:
+/// * "bucket whose head most tightly covers the excess" =
+///   `range((excess, 0)..).next()` (ties by lower bucket id, matching the
+///   original first-minimum semantics);
+/// * "bucket with the globally largest head" = `last_key_value()` (ties by
+///   higher bucket id, matching the original last-maximum semantics).
+struct BucketQueue {
+    buckets: Vec<Vec<usize>>,
+    /// Per-bucket cursor: `buckets[bi][heads[bi]]` is the current head.
+    heads: Vec<usize>,
+    /// `(est_mem of current head, bucket id)` for every non-empty bucket.
+    index: BTreeMap<(usize, usize), ()>,
+}
+
+impl BucketQueue {
+    fn new(est_mem: &[usize], tolerance: f64) -> Self {
+        let buckets = build_buckets(est_mem, tolerance);
+        let mut index = BTreeMap::new();
+        for (bi, b) in buckets.iter().enumerate() {
+            if let Some(&head) = b.first() {
+                index.insert((est_mem[head], bi), ());
+            }
+        }
+        BucketQueue {
+            heads: vec![0; buckets.len()],
+            buckets,
+            index,
+        }
+    }
+
+    /// Bucket whose head most tightly covers `excess` bytes, if any.
+    fn tightest_cover(&self, excess: usize) -> Option<usize> {
+        self.index
+            .range((excess, 0)..)
+            .next()
+            .map(|(&(_, bi), _)| bi)
+    }
+
+    /// Bucket with the globally largest head, if any bucket remains.
+    fn largest(&self) -> Option<usize> {
+        self.index.last_key_value().map(|(&(_, bi), _)| bi)
+    }
+
+    /// Pop the earliest-timestamp block of bucket `bi` (its head), updating
+    /// the size index.
+    fn pop(&mut self, bi: usize, est_mem: &[usize]) -> usize {
+        let cursor = self.heads[bi];
+        let block = self.buckets[bi][cursor];
+        self.index.remove(&(est_mem[block], bi));
+        self.heads[bi] = cursor + 1;
+        if let Some(&next) = self.buckets[bi].get(cursor + 1) {
+            self.index.insert((est_mem[next], bi), ());
+        }
+        block
     }
 }
 
@@ -71,38 +134,27 @@ impl Scheduler for GreedyBucketScheduler {
             return plan; // memory optimisation disabled for small inputs (§VI-D)
         }
         let est_mem: Vec<usize> = est.blocks.iter().map(|b| b.act_bytes).collect();
-        let mut buckets = build_buckets(&est_mem, self.tolerance);
+        let mut queue = BucketQueue::new(&est_mem, self.tolerance);
         // Algorithm 1 l.13: excess = Σ est_mem − M, where M is the part of
-        // the budget available to droppable activations.
+        // the budget available to droppable activations. This phase is pure
+        // scalar bookkeeping — it never asks for the peak — so selections go
+        // straight into the plan and the residency engine is built only
+        // once, for the verification pass below.
         let total: usize = peak_bytes(est, &plan);
         let mut excess = total as i64 - budget as i64;
         while excess > 0 {
-            // l.15: buckets whose largest member covers the remaining excess.
-            let candidate = buckets
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| !b.is_empty())
-                .filter(|(_, b)| est_mem[b[0]] as i64 >= excess)
-                // Tightest cover: smallest max among those exceeding excess.
-                .min_by_key(|(_, b)| est_mem[b[0]]);
-            let bi = match candidate {
-                Some((bi, _)) => bi,
-                None => {
-                    // l.16-17: no single layer covers the excess — take the
-                    // globally largest remaining activation.
-                    match buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, b)| !b.is_empty())
-                        .max_by_key(|(_, b)| est_mem[b[0]])
-                    {
-                        Some((bi, _)) => bi,
-                        None => break, // everything checkpointed already
-                    }
-                }
+            // l.15: buckets whose largest member covers the remaining excess
+            // (tightest cover first), else l.16-17: the globally largest
+            // remaining activation. Both are O(log B) index seeks.
+            let bi = match queue
+                .tightest_cover(excess as usize)
+                .or_else(|| queue.largest())
+            {
+                Some(bi) => bi,
+                None => break, // everything checkpointed already
             };
             // Earliest forward timestamp within the bucket (l.19 + §IV-D).
-            let l = buckets[bi].remove(0);
+            let l = queue.pop(bi, &est_mem);
             plan.set(l, true);
             excess -= est_mem[l] as i64;
         }
@@ -110,20 +162,18 @@ impl Scheduler for GreedyBucketScheduler {
         // excess bookkeeping ignores timeline effects (e.g. late blocks
         // whose checkpointing doesn't lower the peak, Fig 9), so keep
         // selecting while the estimated peak still exceeds the budget.
-        while peak_bytes(est, &plan) > budget {
-            let next = buckets
-                .iter_mut()
-                .filter(|b| !b.is_empty())
-                .max_by_key(|b| est_mem[b[0]]);
-            match next {
-                Some(b) => {
-                    let l = b.remove(0);
-                    plan.set(l, true);
+        // Each round is O(log L): an O(1) peak query plus two index updates.
+        let mut model = ResidencyModel::from_plan(est, &plan);
+        while !model.fits(budget) {
+            match queue.largest() {
+                Some(bi) => {
+                    let l = queue.pop(bi, &est_mem);
+                    model.set_checkpointed(l, true);
                 }
                 None => break,
             }
         }
-        plan
+        model.to_plan()
     }
 
     fn name(&self) -> &'static str {
@@ -145,20 +195,21 @@ impl Scheduler for KnapsackScheduler {
     fn schedule(&self, est: &ModelProfile, budget: usize) -> CheckpointPlan {
         let n = est.blocks.len();
         let plan = CheckpointPlan::none(n);
-        if peak_bytes(est, &plan) <= budget {
+        if ResidencyModel::from_plan(est, &plan).fits(budget) {
             return plan;
         }
         // Start from everything checkpointed, then un-checkpoint blocks
         // (latest first — late blocks are the cheapest to keep, Fig 9) while
-        // the budget holds.
-        let mut plan = CheckpointPlan::all(n);
+        // the budget holds. Rejected candidates roll back via the undo
+        // journal, so the whole sweep is O(L log L).
+        let mut model = ResidencyModel::from_plan(est, &CheckpointPlan::all(n));
         for i in (0..n).rev() {
-            plan.set(i, false);
-            if peak_bytes(est, &plan) > budget {
-                plan.set(i, true);
+            model.set_checkpointed(i, false);
+            if !model.fits(budget) {
+                model.undo();
             }
         }
-        plan
+        model.to_plan()
     }
 
     fn name(&self) -> &'static str {
@@ -192,9 +243,9 @@ impl CostAwareScheduler {
 impl Scheduler for CostAwareScheduler {
     fn schedule(&self, est: &ModelProfile, budget: usize) -> CheckpointPlan {
         let n = est.blocks.len();
-        let mut plan = CheckpointPlan::none(n);
-        if peak_bytes(est, &plan) <= budget {
-            return plan;
+        let mut model = ResidencyModel::from_plan(est, &CheckpointPlan::none(n));
+        if model.fits(budget) {
+            return model.to_plan();
         }
         // Efficiency = activation bytes reclaimed per unit recompute cost.
         // The estimated profile carries fwd FLOPs of zero (estimator-built
@@ -225,12 +276,12 @@ impl Scheduler for CostAwareScheduler {
         };
         order.sort_by(|&a, &b| quantise(eff[b]).cmp(&quantise(eff[a])).then(a.cmp(&b)));
         for &i in &order {
-            if peak_bytes(est, &plan) <= budget {
+            if model.fits(budget) {
                 break;
             }
-            plan.set(i, true);
+            model.set_checkpointed(i, true);
         }
-        plan
+        model.to_plan()
     }
 
     fn name(&self) -> &'static str {
@@ -243,6 +294,7 @@ mod tests {
     use super::*;
     use mimose_models::builders::{bert_base, BertHead};
     use mimose_models::ModelInput;
+    use mimose_planner::memory_model::peak_bytes;
 
     fn profile(seq: usize) -> ModelProfile {
         bert_base(BertHead::Classification { labels: 2 })

@@ -13,7 +13,9 @@
 //! experiment.
 
 use crate::memory_model::peak_bytes;
-use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta, ResidencyModel,
+};
 use mimose_models::ModelProfile;
 use mimose_simgpu::DeviceProfile;
 
@@ -73,6 +75,10 @@ impl HybridPlan {
 }
 
 /// Peak bytes under a hybrid plan (swapped == recomputed, memory-wise).
+///
+/// One-shot query for callers holding only a [`HybridPlan`]; the planner's
+/// candidate loop instead mutates a [`ResidencyModel`] directly, so it never
+/// rebuilds the checkpoint-equivalent plan per candidate.
 pub fn peak_bytes_hybrid(profile: &ModelProfile, plan: &HybridPlan) -> usize {
     peak_bytes(profile, &plan.as_checkpoint_equivalent())
 }
@@ -91,7 +97,12 @@ impl CapuchinPolicy {
     pub fn plan_offline(reference: &ModelProfile, budget: usize, dev: &DeviceProfile) -> Self {
         let n = reference.blocks.len();
         let mut plan = HybridPlan::keep_all(n);
-        let mut feasible = peak_bytes_hybrid(reference, &plan) <= budget;
+        // Memory-wise, Swap and Recompute both free the block's internals
+        // between forward and backward, so the hybrid plan is evaluated
+        // directly on the residency engine: one O(log L) flip per candidate
+        // instead of an O(L) checkpoint-equivalent rebuild + walk.
+        let mut model = ResidencyModel::from_plan(reference, &CheckpointPlan::none(n));
+        let mut feasible = model.fits(budget);
         if !feasible {
             // Per-block: effective eviction cost = min(recompute, swap).
             let costed: Vec<(usize, f64, BlockAction)> = reference
@@ -109,16 +120,18 @@ impl CapuchinPolicy {
                     }
                 })
                 .collect();
-            // Cheapest cost per byte reclaimed first.
+            // Cheapest cost per byte reclaimed first (keys cached — one
+            // division per block, not per comparison).
+            let eff: Vec<f64> = costed
+                .iter()
+                .map(|&(i, cost, _)| cost / reference.blocks[i].act_bytes.max(1) as f64)
+                .collect();
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                let ea = costed[a].1 / reference.blocks[a].act_bytes.max(1) as f64;
-                let eb = costed[b].1 / reference.blocks[b].act_bytes.max(1) as f64;
-                ea.total_cmp(&eb)
-            });
+            order.sort_by(|&a, &b| eff[a].total_cmp(&eff[b]));
             for &i in &order {
                 plan.actions[i] = costed[i].2;
-                if peak_bytes_hybrid(reference, &plan) <= budget {
+                model.set_checkpointed(i, true);
+                if model.fits(budget) {
                     feasible = true;
                     break;
                 }

@@ -9,8 +9,9 @@
 //! stand-in. Like the original, the plan is computed for **one** reference
 //! input and cannot adapt to input dynamics.
 
-use crate::memory_model::fits;
-use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta, ResidencyModel,
+};
 use mimose_models::ModelProfile;
 use std::time::Instant;
 
@@ -24,11 +25,12 @@ pub struct CheckmatePolicy {
 }
 
 /// Greedy seed: add blocks by bytes-per-FLOP efficiency until the plan fits.
-fn greedy_seed(reference: &ModelProfile, budget: usize) -> (CheckpointPlan, bool) {
+/// Each candidate check is an O(log L) flip on the residency engine instead
+/// of an O(L) timeline walk.
+fn greedy_seed(reference: &ModelProfile, budget: usize, model: &mut ResidencyModel) -> bool {
     let n = reference.blocks.len();
-    let mut plan = CheckpointPlan::none(n);
-    if fits(reference, &plan, budget) {
-        return (plan, true);
+    if model.fits(budget) {
+        return true;
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -37,50 +39,51 @@ fn greedy_seed(reference: &ModelProfile, budget: usize) -> (CheckpointPlan, bool
         eb.total_cmp(&ea)
     });
     for &i in &order {
-        plan.set(i, true);
-        if fits(reference, &plan, budget) {
-            return (plan, true);
+        model.set_checkpointed(i, true);
+        if model.fits(budget) {
+            return true;
         }
     }
-    (plan, false)
+    false
 }
 
 /// Local search: prune unnecessary blocks, then try cost-reducing swaps,
-/// until a fixed point.
-fn local_search(reference: &ModelProfile, budget: usize, plan: &mut CheckpointPlan) {
-    let n = plan.len();
+/// until a fixed point. Rejected moves roll back through the engine's undo
+/// journal, so every candidate costs O(log L).
+fn local_search(reference: &ModelProfile, budget: usize, model: &mut ResidencyModel) {
+    let n = model.len();
     loop {
         let mut improved = false;
         // Prune: drop the most expensive removable block first.
-        let mut in_plan: Vec<usize> = plan.indices().collect();
+        let mut in_plan: Vec<usize> = (0..n).filter(|&i| model.is_checkpointed(i)).collect();
         in_plan.sort_by(|&a, &b| {
             reference.blocks[b]
                 .fwd_flops
                 .total_cmp(&reference.blocks[a].fwd_flops)
         });
         for &i in &in_plan {
-            plan.set(i, false);
-            if fits(reference, plan, budget) {
+            // Non-mutating what-if: a rejected probe is one read-only
+            // descent, no mutate + undo pair.
+            if model.peak_if_checkpointed(i, false) <= budget {
+                model.set_checkpointed(i, false);
                 improved = true;
-            } else {
-                plan.set(i, true);
             }
         }
         // Swap: replace an expensive in-plan block with a cheaper out-of-plan
         // block when the budget still holds.
-        let in_plan: Vec<usize> = plan.indices().collect();
-        let out_plan: Vec<usize> = (0..n).filter(|&i| !plan.is_checkpointed(i)).collect();
+        let in_plan: Vec<usize> = (0..n).filter(|&i| model.is_checkpointed(i)).collect();
+        let out_plan: Vec<usize> = (0..n).filter(|&i| !model.is_checkpointed(i)).collect();
         'swap: for &i in &in_plan {
             for &j in &out_plan {
                 if reference.blocks[j].fwd_flops < reference.blocks[i].fwd_flops {
-                    plan.set(i, false);
-                    plan.set(j, true);
-                    if fits(reference, plan, budget) {
+                    let mark = model.mark();
+                    model.set_checkpointed(i, false);
+                    model.set_checkpointed(j, true);
+                    if model.fits(budget) {
                         improved = true;
                         continue 'swap;
                     }
-                    plan.set(i, true);
-                    plan.set(j, false);
+                    model.undo_to(mark);
                 }
             }
         }
@@ -95,13 +98,15 @@ impl CheckmatePolicy {
     /// exported for) under `budget` bytes.
     pub fn plan_offline(reference: &ModelProfile, budget: usize) -> Self {
         let t0 = Instant::now();
-        let (mut plan, feasible) = greedy_seed(reference, budget);
+        let n = reference.blocks.len();
+        let mut model = ResidencyModel::from_plan(reference, &CheckpointPlan::none(n));
+        let feasible = greedy_seed(reference, budget, &mut model);
         if feasible {
-            local_search(reference, budget, &mut plan);
+            local_search(reference, budget, &mut model);
         }
         CheckmatePolicy {
             budget,
-            plan,
+            plan: model.to_plan(),
             feasible,
             solve_time_ns: t0.elapsed().as_nanos() as u64,
         }

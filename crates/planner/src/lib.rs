@@ -16,6 +16,7 @@ mod dtr;
 pub mod memory_model;
 mod monet;
 mod plan;
+mod residency;
 mod sublinear;
 mod traits;
 
@@ -25,6 +26,7 @@ pub use checkmate::CheckmatePolicy;
 pub use dtr::{h_dtr, DtrPolicy};
 pub use monet::MonetPolicy;
 pub use plan::{CheckpointPlan, PlanIndexError};
+pub use residency::{Mark, ResidencyModel};
 pub use sublinear::SublinearPolicy;
 pub use traits::{
     input_of, BlockObservation, Directive, Granularity, IterationObservation, MemoryPolicy,

@@ -34,7 +34,32 @@ use mimose_models::ModelProfile;
 ///   recomputes its internals (residency grows by `act`), then backward for
 ///   either kind transiently needs the output gradient (`out`) and the input
 ///   gradient (`in`); afterwards internals + output are freed.
+///
+/// Implemented with the closed-form suffix-delta formulation shared with
+/// [`crate::ResidencyModel`] (see `docs/ALGORITHMS.md` §Residency engine):
+/// the backward candidate `S(i) + act_i + 2·out_i + in_i` dominates every
+/// other candidate at block `i` and is independent of block `i`'s own bit,
+/// so one forward sweep suffices. [`peak_bytes_reference`] keeps the
+/// original two-pass walk as the differential-test oracle.
 pub fn peak_bytes(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
+    assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+    let mut s = profile.const_bytes + profile.input_bytes; // base + S(i)
+    let mut peak = s;
+    for (i, b) in profile.blocks.iter().enumerate() {
+        peak = peak.max(s + b.act_bytes + 2 * b.out_bytes + b.in_bytes);
+        s += b.out_bytes;
+        if !plan.is_checkpointed(i) {
+            s += b.act_bytes;
+        }
+    }
+    peak
+}
+
+/// The original two-pass timeline walk of [`peak_bytes`], kept verbatim as
+/// the reference oracle for the differential property tests that pin the
+/// incremental [`crate::ResidencyModel`] (and the closed-form rewrite) to
+/// the executor-validated semantics.
+pub fn peak_bytes_reference(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut resident = profile.const_bytes + profile.input_bytes;
     let mut peak = resident;
@@ -138,7 +163,27 @@ impl FinePlan {
 
 /// Peak resident bytes under a tensor-granular plan. Same timeline as
 /// [`peak_bytes`], but each block retains `act − dropped` internals.
+///
+/// Like [`peak_bytes`], this uses the closed-form suffix-delta sweep; the
+/// backward step re-materialises the dropped tensors, so the dominant
+/// candidate at block `i` is again `S(i) + act_i + 2·out_i + in_i` with
+/// `S(i) = Σ_{j<i} (act_j − dropped_j + out_j)`. The original walk survives
+/// as [`peak_bytes_fine_reference`].
 pub fn peak_bytes_fine(profile: &ModelProfile, plan: &FinePlan) -> usize {
+    assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+    let mut s = profile.const_bytes + profile.input_bytes; // base + S(i)
+    let mut peak = s;
+    for (i, b) in profile.blocks.iter().enumerate() {
+        peak = peak.max(s + b.act_bytes + 2 * b.out_bytes + b.in_bytes);
+        let dropped = plan.dropped_bytes[i].min(b.act_bytes);
+        s += b.act_bytes - dropped + b.out_bytes;
+    }
+    peak
+}
+
+/// The original two-pass walk of [`peak_bytes_fine`], kept as the
+/// differential-test oracle for tensor-granular plans.
+pub fn peak_bytes_fine_reference(profile: &ModelProfile, plan: &FinePlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut resident = profile.const_bytes + profile.input_bytes;
     let mut peak = resident;
@@ -268,6 +313,26 @@ mod tests {
             let max = *curve.iter().max().unwrap();
             assert!(max <= peak_bytes(&p, &plan));
         }
+    }
+
+    #[test]
+    fn closed_form_matches_reference_walk() {
+        let p = bert_profile(224);
+        let n = p.blocks.len();
+        for plan in [
+            CheckpointPlan::none(n),
+            CheckpointPlan::all(n),
+            CheckpointPlan::from_indices(n, &[0, 2, 5, 13]).unwrap(),
+        ] {
+            assert_eq!(peak_bytes(&p, &plan), peak_bytes_reference(&p, &plan));
+        }
+        let mut fine = FinePlan::none(n);
+        fine.dropped_bytes[3] = 10 << 20;
+        fine.dropped_bytes[8] = usize::MAX; // clamped to act_bytes
+        assert_eq!(
+            peak_bytes_fine(&p, &fine),
+            peak_bytes_fine_reference(&p, &fine)
+        );
     }
 
     #[test]

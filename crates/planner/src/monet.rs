@@ -9,8 +9,8 @@
 //! of the paper's §VI-A compressed into milliseconds by the small candidate
 //! count at simulator granularity.
 
-use crate::memory_model::{peak_bytes_fine, FinePlan};
-use crate::{Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
+use crate::memory_model::FinePlan;
+use crate::{Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta, ResidencyModel};
 use mimose_models::ModelProfile;
 use std::time::Instant;
 
@@ -31,7 +31,10 @@ pub struct MonetPolicy {
     solve_time_ns: u64,
 }
 
-fn apply(plan: &mut FinePlan, c: &Candidate, on: bool) {
+/// Apply or revert one drop candidate, keeping the fine plan (the source of
+/// truth for recompute FLOPs) and the residency engine (the O(log L) peak
+/// oracle) in lockstep.
+fn apply(plan: &mut FinePlan, model: &mut ResidencyModel, c: &Candidate, on: bool) {
     if on {
         plan.dropped_bytes[c.block] += c.bytes;
         plan.recompute_flops[c.block] += c.flops;
@@ -41,6 +44,7 @@ fn apply(plan: &mut FinePlan, c: &Candidate, on: bool) {
         // tiny negative rounding residue where an exact zero is meant.
         plan.recompute_flops[c.block] = (plan.recompute_flops[c.block] - c.flops).max(0.0);
     }
+    model.set_dropped(c.block, plan.dropped_bytes[c.block]);
 }
 
 impl MonetPolicy {
@@ -62,20 +66,22 @@ impl MonetPolicy {
             }
         }
         let mut plan = FinePlan::none(n);
+        let mut model = ResidencyModel::from_fine(reference, &plan);
         let mut selected = vec![false; candidates.len()];
-        let mut feasible = peak_bytes_fine(reference, &plan) <= budget;
+        let mut feasible = model.fits(budget);
         if !feasible {
-            // Greedy by efficiency.
+            // Greedy by efficiency (keys cached: the comparator runs
+            // O(C log C) times and a division per call adds up).
+            let eff: Vec<f64> = candidates
+                .iter()
+                .map(|c| c.bytes as f64 / c.flops.max(1.0))
+                .collect();
             let mut order: Vec<usize> = (0..candidates.len()).collect();
-            order.sort_by(|&a, &b| {
-                let ea = candidates[a].bytes as f64 / candidates[a].flops.max(1.0);
-                let eb = candidates[b].bytes as f64 / candidates[b].flops.max(1.0);
-                eb.total_cmp(&ea)
-            });
+            order.sort_by(|&a, &b| eff[b].total_cmp(&eff[a]));
             for &ci in &order {
-                apply(&mut plan, &candidates[ci], true);
+                apply(&mut plan, &mut model, &candidates[ci], true);
                 selected[ci] = true;
-                if peak_bytes_fine(reference, &plan) <= budget {
+                if model.fits(budget) {
                     feasible = true;
                     break;
                 }
@@ -86,11 +92,13 @@ impl MonetPolicy {
                 let mut sel: Vec<usize> = (0..candidates.len()).filter(|&i| selected[i]).collect();
                 sel.sort_by(|&a, &b| candidates[b].flops.total_cmp(&candidates[a].flops));
                 for &ci in &sel {
-                    apply(&mut plan, &candidates[ci], false);
-                    if peak_bytes_fine(reference, &plan) <= budget {
+                    let c = &candidates[ci];
+                    // Non-mutating what-if first: a rejected probe costs one
+                    // read-only descent instead of a mutate + revert pair.
+                    let without = plan.dropped_bytes[c.block] - c.bytes;
+                    if model.peak_if_dropped(c.block, without) <= budget {
+                        apply(&mut plan, &mut model, c, false);
                         selected[ci] = false;
-                    } else {
-                        apply(&mut plan, &candidates[ci], true);
                     }
                 }
             }
@@ -153,7 +161,7 @@ impl MemoryPolicy for MonetPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::memory_model::recompute_flops;
+    use crate::memory_model::{peak_bytes_fine, recompute_flops};
     use crate::CheckmatePolicy;
     use mimose_models::builders::{bert_base, BertHead};
     use mimose_models::ModelInput;

@@ -1,0 +1,570 @@
+//! Incremental peak-residency engine: the planning hot path.
+//!
+//! Every candidate-loop planner (greedy buckets, knapsack, Checkmate's local
+//! search, MONeT's tensor drops, Capuchin's hybrid selection) repeatedly asks
+//! "what is the peak if I toggle this one block?". Answering with the full
+//! timeline walk ([`crate::memory_model::peak_bytes_reference`]) costs O(L)
+//! per candidate and makes the loops O(L²)–O(L³). This module materialises
+//! the forward+backward residency timeline **once** and then supports
+//! single-block mutations in O(log L) with an O(1) exact peak query.
+//!
+//! # Suffix-delta formulation
+//!
+//! Let `kept_j ∈ [0, act_j]` be the internal activation bytes block `j`
+//! retains between its forward and backward pass (`kept_j = 0` when the
+//! block is checkpointed, `act_j` when it is not, anything in between for
+//! tensor-granular MONeT plans). Define the prefix residency
+//!
+//! ```text
+//! S(i) = Σ_{j<i} (kept_j + out_j)
+//! ```
+//!
+//! Walking the same timeline as the reference model shows that the resident
+//! bytes just before forward block `i` are `base + S(i)` and just before
+//! backward block `i` are `base + S(i) + kept_i + out_i`. The two peak
+//! candidates at block `i` are therefore
+//!
+//! ```text
+//! forward:  base + S(i) + act_i +   out_i            (working set)
+//! backward: base + S(i) + act_i + 2·out_i + in_i     (recompute + grads)
+//! ```
+//!
+//! — the backward candidate re-materialises the *full* `act_i` whether or
+//! not the block checkpoints, so both candidates are independent of block
+//! `i`'s own bit, and the backward one always dominates (out/in ≥ 0). Hence
+//!
+//! ```text
+//! peak = base + max_i (S(i) + m_i),    m_i = act_i + 2·out_i + in_i
+//! ```
+//!
+//! `m_i` is a profile constant; only `S` depends on the plan, and changing
+//! `kept_i` by `δ` shifts `S(j)` by `δ` for every `j > i` — a **suffix
+//! range-add**. A max-segment-tree over `V_j = S(j) + m_j` with lazy adds
+//! answers the global max in O(1) and applies a flip in O(log L).
+//!
+//! This also explains Fig 9 structurally: flipping the *last* block touches
+//! an empty suffix, so it can never lower the peak.
+
+use crate::memory_model::FinePlan;
+use crate::CheckpointPlan;
+use mimose_models::ModelProfile;
+
+/// Max-segment-tree with lazy range adds, supporting only the operations
+/// the residency engine needs: O(L) build, O(log L) suffix add, O(1) global
+/// max. Since every query is the *global* max, pending adds never need to be
+/// pushed down — each node stores the max of its subtree with all adds at or
+/// below it already applied.
+#[derive(Debug, Clone)]
+struct MaxAddTree {
+    /// Number of leaves (padded to a power of two).
+    size: usize,
+    /// Logical number of values.
+    len: usize,
+    /// `max[v]` = subtree max including `add` entries within the subtree.
+    max: Vec<i64>,
+    /// Pending add applied to the whole subtree rooted at `v` (already
+    /// reflected in `max[v]`).
+    add: Vec<i64>,
+}
+
+/// Padding sentinel for leaves beyond `len`. Far below any real residency
+/// value, but far enough from `i64::MIN` that accumulated suffix adds can
+/// never overflow it (adds are bounded by total profile bytes ≪ 2^50).
+const NEG_INF: i64 = i64::MIN / 4;
+
+impl MaxAddTree {
+    fn build(values: &[i64]) -> Self {
+        let len = values.len();
+        let size = len.next_power_of_two().max(1);
+        let mut max = vec![NEG_INF; 2 * size];
+        max[size..size + len].copy_from_slice(values);
+        for v in (1..size).rev() {
+            max[v] = max[2 * v].max(max[2 * v + 1]);
+        }
+        MaxAddTree {
+            size,
+            len,
+            max,
+            add: vec![0; 2 * size],
+        }
+    }
+
+    /// Maximum over all values, including every pending add.
+    fn global_max(&self) -> i64 {
+        self.max[1]
+    }
+
+    /// Add `delta` to every value in `[l, len)`. Iterative — this is the
+    /// single hottest operation of the planning loops, so no recursion.
+    /// Padding leaves in `[len, size)` take the add too; they start at
+    /// [`NEG_INF`] and stay out of any max.
+    fn suffix_add(&mut self, l: usize, delta: i64) {
+        if l >= self.len || delta == 0 {
+            return;
+        }
+        // Cover [l, size) with O(log L) canonical nodes: walking up from
+        // leaf `l + size`, the node itself (when it is a left child or the
+        // start) and every right sibling on the path cover the suffix.
+        let mut v = l + self.size;
+        self.add[v] += delta;
+        self.max[v] += delta;
+        while v > 1 {
+            if v & 1 == 0 {
+                // Left child: its right sibling is entirely inside the
+                // suffix.
+                self.add[v + 1] += delta;
+                self.max[v + 1] += delta;
+            }
+            v >>= 1;
+            self.max[v] = self.max[2 * v].max(self.max[2 * v + 1]) + self.add[v];
+        }
+    }
+
+    /// `(max over [0, split), max over [split, len))` in one O(log L) root
+    /// descent, without mutating anything. Backs the non-mutating what-if
+    /// peak queries: "peak if block i's kept bytes changed by δ" is
+    /// `max(left, right + δ)` split at `i + 1`.
+    fn split_max(&self, split: usize) -> (i64, i64) {
+        if split == 0 {
+            return (NEG_INF, self.max[1]);
+        }
+        if split >= self.len {
+            return (self.max[1], NEG_INF);
+        }
+        // Walk root → the `split` leaf. `acc` carries the pending adds of
+        // strict ancestors (max[v] already includes add[v] and below); every
+        // subtree hanging off the path falls entirely on one side.
+        let (mut v, mut acc) = (1usize, 0i64);
+        let (mut left, mut right) = (NEG_INF, NEG_INF);
+        let (mut lo, mut hi) = (0usize, self.size);
+        while v < self.size {
+            let a = self.add[v];
+            let mid = (lo + hi) / 2;
+            if split < mid {
+                right = right.max(self.max[2 * v + 1] + acc + a);
+                v *= 2;
+                hi = mid;
+            } else {
+                left = left.max(self.max[2 * v] + acc + a);
+                v = 2 * v + 1;
+                lo = mid;
+            }
+            acc += a;
+        }
+        // The leaf holds index `split` itself — the right side's first value.
+        right = right.max(self.max[v] + acc);
+        (left, right)
+    }
+}
+
+/// Journal entry for [`ResidencyModel::undo`]: the state of one block before
+/// a mutation.
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    block: usize,
+    prev_kept: usize,
+    prev_ckpt: bool,
+}
+
+/// Opaque savepoint into the mutation journal (see [`ResidencyModel::mark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark(usize);
+
+/// Incremental peak-residency model of one training iteration.
+///
+/// Built once from a profile + plan in O(L), then mutated with
+/// [`flip`](Self::flip) / [`set_checkpointed`](Self::set_checkpointed) /
+/// [`set_dropped`](Self::set_dropped) in O(log L) each while
+/// [`peak`](Self::peak) stays an O(1) exact query — it always equals what
+/// the reference walk (`peak_bytes_reference`) would return for the current
+/// state (the differential property tests in `tests/residency_differential.rs`
+/// pin this down over randomized profiles and flip sequences).
+///
+/// ```
+/// use mimose_models::builders::{bert_base, BertHead};
+/// use mimose_models::ModelInput;
+/// use mimose_planner::memory_model::peak_bytes;
+/// use mimose_planner::{CheckpointPlan, ResidencyModel};
+///
+/// let model = bert_base(BertHead::Classification { labels: 2 });
+/// let profile = model.profile(&ModelInput::tokens(32, 128)).unwrap();
+/// let n = profile.blocks.len();
+/// let mut m = ResidencyModel::from_plan(&profile, &CheckpointPlan::none(n));
+/// assert_eq!(m.peak(), peak_bytes(&profile, &CheckpointPlan::none(n)));
+/// m.flip(1); // checkpoint encoder 1 in O(log L)
+/// assert_eq!(m.peak(), peak_bytes(&profile, &m.to_plan()));
+/// m.undo();
+/// assert_eq!(m.to_plan(), CheckpointPlan::none(n));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResidencyModel {
+    base: usize,
+    act: Vec<usize>,
+    fwd_flops: Vec<f64>,
+    kept: Vec<usize>,
+    ckpt: Vec<bool>,
+    tree: MaxAddTree,
+    journal: Vec<JournalEntry>,
+}
+
+impl ResidencyModel {
+    /// Build from a block-granular checkpoint plan. O(L).
+    pub fn from_plan(profile: &ModelProfile, plan: &CheckpointPlan) -> Self {
+        assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+        let kept: Vec<usize> = profile
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if plan.is_checkpointed(i) {
+                    0
+                } else {
+                    b.act_bytes
+                }
+            })
+            .collect();
+        let ckpt: Vec<bool> = (0..plan.len()).map(|i| plan.is_checkpointed(i)).collect();
+        Self::build(profile, kept, ckpt)
+    }
+
+    /// Build from a tensor-granular plan: block `i` keeps
+    /// `act_i − dropped_i` internal bytes. O(L).
+    pub fn from_fine(profile: &ModelProfile, plan: &FinePlan) -> Self {
+        assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
+        let kept: Vec<usize> = profile
+            .blocks
+            .iter()
+            .zip(&plan.dropped_bytes)
+            .map(|(b, &d)| b.act_bytes - d.min(b.act_bytes))
+            .collect();
+        let ckpt = kept
+            .iter()
+            .zip(profile.blocks.iter())
+            .map(|(&k, b)| k == 0 && b.act_bytes > 0)
+            .collect();
+        Self::build(profile, kept, ckpt)
+    }
+
+    fn build(profile: &ModelProfile, kept: Vec<usize>, ckpt: Vec<bool>) -> Self {
+        let base = profile.const_bytes + profile.input_bytes;
+        let mut values = Vec::with_capacity(profile.blocks.len());
+        let mut s = 0i64; // S(i): prefix of kept + out
+        for (b, &k) in profile.blocks.iter().zip(&kept) {
+            let m = (b.act_bytes + 2 * b.out_bytes + b.in_bytes) as i64;
+            values.push(s + m);
+            s += (k + b.out_bytes) as i64;
+        }
+        ResidencyModel {
+            base,
+            act: profile.blocks.iter().map(|b| b.act_bytes).collect(),
+            fwd_flops: profile.blocks.iter().map(|b| b.fwd_flops).collect(),
+            kept,
+            ckpt,
+            tree: MaxAddTree::build(&values),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.act.len()
+    }
+
+    /// True when covering zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.act.is_empty()
+    }
+
+    /// Exact peak resident bytes for the current state. O(1).
+    pub fn peak(&self) -> usize {
+        if self.is_empty() {
+            return self.base;
+        }
+        let m = self.tree.global_max();
+        debug_assert!(m >= 0, "residency values are sums of byte counts");
+        self.base + m as usize
+    }
+
+    /// Whether the current state fits under `budget` bytes. O(1).
+    pub fn fits(&self, budget: usize) -> bool {
+        self.peak() <= budget
+    }
+
+    /// Whether block `i` is checkpointed.
+    pub fn is_checkpointed(&self, i: usize) -> bool {
+        self.ckpt[i]
+    }
+
+    /// Internal bytes block `i` currently keeps resident.
+    pub fn kept_bytes(&self, i: usize) -> usize {
+        self.kept[i]
+    }
+
+    /// Internal bytes block `i` currently drops (recomputed in backward).
+    pub fn dropped_bytes(&self, i: usize) -> usize {
+        self.act[i] - self.kept[i]
+    }
+
+    /// Number of checkpointed blocks.
+    pub fn count_checkpointed(&self) -> usize {
+        self.ckpt.iter().filter(|&&c| c).count()
+    }
+
+    /// Exact block-granular recompute FLOPs: the sum of `fwd_flops` over
+    /// checkpointed blocks, recomputed from scratch (O(L)) so repeated flips
+    /// can never accumulate floating-point residue.
+    pub fn recompute_flops(&self) -> f64 {
+        self.ckpt
+            .iter()
+            .zip(&self.fwd_flops)
+            .filter_map(|(&c, &f)| c.then_some(f))
+            .sum()
+    }
+
+    /// Extract the current block-granular plan. O(L).
+    pub fn to_plan(&self) -> CheckpointPlan {
+        let mut plan = CheckpointPlan::none(self.len());
+        for (i, &c) in self.ckpt.iter().enumerate() {
+            if c {
+                plan.set(i, true);
+            }
+        }
+        plan
+    }
+
+    /// Core mutation: set block `i`'s kept bytes and checkpoint bit,
+    /// journaling the previous state. O(log L).
+    fn mutate(&mut self, i: usize, new_kept: usize, new_ckpt: bool) {
+        self.journal.push(JournalEntry {
+            block: i,
+            prev_kept: self.kept[i],
+            prev_ckpt: self.ckpt[i],
+        });
+        self.apply_state(i, new_kept, new_ckpt);
+    }
+
+    fn apply_state(&mut self, i: usize, new_kept: usize, new_ckpt: bool) {
+        let delta = new_kept as i64 - self.kept[i] as i64;
+        self.kept[i] = new_kept;
+        self.ckpt[i] = new_ckpt;
+        // S(j) shifts by delta for every j > i.
+        self.tree.suffix_add(i + 1, delta);
+    }
+
+    /// Peak if block `i` kept `new_kept` internal bytes (clamped to
+    /// `act_i`), **without mutating anything**: one O(log L) split-max
+    /// descent, no journal entry, no undo. Candidate loops that reject most
+    /// probes (prune/sweep passes) should ask this first and only mutate on
+    /// accept — a rejected probe then costs one read-only descent instead of
+    /// a mutate + undo pair.
+    pub fn peak_if_kept(&self, i: usize, new_kept: usize) -> usize {
+        let delta = new_kept.min(self.act[i]) as i64 - self.kept[i] as i64;
+        if delta == 0 || i + 1 >= self.len() {
+            // Own-bit independence: an empty suffix can't move the peak.
+            return self.peak();
+        }
+        let (left, right) = self.tree.split_max(i + 1);
+        let m = left.max(right + delta);
+        debug_assert!(m >= 0, "residency values are sums of byte counts");
+        self.base + m as usize
+    }
+
+    /// Peak if block `i`'s checkpoint bit were `on`. Non-mutating, O(log L).
+    pub fn peak_if_checkpointed(&self, i: usize, on: bool) -> usize {
+        self.peak_if_kept(i, if on { 0 } else { self.act[i] })
+    }
+
+    /// Peak if block `i` dropped `dropped` internal bytes (clamped to
+    /// `act_i`). Non-mutating, O(log L).
+    pub fn peak_if_dropped(&self, i: usize, dropped: usize) -> usize {
+        self.peak_if_kept(i, self.act[i] - dropped.min(self.act[i]))
+    }
+
+    /// Toggle block `i`'s checkpoint bit. O(log L).
+    pub fn flip(&mut self, i: usize) {
+        let on = !self.ckpt[i];
+        self.set_checkpointed(i, on);
+    }
+
+    /// Set block `i`'s checkpoint bit (no-ops are still journaled so every
+    /// call pairs with exactly one [`undo`](Self::undo)). O(log L).
+    pub fn set_checkpointed(&mut self, i: usize, on: bool) {
+        let new_kept = if on { 0 } else { self.act[i] };
+        self.mutate(i, new_kept, on);
+    }
+
+    /// Set block `i`'s dropped internal bytes (clamped to `act_i`) for
+    /// tensor-granular plans; the checkpoint bit tracks `kept == 0`.
+    /// O(log L).
+    pub fn set_dropped(&mut self, i: usize, dropped: usize) {
+        let d = dropped.min(self.act[i]);
+        let new_kept = self.act[i] - d;
+        let new_ckpt = new_kept == 0 && self.act[i] > 0;
+        self.mutate(i, new_kept, new_ckpt);
+    }
+
+    /// Apply a batch of checkpoint-bit assignments; one journal entry per
+    /// element, so the whole batch can be rolled back with
+    /// [`undo_to`](Self::undo_to). O(k log L).
+    pub fn apply_batch(&mut self, flips: &[(usize, bool)]) {
+        for &(i, on) in flips {
+            self.set_checkpointed(i, on);
+        }
+    }
+
+    /// Savepoint for [`undo_to`](Self::undo_to).
+    pub fn mark(&self) -> Mark {
+        Mark(self.journal.len())
+    }
+
+    /// Undo the most recent mutation. Returns `false` when the journal is
+    /// empty.
+    pub fn undo(&mut self) -> bool {
+        match self.journal.pop() {
+            Some(e) => {
+                self.apply_state(e.block, e.prev_kept, e.prev_ckpt);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Roll back every mutation made after `mark` (most recent first).
+    ///
+    /// # Panics
+    /// Panics when `mark` lies beyond the current journal (i.e. it was
+    /// already rolled over by an earlier `undo_to`).
+    pub fn undo_to(&mut self, mark: Mark) {
+        assert!(
+            mark.0 <= self.journal.len(),
+            "mark {} beyond journal length {}",
+            mark.0,
+            self.journal.len()
+        );
+        while self.journal.len() > mark.0 {
+            self.undo();
+        }
+    }
+
+    /// Drop the undo journal (mutations stay applied); useful before a long
+    /// candidate loop that manages its own reverts.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_model::{peak_bytes_fine_reference, peak_bytes_reference};
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn bert_profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_reference_for_structured_plans() {
+        let p = bert_profile(200);
+        let n = p.blocks.len();
+        for plan in [
+            CheckpointPlan::none(n),
+            CheckpointPlan::all(n),
+            CheckpointPlan::from_indices(n, &[1, 4, 9]).unwrap(),
+        ] {
+            let m = ResidencyModel::from_plan(&p, &plan);
+            assert_eq!(m.peak(), peak_bytes_reference(&p, &plan), "{plan}");
+        }
+    }
+
+    #[test]
+    fn flip_tracks_reference_walk() {
+        let p = bert_profile(160);
+        let n = p.blocks.len();
+        let mut plan = CheckpointPlan::none(n);
+        let mut m = ResidencyModel::from_plan(&p, &plan);
+        for i in [3usize, 7, 1, 3, 12, 0, 3] {
+            m.flip(i);
+            plan.set(i, !plan.is_checkpointed(i));
+            assert_eq!(m.peak(), peak_bytes_reference(&p, &plan), "after flip {i}");
+            assert_eq!(m.to_plan(), plan);
+        }
+    }
+
+    #[test]
+    fn flipping_last_block_never_changes_peak() {
+        // Fig 9, structurally: the last block's bit touches an empty suffix.
+        let p = bert_profile(256);
+        let n = p.blocks.len();
+        let mut m = ResidencyModel::from_plan(&p, &CheckpointPlan::none(n));
+        let before = m.peak();
+        m.flip(n - 1);
+        assert_eq!(m.peak(), before);
+    }
+
+    #[test]
+    fn undo_restores_peak_and_plan() {
+        let p = bert_profile(128);
+        let n = p.blocks.len();
+        let mut m = ResidencyModel::from_plan(&p, &CheckpointPlan::none(n));
+        let p0 = m.peak();
+        let mark = m.mark();
+        m.flip(2);
+        m.flip(5);
+        m.set_dropped(7, 1 << 20);
+        assert_ne!(m.peak(), p0);
+        m.undo_to(mark);
+        assert_eq!(m.peak(), p0);
+        assert_eq!(m.to_plan(), CheckpointPlan::none(n));
+        assert!(!m.undo(), "journal drained");
+    }
+
+    #[test]
+    fn fine_mode_tracks_reference_walk() {
+        let p = bert_profile(192);
+        let n = p.blocks.len();
+        let mut fine = FinePlan::none(n);
+        let mut m = ResidencyModel::from_fine(&p, &fine);
+        for (i, d) in [(1usize, 4 << 20), (4, 1 << 30), (9, 123_456), (1, 0)] {
+            fine.dropped_bytes[i] = d;
+            m.set_dropped(i, d);
+            assert_eq!(m.peak(), peak_bytes_fine_reference(&p, &fine));
+        }
+    }
+
+    #[test]
+    fn recompute_flops_is_exact() {
+        let p = bert_profile(100);
+        let n = p.blocks.len();
+        let mut m = ResidencyModel::from_plan(&p, &CheckpointPlan::none(n));
+        m.set_checkpointed(2, true);
+        m.set_checkpointed(6, true);
+        let want: f64 = p.blocks[2].fwd_flops + p.blocks[6].fwd_flops;
+        assert_eq!(m.recompute_flops(), want);
+        m.set_checkpointed(2, false);
+        assert_eq!(m.recompute_flops(), p.blocks[6].fwd_flops);
+    }
+
+    #[test]
+    fn empty_model_peaks_at_base() {
+        let mut p = bert_profile(64);
+        p.blocks.clear();
+        let m = ResidencyModel::from_plan(&p, &CheckpointPlan::none(0));
+        assert_eq!(m.peak(), p.const_bytes + p.input_bytes);
+    }
+
+    #[test]
+    fn batch_apply_and_commit() {
+        let p = bert_profile(96);
+        let n = p.blocks.len();
+        let mut m = ResidencyModel::from_plan(&p, &CheckpointPlan::none(n));
+        m.apply_batch(&[(1, true), (2, true), (3, true)]);
+        assert_eq!(m.count_checkpointed(), 3);
+        m.commit();
+        assert!(!m.undo(), "commit clears the journal");
+        assert_eq!(m.count_checkpointed(), 3, "mutations survive commit");
+    }
+}

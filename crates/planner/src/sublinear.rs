@@ -6,8 +6,9 @@
 //! planner"). On small inputs this wastes budget and recomputes needlessly —
 //! the inefficiency Fig 4 quantifies (up to 35 % throughput loss).
 
-use crate::memory_model::fits;
-use crate::{CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta};
+use crate::{
+    CheckpointPlan, Directive, Granularity, MemoryPolicy, PlanTiming, PlannerMeta, ResidencyModel,
+};
 use mimose_models::ModelProfile;
 
 /// Static greedy planner in the Sublinear style.
@@ -23,16 +24,17 @@ impl SublinearPolicy {
     /// under `budget` bytes.
     pub fn plan_offline(worst: &ModelProfile, budget: usize) -> Self {
         let n = worst.blocks.len();
-        let mut plan = CheckpointPlan::none(n);
         // Greedy over segments: repeatedly checkpoint the block with the
-        // largest activation footprint until the worst case fits.
+        // largest activation footprint until the worst case fits. Each
+        // candidate is an O(log L) flip on the residency engine.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| worst.blocks[b].act_bytes.cmp(&worst.blocks[a].act_bytes));
-        let mut feasible = fits(worst, &plan, budget);
+        let mut model = ResidencyModel::from_plan(worst, &CheckpointPlan::none(n));
+        let mut feasible = model.fits(budget);
         if !feasible {
             for &i in &order {
-                plan.set(i, true);
-                if fits(worst, &plan, budget) {
+                model.set_checkpointed(i, true);
+                if model.fits(budget) {
                     feasible = true;
                     break;
                 }
@@ -40,7 +42,7 @@ impl SublinearPolicy {
         }
         SublinearPolicy {
             budget,
-            plan,
+            plan: model.to_plan(),
             feasible,
         }
     }

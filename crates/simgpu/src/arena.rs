@@ -1,4 +1,4 @@
-//! Byte-addressed device-memory arena with a first-fit free list.
+//! Byte-addressed device-memory arena with a size-indexed free list.
 //!
 //! This models the CUDA caching allocator at the level the paper's results
 //! depend on: allocations carve address ranges out of a fixed-capacity
@@ -6,6 +6,14 @@
 //! fail *even when enough total bytes are free* because no single contiguous
 //! range fits — exactly the fragmentation pathology that inflates DTR's real
 //! memory usage in Fig 5 (budget 4.2 GB, actual 6.7 GB).
+//!
+//! Free ranges are indexed **two ways, kept in lockstep**: by start address
+//! (for coalescing) and by `(length, address)` (for fit selection). Best-fit
+//! is a single O(log n) seek in the size index; first-fit keeps its exact
+//! lowest-address semantics via a dual-cursor scan that stops as soon as
+//! either cursor proves the answer; `largest_free()` — sampled on **every**
+//! successful allocation for the fragmentation watermarks — drops from an
+//! O(n) scan to the size index's last key.
 
 use std::collections::BTreeMap;
 
@@ -177,6 +185,10 @@ pub struct Arena {
     policy: AllocPolicy,
     /// Free ranges: start address → length; disjoint, non-adjacent.
     free: BTreeMap<usize, usize>,
+    /// Secondary index of the same ranges: `(length, address)`, kept in
+    /// lockstep with `free` (see [`Arena::check_invariants`]). Best-fit and
+    /// `largest_free` read this map.
+    free_by_size: BTreeMap<(usize, usize), ()>,
     /// Live allocations: id → (start, length).
     live: BTreeMap<AllocId, (usize, usize)>,
     next_id: u64,
@@ -195,19 +207,36 @@ impl Arena {
     /// Create an arena with an explicit fit policy.
     pub fn with_policy(capacity: usize, policy: AllocPolicy) -> Self {
         let mut free = BTreeMap::new();
+        let mut free_by_size = BTreeMap::new();
         if capacity > 0 {
             free.insert(0, capacity);
+            free_by_size.insert((capacity, 0), ());
         }
         Arena {
             capacity,
             policy,
             free,
+            free_by_size,
             live: BTreeMap::new(),
             next_id: 0,
             used: 0,
             stats: ArenaStats::default(),
             trace: None,
         }
+    }
+
+    /// Insert a free range into both indices.
+    #[inline]
+    fn insert_free(&mut self, addr: usize, len: usize) {
+        self.free.insert(addr, len);
+        self.free_by_size.insert((len, addr), ());
+    }
+
+    /// Remove a free range from both indices.
+    #[inline]
+    fn remove_free(&mut self, addr: usize, len: usize) {
+        self.free.remove(&addr);
+        self.free_by_size.remove(&(len, addr));
     }
 
     /// Enable or disable event tracing. Enabling starts a fresh log;
@@ -251,9 +280,14 @@ impl Arena {
         self.capacity - self.used
     }
 
-    /// Largest contiguous free range.
+    /// Largest contiguous free range. O(log n) via the size index (this is
+    /// on the allocation fast path: the fragmentation watermarks sample it
+    /// after every successful carve).
     pub fn largest_free(&self) -> usize {
-        self.free.values().copied().max().unwrap_or(0)
+        self.free_by_size
+            .last_key_value()
+            .map(|(&(len, _), _)| len)
+            .unwrap_or(0)
     }
 
     /// Free bytes that cannot satisfy a request the size of the largest
@@ -273,9 +307,9 @@ impl Arena {
     }
 
     /// Whether a request of `bytes` (unaligned) would currently succeed.
+    /// O(log n): any fitting range exists iff the largest one fits.
     pub fn would_fit(&self, bytes: usize) -> bool {
-        let need = Self::aligned(bytes);
-        self.free.values().any(|&len| len >= need)
+        self.largest_free() >= Self::aligned(bytes)
     }
 
     #[inline]
@@ -283,21 +317,64 @@ impl Arena {
         ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
     }
 
+    /// First-fit selection: the lowest-address range with `len >= need`,
+    /// found by racing two cursors — one over the address index (stops at
+    /// the first fitting range it meets), one over the size index's fitting
+    /// candidates (narrows the lowest fitting address seen so far). The
+    /// address cursor can never pass a fitting range, so whichever cursor
+    /// resolves first yields the exact first-fit answer; the cost is
+    /// O(min(position of first fit, number of fitting ranges)) map steps
+    /// instead of always paying the address-scan worst case.
+    fn first_fit(&self, need: usize) -> Option<(usize, usize)> {
+        let mut by_addr = self.free.iter();
+        let mut by_size = self.free_by_size.range((need, 0)..);
+        let mut best: Option<(usize, usize)> = None; // lowest fitting (addr, len) so far
+        loop {
+            match by_addr.next() {
+                Some((&addr, &len)) => {
+                    if let Some((baddr, _)) = best {
+                        if addr >= baddr {
+                            // Every address below `baddr` was scanned and
+                            // does not fit — `best` is the first fit.
+                            return best;
+                        }
+                    }
+                    if len >= need {
+                        // First fitting range in address order.
+                        return Some((addr, len));
+                    }
+                }
+                // All ranges scanned without a fit: nothing fits at all
+                // (the size cursor would otherwise have stopped us above).
+                None => return None,
+            }
+            if let Some((&(len, addr), ())) = by_size.next() {
+                if best.is_none_or(|(baddr, _)| addr < baddr) {
+                    best = Some((addr, len));
+                }
+            } else if best.is_some() {
+                // The size cursor enumerated every fitting range; the
+                // lowest-address one among them is the first fit.
+                return best;
+            }
+        }
+    }
+
+    /// Best-fit selection: smallest fitting range, ties broken by lower
+    /// address — exactly the size index's successor of `(need, 0)`. O(log n).
+    fn best_fit(&self, need: usize) -> Option<(usize, usize)> {
+        self.free_by_size
+            .range((need, 0)..)
+            .next()
+            .map(|(&(len, addr), _)| (addr, len))
+    }
+
     /// Allocate `bytes` (rounded up to alignment, minimum one granule).
     pub fn alloc(&mut self, bytes: usize) -> Result<AllocId, OomError> {
         let need = Self::aligned(bytes);
         let slot = match self.policy {
-            AllocPolicy::FirstFit => self
-                .free
-                .iter()
-                .find(|(_, &len)| len >= need)
-                .map(|(&addr, &len)| (addr, len)),
-            AllocPolicy::BestFit => self
-                .free
-                .iter()
-                .filter(|(_, &len)| len >= need)
-                .min_by_key(|(&addr, &len)| (len, addr))
-                .map(|(&addr, &len)| (addr, len)),
+            AllocPolicy::FirstFit => self.first_fit(need),
+            AllocPolicy::BestFit => self.best_fit(need),
         };
         let Some((addr, len)) = slot else {
             self.stats.oom_events += 1;
@@ -315,9 +392,9 @@ impl Arena {
             }
             return Err(err);
         };
-        self.free.remove(&addr);
+        self.remove_free(addr, len);
         if len > need {
-            self.free.insert(addr + need, len - need);
+            self.insert_free(addr + need, len - need);
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
@@ -366,7 +443,7 @@ impl Arena {
         let mut length = len;
         if let Some((&paddr, &plen)) = self.free.range(..addr).next_back() {
             if paddr + plen == addr {
-                self.free.remove(&paddr);
+                self.remove_free(paddr, plen);
                 start = paddr;
                 length += plen;
             }
@@ -374,11 +451,11 @@ impl Arena {
         // Coalesce with successor.
         if let Some((&naddr, &nlen)) = self.free.range(addr + len..).next() {
             if addr + len == naddr {
-                self.free.remove(&naddr);
+                self.remove_free(naddr, nlen);
                 length += nlen;
             }
         }
-        self.free.insert(start, length);
+        self.insert_free(start, length);
         self.stats.peak_footprint = self
             .stats
             .peak_footprint
@@ -396,8 +473,9 @@ impl Arena {
         self.live.clear();
         self.used = 0;
         self.free.clear();
+        self.free_by_size.clear();
         if self.capacity > 0 {
-            self.free.insert(0, self.capacity);
+            self.insert_free(0, self.capacity);
         }
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::Reset);
@@ -405,13 +483,26 @@ impl Arena {
     }
 
     /// Internal invariant check used by tests: free ranges are disjoint,
-    /// non-adjacent, within capacity, and free+used == capacity.
+    /// non-adjacent, within capacity, free+used == capacity, and the size
+    /// index mirrors the address index exactly (lockstep).
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut prev_end: Option<usize> = None;
         let mut total_free = 0usize;
+        if self.free.len() != self.free_by_size.len() {
+            return Err(format!(
+                "index divergence: {} address entries vs {} size entries",
+                self.free.len(),
+                self.free_by_size.len()
+            ));
+        }
         for (&addr, &len) in &self.free {
             if len == 0 {
                 return Err(format!("zero-length free range at {addr}"));
+            }
+            if !self.free_by_size.contains_key(&(len, addr)) {
+                return Err(format!(
+                    "free range [{addr}, +{len}) missing from size index"
+                ));
             }
             if addr + len > self.capacity {
                 return Err(format!(
