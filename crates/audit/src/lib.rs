@@ -4,16 +4,19 @@
 //! re-derivations of properties the rest of the workspace is supposed to
 //! maintain, reported as structured [`Diagnostic`]s with JSON output.
 //!
-//! Three passes:
+//! Four passes:
 //!
 //! * [`audit_trace`] — replay an arena [`TraceEvent`](mimose_simgpu::TraceEvent)
 //!   stream through a shadow allocator and catch double-frees, overlapping
-//!   live ranges, missed coalescing / spurious OOMs, and `ArenaStats`
-//!   divergence;
+//!   live ranges, missed coalescing / spurious OOMs, compaction accounting
+//!   errors, and `ArenaStats` divergence;
 //! * [`lint_plan`] / [`lint_fine_plan`] / [`lint_hybrid_plan`] — static
 //!   checks of checkpoint plans against a model profile and a byte budget;
 //! * [`lint_profile`] — well-formedness of the profile itself (block chain,
-//!   tensor accounting, cost sanity).
+//!   tensor accounting, cost sanity);
+//! * [`lint_recovery_trace`] — structural invariants of the executor's
+//!   OOM-recovery ladder (ladder order, bounded retries, monotone demotion,
+//!   terminal fallback, shrink discipline).
 //!
 //! The runtime counterpart — the planner/executor shadow checker that
 //! compares the allocator's live bytes against the analytic residency curve
@@ -27,9 +30,11 @@
 mod diag;
 mod lint;
 mod profile;
+mod recovery;
 mod trace;
 
 pub use diag::{has_errors, json_escape, max_severity, to_json_array, Diagnostic, Severity};
 pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};
 pub use profile::lint_profile;
+pub use recovery::lint_recovery_trace;
 pub use trace::audit_trace;

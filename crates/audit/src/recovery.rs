@@ -1,0 +1,323 @@
+//! Recovery-trace linting: structural invariants of the OOM-recovery
+//! ladder's event chain.
+//!
+//! The executor's recovery ladder (`mimose-exec`) promises a strict
+//! escalation discipline; this pass re-checks a finished iteration's
+//! [`RecoveryEvent`] chain against it, independently of the engine:
+//!
+//! * **ladder order** — attempt numbers never decrease, and the event that
+//!   closes an attempt (Restart/Fallback) is followed only by events of a
+//!   *later* attempt;
+//! * **bounded retries** — at most `max_restarts` Restart events, at most
+//!   one Fallback, and nothing escalates after the Fallback;
+//! * **monotone demotion** — checkpoint counts never decrease along the
+//!   chain, and every Demotion/Restart/Fallback strictly adds checkpoints;
+//! * **shrink discipline** — shrink factors stay in `(0, 1]` and are
+//!   non-increasing (the driver only ever multiplies by a factor < 1);
+//! * **inline bound** — no attempt carries more than
+//!   `max_inline_per_attempt` inline (CoalesceRetry/Demotion) events.
+
+use crate::diag::Diagnostic;
+use mimose_planner::{RecoveryEvent, RecoveryRung};
+
+/// Lint one iteration's recovery-event chain (chronological order, as
+/// recorded on `IterationReport::recovery`). `max_restarts` and
+/// `max_inline_per_attempt` are the configured ladder bounds
+/// (`RecoveryConfig::max_restarts` / `max_inline_events`).
+pub fn lint_recovery_trace(
+    events: &[RecoveryEvent],
+    max_restarts: usize,
+    max_inline_per_attempt: usize,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut restarts = 0usize;
+    let mut fallbacks = 0usize;
+    let mut prev_attempt = 0usize;
+    let mut prev_ckpt: Option<usize> = None;
+    let mut prev_shrink = 1.0f64;
+    let mut closed_attempt: Option<usize> = None;
+    let mut inline_in_attempt = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let subject = format!("event {i} ({})", e.rung.name());
+
+        // Ladder order: attempts are non-decreasing, and once an attempt is
+        // closed by an escalation, later events belong to later attempts.
+        if e.attempt < prev_attempt {
+            diags.push(Diagnostic::error(
+                "ladder-order",
+                subject.clone(),
+                format!(
+                    "attempt {} after an event of attempt {prev_attempt}",
+                    e.attempt
+                ),
+            ));
+        }
+        if let Some(closed) = closed_attempt {
+            if e.attempt <= closed {
+                diags.push(Diagnostic::error(
+                    "ladder-order",
+                    subject.clone(),
+                    format!(
+                        "event in attempt {} although attempt {closed} was already \
+                         closed by a restart/fallback",
+                        e.attempt
+                    ),
+                ));
+            }
+        }
+        if e.attempt != prev_attempt {
+            inline_in_attempt = 0;
+        }
+        prev_attempt = e.attempt;
+
+        // Bounded retries + terminal fallback.
+        match e.rung {
+            RecoveryRung::Restart => {
+                restarts += 1;
+                if restarts > max_restarts {
+                    diags.push(Diagnostic::error(
+                        "unbounded-retries",
+                        subject.clone(),
+                        format!("restart #{restarts} exceeds the configured bound {max_restarts}"),
+                    ));
+                }
+                if fallbacks > 0 {
+                    diags.push(Diagnostic::error(
+                        "escalation-after-fallback",
+                        subject.clone(),
+                        "restart after the terminal full-checkpoint fallback".to_string(),
+                    ));
+                }
+                closed_attempt = Some(e.attempt);
+            }
+            RecoveryRung::Fallback => {
+                fallbacks += 1;
+                if fallbacks > 1 {
+                    diags.push(Diagnostic::error(
+                        "multiple-fallbacks",
+                        subject.clone(),
+                        "the full-checkpoint fallback fired more than once".to_string(),
+                    ));
+                }
+                closed_attempt = Some(e.attempt);
+            }
+            RecoveryRung::CoalesceRetry | RecoveryRung::Demotion => {
+                inline_in_attempt += 1;
+                if inline_in_attempt > max_inline_per_attempt {
+                    diags.push(Diagnostic::error(
+                        "inline-bound",
+                        subject.clone(),
+                        format!(
+                            "{inline_in_attempt} inline events in attempt {} exceed the \
+                             configured bound {max_inline_per_attempt}",
+                            e.attempt
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Monotone demotion: within an event, and along the whole chain.
+        if e.ckpt_after < e.ckpt_before {
+            diags.push(Diagnostic::error(
+                "demotion-not-monotone",
+                subject.clone(),
+                format!(
+                    "event un-checkpoints blocks ({} -> {})",
+                    e.ckpt_before, e.ckpt_after
+                ),
+            ));
+        }
+        let escalating = matches!(
+            e.rung,
+            RecoveryRung::Demotion | RecoveryRung::Restart | RecoveryRung::Fallback
+        );
+        if escalating && e.ckpt_after == e.ckpt_before {
+            diags.push(Diagnostic::warning(
+                "ineffective-escalation",
+                subject.clone(),
+                format!(
+                    "{} left the checkpoint count unchanged at {} — it freed no \
+                     future memory",
+                    e.rung.name(),
+                    e.ckpt_after
+                ),
+            ));
+        }
+        if let Some(pc) = prev_ckpt {
+            if e.ckpt_before < pc {
+                diags.push(Diagnostic::error(
+                    "demotion-not-monotone",
+                    subject.clone(),
+                    format!(
+                        "checkpoint count regressed along the chain ({pc} -> {})",
+                        e.ckpt_before
+                    ),
+                ));
+            }
+        }
+        prev_ckpt = Some(e.ckpt_after.max(prev_ckpt.unwrap_or(0)));
+
+        // Shrink discipline.
+        if !(e.shrink_factor > 0.0 && e.shrink_factor <= 1.0) {
+            diags.push(Diagnostic::error(
+                "shrink-out-of-range",
+                subject.clone(),
+                format!("shrink factor {} outside (0, 1]", e.shrink_factor),
+            ));
+        }
+        if e.shrink_factor > prev_shrink + 1e-12 {
+            diags.push(Diagnostic::error(
+                "shrink-not-monotone",
+                subject.clone(),
+                format!(
+                    "shrink factor grew along the chain ({prev_shrink} -> {})",
+                    e.shrink_factor
+                ),
+            ));
+        }
+        prev_shrink = prev_shrink.min(e.shrink_factor.max(f64::MIN_POSITIVE));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+
+    fn ev(
+        rung: RecoveryRung,
+        attempt: usize,
+        ckpt_before: usize,
+        ckpt_after: usize,
+        shrink: f64,
+    ) -> RecoveryEvent {
+        RecoveryEvent {
+            rung,
+            attempt,
+            phase: "forward",
+            requested: 1 << 20,
+            ckpt_before,
+            ckpt_after,
+            shrink_factor: shrink,
+            time_cost_ns: 10,
+            freed_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn clean_escalating_chain_passes() {
+        let chain = [
+            ev(RecoveryRung::CoalesceRetry, 0, 2, 2, 1.0),
+            ev(RecoveryRung::Demotion, 0, 2, 4, 1.0),
+            ev(RecoveryRung::Restart, 0, 4, 6, 0.85),
+            ev(RecoveryRung::CoalesceRetry, 1, 6, 6, 0.85),
+            ev(RecoveryRung::Fallback, 1, 6, 12, 0.85),
+        ];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_chain_is_clean() {
+        assert!(lint_recovery_trace(&[], 2, 64).is_empty());
+    }
+
+    #[test]
+    fn excess_restarts_flagged() {
+        let chain = [
+            ev(RecoveryRung::Restart, 0, 0, 2, 0.85),
+            ev(RecoveryRung::Restart, 1, 2, 4, 0.72),
+            ev(RecoveryRung::Restart, 2, 4, 6, 0.61),
+        ];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "unbounded-retries"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn escalation_after_fallback_flagged() {
+        let chain = [
+            ev(RecoveryRung::Fallback, 0, 0, 12, 1.0),
+            ev(RecoveryRung::Restart, 1, 12, 12, 0.85),
+        ];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "escalation-after-fallback"),
+            "{diags:?}"
+        );
+        let twice = [
+            ev(RecoveryRung::Fallback, 0, 0, 12, 1.0),
+            ev(RecoveryRung::Fallback, 1, 12, 12, 1.0),
+        ];
+        let diags = lint_recovery_trace(&twice, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "multiple-fallbacks"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn regressions_flagged() {
+        // Un-checkpointing within an event.
+        let chain = [ev(RecoveryRung::Demotion, 0, 4, 2, 1.0)];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "demotion-not-monotone"),
+            "{diags:?}"
+        );
+        // Checkpoint count regressing across events.
+        let chain = [
+            ev(RecoveryRung::Demotion, 0, 2, 4, 1.0),
+            ev(RecoveryRung::Restart, 0, 2, 3, 0.85),
+        ];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "demotion-not-monotone"),
+            "{diags:?}"
+        );
+        // Attempt number going backwards.
+        let chain = [
+            ev(RecoveryRung::Restart, 1, 0, 2, 0.85),
+            ev(RecoveryRung::CoalesceRetry, 0, 2, 2, 0.85),
+        ];
+        let diags = lint_recovery_trace(&chain, 2, 64);
+        assert!(diags.iter().any(|d| d.check == "ladder-order"), "{diags:?}");
+    }
+
+    #[test]
+    fn shrink_discipline_enforced() {
+        let grow = [
+            ev(RecoveryRung::Restart, 0, 0, 2, 0.85),
+            ev(RecoveryRung::Restart, 1, 2, 4, 0.95),
+        ];
+        let diags = lint_recovery_trace(&grow, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "shrink-not-monotone"),
+            "{diags:?}"
+        );
+        let bad = [ev(RecoveryRung::Restart, 0, 0, 2, 1.5)];
+        let diags = lint_recovery_trace(&bad, 2, 64);
+        assert!(
+            diags.iter().any(|d| d.check == "shrink-out-of-range"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn inline_bound_enforced() {
+        let chain: Vec<RecoveryEvent> = (0..5)
+            .map(|_| ev(RecoveryRung::CoalesceRetry, 0, 2, 2, 1.0))
+            .collect();
+        let diags = lint_recovery_trace(&chain, 2, 4);
+        assert!(diags.iter().any(|d| d.check == "inline-bound"), "{diags:?}");
+        assert!(lint_recovery_trace(&chain, 2, 5)
+            .iter()
+            .all(|d| d.check != "inline-bound"));
+    }
+}

@@ -14,8 +14,11 @@
 //! * **missed coalescing / spurious OOM** — the arena reported failure (or
 //!   a `largest_free`) inconsistent with the true gap structure of the
 //!   address space, which is exactly what broken coalescing looks like;
+//! * **compaction accounting** — a `Compact` event's reported moved-byte
+//!   count disagrees with the slide the live set actually requires;
 //! * **stats divergence** — recomputed `peak_used` / `peak_frag` /
-//!   event counts disagree with the arena's own [`ArenaStats`].
+//!   event counts (including compactions and injected failures) disagree
+//!   with the arena's own [`ArenaStats`].
 
 use crate::diag::Diagnostic;
 use mimose_simgpu::{ArenaStats, TraceEvent, ARENA_ALIGN};
@@ -264,6 +267,42 @@ pub fn audit_trace(
                     ));
                 }
             }
+            TraceEvent::InjectedOom { requested: _ } => {
+                // A fault-injection artefact, not an allocator decision: the
+                // arena state is untouched, so there is nothing to check —
+                // only the counter to mirror.
+                s.stats.injected_ooms += 1;
+            }
+            TraceEvent::Compact { moved } => {
+                // Mirror the arena's deterministic slide: live ranges keep
+                // their address order and pack from offset 0. The arena
+                // reports the total bytes it copied; recompute that figure
+                // independently from the shadow live set.
+                let ranges: Vec<(usize, (usize, u64))> =
+                    s.by_offset.iter().map(|(&o, &v)| (o, v)).collect();
+                let mut cursor = 0usize;
+                let mut shadow_moved = 0usize;
+                s.by_offset.clear();
+                for (off, (size, raw)) in ranges {
+                    if off != cursor {
+                        shadow_moved += size;
+                    }
+                    s.by_offset.insert(cursor, (size, raw));
+                    s.by_id.insert(raw, (cursor, size));
+                    cursor += size;
+                }
+                if shadow_moved != moved {
+                    diags.push(Diagnostic::error(
+                        "compact-accounting",
+                        subject.clone(),
+                        format!(
+                            "compaction reported {moved} B moved but the live set \
+                             requires moving {shadow_moved} B"
+                        ),
+                    ));
+                }
+                s.stats.compactions += 1;
+            }
             TraceEvent::Reset => {
                 s.by_id.clear();
                 s.by_offset.clear();
@@ -286,10 +325,12 @@ pub fn audit_trace(
     }
 
     if let Some(actual) = stats {
-        let fields: [(&'static str, u64, u64); 7] = [
+        let fields: [(&'static str, u64, u64); 9] = [
             ("allocs", s.stats.allocs, actual.allocs),
             ("frees", s.stats.frees, actual.frees),
             ("oom_events", s.stats.oom_events, actual.oom_events),
+            ("compactions", s.stats.compactions, actual.compactions),
+            ("injected_ooms", s.stats.injected_ooms, actual.injected_ooms),
             (
                 "peak_used",
                 s.stats.peak_used as u64,
@@ -446,6 +487,43 @@ mod tests {
         let diags = audit_trace(4096, &[ev_alloc(0, 0, 512)], None);
         assert!(!has_errors(&diags));
         assert!(diags.iter().any(|d| d.check == "live-at-end"));
+    }
+
+    #[test]
+    fn compact_and_injected_failures_replay_cleanly() {
+        let mut a = Arena::new(1 << 20);
+        a.set_tracing(true);
+        a.set_spurious_failures(&[3]);
+        let x = a.alloc(1000).unwrap();
+        let y = a.alloc(5000).unwrap();
+        assert!(a.alloc(700).is_err(), "attempt 3 is armed to fail");
+        a.free(x);
+        let moved = a.compact();
+        assert!(moved > 0, "y slides down over x's hole");
+        let z = a.alloc(700).unwrap();
+        a.free(y);
+        a.free(z);
+        let stats = a.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.injected_ooms, 1);
+        let diags = audit_trace(a.capacity(), &a.take_trace(), Some(&stats));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn compact_accounting_mismatch_detected() {
+        // Live [0,512) and [1024,1536): compacting must move exactly 512 B
+        // (the second range), not the 5 B the event claims.
+        let events = [
+            ev_alloc(0, 0, 512),
+            ev_alloc(1, 1024, 512),
+            TraceEvent::Compact { moved: 5 },
+        ];
+        let diags = audit_trace(4096, &events, None);
+        assert!(
+            diags.iter().any(|d| d.check == "compact-accounting"),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -26,10 +26,10 @@ fn bench_schedulers(c: &mut Criterion) {
 fn bench_cache(c: &mut Criterion) {
     let mut cache = PlanCache::new(0.04);
     for i in 1..40usize {
-        cache.insert(i * 500, CheckpointPlan::all(14));
+        cache.insert(i * 500, 6 << 30, CheckpointPlan::all(14));
     }
     c.bench_function("plan_cache_hit", |b| {
-        b.iter(|| black_box(cache.get(black_box(7_013))))
+        b.iter(|| black_box(cache.get(black_box(7_013), 6 << 30)))
     });
 }
 

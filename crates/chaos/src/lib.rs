@@ -1,0 +1,355 @@
+//! # mimose-chaos
+//!
+//! Deterministic, seed-driven fault injection for the Mimose simulator.
+//!
+//! The recovery ladder in `mimose-exec` only earns trust if it is exercised:
+//! this crate manufactures the faults. A [`FaultSpec`] describes *what* can
+//! go wrong (estimator bias/noise, arena capacity shrink at iteration N,
+//! spurious one-shot allocation failures, recompute-latency spikes); a
+//! [`FaultInjector`] derives, per iteration, the concrete
+//! [`IterationFaults`] to apply.
+//!
+//! Determinism is the design constraint. Each iteration's faults are drawn
+//! from a fresh generator seeded by `(seed, iter)` — never from a shared
+//! stream — so:
+//!
+//! * the same `(spec, iter)` always produces the same faults, regardless of
+//!   how many other iterations were queried or in what order;
+//! * restarting an iteration (the recovery ladder's `Restart` rung) replays
+//!   exactly the same fault schedule it crashed under, which is what a real
+//!   deterministic-replay debugging session would see;
+//! * property tests can shrink failures to a single `(seed, iter)` pair.
+//!
+//! Everything is plain data: the injector holds no mutable state.
+
+use mimose_rng::{Rng, SeedableRng, StdRng};
+
+/// What faults to inject, with which intensity. The default spec injects
+/// nothing; every field is independent so scenarios compose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Master seed; all per-iteration draws derive from it.
+    pub seed: u64,
+    /// Multiplicative bias applied to the estimator's predicted bytes
+    /// (0.6 → the policy plans for 60 % of the true footprint: systematic
+    /// under-prediction, the paper's §V risk). 1.0 disables.
+    pub estimator_bias: f64,
+    /// Relative half-width of zero-mean multiplicative noise added on top
+    /// of the bias each iteration (0.1 → uniform in ±10 %). 0.0 disables.
+    pub estimator_noise: f64,
+    /// Shrink the arena capacity to `factor` of nominal from iteration
+    /// `at_iter` onwards (models a co-located process grabbing device
+    /// memory mid-run). `None` disables.
+    pub capacity_shrink: Option<(usize, f64)>,
+    /// Probability that an iteration carries spurious alloc failures.
+    /// 0.0 disables.
+    pub alloc_failure_rate: f64,
+    /// When an iteration is chosen for alloc failures, how many distinct
+    /// attempt ordinals (within the first `alloc_failure_span` attempts of
+    /// the iteration) fail. Ignored when the rate is 0.
+    pub alloc_failures_per_iter: usize,
+    /// The window of alloc-attempt ordinals (1-based, from iteration start)
+    /// eligible to fail.
+    pub alloc_failure_span: u64,
+    /// Probability that an iteration's recompute kernels run slow. 0.0
+    /// disables.
+    pub recompute_spike_rate: f64,
+    /// Latency multiplier applied to recompute time in a spiking iteration
+    /// (2.0 → recomputation takes twice as long).
+    pub recompute_spike_factor: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            estimator_bias: 1.0,
+            estimator_noise: 0.0,
+            capacity_shrink: None,
+            alloc_failure_rate: 0.0,
+            alloc_failures_per_iter: 1,
+            alloc_failure_span: 64,
+            recompute_spike_rate: 0.0,
+            recompute_spike_factor: 2.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (alias of `Default`).
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// True when no fault channel is active: the derived faults are the
+    /// identity for every iteration.
+    pub fn is_noop(&self) -> bool {
+        self.estimator_bias == 1.0
+            && self.estimator_noise == 0.0
+            && self.capacity_shrink.is_none()
+            && self.alloc_failure_rate == 0.0
+            && self.recompute_spike_rate == 0.0
+    }
+}
+
+/// The concrete faults to apply to one iteration, derived from a
+/// [`FaultSpec`]. All fields are identity values when no fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationFaults {
+    /// Multiply the arena capacity by this before building the iteration's
+    /// arena (1.0 = nominal). Applied by whoever sizes the arena — the
+    /// trainer — never by the engine itself, so it cannot be applied twice.
+    pub capacity_factor: f64,
+    /// Alloc-attempt ordinals (1-based within the iteration's arena) that
+    /// fail spuriously, sorted ascending. Feed to
+    /// `Arena::set_spurious_failures`.
+    pub fail_allocs: Vec<u64>,
+    /// Multiply recompute-kernel time by this (1.0 = nominal).
+    pub recompute_factor: f64,
+    /// Multiply the estimator's predicted bytes by this (1.0 = nominal):
+    /// the composed bias × noise draw for this iteration.
+    pub estimator_factor: f64,
+}
+
+impl IterationFaults {
+    /// Faults that change nothing.
+    pub fn identity() -> Self {
+        IterationFaults {
+            capacity_factor: 1.0,
+            fail_allocs: Vec::new(),
+            recompute_factor: 1.0,
+            estimator_factor: 1.0,
+        }
+    }
+
+    /// True when applying these faults is a no-op.
+    pub fn is_identity(&self) -> bool {
+        self.capacity_factor == 1.0
+            && self.fail_allocs.is_empty()
+            && self.recompute_factor == 1.0
+            && self.estimator_factor == 1.0
+    }
+}
+
+/// Derives per-iteration faults from a [`FaultSpec`]. Stateless: queries
+/// are pure functions of `(spec, iter)`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+}
+
+impl FaultInjector {
+    /// Wrap a spec.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultInjector { spec }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Per-iteration generator: a fresh stream keyed by `(seed, iter)`.
+    /// Mixing with a large odd constant decorrelates consecutive iterations
+    /// before SplitMix64 expands the state.
+    fn rng_for(&self, iter: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.spec.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+                ^ (iter as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        )
+    }
+
+    /// The faults for iteration `iter`. Deterministic and order-independent:
+    /// calling this for any subset of iterations, in any order, any number
+    /// of times, yields identical results.
+    pub fn iteration_faults(&self, iter: usize) -> IterationFaults {
+        if self.spec.is_noop() {
+            return IterationFaults::identity();
+        }
+        let mut rng = self.rng_for(iter);
+        // Always draw channels in a fixed order so adding intensity to one
+        // channel never perturbs another channel's stream position.
+        let u_alloc: f64 = rng.gen();
+        let u_spike: f64 = rng.gen();
+        let noise_draw: f64 = rng.gen();
+
+        let capacity_factor = match self.spec.capacity_shrink {
+            Some((at, factor)) if iter >= at => factor,
+            _ => 1.0,
+        };
+
+        let mut fail_allocs = Vec::new();
+        if self.spec.alloc_failure_rate > 0.0 && u_alloc < self.spec.alloc_failure_rate {
+            let span = self.spec.alloc_failure_span.max(1);
+            let want = (self.spec.alloc_failures_per_iter as u64).min(span) as usize;
+            while fail_allocs.len() < want {
+                let ord = rng.gen_range(1..=span);
+                if !fail_allocs.contains(&ord) {
+                    fail_allocs.push(ord);
+                }
+            }
+            fail_allocs.sort_unstable();
+        }
+
+        let recompute_factor =
+            if self.spec.recompute_spike_rate > 0.0 && u_spike < self.spec.recompute_spike_rate {
+                self.spec.recompute_spike_factor
+            } else {
+                1.0
+            };
+
+        let estimator_factor = if self.spec.estimator_noise > 0.0 {
+            self.spec.estimator_bias * (1.0 + (2.0 * noise_draw - 1.0) * self.spec.estimator_noise)
+        } else {
+            self.spec.estimator_bias
+        };
+
+        IterationFaults {
+            capacity_factor,
+            fail_allocs,
+            recompute_factor,
+            estimator_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_spec_yields_identity_everywhere() {
+        let inj = FaultInjector::new(FaultSpec::none(42));
+        for iter in 0..50 {
+            assert!(inj.iteration_faults(iter).is_identity());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_iter_is_deterministic_and_order_independent() {
+        let spec = FaultSpec {
+            seed: 7,
+            estimator_bias: 0.8,
+            estimator_noise: 0.1,
+            alloc_failure_rate: 0.5,
+            alloc_failures_per_iter: 3,
+            recompute_spike_rate: 0.3,
+            ..FaultSpec::default()
+        };
+        let inj = FaultInjector::new(spec);
+        // Forward order …
+        let fwd: Vec<_> = (0..30).map(|i| inj.iteration_faults(i)).collect();
+        // … reverse order, repeated queries interleaved.
+        for i in (0..30).rev() {
+            let f = inj.iteration_faults(i);
+            assert_eq!(f, fwd[i], "iteration {i} diverged across query orders");
+            assert_eq!(f, inj.iteration_faults(i), "repeat query diverged");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            FaultInjector::new(FaultSpec {
+                seed,
+                alloc_failure_rate: 1.0,
+                alloc_failures_per_iter: 4,
+                ..FaultSpec::default()
+            })
+        };
+        let a: Vec<_> = (0..20).map(|i| mk(1).iteration_faults(i)).collect();
+        let b: Vec<_> = (0..20).map(|i| mk(2).iteration_faults(i)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacity_shrink_kicks_in_at_iter() {
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 3,
+            capacity_shrink: Some((10, 0.5)),
+            ..FaultSpec::default()
+        });
+        assert_eq!(inj.iteration_faults(9).capacity_factor, 1.0);
+        assert_eq!(inj.iteration_faults(10).capacity_factor, 0.5);
+        assert_eq!(inj.iteration_faults(99).capacity_factor, 0.5);
+    }
+
+    #[test]
+    fn fail_allocs_sorted_unique_in_span() {
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 11,
+            alloc_failure_rate: 1.0,
+            alloc_failures_per_iter: 5,
+            alloc_failure_span: 16,
+            ..FaultSpec::default()
+        });
+        for iter in 0..100 {
+            let f = inj.iteration_faults(iter);
+            assert_eq!(f.fail_allocs.len(), 5);
+            for w in f.fail_allocs.windows(2) {
+                assert!(w[0] < w[1], "unsorted or duplicate ordinals");
+            }
+            assert!(f.fail_allocs.iter().all(|&o| (1..=16).contains(&o)));
+        }
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honoured() {
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 5,
+            alloc_failure_rate: 0.25,
+            ..FaultSpec::default()
+        });
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&i| !inj.iteration_faults(i).fail_allocs.is_empty())
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn estimator_noise_stays_in_band() {
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 9,
+            estimator_bias: 0.8,
+            estimator_noise: 0.1,
+            ..FaultSpec::default()
+        });
+        for iter in 0..500 {
+            let f = inj.iteration_faults(iter).estimator_factor;
+            assert!(
+                (0.8 * 0.9..=0.8 * 1.1).contains(&f),
+                "factor {f} outside bias±noise band"
+            );
+        }
+    }
+
+    #[test]
+    fn channels_are_independent_of_each_other() {
+        // Turning the spike channel on must not change the alloc-failure
+        // draw for the same (seed, iter).
+        let base = FaultSpec {
+            seed: 21,
+            alloc_failure_rate: 0.5,
+            alloc_failures_per_iter: 2,
+            ..FaultSpec::default()
+        };
+        let with_spike = FaultSpec {
+            recompute_spike_rate: 0.5,
+            ..base.clone()
+        };
+        let a = FaultInjector::new(base);
+        let b = FaultInjector::new(with_spike);
+        for iter in 0..100 {
+            assert_eq!(
+                a.iteration_faults(iter).fail_allocs,
+                b.iteration_faults(iter).fail_allocs,
+                "spike channel perturbed alloc channel at iter {iter}"
+            );
+        }
+    }
+}

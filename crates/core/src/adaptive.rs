@@ -22,6 +22,11 @@ pub struct AdaptiveConfig {
     pub oom_backoff_bytes: usize,
     /// Upper bound on the accumulated backoff.
     pub max_backoff_bytes: usize,
+    /// Floor on the multiplicative planning-budget scale accumulated from
+    /// executor restart feedback (the recovery ladder's shrunk budgets).
+    /// Guards against a pathological fault storm driving plans to
+    /// all-checkpoint forever.
+    pub min_plan_scale: f64,
 }
 
 impl Default for AdaptiveConfig {
@@ -30,12 +35,13 @@ impl Default for AdaptiveConfig {
             recollect_beyond: 1.25,
             oom_backoff_bytes: 256 << 20,
             max_backoff_bytes: 2 << 30,
+            min_plan_scale: 0.5,
         }
     }
 }
 
 /// Runtime state of the adaptive extensions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveState {
     /// Extra reserve accumulated from OOM feedback.
     pub backoff_bytes: usize,
@@ -43,6 +49,24 @@ pub struct AdaptiveState {
     pub recollections: usize,
     /// Number of OOM-feedback events.
     pub oom_events: usize,
+    /// Multiplicative scale on the planning budget, tightened whenever the
+    /// executor's recovery ladder had to restart or fall back (its shrunk
+    /// budget rescued the iteration, so future plans should assume it).
+    pub plan_scale: f64,
+    /// Number of budget-shrink feedback events absorbed.
+    pub budget_shrinks: usize,
+}
+
+impl Default for AdaptiveState {
+    fn default() -> Self {
+        AdaptiveState {
+            backoff_bytes: 0,
+            recollections: 0,
+            oom_events: 0,
+            plan_scale: 1.0,
+            budget_shrinks: 0,
+        }
+    }
 }
 
 impl AdaptiveState {
@@ -67,6 +91,17 @@ impl AdaptiveState {
         self.backoff_bytes =
             (self.backoff_bytes + cfg.oom_backoff_bytes).min(cfg.max_backoff_bytes);
         self.backoff_bytes
+    }
+
+    /// Absorb an executor restart/fallback's budget shrink (`factor` is the
+    /// cumulative shrink the ladder needed to complete the iteration);
+    /// returns the new plan scale, floored at `cfg.min_plan_scale`.
+    pub fn on_budget_shrink(&mut self, cfg: &AdaptiveConfig, factor: f64) -> f64 {
+        if factor > 0.0 && factor < 1.0 {
+            self.budget_shrinks += 1;
+            self.plan_scale = (self.plan_scale * factor).max(cfg.min_plan_scale);
+        }
+        self.plan_scale
     }
 }
 
@@ -106,5 +141,27 @@ mod tests {
         assert_eq!(s.on_oom(&cfg), 2 << 30);
         assert_eq!(s.on_oom(&cfg), 2 << 30, "capped");
         assert_eq!(s.oom_events, 3);
+    }
+
+    #[test]
+    fn budget_shrink_accumulates_and_floors() {
+        let cfg = AdaptiveConfig {
+            min_plan_scale: 0.5,
+            ..Default::default()
+        };
+        let mut s = AdaptiveState::default();
+        assert!((s.plan_scale - 1.0).abs() < 1e-12, "starts at identity");
+        assert!((s.on_budget_shrink(&cfg, 0.85) - 0.85).abs() < 1e-12);
+        assert!((s.on_budget_shrink(&cfg, 0.85) - 0.7225).abs() < 1e-12);
+        // Keeps shrinking but never below the floor.
+        for _ in 0..10 {
+            s.on_budget_shrink(&cfg, 0.85);
+        }
+        assert!((s.plan_scale - 0.5).abs() < 1e-12);
+        assert_eq!(s.budget_shrinks, 12);
+        // Out-of-range factors are ignored.
+        s.on_budget_shrink(&cfg, 1.5);
+        s.on_budget_shrink(&cfg, 0.0);
+        assert_eq!(s.budget_shrinks, 12);
     }
 }

@@ -4,6 +4,12 @@
 //! plans are also similar. Therefore, they can also be the plans of each
 //! other." — sizes within one relative-width quantile share a plan.
 //!
+//! Entries are additionally partitioned by the *effective* planning budget
+//! (post-reserve, post-backoff, post-restart-shrink): a plan generated under
+//! a 6 GB budget is not a valid answer once OOM feedback tightened the
+//! budget to 5 GB, and serving it would re-trigger the very OOM the backoff
+//! was meant to prevent. Different budgets never share entries.
+//!
 //! The cache is bounded: when a capacity is set, inserting into a full cache
 //! evicts the least-recently-used bucket. Long multi-dataset runs cycle
 //! through many size distributions; without the bound the map grows with the
@@ -12,6 +18,9 @@
 use mimose_planner::CheckpointPlan;
 use std::collections::{BTreeMap, HashMap};
 
+/// Size-bucket × budget cache key.
+type Key = (u64, u64);
+
 /// Cache of generated plans with an optional LRU capacity bound.
 #[derive(Debug, Clone)]
 pub struct PlanCache {
@@ -19,11 +28,11 @@ pub struct PlanCache {
     width: f64,
     /// Maximum number of stored plans; `usize::MAX` means unbounded.
     capacity: usize,
-    /// Bucket key → (plan, recency stamp of the last touch).
-    map: HashMap<u64, (CheckpointPlan, u64)>,
-    /// Recency index: stamp → bucket key, kept in lockstep with `map`.
+    /// (size bucket, budget) → (plan, recency stamp of the last touch).
+    map: HashMap<Key, (CheckpointPlan, u64)>,
+    /// Recency index: stamp → key, kept in lockstep with `map`.
     /// The smallest stamp is the least-recently-used bucket.
-    recency: BTreeMap<u64, u64>,
+    recency: BTreeMap<u64, Key>,
     /// Monotonic touch counter feeding the stamps.
     clock: u64,
     hits: u64,
@@ -54,15 +63,20 @@ impl PlanCache {
         }
     }
 
-    /// Quantise an input size to its cache key: geometric bucketing so the
-    /// *relative* width stays constant across scales.
-    fn key(&self, input_size: usize) -> u64 {
+    /// Quantise an input size to its bucket and pair it with the budget the
+    /// plan was (or will be) generated under: geometric size bucketing so
+    /// the *relative* width stays constant across scales, exact budget so
+    /// plans never leak across budget changes.
+    fn key(&self, input_size: usize, budget: usize) -> Key {
         let x = (input_size.max(1)) as f64;
-        (x.ln() / (1.0 + self.width).ln()).floor() as u64
+        (
+            (x.ln() / (1.0 + self.width).ln()).floor() as u64,
+            budget as u64,
+        )
     }
 
-    /// Mark bucket `k` as most-recently-used, returning its new stamp.
-    fn touch(&mut self, k: u64, prev_stamp: Option<u64>) -> u64 {
+    /// Mark `k` as most-recently-used, returning its new stamp.
+    fn touch(&mut self, k: Key, prev_stamp: Option<u64>) -> u64 {
         if let Some(s) = prev_stamp {
             self.recency.remove(&s);
         }
@@ -71,9 +85,10 @@ impl PlanCache {
         self.clock
     }
 
-    /// Look up a plan for this input size; a hit refreshes its recency.
-    pub fn get(&mut self, input_size: usize) -> Option<CheckpointPlan> {
-        let k = self.key(input_size);
+    /// Look up a plan for this input size generated under exactly this
+    /// budget; a hit refreshes its recency.
+    pub fn get(&mut self, input_size: usize, budget: usize) -> Option<CheckpointPlan> {
+        let k = self.key(input_size, budget);
         match self.map.get(&k) {
             Some((p, stamp)) => {
                 self.hits += 1;
@@ -89,10 +104,10 @@ impl PlanCache {
         }
     }
 
-    /// Store a plan for this input size's bucket, evicting the
-    /// least-recently-used bucket when the cache is at capacity.
-    pub fn insert(&mut self, input_size: usize, plan: CheckpointPlan) {
-        let k = self.key(input_size);
+    /// Store a plan for this input size's bucket under this budget, evicting
+    /// the least-recently-used bucket when the cache is at capacity.
+    pub fn insert(&mut self, input_size: usize, budget: usize, plan: CheckpointPlan) {
+        let k = self.key(input_size, budget);
         let prev = self.map.get(&k).map(|&(_, s)| s);
         if prev.is_none() && self.map.len() >= self.capacity {
             if let Some((&stamp, &victim)) = self.recency.iter().next() {
@@ -147,12 +162,14 @@ impl PlanCache {
 mod tests {
     use super::*;
 
+    const B: usize = 6 << 30;
+
     #[test]
     fn nearby_sizes_share_a_bucket() {
         let mut c = PlanCache::new(0.05);
-        c.insert(10_000, CheckpointPlan::all(4));
-        assert!(c.get(10_100).is_some(), "1 % away should hit");
-        assert!(c.get(20_000).is_none(), "2x away should miss");
+        c.insert(10_000, B, CheckpointPlan::all(4));
+        assert!(c.get(10_100, B).is_some(), "1 % away should hit");
+        assert!(c.get(20_000, B).is_none(), "2x away should miss");
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
     }
@@ -160,67 +177,85 @@ mod tests {
     #[test]
     fn relative_width_scales_with_magnitude() {
         let mut c = PlanCache::new(0.05);
-        c.insert(1_000_000, CheckpointPlan::none(4));
+        c.insert(1_000_000, B, CheckpointPlan::none(4));
         // 3 % away at the million scale still hits.
-        assert!(c.get(1_030_000).is_some());
+        assert!(c.get(1_030_000, B).is_some());
     }
 
     #[test]
     fn distinct_plans_per_bucket() {
         let mut c = PlanCache::new(0.04);
-        c.insert(1_000, CheckpointPlan::all(3));
-        c.insert(4_000, CheckpointPlan::none(3));
-        assert_eq!(c.get(1_000).unwrap().count(), 3);
-        assert_eq!(c.get(4_000).unwrap().count(), 0);
+        c.insert(1_000, B, CheckpointPlan::all(3));
+        c.insert(4_000, B, CheckpointPlan::none(3));
+        assert_eq!(c.get(1_000, B).unwrap().count(), 3);
+        assert_eq!(c.get(4_000, B).unwrap().count(), 0);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn budgets_partition_the_cache() {
+        let mut c = PlanCache::new(0.04);
+        // Same input size, two budgets: a tightened budget must *miss* and
+        // get its own, more conservative plan — never the stale one.
+        c.insert(10_000, 6 << 30, CheckpointPlan::none(4));
+        assert!(c.get(10_000, 5 << 30).is_none(), "tighter budget must miss");
+        c.insert(10_000, 5 << 30, CheckpointPlan::all(4));
+        assert_eq!(c.get(10_000, 6 << 30).unwrap().count(), 0);
+        assert_eq!(c.get(10_000, 5 << 30).unwrap().count(), 4);
+        assert_eq!(c.len(), 2, "budgets hold separate entries");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
     }
 
     #[test]
     fn clear_empties_cache() {
         let mut c = PlanCache::new(0.04);
-        c.insert(100, CheckpointPlan::none(1));
+        c.insert(100, B, CheckpointPlan::none(1));
         c.clear();
         assert!(c.is_empty());
-        assert!(c.get(100).is_none());
+        assert!(c.get(100, B).is_none());
     }
 
     #[test]
     fn capacity_bound_evicts_lru() {
         let mut c = PlanCache::with_capacity(0.04, 2);
         // Three well-separated sizes → three distinct buckets.
-        c.insert(1_000, CheckpointPlan::all(1));
-        c.insert(10_000, CheckpointPlan::all(2));
+        c.insert(1_000, B, CheckpointPlan::all(1));
+        c.insert(10_000, B, CheckpointPlan::all(2));
         // Touch the older bucket so 10_000 becomes the LRU.
-        assert!(c.get(1_000).is_some());
-        c.insert(100_000, CheckpointPlan::all(3));
+        assert!(c.get(1_000, B).is_some());
+        c.insert(100_000, B, CheckpointPlan::all(3));
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 1);
-        assert!(c.get(10_000).is_none(), "LRU bucket was evicted");
-        assert!(c.get(1_000).is_some(), "recently touched bucket survives");
-        assert!(c.get(100_000).is_some());
+        assert!(c.get(10_000, B).is_none(), "LRU bucket was evicted");
+        assert!(
+            c.get(1_000, B).is_some(),
+            "recently touched bucket survives"
+        );
+        assert!(c.get(100_000, B).is_some());
     }
 
     #[test]
     fn reinsert_into_existing_bucket_never_evicts() {
         let mut c = PlanCache::with_capacity(0.04, 2);
-        c.insert(1_000, CheckpointPlan::all(1));
-        c.insert(10_000, CheckpointPlan::all(2));
+        c.insert(1_000, B, CheckpointPlan::all(1));
+        c.insert(10_000, B, CheckpointPlan::all(2));
         // Overwriting a resident bucket is an update, not a new entry.
-        c.insert(1_000, CheckpointPlan::none(1));
+        c.insert(1_000, B, CheckpointPlan::none(1));
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 0);
-        assert_eq!(c.get(1_000).unwrap().count(), 0);
+        assert_eq!(c.get(1_000, B).unwrap().count(), 0);
     }
 
     #[test]
     fn hit_miss_evict_accounting() {
         let mut c = PlanCache::with_capacity(0.04, 1);
-        assert!(c.get(500).is_none()); // miss
-        c.insert(500, CheckpointPlan::all(1));
-        assert!(c.get(500).is_some()); // hit
-        c.insert(50_000, CheckpointPlan::all(2)); // evicts 500's bucket
-        assert!(c.get(500).is_none()); // miss
-        assert!(c.get(50_000).is_some()); // hit
+        assert!(c.get(500, B).is_none()); // miss
+        c.insert(500, B, CheckpointPlan::all(1));
+        assert!(c.get(500, B).is_some()); // hit
+        c.insert(50_000, B, CheckpointPlan::all(2)); // evicts 500's bucket
+        assert!(c.get(500, B).is_none()); // miss
+        assert!(c.get(50_000, B).is_some()); // hit
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 2);
         assert_eq!(c.evictions(), 1);
@@ -231,7 +266,7 @@ mod tests {
     fn unbounded_cache_never_evicts() {
         let mut c = PlanCache::new(0.04);
         for i in 0..64 {
-            c.insert(1_000 << i.min(40), CheckpointPlan::none(1));
+            c.insert(1_000 << i.min(40), B, CheckpointPlan::none(1));
         }
         assert_eq!(c.evictions(), 0);
     }

@@ -29,6 +29,11 @@ pub struct MimoseConfig {
     /// Optional adaptive extensions: responsive-phase re-collection on
     /// far-out-of-support inputs and OOM backoff (see [`AdaptiveConfig`]).
     pub adaptive: Option<AdaptiveConfig>,
+    /// Multiplier applied to every estimated byte figure before scheduling.
+    /// 1.0 (the default) is the honest estimator; the chaos experiments set
+    /// it below 1.0 to emulate a systematically under-predicting estimator
+    /// and exercise the executor's OOM-recovery ladder.
+    pub estimate_scale: f64,
 }
 
 impl MimoseConfig {
@@ -43,6 +48,7 @@ impl MimoseConfig {
             poly_order: 2,
             min_distinct_sizes: 4,
             adaptive: None,
+            estimate_scale: 1.0,
         }
     }
 

@@ -209,7 +209,15 @@ impl MemoryPolicy for MimosePolicy {
                 }
                 let t0 = Instant::now();
                 let x = profile.input_size;
-                let plan = match self.cache.get(x) {
+                // The budget actually handed to the scheduler: reserve off,
+                // restart-shrink feedback applied, OOM backoff subtracted.
+                // It also keys the plan cache, so plans generated under a
+                // stale (larger) budget are never served after feedback
+                // tightened it.
+                let budget = ((self.cfg.effective_budget() as f64 * self.adaptive.plan_scale)
+                    as usize)
+                    .saturating_sub(self.adaptive.backoff_bytes);
+                let plan = match self.cache.get(x, budget) {
                     Some(p) => {
                         self.stats.cache_hits += 1;
                         p
@@ -219,13 +227,19 @@ impl MemoryPolicy for MimosePolicy {
                             .estimator
                             .as_ref()
                             .expect("responsive phase without estimator");
-                        let est_profile = est.estimated_profile(profile, x as f64);
-                        let budget = self
-                            .cfg
-                            .effective_budget()
-                            .saturating_sub(self.adaptive.backoff_bytes);
+                        let mut est_profile = est.estimated_profile(profile, x as f64);
+                        // Chaos hook: a biased estimator mis-predicts every
+                        // byte figure by the same factor (identity at 1.0).
+                        if self.cfg.estimate_scale != 1.0 {
+                            let s = self.cfg.estimate_scale;
+                            for b in &mut est_profile.blocks {
+                                b.act_bytes = (b.act_bytes as f64 * s) as usize;
+                                b.out_bytes = (b.out_bytes as f64 * s) as usize;
+                                b.in_bytes = (b.in_bytes as f64 * s) as usize;
+                            }
+                        }
                         let plan = self.scheduler.schedule(&est_profile, budget);
-                        self.cache.insert(x, plan.clone());
+                        self.cache.insert(x, budget, plan.clone());
                         self.stats.plans_generated += 1;
                         let ns = t0.elapsed().as_nanos() as u64;
                         self.stats.plan_gen_ns.push(ns);
@@ -259,6 +273,23 @@ impl MemoryPolicy for MimosePolicy {
                     self.adaptive.on_oom(acfg);
                     self.stats.oom_feedback += 1;
                     // Plans generated under the old margin are suspect.
+                    self.cache.clear();
+                }
+            }
+            // Executor recovery feedback: if the iteration only completed
+            // via a restart or fallback, the ladder's shrunk budget is what
+            // actually fit — adopt its cumulative shrink for future plans.
+            // (Restart/Fallback events carry the cumulative shrink; the
+            // last one is the factor the iteration finished under.)
+            if let Some(acfg) = &self.cfg.adaptive {
+                let escalated = obs
+                    .recovery
+                    .iter()
+                    .rev()
+                    .find(|e| e.rung >= mimose_planner::RecoveryRung::Restart);
+                if let Some(e) = escalated {
+                    self.adaptive.on_budget_shrink(acfg, e.shrink_factor);
+                    // Plans generated under the wider budget are suspect.
                     self.cache.clear();
                 }
             }
@@ -320,6 +351,7 @@ mod tests {
             blocks,
             peak_bytes: 0,
             oom: false,
+            recovery: Vec::new(),
         });
         d
     }
@@ -416,6 +448,56 @@ mod tests {
             1_000_000
         };
         assert!(max_ns < limit, "plan generation took {max_ns} ns");
+    }
+
+    #[test]
+    fn restart_feedback_shrinks_future_budgets() {
+        use mimose_planner::{RecoveryEvent, RecoveryRung};
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget_adaptive(6 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        assert_eq!(pol.phase(), Phase::Responsive);
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        // Stay inside the fitted support so the adaptive re-collection
+        // rung does not fire and we get a plan directly.
+        let p = m.profile(&ModelInput::tokens(32, 135)).unwrap();
+        let d = pol.begin_iteration(20, &p);
+        let plan_before = match d {
+            Directive::RunPlan(plan) => plan,
+            d => panic!("{d:?}"),
+        };
+        // The executor reports that this iteration only completed after a
+        // restart under a 0.85x budget.
+        pol.end_iteration(&IterationObservation {
+            iter: 20,
+            input: p.input,
+            input_size: p.input_size,
+            blocks: None,
+            peak_bytes: 0,
+            oom: false,
+            recovery: vec![RecoveryEvent {
+                rung: RecoveryRung::Restart,
+                attempt: 0,
+                phase: "forward",
+                requested: 1 << 30,
+                ckpt_before: plan_before.count(),
+                ckpt_after: plan_before.count() + 2,
+                shrink_factor: 0.85,
+                time_cost_ns: 1_000,
+                freed_bytes: 0,
+            }],
+        });
+        assert!((pol.adaptive.plan_scale - 0.85).abs() < 1e-12);
+        // The cache was invalidated and the next plan, generated under the
+        // shrunk budget, checkpoints at least as much as before.
+        let gen_before = pol.stats().plans_generated;
+        let d = pol.begin_iteration(21, &p);
+        assert_eq!(pol.stats().plans_generated, gen_before + 1, "must re-plan");
+        match d {
+            Directive::RunPlan(plan) => assert!(plan.count() >= plan_before.count()),
+            d => panic!("{d:?}"),
+        }
     }
 
     #[test]

@@ -6,12 +6,23 @@
 //! `mimose_planner::memory_model::peak_bytes` step for step, so planner
 //! budget checks and executor measurements agree (cross-validated in the
 //! integration tests).
+//!
+//! Allocation failure is no longer terminal: when a [`RecoveryConfig`] is
+//! supplied (see [`crate::recovery`]), every allocation site climbs the
+//! inline rungs of the OOM-recovery ladder — arena coalesce-and-retry, then
+//! in-place plan demotion — before giving up and letting the restart driver
+//! escalate. Without a config (the default entry points) the engine behaves
+//! exactly as before: any `OomError` becomes a terminal `OomReport`.
 
+use crate::recovery::RecoveryConfig;
 use crate::report::{IterationReport, OomReport, TimeBreakdown};
+use mimose_chaos::IterationFaults;
 use mimose_models::{BlockProfile, ModelProfile};
 use mimose_planner::memory_model::FinePlan;
-use mimose_planner::{BlockAction, BlockObservation, CheckpointPlan, HybridPlan};
-use mimose_simgpu::{AllocId, Arena, ArenaStats, DeviceProfile, OomError, TraceEvent};
+use mimose_planner::{
+    BlockAction, BlockObservation, CheckpointPlan, HybridPlan, RecoveryEvent, RecoveryRung,
+};
+use mimose_simgpu::{AllocId, Arena, ArenaStats, DeviceProfile, OomError, TraceEvent, ARENA_ALIGN};
 
 /// How to run the iteration.
 #[derive(Debug, Clone)]
@@ -33,13 +44,43 @@ pub struct BlockRun {
     pub report: IterationReport,
     /// Per-block observations (only for shuttle iterations).
     pub observations: Option<Vec<BlockObservation>>,
+    /// The effective checkpoint plan after in-iteration demotion, if the
+    /// recovery ladder demoted any blocks (Plan mode only). The restart
+    /// driver grows its next plan from here so demotion stays monotone
+    /// across attempts.
+    pub demoted_plan: Option<CheckpointPlan>,
 }
 
-struct LiveBlock {
-    tensor_ids: Vec<AllocId>,
-    out_id: Option<AllocId>,
-    /// Bytes of internals currently dropped (for fine plans).
-    dropped: Vec<usize>, // indices into profile tensors
+/// Per-attempt knobs threaded through the engine (crate-internal; the
+/// public wrappers fill in the defaults).
+pub(crate) struct EngineOpts<'a> {
+    /// Record arena trace events.
+    pub trace: bool,
+    /// 0-based attempt number stamped on recovery events.
+    pub attempt: usize,
+    /// Cumulative budget shrink stamped on recovery events.
+    pub shrink: f64,
+    /// Inline recovery rungs; `None` = legacy report-and-die behaviour.
+    pub recovery: Option<&'a RecoveryConfig>,
+    /// Faults to inject into this attempt; `None` = clean run.
+    pub faults: Option<&'a IterationFaults>,
+}
+
+impl Default for EngineOpts<'static> {
+    fn default() -> Self {
+        EngineOpts {
+            trace: false,
+            attempt: 0,
+            shrink: 1.0,
+            recovery: None,
+            faults: None,
+        }
+    }
+}
+
+#[inline]
+fn align_up(bytes: usize) -> usize {
+    ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
 }
 
 /// Run one iteration at block granularity.
@@ -55,7 +96,16 @@ pub fn run_block_iteration(
     iter: usize,
     planning_ns: u64,
 ) -> BlockRun {
-    run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, false).0
+    run_block_iteration_impl(
+        profile,
+        mode,
+        capacity,
+        dev,
+        iter,
+        planning_ns,
+        &EngineOpts::default(),
+    )
+    .0
 }
 
 /// Like [`run_block_iteration`], but with arena event tracing enabled:
@@ -69,26 +119,211 @@ pub fn run_block_iteration_traced(
     iter: usize,
     planning_ns: u64,
 ) -> (BlockRun, Vec<TraceEvent>, ArenaStats) {
+    let opts = EngineOpts {
+        trace: true,
+        ..EngineOpts::default()
+    };
     let (run, mut arena) =
-        run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, true);
+        run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, &opts);
     let trace = arena.take_trace();
     let stats = arena.stats();
     (run, trace, stats)
 }
 
-fn run_block_iteration_impl(
+/// Whether block `i` runs checkpointed, consulting the demotion-mutable
+/// working plan when one exists (Plan mode under recovery).
+fn is_ckpt_of(mode: &BlockMode<'_>, working: &Option<Vec<bool>>, i: usize) -> bool {
+    if let Some(w) = working {
+        return w[i];
+    }
+    match mode {
+        BlockMode::Plan(p) => p.is_checkpointed(i),
+        BlockMode::Fine(_) => false, // handled via dropped sets
+        BlockMode::Hybrid(h) => h.actions[i] == BlockAction::Recompute,
+        BlockMode::Shuttle => true,
+    }
+}
+
+/// Everything the inline recovery rungs need to mutate at an allocation
+/// site. Bundled so the alloc helper stays callable from every phase of the
+/// iteration without threading ten arguments through each call.
+struct RungCtx<'a, 'b> {
+    profile: &'a ModelProfile,
+    dev: &'a DeviceProfile,
+    opts: &'a EngineOpts<'a>,
+    time: &'b mut TimeBreakdown,
+    events: &'b mut Vec<RecoveryEvent>,
+    /// Demotion-mutable checkpoint plan (Plan mode under recovery only).
+    working: &'b mut Option<Vec<bool>>,
+    /// Checkpoint count of the plan as given, for stamping recovery events
+    /// when no demotion working copy exists (demotion disabled or non-Plan
+    /// mode) — keeps the chain's counts consistent with the driver's
+    /// restart/fallback events.
+    base_ckpt: usize,
+    live: &'b mut Vec<LiveBlock>,
+    dropped_units: &'b mut usize,
+    shadow: &'b mut Option<crate::shadow::ShadowChecker>,
+}
+
+/// Allocate with the inline recovery rungs: coalesce-and-retry on
+/// fragmentation (which also absorbs injected spurious failures), then
+/// in-place plan demotion. Returns the original error once the rungs are
+/// exhausted or disabled — escalation to restart/fallback is the driver's
+/// job, not the engine's.
+///
+/// `cursor` is the block currently executing (`None` before the forward
+/// pass); its tensors are in use and are never demoted. `in_forward`
+/// additionally allows marking a future block checkpointed to shed upcoming
+/// pressure.
+fn alloc_recovering(
+    arena: &mut Arena,
+    bytes: usize,
+    phase: &'static str,
+    cursor: Option<usize>,
+    in_forward: bool,
+    ctx: &mut RungCtx<'_, '_>,
+) -> Result<AllocId, OomError> {
+    loop {
+        let err = match arena.alloc(bytes) {
+            Ok(id) => return Ok(id),
+            Err(e) => e,
+        };
+        let Some(cfg) = ctx.opts.recovery else {
+            return Err(err);
+        };
+        if ctx.events.len() >= cfg.max_inline_events {
+            return Err(err);
+        }
+        let base = ctx.base_ckpt;
+        let ckpt_now = move |w: &Option<Vec<bool>>| {
+            w.as_ref()
+                .map_or(base, |w| w.iter().filter(|&&c| c).count())
+        };
+
+        // Rung 1 — coalesce-and-retry. Fires on fragmentation failures
+        // (enough total bytes, no contiguous range) and on injected
+        // spurious failures, which report the arena's true free space.
+        // Termination: after a compact, fragmentation is zero, so a real
+        // re-failure must be genuine exhaustion (escalates to rung 2); an
+        // injected re-failure consumes one of the finitely many armed
+        // ordinals. The copy cost of the slide is charged to the clock.
+        if cfg.compact && err.is_fragmentation() {
+            let frag_before = arena.fragmentation_bytes();
+            let ckpt = ckpt_now(ctx.working);
+            let moved = arena.compact();
+            let cost = ctx.dev.exec_ns(0.0, 2 * moved) as u64;
+            ctx.time.recovery_ns += cost;
+            ctx.events.push(RecoveryEvent {
+                rung: RecoveryRung::CoalesceRetry,
+                attempt: ctx.opts.attempt,
+                phase,
+                requested: err.requested,
+                ckpt_before: ckpt,
+                ckpt_after: ckpt,
+                shrink_factor: ctx.opts.shrink,
+                time_cost_ns: cost,
+                freed_bytes: frag_before,
+            });
+            continue;
+        }
+
+        // Rung 2 — in-place demotion (Plan mode only). Evict the internals
+        // of kept blocks that are not currently executing (earliest index
+        // first — their recompute is cheapest to schedule in backward) until
+        // enough total bytes are free; contiguity, if still lacking, is rung
+        // 1's job on the next round. In the forward pass, additionally mark
+        // the largest-activation future kept block checkpointed so upcoming
+        // blocks shed pressure before allocating it.
+        if cfg.demote {
+            if let Some(w) = ctx.working.as_mut() {
+                let need = align_up(bytes);
+                let before = w.iter().filter(|&&c| c).count();
+                let mut freed = 0usize;
+                let mut demoted = 0usize;
+                // Indexing on purpose: the loop walks `w` and `ctx.live` in
+                // lockstep and compares against the cursor position.
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..ctx.live.len() {
+                    if arena.free_bytes() >= need {
+                        break;
+                    }
+                    if Some(j) == cursor || w[j] || ctx.live[j].tensor_ids.is_empty() {
+                        continue;
+                    }
+                    for id in ctx.live[j].tensor_ids.drain(..) {
+                        freed += arena.size_of(id).expect("live internals");
+                        arena.free(id);
+                    }
+                    w[j] = true;
+                    demoted += 1;
+                    *ctx.dropped_units += 1;
+                }
+                if in_forward {
+                    let future = cursor.map_or(0, |c| c + 1).max(ctx.live.len());
+                    let victim = (future..w.len())
+                        .filter(|&j| !w[j])
+                        .max_by_key(|&j| ctx.profile.blocks[j].act_bytes);
+                    if let Some(j) = victim {
+                        w[j] = true;
+                        demoted += 1;
+                    }
+                }
+                if demoted > 0 {
+                    let after = w.iter().filter(|&&c| c).count();
+                    ctx.events.push(RecoveryEvent {
+                        rung: RecoveryRung::Demotion,
+                        attempt: ctx.opts.attempt,
+                        phase,
+                        requested: err.requested,
+                        ckpt_before: before,
+                        ckpt_after: after,
+                        shrink_factor: ctx.opts.shrink,
+                        time_cost_ns: 0, // cost surfaces later as recompute
+                        freed_bytes: freed,
+                    });
+                    if let Some(s) = ctx.shadow.as_mut() {
+                        let mut plan = CheckpointPlan::none(w.len());
+                        for (j, &c) in w.iter().enumerate() {
+                            plan.set(j, c);
+                        }
+                        s.rebase(ctx.profile, &plan);
+                    }
+                    continue;
+                }
+            }
+        }
+
+        return Err(err);
+    }
+}
+
+struct LiveBlock {
+    tensor_ids: Vec<AllocId>,
+    out_id: Option<AllocId>,
+    /// Bytes of internals currently dropped (for fine plans).
+    dropped: Vec<usize>, // indices into profile tensors
+}
+
+pub(crate) fn run_block_iteration_impl(
     profile: &ModelProfile,
     mode: BlockMode<'_>,
     capacity: usize,
     dev: &DeviceProfile,
     iter: usize,
     planning_ns: u64,
-    trace: bool,
+    opts: &EngineOpts<'_>,
 ) -> (BlockRun, Arena) {
     let mut arena = Arena::new(capacity);
-    if trace {
+    if opts.trace {
         arena.set_tracing(true);
     }
+    if let Some(f) = opts.faults {
+        if !f.fail_allocs.is_empty() {
+            arena.set_spurious_failures(&f.fail_allocs);
+        }
+    }
+    // Recompute-latency spike factor (chaos); 1.0 leaves charges bit-exact.
+    let rf = opts.faults.map_or(1.0, |f| f.recompute_factor);
     let mut time = TimeBreakdown {
         planning_ns,
         ..Default::default()
@@ -96,10 +331,45 @@ fn run_block_iteration_impl(
     let shuttle = matches!(mode, BlockMode::Shuttle);
     let n = profile.blocks.len();
 
-    let finish = |arena: Arena, time: TimeBreakdown, oom: Option<OomReport>, dropped| {
+    // Demotion-mutable working copy of the plan (Plan mode under recovery).
+    let mut working: Option<Vec<bool>> = match (&mode, opts.recovery) {
+        (BlockMode::Plan(p), Some(cfg)) if cfg.demote => {
+            Some((0..n).map(|i| p.is_checkpointed(i)).collect())
+        }
+        _ => None,
+    };
+    let base_ckpt = match &mode {
+        BlockMode::Plan(p) => p.count(),
+        BlockMode::Hybrid(h) => h
+            .actions
+            .iter()
+            .filter(|a| **a == BlockAction::Recompute)
+            .count(),
+        _ => 0,
+    };
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+
+    let finish = |arena: Arena,
+                  time: TimeBreakdown,
+                  oom: Option<OomReport>,
+                  dropped,
+                  events: Vec<RecoveryEvent>,
+                  working: Option<Vec<bool>>| {
         let stats = arena.stats();
         let mut time = time;
         time.allocator_ns += ((stats.allocs + stats.frees) as f64 * dev.alloc_ns) as u64;
+        // Expose the post-demotion plan only when demotion actually fired.
+        let demoted_plan = if events.iter().any(|e| e.rung == RecoveryRung::Demotion) {
+            working.map(|w| {
+                let mut plan = CheckpointPlan::none(w.len());
+                for (j, &c) in w.iter().enumerate() {
+                    plan.set(j, c);
+                }
+                plan
+            })
+        } else {
+            None
+        };
         let run = BlockRun {
             report: IterationReport {
                 iter,
@@ -112,37 +382,12 @@ fn run_block_iteration_impl(
                 dropped_units: dropped,
                 shuttle,
                 oom,
+                recovery: events,
             },
             observations: None,
+            demoted_plan,
         };
         (run, arena)
-    };
-
-    let oom_report = |e: OomError, phase: &'static str| OomReport {
-        requested: e.requested,
-        free_bytes: e.free_bytes,
-        largest_free: e.largest_free,
-        phase,
-    };
-
-    // Constant footprint + input tensor.
-    let Ok(_const_id) = arena.alloc(profile.const_bytes) else {
-        let report = OomReport {
-            requested: profile.const_bytes,
-            free_bytes: arena.free_bytes(),
-            largest_free: arena.largest_free(),
-            phase: "const",
-        };
-        return finish(arena, time, Some(report), 0);
-    };
-    let Ok(_input_id) = arena.alloc(profile.input_bytes) else {
-        let report = OomReport {
-            requested: profile.input_bytes,
-            free_bytes: arena.free_bytes(),
-            largest_free: arena.largest_free(),
-            phase: "input",
-        };
-        return finish(arena, time, Some(report), 0);
     };
 
     // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): cross-validate
@@ -168,19 +413,53 @@ fn run_block_iteration_impl(
     } else {
         None
     };
+
+    let mut live: Vec<LiveBlock> = Vec::with_capacity(n);
+    let mut observations: Vec<BlockObservation> = Vec::with_capacity(if shuttle { n } else { 0 });
+    let mut dropped_units = 0usize;
+
+    // Constant footprint + input tensor.
+    {
+        let mut ctx = RungCtx {
+            profile,
+            dev,
+            opts,
+            time: &mut time,
+            events: &mut events,
+            working: &mut working,
+
+            base_ckpt,
+            live: &mut live,
+            dropped_units: &mut dropped_units,
+            shadow: &mut shadow,
+        };
+        if let Err(e) = alloc_recovering(
+            &mut arena,
+            profile.const_bytes,
+            "const",
+            None,
+            false,
+            &mut ctx,
+        ) {
+            let report = OomReport::from_error(&e, "const");
+            return finish(arena, time, Some(report), 0, events, working);
+        }
+        if let Err(e) = alloc_recovering(
+            &mut arena,
+            profile.input_bytes,
+            "input",
+            None,
+            false,
+            &mut ctx,
+        ) {
+            let report = OomReport::from_error(&e, "input");
+            return finish(arena, time, Some(report), 0, events, working);
+        }
+    }
     if let Some(s) = &mut shadow {
         s.check(&arena, "init");
     }
 
-    // Decide per-block drop behaviour.
-    let is_ckpt = |i: usize| -> bool {
-        match &mode {
-            BlockMode::Plan(p) => p.is_checkpointed(i),
-            BlockMode::Fine(_) => false, // handled via dropped sets
-            BlockMode::Hybrid(h) => h.actions[i] == BlockAction::Recompute,
-            BlockMode::Shuttle => true,
-        }
-    };
     let is_swap = |i: usize| -> bool {
         matches!(&mode, BlockMode::Hybrid(h) if h.actions[i] == BlockAction::Swap)
     };
@@ -209,31 +488,72 @@ fn run_block_iteration_impl(
         out
     };
 
-    let mut live: Vec<LiveBlock> = Vec::with_capacity(n);
-    let mut observations: Vec<BlockObservation> = Vec::with_capacity(if shuttle { n } else { 0 });
-    let mut dropped_units = 0usize;
-
     // ---------------- forward ----------------
     for (i, b) in profile.blocks.iter().enumerate() {
         let fwd_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved);
         time.compute_ns += fwd_ns as u64;
         if shuttle {
             // The second forward of the shuttling collector (§IV-B).
-            time.recompute_ns += fwd_ns as u64;
+            time.recompute_ns += (fwd_ns * rf) as u64;
         }
         // Materialise internals + output.
         let mut ids = Vec::with_capacity(b.tensors.len());
+        let forward_alloc = |arena: &mut Arena,
+                             bytes: usize,
+                             time: &mut TimeBreakdown,
+                             events: &mut Vec<RecoveryEvent>,
+                             working: &mut Option<Vec<bool>>,
+                             live: &mut Vec<LiveBlock>,
+                             dropped_units: &mut usize,
+                             shadow: &mut Option<crate::shadow::ShadowChecker>|
+         -> Result<AllocId, OomError> {
+            let mut ctx = RungCtx {
+                profile,
+                dev,
+                opts,
+                time,
+                events,
+                working,
+                live,
+                dropped_units,
+                base_ckpt,
+                shadow,
+            };
+            alloc_recovering(arena, bytes, "forward", Some(i), true, &mut ctx)
+        };
         for t in &b.tensors {
-            match arena.alloc(t.bytes) {
+            match forward_alloc(
+                &mut arena,
+                t.bytes,
+                &mut time,
+                &mut events,
+                &mut working,
+                &mut live,
+                &mut dropped_units,
+                &mut shadow,
+            ) {
                 Ok(id) => ids.push(id),
                 Err(e) => {
-                    return finish(arena, time, Some(oom_report(e, "forward")), dropped_units)
+                    let report = OomReport::from_error(&e, "forward");
+                    return finish(arena, time, Some(report), dropped_units, events, working);
                 }
             }
         }
-        let out_id = match arena.alloc(b.out_bytes) {
+        let out_id = match forward_alloc(
+            &mut arena,
+            b.out_bytes,
+            &mut time,
+            &mut events,
+            &mut working,
+            &mut live,
+            &mut dropped_units,
+            &mut shadow,
+        ) {
             Ok(id) => id,
-            Err(e) => return finish(arena, time, Some(oom_report(e, "forward")), dropped_units),
+            Err(e) => {
+                let report = OomReport::from_error(&e, "forward");
+                return finish(arena, time, Some(report), dropped_units, events, working);
+            }
         };
         if shuttle {
             observations.push(BlockObservation {
@@ -249,7 +569,7 @@ fn run_block_iteration_impl(
             out_id: Some(out_id),
             dropped: Vec::new(),
         };
-        if is_ckpt(i) || is_swap(i) {
+        if is_ckpt_of(&mode, &working, i) || is_swap(i) {
             // Drop internals, keep the output checkpoint. A swapped block
             // additionally pays the non-overlapped swap-out transfer.
             if is_swap(i) {
@@ -286,20 +606,55 @@ fn run_block_iteration_impl(
 
     // ---------------- backward ----------------
     for (i, b) in profile.blocks.iter().enumerate().rev() {
+        let backward_alloc = |arena: &mut Arena,
+                              bytes: usize,
+                              phase: &'static str,
+                              time: &mut TimeBreakdown,
+                              events: &mut Vec<RecoveryEvent>,
+                              working: &mut Option<Vec<bool>>,
+                              live: &mut Vec<LiveBlock>,
+                              dropped_units: &mut usize,
+                              shadow: &mut Option<crate::shadow::ShadowChecker>|
+         -> Result<AllocId, OomError> {
+            let mut ctx = RungCtx {
+                profile,
+                dev,
+                opts,
+                time,
+                events,
+                working,
+                live,
+                dropped_units,
+                base_ckpt,
+                shadow,
+            };
+            alloc_recovering(arena, bytes, phase, Some(i), false, &mut ctx)
+        };
         // Rematerialise what was dropped.
-        if is_ckpt(i) || is_swap(i) {
+        if is_ckpt_of(&mode, &working, i) || is_swap(i) {
             if is_swap(i) {
                 // Prefetch back over PCIe instead of recomputing.
                 time.swap_ns += dev.swap_ns(b.act_bytes) as u64;
             } else {
                 let fwd_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved);
-                time.recompute_ns += fwd_ns as u64;
+                time.recompute_ns += (fwd_ns * rf) as u64;
             }
             for t in &b.tensors {
-                match arena.alloc(t.bytes) {
+                match backward_alloc(
+                    &mut arena,
+                    t.bytes,
+                    "recompute",
+                    &mut time,
+                    &mut events,
+                    &mut working,
+                    &mut live,
+                    &mut dropped_units,
+                    &mut shadow,
+                ) {
                     Ok(id) => live[i].tensor_ids.push(id),
                     Err(e) => {
-                        return finish(arena, time, Some(oom_report(e, "recompute")), dropped_units)
+                        let report = OomReport::from_error(&e, "recompute");
+                        return finish(arena, time, Some(report), dropped_units, events, working);
                     }
                 }
             }
@@ -317,31 +672,70 @@ fn run_block_iteration_impl(
                     .map(|&ti| b.tensors[ti].fwd_flops * 1.3)
                     .sum::<f64>()
                     .min(b.fwd_flops * 1.05);
-                time.recompute_ns += dev.exec_ns(flops, 0) as u64;
+                time.recompute_ns += (dev.exec_ns(flops, 0) * rf) as u64;
                 let drops = live[i].dropped.clone();
                 for ti in drops {
-                    match arena.alloc(b.tensors[ti].bytes) {
+                    match backward_alloc(
+                        &mut arena,
+                        b.tensors[ti].bytes,
+                        "recompute",
+                        &mut time,
+                        &mut events,
+                        &mut working,
+                        &mut live,
+                        &mut dropped_units,
+                        &mut shadow,
+                    ) {
                         Ok(id) => live[i].tensor_ids.push(id),
                         Err(e) => {
+                            let report = OomReport::from_error(&e, "recompute");
                             return finish(
                                 arena,
                                 time,
-                                Some(oom_report(e, "recompute")),
+                                Some(report),
                                 dropped_units,
-                            )
+                                events,
+                                working,
+                            );
                         }
                     }
                 }
             }
         }
         // Gradient transients: output grad + input grad.
-        let gout = match arena.alloc(b.out_bytes) {
+        let gout = match backward_alloc(
+            &mut arena,
+            b.out_bytes,
+            "backward",
+            &mut time,
+            &mut events,
+            &mut working,
+            &mut live,
+            &mut dropped_units,
+            &mut shadow,
+        ) {
             Ok(id) => id,
-            Err(e) => return finish(arena, time, Some(oom_report(e, "backward")), dropped_units),
+            Err(e) => {
+                let report = OomReport::from_error(&e, "backward");
+                return finish(arena, time, Some(report), dropped_units, events, working);
+            }
         };
-        let gin = match arena.alloc(b.in_bytes) {
+        let gin = match backward_alloc(
+            &mut arena,
+            b.in_bytes,
+            "backward",
+            &mut time,
+            &mut events,
+            &mut working,
+            &mut live,
+            &mut dropped_units,
+            &mut shadow,
+        ) {
             Ok(id) => id,
-            Err(e) => return finish(arena, time, Some(oom_report(e, "backward")), dropped_units),
+            Err(e) => {
+                let report = OomReport::from_error(&e, "backward");
+                return finish(arena, time, Some(report), dropped_units, events, working);
+            }
         };
         time.compute_ns += dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64;
         arena.free(gout);
@@ -362,7 +756,7 @@ fn run_block_iteration_impl(
     let p = profile.param_count as f64;
     time.compute_ns += dev.exec_ns(4.0 * p, profile.param_count * 16) as u64;
 
-    let (mut run, arena) = finish(arena, time, None, dropped_units);
+    let (mut run, arena) = finish(arena, time, None, dropped_units, events, working);
     if shuttle {
         run.observations = Some(observations);
     }
@@ -443,6 +837,8 @@ mod tests {
         );
         assert!(!run.report.ok());
         assert_eq!(run.report.oom.as_ref().unwrap().phase, "forward");
+        assert!(run.report.recovery.is_empty(), "no ladder without a config");
+        assert!(run.demoted_plan.is_none());
     }
 
     #[test]

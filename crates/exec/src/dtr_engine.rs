@@ -172,12 +172,8 @@ pub fn run_dtr_iteration_with_policy(
             frag_bytes: stats.peak_frag,
             dropped_units: sim.evictions,
             shuttle: false,
-            oom: Some(OomReport {
-                requested,
-                free_bytes: sim.arena.free_bytes(),
-                largest_free: sim.arena.largest_free(),
-                phase,
-            }),
+            oom: Some(OomReport::from_arena(&sim.arena, requested, phase)),
+            recovery: Vec::new(),
         }
     };
 
@@ -352,6 +348,9 @@ pub fn run_dtr_iteration_with_policy(
         dropped_units: sim.evictions,
         shuttle: false,
         oom: None,
+        // DTR's reactive eviction is its own recovery mechanism; the block
+        // ladder does not apply here.
+        recovery: Vec::new(),
     }
 }
 

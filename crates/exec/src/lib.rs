@@ -10,12 +10,17 @@
 
 mod block_engine;
 mod dtr_engine;
+mod recovery;
 mod report;
 pub mod shadow;
 mod trainer;
 
 pub use block_engine::{run_block_iteration, run_block_iteration_traced, BlockMode, BlockRun};
 pub use dtr_engine::{run_dtr_iteration, run_dtr_iteration_with_policy};
+pub use recovery::{
+    grow_plan, run_block_iteration_recovering, run_block_iteration_recovering_traced,
+    RecoveryConfig,
+};
 pub use report::{IterationReport, OomReport, RunSummary, TimeBreakdown};
 pub use shadow::{shadow_check_enabled, ShadowChecker};
-pub use trainer::Trainer;
+pub use trainer::{ExecError, Trainer};

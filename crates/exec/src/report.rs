@@ -1,6 +1,8 @@
 //! Iteration and epoch reports: the measurements every experiment consumes.
 
 use mimose_models::ModelInput;
+use mimose_planner::RecoveryEvent;
+use mimose_simgpu::{Arena, OomError};
 
 /// Why an iteration failed.
 #[derive(Debug, Clone)]
@@ -13,6 +15,38 @@ pub struct OomReport {
     pub largest_free: usize,
     /// Where in the iteration the failure happened.
     pub phase: &'static str,
+}
+
+impl OomReport {
+    /// Build a report from the allocator's own error. This is *the* way
+    /// every engine shapes its OOM reports, so audit/exp consumers see one
+    /// schema regardless of which engine failed.
+    pub fn from_error(e: &OomError, phase: &'static str) -> Self {
+        OomReport {
+            requested: e.requested,
+            free_bytes: e.free_bytes,
+            largest_free: e.largest_free,
+            phase,
+        }
+    }
+
+    /// Build a report for a failure detected *outside* the allocator (e.g.
+    /// a budget check that never reached `alloc`), sampling the arena's
+    /// current free-space picture.
+    pub fn from_arena(arena: &Arena, requested: usize, phase: &'static str) -> Self {
+        OomReport {
+            requested,
+            free_bytes: arena.free_bytes(),
+            largest_free: arena.largest_free(),
+            phase,
+        }
+    }
+
+    /// True when the failure is due to fragmentation rather than genuine
+    /// exhaustion (mirrors [`OomError::is_fragmentation`]).
+    pub fn is_fragmentation(&self) -> bool {
+        self.free_bytes >= self.requested
+    }
 }
 
 /// Virtual-time breakdown of one iteration (the Fig 5 categories).
@@ -30,6 +64,10 @@ pub struct TimeBreakdown {
     pub allocator_ns: u64,
     /// Non-overlapped host↔device swap transfer time (hybrid planners), ns.
     pub swap_ns: u64,
+    /// OOM-recovery overhead: arena compaction copies plus the full elapsed
+    /// time of aborted attempts that were restarted, ns. Zero on the happy
+    /// path.
+    pub recovery_ns: u64,
 }
 
 impl TimeBreakdown {
@@ -41,6 +79,7 @@ impl TimeBreakdown {
             + self.bookkeeping_ns
             + self.allocator_ns
             + self.swap_ns
+            + self.recovery_ns
     }
 
     /// Fraction of the iteration spent outside useful compute.
@@ -60,6 +99,7 @@ impl TimeBreakdown {
         self.bookkeeping_ns += other.bookkeeping_ns;
         self.allocator_ns += other.allocator_ns;
         self.swap_ns += other.swap_ns;
+        self.recovery_ns += other.recovery_ns;
     }
 }
 
@@ -86,12 +126,21 @@ pub struct IterationReport {
     pub shuttle: bool,
     /// OOM failure, if the iteration could not complete.
     pub oom: Option<OomReport>,
+    /// Recovery-ladder actions taken this iteration, in chronological order
+    /// (empty on the happy path). Present even when `oom` is `Some`: a
+    /// fatal iteration carries the full chain of remedies that were tried.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl IterationReport {
     /// Whether the iteration completed within budget.
     pub fn ok(&self) -> bool {
         self.oom.is_none()
+    }
+
+    /// Whether the iteration completed only thanks to the recovery ladder.
+    pub fn recovered(&self) -> bool {
+        self.ok() && !self.recovery.is_empty()
     }
 }
 
@@ -114,6 +163,10 @@ pub struct RunSummary {
     pub oom_iters: usize,
     /// Shuttle iterations.
     pub shuttle_iters: usize,
+    /// Iterations that completed only via the recovery ladder.
+    pub recovered_iters: usize,
+    /// Total recovery events across all iterations.
+    pub recovery_events: usize,
 }
 
 impl RunSummary {
@@ -131,6 +184,10 @@ impl RunSummary {
         if r.shuttle {
             self.shuttle_iters += 1;
         }
+        if r.recovered() {
+            self.recovered_iters += 1;
+        }
+        self.recovery_events += r.recovery.len();
     }
 
     /// Mean iteration time in ns.
@@ -156,9 +213,10 @@ mod tests {
             bookkeeping_ns: 10,
             allocator_ns: 1,
             swap_ns: 4,
+            recovery_ns: 3,
         };
-        assert_eq!(t.total_ns(), 140);
-        assert!((t.overhead_fraction() - 40.0 / 140.0).abs() < 1e-12);
+        assert_eq!(t.total_ns(), 143);
+        assert!((t.overhead_fraction() - 43.0 / 143.0).abs() < 1e-12);
     }
 
     #[test]
@@ -178,6 +236,7 @@ mod tests {
             dropped_units: 0,
             shuttle: false,
             oom,
+            recovery: Vec::new(),
         };
         s.absorb(&mk(100, None));
         s.absorb(&mk(
@@ -193,5 +252,54 @@ mod tests {
         assert_eq!(s.max_peak_bytes, 100);
         assert_eq!(s.oom_iters, 1);
         assert_eq!(s.mean_iter_ns(), 10);
+    }
+
+    #[test]
+    fn oom_report_helpers_share_one_schema() {
+        let mut arena = Arena::new(4096);
+        let _a = arena.alloc(4096).unwrap();
+        let err = arena.alloc(1024).unwrap_err();
+        let from_err = OomReport::from_error(&err, "forward");
+        let from_arena = OomReport::from_arena(&arena, err.requested, "forward");
+        assert_eq!(from_err.requested, from_arena.requested);
+        assert_eq!(from_err.free_bytes, from_arena.free_bytes);
+        assert_eq!(from_err.largest_free, from_arena.largest_free);
+        assert_eq!(from_err.phase, from_arena.phase);
+        assert!(!from_err.is_fragmentation());
+    }
+
+    #[test]
+    fn recovered_iterations_are_counted() {
+        use mimose_planner::{RecoveryEvent, RecoveryRung};
+        let ev = RecoveryEvent {
+            rung: RecoveryRung::CoalesceRetry,
+            attempt: 0,
+            phase: "forward",
+            requested: 1024,
+            ckpt_before: 0,
+            ckpt_after: 0,
+            shrink_factor: 1.0,
+            time_cost_ns: 5,
+            freed_bytes: 512,
+        };
+        let r = IterationReport {
+            iter: 0,
+            input: ModelInput::tokens(1, 1),
+            input_size: 1,
+            time: TimeBreakdown::default(),
+            peak_bytes: 1,
+            peak_extent: 1,
+            frag_bytes: 0,
+            dropped_units: 0,
+            shuttle: false,
+            oom: None,
+            recovery: vec![ev],
+        };
+        assert!(r.recovered());
+        let mut s = RunSummary::default();
+        s.absorb(&r);
+        assert_eq!(s.recovered_iters, 1);
+        assert_eq!(s.recovery_events, 1);
+        assert_eq!(s.oom_iters, 0);
     }
 }

@@ -87,6 +87,18 @@ impl ShadowChecker {
         );
         self.cursor += 1;
     }
+
+    /// Swap in a new plan mid-iteration, keeping the boundary cursor.
+    ///
+    /// The recovery ladder's demotion rung mutates the plan while the
+    /// iteration runs: a demoted-executed block has its internals evicted,
+    /// which is indistinguishable *at the next boundary* from having been
+    /// checkpointed from the start. Rebasing the checker onto the post-
+    /// demotion plan keeps the cross-validation exact for the rest of the
+    /// iteration.
+    pub fn rebase(&mut self, profile: &ModelProfile, plan: &CheckpointPlan) {
+        self.curve = resident_curve(profile, plan);
+    }
 }
 
 /// DTR-engine residency cross-check: the slot table's notion of live bytes

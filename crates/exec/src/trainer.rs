@@ -1,13 +1,46 @@
 //! The trainer: drives a memory policy through a stream of mini-batches,
 //! dispatching each iteration to the block or tensor engine.
 
-use crate::block_engine::{run_block_iteration, BlockMode};
+use crate::block_engine::{run_block_iteration, BlockMode, BlockRun};
 use crate::dtr_engine::run_dtr_iteration;
+use crate::recovery::{run_block_iteration_recovering, RecoveryConfig};
 use crate::report::{IterationReport, RunSummary};
+use mimose_chaos::{FaultInjector, IterationFaults};
 use mimose_data::Dataset;
-use mimose_models::{ModelGraph, ModelInput};
+use mimose_models::{ModelError, ModelGraph, ModelInput, ModelProfile};
 use mimose_planner::{Directive, IterationObservation, MemoryPolicy};
 use mimose_simgpu::DeviceProfile;
+
+/// A non-memory failure that aborts a training run (memory failures are
+/// *data* — they land in the reports as `OomReport`s, not errors).
+#[derive(Debug)]
+pub enum ExecError {
+    /// The model rejected the iteration's input during profiling.
+    Profile {
+        /// Iteration at which profiling failed.
+        iter: usize,
+        /// The model's own error.
+        source: ModelError,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Profile { iter, source } => {
+                write!(f, "profiling failed at iteration {iter}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Profile { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Simulated training session binding model + data + policy + device.
 pub struct Trainer<'a> {
@@ -21,6 +54,11 @@ pub struct Trainer<'a> {
     pub device: DeviceProfile,
     /// RNG seed for the batch stream (fixed across policies for fairness).
     pub seed: u64,
+    /// OOM-recovery ladder configuration; `None` (the default) keeps the
+    /// legacy report-and-die behaviour and the happy path byte-identical.
+    pub recovery: Option<RecoveryConfig>,
+    /// Deterministic fault injector; `None` (the default) runs clean.
+    pub injector: Option<FaultInjector>,
 }
 
 impl<'a> Trainer<'a> {
@@ -37,18 +75,75 @@ impl<'a> Trainer<'a> {
             policy,
             device: DeviceProfile::v100(),
             seed,
+            recovery: None,
+            injector: None,
         }
+    }
+
+    /// Enable the OOM-recovery ladder for this run.
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
+    /// Inject deterministic faults into this run.
+    pub fn with_chaos(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Dispatch a block-engine iteration through the plain engine (exact
+    /// legacy behaviour) when neither recovery nor faults are configured,
+    /// or through the recovery driver otherwise.
+    fn dispatch_block(
+        &self,
+        profile: &ModelProfile,
+        mode: BlockMode<'_>,
+        capacity: usize,
+        iter: usize,
+        planning_ns: u64,
+        faults: Option<&IterationFaults>,
+    ) -> BlockRun {
+        if self.recovery.is_none() && faults.is_none() {
+            return run_block_iteration(profile, mode, capacity, &self.device, iter, planning_ns);
+        }
+        run_block_iteration_recovering(
+            profile,
+            mode,
+            capacity,
+            &self.device,
+            iter,
+            planning_ns,
+            self.recovery.as_ref(),
+            faults,
+        )
     }
 
     /// Run one iteration for an explicit input (used by the memory-curve
     /// experiments that sweep sequence lengths deterministically).
+    ///
+    /// # Panics
+    /// Panics when the model rejects the input; use [`Self::try_run_input`]
+    /// for typed error propagation.
     pub fn run_input(&mut self, iter: usize, input: &ModelInput) -> IterationReport {
+        self.try_run_input(iter, input)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Self::run_input`].
+    pub fn try_run_input(
+        &mut self,
+        iter: usize,
+        input: &ModelInput,
+    ) -> Result<IterationReport, ExecError> {
         let profile = self
             .model
             .profile(input)
-            .expect("model/input mismatch in simulation");
+            .map_err(|source| ExecError::Profile { iter, source })?;
         let directive = self.policy.begin_iteration(iter, &profile);
         let planning_ns = self.policy.last_plan_overhead_ns();
+        // Per-iteration fault vector (identity when no injector is set).
+        let faults = self.injector.as_ref().map(|inj| inj.iteration_faults(iter));
         // The budget is a *target*, not a hard allocator cap: real PyTorch
         // grabs more device memory when a plan under-provisions (that is how
         // the paper's static planners "exceed the memory budget" on OD
@@ -57,57 +152,65 @@ impl<'a> Trainer<'a> {
         // happens only at physical-device exhaustion. The unconstrained
         // baseline (budget usize::MAX) is the Fig 10 normalisation
         // reference and gets an arena large enough never to fail.
-        let capacity = if self.policy.budget_bytes() == usize::MAX {
+        let nominal = if self.policy.budget_bytes() == usize::MAX {
             4 * self.device.total_mem_bytes
         } else {
             self.device.total_mem_bytes
         };
+        // Chaos capacity shrink is applied here — by the caller, once — so
+        // the engines and the recovery driver never double-apply it.
+        let capacity = match &faults {
+            Some(f) if f.capacity_factor != 1.0 => (nominal as f64 * f.capacity_factor) as usize,
+            _ => nominal,
+        };
         let (report, observations) = match directive {
             Directive::RunPlan(plan) => {
-                let run = run_block_iteration(
+                let run = self.dispatch_block(
                     &profile,
                     BlockMode::Plan(&plan),
                     capacity,
-                    &self.device,
                     iter,
                     planning_ns,
+                    faults.as_ref(),
                 );
                 (run.report, run.observations)
             }
             Directive::RunFine(fine) => {
-                let run = run_block_iteration(
+                let run = self.dispatch_block(
                     &profile,
                     BlockMode::Fine(&fine),
                     capacity,
-                    &self.device,
                     iter,
                     planning_ns,
+                    faults.as_ref(),
                 );
                 (run.report, run.observations)
             }
             Directive::RunHybrid(hybrid) => {
-                let run = run_block_iteration(
+                let run = self.dispatch_block(
                     &profile,
                     BlockMode::Hybrid(&hybrid),
                     capacity,
-                    &self.device,
                     iter,
                     planning_ns,
+                    faults.as_ref(),
                 );
                 (run.report, run.observations)
             }
             Directive::Shuttle(_) => {
-                let run = run_block_iteration(
+                let run = self.dispatch_block(
                     &profile,
                     BlockMode::Shuttle,
                     capacity,
-                    &self.device,
                     iter,
                     planning_ns,
+                    faults.as_ref(),
                 );
                 (run.report, run.observations)
             }
             Directive::DtrDynamic => {
+                // The DTR engine's reactive eviction is itself an OOM
+                // handler; the ladder and the chaos hooks do not apply.
                 let budget = self.policy.budget_bytes();
                 let report = run_dtr_iteration(
                     &profile,
@@ -126,29 +229,49 @@ impl<'a> Trainer<'a> {
             blocks: observations,
             peak_bytes: report.peak_bytes,
             oom: !report.ok(),
+            recovery: report.recovery.clone(),
         });
-        report
+        Ok(report)
     }
 
     /// Run `iters` iterations from the dataset stream; returns per-iteration
     /// reports.
+    ///
+    /// # Panics
+    /// Panics when the model rejects a batch; use [`Self::try_run`] for
+    /// typed error propagation.
     pub fn run(&mut self, iters: usize) -> Vec<IterationReport> {
+        self.try_run(iters).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Self::run`].
+    pub fn try_run(&mut self, iters: usize) -> Result<Vec<IterationReport>, ExecError> {
         let mut stream = self.dataset.stream(self.seed);
         (0..iters)
             .map(|i| {
                 let input = stream.next_batch();
-                self.run_input(i, &input)
+                self.try_run_input(i, &input)
             })
             .collect()
     }
 
     /// Run and summarise.
+    ///
+    /// # Panics
+    /// Panics when the model rejects a batch; use [`Self::try_run_summary`]
+    /// for typed error propagation.
     pub fn run_summary(&mut self, iters: usize) -> RunSummary {
+        self.try_run_summary(iters)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Self::run_summary`].
+    pub fn try_run_summary(&mut self, iters: usize) -> Result<RunSummary, ExecError> {
         let mut s = RunSummary::default();
-        for r in self.run(iters) {
+        for r in self.try_run(iters)? {
             s.absorb(&r);
         }
-        s
+        Ok(s)
     }
 }
 
@@ -198,7 +321,9 @@ mod tests {
         let model = bert_base(BertHead::Classification { labels: 2 });
         let ds = presets::glue_qqp();
         let budget = 4usize << 30;
-        let worst = model.profile(&ds.worst_case()).unwrap();
+        let worst = model
+            .profile(&ds.worst_case())
+            .expect("preset worst case must profile");
 
         let mut sub = SublinearPolicy::plan_offline(&worst, budget);
         let mut tr = Trainer::new(&model, &ds, &mut sub, 7);
@@ -227,5 +352,53 @@ mod tests {
         let s = tr.run_summary(20);
         assert_eq!(s.oom_iters, 0);
         assert!(s.time.bookkeeping_ns > 0);
+    }
+
+    #[test]
+    fn try_run_input_reports_profile_error() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let mut pol = BaselinePolicy::new();
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        // An image fed to a token model fails shape inference at the
+        // embedding op.
+        let bad = ModelInput::image(8, 224, 224);
+        let err = tr.try_run_input(0, &bad).unwrap_err();
+        match &err {
+            ExecError::Profile { iter, .. } => assert_eq!(*iter, 0),
+        }
+        assert!(err.to_string().contains("iteration 0"));
+    }
+
+    #[test]
+    fn chaos_trainer_recovers_from_capacity_shrink() {
+        use mimose_chaos::{FaultInjector, FaultSpec};
+        use mimose_planner::memory_model::peak_bytes;
+        use mimose_planner::CheckpointPlan;
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let mut pol = BaselinePolicy::new();
+        // Shrink the device (from iteration 3 onward) to just above the
+        // worst case's full-checkpoint floor: the baseline's no-checkpoint
+        // plan stops fitting and must be rescued by the ladder.
+        let worst = model.profile(&ds.worst_case()).unwrap();
+        let n = worst.blocks.len();
+        let floor = peak_bytes(&worst, &CheckpointPlan::all(n));
+        // The unconstrained baseline runs in a 4x-device arena.
+        let nominal = 4 * DeviceProfile::v100().total_mem_bytes;
+        let factor = (floor as f64 * 1.15) / nominal as f64;
+        let spec = FaultSpec {
+            seed: 11,
+            capacity_shrink: Some((3, factor)),
+            ..FaultSpec::default()
+        };
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7)
+            .with_recovery(RecoveryConfig::default())
+            .with_chaos(FaultInjector::new(spec));
+        let reports = tr.run(8);
+        assert!(reports.iter().all(|r| r.ok()), "ladder must rescue");
+        let recovered = reports.iter().filter(|r| r.recovered()).count();
+        assert!(recovered > 0, "capacity shrink must trigger recovery");
+        assert!(reports.iter().take(3).all(|r| r.recovery.is_empty()));
     }
 }

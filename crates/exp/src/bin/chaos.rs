@@ -1,0 +1,134 @@
+//! `chaos`: sweep deterministic fault scenarios against the OOM-recovery
+//! ladder and report recovered-vs-fatal rates and slowdown.
+//!
+//! With `--gate`, exit non-zero unless every scenario passes: no fatal
+//! (unrecovered) OOM, recovery traces clean under the audit linter, the
+//! no-fault control byte-identical to a plain run, and every OOM-injecting
+//! scenario actually exercising the ladder.
+
+use mimose_exp::cli::find_task;
+use mimose_exp::experiments::chaos::{
+    clean_reference, render, run_all, run_scenario, ChaosOptions, Scenario,
+};
+
+const USAGE: &str = "\
+chaos — sweep fault-injection scenarios against the OOM-recovery ladder
+
+USAGE:
+    chaos [OPTIONS]
+
+OPTIONS:
+    --task <ABBR>        MC-Roberta | TR-T5 | QA-Bert | TC-Bert | OD-R50 | OD-R101  [TC-Bert]
+    --budget <GiB>       memory budget in GiB (fractions allowed)  [6]
+    --iters <N>          iterations per scenario  [120]
+    --seed <N>           batch-stream and fault seed  [42]
+    --scenario <NAME>    none | estimator-under | capacity-shrink | alloc-flake |
+                         recompute-spike | combined | all  [all]
+    --gate               exit non-zero unless every scenario passes
+    --help               print this message
+";
+
+struct Args {
+    opt: ChaosOptions,
+    scenario: Option<Scenario>,
+    gate: bool,
+}
+
+fn parse(args: &[String]) -> Result<Option<Args>, String> {
+    let mut opt = ChaosOptions::default();
+    let mut scenario = None;
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--gate" => gate = true,
+            "--task" => opt.task = value("--task")?.clone(),
+            "--budget" => {
+                let v: f64 = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget must be a number of GiB".to_string())?;
+                if !(v > 0.0 && v < 1024.0) {
+                    return Err("--budget out of range".into());
+                }
+                opt.budget_bytes = (v * (1u64 << 30) as f64) as usize;
+            }
+            "--iters" => {
+                opt.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters must be an integer".to_string())?;
+            }
+            "--seed" => {
+                opt.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--scenario" => {
+                let name = value("--scenario")?;
+                if name.eq_ignore_ascii_case("all") {
+                    scenario = None;
+                } else {
+                    scenario = Some(
+                        Scenario::parse(name)
+                            .ok_or_else(|| format!("unknown scenario '{name}'"))?,
+                    );
+                }
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    find_task(&opt.task).map_err(|e| e.to_string())?;
+    Ok(Some(Args {
+        opt,
+        scenario,
+        gate,
+    }))
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let outcomes = match args.scenario {
+        None => run_all(&args.opt),
+        Some(s) => {
+            let task = find_task(&args.opt.task).expect("validated");
+            let clean = clean_reference(&task, &args.opt);
+            vec![run_scenario(&task, s, &args.opt, &clean)]
+        }
+    };
+    print!("{}", render(&args.opt, &outcomes));
+
+    let failing: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.passes_gate())
+        .map(|o| o.scenario.name())
+        .collect();
+    if args.gate {
+        if failing.is_empty() {
+            eprintln!("chaos gate: every scenario passed");
+        } else {
+            eprintln!("chaos gate: FAILED scenario(s): {}", failing.join(", "));
+            std::process::exit(1);
+        }
+    } else if !failing.is_empty() {
+        eprintln!(
+            "note: scenario(s) not meeting gate criteria: {}",
+            failing.join(", ")
+        );
+    }
+}

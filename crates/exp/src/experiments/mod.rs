@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablations;
+pub mod chaos;
 pub mod ext_device;
 pub mod ext_hybrid;
 pub mod fig10;

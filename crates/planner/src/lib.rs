@@ -16,6 +16,7 @@ mod dtr;
 pub mod memory_model;
 mod monet;
 mod plan;
+mod recovery;
 mod residency;
 mod sublinear;
 mod traits;
@@ -26,6 +27,7 @@ pub use checkmate::CheckmatePolicy;
 pub use dtr::{h_dtr, DtrPolicy};
 pub use monet::MonetPolicy;
 pub use plan::{CheckpointPlan, PlanIndexError};
+pub use recovery::{RecoveryEvent, RecoveryRung};
 pub use residency::{Mark, ResidencyModel};
 pub use sublinear::SublinearPolicy;
 pub use traits::{

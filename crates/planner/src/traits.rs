@@ -1,7 +1,7 @@
 //! Planner interfaces: the per-iteration policy hook the executor drives,
 //! plus the Table I feature metadata.
 
-use crate::CheckpointPlan;
+use crate::{CheckpointPlan, RecoveryEvent};
 use mimose_models::{ModelInput, ModelProfile};
 
 /// Plan granularity (Table I row "Granularity").
@@ -98,6 +98,10 @@ pub struct IterationObservation {
     pub peak_bytes: usize,
     /// Whether the iteration hit an unrecoverable OOM.
     pub oom: bool,
+    /// OOM-recovery actions the executor took this iteration (empty on the
+    /// happy path). Policies can use `Restart`/`Fallback` events to plan
+    /// more conservatively.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// A memory policy drives checkpointing decisions across a training run.

@@ -15,7 +15,7 @@
 //! successful allocation for the fragmentation watermarks — drops from an
 //! O(n) scan to the size index's last key.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Allocation alignment (the CUDA caching allocator rounds to 512 B).
 pub const ARENA_ALIGN: usize = 512;
@@ -89,6 +89,21 @@ pub enum TraceEvent {
     },
     /// The arena was reset to a single pristine free range.
     Reset,
+    /// The arena was compacted: live allocations slid to the bottom of the
+    /// address space (preserving address order), all free space coalesced
+    /// into one trailing range. Emitted by the OOM-recovery ladder's
+    /// coalesce-and-retry rung.
+    Compact {
+        /// Bytes of live allocations that changed address (the copy cost).
+        moved: usize,
+    },
+    /// A deliberately injected (spurious) allocation failure from the
+    /// fault-injection layer. The arena state is untouched; the caller saw
+    /// an [`OomError`] that no real allocation produced.
+    InjectedOom {
+        /// Aligned bytes the failed request asked for.
+        requested: usize,
+    },
 }
 
 /// Allocation failure.
@@ -162,6 +177,11 @@ pub struct ArenaStats {
     /// (allocated bytes plus free-but-unusable cache) reported as "actual"
     /// usage in Fig 5.
     pub peak_footprint: usize,
+    /// Number of [`Arena::compact`] calls (recovery-ladder defragmentation).
+    pub compactions: u64,
+    /// Number of injected (spurious) allocation failures consumed. These do
+    /// not count towards `oom_events`, which tracks only genuine failures.
+    pub injected_ooms: u64,
 }
 
 /// Fixed-capacity arena with a selectable fit policy.
@@ -196,6 +216,13 @@ pub struct Arena {
     stats: ArenaStats,
     /// Event log, recorded only when tracing is enabled.
     trace: Option<Vec<TraceEvent>>,
+    /// Total `alloc` calls so far (1-based ordinal of the next attempt is
+    /// `alloc_attempts + 1`); the key space for spurious-failure injection.
+    alloc_attempts: u64,
+    /// Alloc-attempt ordinals that fail spuriously (one-shot, consumed on
+    /// use). Empty by default: the happy path never consults injection
+    /// beyond one set lookup.
+    fail_attempts: BTreeSet<u64>,
 }
 
 impl Arena {
@@ -222,6 +249,8 @@ impl Arena {
             used: 0,
             stats: ArenaStats::default(),
             trace: None,
+            alloc_attempts: 0,
+            fail_attempts: BTreeSet::new(),
         }
     }
 
@@ -372,6 +401,22 @@ impl Arena {
     /// Allocate `bytes` (rounded up to alignment, minimum one granule).
     pub fn alloc(&mut self, bytes: usize) -> Result<AllocId, OomError> {
         let need = Self::aligned(bytes);
+        self.alloc_attempts += 1;
+        if !self.fail_attempts.is_empty() && self.fail_attempts.remove(&self.alloc_attempts) {
+            // Injected spurious failure: report OOM without touching state.
+            // A retry is a fresh attempt ordinal, so one injection fails at
+            // most one call (one-shot).
+            self.stats.injected_ooms += 1;
+            let err = OomError {
+                requested: need,
+                free_bytes: self.free_bytes(),
+                largest_free: self.largest_free(),
+            };
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::InjectedOom { requested: need });
+            }
+            return Err(err);
+        }
         let slot = match self.policy {
             AllocPolicy::FirstFit => self.first_fit(need),
             AllocPolicy::BestFit => self.best_fit(need),
@@ -480,6 +525,64 @@ impl Arena {
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::Reset);
         }
+    }
+
+    /// Compact the arena: slide every live allocation to the lowest
+    /// possible address (preserving their relative address order) so all
+    /// free space coalesces into a single trailing range. Returns the bytes
+    /// of live data that changed address — the copy cost the caller should
+    /// charge to its clock (a real defragmenter pays one device-to-device
+    /// copy per moved allocation).
+    ///
+    /// Allocation ids remain valid; only their addresses change. The slide
+    /// is fully deterministic given the live set, which lets the audit
+    /// shadow allocator mirror it exactly when replaying a trace.
+    pub fn compact(&mut self) -> usize {
+        let mut by_addr: Vec<(AllocId, usize, usize)> = self
+            .live
+            .iter()
+            .map(|(&id, &(addr, len))| (id, addr, len))
+            .collect();
+        by_addr.sort_by_key(|&(_, addr, _)| addr);
+        let mut cursor = 0usize;
+        let mut moved = 0usize;
+        for (id, addr, len) in by_addr {
+            if addr != cursor {
+                moved += len;
+                self.live.insert(id, (cursor, len));
+            }
+            cursor += len;
+        }
+        self.free.clear();
+        self.free_by_size.clear();
+        if cursor < self.capacity {
+            self.insert_free(cursor, self.capacity - cursor);
+        }
+        self.stats.compactions += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Compact { moved });
+        }
+        moved
+    }
+
+    /// Arm spurious one-shot allocation failures: the `ordinals` (1-based
+    /// indices into the stream of `alloc` calls on this arena, counted from
+    /// its creation) will each fail exactly once with an [`OomError`], state
+    /// untouched. Replaces any previously armed set. Ordinals already in
+    /// the past never fire.
+    pub fn set_spurious_failures(&mut self, ordinals: &[u64]) {
+        self.fail_attempts = ordinals.iter().copied().collect();
+    }
+
+    /// Total `alloc` calls made on this arena so far (successful, failed,
+    /// or injected).
+    pub fn alloc_attempts(&self) -> u64 {
+        self.alloc_attempts
+    }
+
+    /// Number of armed spurious failures that have not fired yet.
+    pub fn pending_injected_failures(&self) -> usize {
+        self.fail_attempts.len()
     }
 
     /// Internal invariant check used by tests: free ranges are disjoint,
@@ -672,5 +775,99 @@ mod tests {
         let mut a = Arena::new(4096);
         let id = a.alloc(0).unwrap();
         assert_eq!(a.size_of(id), Some(512));
+    }
+
+    #[test]
+    fn compact_cures_fragmentation_oom() {
+        let mut a = Arena::new(4 * 512);
+        let x = a.alloc(512).unwrap();
+        let y = a.alloc(512).unwrap();
+        let z = a.alloc(512).unwrap();
+        let _w = a.alloc(512).unwrap();
+        a.free(x);
+        a.free(z);
+        // Two non-adjacent 512 B holes: a 1024 B request fails by
+        // fragmentation alone.
+        let err = a.alloc(1024).unwrap_err();
+        assert!(err.is_fragmentation());
+        let moved = a.compact();
+        assert!(moved > 0);
+        assert_eq!(a.fragmentation_bytes(), 0);
+        assert_eq!(a.largest_free(), 1024);
+        let big = a.alloc(1024).unwrap();
+        assert_eq!(a.size_of(big), Some(1024));
+        // Surviving ids stay valid and freeable after the slide.
+        assert_eq!(a.size_of(y), Some(512));
+        a.free(y);
+        a.check_invariants().unwrap();
+        assert_eq!(a.stats().compactions, 1);
+    }
+
+    #[test]
+    fn compact_preserves_address_order_and_is_idempotent() {
+        let mut a = Arena::new(8 * 512);
+        let ids: Vec<_> = (0..6).map(|_| a.alloc(512).unwrap()).collect();
+        a.free(ids[0]);
+        a.free(ids[2]);
+        a.free(ids[4]);
+        let moved = a.compact();
+        assert_eq!(moved, 3 * 512, "three survivors slid down");
+        assert_eq!(a.largest_free(), 5 * 512, "one coalesced trailing range");
+        // Survivors stay valid and freeable after the slide.
+        for id in [ids[1], ids[3], ids[5]] {
+            a.free(id);
+            a.check_invariants().unwrap();
+        }
+        // A second compact on an already-packed arena moves nothing.
+        let mut b = Arena::new(4096);
+        let _k = b.alloc(512).unwrap();
+        assert_eq!(b.compact(), 0);
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn injected_failure_is_one_shot_and_state_preserving() {
+        let mut a = Arena::new(1 << 16);
+        a.set_tracing(true);
+        let _x = a.alloc(1000).unwrap(); // attempt 1
+        a.set_spurious_failures(&[2]);
+        let err = a.alloc(1000).unwrap_err(); // attempt 2: injected
+        assert!(err.is_fragmentation(), "arena actually had room");
+        assert_eq!(a.pending_injected_failures(), 0);
+        let _y = a.alloc(1000).unwrap(); // attempt 3: retry succeeds
+        assert_eq!(a.stats().injected_ooms, 1);
+        assert_eq!(a.stats().oom_events, 0, "injected OOMs are not genuine");
+        assert_eq!(a.alloc_attempts(), 3);
+        let trace = a.trace().unwrap();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::InjectedOom { .. })));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn past_ordinals_never_fire() {
+        let mut a = Arena::new(4096);
+        let _x = a.alloc(100).unwrap();
+        a.set_spurious_failures(&[1]); // attempt 1 already happened
+        let _y = a.alloc(100).unwrap();
+        assert_eq!(a.stats().injected_ooms, 0);
+        assert_eq!(a.pending_injected_failures(), 1, "armed but unreachable");
+    }
+
+    #[test]
+    fn compact_is_traced() {
+        let mut a = Arena::new(4096);
+        a.set_tracing(true);
+        let x = a.alloc(512).unwrap();
+        let _y = a.alloc(512).unwrap();
+        a.free(x);
+        let moved = a.compact();
+        assert_eq!(moved, 512);
+        assert!(a
+            .trace()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Compact { moved: 512 })));
     }
 }
