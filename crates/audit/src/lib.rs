@@ -4,12 +4,16 @@
 //! re-derivations of properties the rest of the workspace is supposed to
 //! maintain, reported as structured [`Diagnostic`]s with JSON output.
 //!
-//! Four passes:
+//! Five passes:
 //!
 //! * [`audit_trace`] — replay an arena [`TraceEvent`](mimose_simgpu::TraceEvent)
 //!   stream through a shadow allocator and catch double-frees, overlapping
 //!   live ranges, missed coalescing / spurious OOMs, compaction accounting
 //!   errors, and `ArenaStats` divergence;
+//! * [`audit_exec_events`] — the same scrutiny applied to a recorded
+//!   [`ExecEvent`](mimose_runtime::ExecEvent) stream from either engine:
+//!   its allocator projection goes through the shadow replay and its
+//!   embedded recovery events through the ladder lint;
 //! * [`lint_plan`] / [`lint_fine_plan`] / [`lint_hybrid_plan`] — static
 //!   checks of checkpoint plans against a model profile and a byte budget;
 //! * [`lint_profile`] — well-formedness of the profile itself (block chain,
@@ -28,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod exec_stream;
 mod lint;
 mod profile;
 mod recovery;
 mod trace;
 
 pub use diag::{has_errors, json_escape, max_severity, to_json_array, Diagnostic, Severity};
+pub use exec_stream::audit_exec_events;
 pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};
 pub use profile::lint_profile;
 pub use recovery::lint_recovery_trace;

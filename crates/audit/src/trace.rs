@@ -21,12 +21,9 @@
 //!   with the arena's own [`ArenaStats`].
 
 use crate::diag::Diagnostic;
+use mimose_runtime::align_up;
 use mimose_simgpu::{ArenaStats, TraceEvent, ARENA_ALIGN};
 use std::collections::{BTreeMap, HashSet};
-
-fn align_up(bytes: usize) -> usize {
-    ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
-}
 
 /// Shadow replay state: live ranges indexed both ways, plus recomputed
 /// statistics.

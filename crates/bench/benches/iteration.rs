@@ -3,7 +3,9 @@
 use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_profile;
 use mimose_bench::{criterion_group, criterion_main};
-use mimose_exec::{run_block_iteration, run_dtr_iteration, BlockMode};
+use mimose_exec::{
+    run_block_iteration, run_block_iteration_recorded, run_dtr_iteration, BlockMode,
+};
 use mimose_planner::{CheckpointPlan, SublinearPolicy};
 use mimose_simgpu::DeviceProfile;
 use std::hint::black_box;
@@ -46,6 +48,20 @@ fn bench_iteration(c: &mut Criterion) {
             black_box(run_block_iteration(
                 black_box(&profile),
                 BlockMode::Shuttle,
+                16 << 30,
+                &dev,
+                0,
+                0,
+            ))
+        })
+    });
+    // Same work as `sublinear_plan` but with the full ExecEvent stream
+    // recorded — the delta is the cost of event sourcing itself.
+    g.bench_function("sublinear_plan_recorded", |b| {
+        b.iter(|| {
+            black_box(run_block_iteration_recorded(
+                black_box(&profile),
+                BlockMode::Plan(&sub),
                 16 << 30,
                 &dev,
                 0,

@@ -103,6 +103,47 @@ impl AdaptiveState {
         }
         self.plan_scale
     }
+
+    /// Absorb an iteration's recovery-event chain. If the iteration only
+    /// completed via a restart or fallback, the ladder's *cumulative* shrink
+    /// (carried by the last such event) is what actually fit — adopt it for
+    /// future plans. Returns `true` when the plan scale tightened, i.e. any
+    /// cached plans generated under the wider budget are now suspect.
+    pub fn absorb_recovery(
+        &mut self,
+        cfg: &AdaptiveConfig,
+        events: &[mimose_planner::RecoveryEvent],
+    ) -> bool {
+        let escalated = events
+            .iter()
+            .rev()
+            .find(|e| e.rung >= mimose_planner::RecoveryRung::Restart);
+        match escalated {
+            Some(e) => {
+                self.on_budget_shrink(cfg, e.shrink_factor);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Like [`AdaptiveState::absorb_recovery`], but feeding straight from a
+    /// recorded executor event stream: the recovery events embedded in it
+    /// are exactly what the report's chain would carry.
+    pub fn absorb_exec_events(
+        &mut self,
+        cfg: &AdaptiveConfig,
+        events: &[mimose_runtime::ExecEvent],
+    ) -> bool {
+        let recovery: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                mimose_runtime::ExecEvent::Recovery(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect();
+        self.absorb_recovery(cfg, &recovery)
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +204,46 @@ mod tests {
         s.on_budget_shrink(&cfg, 1.5);
         s.on_budget_shrink(&cfg, 0.0);
         assert_eq!(s.budget_shrinks, 12);
+    }
+
+    #[test]
+    fn absorbs_escalations_from_chains_and_streams() {
+        use mimose_planner::{RecoveryEvent, RecoveryRung};
+        use mimose_runtime::ExecEvent;
+        let ev = |rung, shrink_factor| RecoveryEvent {
+            rung,
+            attempt: 0,
+            phase: "forward",
+            requested: 1 << 20,
+            ckpt_before: 0,
+            ckpt_after: 3,
+            shrink_factor,
+            time_cost_ns: 0,
+            freed_bytes: 0,
+        };
+        let cfg = AdaptiveConfig::default();
+
+        // Inline-only chains carry no budget shrink: nothing to absorb.
+        let mut s = AdaptiveState::default();
+        assert!(!s.absorb_recovery(&cfg, &[ev(RecoveryRung::CoalesceRetry, 1.0)]));
+        assert!((s.plan_scale - 1.0).abs() < 1e-12);
+
+        // The *last* escalation's cumulative shrink wins.
+        let chain = [
+            ev(RecoveryRung::Restart, 0.85),
+            ev(RecoveryRung::Restart, 0.7225),
+        ];
+        assert!(s.absorb_recovery(&cfg, &chain));
+        assert!((s.plan_scale - 0.7225).abs() < 1e-12);
+        assert_eq!(s.budget_shrinks, 1);
+
+        // Same feedback straight from a recorded event stream.
+        let mut t = AdaptiveState::default();
+        let stream = [
+            ExecEvent::Compute { ns: 10 },
+            ExecEvent::Recovery(ev(RecoveryRung::Fallback, 0.85)),
+        ];
+        assert!(t.absorb_exec_events(&cfg, &stream));
+        assert!((t.plan_scale - 0.85).abs() < 1e-12);
     }
 }

@@ -279,16 +279,8 @@ impl MemoryPolicy for MimosePolicy {
             // Executor recovery feedback: if the iteration only completed
             // via a restart or fallback, the ladder's shrunk budget is what
             // actually fit — adopt its cumulative shrink for future plans.
-            // (Restart/Fallback events carry the cumulative shrink; the
-            // last one is the factor the iteration finished under.)
             if let Some(acfg) = &self.cfg.adaptive {
-                let escalated = obs
-                    .recovery
-                    .iter()
-                    .rev()
-                    .find(|e| e.rung >= mimose_planner::RecoveryRung::Restart);
-                if let Some(e) = escalated {
-                    self.adaptive.on_budget_shrink(acfg, e.shrink_factor);
+                if self.adaptive.absorb_recovery(acfg, &obs.recovery) {
                     // Plans generated under the wider budget are suspect.
                     self.cache.clear();
                 }

@@ -1,28 +1,34 @@
 //! Block-granularity iteration engine: simulates one forward/backward pass
-//! under a checkpoint plan (or a shuttle-collection iteration) against the
-//! arena allocator and the virtual clock.
+//! under a checkpoint plan (or a shuttle-collection iteration) on top of the
+//! shared [`EngineCore`] runtime.
 //!
 //! The allocation timeline deliberately mirrors
 //! `mimose_planner::memory_model::peak_bytes` step for step, so planner
 //! budget checks and executor measurements agree (cross-validated in the
 //! integration tests).
 //!
-//! Allocation failure is no longer terminal: when a [`RecoveryConfig`] is
-//! supplied (see [`crate::recovery`]), every allocation site climbs the
-//! inline rungs of the OOM-recovery ladder — arena coalesce-and-retry, then
-//! in-place plan demotion — before giving up and letting the restart driver
-//! escalate. Without a config (the default entry points) the engine behaves
-//! exactly as before: any `OomError` becomes a terminal `OomReport`.
+//! Everything the engine does goes through the core and is narrated to a
+//! [`Recorder`] as a typed [`ExecEvent`] stream: the report folds from it,
+//! the shadow checker is teed into it, and `mimose-audit` replays it. What
+//! remains here is the block *timeline* plus [`BlockRungPolicy`] — the
+//! inline rungs of the OOM-recovery ladder (arena coalesce-and-retry, then
+//! in-place plan demotion) expressed as a
+//! [`MaterializationPolicy`]. Without a [`RecoveryConfig`] the policy has no
+//! remedies and any `OomError` becomes a terminal `OomReport`, exactly as
+//! before.
 
 use crate::recovery::RecoveryConfig;
-use crate::report::{IterationReport, OomReport, TimeBreakdown};
+use crate::rungs::BlockRungPolicy;
+use crate::shadow::ShadowChecker;
 use mimose_chaos::IterationFaults;
 use mimose_models::{BlockProfile, ModelProfile};
 use mimose_planner::memory_model::FinePlan;
-use mimose_planner::{
-    BlockAction, BlockObservation, CheckpointPlan, HybridPlan, RecoveryEvent, RecoveryRung,
+use mimose_planner::{BlockAction, BlockObservation, CheckpointPlan, HybridPlan};
+use mimose_runtime::{
+    policy_alloc, AllocSite, EngineCore, EventLog, ExecEvent, IterationReport, LiveBlock,
+    NullRecorder, Recorder, ReportMeta, Tee,
 };
-use mimose_simgpu::{AllocId, Arena, ArenaStats, DeviceProfile, OomError, TraceEvent, ARENA_ALIGN};
+use mimose_simgpu::{Arena, ArenaStats, DeviceProfile, TraceEvent};
 
 /// How to run the iteration.
 #[derive(Debug, Clone)]
@@ -54,8 +60,6 @@ pub struct BlockRun {
 /// Per-attempt knobs threaded through the engine (crate-internal; the
 /// public wrappers fill in the defaults).
 pub(crate) struct EngineOpts<'a> {
-    /// Record arena trace events.
-    pub trace: bool,
     /// 0-based attempt number stamped on recovery events.
     pub attempt: usize,
     /// Cumulative budget shrink stamped on recovery events.
@@ -69,18 +73,12 @@ pub(crate) struct EngineOpts<'a> {
 impl Default for EngineOpts<'static> {
     fn default() -> Self {
         EngineOpts {
-            trace: false,
             attempt: 0,
             shrink: 1.0,
             recovery: None,
             faults: None,
         }
     }
-}
-
-#[inline]
-fn align_up(bytes: usize) -> usize {
-    ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
 }
 
 /// Run one iteration at block granularity.
@@ -96,6 +94,7 @@ pub fn run_block_iteration(
     iter: usize,
     planning_ns: u64,
 ) -> BlockRun {
+    let mut rec = NullRecorder;
     run_block_iteration_impl(
         profile,
         mode,
@@ -104,13 +103,39 @@ pub fn run_block_iteration(
         iter,
         planning_ns,
         &EngineOpts::default(),
+        &mut rec,
     )
     .0
 }
 
-/// Like [`run_block_iteration`], but with arena event tracing enabled:
-/// additionally returns the full [`TraceEvent`] log and the arena's final
-/// statistics, ready for `mimose_audit::audit_trace`.
+/// Like [`run_block_iteration`], but recording the full [`ExecEvent`]
+/// stream: additionally returns the stream and the arena's final
+/// statistics, ready for `mimose_audit::audit_exec_events`.
+pub fn run_block_iteration_recorded(
+    profile: &ModelProfile,
+    mode: BlockMode<'_>,
+    capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+    planning_ns: u64,
+) -> (BlockRun, Vec<ExecEvent>, ArenaStats) {
+    let mut log = EventLog::new();
+    let (run, arena) = run_block_iteration_impl(
+        profile,
+        mode,
+        capacity,
+        dev,
+        iter,
+        planning_ns,
+        &EngineOpts::default(),
+        &mut log,
+    );
+    (run, log.take(), arena.stats())
+}
+
+/// Like [`run_block_iteration`], but projecting the recorded stream down to
+/// the allocator-level [`TraceEvent`] log, ready for
+/// `mimose_audit::audit_trace`.
 pub fn run_block_iteration_traced(
     profile: &ModelProfile,
     mode: BlockMode<'_>,
@@ -119,14 +144,12 @@ pub fn run_block_iteration_traced(
     iter: usize,
     planning_ns: u64,
 ) -> (BlockRun, Vec<TraceEvent>, ArenaStats) {
-    let opts = EngineOpts {
-        trace: true,
-        ..EngineOpts::default()
-    };
-    let (run, mut arena) =
-        run_block_iteration_impl(profile, mode, capacity, dev, iter, planning_ns, &opts);
-    let trace = arena.take_trace();
-    let stats = arena.stats();
+    let (run, events, stats) =
+        run_block_iteration_recorded(profile, mode, capacity, dev, iter, planning_ns);
+    let trace = events
+        .iter()
+        .filter_map(ExecEvent::to_trace_event)
+        .collect();
     (run, trace, stats)
 }
 
@@ -144,166 +167,84 @@ fn is_ckpt_of(mode: &BlockMode<'_>, working: &Option<Vec<bool>>, i: usize) -> bo
     }
 }
 
-/// Everything the inline recovery rungs need to mutate at an allocation
-/// site. Bundled so the alloc helper stays callable from every phase of the
-/// iteration without threading ten arguments through each call.
-struct RungCtx<'a, 'b> {
-    profile: &'a ModelProfile,
-    dev: &'a DeviceProfile,
-    opts: &'a EngineOpts<'a>,
-    time: &'b mut TimeBreakdown,
-    events: &'b mut Vec<RecoveryEvent>,
-    /// Demotion-mutable checkpoint plan (Plan mode under recovery only).
-    working: &'b mut Option<Vec<bool>>,
-    /// Checkpoint count of the plan as given, for stamping recovery events
-    /// when no demotion working copy exists (demotion disabled or non-Plan
-    /// mode) — keeps the chain's counts consistent with the driver's
-    /// restart/fallback events.
-    base_ckpt: usize,
-    live: &'b mut Vec<LiveBlock>,
-    dropped_units: &'b mut usize,
-    shadow: &'b mut Option<crate::shadow::ShadowChecker>,
+fn is_swap(mode: &BlockMode<'_>, i: usize) -> bool {
+    matches!(mode, BlockMode::Hybrid(h) if h.actions[i] == BlockAction::Swap)
 }
 
-/// Allocate with the inline recovery rungs: coalesce-and-retry on
-/// fragmentation (which also absorbs injected spurious failures), then
-/// in-place plan demotion. Returns the original error once the rungs are
-/// exhausted or disabled — escalation to restart/fallback is the driver's
-/// job, not the engine's.
-///
-/// `cursor` is the block currently executing (`None` before the forward
-/// pass); its tensors are in use and are never demoted. `in_forward`
-/// additionally allows marking a future block checkpointed to shed upcoming
-/// pressure.
-fn alloc_recovering(
-    arena: &mut Arena,
-    bytes: usize,
-    phase: &'static str,
-    cursor: Option<usize>,
-    in_forward: bool,
-    ctx: &mut RungCtx<'_, '_>,
-) -> Result<AllocId, OomError> {
-    loop {
-        let err = match arena.alloc(bytes) {
-            Ok(id) => return Ok(id),
-            Err(e) => e,
-        };
-        let Some(cfg) = ctx.opts.recovery else {
-            return Err(err);
-        };
-        if ctx.events.len() >= cfg.max_inline_events {
-            return Err(err);
-        }
-        let base = ctx.base_ckpt;
-        let ckpt_now = move |w: &Option<Vec<bool>>| {
-            w.as_ref()
-                .map_or(base, |w| w.iter().filter(|&&c| c).count())
-        };
-
-        // Rung 1 — coalesce-and-retry. Fires on fragmentation failures
-        // (enough total bytes, no contiguous range) and on injected
-        // spurious failures, which report the arena's true free space.
-        // Termination: after a compact, fragmentation is zero, so a real
-        // re-failure must be genuine exhaustion (escalates to rung 2); an
-        // injected re-failure consumes one of the finitely many armed
-        // ordinals. The copy cost of the slide is charged to the clock.
-        if cfg.compact && err.is_fragmentation() {
-            let frag_before = arena.fragmentation_bytes();
-            let ckpt = ckpt_now(ctx.working);
-            let moved = arena.compact();
-            let cost = ctx.dev.exec_ns(0.0, 2 * moved) as u64;
-            ctx.time.recovery_ns += cost;
-            ctx.events.push(RecoveryEvent {
-                rung: RecoveryRung::CoalesceRetry,
-                attempt: ctx.opts.attempt,
-                phase,
-                requested: err.requested,
-                ckpt_before: ckpt,
-                ckpt_after: ckpt,
-                shrink_factor: ctx.opts.shrink,
-                time_cost_ns: cost,
-                freed_bytes: frag_before,
-            });
-            continue;
-        }
-
-        // Rung 2 — in-place demotion (Plan mode only). Evict the internals
-        // of kept blocks that are not currently executing (earliest index
-        // first — their recompute is cheapest to schedule in backward) until
-        // enough total bytes are free; contiguity, if still lacking, is rung
-        // 1's job on the next round. In the forward pass, additionally mark
-        // the largest-activation future kept block checkpointed so upcoming
-        // blocks shed pressure before allocating it.
-        if cfg.demote {
-            if let Some(w) = ctx.working.as_mut() {
-                let need = align_up(bytes);
-                let before = w.iter().filter(|&&c| c).count();
-                let mut freed = 0usize;
-                let mut demoted = 0usize;
-                // Indexing on purpose: the loop walks `w` and `ctx.live` in
-                // lockstep and compares against the cursor position.
-                #[allow(clippy::needless_range_loop)]
-                for j in 0..ctx.live.len() {
-                    if arena.free_bytes() >= need {
-                        break;
-                    }
-                    if Some(j) == cursor || w[j] || ctx.live[j].tensor_ids.is_empty() {
-                        continue;
-                    }
-                    for id in ctx.live[j].tensor_ids.drain(..) {
-                        freed += arena.size_of(id).expect("live internals");
-                        arena.free(id);
-                    }
-                    w[j] = true;
-                    demoted += 1;
-                    *ctx.dropped_units += 1;
-                }
-                if in_forward {
-                    let future = cursor.map_or(0, |c| c + 1).max(ctx.live.len());
-                    let victim = (future..w.len())
-                        .filter(|&j| !w[j])
-                        .max_by_key(|&j| ctx.profile.blocks[j].act_bytes);
-                    if let Some(j) = victim {
-                        w[j] = true;
-                        demoted += 1;
-                    }
-                }
-                if demoted > 0 {
-                    let after = w.iter().filter(|&&c| c).count();
-                    ctx.events.push(RecoveryEvent {
-                        rung: RecoveryRung::Demotion,
-                        attempt: ctx.opts.attempt,
-                        phase,
-                        requested: err.requested,
-                        ckpt_before: before,
-                        ckpt_after: after,
-                        shrink_factor: ctx.opts.shrink,
-                        time_cost_ns: 0, // cost surfaces later as recompute
-                        freed_bytes: freed,
-                    });
-                    if let Some(s) = ctx.shadow.as_mut() {
-                        let mut plan = CheckpointPlan::none(w.len());
-                        for (j, &c) in w.iter().enumerate() {
-                            plan.set(j, c);
-                        }
-                        s.rebase(ctx.profile, &plan);
-                    }
-                    continue;
-                }
+/// The shadow checker's reference plan for a mode. Fine plans are excluded —
+/// the engine drops whole tensors until the planned byte count is covered,
+/// deliberately overshooting the analytic figure. Hybrid swap blocks free
+/// internals exactly like recompute blocks, so both map to "checkpointed".
+fn shadow_plan(mode: &BlockMode<'_>, n: usize) -> Option<CheckpointPlan> {
+    match mode {
+        BlockMode::Plan(p) => Some((*p).clone()),
+        BlockMode::Shuttle => Some(CheckpointPlan::all(n)),
+        BlockMode::Hybrid(h) => {
+            let mut pl = CheckpointPlan::none(n);
+            for (i, a) in h.actions.iter().enumerate() {
+                pl.set(i, *a != BlockAction::Keep);
             }
+            Some(pl)
         }
-
-        return Err(err);
+        BlockMode::Fine(_) => None,
     }
 }
 
-struct LiveBlock {
-    tensor_ids: Vec<AllocId>,
-    out_id: Option<AllocId>,
-    /// Bytes of internals currently dropped (for fine plans).
-    dropped: Vec<usize>, // indices into profile tensors
+/// For fine plans: which tensor indices to drop per block. Matches the
+/// MONeT solver's selection order (bytes-per-recompute-FLOP efficiency,
+/// best first) until the planned byte count is covered.
+fn fine_drops(b: &BlockProfile, planned: usize) -> Vec<usize> {
+    if planned == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..b.tensors.len()).collect();
+    order.sort_by(|&x, &y| {
+        let ex = b.tensors[x].bytes as f64 / b.tensors[x].fwd_flops.max(1.0);
+        let ey = b.tensors[y].bytes as f64 / b.tensors[y].fwd_flops.max(1.0);
+        ey.total_cmp(&ex)
+    });
+    let mut acc = 0usize;
+    let mut out = Vec::new();
+    for i in order {
+        if acc >= planned {
+            break;
+        }
+        acc += b.tensors[i].bytes;
+        out.push(i);
+    }
+    out
 }
 
+/// Close the iteration from any point of the timeline.
+fn close(
+    core: EngineCore<'_>,
+    profile: &ModelProfile,
+    iter: usize,
+    shuttle: bool,
+    oom: Option<mimose_runtime::OomReport>,
+    pol: BlockRungPolicy<'_>,
+) -> (BlockRun, Arena) {
+    let demoted_plan = pol.demoted_plan();
+    let (report, arena) = core.finish(ReportMeta {
+        iter,
+        input: profile.input,
+        input_size: profile.input_size,
+        dropped_units: pol.dropped_units,
+        shuttle,
+        oom,
+        recovery: pol.events,
+    });
+    (
+        BlockRun {
+            report,
+            observations: None,
+            demoted_plan,
+        },
+        arena,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block_iteration_impl(
     profile: &ModelProfile,
     mode: BlockMode<'_>,
@@ -312,247 +253,105 @@ pub(crate) fn run_block_iteration_impl(
     iter: usize,
     planning_ns: u64,
     opts: &EngineOpts<'_>,
+    rec: &mut dyn Recorder,
 ) -> (BlockRun, Arena) {
-    let mut arena = Arena::new(capacity);
-    if opts.trace {
-        arena.set_tracing(true);
-    }
-    if let Some(f) = opts.faults {
-        if !f.fail_allocs.is_empty() {
-            arena.set_spurious_failures(&f.fail_allocs);
-        }
-    }
-    // Recompute-latency spike factor (chaos); 1.0 leaves charges bit-exact.
-    let rf = opts.faults.map_or(1.0, |f| f.recompute_factor);
-    let mut time = TimeBreakdown {
-        planning_ns,
-        ..Default::default()
-    };
-    let shuttle = matches!(mode, BlockMode::Shuttle);
     let n = profile.blocks.len();
+    let shuttle = matches!(mode, BlockMode::Shuttle);
 
-    // Demotion-mutable working copy of the plan (Plan mode under recovery).
-    let mut working: Option<Vec<bool>> = match (&mode, opts.recovery) {
-        (BlockMode::Plan(p), Some(cfg)) if cfg.demote => {
-            Some((0..n).map(|i| p.is_checkpointed(i)).collect())
-        }
-        _ => None,
-    };
-    let base_ckpt = match &mode {
-        BlockMode::Plan(p) => p.count(),
-        BlockMode::Hybrid(h) => h
-            .actions
-            .iter()
-            .filter(|a| **a == BlockAction::Recompute)
-            .count(),
-        _ => 0,
-    };
-    let mut events: Vec<RecoveryEvent> = Vec::new();
-
-    let finish = |arena: Arena,
-                  time: TimeBreakdown,
-                  oom: Option<OomReport>,
-                  dropped,
-                  events: Vec<RecoveryEvent>,
-                  working: Option<Vec<bool>>| {
-        let stats = arena.stats();
-        let mut time = time;
-        time.allocator_ns += ((stats.allocs + stats.frees) as f64 * dev.alloc_ns) as u64;
-        // Expose the post-demotion plan only when demotion actually fired.
-        let demoted_plan = if events.iter().any(|e| e.rung == RecoveryRung::Demotion) {
-            working.map(|w| {
-                let mut plan = CheckpointPlan::none(w.len());
-                for (j, &c) in w.iter().enumerate() {
-                    plan.set(j, c);
-                }
-                plan
-            })
-        } else {
-            None
-        };
-        let run = BlockRun {
-            report: IterationReport {
-                iter,
-                input: profile.input,
-                input_size: profile.input_size,
-                time,
-                peak_bytes: stats.peak_used,
-                peak_extent: stats.peak_extent.max(stats.peak_footprint),
-                frag_bytes: stats.peak_frag,
-                dropped_units: dropped,
-                shuttle,
-                oom,
-                recovery: events,
-            },
-            observations: None,
-            demoted_plan,
-        };
-        (run, arena)
-    };
-
-    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): cross-validate
-    // the arena's live bytes against the analytic model's residency curve at
-    // every block boundary. Fine plans are excluded — the engine drops whole
-    // tensors until the planned byte count is covered, deliberately
-    // overshooting the analytic figure. Hybrid swap blocks free internals
-    // exactly like recompute blocks, so both map to "checkpointed".
+    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): a recorder
+    // teed into the stream that cross-validates live bytes against the
+    // analytic model's residency curve at every `Boundary` event.
     let mut shadow = if crate::shadow::shadow_check_enabled() {
-        let plan = match &mode {
-            BlockMode::Plan(p) => Some((*p).clone()),
-            BlockMode::Shuttle => Some(CheckpointPlan::all(n)),
-            BlockMode::Hybrid(h) => {
-                let mut pl = CheckpointPlan::none(n);
-                for (i, a) in h.actions.iter().enumerate() {
-                    pl.set(i, *a != BlockAction::Keep);
-                }
-                Some(pl)
-            }
-            BlockMode::Fine(_) => None,
-        };
-        plan.map(|pl| crate::shadow::ShadowChecker::new(profile, &pl))
+        shadow_plan(&mode, n).map(|pl| ShadowChecker::new(profile, &pl))
     } else {
         None
     };
+    let mut tee;
+    let rec: &mut dyn Recorder = match shadow.as_mut() {
+        Some(s) => {
+            tee = Tee(s, rec);
+            &mut tee
+        }
+        None => rec,
+    };
 
-    let mut live: Vec<LiveBlock> = Vec::with_capacity(n);
-    let mut observations: Vec<BlockObservation> = Vec::with_capacity(if shuttle { n } else { 0 });
-    let mut dropped_units = 0usize;
+    let mut core = EngineCore::new(capacity, dev, rec);
+    core.arm_faults(opts.faults);
+    core.charge_planning(planning_ns);
+
+    let mut pol = BlockRungPolicy {
+        profile,
+        recovery: opts.recovery,
+        attempt: opts.attempt,
+        shrink: opts.shrink,
+        base_ckpt: match &mode {
+            BlockMode::Plan(p) => p.count(),
+            BlockMode::Hybrid(h) => h
+                .actions
+                .iter()
+                .filter(|a| **a == BlockAction::Recompute)
+                .count(),
+            _ => 0,
+        },
+        // Demotion-mutable working copy of the plan (Plan mode under
+        // recovery).
+        working: match (&mode, opts.recovery) {
+            (BlockMode::Plan(p), Some(cfg)) if cfg.demote => {
+                Some((0..n).map(|i| p.is_checkpointed(i)).collect())
+            }
+            _ => None,
+        },
+        live: Vec::with_capacity(n),
+        dropped_units: 0,
+        events: Vec::new(),
+    };
 
     // Constant footprint + input tensor.
-    {
-        let mut ctx = RungCtx {
-            profile,
-            dev,
-            opts,
-            time: &mut time,
-            events: &mut events,
-            working: &mut working,
-
-            base_ckpt,
-            live: &mut live,
-            dropped_units: &mut dropped_units,
-            shadow: &mut shadow,
-        };
-        if let Err(e) = alloc_recovering(
-            &mut arena,
-            profile.const_bytes,
-            "const",
-            None,
-            false,
-            &mut ctx,
-        ) {
-            let report = OomReport::from_error(&e, "const");
-            return finish(arena, time, Some(report), 0, events, working);
-        }
-        if let Err(e) = alloc_recovering(
-            &mut arena,
-            profile.input_bytes,
-            "input",
-            None,
-            false,
-            &mut ctx,
-        ) {
-            let report = OomReport::from_error(&e, "input");
-            return finish(arena, time, Some(report), 0, events, working);
+    for (bytes, phase) in [
+        (profile.const_bytes, "const"),
+        (profile.input_bytes, "input"),
+    ] {
+        if let Err(e) = policy_alloc(&mut core, &mut pol, bytes, &AllocSite::setup(phase)) {
+            let report = e.to_report(&core.arena, phase);
+            return close(core, profile, iter, shuttle, Some(report), pol);
         }
     }
-    if let Some(s) = &mut shadow {
-        s.check(&arena, "init");
-    }
-
-    let is_swap = |i: usize| -> bool {
-        matches!(&mode, BlockMode::Hybrid(h) if h.actions[i] == BlockAction::Swap)
-    };
-    // For fine plans: which tensor indices to drop per block. Matches the
-    // MONeT solver's selection order (bytes-per-recompute-FLOP efficiency,
-    // best first) until the planned byte count is covered.
-    let fine_drops = |b: &BlockProfile, planned: usize| -> Vec<usize> {
-        if planned == 0 {
-            return Vec::new();
-        }
-        let mut order: Vec<usize> = (0..b.tensors.len()).collect();
-        order.sort_by(|&x, &y| {
-            let ex = b.tensors[x].bytes as f64 / b.tensors[x].fwd_flops.max(1.0);
-            let ey = b.tensors[y].bytes as f64 / b.tensors[y].fwd_flops.max(1.0);
-            ey.total_cmp(&ex)
-        });
-        let mut acc = 0usize;
-        let mut out = Vec::new();
-        for i in order {
-            if acc >= planned {
-                break;
-            }
-            acc += b.tensors[i].bytes;
-            out.push(i);
-        }
-        out
-    };
+    core.emit(&ExecEvent::Boundary {
+        phase: "init",
+        index: None,
+        live_hint: None,
+    });
 
     // ---------------- forward ----------------
+    let mut observations: Vec<BlockObservation> = Vec::with_capacity(if shuttle { n } else { 0 });
     for (i, b) in profile.blocks.iter().enumerate() {
         let fwd_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved);
-        time.compute_ns += fwd_ns as u64;
+        core.charge_compute(fwd_ns as u64);
         if shuttle {
             // The second forward of the shuttling collector (§IV-B).
-            time.recompute_ns += (fwd_ns * rf) as u64;
+            core.charge_recompute(fwd_ns);
         }
         // Materialise internals + output.
-        let mut ids = Vec::with_capacity(b.tensors.len());
-        let forward_alloc = |arena: &mut Arena,
-                             bytes: usize,
-                             time: &mut TimeBreakdown,
-                             events: &mut Vec<RecoveryEvent>,
-                             working: &mut Option<Vec<bool>>,
-                             live: &mut Vec<LiveBlock>,
-                             dropped_units: &mut usize,
-                             shadow: &mut Option<crate::shadow::ShadowChecker>|
-         -> Result<AllocId, OomError> {
-            let mut ctx = RungCtx {
-                profile,
-                dev,
-                opts,
-                time,
-                events,
-                working,
-                live,
-                dropped_units,
-                base_ckpt,
-                shadow,
-            };
-            alloc_recovering(arena, bytes, "forward", Some(i), true, &mut ctx)
+        let site = AllocSite {
+            phase: "forward",
+            cursor: Some(i),
+            in_forward: true,
         };
+        let mut ids = Vec::with_capacity(b.tensors.len());
         for t in &b.tensors {
-            match forward_alloc(
-                &mut arena,
-                t.bytes,
-                &mut time,
-                &mut events,
-                &mut working,
-                &mut live,
-                &mut dropped_units,
-                &mut shadow,
-            ) {
+            match policy_alloc(&mut core, &mut pol, t.bytes, &site) {
                 Ok(id) => ids.push(id),
                 Err(e) => {
-                    let report = OomReport::from_error(&e, "forward");
-                    return finish(arena, time, Some(report), dropped_units, events, working);
+                    let report = e.to_report(&core.arena, "forward");
+                    return close(core, profile, iter, shuttle, Some(report), pol);
                 }
             }
         }
-        let out_id = match forward_alloc(
-            &mut arena,
-            b.out_bytes,
-            &mut time,
-            &mut events,
-            &mut working,
-            &mut live,
-            &mut dropped_units,
-            &mut shadow,
-        ) {
+        let out_id = match policy_alloc(&mut core, &mut pol, b.out_bytes, &site) {
             Ok(id) => id,
             Err(e) => {
-                let report = OomReport::from_error(&e, "forward");
-                return finish(arena, time, Some(report), dropped_units, events, working);
+                let report = e.to_report(&core.arena, "forward");
+                return close(core, profile, iter, shuttle, Some(report), pol);
             }
         };
         if shuttle {
@@ -569,23 +368,23 @@ pub(crate) fn run_block_iteration_impl(
             out_id: Some(out_id),
             dropped: Vec::new(),
         };
-        if is_ckpt_of(&mode, &working, i) || is_swap(i) {
+        if is_ckpt_of(&mode, &pol.working, i) || is_swap(&mode, i) {
             // Drop internals, keep the output checkpoint. A swapped block
             // additionally pays the non-overlapped swap-out transfer.
-            if is_swap(i) {
-                time.swap_ns += dev.swap_ns(b.act_bytes) as u64;
+            if is_swap(&mode, i) {
+                core.charge_swap(dev.swap_ns(b.act_bytes) as u64);
             }
             for id in lb.tensor_ids.drain(..) {
-                arena.free(id);
+                core.free(id);
             }
             if !b.tensors.is_empty() {
-                dropped_units += 1;
+                pol.dropped_units += 1;
             }
         } else if let BlockMode::Fine(fp) = &mode {
             let drops = fine_drops(b, fp.dropped_bytes[i]);
             for &ti in &drops {
-                arena.free(lb.tensor_ids[ti]);
-                dropped_units += 1;
+                core.free(lb.tensor_ids[ti]);
+                pol.dropped_units += 1;
             }
             // Mark dropped slots (keep ids vec aligned by replacing later).
             let drop_set: std::collections::HashSet<usize> = drops.iter().copied().collect();
@@ -598,63 +397,35 @@ pub(crate) fn run_block_iteration_impl(
                 .collect();
             lb.dropped = drops;
         }
-        live.push(lb);
-        if let Some(s) = &mut shadow {
-            s.check(&arena, &format!("forward '{}'", b.name));
-        }
+        pol.live.push(lb);
+        core.emit(&ExecEvent::Boundary {
+            phase: "forward",
+            index: Some(i),
+            live_hint: None,
+        });
     }
 
     // ---------------- backward ----------------
     for (i, b) in profile.blocks.iter().enumerate().rev() {
-        let backward_alloc = |arena: &mut Arena,
-                              bytes: usize,
-                              phase: &'static str,
-                              time: &mut TimeBreakdown,
-                              events: &mut Vec<RecoveryEvent>,
-                              working: &mut Option<Vec<bool>>,
-                              live: &mut Vec<LiveBlock>,
-                              dropped_units: &mut usize,
-                              shadow: &mut Option<crate::shadow::ShadowChecker>|
-         -> Result<AllocId, OomError> {
-            let mut ctx = RungCtx {
-                profile,
-                dev,
-                opts,
-                time,
-                events,
-                working,
-                live,
-                dropped_units,
-                base_ckpt,
-                shadow,
-            };
-            alloc_recovering(arena, bytes, phase, Some(i), false, &mut ctx)
-        };
         // Rematerialise what was dropped.
-        if is_ckpt_of(&mode, &working, i) || is_swap(i) {
-            if is_swap(i) {
+        if is_ckpt_of(&mode, &pol.working, i) || is_swap(&mode, i) {
+            if is_swap(&mode, i) {
                 // Prefetch back over PCIe instead of recomputing.
-                time.swap_ns += dev.swap_ns(b.act_bytes) as u64;
+                core.charge_swap(dev.swap_ns(b.act_bytes) as u64);
             } else {
-                let fwd_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved);
-                time.recompute_ns += (fwd_ns * rf) as u64;
+                core.charge_recompute(dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved));
             }
+            let site = AllocSite {
+                phase: "recompute",
+                cursor: Some(i),
+                in_forward: false,
+            };
             for t in &b.tensors {
-                match backward_alloc(
-                    &mut arena,
-                    t.bytes,
-                    "recompute",
-                    &mut time,
-                    &mut events,
-                    &mut working,
-                    &mut live,
-                    &mut dropped_units,
-                    &mut shadow,
-                ) {
-                    Ok(id) => live[i].tensor_ids.push(id),
+                match policy_alloc(&mut core, &mut pol, t.bytes, &site) {
+                    Ok(id) => pol.live[i].tensor_ids.push(id),
                     Err(e) => {
-                        let report = OomReport::from_error(&e, "recompute");
-                        return finish(arena, time, Some(report), dropped_units, events, working);
+                        let report = e.to_report(&core.arena, "recompute");
+                        return close(core, profile, iter, shuttle, Some(report), pol);
                     }
                 }
             }
@@ -666,272 +437,71 @@ pub(crate) fn run_block_iteration_impl(
                 // pays a 1.3x locality factor for re-running block-local
                 // producers, but a block never recomputes more than its own
                 // forward pass.
-                let flops: f64 = live[i]
+                let flops: f64 = pol.live[i]
                     .dropped
                     .iter()
                     .map(|&ti| b.tensors[ti].fwd_flops * 1.3)
                     .sum::<f64>()
                     .min(b.fwd_flops * 1.05);
-                time.recompute_ns += (dev.exec_ns(flops, 0) * rf) as u64;
-                let drops = live[i].dropped.clone();
+                core.charge_recompute(dev.exec_ns(flops, 0));
+                let site = AllocSite {
+                    phase: "recompute",
+                    cursor: Some(i),
+                    in_forward: false,
+                };
+                let drops = pol.live[i].dropped.clone();
                 for ti in drops {
-                    match backward_alloc(
-                        &mut arena,
-                        b.tensors[ti].bytes,
-                        "recompute",
-                        &mut time,
-                        &mut events,
-                        &mut working,
-                        &mut live,
-                        &mut dropped_units,
-                        &mut shadow,
-                    ) {
-                        Ok(id) => live[i].tensor_ids.push(id),
+                    match policy_alloc(&mut core, &mut pol, b.tensors[ti].bytes, &site) {
+                        Ok(id) => pol.live[i].tensor_ids.push(id),
                         Err(e) => {
-                            let report = OomReport::from_error(&e, "recompute");
-                            return finish(
-                                arena,
-                                time,
-                                Some(report),
-                                dropped_units,
-                                events,
-                                working,
-                            );
+                            let report = e.to_report(&core.arena, "recompute");
+                            return close(core, profile, iter, shuttle, Some(report), pol);
                         }
                     }
                 }
             }
         }
         // Gradient transients: output grad + input grad.
-        let gout = match backward_alloc(
-            &mut arena,
-            b.out_bytes,
-            "backward",
-            &mut time,
-            &mut events,
-            &mut working,
-            &mut live,
-            &mut dropped_units,
-            &mut shadow,
-        ) {
-            Ok(id) => id,
-            Err(e) => {
-                let report = OomReport::from_error(&e, "backward");
-                return finish(arena, time, Some(report), dropped_units, events, working);
-            }
+        let site = AllocSite {
+            phase: "backward",
+            cursor: Some(i),
+            in_forward: false,
         };
-        let gin = match backward_alloc(
-            &mut arena,
-            b.in_bytes,
-            "backward",
-            &mut time,
-            &mut events,
-            &mut working,
-            &mut live,
-            &mut dropped_units,
-            &mut shadow,
-        ) {
-            Ok(id) => id,
-            Err(e) => {
-                let report = OomReport::from_error(&e, "backward");
-                return finish(arena, time, Some(report), dropped_units, events, working);
+        let mut grads = [None, None];
+        for (g, bytes) in grads.iter_mut().zip([b.out_bytes, b.in_bytes]) {
+            match policy_alloc(&mut core, &mut pol, bytes, &site) {
+                Ok(id) => *g = Some(id),
+                Err(e) => {
+                    let report = e.to_report(&core.arena, "backward");
+                    return close(core, profile, iter, shuttle, Some(report), pol);
+                }
             }
-        };
-        time.compute_ns += dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64;
-        arena.free(gout);
-        arena.free(gin);
+        }
+        core.charge_compute(dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64);
+        for id in grads.into_iter().flatten() {
+            core.free(id);
+        }
         // Release the block's activations + output.
-        for id in live[i].tensor_ids.drain(..) {
-            arena.free(id);
+        for id in pol.live[i].tensor_ids.drain(..) {
+            core.free(id);
         }
-        if let Some(id) = live[i].out_id.take() {
-            arena.free(id);
+        if let Some(id) = pol.live[i].out_id.take() {
+            core.free(id);
         }
-        if let Some(s) = &mut shadow {
-            s.check(&arena, &format!("backward '{}'", b.name));
-        }
+        core.emit(&ExecEvent::Boundary {
+            phase: "backward",
+            index: Some(i),
+            live_hint: None,
+        });
     }
 
     // Optimizer step: elementwise update over all parameters.
     let p = profile.param_count as f64;
-    time.compute_ns += dev.exec_ns(4.0 * p, profile.param_count * 16) as u64;
+    core.charge_compute(dev.exec_ns(4.0 * p, profile.param_count * 16) as u64);
 
-    let (mut run, arena) = finish(arena, time, None, dropped_units, events, working);
+    let (mut run, arena) = close(core, profile, iter, shuttle, None, pol);
     if shuttle {
         run.observations = Some(observations);
     }
     (run, arena)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mimose_models::builders::{bert_base, BertHead};
-    use mimose_models::ModelInput;
-    use mimose_planner::memory_model::peak_bytes;
-
-    fn profile(seq: usize) -> ModelProfile {
-        bert_base(BertHead::Classification { labels: 2 })
-            .profile(&ModelInput::tokens(32, seq))
-            .unwrap()
-    }
-
-    #[test]
-    fn engine_peak_matches_analytic_model() {
-        let p = profile(128);
-        let dev = DeviceProfile::v100();
-        for plan in [
-            CheckpointPlan::none(p.blocks.len()),
-            CheckpointPlan::all(p.blocks.len()),
-            CheckpointPlan::from_indices(p.blocks.len(), &[1, 2, 3, 4, 5]).unwrap(),
-        ] {
-            let run = run_block_iteration(&p, BlockMode::Plan(&plan), 64 << 30, &dev, 0, 0);
-            assert!(run.report.ok());
-            let analytic = peak_bytes(&p, &plan);
-            let measured = run.report.peak_bytes;
-            let rel = (measured as f64 - analytic as f64).abs() / analytic as f64;
-            assert!(
-                rel < 0.001,
-                "plan {plan}: measured {measured} vs analytic {analytic}"
-            );
-        }
-    }
-
-    #[test]
-    fn checkpointing_reduces_peak_and_adds_recompute() {
-        let p = profile(200);
-        let dev = DeviceProfile::v100();
-        let none = run_block_iteration(
-            &p,
-            BlockMode::Plan(&CheckpointPlan::none(p.blocks.len())),
-            64 << 30,
-            &dev,
-            0,
-            0,
-        );
-        let all = run_block_iteration(
-            &p,
-            BlockMode::Plan(&CheckpointPlan::all(p.blocks.len())),
-            64 << 30,
-            &dev,
-            0,
-            0,
-        );
-        assert!(all.report.peak_bytes < none.report.peak_bytes);
-        assert_eq!(none.report.time.recompute_ns, 0);
-        assert!(all.report.time.recompute_ns > 0);
-        assert!(all.report.time.total_ns() > none.report.time.total_ns());
-    }
-
-    #[test]
-    fn oom_reported_when_over_capacity() {
-        let p = profile(300);
-        let dev = DeviceProfile::v100();
-        let run = run_block_iteration(
-            &p,
-            BlockMode::Plan(&CheckpointPlan::none(p.blocks.len())),
-            3 << 30, // way below the no-checkpoint peak
-            &dev,
-            0,
-            0,
-        );
-        assert!(!run.report.ok());
-        assert_eq!(run.report.oom.as_ref().unwrap().phase, "forward");
-        assert!(run.report.recovery.is_empty(), "no ladder without a config");
-        assert!(run.demoted_plan.is_none());
-    }
-
-    #[test]
-    fn shuttle_doubles_forward_time_and_measures() {
-        let p = profile(128);
-        let dev = DeviceProfile::v100();
-        let plain = run_block_iteration(
-            &p,
-            BlockMode::Plan(&CheckpointPlan::all(p.blocks.len())),
-            64 << 30,
-            &dev,
-            0,
-            0,
-        );
-        let shuttle = run_block_iteration(&p, BlockMode::Shuttle, 64 << 30, &dev, 0, 0);
-        assert!(shuttle.report.ok());
-        let obs = shuttle.observations.as_ref().unwrap();
-        assert_eq!(obs.len(), p.blocks.len());
-        for (o, b) in obs.iter().zip(&p.blocks) {
-            assert_eq!(o.act_bytes, b.act_bytes);
-            assert_eq!(o.out_bytes, b.out_bytes);
-            assert!(o.fwd_ns > 0);
-        }
-        // Shuttle recompute equals a full extra forward; its peak matches
-        // the all-checkpointed plan (§IV-B: same footprint as Sublinear).
-        assert_eq!(shuttle.report.peak_bytes, plain.report.peak_bytes);
-        assert!(shuttle.report.time.recompute_ns >= plain.report.time.recompute_ns);
-    }
-
-    #[test]
-    fn fine_plan_drops_partial_bytes() {
-        let p = profile(200);
-        let dev = DeviceProfile::v100();
-        let n = p.blocks.len();
-        let mut fine = FinePlan::none(n);
-        // Drop ~half of encoder 1's internals.
-        fine.dropped_bytes[1] = p.blocks[1].act_bytes / 2;
-        fine.recompute_flops[1] = p.blocks[1].fwd_flops / 2.0;
-        let run = run_block_iteration(&p, BlockMode::Fine(&fine), 64 << 30, &dev, 0, 0);
-        assert!(run.report.ok());
-        assert!(run.report.dropped_units > 0);
-        assert!(run.report.time.recompute_ns > 0);
-        let full = run_block_iteration(
-            &p,
-            BlockMode::Plan(&CheckpointPlan::none(n)),
-            64 << 30,
-            &dev,
-            0,
-            0,
-        );
-        assert!(run.report.peak_bytes < full.report.peak_bytes);
-    }
-
-    #[test]
-    fn hybrid_swap_charges_transfer_not_recompute() {
-        use mimose_planner::{BlockAction, HybridPlan};
-        let p = profile(200);
-        let dev = DeviceProfile::v100();
-        let n = p.blocks.len();
-        let mut swap_plan = HybridPlan::keep_all(n);
-        swap_plan.actions[1] = BlockAction::Swap;
-        let mut rec_plan = HybridPlan::keep_all(n);
-        rec_plan.actions[1] = BlockAction::Recompute;
-
-        let swap = run_block_iteration(&p, BlockMode::Hybrid(&swap_plan), 64 << 30, &dev, 0, 0);
-        let rec = run_block_iteration(&p, BlockMode::Hybrid(&rec_plan), 64 << 30, &dev, 0, 0);
-        assert!(swap.report.ok() && rec.report.ok());
-        // Identical memory behaviour...
-        assert_eq!(swap.report.peak_bytes, rec.report.peak_bytes);
-        // ...different time channels.
-        assert!(swap.report.time.swap_ns > 0);
-        assert_eq!(swap.report.time.recompute_ns, 0);
-        assert!(rec.report.time.recompute_ns > 0);
-        assert_eq!(rec.report.time.swap_ns, 0);
-        // Expected swap charge: out + back, non-overlapped fraction.
-        let expect = 2 * dev.swap_ns(p.blocks[1].act_bytes) as u64;
-        let got = swap.report.time.swap_ns;
-        assert!(
-            (got as i64 - expect as i64).unsigned_abs() <= 2,
-            "swap charge {got} vs {expect}"
-        );
-    }
-
-    #[test]
-    fn planning_ns_charged_to_clock() {
-        let p = profile(64);
-        let dev = DeviceProfile::v100();
-        let plan = CheckpointPlan::none(p.blocks.len());
-        let without = run_block_iteration(&p, BlockMode::Plan(&plan), 64 << 30, &dev, 0, 0);
-        let with = run_block_iteration(&p, BlockMode::Plan(&plan), 64 << 30, &dev, 0, 123_456);
-        assert_eq!(
-            with.report.time.total_ns(),
-            without.report.time.total_ns() + 123_456
-        );
-    }
 }

@@ -1,126 +1,21 @@
 //! Tensor-granularity iteration engine with DTR-style reactive eviction.
 //!
-//! The engine keeps every saved tensor as an individually allocated slot.
-//! When an allocation would push logical usage over the budget, it evicts
-//! the live tensor with the smallest h-DTR score and retries — paying the
-//! eviction-search cost (∝ number of candidates) and, in the backward pass,
-//! the rematerialisation cost of anything it threw away. Per-operator
-//! metadata maintenance is charged on every tensor event; the paper measures
-//! this at ~26 % of iteration time on average, up to 40 % under tight
-//! budgets (Fig 5). Scattered frees fragment the arena, so the address-space
-//! extent (what the device actually reserves) exceeds the nominal budget —
-//! Fig 5's "actually 6.7/7/7.5/8 GB used".
+//! This module only walks the iteration timeline over the shared
+//! [`EngineCore`]; everything that makes it *DTR* — the slot table, the
+//! h-DTR victim search, the uniformly charged per-tensor metadata
+//! maintenance (~26 % of iteration time on average, Fig 5) — lives in
+//! [`crate::eviction::DtrEvictionPolicy`]. Scattered frees fragment the
+//! arena, so the address-space extent (what the device actually reserves)
+//! exceeds the nominal budget — Fig 5's "actually 6.7/7/7.5/8 GB used".
 
-use crate::report::{IterationReport, OomReport, TimeBreakdown};
+use crate::eviction::DtrEvictionPolicy;
+use crate::shadow::DtrShadow;
 use mimose_models::ModelProfile;
-use mimose_planner::h_dtr;
-use mimose_simgpu::{AllocId, AllocPolicy, Arena, DeviceProfile};
-
-struct Slot {
-    alloc: Option<AllocId>,
-    bytes: usize,
-    compute_ns: f64,
-    last_access: u64,
-    pinned: bool,
-    /// Dead slots are finished with (backward consumed them).
-    dead: bool,
-}
-
-struct DtrSim<'a> {
-    arena: Arena,
-    dev: &'a DeviceProfile,
-    budget: usize,
-    slots: Vec<Slot>,
-    time: TimeBreakdown,
-    now_ns: u64,
-    evictions: usize,
-}
-
-enum DtrFail {
-    NoVictim { requested: usize },
-}
-
-impl<'a> DtrSim<'a> {
-    fn advance(&mut self, ns: u64) {
-        self.now_ns += ns;
-    }
-
-    fn charge_meta(&mut self) {
-        let ns = self.dev.dtr_meta_ns_per_tensor as u64;
-        self.time.bookkeeping_ns += ns;
-        self.advance(ns);
-    }
-
-    /// Evict the single live, unpinned tensor with the smallest h-DTR score,
-    /// charging the linear search over all candidates.
-    fn evict_one(&mut self, requested: usize) -> Result<(), DtrFail> {
-        let mut victim: Option<(usize, f64)> = None;
-        let mut candidates = 0usize;
-        for (i, s) in self.slots.iter().enumerate() {
-            if s.alloc.is_none() || s.pinned || s.dead {
-                continue;
-            }
-            candidates += 1;
-            let h = h_dtr(
-                s.compute_ns,
-                s.bytes,
-                self.now_ns.saturating_sub(s.last_access),
-            );
-            if victim.is_none_or(|(_, best)| h < best) {
-                victim = Some((i, h));
-            }
-        }
-        let search_ns = (candidates as f64 * self.dev.dtr_search_ns_per_tensor) as u64;
-        self.time.planning_ns += search_ns;
-        self.advance(search_ns);
-        match victim {
-            Some((i, _)) => {
-                let id = self.slots[i].alloc.take().expect("victim is live");
-                self.arena.free(id);
-                self.evictions += 1;
-                Ok(())
-            }
-            None => Err(DtrFail::NoVictim { requested }),
-        }
-    }
-
-    /// Evict until `need` more bytes fit under the logical budget.
-    fn make_room(&mut self, need: usize) -> Result<(), DtrFail> {
-        while self.arena.used_bytes() + need > self.budget {
-            self.evict_one(need)?;
-        }
-        Ok(())
-    }
-
-    /// Allocate `bytes` under the budget, evicting as needed.
-    fn budgeted_alloc(&mut self, bytes: usize) -> Result<AllocId, DtrFail> {
-        self.make_room(bytes)?;
-        loop {
-            match self.arena.alloc(bytes) {
-                Ok(id) => return Ok(id),
-                // Device-level fragmentation: evict one more and retry.
-                Err(_) => self.evict_one(bytes)?,
-            }
-        }
-    }
-
-    /// Ensure slot `i` is resident, rematerialising if evicted.
-    fn materialize(&mut self, i: usize) -> Result<(), DtrFail> {
-        if self.slots[i].alloc.is_some() {
-            self.slots[i].last_access = self.now_ns;
-            return Ok(());
-        }
-        let bytes = self.slots[i].bytes;
-        let cost = self.slots[i].compute_ns as u64;
-        self.time.recompute_ns += cost;
-        self.advance(cost);
-        let id = self.budgeted_alloc(bytes)?;
-        let s = &mut self.slots[i];
-        s.alloc = Some(id);
-        s.last_access = self.now_ns;
-        Ok(())
-    }
-}
+use mimose_runtime::{
+    policy_alloc, AllocSite, EngineCore, EventLog, ExecEvent, IterationReport, NullRecorder,
+    OomReport, Recorder, ReportMeta, Tee,
+};
+use mimose_simgpu::{AllocPolicy, ArenaStats, DeviceProfile};
 
 /// Run one DTR iteration with the default first-fit allocator.
 pub fn run_dtr_iteration(
@@ -150,139 +45,157 @@ pub fn run_dtr_iteration_with_policy(
     iter: usize,
     alloc_policy: AllocPolicy,
 ) -> IterationReport {
-    let mut sim = DtrSim {
-        arena: Arena::with_policy(device_capacity, alloc_policy),
-        dev,
+    let mut rec = NullRecorder;
+    run_dtr_impl(
+        profile,
         budget,
-        slots: Vec::new(),
-        time: TimeBreakdown::default(),
-        now_ns: 0,
-        evictions: 0,
+        device_capacity,
+        dev,
+        iter,
+        alloc_policy,
+        &mut rec,
+    )
+    .0
+}
+
+/// Like [`run_dtr_iteration`], but recording the full [`ExecEvent`] stream:
+/// additionally returns the stream and the arena's final statistics, ready
+/// for `mimose_audit::audit_exec_events`.
+pub fn run_dtr_iteration_recorded(
+    profile: &ModelProfile,
+    budget: usize,
+    device_capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+) -> (IterationReport, Vec<ExecEvent>, ArenaStats) {
+    let mut log = EventLog::new();
+    let (report, stats) = run_dtr_impl(
+        profile,
+        budget,
+        device_capacity,
+        dev,
+        iter,
+        AllocPolicy::FirstFit,
+        &mut log,
+    );
+    (report, log.take(), stats)
+}
+
+fn run_dtr_impl(
+    profile: &ModelProfile,
+    budget: usize,
+    device_capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+    alloc_policy: AllocPolicy,
+    rec: &mut dyn Recorder,
+) -> (IterationReport, ArenaStats) {
+    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): a recorder
+    // teed into the stream that cross-validates the arena-side live count
+    // against the slot table at every boundary carrying a `live_hint`.
+    let mut shadow = crate::shadow::shadow_check_enabled()
+        .then(|| DtrShadow::new(profile.const_bytes, profile.input_bytes, budget));
+    let mut tee;
+    let rec: &mut dyn Recorder = match shadow.as_mut() {
+        Some(s) => {
+            tee = Tee(s, rec);
+            &mut tee
+        }
+        None => rec,
     };
 
-    let fail_report = |sim: &DtrSim, requested: usize, phase: &'static str| {
-        let stats = sim.arena.stats();
-        IterationReport {
+    let mut core = EngineCore::with_policy(device_capacity, alloc_policy, dev, rec);
+    let mut pol = DtrEvictionPolicy::new(budget);
+
+    let close = |core: EngineCore<'_>,
+                 pol: &DtrEvictionPolicy,
+                 oom: Option<OomReport>|
+     -> (IterationReport, ArenaStats) {
+        let (report, arena) = core.finish(ReportMeta {
             iter,
             input: profile.input,
             input_size: profile.input_size,
-            time: sim.time,
-            peak_bytes: stats.peak_used,
-            peak_extent: stats.peak_extent.max(stats.peak_footprint),
-            frag_bytes: stats.peak_frag,
-            dropped_units: sim.evictions,
+            dropped_units: pol.evictions,
             shuttle: false,
-            oom: Some(OomReport::from_arena(&sim.arena, requested, phase)),
-            recovery: Vec::new(),
-        }
+            oom,
+            recovery: Vec::new(), // reactive eviction is DTR's own recovery
+        });
+        let stats = arena.stats();
+        (report, stats)
     };
+    macro_rules! bail {
+        ($e:expr, $phase:expr) => {{
+            let oom = $e.to_report(&core.arena, $phase);
+            return close(core, &pol, Some(oom));
+        }};
+    }
 
     // Constant footprint (weights/grads/optimizer) — pinned, non-evictable.
     if profile.const_bytes + profile.input_bytes > budget {
-        return fail_report(&sim, profile.const_bytes, "const");
+        let oom = OomReport::from_arena(&core.arena, profile.const_bytes, "const");
+        return close(core, &pol, Some(oom));
     }
-    let _const_id = sim
-        .arena
-        .alloc(profile.const_bytes)
-        .expect("device smaller than const bytes");
-    let _input_id = sim
-        .arena
-        .alloc(profile.input_bytes)
-        .expect("device smaller than input");
+    for (bytes, phase) in [
+        (profile.const_bytes, "const"),
+        (profile.input_bytes, "input"),
+    ] {
+        if let Err(e) = core.try_alloc(bytes, phase) {
+            let oom = OomReport::from_error(&e, phase);
+            return close(core, &pol, Some(oom));
+        }
+    }
 
     let n = profile.blocks.len();
-    // Slot layout: per block, its internal tensors then its output.
+    // Per block: its internal tensor slots, then its output slot.
     let mut block_slots: Vec<Vec<usize>> = Vec::with_capacity(n);
     let mut block_out: Vec<usize> = Vec::with_capacity(n);
 
-    // ---------------- forward ----------------
+    // -- forward --
+    let fwd_site = AllocSite::setup("forward");
     for b in &profile.blocks {
         let fwd_ns = dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved) as u64;
-        sim.time.compute_ns += fwd_ns;
-        sim.advance(fwd_ns);
+        core.charge_compute(fwd_ns);
         let mut ids = Vec::with_capacity(b.tensors.len());
         let per_tensor_ns = fwd_ns as f64 / (b.tensors.len() + 1) as f64;
         for t in &b.tensors {
-            sim.charge_meta();
-            let slot_idx = sim.slots.len();
-            sim.slots.push(Slot {
-                alloc: None,
-                bytes: t.bytes,
-                compute_ns: dev
-                    .exec_ns(t.fwd_flops, t.bytes * 2)
-                    .max(per_tensor_ns * 0.5),
-                last_access: sim.now_ns,
-                pinned: true, // pinned while its block executes
-                dead: false,
-            });
-            match sim.budgeted_alloc(t.bytes) {
-                Ok(id) => sim.slots[slot_idx].alloc = Some(id),
-                Err(DtrFail::NoVictim { requested }) => {
-                    return fail_report(&sim, requested, "forward")
-                }
+            let compute_ns = dev
+                .exec_ns(t.fwd_flops, t.bytes * 2)
+                .max(per_tensor_ns * 0.5);
+            let si = pol.new_slot(&mut core, t.bytes, compute_ns);
+            if let Err(e) = pol.fill(&mut core, si, &fwd_site) {
+                bail!(e, "forward");
             }
-            ids.push(slot_idx);
+            ids.push(si);
         }
-        // Output tensor slot.
-        sim.charge_meta();
-        let out_idx = sim.slots.len();
-        sim.slots.push(Slot {
-            alloc: None,
-            bytes: b.out_bytes,
-            compute_ns: dev.exec_ns(b.fwd_flops, b.fwd_bytes_moved),
-            last_access: sim.now_ns,
-            pinned: true,
-            dead: false,
-        });
-        match sim.budgeted_alloc(b.out_bytes) {
-            Ok(id) => sim.slots[out_idx].alloc = Some(id),
-            Err(DtrFail::NoVictim { requested }) => return fail_report(&sim, requested, "forward"),
+        let out_si = pol.new_slot(&mut core, b.out_bytes, fwd_ns as f64);
+        if let Err(e) = pol.fill(&mut core, out_si, &fwd_site) {
+            bail!(e, "forward");
         }
-        // Unpin the previous block's tensors; keep this block's output
-        // pinned until the next block consumed it.
+        // Unpin the previous block; this output stays pinned until consumed.
         for &si in block_slots.last().unwrap_or(&Vec::new()) {
-            sim.slots[si].pinned = false;
+            pol.slots[si].pinned = false;
         }
         if let Some(&prev_out) = block_out.last() {
-            sim.slots[prev_out].pinned = false;
+            pol.slots[prev_out].pinned = false;
         }
         block_slots.push(ids);
-        block_out.push(out_idx);
+        block_out.push(out_si);
     }
     if let Some(ids) = block_slots.last() {
         for &si in ids {
-            sim.slots[si].pinned = false;
+            pol.slots[si].pinned = false;
         }
     }
     if let Some(&o) = block_out.last() {
-        sim.slots[o].pinned = false;
+        pol.slots[o].pinned = false;
     }
+    core.emit(&ExecEvent::Boundary {
+        phase: "end-of-forward",
+        index: None,
+        live_hint: Some(pol.live_slot_bytes()),
+    });
 
-    // Shadow checking (debug builds / MIMOSE_SHADOW_CHECK=1): the slot
-    // table and the arena must account for exactly the same live bytes, and
-    // logical usage must stay under the budget at every block boundary.
-    let residency_check = |sim: &DtrSim, site: &str| {
-        if !crate::shadow::shadow_check_enabled() {
-            return;
-        }
-        let live_bytes: usize = sim
-            .slots
-            .iter()
-            .filter(|s| s.alloc.is_some())
-            .map(|s| s.bytes)
-            .sum();
-        crate::shadow::check_dtr_residency(
-            &sim.arena,
-            live_bytes,
-            profile.const_bytes,
-            profile.input_bytes,
-            budget,
-            site,
-        );
-    };
-    residency_check(&sim, "end of forward");
-
-    // ---------------- backward ----------------
+    // -- backward --
     for (i, b) in profile.blocks.iter().enumerate().rev() {
         // Pin and materialise everything the block's backward needs.
         let needed: Vec<usize> = block_slots[i]
@@ -291,122 +204,44 @@ pub fn run_dtr_iteration_with_policy(
             .chain(std::iter::once(block_out[i]))
             .collect();
         for &si in &needed {
-            sim.slots[si].pinned = true;
+            pol.slots[si].pinned = true;
         }
+        let remat_site = AllocSite::setup("rematerialize");
         for &si in &needed {
-            sim.charge_meta();
-            if let Err(DtrFail::NoVictim { requested }) = sim.materialize(si) {
-                return fail_report(&sim, requested, "rematerialize");
+            if let Err(e) = pol.materialize(&mut core, si, &remat_site) {
+                bail!(e, "rematerialize");
             }
         }
-        // Gradient transients.
-        let gout = match sim.budgeted_alloc(b.out_bytes) {
-            Ok(id) => id,
-            Err(DtrFail::NoVictim { requested }) => {
-                return fail_report(&sim, requested, "backward")
+        let bwd_site = AllocSite::setup("backward");
+        let mut grads = [None, None];
+        for (g, bytes) in grads.iter_mut().zip([b.out_bytes, b.in_bytes]) {
+            match policy_alloc(&mut core, &mut pol, bytes, &bwd_site) {
+                Ok(id) => *g = Some(id),
+                Err(e) => bail!(e, "backward"),
             }
-        };
-        let gin = match sim.budgeted_alloc(b.in_bytes) {
-            Ok(id) => id,
-            Err(DtrFail::NoVictim { requested }) => {
-                return fail_report(&sim, requested, "backward")
-            }
-        };
-        let bwd_ns = dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64;
-        sim.time.compute_ns += bwd_ns;
-        sim.advance(bwd_ns);
-        sim.arena.free(gout);
-        sim.arena.free(gin);
-        // The block's tensors are consumed: free them (scattered frees are
-        // what fragments DTR's address space).
+        }
+        core.charge_compute(dev.exec_ns(b.bwd_flops, 2 * b.fwd_bytes_moved) as u64);
+        for id in grads.into_iter().flatten() {
+            core.free(id);
+        }
+        // Consumed: free (scattered frees fragment DTR's address space).
         for &si in &needed {
-            if let Some(id) = sim.slots[si].alloc.take() {
-                sim.arena.free(id);
+            if let Some(id) = pol.slots[si].alloc.take() {
+                core.free(id);
             }
-            sim.slots[si].dead = true;
-            sim.slots[si].pinned = false;
+            pol.slots[si].dead = true;
+            pol.slots[si].pinned = false;
         }
-        residency_check(&sim, &format!("backward block {i}"));
+        core.emit(&ExecEvent::Boundary {
+            phase: "backward",
+            index: Some(i),
+            live_hint: Some(pol.live_slot_bytes()),
+        });
     }
 
     // Optimizer step.
     let p = profile.param_count as f64;
-    let opt_ns = dev.exec_ns(4.0 * p, profile.param_count * 16) as u64;
-    sim.time.compute_ns += opt_ns;
+    core.charge_compute(dev.exec_ns(4.0 * p, profile.param_count * 16) as u64);
 
-    let stats = sim.arena.stats();
-    let mut time = sim.time;
-    time.allocator_ns += ((stats.allocs + stats.frees) as f64 * dev.alloc_ns) as u64;
-    IterationReport {
-        iter,
-        input: profile.input,
-        input_size: profile.input_size,
-        time,
-        peak_bytes: stats.peak_used,
-        peak_extent: stats.peak_extent.max(stats.peak_footprint),
-        frag_bytes: stats.peak_frag,
-        dropped_units: sim.evictions,
-        shuttle: false,
-        oom: None,
-        // DTR's reactive eviction is its own recovery mechanism; the block
-        // ladder does not apply here.
-        recovery: Vec::new(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mimose_models::builders::{roberta_base, BertHead};
-    use mimose_models::ModelInput;
-
-    fn profile(seq: usize) -> ModelProfile {
-        roberta_base(BertHead::Classification { labels: 1 })
-            .profile(&ModelInput::tokens(64, seq))
-            .unwrap()
-    }
-
-    #[test]
-    fn loose_budget_needs_no_evictions() {
-        let p = profile(100);
-        let dev = DeviceProfile::v100();
-        let r = run_dtr_iteration(&p, 14 << 30, 16 << 30, &dev, 0);
-        assert!(r.ok());
-        assert_eq!(r.dropped_units, 0);
-        assert_eq!(r.time.recompute_ns, 0);
-    }
-
-    #[test]
-    fn tight_budget_evicts_and_recomputes() {
-        let p = profile(128);
-        let dev = DeviceProfile::v100();
-        let loose = run_dtr_iteration(&p, 14 << 30, 16 << 30, &dev, 0);
-        let tight = run_dtr_iteration(&p, 5 << 30, 16 << 30, &dev, 0);
-        assert!(tight.ok(), "tight run OOMed: {:?}", tight.oom);
-        assert!(tight.dropped_units > 0);
-        assert!(tight.time.recompute_ns > 0);
-        assert!(tight.time.total_ns() > loose.time.total_ns());
-        // Logical usage respects the budget.
-        assert!(tight.peak_bytes <= 5 << 30);
-    }
-
-    #[test]
-    fn bookkeeping_overhead_exists_even_without_evictions() {
-        // §III-B: "such overhead exists even without any activation tensor
-        // dropped".
-        let p = profile(80);
-        let dev = DeviceProfile::v100();
-        let r = run_dtr_iteration(&p, 14 << 30, 16 << 30, &dev, 0);
-        assert!(r.time.bookkeeping_ns > 0);
-        let frac = r.time.bookkeeping_ns as f64 / r.time.total_ns() as f64;
-        assert!(frac > 0.05, "bookkeeping fraction too small: {frac}");
-    }
-
-    #[test]
-    fn infeasible_budget_reports_oom() {
-        let p = profile(128);
-        let dev = DeviceProfile::v100();
-        let r = run_dtr_iteration(&p, 1 << 30, 16 << 30, &dev, 0);
-        assert!(!r.ok());
-    }
+    close(core, &pol, None)
 }

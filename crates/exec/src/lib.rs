@@ -5,22 +5,33 @@
 //! the simulated arena allocator and virtual clock, a tensor-granularity
 //! engine with DTR-style reactive eviction, and a [`Trainer`] that drives
 //! any [`mimose_planner::MemoryPolicy`] over a dataset stream.
+//!
+//! Both engines are thin [`mimose_runtime::MaterializationPolicy`] layers
+//! over the shared [`mimose_runtime::EngineCore`]; every run can be recorded
+//! as a typed [`mimose_runtime::ExecEvent`] stream that the report, the
+//! shadow checkers and the audit layer all consume.
 
 #![warn(missing_docs)]
 
 mod block_engine;
 mod dtr_engine;
+mod eviction;
 mod recovery;
-mod report;
+mod rungs;
 pub mod shadow;
 mod trainer;
 
-pub use block_engine::{run_block_iteration, run_block_iteration_traced, BlockMode, BlockRun};
-pub use dtr_engine::{run_dtr_iteration, run_dtr_iteration_with_policy};
+pub use block_engine::{
+    run_block_iteration, run_block_iteration_recorded, run_block_iteration_traced, BlockMode,
+    BlockRun,
+};
+pub use dtr_engine::{
+    run_dtr_iteration, run_dtr_iteration_recorded, run_dtr_iteration_with_policy,
+};
+pub use mimose_runtime::{IterationReport, OomReport, RunSummary, TimeBreakdown};
 pub use recovery::{
     grow_plan, run_block_iteration_recovering, run_block_iteration_recovering_traced,
     RecoveryConfig,
 };
-pub use report::{IterationReport, OomReport, RunSummary, TimeBreakdown};
-pub use shadow::{shadow_check_enabled, ShadowChecker};
+pub use shadow::{shadow_check_enabled, DtrShadow, ShadowChecker};
 pub use trainer::{ExecError, Trainer};

@@ -30,6 +30,7 @@ use mimose_chaos::IterationFaults;
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::peak_bytes;
 use mimose_planner::{CheckpointPlan, RecoveryEvent, RecoveryRung};
+use mimose_runtime::{EventLog, NullRecorder, Recorder};
 use mimose_simgpu::{ArenaStats, DeviceProfile, TraceEvent};
 
 /// Tunables for the OOM-recovery ladder. The default configuration enables
@@ -202,7 +203,6 @@ fn drive(
             None => mode.clone(),
         };
         let opts = EngineOpts {
-            trace,
             attempt,
             shrink: st.shrink,
             recovery,
@@ -211,7 +211,12 @@ fn drive(
         // Planning time is a per-iteration cost, charged once; the aborted
         // attempts' own elapsed time is charged via recovery_ns instead.
         let attempt_planning = if attempt == 0 { planning_ns } else { 0 };
-        let (mut run, mut arena) = run_block_iteration_impl(
+        // Each attempt records into its own event log (when tracing): the
+        // returned trace covers the final attempt only.
+        let mut log = EventLog::new();
+        let mut null = NullRecorder;
+        let rec: &mut dyn Recorder = if trace { &mut log } else { &mut null };
+        let (mut run, arena) = run_block_iteration_impl(
             profile,
             attempt_mode,
             capacity,
@@ -219,31 +224,38 @@ fn drive(
             iter,
             attempt_planning,
             &opts,
+            rec,
         );
 
         let fatal = !run.report.ok();
-        if !fatal || recovery.is_none() {
-            // Success — or no ladder configured, so the first attempt is
-            // final either way. Merge accumulated history into the report.
-            if !st.events.is_empty() {
-                let mut all = std::mem::take(&mut st.events);
-                all.append(&mut run.report.recovery);
-                run.report.recovery = all;
+        let cfg = match recovery {
+            Some(cfg) if fatal => cfg,
+            _ => {
+                // Success — or no ladder configured, so the first attempt is
+                // final either way. Merge accumulated history into the
+                // report.
+                if !st.events.is_empty() {
+                    let mut all = std::mem::take(&mut st.events);
+                    all.append(&mut run.report.recovery);
+                    run.report.recovery = all;
+                }
+                run.report.time.recovery_ns += st.wasted_ns;
+                let (tr, stats) = if trace {
+                    (Some(log.to_arena_trace()), Some(arena.stats()))
+                } else {
+                    (None, None)
+                };
+                return (run, tr, stats);
             }
-            run.report.time.recovery_ns += st.wasted_ns;
-            let (tr, stats) = if trace {
-                (Some(arena.take_trace()), Some(arena.stats()))
-            } else {
-                (None, None)
-            };
-            return (run, tr, stats);
-        }
-        let cfg = recovery.unwrap();
+        };
 
         // Fatal under a ladder: decide the escalation before giving up.
         let attempt_ns = run.report.time.total_ns();
-        let oom = run.report.oom.as_ref().unwrap();
-        let (oom_phase, oom_requested) = (oom.phase, oom.requested);
+        let (oom_phase, oom_requested) = run
+            .report
+            .oom
+            .as_ref()
+            .map_or(("unknown", 0), |o| (o.phase, o.requested));
         // Checkpoint count of the plan the failed attempt *effectively* ran
         // (post-demotion when the inline rung fired), so the event chain's
         // checkpoint counts stay globally monotone.
@@ -324,7 +336,7 @@ fn drive(
         run.report.recovery = std::mem::take(&mut st.events);
         run.report.time.recovery_ns += st.wasted_ns;
         let (tr, stats) = if trace {
-            (Some(arena.take_trace()), Some(arena.stats()))
+            (Some(log.to_arena_trace()), Some(arena.stats()))
         } else {
             (None, None)
         };

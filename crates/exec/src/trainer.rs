@@ -4,11 +4,11 @@
 use crate::block_engine::{run_block_iteration, BlockMode, BlockRun};
 use crate::dtr_engine::run_dtr_iteration;
 use crate::recovery::{run_block_iteration_recovering, RecoveryConfig};
-use crate::report::{IterationReport, RunSummary};
 use mimose_chaos::{FaultInjector, IterationFaults};
 use mimose_data::Dataset;
 use mimose_models::{ModelError, ModelGraph, ModelInput, ModelProfile};
 use mimose_planner::{Directive, IterationObservation, MemoryPolicy};
+use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
 
 /// A non-memory failure that aborts a training run (memory failures are
@@ -22,6 +22,18 @@ pub enum ExecError {
         /// The model's own error.
         source: ModelError,
     },
+    /// A policy handed back a plan whose length does not match the profiled
+    /// block count; dispatching it would index out of bounds mid-iteration.
+    PlanShape {
+        /// Iteration at which the mismatched plan was issued.
+        iter: usize,
+        /// Plan flavour ("checkpoint", "fine", "hybrid").
+        kind: &'static str,
+        /// Block count of the iteration's profile.
+        expected: usize,
+        /// Block count the plan actually covers.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -30,6 +42,15 @@ impl std::fmt::Display for ExecError {
             ExecError::Profile { iter, source } => {
                 write!(f, "profiling failed at iteration {iter}: {source}")
             }
+            ExecError::PlanShape {
+                iter,
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{kind} plan at iteration {iter} covers {got} blocks but the profile has {expected}"
+            ),
         }
     }
 }
@@ -38,6 +59,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Profile { source, .. } => Some(source),
+            ExecError::PlanShape { .. } => None,
         }
     }
 }
@@ -141,6 +163,25 @@ impl<'a> Trainer<'a> {
             .profile(input)
             .map_err(|source| ExecError::Profile { iter, source })?;
         let directive = self.policy.begin_iteration(iter, &profile);
+        // Reject malformed plans up front with a typed error rather than
+        // letting the engine index out of bounds mid-iteration.
+        let expected = profile.blocks.len();
+        let shape = match &directive {
+            Directive::RunPlan(p) => Some(("checkpoint", p.len())),
+            Directive::RunFine(fine) => Some(("fine", fine.len())),
+            Directive::RunHybrid(h) => Some(("hybrid", h.len())),
+            Directive::Shuttle(_) | Directive::DtrDynamic => None,
+        };
+        if let Some((kind, got)) = shape {
+            if got != expected {
+                return Err(ExecError::PlanShape {
+                    iter,
+                    kind,
+                    expected,
+                    got,
+                });
+            }
+        }
         let planning_ns = self.policy.last_plan_overhead_ns();
         // Per-iteration fault vector (identity when no injector is set).
         let faults = self.injector.as_ref().map(|inj| inj.iteration_faults(iter));
@@ -366,8 +407,46 @@ mod tests {
         let err = tr.try_run_input(0, &bad).unwrap_err();
         match &err {
             ExecError::Profile { iter, .. } => assert_eq!(*iter, 0),
+            other => panic!("wrong error: {other}"),
         }
         assert!(err.to_string().contains("iteration 0"));
+    }
+
+    #[test]
+    fn mismatched_plan_shape_is_a_typed_error() {
+        use mimose_planner::{CheckpointPlan, PlannerMeta};
+        /// A policy that always answers with a 3-block plan regardless of
+        /// the profile it was shown.
+        struct BadPolicy;
+        impl MemoryPolicy for BadPolicy {
+            fn meta(&self) -> PlannerMeta {
+                BaselinePolicy::new().meta()
+            }
+            fn budget_bytes(&self) -> usize {
+                usize::MAX
+            }
+            fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
+                Directive::RunPlan(CheckpointPlan::none(3))
+            }
+        }
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let mut pol = BadPolicy;
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        let err = tr
+            .try_run_input(5, &ModelInput::tokens(8, 64))
+            .expect_err("a 3-block plan must be rejected");
+        match &err {
+            ExecError::PlanShape {
+                iter, kind, got, ..
+            } => {
+                assert_eq!(*iter, 5);
+                assert_eq!(*kind, "checkpoint");
+                assert_eq!(*got, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("covers 3 blocks"));
     }
 
     #[test]

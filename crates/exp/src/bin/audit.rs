@@ -4,18 +4,22 @@
 //! Per task: lint the worst-case and typical profiles, then for each
 //! planner build its policy, lint the plan it emits for the typical input
 //! (against the budget it was configured with), execute the plan in the
-//! block engine with arena tracing enabled, and audit the resulting
-//! allocator trace — including `ArenaStats` divergence. In debug builds the
-//! engine's shadow checker additionally cross-validates the allocator
-//! against the analytic residency curve at every block boundary.
+//! block engine with event recording enabled, and audit the recorded
+//! [`ExecEvent`](mimose_runtime::ExecEvent) stream — its allocator
+//! projection goes through the shadow replay (including `ArenaStats`
+//! divergence) and any embedded recovery events through the ladder lint.
+//! In debug builds the engine's own shadow checker additionally
+//! cross-validates the allocator against the analytic residency curve at
+//! every block boundary, fed from the same stream.
 //!
 //! Output: one JSON object per diagnostic on stdout, a human summary on
 //! stderr. Pass `--errors-only` to suppress info/warning findings.
 
 use mimose_audit::{
-    audit_trace, lint_fine_plan, lint_hybrid_plan, lint_plan, lint_profile, Diagnostic, Severity,
+    audit_exec_events, lint_fine_plan, lint_hybrid_plan, lint_plan, lint_profile, Diagnostic,
+    Severity,
 };
-use mimose_exec::{run_block_iteration_traced, BlockMode};
+use mimose_exec::{run_block_iteration_recorded, BlockMode};
 use mimose_exp::planners::{build_policy, PlannerKind};
 use mimose_exp::tasks::Task;
 use mimose_planner::memory_model::min_feasible_budget;
@@ -79,8 +83,8 @@ fn main() {
             };
 
             if let Some(mode) = mode {
-                let (run, trace, stats) =
-                    run_block_iteration_traced(&typical, mode, TRACE_CAPACITY, &dev, 0, 0);
+                let (run, events, stats) =
+                    run_block_iteration_recorded(&typical, mode, TRACE_CAPACITY, &dev, 0, 0);
                 if let Some(oom) = &run.report.oom {
                     diags.push(Diagnostic::error(
                         "unconstrained-oom",
@@ -92,11 +96,11 @@ fn main() {
                         ),
                     ));
                 }
-                let mut trace_diags = audit_trace(TRACE_CAPACITY, &trace, Some(&stats));
-                for d in &mut trace_diags {
+                let mut stream_diags = audit_exec_events(TRACE_CAPACITY, &events, Some(&stats));
+                for d in &mut stream_diags {
                     d.subject = format!("{subject}: {}", d.subject);
                 }
-                diags.extend(trace_diags);
+                diags.extend(stream_diags);
             }
         }
     }

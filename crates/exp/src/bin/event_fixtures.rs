@@ -1,0 +1,77 @@
+//! Regenerate `tests/fixtures/block_engine_seed.json` — the pinned
+//! block-engine iteration reports that the `exec_events_differential`
+//! integration test compares against, byte for byte.
+//!
+//! The committed fixture was produced by the pre-refactor engine (before
+//! `crates/runtime` existed); regenerating it should be a no-op unless the
+//! engine's simulated timeline deliberately changed. Run from the workspace
+//! root:
+//!
+//! ```text
+//! cargo run --release -p mimose-exp --bin event_fixtures > tests/fixtures/block_engine_seed.json
+//! ```
+
+use mimose_exec::{run_block_iteration, BlockMode, IterationReport};
+use mimose_models::builders::{bert_base, BertHead};
+use mimose_models::{ModelInput, ModelProfile};
+use mimose_planner::CheckpointPlan;
+use mimose_simgpu::DeviceProfile;
+
+fn profile(batch: usize, seq: usize) -> ModelProfile {
+    bert_base(BertHead::Classification { labels: 2 })
+        .profile(&ModelInput::tokens(batch, seq))
+        .expect("fixture input must profile")
+}
+
+fn emit(name: &str, r: &IterationReport, last: bool) {
+    let t = &r.time;
+    println!("  {{");
+    println!("    \"name\": \"{name}\",");
+    println!("    \"peak_bytes\": {},", r.peak_bytes);
+    println!("    \"peak_extent\": {},", r.peak_extent);
+    println!("    \"frag_bytes\": {},", r.frag_bytes);
+    println!("    \"dropped_units\": {},", r.dropped_units);
+    println!("    \"compute_ns\": {},", t.compute_ns);
+    println!("    \"recompute_ns\": {},", t.recompute_ns);
+    println!("    \"planning_ns\": {},", t.planning_ns);
+    println!("    \"bookkeeping_ns\": {},", t.bookkeeping_ns);
+    println!("    \"allocator_ns\": {},", t.allocator_ns);
+    println!("    \"swap_ns\": {},", t.swap_ns);
+    println!("    \"recovery_ns\": {},", t.recovery_ns);
+    println!("    \"total_ns\": {}", t.total_ns());
+    println!("  }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let dev = DeviceProfile::v100();
+    let cap = 64usize << 30;
+    let mut out: Vec<(String, IterationReport)> = Vec::new();
+
+    for (batch, seq) in [(32usize, 128usize), (32, 200), (16, 320)] {
+        let p = profile(batch, seq);
+        let n = p.blocks.len();
+        let plans = [
+            ("none", CheckpointPlan::none(n)),
+            ("all", CheckpointPlan::all(n)),
+            (
+                "alt",
+                CheckpointPlan::from_indices(n, &[1, 3, 5, 7, 9]).expect("indices in range"),
+            ),
+        ];
+        for (pname, plan) in &plans {
+            let run = run_block_iteration(&p, BlockMode::Plan(plan), cap, &dev, 0, 4321);
+            assert!(run.report.ok(), "fixture run must not OOM");
+            out.push((format!("bert_b{batch}_s{seq}_plan_{pname}"), run.report));
+        }
+        let shuttle = run_block_iteration(&p, BlockMode::Shuttle, cap, &dev, 0, 0);
+        assert!(shuttle.report.ok());
+        out.push((format!("bert_b{batch}_s{seq}_shuttle"), shuttle.report));
+    }
+
+    println!("[");
+    let last = out.len() - 1;
+    for (i, (name, r)) in out.iter().enumerate() {
+        emit(name, r, i == last);
+    }
+    println!("]");
+}

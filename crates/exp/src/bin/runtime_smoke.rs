@@ -1,0 +1,59 @@
+//! `runtime_smoke`: minimal end-to-end exercise of the event-sourced
+//! runtime — one block-engine iteration and one DTR iteration, each with a
+//! recording [`Recorder`](mimose_runtime::Recorder), their streams pushed
+//! through `mimose_audit::audit_exec_events` and their folds cross-checked
+//! against the reports. Exits non-zero on any error-severity diagnostic or
+//! fold divergence. CI runs this as the runtime-events smoke job.
+
+use mimose_audit::{audit_exec_events, has_errors, Diagnostic};
+use mimose_exec::{run_block_iteration_recorded, run_dtr_iteration_recorded, BlockMode};
+use mimose_models::builders::{bert_base, BertHead};
+use mimose_models::ModelInput;
+use mimose_planner::CheckpointPlan;
+use mimose_runtime::fold_events;
+use mimose_simgpu::DeviceProfile;
+
+fn report(label: &str, diags: &[Diagnostic]) -> bool {
+    for d in diags {
+        println!("{}", d.to_json());
+    }
+    let ok = !has_errors(diags);
+    eprintln!(
+        "runtime_smoke: {label}: {} finding(s), {}",
+        diags.len(),
+        if ok { "ok" } else { "ERRORS" }
+    );
+    ok
+}
+
+fn main() {
+    let dev = DeviceProfile::v100();
+    let p = bert_base(BertHead::Classification { labels: 2 })
+        .profile(&ModelInput::tokens(32, 128))
+        .expect("smoke input must profile");
+    let mut ok = true;
+
+    // One block-engine iteration under a mixed plan.
+    let cap = 64usize << 30;
+    let plan = CheckpointPlan::from_indices(p.blocks.len(), &[1, 3, 5]).expect("indices in range");
+    let (run, events, stats) =
+        run_block_iteration_recorded(&p, BlockMode::Plan(&plan), cap, &dev, 0, 1000);
+    assert!(run.report.ok(), "block smoke iteration OOMed");
+    let f = fold_events(cap, &events);
+    assert_eq!(f.time, run.report.time, "block fold clock divergence");
+    assert_eq!(f.peak_used, run.report.peak_bytes, "block fold peak");
+    ok &= report("block", &audit_exec_events(cap, &events, Some(&stats)));
+
+    // One DTR iteration under a tight-ish budget (evictions exercised).
+    let cap = 16usize << 30;
+    let (r, events, stats) = run_dtr_iteration_recorded(&p, 6 << 30, cap, &dev, 0);
+    assert!(r.ok(), "dtr smoke iteration OOMed");
+    let f = fold_events(cap, &events);
+    assert_eq!(f.time, r.time, "dtr fold clock divergence");
+    assert_eq!(f.peak_used, r.peak_bytes, "dtr fold peak");
+    ok &= report("dtr", &audit_exec_events(cap, &events, Some(&stats)));
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

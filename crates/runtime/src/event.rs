@@ -1,0 +1,280 @@
+//! The typed, append-only execution event stream and the [`Recorder`]
+//! sinks that consume it.
+//!
+//! Every engine built on [`EngineCore`](crate::EngineCore) emits one
+//! [`ExecEvent`] per observable action — allocator operations, virtual-clock
+//! charges, plan changes, recovery-ladder rungs and phase boundaries — in
+//! strict execution order. The stream is the single source of truth for all
+//! downstream observability: `mimose-exec` folds it into iteration reports,
+//! the shadow checkers cross-validate it against the analytic memory model,
+//! and `mimose-audit` replays it through an independent shadow allocator.
+//!
+//! Allocator-level events map 1:1 onto [`TraceEvent`]s (see
+//! [`ExecEvent::to_trace_event`]); the stream is a strict superset of the
+//! arena's own trace, so anything that audited arena traces audits these.
+
+use mimose_planner::{CheckpointPlan, RecoveryEvent};
+use mimose_simgpu::{AllocId, TraceEvent};
+
+/// Which [`TimeBreakdown`](crate::TimeBreakdown) channel a scalar clock
+/// charge lands in. Compute/recompute/swap charges carry their own event
+/// variants (they are the channels downstream consumers reason about most);
+/// the remaining bookkeeping-style channels share [`ExecEvent::ClockCharge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockChannel {
+    /// Plan generation / eviction-search time.
+    Planning,
+    /// Per-tensor metadata maintenance (DTR bookkeeping).
+    Bookkeeping,
+    /// Allocator call overhead (charged once at iteration finish).
+    Allocator,
+    /// OOM-recovery overhead (compaction copies, aborted attempts).
+    Recovery,
+}
+
+/// One event in an engine's execution stream, in strict execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecEvent {
+    /// A successful arena allocation.
+    Alloc {
+        /// Handle returned by the arena.
+        id: AllocId,
+        /// Start address of the carved range.
+        offset: usize,
+        /// Aligned length of the carved range.
+        size: usize,
+        /// Bytes the engine asked for (pre-alignment).
+        requested: usize,
+        /// Iteration phase issuing the request.
+        phase: &'static str,
+    },
+    /// A free of a live allocation.
+    Free {
+        /// Handle being released.
+        id: AllocId,
+        /// Start address of the released range.
+        offset: usize,
+        /// Aligned length of the released range.
+        size: usize,
+    },
+    /// A genuine allocation failure.
+    Oom {
+        /// Aligned bytes requested.
+        requested: usize,
+        /// Total free bytes at the time of failure.
+        free_bytes: usize,
+        /// Largest contiguous free range at the time of failure.
+        largest_free: usize,
+        /// Iteration phase issuing the request.
+        phase: &'static str,
+    },
+    /// An injected (spurious) allocation failure from the chaos layer; the
+    /// arena state is untouched.
+    InjectedOom {
+        /// Aligned bytes the failed request asked for.
+        requested: usize,
+        /// Iteration phase issuing the request.
+        phase: &'static str,
+    },
+    /// The arena was compacted (recovery rung 1).
+    Compact {
+        /// Bytes of live allocations that changed address.
+        moved: usize,
+    },
+    /// The arena was reset to a single pristine free range.
+    Reset,
+    /// Useful forward/backward/optimizer compute charged to the clock.
+    Compute {
+        /// Nanoseconds charged.
+        ns: u64,
+    },
+    /// Recomputation of checkpointed/evicted activations.
+    Recompute {
+        /// Nanoseconds charged (after any chaos spike factor).
+        ns: u64,
+    },
+    /// Non-overlapped host↔device swap transfer.
+    Swap {
+        /// Nanoseconds charged.
+        ns: u64,
+    },
+    /// A scalar charge to one of the remaining clock channels.
+    ClockCharge {
+        /// Destination channel.
+        channel: ClockChannel,
+        /// Nanoseconds charged.
+        ns: u64,
+    },
+    /// The effective checkpoint plan changed mid-iteration (in-place
+    /// demotion). Carries the complete post-change plan so stream consumers
+    /// (shadow checkers, auditors) can rebase without engine internals.
+    PlanApplied {
+        /// The plan now in effect.
+        plan: CheckpointPlan,
+    },
+    /// A recovery-ladder rung was taken.
+    Recovery(RecoveryEvent),
+    /// A phase boundary — the points where engines and shadow checkers
+    /// synchronise with the analytic memory model.
+    Boundary {
+        /// Boundary kind: `"init"`, `"forward"`, `"backward"`,
+        /// `"end-of-forward"`.
+        phase: &'static str,
+        /// Block index for per-block boundaries.
+        index: Option<usize>,
+        /// Engine-side live-byte accounting at this boundary (the DTR slot
+        /// table's total), when the engine computed it.
+        live_hint: Option<usize>,
+    },
+}
+
+impl ExecEvent {
+    /// The allocator-level [`TraceEvent`] this event corresponds to, if
+    /// any. Projecting a stream through this function yields exactly the
+    /// trace the arena itself would have recorded with tracing enabled.
+    pub fn to_trace_event(&self) -> Option<TraceEvent> {
+        match *self {
+            ExecEvent::Alloc {
+                id,
+                offset,
+                size,
+                requested,
+                ..
+            } => Some(TraceEvent::Alloc {
+                id,
+                offset,
+                size,
+                requested,
+            }),
+            ExecEvent::Free { id, offset, size } => Some(TraceEvent::Free { id, offset, size }),
+            ExecEvent::Oom {
+                requested,
+                free_bytes,
+                largest_free,
+                ..
+            } => Some(TraceEvent::Oom {
+                requested,
+                free_bytes,
+                largest_free,
+            }),
+            ExecEvent::InjectedOom { requested, .. } => Some(TraceEvent::InjectedOom { requested }),
+            ExecEvent::Compact { moved } => Some(TraceEvent::Compact { moved }),
+            ExecEvent::Reset => Some(TraceEvent::Reset),
+            _ => None,
+        }
+    }
+}
+
+/// A sink for [`ExecEvent`]s. Engines emit through `&mut dyn Recorder`, so
+/// recording, shadow checking and plain (discarding) execution share one
+/// code path.
+pub trait Recorder {
+    /// Consume one event. Called in strict execution order.
+    fn record(&mut self, ev: &ExecEvent);
+}
+
+/// Discards every event — the zero-overhead default for plain runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&mut self, _ev: &ExecEvent) {}
+}
+
+/// Appends every event to an in-memory log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// The recorded stream, in execution order.
+    pub events: Vec<ExecEvent>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Project the allocator-level events into an arena trace (see
+    /// [`ExecEvent::to_trace_event`]).
+    pub fn to_arena_trace(&self) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter_map(ExecEvent::to_trace_event)
+            .collect()
+    }
+
+    /// Take ownership of the recorded events, leaving an empty log.
+    pub fn take(&mut self) -> Vec<ExecEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl Recorder for EventLog {
+    #[inline]
+    fn record(&mut self, ev: &ExecEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Fans each event out to two recorders in order (first, then second).
+/// Engines use this to run a shadow checker alongside the caller's sink.
+pub struct Tee<'a>(pub &'a mut dyn Recorder, pub &'a mut dyn Recorder);
+
+impl Recorder for Tee<'_> {
+    #[inline]
+    fn record(&mut self, ev: &ExecEvent) {
+        self.0.record(ev);
+        self.1.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_projection_covers_allocator_events_only() {
+        let id = AllocId::from_raw(3);
+        let alloc = ExecEvent::Alloc {
+            id,
+            offset: 0,
+            size: 512,
+            requested: 100,
+            phase: "forward",
+        };
+        assert_eq!(
+            alloc.to_trace_event(),
+            Some(TraceEvent::Alloc {
+                id,
+                offset: 0,
+                size: 512,
+                requested: 100
+            })
+        );
+        assert_eq!(ExecEvent::Compute { ns: 5 }.to_trace_event(), None);
+        assert_eq!(
+            ExecEvent::Boundary {
+                phase: "init",
+                index: None,
+                live_hint: None
+            }
+            .to_trace_event(),
+            None
+        );
+    }
+
+    #[test]
+    fn tee_preserves_order_into_both_sinks() {
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.record(&ExecEvent::Compute { ns: 1 });
+            tee.record(&ExecEvent::Reset);
+        }
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.to_arena_trace(), vec![TraceEvent::Reset]);
+    }
+}

@@ -1,0 +1,21 @@
+//! The live-block table: which allocations belong to which block.
+//!
+//! Both engines (and the block engine's demotion rung) share this
+//! vocabulary: a block holds handles for its internal activation tensors
+//! and its output, plus — for fine (tensor-granular) plans — the indices of
+//! internals currently dropped. The table is owned by the engine's policy
+//! so relief rungs can evict internals without borrowing engine locals.
+
+use mimose_simgpu::AllocId;
+
+/// One block's live allocations during an iteration.
+#[derive(Debug, Default)]
+pub struct LiveBlock {
+    /// Handles of the block's resident internal activation tensors.
+    pub tensor_ids: Vec<AllocId>,
+    /// Handle of the block's output checkpoint, while resident.
+    pub out_id: Option<AllocId>,
+    /// Indices (into the profile's tensor list) of internals currently
+    /// dropped by a fine plan.
+    pub dropped: Vec<usize>,
+}

@@ -1,0 +1,211 @@
+//! Materialization policies: the ~200 lines that make one engine differ
+//! from another.
+//!
+//! Both execution engines walk the same forward/backward timeline over an
+//! [`EngineCore`]; what distinguishes them is how they respond to memory
+//! pressure at an allocation site. The block engine climbs the inline
+//! recovery rungs (compact-and-retry, in-place plan demotion); the DTR
+//! engine proactively evicts the lowest-h-DTR tensor until the request fits
+//! its logical budget. [`policy_alloc`] is the one allocation protocol both
+//! share: ask the policy to prepare, attempt the allocation, and on failure
+//! let the policy relieve pressure and retry until it runs out of remedies.
+
+use crate::engine::EngineCore;
+use crate::report::OomReport;
+use mimose_simgpu::{AllocId, Arena, OomError};
+
+/// Where in the iteration an allocation request originates — everything a
+/// policy may consult when deciding how to relieve pressure.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocSite {
+    /// Iteration phase (`"const"`, `"input"`, `"forward"`, `"recompute"`,
+    /// `"backward"`).
+    pub phase: &'static str,
+    /// Block currently executing, if any; its tensors are in use and must
+    /// not be victimised.
+    pub cursor: Option<usize>,
+    /// Whether the forward pass is still running (future blocks can shed
+    /// upcoming pressure).
+    pub in_forward: bool,
+}
+
+impl AllocSite {
+    /// A site with no executing block (const/input setup).
+    pub fn setup(phase: &'static str) -> Self {
+        AllocSite {
+            phase,
+            cursor: None,
+            in_forward: false,
+        }
+    }
+}
+
+/// Terminal allocation failure after the policy exhausted its remedies.
+#[derive(Debug, Clone, Copy)]
+pub enum AllocFail {
+    /// The arena refused and no relief was possible.
+    Oom(OomError),
+    /// An eviction-driven policy found no evictable victim (everything live
+    /// is pinned or dead).
+    NoVictim {
+        /// Bytes the failed request asked for.
+        requested: usize,
+    },
+}
+
+impl AllocFail {
+    /// Bytes the failed request asked for.
+    pub fn requested(&self) -> usize {
+        match *self {
+            AllocFail::Oom(e) => e.requested,
+            AllocFail::NoVictim { requested } => requested,
+        }
+    }
+
+    /// Shape the failure into the shared report schema. `Oom` keeps the
+    /// allocator's own free-space snapshot; `NoVictim` never reached the
+    /// allocator, so the arena's current picture is sampled instead.
+    pub fn to_report(&self, arena: &Arena, phase: &'static str) -> OomReport {
+        match self {
+            AllocFail::Oom(e) => OomReport::from_error(e, phase),
+            AllocFail::NoVictim { requested } => OomReport::from_arena(arena, *requested, phase),
+        }
+    }
+}
+
+/// How an engine responds to memory pressure at an allocation site.
+pub trait MaterializationPolicy {
+    /// Called once before the allocation attempt. Eviction-driven policies
+    /// make room under their logical budget here; plan-driven policies do
+    /// nothing.
+    fn prepare(
+        &mut self,
+        core: &mut EngineCore<'_>,
+        bytes: usize,
+        site: &AllocSite,
+    ) -> Result<(), AllocFail> {
+        let _ = (core, bytes, site);
+        Ok(())
+    }
+
+    /// Called after a failed attempt. Return `Ok(true)` to retry after
+    /// relieving pressure (compaction, demotion, one eviction), `Ok(false)`
+    /// when out of remedies — the caller then surfaces the original arena
+    /// error — or `Err` for a policy-level failure of its own.
+    fn relieve(
+        &mut self,
+        core: &mut EngineCore<'_>,
+        err: &OomError,
+        bytes: usize,
+        site: &AllocSite,
+    ) -> Result<bool, AllocFail>;
+}
+
+/// A policy with no remedies: every arena failure is terminal. This is the
+/// legacy report-and-die behaviour of the engines without a recovery config.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoRelief;
+
+impl MaterializationPolicy for NoRelief {
+    fn relieve(
+        &mut self,
+        _core: &mut EngineCore<'_>,
+        _err: &OomError,
+        _bytes: usize,
+        _site: &AllocSite,
+    ) -> Result<bool, AllocFail> {
+        Ok(false)
+    }
+}
+
+/// The shared allocation protocol: prepare, attempt, and on failure let the
+/// policy relieve pressure and retry until it gives up.
+pub fn policy_alloc<P: MaterializationPolicy + ?Sized>(
+    core: &mut EngineCore<'_>,
+    policy: &mut P,
+    bytes: usize,
+    site: &AllocSite,
+) -> Result<AllocId, AllocFail> {
+    policy.prepare(core, bytes, site)?;
+    loop {
+        match core.try_alloc(bytes, site.phase) {
+            Ok(id) => return Ok(id),
+            Err(e) => {
+                if !policy.relieve(core, &e, bytes, site)? {
+                    return Err(AllocFail::Oom(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventLog, ExecEvent, NullRecorder};
+    use mimose_simgpu::DeviceProfile;
+
+    /// Frees one parked allocation per relieve call — enough to model a
+    /// policy that actually cures pressure.
+    struct FreeOne {
+        parked: Vec<AllocId>,
+    }
+
+    impl MaterializationPolicy for FreeOne {
+        fn relieve(
+            &mut self,
+            core: &mut EngineCore<'_>,
+            _err: &OomError,
+            _bytes: usize,
+            _site: &AllocSite,
+        ) -> Result<bool, AllocFail> {
+            match self.parked.pop() {
+                Some(id) => {
+                    core.free(id);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+    }
+
+    #[test]
+    fn no_relief_surfaces_the_arena_error() {
+        let dev = DeviceProfile::v100();
+        let mut rec = NullRecorder;
+        let mut core = EngineCore::new(4096, &dev, &mut rec);
+        let _hog = core.try_alloc(4096, "forward").expect("fits");
+        let site = AllocSite::setup("forward");
+        let fail = policy_alloc(&mut core, &mut NoRelief, 1024, &site).expect_err("full");
+        assert_eq!(fail.requested(), 1024);
+        let report = fail.to_report(&core.arena, "forward");
+        assert_eq!(report.free_bytes, 0);
+        assert!(!report.is_fragmentation());
+    }
+
+    #[test]
+    fn relieving_policy_retries_until_it_fits() {
+        let dev = DeviceProfile::v100();
+        let mut log = EventLog::new();
+        let mut core = EngineCore::new(4 * 512, &dev, &mut log);
+        let parked = vec![
+            core.try_alloc(512, "forward").expect("fits"),
+            core.try_alloc(512, "forward").expect("fits"),
+            core.try_alloc(512, "forward").expect("fits"),
+            core.try_alloc(512, "forward").expect("fits"),
+        ];
+        let mut pol = FreeOne { parked };
+        let site = AllocSite::setup("backward");
+        let id = policy_alloc(&mut core, &mut pol, 1024, &site).expect("relieved");
+        assert_eq!(core.arena.size_of(id), Some(1024));
+        // Two frees were needed for a 1024 B request in a full arena; the
+        // stream shows the failed attempts interleaved with the relief.
+        let ooms = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, ExecEvent::Oom { .. }))
+            .count();
+        assert_eq!(ooms, 2);
+        assert_eq!(pol.parked.len(), 2);
+    }
+}

@@ -1,4 +1,9 @@
 //! Iteration and epoch reports: the measurements every experiment consumes.
+//!
+//! These types used to live in `mimose-exec`; they moved here with the
+//! event-sourced runtime core so that every engine (and every stream
+//! consumer) shares one report schema. `mimose-exec` re-exports them
+//! unchanged.
 
 use mimose_models::ModelInput;
 use mimose_planner::RecoveryEvent;
@@ -50,7 +55,7 @@ impl OomReport {
 }
 
 /// Virtual-time breakdown of one iteration (the Fig 5 categories).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     /// Useful forward+backward+optimizer compute, ns.
     pub compute_ns: u64,
@@ -257,8 +262,8 @@ mod tests {
     #[test]
     fn oom_report_helpers_share_one_schema() {
         let mut arena = Arena::new(4096);
-        let _a = arena.alloc(4096).unwrap();
-        let err = arena.alloc(1024).unwrap_err();
+        let _a = arena.alloc(4096).expect("fits");
+        let err = arena.alloc(1024).expect_err("full");
         let from_err = OomReport::from_error(&err, "forward");
         let from_arena = OomReport::from_arena(&arena, err.requested, "forward");
         assert_eq!(from_err.requested, from_arena.requested);

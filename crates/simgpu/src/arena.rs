@@ -20,6 +20,20 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Allocation alignment (the CUDA caching allocator rounds to 512 B).
 pub const ARENA_ALIGN: usize = 512;
 
+/// Round `bytes` up to the arena granule: the next multiple of
+/// [`ARENA_ALIGN`], minimum one granule (a zero-byte request still occupies
+/// an addressable range, mirroring the CUDA caching allocator).
+///
+/// This is the **single** alignment rule of the whole system — the arena's
+/// carve sizes, the engines' residency arithmetic and the audit shadow all
+/// call this one function (re-exported as `mimose_runtime::align_up`).
+/// Saturates near `usize::MAX` instead of overflowing: the result is always
+/// a multiple of `ARENA_ALIGN`.
+#[inline]
+pub fn align_up(bytes: usize) -> usize {
+    (bytes.saturating_add(ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
+}
+
 /// Free-range selection policy.
 ///
 /// The CUDA caching allocator behaves first-fit-ish within size pools;
@@ -343,7 +357,7 @@ impl Arena {
 
     #[inline]
     fn aligned(bytes: usize) -> usize {
-        ((bytes + ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
+        align_up(bytes)
     }
 
     /// First-fit selection: the lowest-address range with `len >= need`,
@@ -510,6 +524,12 @@ impl Arena {
     /// Size (aligned) of a live allocation.
     pub fn size_of(&self, id: AllocId) -> Option<usize> {
         self.live.get(&id).map(|&(_, len)| len)
+    }
+
+    /// `(offset, aligned size)` of a live allocation. `None` when `id` is
+    /// not live. Offsets are only stable until the next [`Arena::compact`].
+    pub fn range_of(&self, id: AllocId) -> Option<(usize, usize)> {
+        self.live.get(&id).copied()
     }
 
     /// Free every live allocation (end of iteration): the arena returns to a

@@ -11,6 +11,8 @@ mod arena;
 mod clock;
 mod device;
 
-pub use arena::{AllocId, AllocPolicy, Arena, ArenaStats, OomError, TraceEvent, ARENA_ALIGN};
+pub use arena::{
+    align_up, AllocId, AllocPolicy, Arena, ArenaStats, OomError, TraceEvent, ARENA_ALIGN,
+};
 pub use clock::{VirtualClock, VirtualTime};
 pub use device::DeviceProfile;

@@ -47,5 +47,6 @@ pub use mimose_models as models;
 pub use mimose_ops as ops;
 pub use mimose_planner as planner;
 pub use mimose_rng as rng;
+pub use mimose_runtime as runtime;
 pub use mimose_simgpu as simgpu;
 pub use mimose_tensor as tensor;
