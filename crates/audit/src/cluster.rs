@@ -1,0 +1,373 @@
+//! Fleet-level lint: independent re-derivation of a
+//! [`ClusterReport`](mimose_cluster::ClusterReport)'s rollup numbers from
+//! the per-job evidence the scheduler kept, plus structural invariants of
+//! the dispatch sequence.
+//!
+//! The scheduler folds per-iteration reports into per-job summaries and
+//! those into the fleet rollup; this pass refuses to trust any of it. It
+//! re-folds the iteration reports, re-sums the device counters, replays
+//! recorded event streams through [`fold_events`], and cross-checks every
+//! number the report claims.
+
+use crate::diag::Diagnostic;
+use mimose_cluster::{ClusterOutcome, JobOutcome};
+use mimose_runtime::{fold_events, RunSummary};
+
+/// Audit a finished cluster run. Returns one diagnostic per violated
+/// invariant; an empty vector means the rollup is exactly reproducible
+/// from the evidence.
+pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let report = &outcome.report;
+    let details = &outcome.details;
+
+    if report.jobs.len() != details.len() {
+        diags.push(Diagnostic::error(
+            "cluster-job-rows",
+            "report",
+            format!(
+                "report has {} job rows but {} job details",
+                report.jobs.len(),
+                details.len()
+            ),
+        ));
+        return diags; // every per-job check below would misalign
+    }
+
+    // --- Per-job: re-fold the iteration reports and compare. ---
+    let mut dispatched = 0usize;
+    for (row, detail) in report.jobs.iter().zip(details) {
+        let subject = row.name.clone();
+        if row.device.is_some() {
+            dispatched += 1;
+        }
+        // A job with no device must have been settled, never starved.
+        if row.device.is_none() && row.outcome == JobOutcome::Completed {
+            diags.push(Diagnostic::error(
+                "cluster-starvation",
+                subject.clone(),
+                "job marked completed but never dispatched to a device",
+            ));
+        }
+        if row.device.is_some() && detail.dispatch_seq.is_none() {
+            diags.push(Diagnostic::error(
+                "cluster-dispatch-seq",
+                subject.clone(),
+                "dispatched job carries no dispatch sequence number",
+            ));
+        }
+
+        let mut refold = RunSummary::default();
+        for r in &detail.reports {
+            refold.absorb(r);
+        }
+        let s = &detail.summary;
+        if (refold.iters, refold.total_ns, refold.max_peak_bytes)
+            != (s.iters, s.total_ns, s.max_peak_bytes)
+            || (
+                refold.oom_iters,
+                refold.recovered_iters,
+                refold.recovery_events,
+            ) != (s.oom_iters, s.recovered_iters, s.recovery_events)
+            || refold.shuttle_iters != s.shuttle_iters
+        {
+            diags.push(Diagnostic::error(
+                "cluster-summary-refold",
+                subject.clone(),
+                format!(
+                    "re-folding {} iteration reports disagrees with the session summary \
+                     (refold {refold:?} vs summary {s:?})",
+                    detail.reports.len()
+                ),
+            ));
+        }
+        if row.iters != s.iters
+            || row.total_ns != s.total_ns
+            || row.max_peak_bytes != s.max_peak_bytes
+            || row.oom_iters != s.oom_iters
+            || row.recovered_iters != s.recovered_iters
+            || row.recovery_events != s.recovery_events
+            || row.shuttle_iters != s.shuttle_iters
+        {
+            diags.push(Diagnostic::error(
+                "cluster-row-vs-summary",
+                subject.clone(),
+                "report row disagrees with the job's session summary",
+            ));
+        }
+        if row.outcome == JobOutcome::Completed && row.iters == 0 {
+            diags.push(Diagnostic::error(
+                "cluster-empty-completion",
+                subject.clone(),
+                "job completed with zero iterations executed",
+            ));
+        }
+
+        // Recorded event streams must reproduce the reported peaks and
+        // stay within the arena each iteration actually ran under.
+        if !detail.records.is_empty() {
+            if detail.records.len() != detail.reports.len() {
+                diags.push(Diagnostic::error(
+                    "cluster-record-count",
+                    subject.clone(),
+                    format!(
+                        "{} event records for {} iteration reports",
+                        detail.records.len(),
+                        detail.reports.len()
+                    ),
+                ));
+            }
+            for (rec, rep) in detail.records.iter().zip(&detail.reports) {
+                let fold = fold_events(rec.capacity, &rec.events);
+                if fold.peak_used != rep.peak_bytes {
+                    diags.push(Diagnostic::error(
+                        "cluster-fold-peak",
+                        format!("{subject} iter {}", rec.iter),
+                        format!(
+                            "event fold peak {} != reported peak {}",
+                            fold.peak_used, rep.peak_bytes
+                        ),
+                    ));
+                }
+                if rep.peak_extent > rec.capacity {
+                    diags.push(Diagnostic::error(
+                        "cluster-extent-capacity",
+                        format!("{subject} iter {}", rec.iter),
+                        format!(
+                            "peak extent {} exceeds the iteration's arena capacity {}",
+                            rep.peak_extent, rec.capacity
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Devices: counters must re-derive from the job rows. ---
+    for dev in &report.devices {
+        let iters: usize = report
+            .jobs
+            .iter()
+            .filter(|j| j.device == Some(dev.index))
+            .map(|j| j.iters)
+            .sum();
+        if iters != dev.iters {
+            diags.push(Diagnostic::error(
+                "cluster-device-iters",
+                format!("device {}", dev.index),
+                format!(
+                    "device counted {} iters, its jobs sum to {iters}",
+                    dev.iters
+                ),
+            ));
+        }
+        let busy: u64 = report
+            .jobs
+            .iter()
+            .filter(|j| j.device == Some(dev.index))
+            .map(|j| j.total_ns)
+            .sum();
+        if busy != dev.busy_ns {
+            diags.push(Diagnostic::error(
+                "cluster-device-busy",
+                format!("device {}", dev.index),
+                format!("device busy {} ns, its jobs sum to {busy} ns", dev.busy_ns),
+            ));
+        }
+    }
+
+    // --- Fleet rollup: totals, makespan, utilization. ---
+    let max_busy = report.devices.iter().map(|d| d.busy_ns).max().unwrap_or(0);
+    if report.makespan_ns != max_busy {
+        diags.push(Diagnostic::error(
+            "cluster-makespan",
+            "report",
+            format!(
+                "makespan {} != max device busy {max_busy}",
+                report.makespan_ns
+            ),
+        ));
+    }
+    let sum_busy: u64 = report.devices.iter().map(|d| d.busy_ns).sum();
+    if report.busy_ns != sum_busy {
+        diags.push(Diagnostic::error(
+            "cluster-busy-sum",
+            "report",
+            format!("busy {} != device sum {sum_busy}", report.busy_ns),
+        ));
+    }
+    if !(0.0..=100.0 + 1e-9).contains(&report.utilization_pct) {
+        diags.push(Diagnostic::error(
+            "cluster-utilization-bounds",
+            "report",
+            format!("utilization {} % out of [0, 100]", report.utilization_pct),
+        ));
+    }
+    if report.makespan_ns > 0 {
+        let expect =
+            sum_busy as f64 / (report.makespan_ns as f64 * report.devices.len() as f64) * 100.0;
+        if (expect - report.utilization_pct).abs() > 1e-6 {
+            diags.push(Diagnostic::error(
+                "cluster-utilization-value",
+                "report",
+                format!(
+                    "utilization {} % does not re-derive ({expect} %)",
+                    report.utilization_pct
+                ),
+            ));
+        }
+    }
+    for (check, reported, derived) in [
+        (
+            "cluster-oom-total",
+            report.oom_iters,
+            report.jobs.iter().map(|j| j.oom_iters).sum::<usize>(),
+        ),
+        (
+            "cluster-recovered-total",
+            report.recovered_iters,
+            report.jobs.iter().map(|j| j.recovered_iters).sum(),
+        ),
+        (
+            "cluster-recovery-total",
+            report.recovery_events,
+            report.jobs.iter().map(|j| j.recovery_events).sum(),
+        ),
+    ] {
+        if reported != derived {
+            diags.push(Diagnostic::error(
+                check,
+                "report",
+                format!("rollup says {reported}, job rows sum to {derived}"),
+            ));
+        }
+    }
+
+    // Admission bookkeeping: every dispatched job was admitted or demoted,
+    // every undispatched one rejected or failed.
+    let adm = &report.admission;
+    if adm.admitted + adm.demoted != dispatched {
+        diags.push(Diagnostic::error(
+            "cluster-admission-count",
+            "report",
+            format!(
+                "{} admitted + {} demoted != {dispatched} dispatched jobs",
+                adm.admitted, adm.demoted
+            ),
+        ));
+    }
+    let rejected_rows = report
+        .jobs
+        .iter()
+        .filter(|j| j.outcome == JobOutcome::Rejected)
+        .count();
+    if adm.rejected != rejected_rows {
+        diags.push(Diagnostic::error(
+            "cluster-rejection-count",
+            "report",
+            format!(
+                "admission counted {} rejections, {rejected_rows} job rows are rejected",
+                adm.rejected
+            ),
+        ));
+    }
+    if adm.within_10pct > adm.predictions {
+        diags.push(Diagnostic::error(
+            "cluster-prediction-count",
+            "report",
+            format!(
+                "{} accurate predictions out of {} scored",
+                adm.within_10pct, adm.predictions
+            ),
+        ));
+    }
+
+    // --- Dispatch-sequence structure: unique, dense, round-monotone; and
+    // under FIFO, same-round dispatches onto equal-capacity devices must
+    // honor submission order. ---
+    let mut seq: Vec<(usize, usize, usize)> = details // (seq, round, submit idx)
+        .iter()
+        .enumerate()
+        .filter_map(|(j, d)| Some((d.dispatch_seq?, d.dispatch_round?, j)))
+        .collect();
+    seq.sort_unstable();
+    for (k, (s, round, _)) in seq.iter().enumerate() {
+        if *s != k {
+            diags.push(Diagnostic::error(
+                "cluster-dispatch-seq",
+                "schedule",
+                format!("dispatch sequence is not dense: position {k} holds seq {s}"),
+            ));
+            break;
+        }
+        if k > 0 && *round < seq[k - 1].1 {
+            diags.push(Diagnostic::error(
+                "cluster-dispatch-rounds",
+                "schedule",
+                format!("seq {s} dispatched in round {round}, before its predecessor"),
+            ));
+        }
+    }
+    if report.schedule == "fifo" {
+        for w in seq.windows(2) {
+            let ((_, ra, ja), (_, rb, jb)) = (w[0], w[1]);
+            let cap = |j: usize| {
+                report.jobs[j]
+                    .device
+                    .map(|d| report.devices[d].capacity_bytes)
+            };
+            if ra == rb && cap(ja) == cap(jb) && ja > jb {
+                diags.push(Diagnostic::error(
+                    "cluster-fifo-order",
+                    "schedule",
+                    format!(
+                        "fifo dispatched job #{ja} before job #{jb} in round {ra} \
+                         on equal-capacity devices"
+                    ),
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_cluster::{mixed_workload, run_cluster, v100_pool, ClusterSpec, SchedulePolicy};
+
+    #[test]
+    fn clean_run_lints_clean() {
+        for schedule in [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::ShortestPredicted,
+            SchedulePolicy::BestFitMemory,
+        ] {
+            let spec = ClusterSpec::new(mixed_workload(2), v100_pool(2))
+                .schedule(schedule)
+                .record(true);
+            let outcome = run_cluster(&spec);
+            let diags = lint_cluster(&outcome);
+            assert!(
+                diags.is_empty(),
+                "{}: {:?}",
+                schedule.name(),
+                diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_rollup_is_caught() {
+        let spec = ClusterSpec::new(mixed_workload(2), v100_pool(2)).record(true);
+        let mut outcome = run_cluster(&spec);
+        outcome.report.makespan_ns += 1;
+        outcome.report.jobs[0].oom_iters += 1;
+        let diags = lint_cluster(&outcome);
+        let checks: Vec<_> = diags.iter().map(|d| d.check).collect();
+        assert!(checks.contains(&"cluster-makespan"), "{checks:?}");
+        assert!(checks.contains(&"cluster-row-vs-summary"), "{checks:?}");
+        assert!(checks.contains(&"cluster-oom-total"), "{checks:?}");
+    }
+}

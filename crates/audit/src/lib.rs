@@ -20,7 +20,11 @@
 //!   tensor accounting, cost sanity);
 //! * [`lint_recovery_trace`] — structural invariants of the executor's
 //!   OOM-recovery ladder (ladder order, bounded retries, monotone demotion,
-//!   terminal fallback, shrink discipline).
+//!   terminal fallback, shrink discipline);
+//! * [`lint_cluster`] — re-derivation of a fleet run's rollup (makespan,
+//!   utilization, per-device counters, admission bookkeeping) from the
+//!   per-job evidence, with event-fold cross-checks and dispatch-order
+//!   structure.
 //!
 //! The runtime counterpart — the planner/executor shadow checker that
 //! compares the allocator's live bytes against the analytic residency curve
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod cluster;
 mod diag;
 mod exec_stream;
 mod lint;
@@ -38,6 +43,7 @@ mod profile;
 mod recovery;
 mod trace;
 
+pub use cluster::lint_cluster;
 pub use diag::{has_errors, json_escape, max_severity, to_json_array, Diagnostic, Severity};
 pub use exec_stream::audit_exec_events;
 pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};

@@ -2,7 +2,7 @@
 //! through the stream auditor — the same pipeline the CI smoke job runs.
 
 use mimose_audit::{audit_exec_events, has_errors};
-use mimose_exec::{run_block_iteration_recorded, run_dtr_iteration_recorded, BlockMode};
+use mimose_exec::{BlockIteration, DtrIteration};
 use mimose_models::builders::{bert_base, BertHead};
 use mimose_models::{ModelInput, ModelProfile};
 use mimose_planner::CheckpointPlan;
@@ -20,8 +20,11 @@ fn recorded_block_run_audits_clean() {
     let dev = DeviceProfile::v100();
     let plan = CheckpointPlan::from_indices(p.blocks.len(), &[1, 3, 5]).unwrap();
     let capacity = 64usize << 30;
-    let (run, events, stats) =
-        run_block_iteration_recorded(&p, BlockMode::Plan(&plan), capacity, &dev, 0, 1000);
+    let (run, events, stats) = BlockIteration::plan(&p, &plan)
+        .device(&dev)
+        .capacity(capacity)
+        .planning_ns(1000)
+        .run_recorded();
     assert!(run.report.ok());
     let diags = audit_exec_events(capacity, &events, Some(&stats));
     assert!(!has_errors(&diags), "stream audit found errors: {diags:?}");
@@ -32,7 +35,10 @@ fn recorded_dtr_run_audits_clean() {
     let p = profile(100);
     let dev = DeviceProfile::v100();
     let capacity = 16usize << 30;
-    let (report, events, stats) = run_dtr_iteration_recorded(&p, 6 << 30, capacity, &dev, 0);
+    let (report, events, stats) = DtrIteration::new(&p, 6 << 30)
+        .device(&dev)
+        .capacity(capacity)
+        .run_recorded();
     assert!(report.ok());
     let diags = audit_exec_events(capacity, &events, Some(&stats));
     assert!(!has_errors(&diags), "stream audit found errors: {diags:?}");
@@ -45,8 +51,10 @@ fn corrupted_stream_is_caught() {
     let dev = DeviceProfile::v100();
     let capacity = 64usize << 30;
     let plan = CheckpointPlan::none(p.blocks.len());
-    let (_, mut events, _) =
-        run_block_iteration_recorded(&p, BlockMode::Plan(&plan), capacity, &dev, 0, 0);
+    let (_, mut events, _) = BlockIteration::plan(&p, &plan)
+        .device(&dev)
+        .capacity(capacity)
+        .run_recorded();
     // Duplicate the first Free event: a double-free the shadow must flag.
     let free = events
         .iter()

@@ -1,0 +1,40 @@
+//! Fleet-scheduler throughput vs device count: wall-clock cost of
+//! scheduling the eight-job mixed workload over 1/2/4 V100s, serial rounds
+//! vs one scoped thread per busy device. The virtual-time scaling record
+//! (makespan, utilization per pool size) is written by `exp cluster --gate`
+//! as `BENCH_cluster.json`; this suite measures what the scheduler itself
+//! costs the host.
+
+use mimose_bench::harness::{BenchMeta, Criterion};
+use mimose_bench::{criterion_group, criterion_main};
+use mimose_cluster::{mixed_workload, run_cluster, v100_pool, ClusterSpec};
+use std::hint::black_box;
+
+fn bench_cluster(c: &mut Criterion) {
+    let iters = 2;
+    let jobs = mixed_workload(iters);
+    let ops = (jobs.len() * iters) as u64;
+    let meta = BenchMeta {
+        blocks: None,
+        ops_per_iter: Some(ops),
+    };
+    let mut g = c.benchmark_group("cluster_mixed_workload");
+    for devices in [1usize, 2, 4] {
+        g.bench_function_with(&format!("serial_{devices}dev"), meta, |b| {
+            b.iter(|| {
+                let spec = ClusterSpec::new(mixed_workload(iters), v100_pool(devices)).threads(1);
+                black_box(run_cluster(&spec))
+            })
+        });
+    }
+    g.bench_function_with("threaded_4dev", meta, |b| {
+        b.iter(|| {
+            let spec = ClusterSpec::new(mixed_workload(iters), v100_pool(4)).threads(4);
+            black_box(run_cluster(&spec))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

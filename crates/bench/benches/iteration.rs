@@ -3,9 +3,7 @@
 use mimose_bench::harness::Criterion;
 use mimose_bench::tc_bert_profile;
 use mimose_bench::{criterion_group, criterion_main};
-use mimose_exec::{
-    run_block_iteration, run_block_iteration_recorded, run_dtr_iteration, BlockMode,
-};
+use mimose_exec::{BlockIteration, DtrIteration};
 use mimose_planner::{CheckpointPlan, SublinearPolicy};
 use mimose_simgpu::DeviceProfile;
 use std::hint::black_box;
@@ -21,63 +19,54 @@ fn bench_iteration(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_one_iteration");
     g.bench_function("baseline_plan", |b| {
         b.iter(|| {
-            black_box(run_block_iteration(
-                black_box(&profile),
-                BlockMode::Plan(&none),
-                16 << 30,
-                &dev,
-                0,
-                0,
-            ))
+            black_box(
+                BlockIteration::plan(black_box(&profile), &none)
+                    .device(&dev)
+                    .capacity(16 << 30)
+                    .run(),
+            )
         })
     });
     g.bench_function("sublinear_plan", |b| {
         b.iter(|| {
-            black_box(run_block_iteration(
-                black_box(&profile),
-                BlockMode::Plan(&sub),
-                16 << 30,
-                &dev,
-                0,
-                0,
-            ))
+            black_box(
+                BlockIteration::plan(black_box(&profile), &sub)
+                    .device(&dev)
+                    .capacity(16 << 30)
+                    .run(),
+            )
         })
     });
     g.bench_function("shuttle", |b| {
         b.iter(|| {
-            black_box(run_block_iteration(
-                black_box(&profile),
-                BlockMode::Shuttle,
-                16 << 30,
-                &dev,
-                0,
-                0,
-            ))
+            black_box(
+                BlockIteration::shuttle(black_box(&profile))
+                    .device(&dev)
+                    .capacity(16 << 30)
+                    .run(),
+            )
         })
     });
     // Same work as `sublinear_plan` but with the full ExecEvent stream
     // recorded — the delta is the cost of event sourcing itself.
     g.bench_function("sublinear_plan_recorded", |b| {
         b.iter(|| {
-            black_box(run_block_iteration_recorded(
-                black_box(&profile),
-                BlockMode::Plan(&sub),
-                16 << 30,
-                &dev,
-                0,
-                0,
-            ))
+            black_box(
+                BlockIteration::plan(black_box(&profile), &sub)
+                    .device(&dev)
+                    .capacity(16 << 30)
+                    .run_recorded(),
+            )
         })
     });
     g.bench_function("dtr", |b| {
         b.iter(|| {
-            black_box(run_dtr_iteration(
-                black_box(&profile),
-                5 << 30,
-                16 << 30,
-                &dev,
-                0,
-            ))
+            black_box(
+                DtrIteration::new(black_box(&profile), 5 << 30)
+                    .device(&dev)
+                    .capacity(16 << 30)
+                    .run(),
+            )
         })
     });
     g.finish();

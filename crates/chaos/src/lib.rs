@@ -95,6 +95,65 @@ impl FaultSpec {
     }
 }
 
+/// A fleet-wide fault schedule: one base [`FaultSpec`] fanned out to a
+/// pool of devices, each device getting the same fault *intensities* under
+/// an independent per-device seed stream (so device 0's bad iterations are
+/// not device 3's bad iterations — faults decorrelate across the pool the
+/// way co-located interference does).
+///
+/// Derivation is pure: `injector_for(d)` is a function of
+/// `(base_spec, d)`, so a cluster run is reproducible from the base spec
+/// alone regardless of dispatch order or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultPlan {
+    base: FaultSpec,
+}
+
+impl FleetFaultPlan {
+    /// Fan `base` out across a device pool.
+    pub fn new(base: FaultSpec) -> Self {
+        FleetFaultPlan { base }
+    }
+
+    /// A plan that injects nothing anywhere.
+    pub fn none(seed: u64) -> Self {
+        FleetFaultPlan {
+            base: FaultSpec::none(seed),
+        }
+    }
+
+    /// The base spec devices derive from.
+    pub fn base(&self) -> &FaultSpec {
+        &self.base
+    }
+
+    /// True when no device will see any fault.
+    pub fn is_noop(&self) -> bool {
+        self.base.is_noop()
+    }
+
+    /// The spec for device `device` of the pool: the base intensities under
+    /// a seed decorrelated by the device index (SplitMix64-style mixing,
+    /// matching the per-iteration derivation below).
+    pub fn spec_for(&self, device: usize) -> FaultSpec {
+        let mut spec = self.base.clone();
+        spec.seed = self
+            .base
+            .seed
+            .wrapping_add((device as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        spec
+    }
+
+    /// The injector for device `device`; `None` when the plan is a no-op
+    /// (so clean fleets keep the exact no-injector execution path).
+    pub fn injector_for(&self, device: usize) -> Option<FaultInjector> {
+        if self.is_noop() {
+            return None;
+        }
+        Some(FaultInjector::new(self.spec_for(device)))
+    }
+}
+
 /// The concrete faults to apply to one iteration, derived from a
 /// [`FaultSpec`]. All fields are identity values when no fault fires.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +285,31 @@ mod tests {
         for iter in 0..50 {
             assert!(inj.iteration_faults(iter).is_identity());
         }
+    }
+
+    #[test]
+    fn fleet_plan_decorrelates_devices_deterministically() {
+        let base = FaultSpec {
+            seed: 9,
+            alloc_failure_rate: 0.5,
+            alloc_failures_per_iter: 2,
+            ..FaultSpec::default()
+        };
+        let plan = FleetFaultPlan::new(base);
+        assert!(!plan.is_noop());
+        // Device 0 keeps the base seed; devices differ pairwise.
+        assert_eq!(plan.spec_for(0).seed, 9);
+        assert_ne!(plan.spec_for(1).seed, plan.spec_for(2).seed);
+        // Pure derivation: same device, same spec.
+        assert_eq!(plan.spec_for(3), plan.spec_for(3));
+        // Fault *schedules* decorrelate: over many iterations the chosen
+        // bad iterations differ between two devices.
+        let a = plan.injector_for(1).unwrap();
+        let b = plan.injector_for(2).unwrap();
+        let differs = (0..100).any(|i| a.iteration_faults(i) != b.iteration_faults(i));
+        assert!(differs, "per-device schedules must decorrelate");
+        // No-op plans hand back no injector at all.
+        assert!(FleetFaultPlan::none(5).injector_for(0).is_none());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Admission control: decide whether a job's next iteration fits a device
+//! *before* dispatching it, using the policy's predicted peak and the
+//! residency engine's what-if queries — the fleet-level analogue of the
+//! planner's per-iteration budget check.
+
+use mimose_models::ModelProfile;
+use mimose_planner::memory_model::min_feasible_budget;
+use mimose_simgpu::DeviceProfile;
+
+/// What the controller decided for one (job, device) pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The predicted peak fits under the device's headroom-discounted
+    /// capacity: dispatch as-is.
+    Admit,
+    /// The prediction exceeds capacity but checkpointing more can bring
+    /// the peak under it (per the residency model): dispatch with the
+    /// recovery ladder armed so in-place demotion enforces the fit.
+    Demote {
+        /// The analytic peak the all-checkpoint configuration needs —
+        /// the floor demotion can reach.
+        floor: usize,
+    },
+    /// Even the all-checkpoint floor exceeds the device: the job can never
+    /// run here.
+    Reject {
+        /// Bytes the job's minimum configuration needs.
+        needed: usize,
+        /// Bytes the device offers.
+        capacity: usize,
+    },
+}
+
+/// Running tally of admission outcomes and prediction quality — the
+/// "admission accuracy" block of the cluster report.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionStats {
+    /// Iterations dispatched on a plain Admit.
+    pub admitted: usize,
+    /// Iterations dispatched with demotion armed.
+    pub demoted: usize,
+    /// (job, device) pairings rejected outright.
+    pub rejected: usize,
+    /// Job-rounds spent waiting because no device was free or admissible.
+    pub deferred_rounds: usize,
+    /// Predictions scored against an executed peak.
+    pub predictions: usize,
+    /// Predictions within ±10 % of the executed peak.
+    pub within_10pct: usize,
+    /// Sum of |predicted − actual| / actual over scored predictions,
+    /// in 1e-4 units (kept integral so reports serialize exactly).
+    pub abs_rel_err_sum_e4: u64,
+}
+
+impl AdmissionStats {
+    /// Mean absolute relative prediction error, percent.
+    pub fn mean_abs_rel_err_pct(&self) -> f64 {
+        if self.predictions == 0 {
+            return 0.0;
+        }
+        (self.abs_rel_err_sum_e4 as f64 / self.predictions as f64) / 100.0
+    }
+
+    /// Score one executed iteration against its admission-time prediction.
+    pub fn score(&mut self, predicted: usize, actual: usize) {
+        if actual == 0 {
+            return;
+        }
+        self.predictions += 1;
+        let err = predicted.abs_diff(actual) as f64 / actual as f64;
+        if err <= 0.10 {
+            self.within_10pct += 1;
+        }
+        self.abs_rel_err_sum_e4 += (err * 10_000.0) as u64;
+    }
+}
+
+/// The admission controller: stateless decision function plus the fleet's
+/// accuracy tally.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Fraction of device memory admission may plan into (the rest is
+    /// headroom for fragmentation and prediction error).
+    pub headroom: f64,
+    /// Outcome tally.
+    pub stats: AdmissionStats,
+}
+
+impl Default for AdmissionController {
+    fn default() -> Self {
+        AdmissionController {
+            headroom: 0.95,
+            stats: AdmissionStats::default(),
+        }
+    }
+}
+
+impl AdmissionController {
+    /// Decide whether an iteration predicted to peak at `predicted_peak`
+    /// bytes, over `profile`, fits `device`.
+    ///
+    /// The demotion path asks the residency engine's what-if machinery
+    /// (via [`min_feasible_budget`], the all-checkpoint floor) whether
+    /// checkpointing harder can make the job fit — the same O(log L)
+    /// incremental queries the planners use, aimed at a fleet decision.
+    pub fn decide(
+        &mut self,
+        predicted_peak: usize,
+        profile: &ModelProfile,
+        device: &DeviceProfile,
+    ) -> AdmissionDecision {
+        let capacity = device.total_mem_bytes;
+        let usable = (capacity as f64 * self.headroom) as usize;
+        if predicted_peak <= usable {
+            self.stats.admitted += 1;
+            return AdmissionDecision::Admit;
+        }
+        let floor = min_feasible_budget(profile);
+        if floor <= usable {
+            self.stats.demoted += 1;
+            return AdmissionDecision::Demote { floor };
+        }
+        self.stats.rejected += 1;
+        AdmissionDecision::Reject {
+            needed: floor,
+            capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    #[test]
+    fn decisions_cover_the_three_regimes() {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(32, 256)).unwrap();
+        let dev = DeviceProfile::v100();
+        let mut ctl = AdmissionController::default();
+
+        // Small prediction → admit.
+        assert_eq!(ctl.decide(1 << 30, &p, &dev), AdmissionDecision::Admit);
+        // Over-capacity prediction but checkpointing can save it → demote.
+        let over = dev.total_mem_bytes + (1 << 30);
+        match ctl.decide(over, &p, &dev) {
+            AdmissionDecision::Demote { floor } => {
+                assert!(floor <= dev.total_mem_bytes);
+            }
+            other => panic!("expected Demote, got {other:?}"),
+        }
+        // A device smaller than the all-checkpoint floor → reject.
+        let mut tiny = DeviceProfile::v100();
+        tiny.total_mem_bytes = 1 << 20;
+        match ctl.decide(over, &p, &tiny) {
+            AdmissionDecision::Reject { needed, capacity } => {
+                assert!(needed > capacity);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        assert_eq!(ctl.stats.admitted, 1);
+        assert_eq!(ctl.stats.demoted, 1);
+        assert_eq!(ctl.stats.rejected, 1);
+    }
+
+    #[test]
+    fn accuracy_scoring_tracks_relative_error() {
+        let mut stats = AdmissionStats::default();
+        stats.score(100, 100); // exact
+        stats.score(109, 100); // within 10 %
+        stats.score(150, 100); // off by 50 %
+        assert_eq!(stats.predictions, 3);
+        assert_eq!(stats.within_10pct, 2);
+        let mean = stats.mean_abs_rel_err_pct();
+        assert!((mean - (0.0 + 9.0 + 50.0) / 3.0).abs() < 0.1, "{mean}");
+    }
+}

@@ -1,0 +1,47 @@
+//! mimose-cluster: a deterministic multi-device, multi-job scheduler on
+//! top of the event-sourced runtime.
+//!
+//! The single-job stack answers "how does one training job behave under a
+//! memory policy?"; this crate answers the fleet question: given N jobs
+//! and M simulated devices, who runs where, does the next iteration fit
+//! before we dispatch it, and what did the fleet cost? It composes the
+//! existing layers rather than re-implementing them:
+//!
+//! - **Admission** ([`AdmissionController`]) gates dispatch on the
+//!   policy's predicted peak for the job's next iteration against the
+//!   device's headroom-discounted capacity, demoting (arming the recovery
+//!   ladder) or rejecting via the analytic all-checkpoint floor.
+//! - **Scheduling** ([`run_cluster`]) advances the fleet in BSP rounds —
+//!   one iteration per busy device per round, real scoped threads, merge
+//!   in device-index order — so a [`ClusterReport`] is byte-identical
+//!   run-to-run and across thread counts, and a 1-job/1-device cluster
+//!   degenerates exactly to [`mimose_exec::Session::run`].
+//! - **Reporting** ([`ClusterReport`]) folds per-device
+//!   [`RunSummary`](mimose_runtime::RunSummary)-compatible rollups into
+//!   makespan, utilization, queue latency, OOM/recovery counts and
+//!   admission accuracy, serialized as deterministic JSON.
+//!
+//! ```
+//! use mimose_cluster::{run_cluster, ClusterSpec, mixed_workload, v100_pool};
+//!
+//! let spec = ClusterSpec::new(mixed_workload(3), v100_pool(2));
+//! let outcome = run_cluster(&spec);
+//! assert_eq!(outcome.report.jobs.len(), 8);
+//! assert!(outcome.report.makespan_ns > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod admission;
+mod job;
+mod report;
+mod scheduler;
+mod workload;
+
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionStats};
+pub use job::{
+    DeterministicMimose, JobPolicy, JobSpec, MIMOSE_CACHE_HIT_COST_NS, MIMOSE_PLAN_COST_NS,
+};
+pub use report::{ClusterReport, DeviceReport, JobOutcome, JobReport};
+pub use scheduler::{run_cluster, ClusterOutcome, ClusterSpec, JobDetail, SchedulePolicy};
+pub use workload::{mixed_workload, v100_pool};

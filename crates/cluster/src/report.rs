@@ -1,0 +1,278 @@
+//! Fleet reporting: per-job and per-device rollups plus the
+//! [`ClusterReport`] with its deterministic JSON encoding (stable field
+//! order, integral counters, fixed-precision floats — two runs with the
+//! same seed serialize byte-identically).
+
+use crate::admission::AdmissionStats;
+
+/// How a job's cluster run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran every requested iteration.
+    Completed,
+    /// No device in the pool could ever admit it.
+    Rejected,
+    /// Aborted mid-run on a typed executor error.
+    Failed(String),
+}
+
+impl JobOutcome {
+    /// Stable lowercase tag for serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Rejected => "rejected",
+            JobOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One job's rollup.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Device index the job ran on (`None` when rejected).
+    pub device: Option<usize>,
+    /// How the run ended.
+    pub outcome: JobOutcome,
+    /// Whether admission dispatched it with demotion armed.
+    pub demoted: bool,
+    /// Iterations executed.
+    pub iters: usize,
+    /// Cluster virtual time at dispatch (time spent queued).
+    pub queue_wait_ns: u64,
+    /// Summed iteration time.
+    pub total_ns: u64,
+    /// Highest peak residency over the run.
+    pub max_peak_bytes: usize,
+    /// Iterations ending in unrecovered OOM.
+    pub oom_iters: usize,
+    /// Iterations rescued by the recovery ladder.
+    pub recovered_iters: usize,
+    /// Recovery-ladder rungs taken.
+    pub recovery_events: usize,
+    /// Mimose shuttle (collection) iterations.
+    pub shuttle_iters: usize,
+}
+
+/// One device's rollup.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Device index in the pool.
+    pub index: usize,
+    /// Arena capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Virtual nanoseconds the device spent executing iterations.
+    pub busy_ns: u64,
+    /// Jobs that ran to their end (completion or failure) here.
+    pub jobs_run: usize,
+    /// Iterations executed here.
+    pub iters: usize,
+}
+
+/// The whole fleet's rollup.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Dispatch policy name.
+    pub schedule: String,
+    /// BSP rounds executed.
+    pub rounds: usize,
+    /// Virtual time at which the last device went idle.
+    pub makespan_ns: u64,
+    /// Summed busy time across devices.
+    pub busy_ns: u64,
+    /// `busy / (makespan × devices)`, percent.
+    pub utilization_pct: f64,
+    /// Mean queue wait over dispatched jobs.
+    pub mean_queue_wait_ns: u64,
+    /// Worst queue wait over dispatched jobs.
+    pub max_queue_wait_ns: u64,
+    /// Fleet totals of the per-job OOM/recovery counters.
+    pub oom_iters: usize,
+    /// Iterations rescued by the ladder, fleet-wide.
+    pub recovered_iters: usize,
+    /// Recovery rungs taken, fleet-wide.
+    pub recovery_events: usize,
+    /// Admission outcomes and prediction quality.
+    pub admission: AdmissionStats,
+    /// Per-device rollups, in index order.
+    pub devices: Vec<DeviceReport>,
+    /// Per-job rollups, in submission order.
+    pub jobs: Vec<JobReport>,
+}
+
+fn push_kv_u(out: &mut String, key: &str, v: u128, comma: bool) {
+    out.push_str(&format!("\"{key}\":{v}"));
+    if comma {
+        out.push(',');
+    }
+}
+
+fn push_kv_f(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("\"{key}\":{v:.4}"));
+    if comma {
+        out.push(',');
+    }
+}
+
+fn push_kv_s(out: &mut String, key: &str, v: &str, comma: bool) {
+    // Names here are identifier-like; escape the two JSON-critical chars
+    // anyway so arbitrary job names stay well-formed.
+    let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+    out.push_str(&format!("\"{key}\":\"{escaped}\""));
+    if comma {
+        out.push(',');
+    }
+}
+
+impl ClusterReport {
+    /// Deterministic JSON encoding (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push('{');
+        push_kv_s(&mut o, "schedule", &self.schedule, true);
+        push_kv_u(&mut o, "rounds", self.rounds as u128, true);
+        push_kv_u(&mut o, "makespan_ns", self.makespan_ns as u128, true);
+        push_kv_u(&mut o, "busy_ns", self.busy_ns as u128, true);
+        push_kv_f(&mut o, "utilization_pct", self.utilization_pct, true);
+        push_kv_u(
+            &mut o,
+            "mean_queue_wait_ns",
+            self.mean_queue_wait_ns as u128,
+            true,
+        );
+        push_kv_u(
+            &mut o,
+            "max_queue_wait_ns",
+            self.max_queue_wait_ns as u128,
+            true,
+        );
+        push_kv_u(&mut o, "oom_iters", self.oom_iters as u128, true);
+        push_kv_u(
+            &mut o,
+            "recovered_iters",
+            self.recovered_iters as u128,
+            true,
+        );
+        push_kv_u(
+            &mut o,
+            "recovery_events",
+            self.recovery_events as u128,
+            true,
+        );
+
+        o.push_str("\"admission\":{");
+        let a = &self.admission;
+        push_kv_u(&mut o, "admitted", a.admitted as u128, true);
+        push_kv_u(&mut o, "demoted", a.demoted as u128, true);
+        push_kv_u(&mut o, "rejected", a.rejected as u128, true);
+        push_kv_u(&mut o, "deferred_rounds", a.deferred_rounds as u128, true);
+        push_kv_u(&mut o, "predictions", a.predictions as u128, true);
+        push_kv_u(&mut o, "within_10pct", a.within_10pct as u128, true);
+        push_kv_f(
+            &mut o,
+            "mean_abs_rel_err_pct",
+            a.mean_abs_rel_err_pct(),
+            false,
+        );
+        o.push_str("},");
+
+        o.push_str("\"devices\":[");
+        for (i, d) in self.devices.iter().enumerate() {
+            o.push('{');
+            push_kv_u(&mut o, "index", d.index as u128, true);
+            push_kv_u(&mut o, "capacity_bytes", d.capacity_bytes as u128, true);
+            push_kv_u(&mut o, "busy_ns", d.busy_ns as u128, true);
+            push_kv_u(&mut o, "jobs_run", d.jobs_run as u128, true);
+            push_kv_u(&mut o, "iters", d.iters as u128, false);
+            o.push('}');
+            if i + 1 < self.devices.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("],");
+
+        o.push_str("\"jobs\":[");
+        for (i, j) in self.jobs.iter().enumerate() {
+            o.push('{');
+            push_kv_s(&mut o, "name", &j.name, true);
+            push_kv_s(&mut o, "policy", &j.policy, true);
+            match j.device {
+                Some(d) => push_kv_u(&mut o, "device", d as u128, true),
+                None => {
+                    o.push_str("\"device\":null,");
+                }
+            }
+            push_kv_s(&mut o, "outcome", j.outcome.tag(), true);
+            o.push_str(&format!("\"demoted\":{},", j.demoted));
+            push_kv_u(&mut o, "iters", j.iters as u128, true);
+            push_kv_u(&mut o, "queue_wait_ns", j.queue_wait_ns as u128, true);
+            push_kv_u(&mut o, "total_ns", j.total_ns as u128, true);
+            push_kv_u(&mut o, "max_peak_bytes", j.max_peak_bytes as u128, true);
+            push_kv_u(&mut o, "oom_iters", j.oom_iters as u128, true);
+            push_kv_u(&mut o, "recovered_iters", j.recovered_iters as u128, true);
+            push_kv_u(&mut o, "recovery_events", j.recovery_events as u128, true);
+            push_kv_u(&mut o, "shuttle_iters", j.shuttle_iters as u128, false);
+            o.push('}');
+            if i + 1 < self.jobs.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("]}");
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escapes_names() {
+        let report = ClusterReport {
+            schedule: "fifo".into(),
+            rounds: 2,
+            makespan_ns: 100,
+            busy_ns: 90,
+            utilization_pct: 45.0,
+            mean_queue_wait_ns: 5,
+            max_queue_wait_ns: 10,
+            oom_iters: 0,
+            recovered_iters: 0,
+            recovery_events: 0,
+            admission: AdmissionStats::default(),
+            devices: vec![DeviceReport {
+                index: 0,
+                capacity_bytes: 16,
+                busy_ns: 90,
+                jobs_run: 1,
+                iters: 2,
+            }],
+            jobs: vec![JobReport {
+                name: "job \"a\"".into(),
+                policy: "Baseline".into(),
+                device: Some(0),
+                outcome: JobOutcome::Completed,
+                demoted: false,
+                iters: 2,
+                queue_wait_ns: 0,
+                total_ns: 90,
+                max_peak_bytes: 8,
+                oom_iters: 0,
+                recovered_iters: 0,
+                recovery_events: 0,
+                shuttle_iters: 0,
+            }],
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schedule\":\"fifo\""));
+        assert!(a.contains("job \\\"a\\\""));
+        assert!(a.contains("\"utilization_pct\":45.0000"));
+        assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+}

@@ -1,0 +1,588 @@
+//! The round-based fleet scheduler.
+//!
+//! Execution proceeds in BSP rounds over virtual time: each round, every
+//! busy device runs exactly one iteration of its job (in parallel real
+//! threads when `threads != 1`), a barrier joins them, results merge in
+//! ascending device-index order, and idle devices pick up queued jobs
+//! under the configured [`SchedulePolicy`]. Because sessions touch no
+//! shared state and the merge order is fixed, the resulting
+//! [`ClusterReport`] is byte-identical run-to-run and across thread
+//! counts — the fleet-level extension of the executor's determinism
+//! contract.
+
+use crate::admission::AdmissionController;
+use crate::job::JobSpec;
+use crate::report::{ClusterReport, DeviceReport, JobOutcome, JobReport};
+use crate::AdmissionDecision;
+use mimose_chaos::FleetFaultPlan;
+use mimose_exec::{IterationRecord, RecoveryConfig, Session};
+use mimose_models::ModelProfile;
+use mimose_planner::memory_model::min_feasible_budget;
+use mimose_planner::MemoryPolicy;
+use mimose_runtime::{IterationReport, RunSummary};
+use mimose_simgpu::DeviceProfile;
+
+/// How idle devices choose among queued jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Oldest admissible job first.
+    Fifo,
+    /// Admissible job with the smallest predicted iteration time first
+    /// (drains short jobs early, shrinking mean queue wait).
+    ShortestPredicted,
+    /// Admissible job whose predicted peak fills the device best
+    /// (packs big jobs onto devices while they are free).
+    BestFitMemory,
+}
+
+impl SchedulePolicy {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::ShortestPredicted => "shortest-predicted",
+            SchedulePolicy::BestFitMemory => "best-fit-memory",
+        }
+    }
+
+    /// Parse a [`Self::name`] string (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedulePolicy::Fifo),
+            "shortest-predicted" | "sjf" => Some(SchedulePolicy::ShortestPredicted),
+            "best-fit-memory" | "best-fit" => Some(SchedulePolicy::BestFitMemory),
+            _ => None,
+        }
+    }
+}
+
+/// A whole cluster run, as data: jobs, devices, and the knobs.
+pub struct ClusterSpec {
+    /// Jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// The device pool.
+    pub devices: Vec<DeviceProfile>,
+    /// Dispatch policy.
+    pub schedule: SchedulePolicy,
+    /// `1` runs rounds serially on the calling thread; any other value
+    /// spawns one scoped thread per busy device. The report is
+    /// byte-identical either way.
+    pub threads: usize,
+    /// Admission headroom (fraction of device memory admission may plan
+    /// into).
+    pub headroom: f64,
+    /// Per-device fault derivation (noop by default).
+    pub faults: FleetFaultPlan,
+    /// Record every iteration's event stream for auditing.
+    pub record: bool,
+}
+
+impl ClusterSpec {
+    /// A spec with default knobs: FIFO dispatch, parallel rounds, 0.95
+    /// headroom, no faults, no recording.
+    pub fn new(jobs: Vec<JobSpec>, devices: Vec<DeviceProfile>) -> Self {
+        ClusterSpec {
+            jobs,
+            devices,
+            schedule: SchedulePolicy::Fifo,
+            threads: 0,
+            headroom: 0.95,
+            faults: FleetFaultPlan::none(0),
+            record: false,
+        }
+    }
+
+    /// Set the dispatch policy.
+    pub fn schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Set the threading mode (see the field docs).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the fleet fault plan.
+    pub fn faults(mut self, faults: FleetFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable event recording.
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+}
+
+/// Everything the scheduler kept about one job, for auditing and
+/// equivalence checks (the [`ClusterReport`] holds only the rollup).
+#[derive(Debug, Default)]
+pub struct JobDetail {
+    /// Job name.
+    pub name: String,
+    /// Device the job ran on.
+    pub device: Option<usize>,
+    /// Round at which the job was dispatched.
+    pub dispatch_round: Option<usize>,
+    /// Global dispatch sequence number (0 = dispatched first).
+    pub dispatch_seq: Option<usize>,
+    /// Per-iteration reports, in order.
+    pub reports: Vec<IterationReport>,
+    /// Recorded event streams (empty unless the spec set `record`).
+    pub records: Vec<IterationRecord>,
+    /// The session's own fold of the run.
+    pub summary: RunSummary,
+}
+
+/// A finished cluster run: the rollup plus per-job evidence.
+pub struct ClusterOutcome {
+    /// The fleet rollup.
+    pub report: ClusterReport,
+    /// Per-job evidence, in submission order.
+    pub details: Vec<JobDetail>,
+}
+
+/// A device's round result: the pre-step peak prediction (when the policy
+/// offers one) and the iteration outcome.
+type StepResult = (
+    Option<usize>,
+    Result<IterationReport, mimose_exec::ExecError>,
+);
+
+/// What the scheduler precomputes about a job at submission.
+struct Submitted {
+    /// Worst-case profile the static planners solved against.
+    worst: ModelProfile,
+    /// All-checkpoint floor over the worst case — the admit/demote/reject
+    /// pivot.
+    floor: usize,
+    /// The policy's predicted peak for the job's first iteration.
+    predicted_peak: usize,
+    /// The built policy, taken at dispatch.
+    policy: Option<Box<dyn MemoryPolicy>>,
+}
+
+/// One job executing on a device.
+struct Running<'a> {
+    job: usize,
+    session: Session<'a>,
+    remaining: usize,
+    reports: Vec<IterationReport>,
+}
+
+/// Per-device accumulator.
+#[derive(Default)]
+struct DeviceState<'a> {
+    busy_ns: u64,
+    jobs_run: usize,
+    iters: usize,
+    running: Option<Running<'a>>,
+}
+
+fn usable_bytes(dev: &DeviceProfile, headroom: f64) -> usize {
+    (dev.total_mem_bytes as f64 * headroom) as usize
+}
+
+/// Run the whole spec to completion. Per-job failures (profile errors,
+/// data exhaustion) are recorded in the report, not returned — a fleet
+/// run always yields a report.
+pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
+    let n_jobs = spec.jobs.len();
+    let n_devs = spec.devices.len();
+    assert!(n_devs > 0, "cluster needs at least one device");
+
+    let mut ctl = AdmissionController {
+        headroom: spec.headroom,
+        ..AdmissionController::default()
+    };
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n_jobs];
+    let mut details: Vec<JobDetail> = spec
+        .jobs
+        .iter()
+        .map(|j| JobDetail {
+            name: j.name.clone(),
+            ..JobDetail::default()
+        })
+        .collect();
+    let mut queue_waits: Vec<Option<u64>> = vec![None; n_jobs];
+    let mut demoted: Vec<bool> = vec![false; n_jobs];
+
+    // Submission: profile each job, build its policy (static planners
+    // solve once against the worst case, costed on device 0), and settle
+    // jobs no device can ever hold.
+    let mut submitted: Vec<Option<Submitted>> = Vec::with_capacity(n_jobs);
+    let max_usable = spec
+        .devices
+        .iter()
+        .map(|d| usable_bytes(d, spec.headroom))
+        .max()
+        .unwrap_or(0);
+    for (j, job) in spec.jobs.iter().enumerate() {
+        let worst = match job.worst_profile() {
+            Ok(p) => p,
+            Err(e) => {
+                outcomes[j] = Some(JobOutcome::Failed(e.to_string()));
+                submitted.push(None);
+                continue;
+            }
+        };
+        let floor = min_feasible_budget(&worst);
+        if floor > max_usable {
+            ctl.stats.rejected += 1;
+            outcomes[j] = Some(JobOutcome::Rejected);
+            submitted.push(None);
+            continue;
+        }
+        let policy = job.policy.build(&worst, &spec.devices[0]);
+        // Predict the first iteration's peak: that is the iteration the
+        // dispatch decision gates.
+        let first = spec.jobs[j].dataset.stream(job.seed).next_batch();
+        let predicted_peak = match spec.jobs[j].model.profile(&first) {
+            Ok(p) => policy
+                .predicted_peak_bytes(&p)
+                .unwrap_or_else(|| p.peak_no_checkpoint()),
+            Err(e) => {
+                outcomes[j] = Some(JobOutcome::Failed(e.to_string()));
+                submitted.push(None);
+                continue;
+            }
+        };
+        submitted.push(Some(Submitted {
+            worst,
+            floor,
+            predicted_peak,
+            policy: Some(policy),
+        }));
+    }
+
+    let mut pending: Vec<usize> = (0..n_jobs).filter(|&j| outcomes[j].is_none()).collect();
+    let mut devices: Vec<DeviceState> = (0..n_devs).map(|_| DeviceState::default()).collect();
+    let mut rounds = 0usize;
+    let mut dispatch_seq = 0usize;
+
+    loop {
+        // Dispatch phase: idle devices pick from the queue in device-index
+        // order, so the choice sequence is deterministic.
+        for d in 0..n_devs {
+            if devices[d].running.is_some() {
+                continue;
+            }
+            let usable = usable_bytes(&spec.devices[d], spec.headroom);
+            let admissible = |j: &usize| submitted[*j].as_ref().is_some_and(|s| s.floor <= usable);
+            let pick = match spec.schedule {
+                SchedulePolicy::Fifo => pending.iter().position(admissible),
+                SchedulePolicy::ShortestPredicted => pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| admissible(j))
+                    .min_by_key(|(_, j)| {
+                        let s = submitted[**j].as_ref().expect("admissible");
+                        spec.jobs[**j].predicted_iter_ns(&s.worst, &spec.devices[d])
+                    })
+                    .map(|(i, _)| i),
+                SchedulePolicy::BestFitMemory => pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| admissible(j))
+                    .max_by_key(|(_, j)| {
+                        let s = submitted[**j].as_ref().expect("admissible");
+                        // Jobs that only fit demoted fill the device to
+                        // their floor, not their prediction.
+                        if s.predicted_peak <= usable {
+                            s.predicted_peak
+                        } else {
+                            s.floor
+                        }
+                    })
+                    .map(|(i, _)| i),
+            };
+            let Some(pos) = pick else { continue };
+            let j = pending.remove(pos);
+            let sub = submitted[j].as_mut().expect("picked job was submitted");
+            let decision = ctl.decide(sub.predicted_peak, &sub.worst, &spec.devices[d]);
+            let recovery: Option<RecoveryConfig> = match decision {
+                AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
+                AdmissionDecision::Demote { .. } => {
+                    demoted[j] = true;
+                    Some(spec.jobs[j].recovery.clone().unwrap_or_default())
+                }
+                AdmissionDecision::Reject { .. } => {
+                    // Admissibility was pre-filtered on the floor, so the
+                    // controller cannot reject here; keep the arm total.
+                    outcomes[j] = Some(JobOutcome::Rejected);
+                    continue;
+                }
+            };
+            let policy = sub.policy.take().expect("policy consumed once");
+            let mut builder = Session::builder(&spec.jobs[j].model, &spec.jobs[j].dataset)
+                .policy_boxed(policy)
+                .device(spec.devices[d].clone())
+                .seed(spec.jobs[j].seed)
+                .record(spec.record);
+            if let Some(cfg) = recovery {
+                builder = builder.recovery(cfg);
+            }
+            if let Some(inj) = spec.faults.injector_for(d) {
+                builder = builder.chaos(inj);
+            }
+            match builder.build() {
+                Ok(session) => {
+                    // Queue wait: the cluster's virtual now — the furthest
+                    // any device has run — at the dispatch instant.
+                    let now = devices.iter().map(|s| s.busy_ns).max().unwrap_or(0);
+                    queue_waits[j] = Some(now);
+                    details[j].device = Some(d);
+                    details[j].dispatch_round = Some(rounds);
+                    details[j].dispatch_seq = Some(dispatch_seq);
+                    dispatch_seq += 1;
+                    devices[d].running = Some(Running {
+                        job: j,
+                        session,
+                        remaining: spec.jobs[j].iters,
+                        reports: Vec::with_capacity(spec.jobs[j].iters),
+                    });
+                }
+                Err(e) => outcomes[j] = Some(JobOutcome::Failed(e.to_string())),
+            }
+        }
+
+        let busy = devices.iter().filter(|s| s.running.is_some()).count();
+        if busy == 0 {
+            debug_assert!(
+                pending.iter().all(|&j| outcomes[j].is_some()),
+                "every queued job must be dispatchable somewhere"
+            );
+            break;
+        }
+        ctl.stats.deferred_rounds += pending.len();
+
+        // Run phase: one iteration per busy device. `steps[d]` is the
+        // device's (prediction, outcome) pair; order never depends on
+        // thread scheduling because results land in per-device slots.
+        let mut steps: Vec<Option<StepResult>> = (0..n_devs).map(|_| None).collect();
+        let step_one = |run: &mut Running| {
+            let predicted = run.session.predicted_peak_bytes().ok();
+            (predicted, run.session.step())
+        };
+        if spec.threads == 1 || busy == 1 {
+            for (d, state) in devices.iter_mut().enumerate() {
+                if let Some(run) = state.running.as_mut() {
+                    steps[d] = Some(step_one(run));
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(busy);
+                for (d, state) in devices.iter_mut().enumerate() {
+                    if let Some(run) = state.running.as_mut() {
+                        handles.push(scope.spawn(move || (d, step_one(run))));
+                    }
+                }
+                for h in handles {
+                    let (d, step) = h.join().expect("device thread panicked");
+                    steps[d] = Some(step);
+                }
+            });
+        }
+
+        // Merge phase: ascending device index, so every counter update
+        // happens in one canonical order.
+        for d in 0..n_devs {
+            let Some((predicted, outcome)) = steps[d].take() else {
+                continue;
+            };
+            let finished = {
+                let state = &mut devices[d];
+                let run = state.running.as_mut().expect("stepped device was busy");
+                match outcome {
+                    Ok(report) => {
+                        state.busy_ns += report.time.total_ns();
+                        state.iters += 1;
+                        if let Some(p) = predicted {
+                            ctl.stats.score(p, report.peak_bytes);
+                        }
+                        run.reports.push(report);
+                        run.remaining -= 1;
+                        (run.remaining == 0).then_some(JobOutcome::Completed)
+                    }
+                    Err(e) => Some(JobOutcome::Failed(e.to_string())),
+                }
+            };
+            if let Some(outcome) = finished {
+                let mut run = devices[d].running.take().expect("finishing job was busy");
+                devices[d].jobs_run += 1;
+                outcomes[run.job] = Some(outcome);
+                details[run.job].records = run.session.take_records();
+                details[run.job].summary = run.session.summary().clone();
+                details[run.job].reports = std::mem::take(&mut run.reports);
+            }
+        }
+        rounds += 1;
+    }
+
+    // Roll up.
+    let makespan_ns = devices.iter().map(|s| s.busy_ns).max().unwrap_or(0);
+    let busy_ns: u64 = devices.iter().map(|s| s.busy_ns).sum();
+    let utilization_pct = if makespan_ns > 0 {
+        busy_ns as f64 / (makespan_ns as f64 * n_devs as f64) * 100.0
+    } else {
+        0.0
+    };
+    let waits: Vec<u64> = queue_waits.iter().filter_map(|w| *w).collect();
+    let mean_queue_wait_ns = if waits.is_empty() {
+        0
+    } else {
+        waits.iter().sum::<u64>() / waits.len() as u64
+    };
+    let max_queue_wait_ns = waits.iter().copied().max().unwrap_or(0);
+
+    let jobs: Vec<JobReport> = spec
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| {
+            let s = &details[j].summary;
+            JobReport {
+                name: job.name.clone(),
+                policy: job.policy.name().to_string(),
+                device: details[j].device,
+                outcome: outcomes[j].clone().unwrap_or(JobOutcome::Rejected),
+                demoted: demoted[j],
+                iters: s.iters,
+                queue_wait_ns: queue_waits[j].unwrap_or(0),
+                total_ns: s.total_ns,
+                max_peak_bytes: s.max_peak_bytes,
+                oom_iters: s.oom_iters,
+                recovered_iters: s.recovered_iters,
+                recovery_events: s.recovery_events,
+                shuttle_iters: s.shuttle_iters,
+            }
+        })
+        .collect();
+    let report = ClusterReport {
+        schedule: spec.schedule.name().to_string(),
+        rounds,
+        makespan_ns,
+        busy_ns,
+        utilization_pct,
+        mean_queue_wait_ns,
+        max_queue_wait_ns,
+        oom_iters: jobs.iter().map(|j| j.oom_iters).sum(),
+        recovered_iters: jobs.iter().map(|j| j.recovered_iters).sum(),
+        recovery_events: jobs.iter().map(|j| j.recovery_events).sum(),
+        admission: ctl.stats,
+        devices: devices
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DeviceReport {
+                index: i,
+                capacity_bytes: spec.devices[i].total_mem_bytes,
+                busy_ns: s.busy_ns,
+                jobs_run: s.jobs_run,
+                iters: s.iters,
+            })
+            .collect(),
+        jobs,
+    };
+    ClusterOutcome { report, details }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobPolicy;
+    use crate::workload::{mixed_workload, v100_pool};
+    use mimose_chaos::{FaultSpec, FleetFaultPlan};
+    use mimose_data::presets;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_planner::PolicyKind;
+
+    fn small_spec(devices: usize) -> ClusterSpec {
+        ClusterSpec::new(mixed_workload(2), v100_pool(devices))
+    }
+
+    #[test]
+    fn two_runs_are_byte_identical() {
+        let a = run_cluster(&small_spec(2)).report.to_json();
+        let b = run_cluster(&small_spec(2)).report.to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let serial = run_cluster(&small_spec(3).threads(1)).report.to_json();
+        let parallel = run_cluster(&small_spec(3).threads(0)).report.to_json();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_schedule_policy_completes_the_workload() {
+        for schedule in [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::ShortestPredicted,
+            SchedulePolicy::BestFitMemory,
+        ] {
+            let outcome = run_cluster(&small_spec(2).schedule(schedule));
+            assert_eq!(outcome.report.schedule, schedule.name());
+            for job in &outcome.report.jobs {
+                assert_eq!(
+                    job.outcome,
+                    JobOutcome::Completed,
+                    "{} under {}",
+                    job.name,
+                    schedule.name()
+                );
+            }
+            assert!(outcome.report.makespan_ns > 0);
+            assert!(outcome.report.utilization_pct > 0.0);
+        }
+    }
+
+    #[test]
+    fn impossible_job_is_rejected_not_hung() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let job = crate::JobSpec::new(
+            "too-big",
+            model,
+            ds,
+            JobPolicy::Planner(PolicyKind::Sublinear, 1 << 20),
+            2,
+            1,
+        );
+        let mut tiny = mimose_simgpu::DeviceProfile::v100();
+        tiny.total_mem_bytes = 1 << 20; // 1 MiB: below any BERT floor
+        let outcome = run_cluster(&ClusterSpec::new(vec![job], vec![tiny]));
+        assert_eq!(outcome.report.jobs[0].outcome, JobOutcome::Rejected);
+        assert_eq!(outcome.report.jobs[0].device, None);
+        assert_eq!(outcome.report.admission.rejected, 1);
+        assert_eq!(outcome.report.makespan_ns, 0);
+    }
+
+    #[test]
+    fn more_devices_never_lengthen_the_makespan() {
+        let one = run_cluster(&small_spec(1)).report.makespan_ns;
+        let two = run_cluster(&small_spec(2)).report.makespan_ns;
+        assert!(two <= one, "two devices {two} > one device {one}");
+    }
+
+    #[test]
+    fn fleet_faults_replay_byte_identically() {
+        let faults = FleetFaultPlan::new(FaultSpec {
+            alloc_failure_rate: 0.3,
+            ..FaultSpec::none(99)
+        });
+        let mk = || small_spec(2).faults(faults.clone()).record(true);
+        let a = run_cluster(&mk());
+        let b = run_cluster(&mk());
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        // Recording captured event streams for every executed iteration.
+        for (da, db) in a.details.iter().zip(&b.details) {
+            assert_eq!(da.records.len(), da.reports.len());
+            assert_eq!(format!("{:?}", da.reports), format!("{:?}", db.reports));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Canonical workloads: reproducible job mixes for benchmarks and gates.
+
+use crate::job::{JobPolicy, JobSpec};
+use mimose_data::presets;
+use mimose_models::builders::{bert_base, resnet50_od, roberta_base, BertHead};
+use mimose_planner::PolicyKind;
+use mimose_simgpu::DeviceProfile;
+
+const GIB: usize = 1 << 30;
+
+/// A pool of `n` identical V100s.
+pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
+    (0..n).map(|_| DeviceProfile::v100()).collect()
+}
+
+/// The eight-job mixed NLP/vision workload the cluster benchmarks run:
+/// BERT/RoBERTa fine-tuning and ResNet-50 detection across four datasets,
+/// under a spread of policies (Mimose, static planners, DTR, unconstrained
+/// baseline) and budgets. `iters` sets each job's length; seeds are fixed
+/// so the workload is one deterministic value.
+pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
+    let cls = || bert_base(BertHead::Classification { labels: 2 });
+    vec![
+        JobSpec::new(
+            "bert-qqp-mimose",
+            cls(),
+            presets::glue_qqp(),
+            JobPolicy::Mimose { budget: 6 * GIB },
+            iters,
+            11,
+        ),
+        JobSpec::new(
+            "roberta-squad-mimose",
+            roberta_base(BertHead::QuestionAnswering),
+            presets::squad(),
+            JobPolicy::Mimose { budget: 7 * GIB },
+            iters,
+            12,
+        ),
+        JobSpec::new(
+            "bert-swag-sublinear",
+            bert_base(BertHead::Classification { labels: 4 }),
+            presets::swag(),
+            JobPolicy::Planner(PolicyKind::Sublinear, 8 * GIB),
+            iters,
+            13,
+        ),
+        JobSpec::new(
+            "resnet-coco-dtr",
+            resnet50_od(),
+            presets::coco(8),
+            JobPolicy::Planner(PolicyKind::Dtr, 10 * GIB),
+            iters,
+            14,
+        ),
+        JobSpec::new(
+            "bert-qqp-baseline",
+            cls(),
+            presets::glue_qqp(),
+            JobPolicy::Planner(PolicyKind::Baseline, 0),
+            iters,
+            15,
+        ),
+        JobSpec::new(
+            "roberta-qqp-capuchin",
+            roberta_base(BertHead::Classification { labels: 2 }),
+            presets::glue_qqp(),
+            JobPolicy::Planner(PolicyKind::Capuchin, 8 * GIB),
+            iters,
+            16,
+        ),
+        JobSpec::new(
+            "resnet-coco-mimose",
+            resnet50_od(),
+            presets::coco(6),
+            JobPolicy::Mimose { budget: 9 * GIB },
+            iters,
+            17,
+        ),
+        JobSpec::new(
+            "bert-squad-sublinear",
+            bert_base(BertHead::QuestionAnswering),
+            presets::squad(),
+            JobPolicy::Planner(PolicyKind::Sublinear, 7 * GIB),
+            iters,
+            18,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let jobs = mixed_workload(10);
+        assert_eq!(jobs.len(), 8);
+        for job in &jobs {
+            job.worst_profile()
+                .unwrap_or_else(|e| panic!("{}: {e}", job.name));
+            assert!(job.iters <= job.dataset.iters_per_epoch(), "{}", job.name);
+        }
+        // Names are unique (report rows key on them).
+        let mut names: Vec<_> = jobs.iter().map(|j| j.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

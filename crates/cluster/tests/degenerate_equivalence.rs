@@ -1,0 +1,63 @@
+//! Property: a 1-job/1-device cluster run is byte-identical to driving
+//! the same job through `Session::run` directly — the scheduler adds
+//! orchestration, never behavior.
+
+use mimose_cluster::{run_cluster, ClusterSpec, JobOutcome, JobPolicy, JobSpec};
+use mimose_data::presets;
+use mimose_exec::Session;
+use mimose_models::builders::{bert_base, BertHead};
+use mimose_planner::PolicyKind;
+use mimose_simgpu::DeviceProfile;
+
+#[test]
+fn single_job_single_device_equals_session_over_200_seeds() {
+    let model = bert_base(BertHead::Classification { labels: 2 });
+    let dataset = presets::glue_qqp();
+    let worst = model.profile(&dataset.worst_case()).unwrap();
+    let device = DeviceProfile::v100();
+
+    for seed in 0..200u64 {
+        // Vary the run shape with the seed too, not just the stream.
+        let iters = 1 + (seed as usize % 4);
+        let budget = (4 + seed as usize % 5) << 30;
+        let kind = match seed % 3 {
+            0 => PolicyKind::Sublinear,
+            1 => PolicyKind::Baseline,
+            _ => PolicyKind::Capuchin,
+        };
+
+        let job = JobSpec::new(
+            "solo",
+            model.clone(),
+            dataset.clone(),
+            JobPolicy::Planner(kind, budget),
+            iters,
+            seed,
+        );
+        let outcome = run_cluster(&ClusterSpec::new(vec![job], vec![device.clone()]));
+        assert_eq!(
+            outcome.report.jobs[0].outcome,
+            JobOutcome::Completed,
+            "seed {seed}"
+        );
+
+        let mut session = Session::builder(&model, &dataset)
+            .policy_boxed(kind.build_on(&worst, budget, &device))
+            .device(device.clone())
+            .seed(seed)
+            .build()
+            .unwrap();
+        let reports = session.run(iters).unwrap();
+
+        assert_eq!(
+            format!("{:?}", outcome.details[0].reports),
+            format!("{reports:?}"),
+            "seed {seed}: cluster and session diverged"
+        );
+        assert_eq!(
+            format!("{:?}", outcome.details[0].summary),
+            format!("{:?}", session.summary()),
+            "seed {seed}: summaries diverged"
+        );
+    }
+}

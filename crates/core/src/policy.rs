@@ -252,6 +252,21 @@ impl MemoryPolicy for MimosePolicy {
         }
     }
 
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        let n = profile.blocks.len();
+        match self.phase {
+            // Shuttle iterations run under the all-checkpointed plan, whose
+            // analytic peak bounds a collection pass like Sublinear's.
+            Phase::Sheltered => Some(mimose_planner::memory_model::peak_bytes(
+                profile,
+                &CheckpointPlan::all(n),
+            )),
+            // Responsive plans target the configured budget; inputs whose
+            // unconstrained peak is already below it never reach it.
+            Phase::Responsive => Some(self.cfg.budget_bytes.min(profile.peak_no_checkpoint())),
+        }
+    }
+
     fn end_iteration(&mut self, obs: &IterationObservation) {
         if self.phase == Phase::Responsive {
             if self.pending_recollect {

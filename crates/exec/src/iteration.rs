@@ -1,0 +1,316 @@
+//! Builder facades over the engine entry points, for callers that drive a
+//! *single* iteration with explicit knobs (experiments sweeping capacities,
+//! fixtures, benches) rather than a whole run: [`BlockIteration`] for the
+//! block engine and [`DtrIteration`] for the tensor engine.
+//!
+//! The old free functions (`run_block_iteration*`, `run_dtr_iteration*`)
+//! remain as `#[doc(hidden)]` wrappers; these builders call the same
+//! implementations, so results are byte-identical.
+
+use crate::block_engine::{run_block_iteration, run_block_iteration_recorded, BlockMode, BlockRun};
+use crate::dtr_engine::{run_dtr_iteration_recorded, run_dtr_iteration_with_policy};
+use crate::recovery::{
+    run_block_iteration_recovering, run_block_iteration_recovering_recorded, RecoveryConfig,
+};
+use mimose_chaos::IterationFaults;
+use mimose_models::ModelProfile;
+use mimose_planner::{CheckpointPlan, HybridPlan};
+use mimose_runtime::{ExecEvent, IterationReport};
+use mimose_simgpu::{AllocPolicy, ArenaStats, DeviceProfile, TraceEvent};
+
+/// One block-engine iteration, configured fluently. Construct with
+/// [`BlockIteration::plan`] / [`fine`](BlockIteration::fine) /
+/// [`hybrid`](BlockIteration::hybrid) / [`shuttle`](BlockIteration::shuttle),
+/// then run with [`run`](BlockIteration::run),
+/// [`run_recorded`](BlockIteration::run_recorded) or
+/// [`run_traced`](BlockIteration::run_traced).
+pub struct BlockIteration<'a> {
+    profile: &'a ModelProfile,
+    mode: BlockMode<'a>,
+    capacity: usize,
+    device: DeviceProfile,
+    iter: usize,
+    planning_ns: u64,
+    recovery: Option<&'a RecoveryConfig>,
+    faults: Option<&'a IterationFaults>,
+}
+
+impl<'a> BlockIteration<'a> {
+    fn new(profile: &'a ModelProfile, mode: BlockMode<'a>) -> Self {
+        let device = DeviceProfile::v100();
+        BlockIteration {
+            profile,
+            mode,
+            capacity: device.total_mem_bytes,
+            device,
+            iter: 0,
+            planning_ns: 0,
+            recovery: None,
+            faults: None,
+        }
+    }
+
+    /// Run under a block checkpoint plan.
+    pub fn plan(profile: &'a ModelProfile, plan: &'a CheckpointPlan) -> Self {
+        Self::new(profile, BlockMode::Plan(plan))
+    }
+
+    /// Run under an already-chosen [`BlockMode`] (for callers that pick
+    /// the mode at runtime, e.g. from a policy directive).
+    pub fn with_mode(profile: &'a ModelProfile, mode: BlockMode<'a>) -> Self {
+        Self::new(profile, mode)
+    }
+
+    /// Run under a tensor-granular plan (MONeT).
+    pub fn fine(
+        profile: &'a ModelProfile,
+        plan: &'a mimose_planner::memory_model::FinePlan,
+    ) -> Self {
+        Self::new(profile, BlockMode::Fine(plan))
+    }
+
+    /// Run under a hybrid swap/recompute plan (Capuchin).
+    pub fn hybrid(profile: &'a ModelProfile, plan: &'a HybridPlan) -> Self {
+        Self::new(profile, BlockMode::Hybrid(plan))
+    }
+
+    /// Run Mimose's shuttle-collection iteration.
+    pub fn shuttle(profile: &'a ModelProfile) -> Self {
+        Self::new(profile, BlockMode::Shuttle)
+    }
+
+    /// Arena capacity in bytes (default: the device's whole memory).
+    pub fn capacity(mut self, bytes: usize) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Device cost profile (default: V100). Does *not* reset a capacity
+    /// set explicitly; set capacity after the device to override.
+    pub fn device(mut self, dev: &DeviceProfile) -> Self {
+        self.device = dev.clone();
+        self
+    }
+
+    /// Iteration number stamped on the report (default 0).
+    pub fn iter(mut self, iter: usize) -> Self {
+        self.iter = iter;
+        self
+    }
+
+    /// Policy planning time to charge to the virtual clock (default 0).
+    pub fn planning_ns(mut self, ns: u64) -> Self {
+        self.planning_ns = ns;
+        self
+    }
+
+    /// Enable the OOM-recovery ladder.
+    pub fn recovery(mut self, cfg: &'a RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
+    /// Inject this iteration's faults.
+    pub fn faults(mut self, faults: &'a IterationFaults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Execute.
+    pub fn run(self) -> BlockRun {
+        if self.recovery.is_none() && self.faults.is_none() {
+            return run_block_iteration(
+                self.profile,
+                self.mode,
+                self.capacity,
+                &self.device,
+                self.iter,
+                self.planning_ns,
+            );
+        }
+        run_block_iteration_recovering(
+            self.profile,
+            self.mode,
+            self.capacity,
+            &self.device,
+            self.iter,
+            self.planning_ns,
+            self.recovery,
+            self.faults,
+        )
+    }
+
+    /// Execute, recording the full [`ExecEvent`] stream (final attempt
+    /// only when the recovery ladder restarted).
+    pub fn run_recorded(self) -> (BlockRun, Vec<ExecEvent>, ArenaStats) {
+        if self.recovery.is_none() && self.faults.is_none() {
+            return run_block_iteration_recorded(
+                self.profile,
+                self.mode,
+                self.capacity,
+                &self.device,
+                self.iter,
+                self.planning_ns,
+            );
+        }
+        run_block_iteration_recovering_recorded(
+            self.profile,
+            self.mode,
+            self.capacity,
+            &self.device,
+            self.iter,
+            self.planning_ns,
+            self.recovery,
+            self.faults,
+        )
+    }
+
+    /// Execute, projecting the recorded stream down to allocator-level
+    /// [`TraceEvent`]s.
+    pub fn run_traced(self) -> (BlockRun, Vec<TraceEvent>, ArenaStats) {
+        let (run, events, stats) = self.run_recorded();
+        let trace = events
+            .iter()
+            .filter_map(ExecEvent::to_trace_event)
+            .collect();
+        (run, trace, stats)
+    }
+}
+
+/// One tensor-engine (DTR) iteration, configured fluently.
+pub struct DtrIteration<'a> {
+    profile: &'a ModelProfile,
+    budget: usize,
+    device_capacity: usize,
+    device: DeviceProfile,
+    iter: usize,
+    alloc_policy: AllocPolicy,
+}
+
+impl<'a> DtrIteration<'a> {
+    /// DTR over `profile` with the given eviction budget, on the default
+    /// V100 (arena = whole device).
+    pub fn new(profile: &'a ModelProfile, budget: usize) -> Self {
+        let device = DeviceProfile::v100();
+        DtrIteration {
+            profile,
+            budget,
+            device_capacity: device.total_mem_bytes,
+            device,
+            iter: 0,
+            alloc_policy: AllocPolicy::FirstFit,
+        }
+    }
+
+    /// Physical arena capacity (default: the device's whole memory).
+    pub fn capacity(mut self, bytes: usize) -> Self {
+        self.device_capacity = bytes;
+        self
+    }
+
+    /// Device cost profile (default: V100). Does *not* reset a capacity
+    /// set explicitly; set capacity after the device to override.
+    pub fn device(mut self, dev: &DeviceProfile) -> Self {
+        self.device = dev.clone();
+        self
+    }
+
+    /// Iteration number stamped on the report (default 0).
+    pub fn iter(mut self, iter: usize) -> Self {
+        self.iter = iter;
+        self
+    }
+
+    /// Allocator fit policy (default first-fit; the allocator ablation
+    /// sweeps this).
+    pub fn alloc_policy(mut self, policy: AllocPolicy) -> Self {
+        self.alloc_policy = policy;
+        self
+    }
+
+    /// Execute.
+    pub fn run(self) -> IterationReport {
+        run_dtr_iteration_with_policy(
+            self.profile,
+            self.budget,
+            self.device_capacity,
+            &self.device,
+            self.iter,
+            self.alloc_policy,
+        )
+    }
+
+    /// Execute, recording the full [`ExecEvent`] stream. (First-fit only:
+    /// the recorded entry point does not take an allocator policy.)
+    pub fn run_recorded(self) -> (IterationReport, Vec<ExecEvent>, ArenaStats) {
+        run_dtr_iteration_recorded(
+            self.profile,
+            self.budget,
+            self.device_capacity,
+            &self.device,
+            self.iter,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_engine::run_block_iteration_traced;
+    use crate::dtr_engine::run_dtr_iteration;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(32, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn block_builder_matches_free_function() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::from_indices(n, &[0, 2, 4]).unwrap();
+        let dev = DeviceProfile::v100();
+        let (legacy, legacy_trace, legacy_stats) =
+            run_block_iteration_traced(&p, BlockMode::Plan(&plan), 8 << 30, &dev, 2, 10);
+        let (built, built_trace, built_stats) = BlockIteration::plan(&p, &plan)
+            .capacity(8 << 30)
+            .iter(2)
+            .planning_ns(10)
+            .run_traced();
+        assert_eq!(legacy_trace, built_trace);
+        assert_eq!(legacy_stats.peak_used, built_stats.peak_used);
+        assert_eq!(
+            format!("{:?}", legacy.report),
+            format!("{:?}", built.report)
+        );
+    }
+
+    #[test]
+    fn dtr_builder_matches_free_function() {
+        let p = profile(96);
+        let dev = DeviceProfile::v100();
+        let legacy = run_dtr_iteration(&p, 4 << 30, dev.total_mem_bytes, &dev, 1);
+        let built = DtrIteration::new(&p, 4 << 30).iter(1).run();
+        assert_eq!(format!("{legacy:?}"), format!("{built:?}"));
+    }
+
+    #[test]
+    fn recovery_routes_through_the_ladder() {
+        let p = profile(256);
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::none(n);
+        let min_peak = mimose_planner::memory_model::peak_bytes(&p, &CheckpointPlan::all(n));
+        let max_peak = mimose_planner::memory_model::peak_bytes(&p, &plan);
+        let capacity = (min_peak + (max_peak - min_peak) / 4).next_multiple_of(512);
+        let cfg = RecoveryConfig::default();
+        let run = BlockIteration::plan(&p, &plan)
+            .capacity(capacity)
+            .recovery(&cfg)
+            .run();
+        assert!(run.report.ok(), "ladder must rescue");
+        assert!(!run.report.recovery.is_empty());
+    }
+}

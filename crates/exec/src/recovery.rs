@@ -30,7 +30,7 @@ use mimose_chaos::IterationFaults;
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::peak_bytes;
 use mimose_planner::{CheckpointPlan, RecoveryEvent, RecoveryRung};
-use mimose_runtime::{EventLog, NullRecorder, Recorder};
+use mimose_runtime::{EventLog, ExecEvent, NullRecorder, Recorder};
 use mimose_simgpu::{ArenaStats, DeviceProfile, TraceEvent};
 
 /// Tunables for the OOM-recovery ladder. The default configuration enables
@@ -146,10 +146,39 @@ pub fn run_block_iteration_recovering(
     .0
 }
 
-/// Traced variant of [`run_block_iteration_recovering`]. The returned trace
-/// and arena statistics cover the **final attempt only** — aborted attempts
-/// ran in arenas that were torn down with them; their cost survives in the
-/// report's `recovery_ns` and the accumulated [`RecoveryEvent`]s.
+/// Recorded variant of [`run_block_iteration_recovering`]. The returned
+/// event stream and arena statistics cover the **final attempt only** —
+/// aborted attempts ran in arenas that were torn down with them; their cost
+/// survives in the report's `recovery_ns` and the accumulated
+/// [`RecoveryEvent`]s.
+#[allow(clippy::too_many_arguments)]
+pub fn run_block_iteration_recovering_recorded(
+    profile: &ModelProfile,
+    mode: BlockMode<'_>,
+    capacity: usize,
+    dev: &DeviceProfile,
+    iter: usize,
+    planning_ns: u64,
+    recovery: Option<&RecoveryConfig>,
+    faults: Option<&IterationFaults>,
+) -> (BlockRun, Vec<ExecEvent>, ArenaStats) {
+    let (run, events, stats) = drive(
+        profile,
+        mode,
+        capacity,
+        dev,
+        iter,
+        planning_ns,
+        recovery,
+        faults,
+        true,
+    );
+    (run, events.unwrap_or_default(), stats.unwrap_or_default())
+}
+
+/// Traced variant of [`run_block_iteration_recovering`]: the recorded
+/// stream projected down to allocator-level [`TraceEvent`]s (final attempt
+/// only, like [`run_block_iteration_recovering_recorded`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_block_iteration_recovering_traced(
     profile: &ModelProfile,
@@ -161,7 +190,7 @@ pub fn run_block_iteration_recovering_traced(
     recovery: Option<&RecoveryConfig>,
     faults: Option<&IterationFaults>,
 ) -> (BlockRun, Vec<TraceEvent>, ArenaStats) {
-    let (run, trace, stats) = drive(
+    let (run, events, stats) = run_block_iteration_recovering_recorded(
         profile,
         mode,
         capacity,
@@ -170,9 +199,12 @@ pub fn run_block_iteration_recovering_traced(
         planning_ns,
         recovery,
         faults,
-        true,
     );
-    (run, trace.unwrap_or_default(), stats.unwrap_or_default())
+    let trace = events
+        .iter()
+        .filter_map(ExecEvent::to_trace_event)
+        .collect();
+    (run, trace, stats)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -185,8 +217,8 @@ fn drive(
     planning_ns: u64,
     recovery: Option<&RecoveryConfig>,
     faults: Option<&IterationFaults>,
-    trace: bool,
-) -> (BlockRun, Option<Vec<TraceEvent>>, Option<ArenaStats>) {
+    record: bool,
+) -> (BlockRun, Option<Vec<ExecEvent>>, Option<ArenaStats>) {
     let n = profile.blocks.len();
     let mut st = DriverState {
         restarts: 0,
@@ -211,11 +243,11 @@ fn drive(
         // Planning time is a per-iteration cost, charged once; the aborted
         // attempts' own elapsed time is charged via recovery_ns instead.
         let attempt_planning = if attempt == 0 { planning_ns } else { 0 };
-        // Each attempt records into its own event log (when tracing): the
-        // returned trace covers the final attempt only.
+        // Each attempt records into its own event log (when recording): the
+        // returned stream covers the final attempt only.
         let mut log = EventLog::new();
         let mut null = NullRecorder;
-        let rec: &mut dyn Recorder = if trace { &mut log } else { &mut null };
+        let rec: &mut dyn Recorder = if record { &mut log } else { &mut null };
         let (mut run, arena) = run_block_iteration_impl(
             profile,
             attempt_mode,
@@ -240,12 +272,12 @@ fn drive(
                     run.report.recovery = all;
                 }
                 run.report.time.recovery_ns += st.wasted_ns;
-                let (tr, stats) = if trace {
-                    (Some(log.to_arena_trace()), Some(arena.stats()))
+                let (ev, stats) = if record {
+                    (Some(log.take()), Some(arena.stats()))
                 } else {
                     (None, None)
                 };
-                return (run, tr, stats);
+                return (run, ev, stats);
             }
         };
 
@@ -335,12 +367,12 @@ fn drive(
         // remedies tried, with aborted attempts' time on the clock.
         run.report.recovery = std::mem::take(&mut st.events);
         run.report.time.recovery_ns += st.wasted_ns;
-        let (tr, stats) = if trace {
-            (Some(log.to_arena_trace()), Some(arena.stats()))
+        let (ev, stats) = if record {
+            (Some(log.take()), Some(arena.stats()))
         } else {
             (None, None)
         };
-        return (run, tr, stats);
+        return (run, ev, stats);
     }
 }
 

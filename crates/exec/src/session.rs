@@ -1,0 +1,443 @@
+//! [`Session`]: the builder-style front door to the executor.
+//!
+//! A session binds a model, a dataset stream, a memory policy and a device
+//! into one owned handle that runs iterations on demand and accumulates a
+//! [`RunSummary`] as it goes:
+//!
+//! ```
+//! use mimose_exec::Session;
+//! use mimose_data::presets;
+//! use mimose_models::builders::{bert_base, BertHead};
+//! use mimose_planner::BaselinePolicy;
+//!
+//! let model = bert_base(BertHead::Classification { labels: 2 });
+//! let dataset = presets::glue_qqp();
+//! let mut session = Session::builder(&model, &dataset)
+//!     .policy(BaselinePolicy::new())
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let reports = session.run(5).unwrap();
+//! assert_eq!(reports.len(), 5);
+//! assert_eq!(session.summary().iters, 5);
+//! ```
+//!
+//! Unlike the borrowing [`Trainer`](crate::Trainer), a session *owns* its
+//! policy and its batch stream, so it can be parked, resumed one iteration
+//! at a time ([`Session::step`]) and moved across threads — exactly what
+//! the cluster scheduler needs to interleave many jobs over a device pool.
+//! Both front ends drive the same internal execution path, so a session run
+//! is byte-identical to the equivalent trainer run.
+
+use crate::recovery::RecoveryConfig;
+use crate::trainer::{run_one_iteration, ExecError, IterationCtx, IterationRecord};
+use mimose_chaos::FaultInjector;
+use mimose_data::{BatchStream, Dataset};
+use mimose_models::{ModelGraph, ModelInput, ModelProfile};
+use mimose_planner::MemoryPolicy;
+use mimose_runtime::{IterationReport, RunSummary};
+use mimose_simgpu::DeviceProfile;
+
+/// Configures and validates a [`Session`]. Created by [`Session::builder`].
+pub struct SessionBuilder<'a> {
+    model: &'a ModelGraph,
+    dataset: &'a Dataset,
+    policy: Option<Box<dyn MemoryPolicy>>,
+    device: DeviceProfile,
+    seed: u64,
+    recovery: Option<RecoveryConfig>,
+    injector: Option<FaultInjector>,
+    record: bool,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// The memory policy to drive (required).
+    pub fn policy(mut self, policy: impl MemoryPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Boxed form of [`Self::policy`], for policies chosen at runtime
+    /// (e.g. via [`mimose_planner::PolicyKind::build`]).
+    pub fn policy_boxed(mut self, policy: Box<dyn MemoryPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Device cost profile (default: V100).
+    pub fn device(mut self, device: DeviceProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Batch-stream seed (default 0; fixed across policies for fairness).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the OOM-recovery ladder.
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
+    /// Inject deterministic faults.
+    pub fn chaos(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Record every iteration's [`ExecEvent`](mimose_runtime::ExecEvent)
+    /// stream (retrieve with [`Session::take_records`]). Recording changes
+    /// nothing about execution.
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Validate and build the session.
+    ///
+    /// Fails with [`ExecError::MissingPolicy`] when no policy was supplied
+    /// and with [`ExecError::Profile`] when the model rejects the dataset's
+    /// worst-case input (in which case every batch would fail at run time).
+    pub fn build(self) -> Result<Session<'a>, ExecError> {
+        let policy = self.policy.ok_or(ExecError::MissingPolicy)?;
+        self.model
+            .profile(&self.dataset.worst_case())
+            .map_err(|source| ExecError::Profile { iter: 0, source })?;
+        let stream = self.dataset.stream(self.seed);
+        Ok(Session {
+            model: self.model,
+            dataset: self.dataset,
+            policy,
+            device: self.device,
+            seed: self.seed,
+            recovery: self.recovery,
+            injector: self.injector,
+            record: self.record,
+            stream,
+            pending: None,
+            next_iter: 0,
+            epoch_len: self.dataset.iters_per_epoch(),
+            summary: RunSummary::default(),
+            records: Vec::new(),
+        })
+    }
+}
+
+/// An owned training session: model + dataset stream + policy + device,
+/// runnable one iteration at a time. See the module docs for the full
+/// lifecycle.
+pub struct Session<'a> {
+    model: &'a ModelGraph,
+    dataset: &'a Dataset,
+    policy: Box<dyn MemoryPolicy>,
+    device: DeviceProfile,
+    seed: u64,
+    recovery: Option<RecoveryConfig>,
+    injector: Option<FaultInjector>,
+    record: bool,
+    stream: BatchStream<'a>,
+    /// Next batch, drawn ahead of execution by [`Self::peek_input`].
+    pending: Option<ModelInput>,
+    next_iter: usize,
+    epoch_len: usize,
+    summary: RunSummary,
+    records: Vec<IterationRecord>,
+}
+
+impl<'a> Session<'a> {
+    /// Start configuring a session over `model` and `dataset`.
+    pub fn builder(model: &'a ModelGraph, dataset: &'a Dataset) -> SessionBuilder<'a> {
+        SessionBuilder {
+            model,
+            dataset,
+            policy: None,
+            device: DeviceProfile::v100(),
+            seed: 0,
+            recovery: None,
+            injector: None,
+            record: false,
+        }
+    }
+
+    /// The iteration the next [`Self::step`] will run.
+    pub fn next_iter(&self) -> usize {
+        self.next_iter
+    }
+
+    /// Iterations one epoch of the dataset holds.
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    /// The session's batch-stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dataset this session streams from.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The device this session simulates.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The policy being driven.
+    pub fn policy(&self) -> &dyn MemoryPolicy {
+        &*self.policy
+    }
+
+    /// Everything run so far, folded into one summary.
+    pub fn summary(&self) -> &RunSummary {
+        &self.summary
+    }
+
+    /// Drain the recorded per-iteration event streams (empty unless built
+    /// with `.record(true)`).
+    pub fn take_records(&mut self) -> Vec<IterationRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// The next iteration's input, drawn from the stream without running
+    /// it (the draw is remembered, so peeking does not perturb the run).
+    pub fn peek_input(&mut self) -> ModelInput {
+        if self.pending.is_none() {
+            self.pending = Some(self.stream.next_batch());
+        }
+        self.pending.expect("just filled")
+    }
+
+    /// Profile the next iteration's input without running it.
+    pub fn peek_profile(&mut self) -> Result<ModelProfile, ExecError> {
+        let iter = self.next_iter;
+        let input = self.peek_input();
+        self.model
+            .profile(&input)
+            .map_err(|source| ExecError::Profile { iter, source })
+    }
+
+    /// The policy's advisory peak-memory prediction for the next
+    /// iteration — the admission-control signal the cluster scheduler
+    /// consults before dispatch. Falls back to the input's no-checkpoint
+    /// peak when the policy offers no prediction.
+    pub fn predicted_peak_bytes(&mut self) -> Result<usize, ExecError> {
+        let profile = self.peek_profile()?;
+        Ok(self
+            .policy
+            .predicted_peak_bytes(&profile)
+            .unwrap_or_else(|| profile.peak_no_checkpoint()))
+    }
+
+    /// Run one iteration off the stream.
+    pub fn step(&mut self) -> Result<IterationReport, ExecError> {
+        if self.next_iter >= self.epoch_len {
+            return Err(ExecError::DataExhausted {
+                iter: self.next_iter,
+                len: self.epoch_len,
+            });
+        }
+        let input = match self.pending.take() {
+            Some(i) => i,
+            None => self.stream.next_batch(),
+        };
+        let iter = self.next_iter;
+        let mut ctx = IterationCtx {
+            model: self.model,
+            policy: &mut *self.policy,
+            device: &self.device,
+            recovery: self.recovery.as_ref(),
+            injector: self.injector.as_ref(),
+        };
+        let (report, record) = run_one_iteration(&mut ctx, iter, &input, self.record)?;
+        if let Some(rec) = record {
+            self.records.push(rec);
+        }
+        self.summary.absorb(&report);
+        self.next_iter += 1;
+        Ok(report)
+    }
+
+    /// Run `iters` iterations; returns their per-iteration reports.
+    pub fn run(&mut self, iters: usize) -> Result<Vec<IterationReport>, ExecError> {
+        (0..iters).map(|_| self.step()).collect()
+    }
+
+    /// Run `iters` iterations and fold just those into a summary (the
+    /// whole-session summary stays available via [`Self::summary`]).
+    pub fn run_summary(&mut self, iters: usize) -> Result<RunSummary, ExecError> {
+        let mut s = RunSummary::default();
+        for r in self.run(iters)? {
+            s.absorb(&r);
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trainer;
+    use mimose_core::{MimoseConfig, MimosePolicy};
+    use mimose_data::presets;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_planner::{BaselinePolicy, SublinearPolicy};
+
+    fn assert_send<T: Send>(_: &T) {}
+
+    #[test]
+    fn session_matches_trainer_byte_for_byte() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let budget = 5usize << 30;
+        let worst = model.profile(&ds.worst_case()).unwrap();
+
+        let mut pol = SublinearPolicy::plan_offline(&worst, budget);
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        let trainer_reports = tr.run(40);
+
+        let mut session = Session::builder(&model, &ds)
+            .policy(SublinearPolicy::plan_offline(&worst, budget))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_send(&session);
+        let session_reports = session.run(40).unwrap();
+        assert_eq!(
+            format!("{trainer_reports:?}"),
+            format!("{session_reports:?}"),
+            "session and trainer must be byte-identical"
+        );
+        assert_eq!(session.summary().iters, 40);
+        assert_eq!(session.next_iter(), 40);
+    }
+
+    #[test]
+    fn session_drives_mimose_like_the_trainer() {
+        // Mimose measures its plan time with a wall clock, so time fields
+        // are not reproducible across instances — compare everything else.
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let budget = 5usize << 30;
+
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        let trainer_reports = tr.run(40);
+
+        let mut session = Session::builder(&model, &ds)
+            .policy(MimosePolicy::new(MimoseConfig::with_budget(budget)))
+            .seed(7)
+            .build()
+            .unwrap();
+        let session_reports = session.run(40).unwrap();
+        for (a, b) in trainer_reports.iter().zip(&session_reports) {
+            assert_eq!(a.iter, b.iter);
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.peak_bytes, b.peak_bytes);
+            assert_eq!(a.shuttle, b.shuttle);
+            assert_eq!(a.ok(), b.ok());
+        }
+    }
+
+    #[test]
+    fn build_without_policy_fails_typed() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        match Session::builder(&model, &ds).build() {
+            Err(ExecError::MissingPolicy) => {}
+            Err(other) => panic!("expected MissingPolicy, got {other:?}"),
+            Ok(_) => panic!("build without a policy must fail"),
+        }
+    }
+
+    #[test]
+    fn peeking_does_not_perturb_the_stream() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let mut plain = Session::builder(&model, &ds)
+            .policy(BaselinePolicy::new())
+            .seed(11)
+            .build()
+            .unwrap();
+        let plain_reports = plain.run(10).unwrap();
+
+        let mut peeky = Session::builder(&model, &ds)
+            .policy(BaselinePolicy::new())
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut peeked = Vec::new();
+        let mut peeky_reports = Vec::new();
+        for _ in 0..10 {
+            peeked.push(peeky.peek_input());
+            let _ = peeky.predicted_peak_bytes().unwrap();
+            peeky_reports.push(peeky.step().unwrap());
+        }
+        assert_eq!(
+            format!("{plain_reports:?}"),
+            format!("{peeky_reports:?}"),
+            "peeking must not perturb execution"
+        );
+        // The inputs the peeks saw are the inputs the steps ran.
+        for (r, input) in plain_reports.iter().zip(&peeked) {
+            assert_eq!(r.input, *input);
+        }
+    }
+
+    #[test]
+    fn recording_changes_nothing_and_yields_streams() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let worst = model.profile(&ds.worst_case()).unwrap();
+        let budget = 5usize << 30;
+
+        let mut plain = Session::builder(&model, &ds)
+            .policy(SublinearPolicy::plan_offline(&worst, budget))
+            .seed(3)
+            .build()
+            .unwrap();
+        let plain_reports = plain.run(6).unwrap();
+
+        let mut recorded = Session::builder(&model, &ds)
+            .policy(SublinearPolicy::plan_offline(&worst, budget))
+            .seed(3)
+            .record(true)
+            .build()
+            .unwrap();
+        let recorded_reports = recorded.run(6).unwrap();
+        assert_eq!(
+            format!("{plain_reports:?}"),
+            format!("{recorded_reports:?}")
+        );
+        let records = recorded.take_records();
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| !r.events.is_empty()));
+        // Folding each stream reproduces the report's peak.
+        for (rec, rep) in records.iter().zip(&recorded_reports) {
+            let fold = mimose_runtime::fold_events(rec.capacity, &rec.events);
+            assert_eq!(fold.peak_used, rep.peak_bytes, "iter {}", rec.iter);
+        }
+    }
+
+    #[test]
+    fn step_past_epoch_is_data_exhausted() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let mut ds = presets::glue_qqp();
+        if let Dataset::Text(d) = &mut ds {
+            d.epoch_samples = d.batch_size * 2;
+        }
+        let mut session = Session::builder(&model, &ds)
+            .policy(BaselinePolicy::new())
+            .build()
+            .unwrap();
+        session.run(2).unwrap();
+        match session.step() {
+            Err(ExecError::DataExhausted { iter: 2, len: 2 }) => {}
+            other => panic!("expected DataExhausted, got {other:?}"),
+        }
+    }
+}

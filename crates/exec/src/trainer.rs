@@ -1,15 +1,17 @@
 //! The trainer: drives a memory policy through a stream of mini-batches,
 //! dispatching each iteration to the block or tensor engine.
 
-use crate::block_engine::{run_block_iteration, BlockMode, BlockRun};
-use crate::dtr_engine::run_dtr_iteration;
-use crate::recovery::{run_block_iteration_recovering, RecoveryConfig};
+use crate::block_engine::{run_block_iteration, run_block_iteration_recorded, BlockMode, BlockRun};
+use crate::dtr_engine::{run_dtr_iteration, run_dtr_iteration_recorded};
+use crate::recovery::{
+    run_block_iteration_recovering, run_block_iteration_recovering_recorded, RecoveryConfig,
+};
 use mimose_chaos::{FaultInjector, IterationFaults};
 use mimose_data::Dataset;
 use mimose_models::{ModelError, ModelGraph, ModelInput, ModelProfile};
 use mimose_planner::{Directive, IterationObservation, MemoryPolicy};
-use mimose_runtime::{IterationReport, RunSummary};
-use mimose_simgpu::DeviceProfile;
+use mimose_runtime::{ExecEvent, IterationReport, RunSummary};
+use mimose_simgpu::{ArenaStats, DeviceProfile};
 
 /// A non-memory failure that aborts a training run (memory failures are
 /// *data* — they land in the reports as `OomReport`s, not errors).
@@ -34,6 +36,16 @@ pub enum ExecError {
         /// Block count the plan actually covers.
         got: usize,
     },
+    /// The run requested more iterations than one epoch of the dataset
+    /// holds; `iter` is the first iteration past the end.
+    DataExhausted {
+        /// The out-of-range iteration number.
+        iter: usize,
+        /// Iterations one epoch of the dataset holds.
+        len: usize,
+    },
+    /// A [`Session`](crate::Session) was built without a memory policy.
+    MissingPolicy,
 }
 
 impl std::fmt::Display for ExecError {
@@ -51,6 +63,13 @@ impl std::fmt::Display for ExecError {
                 f,
                 "{kind} plan at iteration {iter} covers {got} blocks but the profile has {expected}"
             ),
+            ExecError::DataExhausted { iter, len } => write!(
+                f,
+                "dataset exhausted: iteration {iter} requested but one epoch holds {len}"
+            ),
+            ExecError::MissingPolicy => {
+                write!(f, "session built without a memory policy")
+            }
         }
     }
 }
@@ -59,9 +78,27 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Profile { source, .. } => Some(source),
-            ExecError::PlanShape { .. } => None,
+            ExecError::PlanShape { .. }
+            | ExecError::DataExhausted { .. }
+            | ExecError::MissingPolicy => None,
         }
     }
+}
+
+/// One iteration's recorded execution: the [`ExecEvent`] stream, the arena
+/// capacity it ran in (needed to fold it — capacity varies per iteration
+/// under chaos shrink) and the final arena statistics. Produced by
+/// [`Session`](crate::Session)s built with `.record(true)`.
+#[derive(Debug)]
+pub struct IterationRecord {
+    /// Iteration number.
+    pub iter: usize,
+    /// Arena capacity the iteration executed in.
+    pub capacity: usize,
+    /// The recorded stream (final attempt only when the ladder restarted).
+    pub events: Vec<ExecEvent>,
+    /// Final arena statistics.
+    pub arena: ArenaStats,
 }
 
 /// Simulated training session binding model + data + policy + device.
@@ -114,33 +151,6 @@ impl<'a> Trainer<'a> {
         self
     }
 
-    /// Dispatch a block-engine iteration through the plain engine (exact
-    /// legacy behaviour) when neither recovery nor faults are configured,
-    /// or through the recovery driver otherwise.
-    fn dispatch_block(
-        &self,
-        profile: &ModelProfile,
-        mode: BlockMode<'_>,
-        capacity: usize,
-        iter: usize,
-        planning_ns: u64,
-        faults: Option<&IterationFaults>,
-    ) -> BlockRun {
-        if self.recovery.is_none() && faults.is_none() {
-            return run_block_iteration(profile, mode, capacity, &self.device, iter, planning_ns);
-        }
-        run_block_iteration_recovering(
-            profile,
-            mode,
-            capacity,
-            &self.device,
-            iter,
-            planning_ns,
-            self.recovery.as_ref(),
-            faults,
-        )
-    }
-
     /// Run one iteration for an explicit input (used by the memory-curve
     /// experiments that sweep sequence lengths deterministically).
     ///
@@ -158,121 +168,14 @@ impl<'a> Trainer<'a> {
         iter: usize,
         input: &ModelInput,
     ) -> Result<IterationReport, ExecError> {
-        let profile = self
-            .model
-            .profile(input)
-            .map_err(|source| ExecError::Profile { iter, source })?;
-        let directive = self.policy.begin_iteration(iter, &profile);
-        // Reject malformed plans up front with a typed error rather than
-        // letting the engine index out of bounds mid-iteration.
-        let expected = profile.blocks.len();
-        let shape = match &directive {
-            Directive::RunPlan(p) => Some(("checkpoint", p.len())),
-            Directive::RunFine(fine) => Some(("fine", fine.len())),
-            Directive::RunHybrid(h) => Some(("hybrid", h.len())),
-            Directive::Shuttle(_) | Directive::DtrDynamic => None,
+        let mut ctx = IterationCtx {
+            model: self.model,
+            policy: &mut *self.policy,
+            device: &self.device,
+            recovery: self.recovery.as_ref(),
+            injector: self.injector.as_ref(),
         };
-        if let Some((kind, got)) = shape {
-            if got != expected {
-                return Err(ExecError::PlanShape {
-                    iter,
-                    kind,
-                    expected,
-                    got,
-                });
-            }
-        }
-        let planning_ns = self.policy.last_plan_overhead_ns();
-        // Per-iteration fault vector (identity when no injector is set).
-        let faults = self.injector.as_ref().map(|inj| inj.iteration_faults(iter));
-        // The budget is a *target*, not a hard allocator cap: real PyTorch
-        // grabs more device memory when a plan under-provisions (that is how
-        // the paper's static planners "exceed the memory budget" on OD
-        // tasks, §VI-B). Plans therefore execute inside the whole device and
-        // violations surface as peak > budget in the reports; hard OOM
-        // happens only at physical-device exhaustion. The unconstrained
-        // baseline (budget usize::MAX) is the Fig 10 normalisation
-        // reference and gets an arena large enough never to fail.
-        let nominal = if self.policy.budget_bytes() == usize::MAX {
-            4 * self.device.total_mem_bytes
-        } else {
-            self.device.total_mem_bytes
-        };
-        // Chaos capacity shrink is applied here — by the caller, once — so
-        // the engines and the recovery driver never double-apply it.
-        let capacity = match &faults {
-            Some(f) if f.capacity_factor != 1.0 => (nominal as f64 * f.capacity_factor) as usize,
-            _ => nominal,
-        };
-        let (report, observations) = match directive {
-            Directive::RunPlan(plan) => {
-                let run = self.dispatch_block(
-                    &profile,
-                    BlockMode::Plan(&plan),
-                    capacity,
-                    iter,
-                    planning_ns,
-                    faults.as_ref(),
-                );
-                (run.report, run.observations)
-            }
-            Directive::RunFine(fine) => {
-                let run = self.dispatch_block(
-                    &profile,
-                    BlockMode::Fine(&fine),
-                    capacity,
-                    iter,
-                    planning_ns,
-                    faults.as_ref(),
-                );
-                (run.report, run.observations)
-            }
-            Directive::RunHybrid(hybrid) => {
-                let run = self.dispatch_block(
-                    &profile,
-                    BlockMode::Hybrid(&hybrid),
-                    capacity,
-                    iter,
-                    planning_ns,
-                    faults.as_ref(),
-                );
-                (run.report, run.observations)
-            }
-            Directive::Shuttle(_) => {
-                let run = self.dispatch_block(
-                    &profile,
-                    BlockMode::Shuttle,
-                    capacity,
-                    iter,
-                    planning_ns,
-                    faults.as_ref(),
-                );
-                (run.report, run.observations)
-            }
-            Directive::DtrDynamic => {
-                // The DTR engine's reactive eviction is itself an OOM
-                // handler; the ladder and the chaos hooks do not apply.
-                let budget = self.policy.budget_bytes();
-                let report = run_dtr_iteration(
-                    &profile,
-                    budget,
-                    self.device.total_mem_bytes,
-                    &self.device,
-                    iter,
-                );
-                (report, None)
-            }
-        };
-        self.policy.end_iteration(&IterationObservation {
-            iter,
-            input: *input,
-            input_size: profile.input_size,
-            blocks: observations,
-            peak_bytes: report.peak_bytes,
-            oom: !report.ok(),
-            recovery: report.recovery.clone(),
-        });
-        Ok(report)
+        run_one_iteration(&mut ctx, iter, input, false).map(|(report, _)| report)
     }
 
     /// Run `iters` iterations from the dataset stream; returns per-iteration
@@ -287,9 +190,15 @@ impl<'a> Trainer<'a> {
 
     /// Fallible form of [`Self::run`].
     pub fn try_run(&mut self, iters: usize) -> Result<Vec<IterationReport>, ExecError> {
+        let len = self.dataset.iters_per_epoch();
         let mut stream = self.dataset.stream(self.seed);
         (0..iters)
             .map(|i| {
+                // One pass over the data is the contract: requesting more
+                // than an epoch is a typed error, not silent resampling.
+                if i >= len {
+                    return Err(ExecError::DataExhausted { iter: i, len });
+                }
                 let input = stream.next_batch();
                 self.try_run_input(i, &input)
             })
@@ -314,6 +223,233 @@ impl<'a> Trainer<'a> {
         }
         Ok(s)
     }
+}
+
+/// Everything one iteration needs, borrowed from whoever drives it (the
+/// [`Trainer`] or a [`Session`](crate::Session)); the single shared
+/// execution path keeps both byte-identical.
+pub(crate) struct IterationCtx<'m> {
+    pub model: &'m ModelGraph,
+    pub policy: &'m mut dyn MemoryPolicy,
+    pub device: &'m DeviceProfile,
+    pub recovery: Option<&'m RecoveryConfig>,
+    pub injector: Option<&'m FaultInjector>,
+}
+
+/// Dispatch a block-engine iteration through the plain engine (exact
+/// legacy behaviour) when neither recovery nor faults are configured, or
+/// through the recovery driver otherwise; optionally recording the event
+/// stream (recording changes nothing but the returned extras).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_block(
+    ctx: &IterationCtx<'_>,
+    profile: &ModelProfile,
+    mode: BlockMode<'_>,
+    capacity: usize,
+    iter: usize,
+    planning_ns: u64,
+    faults: Option<&IterationFaults>,
+    record: bool,
+) -> (BlockRun, Option<(Vec<ExecEvent>, ArenaStats)>) {
+    if ctx.recovery.is_none() && faults.is_none() {
+        if record {
+            let (run, events, stats) = run_block_iteration_recorded(
+                profile,
+                mode,
+                capacity,
+                ctx.device,
+                iter,
+                planning_ns,
+            );
+            return (run, Some((events, stats)));
+        }
+        return (
+            run_block_iteration(profile, mode, capacity, ctx.device, iter, planning_ns),
+            None,
+        );
+    }
+    if record {
+        let (run, events, stats) = run_block_iteration_recovering_recorded(
+            profile,
+            mode,
+            capacity,
+            ctx.device,
+            iter,
+            planning_ns,
+            ctx.recovery,
+            faults,
+        );
+        return (run, Some((events, stats)));
+    }
+    (
+        run_block_iteration_recovering(
+            profile,
+            mode,
+            capacity,
+            ctx.device,
+            iter,
+            planning_ns,
+            ctx.recovery,
+            faults,
+        ),
+        None,
+    )
+}
+
+/// Run one full iteration — profile, policy consult, plan-shape validation,
+/// engine dispatch, policy feedback — returning the report and, when
+/// `record` is set, the iteration's event stream.
+pub(crate) fn run_one_iteration(
+    ctx: &mut IterationCtx<'_>,
+    iter: usize,
+    input: &ModelInput,
+    record: bool,
+) -> Result<(IterationReport, Option<IterationRecord>), ExecError> {
+    let profile = ctx
+        .model
+        .profile(input)
+        .map_err(|source| ExecError::Profile { iter, source })?;
+    let directive = ctx.policy.begin_iteration(iter, &profile);
+    // Reject malformed plans up front with a typed error rather than
+    // letting the engine index out of bounds mid-iteration.
+    let expected = profile.blocks.len();
+    let shape = match &directive {
+        Directive::RunPlan(p) => Some(("checkpoint", p.len())),
+        Directive::RunFine(fine) => Some(("fine", fine.len())),
+        Directive::RunHybrid(h) => Some(("hybrid", h.len())),
+        Directive::Shuttle(_) | Directive::DtrDynamic => None,
+    };
+    if let Some((kind, got)) = shape {
+        if got != expected {
+            return Err(ExecError::PlanShape {
+                iter,
+                kind,
+                expected,
+                got,
+            });
+        }
+    }
+    let planning_ns = ctx.policy.last_plan_overhead_ns();
+    // Per-iteration fault vector (identity when no injector is set).
+    let faults = ctx.injector.map(|inj| inj.iteration_faults(iter));
+    // The budget is a *target*, not a hard allocator cap: real PyTorch
+    // grabs more device memory when a plan under-provisions (that is how
+    // the paper's static planners "exceed the memory budget" on OD
+    // tasks, §VI-B). Plans therefore execute inside the whole device and
+    // violations surface as peak > budget in the reports; hard OOM
+    // happens only at physical-device exhaustion. The unconstrained
+    // baseline (budget usize::MAX) is the Fig 10 normalisation
+    // reference and gets an arena large enough never to fail.
+    let nominal = if ctx.policy.budget_bytes() == usize::MAX {
+        4 * ctx.device.total_mem_bytes
+    } else {
+        ctx.device.total_mem_bytes
+    };
+    // Chaos capacity shrink is applied here — by the caller, once — so
+    // the engines and the recovery driver never double-apply it.
+    let capacity = match &faults {
+        Some(f) if f.capacity_factor != 1.0 => (nominal as f64 * f.capacity_factor) as usize,
+        _ => nominal,
+    };
+    // The arena size each directive actually executes in — what a fold of
+    // the recorded stream must use (DTR ignores the chaos shrink and runs
+    // in the whole device, matching the dispatch below).
+    let mut arena_capacity = capacity;
+    let (report, observations, recorded) = match directive {
+        Directive::RunPlan(plan) => {
+            let (run, rec) = dispatch_block(
+                ctx,
+                &profile,
+                BlockMode::Plan(&plan),
+                capacity,
+                iter,
+                planning_ns,
+                faults.as_ref(),
+                record,
+            );
+            (run.report, run.observations, rec)
+        }
+        Directive::RunFine(fine) => {
+            let (run, rec) = dispatch_block(
+                ctx,
+                &profile,
+                BlockMode::Fine(&fine),
+                capacity,
+                iter,
+                planning_ns,
+                faults.as_ref(),
+                record,
+            );
+            (run.report, run.observations, rec)
+        }
+        Directive::RunHybrid(hybrid) => {
+            let (run, rec) = dispatch_block(
+                ctx,
+                &profile,
+                BlockMode::Hybrid(&hybrid),
+                capacity,
+                iter,
+                planning_ns,
+                faults.as_ref(),
+                record,
+            );
+            (run.report, run.observations, rec)
+        }
+        Directive::Shuttle(_) => {
+            let (run, rec) = dispatch_block(
+                ctx,
+                &profile,
+                BlockMode::Shuttle,
+                capacity,
+                iter,
+                planning_ns,
+                faults.as_ref(),
+                record,
+            );
+            (run.report, run.observations, rec)
+        }
+        Directive::DtrDynamic => {
+            // The DTR engine's reactive eviction is itself an OOM
+            // handler; the ladder and the chaos hooks do not apply.
+            let budget = ctx.policy.budget_bytes();
+            arena_capacity = ctx.device.total_mem_bytes;
+            if record {
+                let (report, events, stats) = run_dtr_iteration_recorded(
+                    &profile,
+                    budget,
+                    ctx.device.total_mem_bytes,
+                    ctx.device,
+                    iter,
+                );
+                (report, None, Some((events, stats)))
+            } else {
+                let report = run_dtr_iteration(
+                    &profile,
+                    budget,
+                    ctx.device.total_mem_bytes,
+                    ctx.device,
+                    iter,
+                );
+                (report, None, None)
+            }
+        }
+    };
+    ctx.policy.end_iteration(&IterationObservation {
+        iter,
+        input: *input,
+        input_size: profile.input_size,
+        blocks: observations,
+        peak_bytes: report.peak_bytes,
+        oom: !report.ok(),
+        recovery: report.recovery.clone(),
+    });
+    let record_out = recorded.map(|(events, arena)| IterationRecord {
+        iter,
+        capacity: arena_capacity,
+        events,
+        arena,
+    });
+    Ok((report, record_out))
 }
 
 #[cfg(test)]
@@ -447,6 +583,31 @@ mod tests {
             other => panic!("wrong error: {other}"),
         }
         assert!(err.to_string().contains("covers 3 blocks"));
+    }
+
+    #[test]
+    fn over_epoch_run_is_data_exhausted() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let mut ds = presets::glue_qqp();
+        // Shrink the epoch to exactly 3 iterations.
+        if let Dataset::Text(d) = &mut ds {
+            d.epoch_samples = d.batch_size * 3;
+        }
+        assert_eq!(ds.iters_per_epoch(), 3);
+        let mut pol = BaselinePolicy::new();
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        let err = tr.try_run(5).expect_err("5 iters over a 3-iter epoch");
+        match &err {
+            ExecError::DataExhausted { iter, len } => {
+                assert_eq!(*iter, 3);
+                assert_eq!(*len, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("one epoch holds 3"));
+        // Exactly one epoch is fine.
+        let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
+        assert_eq!(tr.try_run(3).unwrap().len(), 3);
     }
 
     #[test]

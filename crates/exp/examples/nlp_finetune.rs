@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example nlp_finetune`
 
 use mimose::exec::Trainer;
-use mimose::exp::planners::{build_policy, PlannerKind};
-use mimose::exp::tasks::Task;
+use mimose_exp::planners::{build_policy, PlannerKind};
+use mimose_exp::tasks::Task;
 
 fn main() {
     let task = Task::qa_bert();

@@ -10,8 +10,8 @@
 
 use mimose::core::{MimoseConfig, MimosePolicy};
 use mimose::exec::Trainer;
-use mimose::exp::tasks::Task;
 use mimose::planner::SublinearPolicy;
+use mimose_exp::tasks::Task;
 
 fn main() {
     let task = Task::od_r50();

@@ -19,7 +19,7 @@ use mimose_audit::{
     audit_exec_events, lint_fine_plan, lint_hybrid_plan, lint_plan, lint_profile, Diagnostic,
     Severity,
 };
-use mimose_exec::{run_block_iteration_recorded, BlockMode};
+use mimose_exec::{BlockIteration, BlockMode};
 use mimose_exp::planners::{build_policy, PlannerKind};
 use mimose_exp::tasks::Task;
 use mimose_planner::memory_model::min_feasible_budget;
@@ -83,8 +83,10 @@ fn main() {
             };
 
             if let Some(mode) = mode {
-                let (run, events, stats) =
-                    run_block_iteration_recorded(&typical, mode, TRACE_CAPACITY, &dev, 0, 0);
+                let (run, events, stats) = BlockIteration::with_mode(&typical, mode)
+                    .device(&dev)
+                    .capacity(TRACE_CAPACITY)
+                    .run_recorded();
                 if let Some(oom) = &run.report.oom {
                     diags.push(Diagnostic::error(
                         "unconstrained-oom",

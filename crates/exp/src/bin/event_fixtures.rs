@@ -11,11 +11,8 @@
 //! cargo run --release -p mimose-exp --bin event_fixtures > tests/fixtures/block_engine_seed.json
 //! ```
 
-use mimose_exec::{run_block_iteration, BlockMode, IterationReport};
-use mimose_models::builders::{bert_base, BertHead};
-use mimose_models::{ModelInput, ModelProfile};
-use mimose_planner::CheckpointPlan;
-use mimose_simgpu::DeviceProfile;
+use mimose::planner::CheckpointPlan;
+use mimose::prelude::*;
 
 fn profile(batch: usize, seq: usize) -> ModelProfile {
     bert_base(BertHead::Classification { labels: 2 })
@@ -59,11 +56,15 @@ fn main() {
             ),
         ];
         for (pname, plan) in &plans {
-            let run = run_block_iteration(&p, BlockMode::Plan(plan), cap, &dev, 0, 4321);
+            let run = BlockIteration::plan(&p, plan)
+                .device(&dev)
+                .capacity(cap)
+                .planning_ns(4321)
+                .run();
             assert!(run.report.ok(), "fixture run must not OOM");
             out.push((format!("bert_b{batch}_s{seq}_plan_{pname}"), run.report));
         }
-        let shuttle = run_block_iteration(&p, BlockMode::Shuttle, cap, &dev, 0, 0);
+        let shuttle = BlockIteration::shuttle(&p).device(&dev).capacity(cap).run();
         assert!(shuttle.report.ok());
         out.push((format!("bert_b{batch}_s{seq}_shuttle"), shuttle.report));
     }

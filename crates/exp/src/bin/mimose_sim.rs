@@ -1,12 +1,11 @@
 //! `mimose_sim`: simulate budgeted training for any (task, planner, budget)
 //! from the command line; text summary or per-iteration CSV.
 
-use mimose_exec::Trainer;
+use mimose::prelude::*;
 use mimose_exp::cli::{find_task, parse_args, SimOptions, USAGE};
 use mimose_exp::csv::iterations_to_csv;
 use mimose_exp::planners::build_policy;
 use mimose_exp::table::{gib, ms};
-use mimose_simgpu::DeviceProfile;
 
 fn run(opt: &SimOptions) {
     let task = find_task(&opt.task).expect("validated by parse_args");
@@ -20,7 +19,7 @@ fn run(opt: &SimOptions) {
         print!("{}", iterations_to_csv(&reports));
         return;
     }
-    let mut summary = mimose_exec::RunSummary::default();
+    let mut summary = RunSummary::default();
     for r in &reports {
         summary.absorb(r);
     }

@@ -5,13 +5,10 @@
 //! against the reports. Exits non-zero on any error-severity diagnostic or
 //! fold divergence. CI runs this as the runtime-events smoke job.
 
+use mimose::planner::CheckpointPlan;
+use mimose::prelude::*;
+use mimose::runtime::fold_events;
 use mimose_audit::{audit_exec_events, has_errors, Diagnostic};
-use mimose_exec::{run_block_iteration_recorded, run_dtr_iteration_recorded, BlockMode};
-use mimose_models::builders::{bert_base, BertHead};
-use mimose_models::ModelInput;
-use mimose_planner::CheckpointPlan;
-use mimose_runtime::fold_events;
-use mimose_simgpu::DeviceProfile;
 
 fn report(label: &str, diags: &[Diagnostic]) -> bool {
     for d in diags {
@@ -36,8 +33,11 @@ fn main() {
     // One block-engine iteration under a mixed plan.
     let cap = 64usize << 30;
     let plan = CheckpointPlan::from_indices(p.blocks.len(), &[1, 3, 5]).expect("indices in range");
-    let (run, events, stats) =
-        run_block_iteration_recorded(&p, BlockMode::Plan(&plan), cap, &dev, 0, 1000);
+    let (run, events, stats) = BlockIteration::plan(&p, &plan)
+        .device(&dev)
+        .capacity(cap)
+        .planning_ns(1000)
+        .run_recorded();
     assert!(run.report.ok(), "block smoke iteration OOMed");
     let f = fold_events(cap, &events);
     assert_eq!(f.time, run.report.time, "block fold clock divergence");
@@ -46,7 +46,10 @@ fn main() {
 
     // One DTR iteration under a tight-ish budget (evictions exercised).
     let cap = 16usize << 30;
-    let (r, events, stats) = run_dtr_iteration_recorded(&p, 6 << 30, cap, &dev, 0);
+    let (r, events, stats) = DtrIteration::new(&p, 6 << 30)
+        .device(&dev)
+        .capacity(cap)
+        .run_recorded();
     assert!(r.ok(), "dtr smoke iteration OOMed");
     let f = fold_events(cap, &events);
     assert_eq!(f.time, r.time, "dtr fold clock divergence");

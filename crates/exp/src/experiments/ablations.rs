@@ -8,7 +8,7 @@ use mimose_core::{
     CostAwareScheduler, GreedyBucketScheduler, KnapsackScheduler, MimoseConfig, MimosePolicy,
     Scheduler,
 };
-use mimose_exec::{run_dtr_iteration_with_policy, Trainer};
+use mimose_exec::{DtrIteration, Trainer};
 use mimose_models::ModelInput;
 use mimose_simgpu::{AllocPolicy, DeviceProfile};
 
@@ -292,7 +292,11 @@ pub fn allocator_ablation(budget: usize) -> Vec<AllocatorRow> {
     ]
     .into_iter()
     .map(|(name, policy)| {
-        let r = run_dtr_iteration_with_policy(&p, budget, dev.total_mem_bytes, &dev, 0, policy);
+        let r = DtrIteration::new(&p, budget)
+            .device(&dev)
+            .capacity(dev.total_mem_bytes)
+            .alloc_policy(policy)
+            .run();
         AllocatorRow {
             policy: name,
             frag: r.frag_bytes,

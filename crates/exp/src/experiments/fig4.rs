@@ -8,7 +8,7 @@
 
 use crate::table::{gib, render_table};
 use crate::tasks::Task;
-use mimose_exec::{run_block_iteration, BlockMode};
+use mimose_exec::BlockIteration;
 use mimose_models::ModelInput;
 use mimose_planner::{CheckpointPlan, SublinearPolicy};
 use mimose_simgpu::DeviceProfile;
@@ -44,13 +44,18 @@ pub fn run(budget: usize) -> Vec<Fig4Point> {
                 .profile(&ModelInput::tokens(batch, seqlen))
                 .expect("validates");
             let n = p.blocks.len();
-            let run_static =
-                run_block_iteration(&p, BlockMode::Plan(sublinear.plan()), budget, &dev, 0, 0);
+            let run_static = BlockIteration::plan(&p, sublinear.plan())
+                .device(&dev)
+                .capacity(budget)
+                .run();
             // The input-aware reference: a plan computed for *this* input
             // (ground-truth version of what Mimose generates).
             let adaptive = mimose_core::GreedyBucketScheduler::new(0.10);
             let aplan = mimose_core::Scheduler::schedule(&adaptive, &p, budget);
-            let run_adaptive = run_block_iteration(&p, BlockMode::Plan(&aplan), budget, &dev, 0, 0);
+            let run_adaptive = BlockIteration::plan(&p, &aplan)
+                .device(&dev)
+                .capacity(budget)
+                .run();
             let peak_none = mimose_planner::memory_model::peak_bytes(&p, &CheckpointPlan::none(n));
             Fig4Point {
                 seqlen,

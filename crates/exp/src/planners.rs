@@ -3,9 +3,7 @@
 use crate::tasks::Task;
 use mimose_core::{KnapsackScheduler, MimoseConfig, MimosePolicy};
 use mimose_data::Dataset;
-use mimose_planner::{
-    BaselinePolicy, CheckmatePolicy, DtrPolicy, MemoryPolicy, MonetPolicy, SublinearPolicy,
-};
+use mimose_planner::{MemoryPolicy, PolicyKind};
 
 /// The planners compared in Fig 10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,25 +64,19 @@ pub fn build_policy(kind: PlannerKind, task: &Task, budget: usize) -> Box<dyn Me
         Dataset::Vision(_) => task.typical_profile(),
     };
     match kind {
-        PlannerKind::Baseline => Box::new(BaselinePolicy::new()),
+        PlannerKind::Baseline => PolicyKind::Baseline.build(&static_reference(), budget),
         PlannerKind::Sublinear => {
             // Sublinear runs natively in PyTorch and can always plan for the
             // true worst case.
-            Box::new(SublinearPolicy::plan_offline(&task.worst_profile(), budget))
+            PolicyKind::Sublinear.build(&task.worst_profile(), budget)
         }
         PlannerKind::Checkmate => {
             // 2 % allocator headroom: exact-budget plans can OOM on
             // fragmentation even when the analytic peak fits.
-            Box::new(CheckmatePolicy::plan_offline(
-                &static_reference(),
-                budget - budget / 50,
-            ))
+            PolicyKind::Checkmate.build(&static_reference(), budget - budget / 50)
         }
-        PlannerKind::Monet => Box::new(MonetPolicy::plan_offline(
-            &static_reference(),
-            budget - budget / 50,
-        )),
-        PlannerKind::Dtr => Box::new(DtrPolicy::new(budget)),
+        PlannerKind::Monet => PolicyKind::Monet.build(&static_reference(), budget - budget / 50),
+        PlannerKind::Dtr => PolicyKind::Dtr.build(&static_reference(), budget),
         PlannerKind::Mimose => Box::new(MimosePolicy::new(MimoseConfig::with_budget(budget))),
         PlannerKind::MimoseKnapsack => Box::new(MimosePolicy::with_scheduler(
             MimoseConfig::with_budget(budget),

@@ -4,8 +4,8 @@
 
 use mimose::core::{MimoseConfig, MimosePolicy};
 use mimose::exec::Trainer;
-use mimose::exp::planners::{build_policy, PlannerKind};
-use mimose::exp::tasks::Task;
+use mimose_exp::planners::{build_policy, PlannerKind};
+use mimose_exp::tasks::Task;
 
 #[test]
 fn every_planner_runs_every_task() {
@@ -146,7 +146,7 @@ fn adaptive_mimose_matches_base_on_stationary_data() {
 
 #[test]
 fn csv_export_round_trips_run_length() {
-    use mimose::exp::csv::iterations_to_csv;
+    use mimose_exp::csv::iterations_to_csv;
     let task = Task::qa_bert();
     let mut policy = build_policy(PlannerKind::Mimose, &task, 6 << 30);
     let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 5);

@@ -11,10 +11,7 @@
 
 use mimose_audit::{lint_recovery_trace, Severity};
 use mimose_chaos::{FaultInjector, FaultSpec, IterationFaults};
-use mimose_exec::{
-    run_block_iteration, run_block_iteration_recovering, BlockMode, BlockRun, RecoveryConfig,
-    Trainer,
-};
+use mimose_exec::{BlockIteration, BlockRun, RecoveryConfig, Trainer};
 use mimose_exp::experiments::chaos::{clean_reference, scenario_spec, ChaosOptions, Scenario};
 use mimose_exp::tasks::Task;
 use mimose_models::builders::{bert_base, BertHead};
@@ -101,21 +98,17 @@ fn random_trial(rng: &mut StdRng, profiles: &[ModelProfile]) -> Trial {
 
 fn run_trial(t: &Trial, profiles: &[ModelProfile], dev: &DeviceProfile) -> BlockRun {
     let p = &profiles[t.profile_idx];
-    let mode = if t.shuttle {
-        BlockMode::Shuttle
+    let it = if t.shuttle {
+        BlockIteration::shuttle(p)
     } else {
-        BlockMode::Plan(&t.plan)
+        BlockIteration::plan(p, &t.plan)
     };
-    run_block_iteration_recovering(
-        p,
-        mode,
-        t.capacity,
-        dev,
-        t.iter,
-        0,
-        Some(&t.cfg),
-        Some(&t.faults),
-    )
+    it.device(dev)
+        .capacity(t.capacity)
+        .iter(t.iter)
+        .recovery(&t.cfg)
+        .faults(&t.faults)
+        .run()
 }
 
 #[test]
@@ -204,7 +197,6 @@ fn ladder_is_deterministic_for_a_given_schedule() {
 #[test]
 fn happy_path_is_byte_identical_under_recovery_harness() {
     let profiles = profiles();
-    let dev = DeviceProfile::v100();
     let mut rng = StdRng::seed_from_u64(0xfeed);
     let cfg = RecoveryConfig::default();
     for _ in 0..50 {
@@ -212,17 +204,17 @@ fn happy_path_is_byte_identical_under_recovery_harness() {
         let p = &profiles[t.profile_idx];
         // Generous capacity and no faults: the harness must be invisible.
         let capacity = peak_bytes(p, &CheckpointPlan::none(p.blocks.len())) * 2;
-        let plain = run_block_iteration(p, BlockMode::Plan(&t.plan), capacity, &dev, t.iter, 7);
-        let guarded = run_block_iteration_recovering(
-            p,
-            BlockMode::Plan(&t.plan),
-            capacity,
-            &dev,
-            t.iter,
-            7,
-            Some(&cfg),
-            None,
-        );
+        let plain = BlockIteration::plan(p, &t.plan)
+            .capacity(capacity)
+            .iter(t.iter)
+            .planning_ns(7)
+            .run();
+        let guarded = BlockIteration::plan(p, &t.plan)
+            .capacity(capacity)
+            .iter(t.iter)
+            .planning_ns(7)
+            .recovery(&cfg)
+            .run();
         assert!(guarded.report.recovery.is_empty());
         assert_eq!(plain.report.time.total_ns(), guarded.report.time.total_ns());
         assert_eq!(plain.report.peak_bytes, guarded.report.peak_bytes);
@@ -245,16 +237,12 @@ fn spurious_failures_are_absorbed_by_coalesce_retry() {
         fail_allocs: vec![3, 17, 40],
         ..IterationFaults::identity()
     };
-    let run = run_block_iteration_recovering(
-        p,
-        BlockMode::Plan(&plan),
-        capacity,
-        &dev,
-        0,
-        0,
-        Some(&cfg),
-        Some(&faults),
-    );
+    let run = BlockIteration::plan(p, &plan)
+        .device(&dev)
+        .capacity(capacity)
+        .recovery(&cfg)
+        .faults(&faults)
+        .run();
     assert!(run.report.ok(), "{:?}", run.report.oom);
     assert_eq!(run.report.recovery.len(), 3);
     assert!(run

@@ -38,6 +38,10 @@ impl MemoryPolicy for BaselinePolicy {
     fn begin_iteration(&mut self, _iter: usize, profile: &ModelProfile) -> Directive {
         Directive::RunPlan(CheckpointPlan::none(profile.blocks.len()))
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        Some(profile.peak_no_checkpoint())
+    }
 }
 
 #[cfg(test)]

@@ -179,6 +179,10 @@ impl MemoryPolicy for CapuchinPolicy {
     fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
         Directive::RunHybrid(self.plan.clone())
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        (self.plan.len() == profile.blocks.len()).then(|| peak_bytes_hybrid(profile, &self.plan))
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,11 @@ impl MemoryPolicy for CheckmatePolicy {
     fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
         Directive::RunPlan(self.plan.clone())
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        (self.plan.len() == profile.blocks.len())
+            .then(|| crate::memory_model::peak_bytes(profile, &self.plan))
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,12 @@ impl MemoryPolicy for DtrPolicy {
     fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
         Directive::DtrDynamic
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        // Reactive eviction keeps residency at the budget; small inputs may
+        // never reach it.
+        Some(self.budget.min(profile.peak_no_checkpoint()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,141 @@
+//! [`PolicyKind`]: a data-carrying name for each comparison planner plus a
+//! uniform factory, so callers (exp binaries, the cluster scheduler,
+//! benches) stop hand-constructing the six planner types with inconsistent
+//! positional arguments.
+//!
+//! Mimose itself is *not* a variant: it lives upstream in `mimose-core`
+//! (which depends on this crate), so callers that need it construct
+//! `MimosePolicy` directly — everything else goes through [`PolicyKind::build`].
+
+use crate::{
+    BaselinePolicy, CapuchinPolicy, CheckmatePolicy, DtrPolicy, MemoryPolicy, MonetPolicy,
+    SublinearPolicy,
+};
+use mimose_models::ModelProfile;
+use mimose_simgpu::DeviceProfile;
+
+/// One of the six planner-crate policies, nameable as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// No checkpointing (original PyTorch).
+    Baseline,
+    /// Static greedy segment checkpointing.
+    Sublinear,
+    /// Static cost-optimal checkpointing (MILP-style local search).
+    Checkmate,
+    /// Static tensor-granular plan.
+    Monet,
+    /// Reactive tensor eviction.
+    Dtr,
+    /// Hybrid swap/recompute planning.
+    Capuchin,
+}
+
+impl PolicyKind {
+    /// Every variant, in the paper's comparison order.
+    pub fn all() -> [PolicyKind; 6] {
+        [
+            PolicyKind::Baseline,
+            PolicyKind::Sublinear,
+            PolicyKind::Checkmate,
+            PolicyKind::Monet,
+            PolicyKind::Dtr,
+            PolicyKind::Capuchin,
+        ]
+    }
+
+    /// Display name (matches each policy's `PlannerMeta::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline",
+            PolicyKind::Sublinear => "Sublinear",
+            PolicyKind::Checkmate => "Checkmate",
+            PolicyKind::Monet => "MONeT",
+            PolicyKind::Dtr => "DTR",
+            PolicyKind::Capuchin => "Capuchin",
+        }
+    }
+
+    /// Parse a (case-insensitive) name as printed by [`Self::name`].
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        Self::all()
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Build the policy against `reference` (the profile static planners
+    /// solve for — typically the dataset's worst case) under `budget`
+    /// bytes, on the default V100 device. `Baseline` ignores both.
+    pub fn build(&self, reference: &ModelProfile, budget: usize) -> Box<dyn MemoryPolicy> {
+        self.build_on(reference, budget, &DeviceProfile::v100())
+    }
+
+    /// [`Self::build`] with an explicit device (only Capuchin's swap-cost
+    /// model consults it).
+    pub fn build_on(
+        &self,
+        reference: &ModelProfile,
+        budget: usize,
+        dev: &DeviceProfile,
+    ) -> Box<dyn MemoryPolicy> {
+        match self {
+            PolicyKind::Baseline => Box::new(BaselinePolicy::new()),
+            PolicyKind::Sublinear => Box::new(SublinearPolicy::plan_offline(reference, budget)),
+            PolicyKind::Checkmate => Box::new(CheckmatePolicy::plan_offline(reference, budget)),
+            PolicyKind::Monet => Box::new(MonetPolicy::plan_offline(reference, budget)),
+            PolicyKind::Dtr => Box::new(DtrPolicy::new(budget)),
+            PolicyKind::Capuchin => Box::new(CapuchinPolicy::plan_offline(reference, budget, dev)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+
+    #[test]
+    fn factory_matches_meta_names_and_budgets() {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let worst = m.profile(&ModelInput::tokens(32, 300)).unwrap();
+        for kind in PolicyKind::all() {
+            let pol = kind.build(&worst, 6 << 30);
+            assert_eq!(pol.meta().name, kind.name(), "{kind:?}");
+            if kind == PolicyKind::Baseline {
+                assert_eq!(pol.budget_bytes(), usize::MAX);
+            } else {
+                assert_eq!(pol.budget_bytes(), 6 << 30);
+            }
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("monet"), Some(PolicyKind::Monet));
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn predictions_respect_budget_for_static_planners() {
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let worst = m.profile(&ModelInput::tokens(32, 300)).unwrap();
+        let budget = 6usize << 30;
+        for kind in [PolicyKind::Sublinear, PolicyKind::Dtr, PolicyKind::Capuchin] {
+            let pol = kind.build(&worst, budget);
+            let predicted = pol
+                .predicted_peak_bytes(&worst)
+                .expect("planner policies predict");
+            assert!(predicted <= budget, "{kind:?}: {predicted} > {budget}");
+        }
+        // Baseline predicts the full no-checkpoint peak.
+        let base = PolicyKind::Baseline.build(&worst, budget);
+        assert_eq!(
+            base.predicted_peak_bytes(&worst),
+            Some(worst.peak_no_checkpoint())
+        );
+    }
+}

@@ -13,6 +13,7 @@ mod baseline;
 mod capuchin;
 mod checkmate;
 mod dtr;
+mod kind;
 pub mod memory_model;
 mod monet;
 mod plan;
@@ -25,6 +26,7 @@ pub use baseline::BaselinePolicy;
 pub use capuchin::{peak_bytes_hybrid, BlockAction, CapuchinPolicy, HybridPlan};
 pub use checkmate::CheckmatePolicy;
 pub use dtr::{h_dtr, DtrPolicy};
+pub use kind::PolicyKind;
 pub use monet::MonetPolicy;
 pub use plan::{CheckpointPlan, PlanIndexError};
 pub use recovery::{RecoveryEvent, RecoveryRung};

@@ -156,6 +156,11 @@ impl MemoryPolicy for MonetPolicy {
     fn begin_iteration(&mut self, _iter: usize, _profile: &ModelProfile) -> Directive {
         Directive::RunFine(self.plan.clone())
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        (self.plan.len() == profile.blocks.len())
+            .then(|| crate::memory_model::peak_bytes_fine(profile, &self.plan))
+    }
 }
 
 #[cfg(test)]

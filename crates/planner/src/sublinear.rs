@@ -83,6 +83,11 @@ impl MemoryPolicy for SublinearPolicy {
         // The same conservative plan regardless of the actual input.
         Directive::RunPlan(self.plan.clone())
     }
+
+    fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
+        (self.plan.len() == profile.blocks.len())
+            .then(|| crate::memory_model::peak_bytes(profile, &self.plan))
+    }
 }
 
 #[cfg(test)]

@@ -109,7 +109,10 @@ pub struct IterationObservation {
 /// The executor calls [`MemoryPolicy::begin_iteration`] at the start of each
 /// forward pass (the red arrow in Fig 2 for Mimose) and
 /// [`MemoryPolicy::end_iteration`] after the optimizer step.
-pub trait MemoryPolicy {
+///
+/// Policies are `Send` so sessions can be dispatched across scheduler
+/// threads; every implementor is plain data (plans, samples, counters).
+pub trait MemoryPolicy: Send {
     /// Table I metadata.
     fn meta(&self) -> PlannerMeta;
 
@@ -133,6 +136,20 @@ pub trait MemoryPolicy {
     /// iteration, to be charged to the virtual clock by the executor.
     fn last_plan_overhead_ns(&self) -> u64 {
         0
+    }
+
+    /// The peak resident bytes this policy expects an iteration over
+    /// `profile` to reach, before running it — the admission-control hook
+    /// the cluster scheduler queries to decide whether a job's next
+    /// iteration fits a device. `None` means the policy cannot predict
+    /// (admission then falls back to the no-checkpoint peak).
+    ///
+    /// Predictions are *advisory*: they must never be required to match the
+    /// executed peak exactly (admission accuracy is itself a reported
+    /// metric), but static planners return their plan's analytic peak and
+    /// budget-capped policies their budget, so honest predictions are cheap.
+    fn predicted_peak_bytes(&self, _profile: &ModelProfile) -> Option<usize> {
+        None
     }
 }
 

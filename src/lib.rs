@@ -17,32 +17,36 @@
 //! * [`estimator`] — polynomial/SVR/tree/GBT regression library;
 //! * [`planner`] — plan types, policy trait, Sublinear/Checkmate/MONeT/DTR;
 //! * [`core`] — Mimose itself (collector, estimator, scheduler, cache);
-//! * [`exec`] — the iteration executor and trainer;
-//! * [`exp`] — the experiment harness regenerating every table/figure.
+//! * [`exec`] — the iteration executor: [`Session`](exec::Session),
+//!   trainer, recovery ladder;
+//! * [`cluster`] — the multi-device, multi-job fleet scheduler.
+//!
+//! The experiment harness regenerating every table/figure lives in the
+//! `mimose-exp` crate (binaries only; it consumes this facade).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use mimose::core::{MimoseConfig, MimosePolicy};
-//! use mimose::data::presets;
-//! use mimose::exec::Trainer;
-//! use mimose::models::builders::{bert_base, BertHead};
+//! use mimose::prelude::*;
 //!
 //! let model = bert_base(BertHead::Classification { labels: 2 });
 //! let dataset = presets::glue_qqp();
-//! let mut policy = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
-//! let mut trainer = Trainer::new(&model, &dataset, &mut policy, 42);
-//! let summary = trainer.run_summary(50);
-//! assert_eq!(summary.oom_iters, 0);
-//! assert!(summary.max_peak_bytes <= 5 << 30);
+//! let mut session = Session::builder(&model, &dataset)
+//!     .policy(MimosePolicy::new(MimoseConfig::with_budget(5 << 30)))
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! session.run(50).unwrap();
+//! assert_eq!(session.summary().oom_iters, 0);
+//! assert!(session.summary().max_peak_bytes <= 5 << 30);
 //! ```
 
 pub use mimose_audit as audit;
+pub use mimose_cluster as cluster;
 pub use mimose_core as core;
 pub use mimose_data as data;
 pub use mimose_estimator as estimator;
 pub use mimose_exec as exec;
-pub use mimose_exp as exp;
 pub use mimose_models as models;
 pub use mimose_ops as ops;
 pub use mimose_planner as planner;
@@ -50,3 +54,25 @@ pub use mimose_rng as rng;
 pub use mimose_runtime as runtime;
 pub use mimose_simgpu as simgpu;
 pub use mimose_tensor as tensor;
+
+/// The types most programs touch, importable in one line.
+///
+/// Covers the session front door, the policy zoo, the fleet scheduler,
+/// and the handful of substrate types (device, dataset, model builders)
+/// every experiment needs.
+pub mod prelude {
+    pub use mimose_chaos::{FaultInjector, FaultSpec, FleetFaultPlan};
+    pub use mimose_cluster::{
+        run_cluster, ClusterReport, ClusterSpec, JobPolicy, JobSpec, SchedulePolicy,
+    };
+    pub use mimose_core::{MimoseConfig, MimosePolicy};
+    pub use mimose_data::{presets, Dataset};
+    pub use mimose_exec::{
+        BlockIteration, DtrIteration, ExecError, RecoveryConfig, Session, SessionBuilder, Trainer,
+    };
+    pub use mimose_models::builders::{bert_base, resnet50_od, roberta_base, t5_base, BertHead};
+    pub use mimose_models::{ModelGraph, ModelInput, ModelProfile};
+    pub use mimose_planner::{MemoryPolicy, PolicyKind};
+    pub use mimose_runtime::{IterationReport, RunSummary};
+    pub use mimose_simgpu::DeviceProfile;
+}

@@ -5,7 +5,7 @@
 //! The randomized cases are seeded-deterministic (see `mimose::rng`), so
 //! failures reproduce exactly.
 
-use mimose::exec::{run_block_iteration, BlockMode};
+use mimose::exec::BlockIteration;
 use mimose::models::builders::{bert_base, roberta_base, t5_base, BertHead};
 use mimose::models::{ModelGraph, ModelInput, ModelProfile};
 use mimose::planner::memory_model::{min_feasible_budget, peak_bytes};
@@ -29,7 +29,10 @@ fn models() -> Vec<(ModelGraph, ModelInput)> {
 
 fn engine_peak(p: &ModelProfile, plan: &CheckpointPlan) -> usize {
     let dev = DeviceProfile::v100();
-    let run = run_block_iteration(p, BlockMode::Plan(plan), 64 << 30, &dev, 0, 0);
+    let run = BlockIteration::plan(p, plan)
+        .device(&dev)
+        .capacity(64 << 30)
+        .run();
     assert!(run.report.ok(), "engine OOMed in an unconstrained arena");
     run.report.peak_bytes
 }
