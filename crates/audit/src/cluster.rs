@@ -16,6 +16,7 @@ use mimose_runtime::{fold_events, RunSummary};
 /// Audit a finished cluster run. Returns one diagnostic per violated
 /// invariant; an empty vector means the rollup is exactly reproducible
 /// from the evidence.
+#[must_use]
 pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let report = &outcome.report;
@@ -253,6 +254,16 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
             format!(
                 "{} admitted + {} demoted != {dispatched} dispatched jobs",
                 adm.admitted, adm.demoted
+            ),
+        ));
+    }
+    if adm.verified_admits > adm.admitted {
+        diags.push(Diagnostic::error(
+            "cluster-verified-admits",
+            "report",
+            format!(
+                "{} statically verified admits exceed {} total admits",
+                adm.verified_admits, adm.admitted
             ),
         ));
     }

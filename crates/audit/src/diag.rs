@@ -17,6 +17,7 @@ pub enum Severity {
 
 impl Severity {
     /// Lower-case label used in JSON output.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Severity::Info => "info",
@@ -90,6 +91,7 @@ impl Diagnostic {
 
     /// Render as a single JSON object (no external JSON crate — the
     /// diagnostic shape is flat strings, so escaping by hand is safe).
+    #[must_use]
     pub fn to_json(&self) -> String {
         format!(
             "{{\"severity\":\"{}\",\"check\":\"{}\",\"subject\":\"{}\",\"message\":\"{}\"}}",
@@ -112,6 +114,7 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Escape a string for embedding in a JSON string literal.
+#[must_use]
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -129,6 +132,7 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// Render a slice of diagnostics as a JSON array.
+#[must_use]
 pub fn to_json_array(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
     for (i, d) in diags.iter().enumerate() {
@@ -142,11 +146,13 @@ pub fn to_json_array(diags: &[Diagnostic]) -> String {
 }
 
 /// Whether any diagnostic is an [`Severity::Error`].
+#[must_use]
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
 /// The worst severity present, if any.
+#[must_use]
 pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
     diags.iter().map(|d| d.severity).max()
 }

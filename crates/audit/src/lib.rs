@@ -24,7 +24,11 @@
 //! * [`lint_cluster`] — re-derivation of a fleet run's rollup (makespan,
 //!   utilization, per-device counters, admission bookkeeping) from the
 //!   per-job evidence, with event-fold cross-checks and dispatch-order
-//!   structure.
+//!   structure;
+//! * [`lint_schedule`] / [`lint_plan_schedule`] — the *static* family:
+//!   `mimose-verify`'s symbolic def-use sanitizer over a plan's
+//!   forward/backward timeline, reported through the same diagnostics
+//!   before anything executes.
 //!
 //! The runtime counterpart — the planner/executor shadow checker that
 //! compares the allocator's live bytes against the analytic residency curve
@@ -41,6 +45,7 @@ mod exec_stream;
 mod lint;
 mod profile;
 mod recovery;
+mod statics;
 mod trace;
 
 pub use cluster::lint_cluster;
@@ -49,4 +54,5 @@ pub use exec_stream::audit_exec_events;
 pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};
 pub use profile::lint_profile;
 pub use recovery::lint_recovery_trace;
+pub use statics::{lint_plan_schedule, lint_schedule};
 pub use trace::audit_trace;

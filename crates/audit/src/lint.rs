@@ -17,6 +17,7 @@ use mimose_planner::{peak_bytes_hybrid, BlockAction, CheckpointPlan, HybridPlan}
 /// Lint a block-granularity [`CheckpointPlan`] for `profile`, optionally
 /// against a byte `budget`. `subject` labels the diagnostics (planner or
 /// task name).
+#[must_use]
 pub fn lint_plan(
     profile: &ModelProfile,
     plan: &CheckpointPlan,
@@ -114,6 +115,7 @@ pub fn lint_plan(
 }
 
 /// Lint a tensor-granular [`FinePlan`] (MONeT) against `profile`.
+#[must_use]
 pub fn lint_fine_plan(
     profile: &ModelProfile,
     plan: &FinePlan,
@@ -175,6 +177,7 @@ pub fn lint_fine_plan(
 }
 
 /// Lint a hybrid swap/recompute [`HybridPlan`] (Capuchin) against `profile`.
+#[must_use]
 pub fn lint_hybrid_plan(
     profile: &ModelProfile,
     plan: &HybridPlan,

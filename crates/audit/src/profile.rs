@@ -11,6 +11,7 @@ use mimose_models::ModelProfile;
 use mimose_simgpu::ARENA_ALIGN;
 
 /// Lint `profile` for structural and accounting invariants.
+#[must_use]
 pub fn lint_profile(profile: &ModelProfile) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let subject = profile.model.clone();

@@ -24,6 +24,7 @@ use mimose_planner::{RecoveryEvent, RecoveryRung};
 /// recorded on `IterationReport::recovery`). `max_restarts` and
 /// `max_inline_per_attempt` are the configured ladder bounds
 /// (`RecoveryConfig::max_restarts` / `max_inline_events`).
+#[must_use]
 pub fn lint_recovery_trace(
     events: &[RecoveryEvent],
     max_restarts: usize,

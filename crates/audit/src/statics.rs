@@ -1,0 +1,72 @@
+//! The static lint family: `mimose-verify` sanitizer findings reported
+//! through the diagnostic machinery.
+//!
+//! `mimose-verify` sits below this crate in the dependency graph (so the
+//! plan cache and admission controller can hold certificates without a
+//! cycle) and reports raw [`Violation`]s; this module converts them into
+//! [`Diagnostic`]s so static findings flow through the same JSON pipeline,
+//! severity accounting and gating as every dynamic audit pass.
+
+use crate::diag::Diagnostic;
+use mimose_planner::CheckpointPlan;
+use mimose_verify::{sanitize, Schedule, Severity, Violation};
+
+fn to_diagnostic(v: &Violation, subject: &str) -> Diagnostic {
+    let message = match v.op_index {
+        Some(i) => format!("op {i}: {}", v.message),
+        None => v.message.clone(),
+    };
+    match v.severity {
+        Severity::Error => Diagnostic::error(v.check, subject, message),
+        Severity::Warning => Diagnostic::warning(v.check, subject, message),
+    }
+}
+
+/// Run the symbolic schedule sanitizer and report its findings as
+/// diagnostics: use-after-free, use-after-evict, double-free,
+/// recompute-without-live-dependency and dependency-order violations as
+/// errors; leaks and incomplete backward sweeps as warnings.
+#[must_use]
+pub fn lint_schedule(schedule: &Schedule, subject: &str) -> Vec<Diagnostic> {
+    sanitize(schedule)
+        .iter()
+        .map(|v| to_diagnostic(v, subject))
+        .collect()
+}
+
+/// [`lint_schedule`] over the canonical lowering of a checkpoint plan — the
+/// pre-execution sanity gate for planner output.
+#[must_use]
+pub fn lint_plan_schedule(plan: &CheckpointPlan, subject: &str) -> Vec<Diagnostic> {
+    lint_schedule(&Schedule::from_plan(plan), subject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use mimose_verify::SchedOp;
+
+    #[test]
+    fn canonical_plan_lowering_lints_clean() {
+        let plan = CheckpointPlan::from_indices(6, &[1, 3, 5]).unwrap();
+        let diags = lint_plan_schedule(&plan, "test-plan");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mutated_schedule_reports_through_diag_machinery() {
+        let plan = CheckpointPlan::from_indices(4, &[2]).unwrap();
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Recompute { block: 2 }))
+            .unwrap();
+        s.remove_op(i);
+        let diags = lint_schedule(&s, "mutant");
+        assert!(has_errors(&diags));
+        assert!(diags.iter().any(|d| d.check == "use-after-evict"));
+        let json = diags[0].to_json();
+        assert!(json.contains("\"check\":"), "{json}");
+        assert!(json.contains("mutant"), "{json}");
+    }
+}

@@ -87,6 +87,7 @@ impl Shadow {
 /// Leaked allocations at the end of the trace are reported at info
 /// severity: engines legitimately end an iteration with the constant
 /// footprint still live.
+#[must_use]
 pub fn audit_trace(
     capacity: usize,
     events: &[TraceEvent],

@@ -183,6 +183,7 @@ impl Criterion {
     /// Serialise all measurements as a JSON document (no external deps, so
     /// the document is hand-rolled): suite name plus one record per bench
     /// with the median iteration time and any metadata.
+    #[must_use]
     pub fn to_json(&self, suite: &str) -> String {
         let mut out = String::new();
         out.push_str("{\n");

@@ -16,11 +16,17 @@ use mimose_models::{BlockProfile, ModelGraph, ModelInput, ModelProfile, TensorRe
 use mimose_ops::OpCategory;
 
 /// BERT-base with the TC-Bert classification head (the Table IV model).
+#[must_use]
 pub fn tc_bert_model() -> ModelGraph {
     bert_base(BertHead::Classification { labels: 2 })
 }
 
 /// Profile of TC-Bert at the given sequence length (batch 32).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when the synthetic input fails to profile.
 pub fn tc_bert_profile(seq: usize) -> ModelProfile {
     tc_bert_model()
         .profile(&ModelInput::tokens(32, seq))
@@ -28,6 +34,11 @@ pub fn tc_bert_profile(seq: usize) -> ModelProfile {
 }
 
 /// Shuttle-style training data: (input sizes, per-block act+out bytes).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when a synthetic input fails to profile.
 pub fn shuttle_samples(seqs: &[usize]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let model = tc_bert_model();
     let mut xs = Vec::new();
@@ -65,6 +76,7 @@ pub const TEN_SEQS: [usize; 10] = [40, 60, 80, 100, 120, 150, 180, 220, 260, 300
 /// oracle: one O(L) timeline re-walk per probe in the seed code, one
 /// O(log L) flip on the residency engine. Each block carries 4 tensor
 /// records so tensor-granular planners (MONeT) get `4·l` drop candidates.
+#[must_use]
 pub fn synthetic_profile(l: usize) -> ModelProfile {
     let spike = l / 8;
     let blocks: Vec<BlockProfile> = (0..l)

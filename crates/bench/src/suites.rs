@@ -16,6 +16,7 @@ use mimose_models::ModelProfile;
 use mimose_planner::memory_model::peak_bytes;
 use mimose_planner::{CheckmatePolicy, CheckpointPlan, MonetPolicy};
 use mimose_simgpu::{AllocPolicy, Arena};
+use mimose_verify::{certify, plan_hash, SizeBucket};
 use std::hint::black_box;
 
 /// Frozen pre-optimisation algorithms (see module docs).
@@ -51,6 +52,7 @@ pub mod baseline {
     /// Seed-version greedy bucket scheduler: scalar excess bookkeeping with
     /// an O(L) peak walk per verification step and O(B) bucket scans plus
     /// `Vec::remove(0)` per selection.
+    #[must_use]
     pub fn greedy_bucket(est: &ModelProfile, budget: usize, tolerance: f64) -> CheckpointPlan {
         let n = est.blocks.len();
         let mut plan = CheckpointPlan::none(n);
@@ -103,6 +105,7 @@ pub mod baseline {
     }
 
     /// Seed-version knapsack scheduler: one O(L) peak walk per candidate.
+    #[must_use]
     pub fn knapsack(est: &ModelProfile, budget: usize) -> CheckpointPlan {
         let n = est.blocks.len();
         let plan = CheckpointPlan::none(n);
@@ -121,6 +124,7 @@ pub mod baseline {
 
     /// Seed-version MONeT greedy + prune: one O(L) fine peak walk per
     /// candidate evaluation.
+    #[must_use]
     pub fn monet(reference: &ModelProfile, budget: usize) -> FinePlan {
         struct Candidate {
             block: usize,
@@ -203,6 +207,7 @@ pub mod baseline {
         const ALIGN: usize = 512;
 
         /// Arena of `capacity` bytes; `best_fit` selects the fit policy.
+        #[must_use]
         pub fn new(capacity: usize, best_fit: bool) -> Self {
             let mut free = BTreeMap::new();
             if capacity > 0 {
@@ -264,6 +269,10 @@ pub mod baseline {
         }
 
         /// Free a live allocation.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `id` is not live.
         pub fn free(&mut self, id: u64) {
             let (addr, len) = self.live.remove(&id).expect("live id");
             self.used -= len;
@@ -356,6 +365,28 @@ fn planner_group(c: &mut Criterion, l: usize) {
     // so only the rewired planner is benched.
     g.bench_function_with("checkmate_after", meta, |b| {
         b.iter(|| black_box(CheckmatePolicy::plan_offline(black_box(&p), budget)))
+    });
+    // The certificate check a certified plan-cache bucket hit performs in
+    // place of a planner re-solve: covers + fits + hash compare. Its cost
+    // is the whole point of insert-time certification — it must sit orders
+    // of magnitude under the greedy solve it replaces.
+    let plan = GreedyBucketScheduler::new(0.10).schedule(&p, budget);
+    let cert = certify(
+        std::slice::from_ref(&p),
+        &plan,
+        SizeBucket::new(p.input_size, p.input_size),
+        budget,
+    )
+    .expect("feasible plan certifies");
+    let hash = plan_hash(&plan);
+    g.bench_function_with("certificate_check_hit", meta, |b| {
+        b.iter(|| {
+            black_box(
+                cert.covers(black_box(p.input_size))
+                    && cert.fits(black_box(budget))
+                    && cert.matches_hash(black_box(hash)),
+            )
+        })
     });
     g.finish();
 }

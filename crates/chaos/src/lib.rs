@@ -77,6 +77,7 @@ impl Default for FaultSpec {
 
 impl FaultSpec {
     /// A spec that injects nothing (alias of `Default`).
+    #[must_use]
     pub fn none(seed: u64) -> Self {
         FaultSpec {
             seed,
@@ -86,6 +87,7 @@ impl FaultSpec {
 
     /// True when no fault channel is active: the derived faults are the
     /// identity for every iteration.
+    #[must_use]
     pub fn is_noop(&self) -> bool {
         self.estimator_bias == 1.0
             && self.estimator_noise == 0.0
@@ -111,11 +113,13 @@ pub struct FleetFaultPlan {
 
 impl FleetFaultPlan {
     /// Fan `base` out across a device pool.
+    #[must_use]
     pub fn new(base: FaultSpec) -> Self {
         FleetFaultPlan { base }
     }
 
     /// A plan that injects nothing anywhere.
+    #[must_use]
     pub fn none(seed: u64) -> Self {
         FleetFaultPlan {
             base: FaultSpec::none(seed),
@@ -123,11 +127,13 @@ impl FleetFaultPlan {
     }
 
     /// The base spec devices derive from.
+    #[must_use]
     pub fn base(&self) -> &FaultSpec {
         &self.base
     }
 
     /// True when no device will see any fault.
+    #[must_use]
     pub fn is_noop(&self) -> bool {
         self.base.is_noop()
     }
@@ -135,6 +141,7 @@ impl FleetFaultPlan {
     /// The spec for device `device` of the pool: the base intensities under
     /// a seed decorrelated by the device index (SplitMix64-style mixing,
     /// matching the per-iteration derivation below).
+    #[must_use]
     pub fn spec_for(&self, device: usize) -> FaultSpec {
         let mut spec = self.base.clone();
         spec.seed = self
@@ -146,6 +153,7 @@ impl FleetFaultPlan {
 
     /// The injector for device `device`; `None` when the plan is a no-op
     /// (so clean fleets keep the exact no-injector execution path).
+    #[must_use]
     pub fn injector_for(&self, device: usize) -> Option<FaultInjector> {
         if self.is_noop() {
             return None;
@@ -175,6 +183,7 @@ pub struct IterationFaults {
 
 impl IterationFaults {
     /// Faults that change nothing.
+    #[must_use]
     pub fn identity() -> Self {
         IterationFaults {
             capacity_factor: 1.0,
@@ -185,6 +194,7 @@ impl IterationFaults {
     }
 
     /// True when applying these faults is a no-op.
+    #[must_use]
     pub fn is_identity(&self) -> bool {
         self.capacity_factor == 1.0
             && self.fail_allocs.is_empty()
@@ -202,11 +212,13 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     /// Wrap a spec.
+    #[must_use]
     pub fn new(spec: FaultSpec) -> Self {
         FaultInjector { spec }
     }
 
     /// The wrapped spec.
+    #[must_use]
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
     }
@@ -224,6 +236,7 @@ impl FaultInjector {
     /// The faults for iteration `iter`. Deterministic and order-independent:
     /// calling this for any subset of iterations, in any order, any number
     /// of times, yields identical results.
+    #[must_use]
     pub fn iteration_faults(&self, iter: usize) -> IterationFaults {
         if self.spec.is_noop() {
             return IterationFaults::identity();
@@ -424,7 +437,7 @@ mod tests {
         };
         let with_spike = FaultSpec {
             recompute_spike_rate: 0.5,
-            ..base.clone()
+            ..base
         };
         let a = FaultInjector::new(base);
         let b = FaultInjector::new(with_spike);

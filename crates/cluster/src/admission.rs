@@ -6,6 +6,7 @@
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::min_feasible_budget;
 use mimose_simgpu::DeviceProfile;
+use mimose_verify::SafetyCertificate;
 
 /// What the controller decided for one (job, device) pairing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,11 @@ pub enum AdmissionDecision {
 pub struct AdmissionStats {
     /// Iterations dispatched on a plain Admit.
     pub admitted: usize,
+    /// The subset of `admitted` backed by a static safety certificate: the
+    /// verifier's sound peak bound (not just the policy's point prediction)
+    /// fits the device, so the admit can never be contradicted by any input
+    /// size the certificate's bucket covers.
+    pub verified_admits: usize,
     /// Iterations dispatched with demotion armed.
     pub demoted: usize,
     /// (job, device) pairings rejected outright.
@@ -54,6 +60,7 @@ pub struct AdmissionStats {
 
 impl AdmissionStats {
     /// Mean absolute relative prediction error, percent.
+    #[must_use]
     pub fn mean_abs_rel_err_pct(&self) -> f64 {
         if self.predictions == 0 {
             return 0.0;
@@ -109,8 +116,34 @@ impl AdmissionController {
         profile: &ModelProfile,
         device: &DeviceProfile,
     ) -> AdmissionDecision {
+        self.decide_certified(predicted_peak, profile, device, None)
+    }
+
+    /// [`decide`], consulting a static safety certificate first: when the
+    /// verifier's sound peak bound fits the usable capacity, the admit is
+    /// *statically verified* — it holds for every input size in the
+    /// certificate's bucket, not just the predicted one — and is scored
+    /// separately in `stats.verified_admits`. Without a certificate (or
+    /// with a bound that does not fit) the decision falls back to the
+    /// predicted-peak path unchanged.
+    ///
+    /// [`decide`]: AdmissionController::decide
+    pub fn decide_certified(
+        &mut self,
+        predicted_peak: usize,
+        profile: &ModelProfile,
+        device: &DeviceProfile,
+        certificate: Option<&SafetyCertificate>,
+    ) -> AdmissionDecision {
         let capacity = device.total_mem_bytes;
         let usable = (capacity as f64 * self.headroom) as usize;
+        if let Some(cert) = certificate {
+            if cert.fits(usable) {
+                self.stats.admitted += 1;
+                self.stats.verified_admits += 1;
+                return AdmissionDecision::Admit;
+            }
+        }
         if predicted_peak <= usable {
             self.stats.admitted += 1;
             return AdmissionDecision::Admit;
@@ -163,6 +196,45 @@ mod tests {
         assert_eq!(ctl.stats.admitted, 1);
         assert_eq!(ctl.stats.demoted, 1);
         assert_eq!(ctl.stats.rejected, 1);
+    }
+
+    #[test]
+    fn certified_admits_are_scored_separately() {
+        use mimose_verify::{certify, SizeBucket};
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let p = m.profile(&ModelInput::tokens(32, 256)).unwrap();
+        let dev = DeviceProfile::v100();
+        let usable = (dev.total_mem_bytes as f64 * 0.95) as usize;
+        let mut ctl = AdmissionController::default();
+
+        // A sound none-plan certificate under the usable capacity turns an
+        // over-predicted job into a verified admit: the bound, not the
+        // prediction, is what counts.
+        let none = mimose_planner::CheckpointPlan::none(p.blocks.len());
+        let bucket = SizeBucket::new(1, p.input_size);
+        let cert = certify(std::slice::from_ref(&p), &none, bucket, usable).unwrap();
+        let over = dev.total_mem_bytes + (1 << 30);
+        assert_eq!(
+            ctl.decide_certified(over, &p, &dev, Some(&cert)),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(ctl.stats.admitted, 1);
+        assert_eq!(ctl.stats.verified_admits, 1);
+
+        // A certificate whose bound exceeds capacity falls back to the
+        // predicted-peak path: small prediction still admits, unverified.
+        let mut big = cert;
+        big.peak_upper_bound = usable + 1;
+        assert_eq!(
+            ctl.decide_certified(1 << 30, &p, &dev, Some(&big)),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(ctl.stats.admitted, 2);
+        assert_eq!(ctl.stats.verified_admits, 1);
+
+        // No certificate at all: plain decide is unchanged.
+        assert_eq!(ctl.decide(1 << 30, &p, &dev), AdmissionDecision::Admit);
+        assert_eq!(ctl.stats.verified_admits, 1);
     }
 
     #[test]

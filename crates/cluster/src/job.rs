@@ -29,6 +29,7 @@ pub enum JobPolicy {
 
 impl JobPolicy {
     /// Display name.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             JobPolicy::Planner(kind, _) => kind.name(),
@@ -37,6 +38,7 @@ impl JobPolicy {
     }
 
     /// The configured budget (`usize::MAX` for the unconstrained baseline).
+    #[must_use]
     pub fn budget_bytes(&self) -> usize {
         match self {
             JobPolicy::Planner(PolicyKind::Baseline, _) => usize::MAX,
@@ -47,6 +49,7 @@ impl JobPolicy {
 
     /// Instantiate the policy for a job whose static planners solve
     /// against `worst` on `device`.
+    #[must_use]
     pub fn build(&self, worst: &ModelProfile, device: &DeviceProfile) -> Box<dyn MemoryPolicy> {
         match self {
             JobPolicy::Planner(kind, budget) => kind.build_on(worst, *budget, device),
@@ -74,11 +77,13 @@ pub struct DeterministicMimose {
 
 impl DeterministicMimose {
     /// Wrap a policy.
+    #[must_use]
     pub fn new(inner: MimosePolicy) -> Self {
         DeterministicMimose { inner, last_ns: 0 }
     }
 
     /// The wrapped policy.
+    #[must_use]
     pub fn inner(&self) -> &MimosePolicy {
         &self.inner
     }
@@ -164,6 +169,7 @@ impl JobSpec {
     }
 
     /// Enable the OOM-recovery ladder for this job.
+    #[must_use]
     pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
         self
@@ -177,6 +183,7 @@ impl JobSpec {
     /// Deterministic estimate of one iteration's execution time on `dev`
     /// (forward + backward FLOPs through the device cost model) — the
     /// ranking key for the shortest-predicted-iteration dispatch policy.
+    #[must_use]
     pub fn predicted_iter_ns(&self, worst: &ModelProfile, dev: &DeviceProfile) -> u64 {
         let flops = worst.total_fwd_flops() + worst.total_bwd_flops();
         let bytes = worst.blocks.iter().map(|b| b.fwd_bytes_moved).sum();

@@ -18,6 +18,7 @@ pub enum JobOutcome {
 
 impl JobOutcome {
     /// Stable lowercase tag for serialization.
+    #[must_use]
     pub fn tag(&self) -> &'static str {
         match self {
             JobOutcome::Completed => "completed",
@@ -130,6 +131,7 @@ fn push_kv_s(out: &mut String, key: &str, v: &str, comma: bool) {
 
 impl ClusterReport {
     /// Deterministic JSON encoding (see module docs).
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut o = String::with_capacity(4096);
         o.push('{');
@@ -167,6 +169,7 @@ impl ClusterReport {
         o.push_str("\"admission\":{");
         let a = &self.admission;
         push_kv_u(&mut o, "admitted", a.admitted as u128, true);
+        push_kv_u(&mut o, "verified_admits", a.verified_admits as u128, true);
         push_kv_u(&mut o, "demoted", a.demoted as u128, true);
         push_kv_u(&mut o, "rejected", a.rejected as u128, true);
         push_kv_u(&mut o, "deferred_rounds", a.deferred_rounds as u128, true);

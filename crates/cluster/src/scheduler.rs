@@ -18,9 +18,10 @@ use mimose_chaos::FleetFaultPlan;
 use mimose_exec::{IterationRecord, RecoveryConfig, Session};
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::min_feasible_budget;
-use mimose_planner::MemoryPolicy;
+use mimose_planner::{CheckpointPlan, MemoryPolicy};
 use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
+use mimose_verify::{certify, SafetyCertificate, SizeBucket};
 
 /// How idle devices choose among queued jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,7 @@ pub enum SchedulePolicy {
 
 impl SchedulePolicy {
     /// Stable lowercase name.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             SchedulePolicy::Fifo => "fifo",
@@ -46,6 +48,7 @@ impl SchedulePolicy {
     }
 
     /// Parse a [`Self::name`] string (case-insensitive).
+    #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "fifo" => Some(SchedulePolicy::Fifo),
@@ -80,6 +83,7 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// A spec with default knobs: FIFO dispatch, parallel rounds, 0.95
     /// headroom, no faults, no recording.
+    #[must_use]
     pub fn new(jobs: Vec<JobSpec>, devices: Vec<DeviceProfile>) -> Self {
         ClusterSpec {
             jobs,
@@ -93,24 +97,28 @@ impl ClusterSpec {
     }
 
     /// Set the dispatch policy.
+    #[must_use]
     pub fn schedule(mut self, schedule: SchedulePolicy) -> Self {
         self.schedule = schedule;
         self
     }
 
     /// Set the threading mode (see the field docs).
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
     /// Set the fleet fault plan.
+    #[must_use]
     pub fn faults(mut self, faults: FleetFaultPlan) -> Self {
         self.faults = faults;
         self
     }
 
     /// Enable event recording.
+    #[must_use]
     pub fn record(mut self, record: bool) -> Self {
         self.record = record;
         self
@@ -161,6 +169,10 @@ struct Submitted {
     floor: usize,
     /// The policy's predicted peak for the job's first iteration.
     predicted_peak: usize,
+    /// Static safety certificate over the job's worst case (sound no-plan
+    /// peak bound), when it fits at least one device in the pool. Admits
+    /// backed by it are scored as `verified_admits`.
+    certificate: Option<SafetyCertificate>,
     /// The built policy, taken at dispatch.
     policy: Option<Box<dyn MemoryPolicy>>,
 }
@@ -189,6 +201,11 @@ fn usable_bytes(dev: &DeviceProfile, headroom: f64) -> usize {
 /// Run the whole spec to completion. Per-job failures (profile errors,
 /// data exhaustion) are recorded in the report, not returned — a fleet
 /// run always yields a report.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `spec` has no devices.
 pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
     let n_jobs = spec.jobs.len();
     let n_devs = spec.devices.len();
@@ -250,10 +267,22 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 continue;
             }
         };
+        // Statically verify the job where possible: the no-checkpoint peak
+        // over the worst profile soundly bounds every plan at every input
+        // size up to it, so a certificate that fits a device makes the
+        // admit unconditional for this job.
+        let certificate = certify(
+            std::slice::from_ref(&worst),
+            &CheckpointPlan::none(worst.blocks.len()),
+            SizeBucket::new(1, worst.input_size),
+            max_usable,
+        )
+        .ok();
         submitted.push(Some(Submitted {
             worst,
             floor,
             predicted_peak,
+            certificate,
             policy: Some(policy),
         }));
     }
@@ -302,7 +331,12 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             let Some(pos) = pick else { continue };
             let j = pending.remove(pos);
             let sub = submitted[j].as_mut().expect("picked job was submitted");
-            let decision = ctl.decide(sub.predicted_peak, &sub.worst, &spec.devices[d]);
+            let decision = ctl.decide_certified(
+                sub.predicted_peak,
+                &sub.worst,
+                &spec.devices[d],
+                sub.certificate.as_ref(),
+            );
             let recovery: Option<RecoveryConfig> = match decision {
                 AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
                 AdmissionDecision::Demote { .. } => {
@@ -539,6 +573,15 @@ mod tests {
             assert!(outcome.report.makespan_ns > 0);
             assert!(outcome.report.utilization_pct > 0.0);
         }
+    }
+
+    #[test]
+    fn verified_admits_reach_the_fleet_report() {
+        let outcome = run_cluster(&small_spec(2));
+        let adm = &outcome.report.admission;
+        assert!(adm.verified_admits <= adm.admitted);
+        let json = outcome.report.to_json();
+        assert!(json.contains(&format!("\"verified_admits\":{}", adm.verified_admits)));
     }
 
     #[test]

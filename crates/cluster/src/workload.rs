@@ -9,6 +9,7 @@ use mimose_simgpu::DeviceProfile;
 const GIB: usize = 1 << 30;
 
 /// A pool of `n` identical V100s.
+#[must_use]
 pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
     (0..n).map(|_| DeviceProfile::v100()).collect()
 }
@@ -18,6 +19,7 @@ pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
 /// under a spread of policies (Mimose, static planners, DTR, unconstrained
 /// baseline) and budgets. `iters` sets each job's length; seeds are fixed
 /// so the workload is one deterministic value.
+#[must_use]
 pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
     let cls = || bert_base(BertHead::Classification { labels: 2 });
     vec![

@@ -72,6 +72,7 @@ impl Default for AdaptiveState {
 impl AdaptiveState {
     /// Whether `input_size` lies outside the fitted support
     /// `[x_min, x_max]` by more than the configured factor.
+    #[must_use]
     pub fn needs_recollect(
         &self,
         cfg: &AdaptiveConfig,

@@ -16,10 +16,20 @@
 //! union of every distribution ever seen.
 
 use mimose_planner::CheckpointPlan;
+use mimose_verify::SafetyCertificate;
 use std::collections::{BTreeMap, HashMap};
 
 /// Size-bucket × budget cache key.
 type Key = (u64, u64);
+
+/// One cached plan, optionally carrying the static safety certificate the
+/// verifier issued for its whole size bucket.
+#[derive(Debug, Clone)]
+struct Entry {
+    plan: CheckpointPlan,
+    certificate: Option<SafetyCertificate>,
+    stamp: u64,
+}
 
 /// Cache of generated plans with an optional LRU capacity bound.
 #[derive(Debug, Clone)]
@@ -28,8 +38,8 @@ pub struct PlanCache {
     width: f64,
     /// Maximum number of stored plans; `usize::MAX` means unbounded.
     capacity: usize,
-    /// (size bucket, budget) → (plan, recency stamp of the last touch).
-    map: HashMap<Key, (CheckpointPlan, u64)>,
+    /// (size bucket, budget) → cached plan + certificate + recency stamp.
+    map: HashMap<Key, Entry>,
     /// Recency index: stamp → key, kept in lockstep with `map`.
     /// The smallest stamp is the least-recently-used bucket.
     recency: BTreeMap<u64, Key>,
@@ -42,12 +52,18 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// Create an unbounded cache with the given relative quantisation width.
+    #[must_use]
     pub fn new(width: f64) -> Self {
         PlanCache::with_capacity(width, usize::MAX)
     }
 
     /// Create a cache holding at most `capacity` plans; inserting beyond
     /// that evicts the least-recently-used bucket.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is outside `(0, 1)`.
     pub fn with_capacity(width: f64, capacity: usize) -> Self {
         assert!(width > 0.0 && width < 1.0);
         assert!(capacity > 0, "zero-capacity cache cannot hold any plan");
@@ -88,14 +104,28 @@ impl PlanCache {
     /// Look up a plan for this input size generated under exactly this
     /// budget; a hit refreshes its recency.
     pub fn get(&mut self, input_size: usize, budget: usize) -> Option<CheckpointPlan> {
+        self.get_with_certificate(input_size, budget).map(|e| e.0)
+    }
+
+    /// Look up a plan together with its safety certificate, if the bucket
+    /// entry carries one. Counts exactly one hit or miss, like [`get`].
+    ///
+    /// [`get`]: PlanCache::get
+    pub fn get_with_certificate(
+        &mut self,
+        input_size: usize,
+        budget: usize,
+    ) -> Option<(CheckpointPlan, Option<SafetyCertificate>)> {
         let k = self.key(input_size, budget);
         match self.map.get(&k) {
-            Some((p, stamp)) => {
+            Some(e) => {
                 self.hits += 1;
-                let (plan, prev) = (p.clone(), *stamp);
+                let (plan, cert, prev) = (e.plan.clone(), e.certificate, e.stamp);
                 let stamp = self.touch(k, Some(prev));
-                self.map.get_mut(&k).expect("just read").1 = stamp;
-                Some(plan)
+                if let Some(e) = self.map.get_mut(&k) {
+                    e.stamp = stamp;
+                }
+                Some((plan, cert))
             }
             None => {
                 self.misses += 1;
@@ -107,8 +137,33 @@ impl PlanCache {
     /// Store a plan for this input size's bucket under this budget, evicting
     /// the least-recently-used bucket when the cache is at capacity.
     pub fn insert(&mut self, input_size: usize, budget: usize, plan: CheckpointPlan) {
+        self.insert_entry(input_size, budget, plan, None);
+    }
+
+    /// [`insert`], attaching the verifier's certificate for the bucket so
+    /// later hits can be served with an O(1) validity check instead of a
+    /// revalidation pass.
+    ///
+    /// [`insert`]: PlanCache::insert
+    pub fn insert_certified(
+        &mut self,
+        input_size: usize,
+        budget: usize,
+        plan: CheckpointPlan,
+        certificate: SafetyCertificate,
+    ) {
+        self.insert_entry(input_size, budget, plan, Some(certificate));
+    }
+
+    fn insert_entry(
+        &mut self,
+        input_size: usize,
+        budget: usize,
+        plan: CheckpointPlan,
+        certificate: Option<SafetyCertificate>,
+    ) {
         let k = self.key(input_size, budget);
-        let prev = self.map.get(&k).map(|&(_, s)| s);
+        let prev = self.map.get(&k).map(|e| e.stamp);
         if prev.is_none() && self.map.len() >= self.capacity {
             if let Some((&stamp, &victim)) = self.recency.iter().next() {
                 self.recency.remove(&stamp);
@@ -117,35 +172,85 @@ impl PlanCache {
             }
         }
         let stamp = self.touch(k, prev);
-        self.map.insert(k, (plan, stamp));
+        self.map.insert(
+            k,
+            Entry {
+                plan,
+                certificate,
+                stamp,
+            },
+        );
+    }
+
+    /// The inclusive input-size range `[lo, hi]` sharing `input_size`'s
+    /// quantisation bucket — the concretisation the verifier must certify
+    /// for a cached plan to be servable across the whole bucket.
+    #[must_use]
+    pub fn bucket_bounds(&self, input_size: usize) -> (usize, usize) {
+        let k = self.key(input_size, 0).0;
+        let bucket_of = |s: usize| self.key(s, 0).0;
+        let w = 1.0 + self.width;
+        // Geometric bucket k covers [w^k, w^(k+1)); floats land us near the
+        // ends, integer scans snap exactly onto them.
+        let mut lo = (w.powi(k as i32).floor() as usize).max(1);
+        while bucket_of(lo) < k {
+            lo += 1;
+        }
+        while lo > 1 && bucket_of(lo - 1) == k {
+            lo -= 1;
+        }
+        let mut hi = (w.powi(k as i32 + 1).ceil() as usize).max(lo);
+        while hi > lo && bucket_of(hi) > k {
+            hi -= 1;
+        }
+        while bucket_of(hi + 1) == k {
+            hi += 1;
+        }
+        debug_assert!(lo <= input_size.max(1) && input_size.max(1) <= hi);
+        (lo, hi)
+    }
+
+    /// Number of stored plans carrying a certificate.
+    #[must_use]
+    pub fn certified_len(&self) -> usize {
+        self.map
+            .values()
+            .filter(|e| e.certificate.is_some())
+            .count()
     }
 
     /// Cache hits so far.
+    #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
     /// Cache misses so far.
+    #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
     /// LRU evictions so far.
+    #[must_use]
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
 
     /// Maximum number of stored plans (`usize::MAX` when unbounded).
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Number of stored plans.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
     /// True when no plans are stored.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -269,5 +374,50 @@ mod tests {
             c.insert(1_000 << i.min(40), B, CheckpointPlan::none(1));
         }
         assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_exactly_one_bucket() {
+        let c = PlanCache::new(0.04);
+        for &s in &[1usize, 7, 997, 10_000, 1_000_000, 50_000_000] {
+            let (lo, hi) = c.bucket_bounds(s);
+            assert!(lo <= s && s <= hi, "{s}: [{lo}, {hi}]");
+            let k = c.key(s, 0).0;
+            assert_eq!(c.key(lo, 0).0, k, "lo of {s}");
+            assert_eq!(c.key(hi, 0).0, k, "hi of {s}");
+            assert_ne!(c.key(hi + 1, 0).0, k, "hi+1 of {s}");
+            if lo > 1 {
+                assert_ne!(c.key(lo - 1, 0).0, k, "lo-1 of {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn certificates_ride_with_entries() {
+        use mimose_verify::{plan_hash, SizeBucket};
+        let mut c = PlanCache::new(0.04);
+        let plan = CheckpointPlan::all(4);
+        let (lo, hi) = c.bucket_bounds(10_000);
+        let cert = SafetyCertificate {
+            bucket: SizeBucket::new(lo, hi),
+            peak_upper_bound: 123,
+            largest_alloc: 0,
+            plan_hash: plan_hash(&plan),
+        };
+        c.insert_certified(10_000, B, plan.clone(), cert);
+        assert_eq!(c.certified_len(), 1);
+        // Any other size in the same bucket serves the certified entry.
+        let other = if hi > 10_000 { hi } else { lo };
+        let (got, got_cert) = c.get_with_certificate(other, B).unwrap();
+        assert_eq!(got, plan);
+        let got_cert = got_cert.unwrap();
+        assert!(got_cert.covers(other));
+        assert!(got_cert.matches_plan(&plan));
+        // Plain insert replaces the certificate with nothing.
+        c.insert(10_000, B, CheckpointPlan::none(4));
+        assert_eq!(c.certified_len(), 0);
+        let (_, none_cert) = c.get_with_certificate(10_000, B).unwrap();
+        assert!(none_cert.is_none());
+        assert_eq!(c.hits(), 2);
     }
 }

@@ -38,6 +38,7 @@ pub struct MimoseConfig {
 
 impl MimoseConfig {
     /// Paper defaults for the given budget.
+    #[must_use]
     pub fn with_budget(budget_bytes: usize) -> Self {
         MimoseConfig {
             budget_bytes,
@@ -53,6 +54,7 @@ impl MimoseConfig {
     }
 
     /// Paper defaults plus the adaptive extensions enabled.
+    #[must_use]
     pub fn with_budget_adaptive(budget_bytes: usize) -> Self {
         MimoseConfig {
             adaptive: Some(AdaptiveConfig::default()),
@@ -62,6 +64,7 @@ impl MimoseConfig {
 
     /// The budget actually available to the scheduler after the
     /// fragmentation reserve.
+    #[must_use]
     pub fn effective_budget(&self) -> usize {
         self.budget_bytes.saturating_sub(self.reserve_bytes)
     }

@@ -35,6 +35,11 @@ impl MemoryEstimator {
     ///
     /// Requires at least `order + 1` *distinct* input sizes; callers keep
     /// shuttling until that holds (§IV-B: 10–30 iterations suffice).
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal invariant violation: too few distinct
+    /// samples are reported as a [`FitError`], not a panic.
     pub fn fit(samples: &[ShuttleSample], order: usize) -> Result<Self, FitError> {
         let first = samples.first().ok_or(FitError::TooFewSamples {
             got: 0,
@@ -88,21 +93,25 @@ impl MemoryEstimator {
     }
 
     /// Number of blocks covered.
+    #[must_use]
     pub fn num_blocks(&self) -> usize {
         self.act.len()
     }
 
     /// Predicted activation bytes of block `b` at input size `x`.
+    #[must_use]
     pub fn act_bytes(&self, b: usize, x: f64) -> f64 {
         self.act[b].predict(x).max(0.0)
     }
 
     /// Predicted output bytes of block `b` at input size `x`.
+    #[must_use]
     pub fn out_bytes(&self, b: usize, x: f64) -> f64 {
         self.out[b].predict(x).max(0.0)
     }
 
     /// Predicted forward time (ns) of block `b` at input size `x`.
+    #[must_use]
     pub fn fwd_ns(&self, b: usize, x: f64) -> f64 {
         self.fwd_ns[b].predict(x).max(0.0)
     }
@@ -112,6 +121,7 @@ impl MemoryEstimator {
     /// Algorithm 1) can run on predictions. `const_bytes` is structural
     /// information (parameters + optimizer states) legitimately available
     /// from the framework without profiling.
+    #[must_use]
     pub fn estimated_profile(&self, template: &ModelProfile, x: f64) -> ModelProfile {
         let mut blocks = Vec::with_capacity(self.num_blocks());
         let mut prev_out = self.input_bytes.predict(x).max(0.0) as usize;
@@ -144,10 +154,73 @@ impl MemoryEstimator {
     }
 
     /// Sum of predicted per-block memory at `x` (Algorithm 1's Σ est_mem).
+    #[must_use]
     pub fn total_act_bytes(&self, x: f64) -> f64 {
         (0..self.num_blocks())
             .map(|b| self.act_bytes(b, x) + self.out_bytes(b, x))
             .sum()
+    }
+
+    /// Input sizes at which some fitted per-block polynomial can attain its
+    /// maximum over `[lo, hi]`: the interval endpoints plus every interior
+    /// stationary point. For the paper's quadratic estimator this set is
+    /// *exact* — a quadratic's extremum over an interval sits at an endpoint
+    /// or its vertex — so profiles evaluated at these sizes form a sound
+    /// envelope of the whole bucket; higher orders fall back to a dense grid.
+    pub fn envelope_sizes(&self, lo: f64, hi: f64) -> Vec<f64> {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut xs = vec![lo, hi];
+        let channels = self
+            .act
+            .iter()
+            .chain(self.out.iter())
+            .chain(std::iter::once(&self.input_bytes));
+        for p in channels {
+            let c = p.coefficients();
+            match c.len() {
+                0..=2 => {} // constant/linear: extrema only at endpoints
+                3 => {
+                    // Vertex of c0 + c1·z + c2·z² in the scaled variable,
+                    // mapped back to real x.
+                    if c[2] != 0.0 {
+                        let x = -c[1] / (2.0 * c[2]) * p.x_scale();
+                        if x > lo && x < hi {
+                            xs.push(x);
+                        }
+                    }
+                }
+                _ => {
+                    // Conservative fallback for higher orders.
+                    const GRID: usize = 16;
+                    for i in 1..GRID {
+                        xs.push(lo + (hi - lo) * i as f64 / GRID as f64);
+                    }
+                    break;
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        xs
+    }
+
+    /// Estimated profiles at every [`envelope_sizes`] point of `[lo, hi]` —
+    /// the concrete inputs to `mimose_verify::join_envelope`, whose
+    /// block-wise join bounds the estimator's predictions across the whole
+    /// bucket.
+    ///
+    /// [`envelope_sizes`]: MemoryEstimator::envelope_sizes
+    #[must_use]
+    pub fn envelope_profiles(
+        &self,
+        template: &ModelProfile,
+        lo: f64,
+        hi: f64,
+    ) -> Vec<ModelProfile> {
+        self.envelope_sizes(lo, hi)
+            .into_iter()
+            .map(|x| self.estimated_profile(template, x))
+            .collect()
     }
 }
 
@@ -231,6 +304,26 @@ mod tests {
             MemoryEstimator::fit(&samples, 2),
             Err(FitError::TooFewSamples { .. })
         ));
+    }
+
+    #[test]
+    fn envelope_join_bounds_interior_predictions() {
+        let (samples, template) = samples_from_truth(&[40, 80, 120, 160, 200]);
+        let est = MemoryEstimator::fit(&samples, 2).unwrap();
+        let (lo, hi) = (32.0 * 60.0, 32.0 * 180.0);
+        let envelope = est.envelope_profiles(&template, lo, hi);
+        assert!(envelope.len() >= 2);
+        let join = mimose_verify::join_envelope(&envelope).unwrap();
+        // Every prediction inside the bucket is dominated block-wise.
+        for step in 0..=20 {
+            let x = lo + (hi - lo) * step as f64 / 20.0;
+            let p = est.estimated_profile(&template, x);
+            for (jb, pb) in join.blocks.iter().zip(&p.blocks) {
+                assert!(jb.act_bytes >= pb.act_bytes, "x={x} block {}", pb.index);
+                assert!(jb.out_bytes >= pb.out_bytes, "x={x} block {}", pb.index);
+            }
+            assert!(join.input_bytes >= p.input_bytes, "x={x}");
+        }
     }
 
     #[test]

@@ -7,7 +7,33 @@ use mimose_planner::{
     CheckpointPlan, Directive, Granularity, IterationObservation, MemoryPolicy, PlanTiming,
     PlannerMeta,
 };
+use mimose_verify::SizeBucket;
 use std::time::Instant;
+
+/// Estimated profile at `x` with the chaos mis-estimation factor applied
+/// (identity at 1.0) — the single source of predicted byte figures for
+/// planning, revalidation and certification, so they can never disagree.
+fn scaled_estimate(
+    est: &MemoryEstimator,
+    template: &ModelProfile,
+    x: f64,
+    scale: f64,
+) -> ModelProfile {
+    let mut est_profile = est.estimated_profile(template, x);
+    apply_estimate_scale(&mut est_profile, scale);
+    est_profile
+}
+
+/// In-place chaos mis-estimation: every byte figure scaled by `scale`.
+fn apply_estimate_scale(profile: &mut ModelProfile, scale: f64) {
+    if scale != 1.0 {
+        for b in &mut profile.blocks {
+            b.act_bytes = (b.act_bytes as f64 * scale) as usize;
+            b.out_bytes = (b.out_bytes as f64 * scale) as usize;
+            b.in_bytes = (b.in_bytes as f64 * scale) as usize;
+        }
+    }
+}
 
 /// Execution phase (§IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +55,14 @@ pub struct MimoseStats {
     pub plan_gen_ns: Vec<u64>,
     /// Cache hits.
     pub cache_hits: u64,
+    /// Cache hits served on the certificate fast path: the stored
+    /// [`SafetyCertificate`](mimose_verify::SafetyCertificate) covered the
+    /// input size and budget, so the plan shipped after an O(1) check with
+    /// no revalidation and no solve.
+    pub certified_hits: u64,
+    /// Cache hits whose entry carried no (valid) certificate and therefore
+    /// paid an O(L) estimator revalidation before being served.
+    pub revalidations: u64,
     /// Plans generated (cache misses).
     pub plans_generated: u64,
     /// Responsive-phase re-collections (adaptive extension).
@@ -39,11 +73,13 @@ pub struct MimoseStats {
 
 impl MimoseStats {
     /// Total estimator+scheduler wall time (ns).
+    #[must_use]
     pub fn total_plan_ns(&self) -> u64 {
         self.plan_gen_ns.iter().sum()
     }
 
     /// (min, max) single plan-generation time in ns, zero when none.
+    #[must_use]
     pub fn plan_ns_range(&self) -> (u64, u64) {
         match (self.plan_gen_ns.iter().min(), self.plan_gen_ns.iter().max()) {
             (Some(&lo), Some(&hi)) => (lo, hi),
@@ -75,12 +111,14 @@ pub struct MimosePolicy {
 
 impl MimosePolicy {
     /// Mimose with the paper's greedy bucket scheduler.
+    #[must_use]
     pub fn new(cfg: MimoseConfig) -> Self {
         let tol = cfg.bucket_tolerance;
         Self::with_scheduler(cfg, Box::new(crate::GreedyBucketScheduler::new(tol)))
     }
 
     /// Mimose with a custom scheduler (the §IV-D "flexible interface").
+    #[must_use]
     pub fn with_scheduler(cfg: MimoseConfig, scheduler: Box<dyn Scheduler>) -> Self {
         let cache = PlanCache::new(cfg.cache_relative_width);
         MimosePolicy {
@@ -100,23 +138,34 @@ impl MimosePolicy {
     }
 
     /// Current phase.
+    #[must_use]
     pub fn phase(&self) -> Phase {
         self.phase
     }
 
     /// Statistics snapshot.
+    #[must_use]
     pub fn stats(&self) -> &MimoseStats {
         &self.stats
     }
 
     /// The fitted estimator (None during sheltered execution).
+    #[must_use]
     pub fn estimator(&self) -> Option<&MemoryEstimator> {
         self.estimator.as_ref()
     }
 
     /// Configuration.
+    #[must_use]
     pub fn config(&self) -> &MimoseConfig {
         &self.cfg
+    }
+
+    /// The plan cache (read-only), exposing bucket geometry and certificate
+    /// occupancy to instrumentation and the `exp verify` gate.
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     fn distinct_sizes(&self) -> usize {
@@ -161,6 +210,37 @@ impl MimosePolicy {
             }
         }
         self.stats.estimator_fit_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Certify `plan` for the whole quantisation bucket containing `x`
+    /// under `budget`, then cache it. The envelope is the estimator
+    /// evaluated at the bucket endpoints plus each channel's interior
+    /// extremum (sound for the quadratic estimator), with the chaos
+    /// mis-estimation factor applied so certification and planning can
+    /// never disagree about predicted bytes. A plan whose sound bucket-wide
+    /// bound exceeds the budget is cached *without* a certificate and pays
+    /// an estimator revalidation on every later hit.
+    fn certify_and_insert(
+        &mut self,
+        x: usize,
+        budget: usize,
+        plan: &CheckpointPlan,
+        template: &ModelProfile,
+        scale: f64,
+    ) {
+        let Some(est) = self.estimator.as_ref() else {
+            self.cache.insert(x, budget, plan.clone());
+            return;
+        };
+        let (lo, hi) = self.cache.bucket_bounds(x);
+        let mut envelope = est.envelope_profiles(template, lo as f64, hi as f64);
+        for p in &mut envelope {
+            apply_estimate_scale(p, scale);
+        }
+        match mimose_verify::certify(&envelope, plan, SizeBucket::new(lo, hi), budget) {
+            Ok(cert) => self.cache.insert_certified(x, budget, plan.clone(), cert),
+            Err(_) => self.cache.insert(x, budget, plan.clone()),
+        }
     }
 }
 
@@ -217,29 +297,47 @@ impl MemoryPolicy for MimosePolicy {
                 let budget = ((self.cfg.effective_budget() as f64 * self.adaptive.plan_scale)
                     as usize)
                     .saturating_sub(self.adaptive.backoff_bytes);
-                let plan = match self.cache.get(x, budget) {
-                    Some(p) => {
+                let scale = self.cfg.estimate_scale;
+                let hit = self.cache.get_with_certificate(x, budget);
+                let plan = match hit {
+                    // Certificate fast path: the stored proof covers every
+                    // size in the bucket under this budget, so the hit is
+                    // served after an O(1) check — no estimator pass, no
+                    // revalidation solve.
+                    Some((p, Some(cert))) if cert.covers(x) && cert.fits(budget) => {
                         self.stats.cache_hits += 1;
+                        self.stats.certified_hits += 1;
                         p
+                    }
+                    Some((p, _)) => {
+                        // Uncertified (or stale-certificate) entry: the plan
+                        // was only ever proven for the size it was generated
+                        // at, so revalidate the estimate before trusting it.
+                        self.stats.cache_hits += 1;
+                        self.stats.revalidations += 1;
+                        let est = self
+                            .estimator
+                            .as_ref()
+                            .expect("responsive phase without estimator");
+                        let est_profile = scaled_estimate(est, profile, x as f64, scale);
+                        if mimose_planner::memory_model::peak_bytes(&est_profile, &p) <= budget {
+                            p
+                        } else {
+                            let plan = self.scheduler.schedule(&est_profile, budget);
+                            self.certify_and_insert(x, budget, &plan, profile, scale);
+                            self.stats.plans_generated += 1;
+                            self.stats.plan_gen_ns.push(t0.elapsed().as_nanos() as u64);
+                            plan
+                        }
                     }
                     None => {
                         let est = self
                             .estimator
                             .as_ref()
                             .expect("responsive phase without estimator");
-                        let mut est_profile = est.estimated_profile(profile, x as f64);
-                        // Chaos hook: a biased estimator mis-predicts every
-                        // byte figure by the same factor (identity at 1.0).
-                        if self.cfg.estimate_scale != 1.0 {
-                            let s = self.cfg.estimate_scale;
-                            for b in &mut est_profile.blocks {
-                                b.act_bytes = (b.act_bytes as f64 * s) as usize;
-                                b.out_bytes = (b.out_bytes as f64 * s) as usize;
-                                b.in_bytes = (b.in_bytes as f64 * s) as usize;
-                            }
-                        }
+                        let est_profile = scaled_estimate(est, profile, x as f64, scale);
                         let plan = self.scheduler.schedule(&est_profile, budget);
-                        self.cache.insert(x, budget, plan.clone());
+                        self.certify_and_insert(x, budget, &plan, profile, scale);
                         self.stats.plans_generated += 1;
                         let ns = t0.elapsed().as_nanos() as u64;
                         self.stats.plan_gen_ns.push(ns);
@@ -434,6 +532,41 @@ mod tests {
         let _ = pol.begin_iteration(22, &p);
         assert_eq!(pol.stats().plans_generated, gen_before);
         assert!(pol.stats().cache_hits >= 2);
+    }
+
+    #[test]
+    fn certified_bucket_hits_are_zero_solve() {
+        let mut pol = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
+        for (i, s) in varied_seqs().iter().enumerate() {
+            feed_iteration(&mut pol, *s, i);
+        }
+        assert_eq!(pol.phase(), Phase::Responsive);
+        let m = bert_base(BertHead::Classification { labels: 2 });
+        let certified_before = pol.cache().certified_len();
+        let p = m.profile(&ModelInput::tokens(32, 200)).unwrap();
+        let _ = pol.begin_iteration(20, &p);
+        assert_eq!(
+            pol.cache().certified_len(),
+            certified_before + 1,
+            "miss should certify"
+        );
+        // A *different* input size in the same quantisation bucket must be
+        // served off the certificate: no revalidation, no planner solve.
+        let (lo, hi) = pol.cache().bucket_bounds(p.input_size);
+        let seq = if p.input_size + 32 <= hi { 201 } else { 199 };
+        let q = m.profile(&ModelInput::tokens(32, seq)).unwrap();
+        assert!(
+            lo <= q.input_size && q.input_size <= hi,
+            "bucket too narrow"
+        );
+        let gen_before = pol.stats().plans_generated;
+        match pol.begin_iteration(21, &q) {
+            Directive::RunPlan(_) => {}
+            d => panic!("{d:?}"),
+        }
+        assert_eq!(pol.stats().plans_generated, gen_before, "must not re-solve");
+        assert_eq!(pol.stats().certified_hits, 1);
+        assert_eq!(pol.stats().revalidations, 0);
     }
 
     #[test]

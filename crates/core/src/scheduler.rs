@@ -34,6 +34,11 @@ pub struct GreedyBucketScheduler {
 
 impl GreedyBucketScheduler {
     /// Scheduler with the paper's ±10 % tolerance.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tolerance` is outside `[0, 1)`.
     pub fn new(tolerance: f64) -> Self {
         assert!((0.0..1.0).contains(&tolerance));
         GreedyBucketScheduler { tolerance }
@@ -234,6 +239,11 @@ pub struct CostAwareScheduler {
 
 impl CostAwareScheduler {
     /// Scheduler with the given efficiency-bucket tolerance.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tolerance` is outside `[0, 1)`.
     pub fn new(tolerance: f64) -> Self {
         assert!((0.0..1.0).contains(&tolerance));
         CostAwareScheduler { tolerance }

@@ -50,6 +50,10 @@ pub enum LengthSampler {
 
 impl LengthSampler {
     /// Draw one size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a mixture component has a non-positive sigma.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         match self {
             LengthSampler::Normal {
@@ -81,6 +85,11 @@ impl LengthSampler {
     }
 
     /// Inclusive support bounds (after clipping).
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ladder has no steps.
     pub fn bounds(&self) -> (usize, usize) {
         match self {
             LengthSampler::Normal { min, max, .. }
@@ -136,7 +145,7 @@ mod tests {
             v[v.len() / 2]
         };
         let p95 = {
-            let mut v = xs.clone();
+            let mut v = xs;
             v.sort_unstable();
             v[(v.len() as f64 * 0.95) as usize]
         };

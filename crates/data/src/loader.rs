@@ -16,6 +16,7 @@ pub enum Dataset {
 
 impl Dataset {
     /// Dataset name.
+    #[must_use]
     pub fn name(&self) -> &str {
         match self {
             Dataset::Text(d) => &d.name,
@@ -24,6 +25,7 @@ impl Dataset {
     }
 
     /// Mini-batch size in samples.
+    #[must_use]
     pub fn batch_size(&self) -> usize {
         match self {
             Dataset::Text(d) => d.batch_size,
@@ -32,6 +34,7 @@ impl Dataset {
     }
 
     /// Iterations per epoch.
+    #[must_use]
     pub fn iters_per_epoch(&self) -> usize {
         match self {
             Dataset::Text(d) => d.iters_per_epoch(),
@@ -40,6 +43,7 @@ impl Dataset {
     }
 
     /// Worst-case collated input, used by static planners.
+    #[must_use]
     pub fn worst_case(&self) -> ModelInput {
         match self {
             Dataset::Text(d) => d.worst_case(),
@@ -48,6 +52,7 @@ impl Dataset {
     }
 
     /// Open a deterministic batch stream with the given seed.
+    #[must_use]
     pub fn stream(&self, seed: u64) -> BatchStream<'_> {
         BatchStream {
             dataset: self,

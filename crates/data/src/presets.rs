@@ -7,6 +7,7 @@
 use crate::{CocoLikeDataset, Dataset, LengthSampler, TextDataset};
 
 /// SWAG (multiple choice, RoBERTa-base, batch 16 × 4 choices).
+#[must_use]
 pub fn swag() -> Dataset {
     Dataset::Text(TextDataset {
         name: "SWAG".into(),
@@ -25,6 +26,7 @@ pub fn swag() -> Dataset {
 }
 
 /// SQuAD (question answering, BERT-base, batch 12).
+#[must_use]
 pub fn squad() -> Dataset {
     Dataset::Text(TextDataset {
         name: "SQuAD".into(),
@@ -43,6 +45,7 @@ pub fn squad() -> Dataset {
 }
 
 /// GLUE-QQP (text classification, BERT-base, batch 32). Power-law-ish.
+#[must_use]
 pub fn glue_qqp() -> Dataset {
     Dataset::Text(TextDataset {
         name: "GLUE-QQP".into(),
@@ -61,6 +64,7 @@ pub fn glue_qqp() -> Dataset {
 }
 
 /// UN_PC (translation, T5-base, batch 8). Long-tailed sentence lengths.
+#[must_use]
 pub fn un_pc() -> Dataset {
     Dataset::Text(TextDataset {
         name: "UN_PC".into(),
@@ -79,6 +83,7 @@ pub fn un_pc() -> Dataset {
 }
 
 /// COCO with multi-scale resize (object detection, batch as given).
+#[must_use]
 pub fn coco(batch_size: usize) -> Dataset {
     Dataset::Vision(CocoLikeDataset::coco(batch_size))
 }

@@ -34,6 +34,7 @@ pub struct TextDataset {
 
 impl TextDataset {
     /// Number of iterations in one epoch.
+    #[must_use]
     pub fn iters_per_epoch(&self) -> usize {
         self.epoch_samples / self.batch_size
     }
@@ -62,6 +63,7 @@ impl TextDataset {
 
     /// Worst-case collated input (for static planners): every sequence at
     /// the distribution's upper clip (truncated).
+    #[must_use]
     pub fn worst_case(&self) -> ModelInput {
         let (_, hi) = self.lengths.bounds();
         ModelInput::tokens(self.batch_size * self.choices, hi.min(self.max_len))

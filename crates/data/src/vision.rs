@@ -30,6 +30,7 @@ pub struct CocoLikeDataset {
 
 impl CocoLikeDataset {
     /// COCO train2017-like defaults.
+    #[must_use]
     pub fn coco(batch_size: usize) -> Self {
         CocoLikeDataset {
             name: "COCO".into(),
@@ -40,6 +41,7 @@ impl CocoLikeDataset {
     }
 
     /// Iterations per epoch.
+    #[must_use]
     pub fn iters_per_epoch(&self) -> usize {
         self.epoch_samples / self.batch_size
     }
@@ -107,6 +109,7 @@ impl CocoLikeDataset {
     /// padded to its max height *and* max width independently, a portrait
     /// image (height at the 1333 cap) and a landscape image (width at the
     /// cap) in the same batch drive both dims to the cap.
+    #[must_use]
     pub fn worst_case(&self) -> ModelInput {
         ModelInput::image(
             self.batch_size,

@@ -25,6 +25,11 @@ pub struct GbtRegressor {
 
 impl GbtRegressor {
     /// Create an unfitted booster.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_rounds` is zero.
     pub fn new(n_rounds: usize, learning_rate: f64, tree_depth: usize) -> Self {
         assert!(n_rounds >= 1);
         GbtRegressor {
@@ -37,16 +42,19 @@ impl GbtRegressor {
     }
 
     /// XGBoost-like defaults (`n_estimators=300, eta=0.1, max_depth=3`).
+    #[must_use]
     pub fn default_params() -> Self {
         GbtRegressor::new(300, 0.1, 3)
     }
 
     /// Number of fitted trees.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.trees.len()
     }
 
     /// True before fitting.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
     }

@@ -4,6 +4,11 @@
 ///
 /// This is the "Error" column of Tables IV and V: the paper sums per-layer
 /// predictions and compares against actual usage; callers pass those sums.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `pred` and `truth` differ in length.
 pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     assert!(!pred.is_empty());
@@ -15,6 +20,10 @@ pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
 }
 
 /// Maximum relative error over paired slices.
+///
+/// # Panics
+///
+/// Panics when `pred` and `truth` differ in length.
 pub fn max_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     pred.iter()
@@ -24,6 +33,11 @@ pub fn max_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
 }
 
 /// Coefficient of determination R².
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `pred` and `truth` differ in length.
 pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     assert!(!truth.is_empty());

@@ -36,6 +36,11 @@ pub struct PolynomialRegressor {
 impl PolynomialRegressor {
     /// Create an unfitted polynomial of the given order (0 = constant,
     /// 1 = linear, 2 = quadratic, 3 = cubic).
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` exceeds 8.
     pub fn new(order: usize) -> Self {
         assert!(order <= 8, "unsupported order {order}");
         PolynomialRegressor {
@@ -46,13 +51,23 @@ impl PolynomialRegressor {
     }
 
     /// The polynomial order.
+    #[must_use]
     pub fn order(&self) -> usize {
         self.order
     }
 
     /// Fitted coefficients over the scaled variable (empty before `fit`).
+    #[must_use]
     pub fn coefficients(&self) -> &[f64] {
         &self.coeffs
+    }
+
+    /// The x-scaling factor applied before evaluation: `predict(x)` computes
+    /// the polynomial at `x / x_scale()`. Interval analyses need it to map
+    /// scaled-variable extrema (e.g. a quadratic's vertex) back to real x.
+    #[must_use]
+    pub fn x_scale(&self) -> f64 {
+        self.x_scale
     }
 }
 

@@ -36,6 +36,7 @@ pub struct SvrRegressor {
 
 impl SvrRegressor {
     /// Defaults comparable to sklearn's `SVR(kernel="rbf")` on this problem.
+    #[must_use]
     pub fn default_params() -> Self {
         SvrRegressor {
             epsilon_frac: 0.01,

@@ -30,6 +30,11 @@ pub struct DecisionTreeRegressor {
 
 impl DecisionTreeRegressor {
     /// Create an unfitted tree.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_depth` or `min_leaf` is zero.
     pub fn new(max_depth: usize, min_leaf: usize) -> Self {
         assert!(max_depth >= 1 && min_leaf >= 1);
         DecisionTreeRegressor {
@@ -40,6 +45,7 @@ impl DecisionTreeRegressor {
     }
 
     /// sklearn-like defaults used by the Table IV comparison.
+    #[must_use]
     pub fn default_params() -> Self {
         DecisionTreeRegressor::new(6, 1)
     }

@@ -86,6 +86,7 @@ impl Default for EngineOpts<'static> {
 /// `capacity` is the arena size (the budget for budget-enforcing policies,
 /// or the device size for the baseline); `planning_ns` is the policy's plan
 /// generation time to charge to the clock.
+#[must_use]
 pub fn run_block_iteration(
     profile: &ModelProfile,
     mode: BlockMode<'_>,
@@ -111,6 +112,7 @@ pub fn run_block_iteration(
 /// Like [`run_block_iteration`], but recording the full [`ExecEvent`]
 /// stream: additionally returns the stream and the arena's final
 /// statistics, ready for `mimose_audit::audit_exec_events`.
+#[must_use]
 pub fn run_block_iteration_recorded(
     profile: &ModelProfile,
     mode: BlockMode<'_>,

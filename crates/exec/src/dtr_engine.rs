@@ -18,6 +18,7 @@ use mimose_runtime::{
 use mimose_simgpu::{AllocPolicy, ArenaStats, DeviceProfile};
 
 /// Run one DTR iteration with the default first-fit allocator.
+#[must_use]
 pub fn run_dtr_iteration(
     profile: &ModelProfile,
     budget: usize,
@@ -37,6 +38,7 @@ pub fn run_dtr_iteration(
 
 /// Run one DTR iteration under an explicit allocator fit policy (the
 /// `ablation_allocator` experiment compares fragmentation across policies).
+#[must_use]
 pub fn run_dtr_iteration_with_policy(
     profile: &ModelProfile,
     budget: usize,
@@ -61,6 +63,7 @@ pub fn run_dtr_iteration_with_policy(
 /// Like [`run_dtr_iteration`], but recording the full [`ExecEvent`] stream:
 /// additionally returns the stream and the arena's final statistics, ready
 /// for `mimose_audit::audit_exec_events`.
+#[must_use]
 pub fn run_dtr_iteration_recorded(
     profile: &ModelProfile,
     budget: usize,

@@ -51,17 +51,20 @@ impl<'a> BlockIteration<'a> {
     }
 
     /// Run under a block checkpoint plan.
+    #[must_use]
     pub fn plan(profile: &'a ModelProfile, plan: &'a CheckpointPlan) -> Self {
         Self::new(profile, BlockMode::Plan(plan))
     }
 
     /// Run under an already-chosen [`BlockMode`] (for callers that pick
     /// the mode at runtime, e.g. from a policy directive).
+    #[must_use]
     pub fn with_mode(profile: &'a ModelProfile, mode: BlockMode<'a>) -> Self {
         Self::new(profile, mode)
     }
 
     /// Run under a tensor-granular plan (MONeT).
+    #[must_use]
     pub fn fine(
         profile: &'a ModelProfile,
         plan: &'a mimose_planner::memory_model::FinePlan,
@@ -70,16 +73,19 @@ impl<'a> BlockIteration<'a> {
     }
 
     /// Run under a hybrid swap/recompute plan (Capuchin).
+    #[must_use]
     pub fn hybrid(profile: &'a ModelProfile, plan: &'a HybridPlan) -> Self {
         Self::new(profile, BlockMode::Hybrid(plan))
     }
 
     /// Run Mimose's shuttle-collection iteration.
+    #[must_use]
     pub fn shuttle(profile: &'a ModelProfile) -> Self {
         Self::new(profile, BlockMode::Shuttle)
     }
 
     /// Arena capacity in bytes (default: the device's whole memory).
+    #[must_use]
     pub fn capacity(mut self, bytes: usize) -> Self {
         self.capacity = bytes;
         self
@@ -87,36 +93,42 @@ impl<'a> BlockIteration<'a> {
 
     /// Device cost profile (default: V100). Does *not* reset a capacity
     /// set explicitly; set capacity after the device to override.
+    #[must_use]
     pub fn device(mut self, dev: &DeviceProfile) -> Self {
         self.device = dev.clone();
         self
     }
 
     /// Iteration number stamped on the report (default 0).
+    #[must_use]
     pub fn iter(mut self, iter: usize) -> Self {
         self.iter = iter;
         self
     }
 
     /// Policy planning time to charge to the virtual clock (default 0).
+    #[must_use]
     pub fn planning_ns(mut self, ns: u64) -> Self {
         self.planning_ns = ns;
         self
     }
 
     /// Enable the OOM-recovery ladder.
+    #[must_use]
     pub fn recovery(mut self, cfg: &'a RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
         self
     }
 
     /// Inject this iteration's faults.
+    #[must_use]
     pub fn faults(mut self, faults: &'a IterationFaults) -> Self {
         self.faults = Some(faults);
         self
     }
 
     /// Execute.
+    #[must_use]
     pub fn run(self) -> BlockRun {
         if self.recovery.is_none() && self.faults.is_none() {
             return run_block_iteration(
@@ -142,6 +154,7 @@ impl<'a> BlockIteration<'a> {
 
     /// Execute, recording the full [`ExecEvent`] stream (final attempt
     /// only when the recovery ladder restarted).
+    #[must_use]
     pub fn run_recorded(self) -> (BlockRun, Vec<ExecEvent>, ArenaStats) {
         if self.recovery.is_none() && self.faults.is_none() {
             return run_block_iteration_recorded(
@@ -190,6 +203,7 @@ pub struct DtrIteration<'a> {
 impl<'a> DtrIteration<'a> {
     /// DTR over `profile` with the given eviction budget, on the default
     /// V100 (arena = whole device).
+    #[must_use]
     pub fn new(profile: &'a ModelProfile, budget: usize) -> Self {
         let device = DeviceProfile::v100();
         DtrIteration {
@@ -203,6 +217,7 @@ impl<'a> DtrIteration<'a> {
     }
 
     /// Physical arena capacity (default: the device's whole memory).
+    #[must_use]
     pub fn capacity(mut self, bytes: usize) -> Self {
         self.device_capacity = bytes;
         self
@@ -210,12 +225,14 @@ impl<'a> DtrIteration<'a> {
 
     /// Device cost profile (default: V100). Does *not* reset a capacity
     /// set explicitly; set capacity after the device to override.
+    #[must_use]
     pub fn device(mut self, dev: &DeviceProfile) -> Self {
         self.device = dev.clone();
         self
     }
 
     /// Iteration number stamped on the report (default 0).
+    #[must_use]
     pub fn iter(mut self, iter: usize) -> Self {
         self.iter = iter;
         self
@@ -223,12 +240,14 @@ impl<'a> DtrIteration<'a> {
 
     /// Allocator fit policy (default first-fit; the allocator ablation
     /// sweeps this).
+    #[must_use]
     pub fn alloc_policy(mut self, policy: AllocPolicy) -> Self {
         self.alloc_policy = policy;
         self
     }
 
     /// Execute.
+    #[must_use]
     pub fn run(self) -> IterationReport {
         run_dtr_iteration_with_policy(
             self.profile,
@@ -242,6 +261,7 @@ impl<'a> DtrIteration<'a> {
 
     /// Execute, recording the full [`ExecEvent`] stream. (First-fit only:
     /// the recorded entry point does not take an allocator policy.)
+    #[must_use]
     pub fn run_recorded(self) -> (IterationReport, Vec<ExecEvent>, ArenaStats) {
         run_dtr_iteration_recorded(
             self.profile,

@@ -76,6 +76,7 @@ impl Default for RecoveryConfig {
 /// resizing its own workspace), not a planner prediction. The shrunk budget
 /// is still fed back to the policy via the recovery events so *future*
 /// plans become more conservative too.
+#[must_use]
 pub fn grow_plan(
     profile: &ModelProfile,
     mut plan: CheckpointPlan,
@@ -122,6 +123,7 @@ struct DriverState {
 /// already, so its fallback would be itself and a fatal shuttle iteration
 /// stays fatal.
 #[allow(clippy::too_many_arguments)]
+#[must_use]
 pub fn run_block_iteration_recovering(
     profile: &ModelProfile,
     mode: BlockMode<'_>,
@@ -152,6 +154,7 @@ pub fn run_block_iteration_recovering(
 /// survives in the report's `recovery_ns` and the accumulated
 /// [`RecoveryEvent`]s.
 #[allow(clippy::too_many_arguments)]
+#[must_use]
 pub fn run_block_iteration_recovering_recorded(
     profile: &ModelProfile,
     mode: BlockMode<'_>,

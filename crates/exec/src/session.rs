@@ -59,30 +59,35 @@ impl<'a> SessionBuilder<'a> {
 
     /// Boxed form of [`Self::policy`], for policies chosen at runtime
     /// (e.g. via [`mimose_planner::PolicyKind::build`]).
+    #[must_use]
     pub fn policy_boxed(mut self, policy: Box<dyn MemoryPolicy>) -> Self {
         self.policy = Some(policy);
         self
     }
 
     /// Device cost profile (default: V100).
+    #[must_use]
     pub fn device(mut self, device: DeviceProfile) -> Self {
         self.device = device;
         self
     }
 
     /// Batch-stream seed (default 0; fixed across policies for fairness).
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Enable the OOM-recovery ladder.
+    #[must_use]
     pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
         self
     }
 
     /// Inject deterministic faults.
+    #[must_use]
     pub fn chaos(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
         self
@@ -91,6 +96,7 @@ impl<'a> SessionBuilder<'a> {
     /// Record every iteration's [`ExecEvent`](mimose_runtime::ExecEvent)
     /// stream (retrieve with [`Session::take_records`]). Recording changes
     /// nothing about execution.
+    #[must_use]
     pub fn record(mut self, record: bool) -> Self {
         self.record = record;
         self
@@ -149,6 +155,7 @@ pub struct Session<'a> {
 
 impl<'a> Session<'a> {
     /// Start configuring a session over `model` and `dataset`.
+    #[must_use]
     pub fn builder(model: &'a ModelGraph, dataset: &'a Dataset) -> SessionBuilder<'a> {
         SessionBuilder {
             model,
@@ -163,36 +170,43 @@ impl<'a> Session<'a> {
     }
 
     /// The iteration the next [`Self::step`] will run.
+    #[must_use]
     pub fn next_iter(&self) -> usize {
         self.next_iter
     }
 
     /// Iterations one epoch of the dataset holds.
+    #[must_use]
     pub fn epoch_len(&self) -> usize {
         self.epoch_len
     }
 
     /// The session's batch-stream seed.
+    #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
     /// The dataset this session streams from.
+    #[must_use]
     pub fn dataset(&self) -> &Dataset {
         self.dataset
     }
 
     /// The device this session simulates.
+    #[must_use]
     pub fn device(&self) -> &DeviceProfile {
         &self.device
     }
 
     /// The policy being driven.
+    #[must_use]
     pub fn policy(&self) -> &dyn MemoryPolicy {
         &*self.policy
     }
 
     /// Everything run so far, folded into one summary.
+    #[must_use]
     pub fn summary(&self) -> &RunSummary {
         &self.summary
     }
@@ -206,10 +220,12 @@ impl<'a> Session<'a> {
     /// The next iteration's input, drawn from the stream without running
     /// it (the draw is remembered, so peeking does not perturb the run).
     pub fn peek_input(&mut self) -> ModelInput {
-        if self.pending.is_none() {
-            self.pending = Some(self.stream.next_batch());
+        if let Some(input) = self.pending {
+            return input;
         }
-        self.pending.expect("just filled")
+        let input = self.stream.next_batch();
+        self.pending = Some(input);
+        input
     }
 
     /// Profile the next iteration's input without running it.
@@ -298,7 +314,7 @@ mod tests {
 
         let mut pol = SublinearPolicy::plan_offline(&worst, budget);
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let trainer_reports = tr.run(40);
+        let trainer_reports = tr.run(40).unwrap();
 
         let mut session = Session::builder(&model, &ds)
             .policy(SublinearPolicy::plan_offline(&worst, budget))
@@ -326,7 +342,7 @@ mod tests {
 
         let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let trainer_reports = tr.run(40);
+        let trainer_reports = tr.run(40).unwrap();
 
         let mut session = Session::builder(&model, &ds)
             .policy(MimosePolicy::new(MimoseConfig::with_budget(budget)))

@@ -67,6 +67,7 @@ pub struct ShadowChecker<'p> {
 
 impl<'p> ShadowChecker<'p> {
     /// Build a checker for one iteration of `profile` under `plan`.
+    #[must_use]
     pub fn new(profile: &'p ModelProfile, plan: &CheckpointPlan) -> Self {
         let logical = profile.const_bytes + profile.input_bytes;
         let aligned = align_up(profile.const_bytes) + align_up(profile.input_bytes);
@@ -170,6 +171,7 @@ pub struct DtrShadow {
 
 impl DtrShadow {
     /// Checker for one DTR iteration under `budget` logical bytes.
+    #[must_use]
     pub fn new(const_bytes: usize, input_bytes: usize, budget: usize) -> Self {
         DtrShadow {
             const_bytes,

@@ -140,12 +140,14 @@ impl<'a> Trainer<'a> {
     }
 
     /// Enable the OOM-recovery ladder for this run.
+    #[must_use]
     pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
         self
     }
 
     /// Inject deterministic faults into this run.
+    #[must_use]
     pub fn with_chaos(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
         self
@@ -153,17 +155,7 @@ impl<'a> Trainer<'a> {
 
     /// Run one iteration for an explicit input (used by the memory-curve
     /// experiments that sweep sequence lengths deterministically).
-    ///
-    /// # Panics
-    /// Panics when the model rejects the input; use [`Self::try_run_input`]
-    /// for typed error propagation.
-    pub fn run_input(&mut self, iter: usize, input: &ModelInput) -> IterationReport {
-        self.try_run_input(iter, input)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible form of [`Self::run_input`].
-    pub fn try_run_input(
+    pub fn run_input(
         &mut self,
         iter: usize,
         input: &ModelInput,
@@ -180,16 +172,7 @@ impl<'a> Trainer<'a> {
 
     /// Run `iters` iterations from the dataset stream; returns per-iteration
     /// reports.
-    ///
-    /// # Panics
-    /// Panics when the model rejects a batch; use [`Self::try_run`] for
-    /// typed error propagation.
-    pub fn run(&mut self, iters: usize) -> Vec<IterationReport> {
-        self.try_run(iters).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible form of [`Self::run`].
-    pub fn try_run(&mut self, iters: usize) -> Result<Vec<IterationReport>, ExecError> {
+    pub fn run(&mut self, iters: usize) -> Result<Vec<IterationReport>, ExecError> {
         let len = self.dataset.iters_per_epoch();
         let mut stream = self.dataset.stream(self.seed);
         (0..iters)
@@ -200,25 +183,15 @@ impl<'a> Trainer<'a> {
                     return Err(ExecError::DataExhausted { iter: i, len });
                 }
                 let input = stream.next_batch();
-                self.try_run_input(i, &input)
+                self.run_input(i, &input)
             })
             .collect()
     }
 
     /// Run and summarise.
-    ///
-    /// # Panics
-    /// Panics when the model rejects a batch; use [`Self::try_run_summary`]
-    /// for typed error propagation.
-    pub fn run_summary(&mut self, iters: usize) -> RunSummary {
-        self.try_run_summary(iters)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible form of [`Self::run_summary`].
-    pub fn try_run_summary(&mut self, iters: usize) -> Result<RunSummary, ExecError> {
+    pub fn run_summary(&mut self, iters: usize) -> Result<RunSummary, ExecError> {
         let mut s = RunSummary::default();
-        for r in self.try_run(iters)? {
+        for r in self.run(iters)? {
             s.absorb(&r);
         }
         Ok(s)
@@ -466,7 +439,7 @@ mod tests {
         let ds = presets::glue_qqp();
         let mut pol = BaselinePolicy::new();
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let s = tr.run_summary(20);
+        let s = tr.run_summary(20).unwrap();
         assert_eq!(s.oom_iters, 0);
         assert!(s.total_ns > 0);
     }
@@ -478,7 +451,7 @@ mod tests {
         let budget = 5usize << 30;
         let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let reports = tr.run(60);
+        let reports = tr.run(60).unwrap();
         assert!(reports.iter().all(|r| r.ok()), "an iteration OOMed");
         for r in &reports {
             assert!(
@@ -504,11 +477,11 @@ mod tests {
 
         let mut sub = SublinearPolicy::plan_offline(&worst, budget);
         let mut tr = Trainer::new(&model, &ds, &mut sub, 7);
-        let s_sub = tr.run_summary(80);
+        let s_sub = tr.run_summary(80).unwrap();
 
         let mut mim = MimosePolicy::new(MimoseConfig::with_budget(budget));
         let mut tr = Trainer::new(&model, &ds, &mut mim, 7);
-        let s_mim = tr.run_summary(80);
+        let s_mim = tr.run_summary(80).unwrap();
 
         assert_eq!(s_sub.oom_iters, 0);
         assert_eq!(s_mim.oom_iters, 0);
@@ -526,13 +499,13 @@ mod tests {
         let ds = presets::glue_qqp();
         let mut pol = DtrPolicy::new(5 << 30);
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let s = tr.run_summary(20);
+        let s = tr.run_summary(20).unwrap();
         assert_eq!(s.oom_iters, 0);
         assert!(s.time.bookkeeping_ns > 0);
     }
 
     #[test]
-    fn try_run_input_reports_profile_error() {
+    fn run_input_reports_profile_error() {
         let model = bert_base(BertHead::Classification { labels: 2 });
         let ds = presets::glue_qqp();
         let mut pol = BaselinePolicy::new();
@@ -540,7 +513,7 @@ mod tests {
         // An image fed to a token model fails shape inference at the
         // embedding op.
         let bad = ModelInput::image(8, 224, 224);
-        let err = tr.try_run_input(0, &bad).unwrap_err();
+        let err = tr.run_input(0, &bad).unwrap_err();
         match &err {
             ExecError::Profile { iter, .. } => assert_eq!(*iter, 0),
             other => panic!("wrong error: {other}"),
@@ -570,7 +543,7 @@ mod tests {
         let mut pol = BadPolicy;
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
         let err = tr
-            .try_run_input(5, &ModelInput::tokens(8, 64))
+            .run_input(5, &ModelInput::tokens(8, 64))
             .expect_err("a 3-block plan must be rejected");
         match &err {
             ExecError::PlanShape {
@@ -596,7 +569,7 @@ mod tests {
         assert_eq!(ds.iters_per_epoch(), 3);
         let mut pol = BaselinePolicy::new();
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        let err = tr.try_run(5).expect_err("5 iters over a 3-iter epoch");
+        let err = tr.run(5).expect_err("5 iters over a 3-iter epoch");
         match &err {
             ExecError::DataExhausted { iter, len } => {
                 assert_eq!(*iter, 3);
@@ -607,7 +580,7 @@ mod tests {
         assert!(err.to_string().contains("one epoch holds 3"));
         // Exactly one epoch is fine.
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
-        assert_eq!(tr.try_run(3).unwrap().len(), 3);
+        assert_eq!(tr.run(3).unwrap().len(), 3);
     }
 
     #[test]
@@ -635,7 +608,7 @@ mod tests {
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7)
             .with_recovery(RecoveryConfig::default())
             .with_chaos(FaultInjector::new(spec));
-        let reports = tr.run(8);
+        let reports = tr.run(8).unwrap();
         assert!(reports.iter().all(|r| r.ok()), "ladder must rescue");
         let recovered = reports.iter().filter(|r| r.recovered()).count();
         assert!(recovered > 0, "capacity shrink must trigger recovery");

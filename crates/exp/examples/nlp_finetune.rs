@@ -29,7 +29,7 @@ fn main() {
     for kind in PlannerKind::comparison_set() {
         let mut policy = build_policy(kind, &task, budget);
         let mut trainer = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 7);
-        let s = trainer.run_summary(iters);
+        let s = trainer.run_summary(iters).expect("run");
         if kind == PlannerKind::Baseline {
             baseline_ns = Some(s.total_ns);
         }

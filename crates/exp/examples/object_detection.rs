@@ -37,11 +37,15 @@ fn main() {
 
     // Mimose vs the conservative static plan.
     let mut mimose = MimosePolicy::new(MimoseConfig::with_budget(budget));
-    let s_mimose = Trainer::new(&task.model, &task.dataset, &mut mimose, 9).run_summary(iters);
+    let s_mimose = Trainer::new(&task.model, &task.dataset, &mut mimose, 9)
+        .run_summary(iters)
+        .expect("run");
 
     let worst = task.worst_profile();
     let mut sublinear = SublinearPolicy::plan_offline(&worst, budget);
-    let s_sub = Trainer::new(&task.model, &task.dataset, &mut sublinear, 9).run_summary(iters);
+    let s_sub = Trainer::new(&task.model, &task.dataset, &mut sublinear, 9)
+        .run_summary(iters)
+        .expect("run");
 
     println!("planner    total(s)  peak(GiB)  frag(GiB)  recompute%");
     for (name, s) in [("Mimose", &s_mimose), ("Sublinear", &s_sub)] {

@@ -14,7 +14,7 @@ fn run(opt: &SimOptions) {
     if opt.a100 {
         trainer.device = DeviceProfile::a100();
     }
-    let reports = trainer.run(opt.iters);
+    let reports = trainer.run(opt.iters).expect("training run");
     if opt.csv {
         print!("{}", iterations_to_csv(&reports));
         return;

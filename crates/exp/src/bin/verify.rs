@@ -1,0 +1,83 @@
+//! `verify`: the static-verifier acceptance gate.
+//!
+//! Three sections, all differential:
+//!
+//! 1. **Sanitizer** — canonical schedule lowerings lint clean and every
+//!    seeded mutant class is caught with its designated check id.
+//! 2. **Soundness** — across randomized (task × planner × budget × batch
+//!    window) draws, every issued [`SafetyCertificate`] is replayed in the
+//!    simulated engine inside an arena of exactly its certified bound, at
+//!    every input size in the certified bucket; one OOM fails the gate.
+//!    Certification refusals are replayed at the requested budget to
+//!    measure (not gate) the false-reject rate.
+//! 3. **Plan cache** — a certified bucket hit in the Mimose plan cache
+//!    serves with zero planner solves and zero revalidations.
+//!
+//! `--gate` runs the full acceptance volume (500 policy-driven seeds + 500
+//! randomized-plan seeds); the default is a quick smoke (40 + 40). Pass
+//! `--seeds N` to override the policy-driven count. Output: one JSON
+//! diagnostic per failure on stdout, a human summary on stderr; exits
+//! non-zero on any failure.
+//!
+//! [`SafetyCertificate`]: mimose_verify::SafetyCertificate
+
+use mimose_audit::Diagnostic;
+use mimose_exp::verifygate::{check_cache_zero_solve, check_sanitizer, soundness_sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let seeds_arg = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
+    let (policy_seeds, plan_seeds) = match (seeds_arg, gate) {
+        (Some(n), _) => (n, n),
+        (None, true) => (500, 500),
+        (None, false) => (40, 40),
+    };
+
+    let mut failures: Vec<Diagnostic> = Vec::new();
+
+    for f in check_sanitizer() {
+        failures.push(Diagnostic::error("verify-sanitizer", "gate", f));
+    }
+    eprintln!(
+        "verify: sanitizer section {} (mutant catalogue + canonical lowerings)",
+        if failures.is_empty() { "ok" } else { "FAILED" }
+    );
+
+    let sweep = soundness_sweep(policy_seeds, plan_seeds);
+    for f in &sweep.failures {
+        failures.push(Diagnostic::error("verify-soundness", "gate", f.clone()));
+    }
+    eprintln!(
+        "verify: soundness section over {} seeds — {} certified, {} refused \
+         ({} false rejects, rate {:.1}%), {} replays, {} violation(s)",
+        sweep.seeds,
+        sweep.certified,
+        sweep.rejected,
+        sweep.false_rejects,
+        sweep.false_reject_rate() * 100.0,
+        sweep.replays,
+        sweep.failures.len()
+    );
+
+    for f in check_cache_zero_solve() {
+        failures.push(Diagnostic::error("verify-cache-zero-solve", "gate", f));
+    }
+    eprintln!("verify: plan-cache zero-solve section checked");
+
+    for d in &failures {
+        println!("{}", d.to_json());
+    }
+    eprintln!(
+        "verify: {} failure(s){}",
+        failures.len(),
+        if gate { " [gate]" } else { "" }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

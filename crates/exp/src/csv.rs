@@ -10,6 +10,7 @@ frag_bytes,dropped_units,compute_ns,recompute_ns,planning_ns,bookkeeping_ns,allo
 total_ns";
 
 /// Escape a CSV field (quotes fields containing separators/quotes).
+#[must_use]
 pub fn escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -19,6 +20,7 @@ pub fn escape(field: &str) -> String {
 }
 
 /// Render iteration reports as CSV (header + one row per iteration).
+#[must_use]
 pub fn iterations_to_csv(reports: &[IterationReport]) -> String {
     let mut out = String::with_capacity(reports.len() * 96 + ITERATION_HEADER.len());
     out.push_str(ITERATION_HEADER);
@@ -51,6 +53,7 @@ pub fn iterations_to_csv(reports: &[IterationReport]) -> String {
 }
 
 /// Render labelled run summaries as CSV.
+#[must_use]
 pub fn summaries_to_csv(rows: &[(String, RunSummary)]) -> String {
     let mut out = String::from(
         "label,iters,total_ns,compute_ns,recompute_ns,planning_ns,bookkeeping_ns,swap_ns,\
@@ -91,7 +94,7 @@ mod tests {
         let task = Task::tc_bert();
         let mut pol = build_policy(PlannerKind::Sublinear, &task, 5 << 30);
         let mut tr = Trainer::new(&task.model, &task.dataset, pol.as_mut(), 3);
-        let reports = tr.run(12);
+        let reports = tr.run(12).expect("csv run");
         let csv = iterations_to_csv(&reports);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 13); // header + 12 rows
@@ -108,7 +111,7 @@ mod tests {
         let task = Task::tc_bert();
         let mut pol = build_policy(PlannerKind::Baseline, &task, 5 << 30);
         let mut tr = Trainer::new(&task.model, &task.dataset, pol.as_mut(), 3);
-        let s = tr.run_summary(5);
+        let s = tr.run_summary(5).expect("csv run");
         let csv = summaries_to_csv(&[("base,line".to_string(), s.clone())]);
         assert!(csv.contains("\"base,line\""), "label must be escaped");
         assert!(csv.contains(&s.total_ns.to_string()));

@@ -25,6 +25,11 @@ pub struct CacheAblationRow {
 }
 
 /// Run the cache ablation on TC-Bert.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn cache_ablation(budget: usize, iters: usize) -> Vec<CacheAblationRow> {
     let task = Task::tc_bert();
     let mut rows = Vec::new();
@@ -33,7 +38,7 @@ pub fn cache_ablation(budget: usize, iters: usize) -> Vec<CacheAblationRow> {
         cfg.cache_relative_width = width.max(1e-9);
         let mut pol = MimosePolicy::new(cfg);
         let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 31);
-        let _ = tr.run(iters);
+        let _ = tr.run(iters).expect("warm run");
         let st = pol.stats();
         rows.push(CacheAblationRow {
             label,
@@ -46,6 +51,7 @@ pub fn cache_ablation(budget: usize, iters: usize) -> Vec<CacheAblationRow> {
 }
 
 /// Render the cache ablation.
+#[must_use]
 pub fn render_cache(rows: &[CacheAblationRow], iters: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -78,6 +84,11 @@ pub struct ToleranceRow {
 }
 
 /// Sweep Algorithm 1's bucket tolerance on TC-Bert.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn tolerance_ablation(budget: usize, iters: usize, tolerances: &[f64]) -> Vec<ToleranceRow> {
     let task = Task::tc_bert();
     tolerances
@@ -89,7 +100,7 @@ pub fn tolerance_ablation(budget: usize, iters: usize, tolerances: &[f64]) -> Ve
             };
             let mut pol = MimosePolicy::new(cfg);
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 31);
-            let reports = tr.run(iters);
+            let reports = tr.run(iters).expect("ablation run");
             ToleranceRow {
                 tolerance: tol,
                 recompute_ns: reports.iter().map(|r| r.time.recompute_ns).sum(),
@@ -101,6 +112,7 @@ pub fn tolerance_ablation(budget: usize, iters: usize, tolerances: &[f64]) -> Ve
 }
 
 /// Render the tolerance ablation.
+#[must_use]
 pub fn render_tolerance(rows: &[ToleranceRow]) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -132,6 +144,11 @@ pub struct CollectRow {
 }
 
 /// Sweep the collector length on TC-Bert: accuracy vs overhead.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn collect_ablation(budget: usize, counts: &[usize], iters: usize) -> Vec<CollectRow> {
     let task = Task::tc_bert();
     counts
@@ -143,7 +160,7 @@ pub fn collect_ablation(budget: usize, counts: &[usize], iters: usize) -> Vec<Co
             };
             let mut pol = MimosePolicy::new(cfg);
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 31);
-            let reports = tr.run(iters);
+            let reports = tr.run(iters).expect("ablation run");
             let shuttle_extra: u64 = reports
                 .iter()
                 .filter(|r| r.shuttle)
@@ -179,6 +196,7 @@ pub fn collect_ablation(budget: usize, counts: &[usize], iters: usize) -> Vec<Co
 }
 
 /// Render the collector ablation.
+#[must_use]
 pub fn render_collect(rows: &[CollectRow]) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -216,6 +234,11 @@ type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
 
 /// Compare the three schedulers behind the flexible interface on a
 /// heterogeneous model (TR-T5).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn scheduler_ablation(budget: usize, iters: usize) -> Vec<SchedulerRow> {
     let task = Task::tr_t5();
     let mk: Vec<(&'static str, SchedulerFactory)> = vec![
@@ -234,7 +257,7 @@ pub fn scheduler_ablation(budget: usize, iters: usize) -> Vec<SchedulerRow> {
             let cfg = MimoseConfig::with_budget(budget);
             let mut pol = MimosePolicy::with_scheduler(cfg, make());
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 31);
-            let reports = tr.run(iters);
+            let reports = tr.run(iters).expect("ablation run");
             SchedulerRow {
                 name,
                 total_ns: reports.iter().map(|r| r.time.total_ns()).sum(),
@@ -246,6 +269,7 @@ pub fn scheduler_ablation(budget: usize, iters: usize) -> Vec<SchedulerRow> {
 }
 
 /// Render the scheduler ablation.
+#[must_use]
 pub fn render_scheduler(rows: &[SchedulerRow], budget: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -279,6 +303,11 @@ pub struct AllocatorRow {
 }
 
 /// First-fit vs best-fit fragmentation under a DTR iteration.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when profiling the task's input fails.
 pub fn allocator_ablation(budget: usize) -> Vec<AllocatorRow> {
     let task = Task::mc_roberta();
     let dev = DeviceProfile::v100();
@@ -307,6 +336,7 @@ pub fn allocator_ablation(budget: usize) -> Vec<AllocatorRow> {
 }
 
 /// Render the allocator ablation.
+#[must_use]
 pub fn render_allocator(rows: &[AllocatorRow], budget: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -338,6 +368,11 @@ pub struct AdaptiveRow {
 /// support (the "concept drift" scenario of the paper's introduction). A
 /// deliberately weak (linear) estimator under-predicts out of support;
 /// the adaptive extension re-collects and stays within budget.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn adaptive_ablation(budget: usize) -> Vec<AdaptiveRow> {
     let task = Task::tc_bert();
     let run = |adaptive: bool| -> AdaptiveRow {
@@ -353,14 +388,18 @@ pub fn adaptive_ablation(budget: usize) -> Vec<AdaptiveRow> {
         // Phase 1: collect on short sequences (30..90).
         for i in 0..20 {
             let seq = 30 + (i * 3) % 60;
-            let r = tr.run_input(i, &ModelInput::tokens(32, seq));
+            let r = tr
+                .run_input(i, &ModelInput::tokens(32, seq))
+                .expect("drift run");
             if r.peak_bytes > budget {
                 violations += 1;
             }
         }
         // Phase 2: drift far beyond the fitted support.
         for (j, seq) in (160..=320).step_by(10).enumerate() {
-            let r = tr.run_input(100 + j, &ModelInput::tokens(32, seq));
+            let r = tr
+                .run_input(100 + j, &ModelInput::tokens(32, seq))
+                .expect("drift run");
             if r.peak_bytes > budget {
                 violations += 1;
             }
@@ -377,6 +416,7 @@ pub fn adaptive_ablation(budget: usize) -> Vec<AdaptiveRow> {
 }
 
 /// Render the adaptive ablation.
+#[must_use]
 pub fn render_adaptive(rows: &[AdaptiveRow], budget: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()

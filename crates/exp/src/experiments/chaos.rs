@@ -54,6 +54,7 @@ pub enum Scenario {
 
 impl Scenario {
     /// CLI/display name.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Scenario::None => "none",
@@ -66,6 +67,7 @@ impl Scenario {
     }
 
     /// Every scenario, sweep order.
+    #[must_use]
     pub fn all() -> [Scenario; 6] {
         [
             Scenario::None,
@@ -78,6 +80,7 @@ impl Scenario {
     }
 
     /// Parse a CLI name (case-insensitive).
+    #[must_use]
     pub fn parse(name: &str) -> Option<Scenario> {
         Scenario::all()
             .into_iter()
@@ -86,6 +89,7 @@ impl Scenario {
 
     /// Whether the scenario can inject hard OOMs (and therefore whether
     /// recovery events are *expected* in its outcome).
+    #[must_use]
     pub fn expects_recovery(self) -> bool {
         matches!(
             self,
@@ -151,6 +155,7 @@ pub struct ScenarioOutcome {
 impl ScenarioOutcome {
     /// Whether this outcome satisfies the gate: no fatal OOM, linter-clean,
     /// and — for the control scenario — a byte-identical happy path.
+    #[must_use]
     pub fn passes_gate(&self) -> bool {
         if self.fatal_iters > 0 || self.lint_errors > 0 {
             return false;
@@ -214,6 +219,7 @@ fn squeezed_capacity(task: &Task, clean: &[IterationReport], floor: usize, eff: 
 /// The fault spec and the policy-side estimator bias for a scenario.
 /// `clean` is the clean reference run's per-iteration reports; the squeeze
 /// scenarios size their capacity shrink from its measured peaks.
+#[must_use]
 pub fn scenario_spec(
     scenario: Scenario,
     task: &Task,
@@ -300,13 +306,19 @@ fn build_policy(opt: &ChaosOptions, estimate_scale: f64) -> MimosePolicy {
 /// The clean reference run: same task/budget/seed, no faults, no recovery.
 /// Returns the per-iteration reports — the squeeze scenarios size their
 /// capacity shrink from the measured peaks.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when the underlying training run fails.
 pub fn clean_reference(task: &Task, opt: &ChaosOptions) -> Vec<IterationReport> {
     let mut policy = build_policy(opt, 1.0);
     let mut tr = Trainer::new(&task.model, &task.dataset, &mut policy, opt.seed);
-    tr.run(opt.iters)
+    tr.run(opt.iters).expect("chaos run")
 }
 
 /// Fold per-iteration reports into a summary.
+#[must_use]
 pub fn summarize(reports: &[IterationReport]) -> RunSummary {
     let mut s = RunSummary::default();
     for r in reports {
@@ -318,11 +330,17 @@ pub fn summarize(reports: &[IterationReport]) -> RunSummary {
 /// A summary's deterministic virtual time: everything except
 /// `planning_ns`, which is host wall-clock measured by the policy and
 /// jitters between otherwise identical runs.
+#[must_use]
 pub fn deterministic_ns(s: &RunSummary) -> u64 {
     s.total_ns.saturating_sub(s.time.planning_ns)
 }
 
 /// Run one scenario and score it against the clean reference.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when the underlying training run fails.
 pub fn run_scenario(
     task: &Task,
     scenario: Scenario,
@@ -351,7 +369,7 @@ pub fn run_scenario(
     let mut tr = Trainer::new(&task.model, &task.dataset, &mut policy, opt.seed)
         .with_recovery(recovery.clone())
         .with_chaos(FaultInjector::new(spec));
-    let reports = tr.run(opt.iters);
+    let reports = tr.run(opt.iters).expect("chaos run");
 
     let mut summary = RunSummary::default();
     let mut fatal_iters = 0usize;
@@ -390,6 +408,12 @@ pub fn run_scenario(
 }
 
 /// Run every scenario.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `opt.task` names no known task (the CLI validates it
+/// first) or a scenario run fails.
 pub fn run_all(opt: &ChaosOptions) -> Vec<ScenarioOutcome> {
     let task = crate::cli::find_task(&opt.task).expect("task validated by the caller");
     let clean = clean_reference(&task, opt);
@@ -400,6 +424,7 @@ pub fn run_all(opt: &ChaosOptions) -> Vec<ScenarioOutcome> {
 }
 
 /// Text table of a sweep's outcomes.
+#[must_use]
 pub fn render(opt: &ChaosOptions, outcomes: &[ScenarioOutcome]) -> String {
     let rows: Vec<Vec<String>> = outcomes
         .iter()

@@ -22,6 +22,11 @@ pub struct DeviceRow {
 }
 
 /// Run the sensitivity grid on TC-Bert under `budget`.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn run(budget: usize, iters: usize) -> Vec<DeviceRow> {
     let task = Task::tc_bert();
     let mut rows = Vec::new();
@@ -33,7 +38,7 @@ pub fn run(budget: usize, iters: usize) -> Vec<DeviceRow> {
             let mut policy = build_policy(kind, &task, budget);
             let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 17);
             tr.device = dev.clone();
-            tr.run_summary(iters).total_ns
+            tr.run_summary(iters).expect("device run").total_ns
         };
         let base = total(PlannerKind::Baseline);
         for kind in [
@@ -52,6 +57,7 @@ pub fn run(budget: usize, iters: usize) -> Vec<DeviceRow> {
 }
 
 /// Render the sensitivity table.
+#[must_use]
 pub fn render(rows: &[DeviceRow], budget: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()

@@ -28,6 +28,11 @@ pub struct HybridRow {
 }
 
 /// Sweep link bandwidths (bytes/s) on TC-Bert at `budget`.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn run(budget: usize, iters: usize, bandwidths: &[f64]) -> Vec<HybridRow> {
     let task = Task::tc_bert();
     let worst = task.worst_profile();
@@ -43,12 +48,12 @@ pub fn run(budget: usize, iters: usize, bandwidths: &[f64]) -> Vec<HybridRow> {
             let mut cap_pol = cap;
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut cap_pol, 61);
             tr.device = dev.clone();
-            let hybrid = tr.run_summary(iters);
+            let hybrid = tr.run_summary(iters).expect("hybrid run");
 
             let mut sub = SublinearPolicy::plan_offline(&worst, budget);
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut sub, 61);
             tr.device = dev;
-            let sublinear = tr.run_summary(iters);
+            let sublinear = tr.run_summary(iters).expect("sublinear run");
 
             HybridRow {
                 bandwidth: bw,
@@ -62,6 +67,7 @@ pub fn run(budget: usize, iters: usize, bandwidths: &[f64]) -> Vec<HybridRow> {
 }
 
 /// Render the crossover table.
+#[must_use]
 pub fn render(rows: &[HybridRow], budget: usize) -> String {
     let t: Vec<Vec<String>> = rows
         .iter()

@@ -34,6 +34,7 @@ pub struct Fig10Result {
 
 /// Budgets evaluated for a task: five points between the feasibility stars,
 /// except the OD tasks which the paper runs at 14 GB only.
+#[must_use]
 pub fn budgets_for(task: &Task) -> Vec<usize> {
     if matches!(task.dataset, Dataset::Vision(_)) {
         return vec![14 << 30];
@@ -52,10 +53,16 @@ pub fn budgets_for(task: &Task) -> Vec<usize> {
 fn run_one(task: &Task, budget: usize, kind: PlannerKind, iters: usize, seed: u64) -> RunSummary {
     let mut policy = build_policy(kind, task, budget);
     let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), seed);
-    tr.run_summary(iters)
+    tr.run_summary(iters).expect("fig10 run")
 }
 
 /// Run the full grid. `nlp_iters`/`od_iters` control per-run length.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when a baseline run is missing from the grid or a training
+/// run fails.
 pub fn run(nlp_iters: usize, od_iters: usize) -> Fig10Result {
     let tasks = Task::all();
     let stars: Vec<(&'static str, usize, usize)> = tasks
@@ -111,6 +118,7 @@ pub fn run(nlp_iters: usize, od_iters: usize) -> Fig10Result {
 }
 
 /// Render the Fig 10 report.
+#[must_use]
 pub fn render(r: &Fig10Result) -> String {
     let mut out = String::new();
     for (task, lo, hi) in &r.stars {
@@ -175,6 +183,7 @@ pub fn render(r: &Fig10Result) -> String {
 
 /// Summary statistics quoted in §VI-B: Mimose's mean improvement over
 /// Sublinear and DTR across all successful cells.
+#[must_use]
 pub fn improvements(r: &Fig10Result) -> (f64, f64) {
     let mut vs_sub = Vec::new();
     let mut vs_dtr = Vec::new();

@@ -15,6 +15,11 @@ pub struct Fig11Series {
 }
 
 /// Run Mimose on TC-Bert for `iters` iterations at each budget (GiB).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn run(budgets_gb: &[usize], iters: usize) -> Vec<Fig11Series> {
     budgets_gb
         .iter()
@@ -25,6 +30,7 @@ pub fn run(budgets_gb: &[usize], iters: usize) -> Vec<Fig11Series> {
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 21);
             let points = tr
                 .run(iters)
+                .expect("fig11 run")
                 .into_iter()
                 .map(|r| (r.input.per_sample_extent(), r.peak_bytes, r.shuttle))
                 .collect();
@@ -34,6 +40,11 @@ pub fn run(budgets_gb: &[usize], iters: usize) -> Vec<Fig11Series> {
 }
 
 /// Render: per budget, bucket seqlens and report the mean peak per bucket.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when a series has no points.
 pub fn render(series: &[Fig11Series]) -> String {
     let mut out = String::new();
     for s in series {

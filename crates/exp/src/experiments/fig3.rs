@@ -16,6 +16,11 @@ pub struct Fig3Result {
 
 /// Sample `iters` batches per NLP task and profile the memory footprint at
 /// a sweep of sizes across each dataset's range.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when a task's sampled extent set is empty.
 pub fn run(iters: usize) -> Vec<Fig3Result> {
     Task::nlp()
         .into_iter()
@@ -49,6 +54,7 @@ pub fn run(iters: usize) -> Vec<Fig3Result> {
 }
 
 /// Render the Fig 3 report.
+#[must_use]
 pub fn render(results: &[Fig3Result]) -> String {
     let mut out = String::new();
     for r in results {

@@ -30,6 +30,11 @@ pub struct Fig4Point {
 }
 
 /// Run the sweep under `budget` bytes.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when profiling a task input fails.
 pub fn run(budget: usize) -> Vec<Fig4Point> {
     let task = Task::tc_bert();
     let dev = DeviceProfile::v100();
@@ -70,6 +75,7 @@ pub fn run(budget: usize) -> Vec<Fig4Point> {
 }
 
 /// Render the Fig 4 report.
+#[must_use]
 pub fn render(points: &[Fig4Point], budget: usize) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()

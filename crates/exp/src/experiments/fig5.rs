@@ -25,6 +25,11 @@ pub struct Fig5Row {
 }
 
 /// Run DTR on MC-Roberta for `iters` iterations at each budget.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn run(budgets_gb: &[f64], iters: usize) -> Vec<Fig5Row> {
     budgets_gb
         .iter()
@@ -33,7 +38,7 @@ pub fn run(budgets_gb: &[f64], iters: usize) -> Vec<Fig5Row> {
             let task = Task::mc_roberta();
             let mut pol = DtrPolicy::new(budget);
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 5);
-            let s = tr.run_summary(iters);
+            let s = tr.run_summary(iters).expect("fig5 run");
             let total = s.time.total_ns() as f64;
             Fig5Row {
                 budget,
@@ -49,6 +54,7 @@ pub fn run(budgets_gb: &[f64], iters: usize) -> Vec<Fig5Row> {
 }
 
 /// Render the Fig 5 report.
+#[must_use]
 pub fn render(rows: &[Fig5Row]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()

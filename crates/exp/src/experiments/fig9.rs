@@ -20,6 +20,11 @@ pub struct Fig9Result {
 }
 
 /// Evaluate the sweep.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when profiling a sequence length fails.
 pub fn run(seqlens: &[usize]) -> Fig9Result {
     let model = bert_base(BertHead::Classification { labels: 2 });
     let mut peaks = Vec::new();

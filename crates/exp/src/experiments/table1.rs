@@ -7,6 +7,7 @@ use crate::tasks::Task;
 use mimose_planner::{Granularity, PlanTiming};
 
 /// Generate the feature matrix rows.
+#[must_use]
 pub fn run() -> Vec<Vec<String>> {
     let task = Task::tc_bert();
     let kinds = [
@@ -48,6 +49,7 @@ pub fn run() -> Vec<Vec<String>> {
 }
 
 /// Render Table I.
+#[must_use]
 pub fn render(rows: &[Vec<String>]) -> String {
     render_table(
         "Table I: planner comparison",

@@ -31,6 +31,7 @@ pub struct Table3Row {
 impl Table3Row {
     /// Total overhead expressed in single-iteration units (the paper's
     /// "3.93 iters" style figure).
+    #[must_use]
     pub fn overhead_iters(&self) -> f64 {
         self.total_overhead_ns as f64 / self.iter_ns.max(1) as f64
     }
@@ -41,6 +42,11 @@ impl Table3Row {
 /// budget): the simulated detector footprint cannot complete even fully
 /// checkpointed collection at 6 GB for the largest multi-scale inputs —
 /// documented as a calibration difference in EXPERIMENTS.md.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when an underlying training run fails.
 pub fn run(budget: usize, max_iters: usize) -> Vec<Table3Row> {
     Task::all()
         .into_iter()
@@ -53,7 +59,7 @@ pub fn run(budget: usize, max_iters: usize) -> Vec<Table3Row> {
             let iters = task.dataset.iters_per_epoch().min(max_iters);
             let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
             let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 11);
-            let reports = tr.run(iters);
+            let reports = tr.run(iters).expect("table3 run");
             let normal: Vec<&mimose_exec::IterationReport> =
                 reports.iter().filter(|r| !r.shuttle).collect();
             let iter_ns =
@@ -81,6 +87,7 @@ pub fn run(budget: usize, max_iters: usize) -> Vec<Table3Row> {
 }
 
 /// Render Table III.
+#[must_use]
 pub fn render(rows: &[Table3Row]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()

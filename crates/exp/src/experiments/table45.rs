@@ -128,6 +128,7 @@ fn evaluate(
 }
 
 /// Table IV: six regressor configurations on TC-Bert.
+#[must_use]
 pub fn run_table4() -> Vec<EstimatorRow> {
     let task = Task::tc_bert();
     let mut rows = Vec::new();
@@ -158,6 +159,7 @@ pub fn run_table4() -> Vec<EstimatorRow> {
 }
 
 /// Table V: the quadratic polynomial across all six tasks.
+#[must_use]
 pub fn run_table5() -> Vec<(String, EstimatorRow)> {
     Task::all()
         .into_iter()
@@ -171,6 +173,7 @@ pub fn run_table5() -> Vec<(String, EstimatorRow)> {
 }
 
 /// Render Table IV.
+#[must_use]
 pub fn render_table4(rows: &[EstimatorRow]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -192,6 +195,7 @@ pub fn render_table4(rows: &[EstimatorRow]) -> String {
 }
 
 /// Render Table V.
+#[must_use]
 pub fn render_table5(rows: &[(String, EstimatorRow)]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()

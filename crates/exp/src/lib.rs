@@ -13,3 +13,4 @@ pub mod par;
 pub mod planners;
 pub mod table;
 pub mod tasks;
+pub mod verifygate;

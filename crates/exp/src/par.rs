@@ -6,6 +6,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Map `f` over `items` on up to `std::thread::available_parallelism()`
 /// worker threads, preserving input order in the output.
+///
+/// # Panics
+///
+/// Panics when a worker thread panics (the panic is propagated).
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,

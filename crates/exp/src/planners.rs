@@ -26,6 +26,7 @@ pub enum PlannerKind {
 
 impl PlannerKind {
     /// Display name.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             PlannerKind::Baseline => "Baseline",
@@ -39,6 +40,7 @@ impl PlannerKind {
     }
 
     /// The Fig 10 comparison set.
+    #[must_use]
     pub fn comparison_set() -> [PlannerKind; 6] {
         [
             PlannerKind::Baseline,
@@ -58,6 +60,7 @@ impl PlannerKind {
 /// exports cannot express dynamic shapes (§VI-A: "the converted static
 /// graph fails to tackle the input tensor with dynamic size"), which is why
 /// the paper observes them exceeding the budget on OD (§VI-B).
+#[must_use]
 pub fn build_policy(kind: PlannerKind, task: &Task, budget: usize) -> Box<dyn MemoryPolicy> {
     let static_reference = || match task.dataset {
         Dataset::Text(_) => task.worst_profile(),

@@ -1,6 +1,11 @@
 //! Plain-text table and chart rendering for experiment binaries.
 
 /// Render an aligned text table. `rows` must all have `header.len()` cells.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when a row's length differs from the header's.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -55,6 +60,11 @@ pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> Stri
 }
 
 /// Render a histogram of values into `bins` buckets.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `bins` is zero or `values` is empty.
 pub fn render_histogram(title: &str, values: &[usize], bins: usize, width: usize) -> String {
     assert!(bins > 0 && !values.is_empty());
     let lo = *values.iter().min().expect("nonempty");
@@ -78,11 +88,13 @@ pub fn render_histogram(title: &str, values: &[usize], bins: usize, width: usize
 }
 
 /// Format bytes as GiB with two decimals.
+#[must_use]
 pub fn gib(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1u64 << 30) as f64)
 }
 
 /// Format a nanosecond count as milliseconds with two decimals.
+#[must_use]
 pub fn ms(ns: u64) -> String {
     format!("{:.2}", ns as f64 / 1e6)
 }

@@ -21,6 +21,7 @@ pub struct Task {
 
 impl Task {
     /// MC-Roberta: multiple choice on SWAG with RoBERTa-base, batch 16.
+    #[must_use]
     pub fn mc_roberta() -> Task {
         Task {
             abbr: "MC-Roberta",
@@ -31,6 +32,7 @@ impl Task {
     }
 
     /// TR-T5: translation on UN_PC with T5-base, batch 8.
+    #[must_use]
     pub fn tr_t5() -> Task {
         Task {
             abbr: "TR-T5",
@@ -41,6 +43,7 @@ impl Task {
     }
 
     /// QA-Bert: question answering on SQuAD with BERT-base, batch 12.
+    #[must_use]
     pub fn qa_bert() -> Task {
         Task {
             abbr: "QA-Bert",
@@ -51,6 +54,7 @@ impl Task {
     }
 
     /// TC-Bert: text classification on GLUE-QQP with BERT-base, batch 32.
+    #[must_use]
     pub fn tc_bert() -> Task {
         Task {
             abbr: "TC-Bert",
@@ -61,6 +65,7 @@ impl Task {
     }
 
     /// OD-R50: object detection on COCO with ResNet-50, batch 8.
+    #[must_use]
     pub fn od_r50() -> Task {
         Task {
             abbr: "OD-R50",
@@ -71,6 +76,7 @@ impl Task {
     }
 
     /// OD-R101: object detection on COCO with ResNet-101, batch 6.
+    #[must_use]
     pub fn od_r101() -> Task {
         Task {
             abbr: "OD-R101",
@@ -81,6 +87,7 @@ impl Task {
     }
 
     /// All six tasks of Table II.
+    #[must_use]
     pub fn all() -> Vec<Task> {
         vec![
             Task::mc_roberta(),
@@ -93,6 +100,7 @@ impl Task {
     }
 
     /// The four NLP tasks.
+    #[must_use]
     pub fn nlp() -> Vec<Task> {
         vec![
             Task::mc_roberta(),
@@ -103,6 +111,11 @@ impl Task {
     }
 
     /// Ground-truth profile of the worst-case collated input.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset's worst-case input fails to profile.
     pub fn worst_profile(&self) -> ModelProfile {
         self.model
             .profile(&self.dataset.worst_case())
@@ -112,6 +125,11 @@ impl Task {
     /// A "typical" profile near the distribution's centre (what a static
     /// graph export would be solved against when the tool cannot handle
     /// dynamic shapes — the OD failure mode of §VI-B).
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset's median input fails to profile.
     pub fn typical_profile(&self) -> ModelProfile {
         let mut stream = self.dataset.stream(1234);
         // Median-ish input: take the median input size of 31 draws.

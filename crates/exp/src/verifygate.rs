@@ -1,0 +1,599 @@
+//! Shared logic behind the `verify` gate binary and the soundness property
+//! tests: the sanitizer mutant catalogue, the differential
+//! certified-implies-no-OOM sweeps, and the plan-cache zero-solve check.
+//!
+//! Three claims are exercised:
+//!
+//! 1. **Sanitizer completeness over seeded mutants** — the canonical
+//!    lowering of every well-formed plan sanitizes clean, and each class of
+//!    deliberately broken schedule trips its designated check id, reported
+//!    through the `mimose-audit` diagnostic machinery.
+//! 2. **Certificate soundness** — whenever [`mimose_verify::certify`] (or a
+//!    granularity sibling) issues a certificate, the certified
+//!    plan is replayed in the simulated engine at *every* input size drawn
+//!    from the certified bucket, for every evaluated planner, and two
+//!    claims are checked: the engine's measured logical peak stays under
+//!    `peak_upper_bound` with zero slack, and an arena of
+//!    `SafetyCertificate::arena_capacity` bytes (the bound plus the
+//!    repo-standard 2 % fragmentation headroom) never OOMs. Certification refusals are
+//!    replayed too, measuring the false-reject rate (soundness permits
+//!    conservatism; the rate is reported, not gated).
+//! 3. **Zero-solve certified cache hits** — a [`MimosePolicy`] bucket hit
+//!    backed by a certificate serves the cached plan with no planner solve
+//!    and no revalidation, observable through the policy's counters.
+
+use mimose_audit::{lint_schedule, Severity};
+use mimose_core::{MimoseConfig, MimosePolicy};
+use mimose_exec::{BlockIteration, DtrIteration};
+use mimose_models::{ModelInput, ModelProfile};
+use mimose_planner::memory_model::min_feasible_budget;
+use mimose_planner::{CheckpointPlan, Directive, IterationObservation, MemoryPolicy};
+use mimose_rng::{Rng, SeedableRng, StdRng};
+use mimose_verify::{
+    certify, certify_dtr, certify_fine, certify_hybrid, sanitize, SchedOp, Schedule, SizeBucket,
+};
+
+use crate::planners::{build_policy, PlannerKind};
+use crate::tasks::Task;
+
+/// Unconstrained arena for warm-up iterations: the sweep constrains memory
+/// only in the replay phase, where the certificate's bound is the capacity.
+const TRACE_CAPACITY: usize = 64 << 30;
+
+// ---------------------------------------------------------------------------
+// Section 1: sanitizer mutants
+// ---------------------------------------------------------------------------
+
+/// One seeded schedule mutant and the check id the sanitizer must report.
+pub struct Mutant {
+    /// Mutation class name.
+    pub name: &'static str,
+    /// The broken schedule.
+    pub schedule: Schedule,
+    /// Check id an error-severity finding must carry.
+    pub expect: &'static str,
+}
+
+/// Every mutation class the sanitizer is specified to catch, seeded on an
+/// 8-block plan with mid-sequence checkpoints.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics only on an internal invariant violation: the seeded plans and
+/// mutation points are hard-coded valid.
+pub fn mutant_catalogue() -> Vec<Mutant> {
+    let plan = CheckpointPlan::from_indices(8, &[1, 3, 6]).expect("valid indices");
+    let base = Schedule::from_plan(&plan);
+    let at = |s: &Schedule, pred: fn(&SchedOp) -> bool| s.position(pred).expect("op present");
+
+    let mut dropped = base.clone();
+    dropped.remove_op(at(&dropped, |op| {
+        matches!(op, SchedOp::Recompute { block: 3 })
+    }));
+
+    let mut duplicated = base.clone();
+    let i = at(&duplicated, |op| matches!(op, SchedOp::Evict { block: 1 }));
+    duplicated.insert_op(i + 1, SchedOp::Evict { block: 1 });
+
+    let mut reordered = base.clone();
+    let a = at(&reordered, |op| {
+        matches!(op, SchedOp::Backward { block: 7 })
+    });
+    let b = at(&reordered, |op| {
+        matches!(op, SchedOp::Backward { block: 6 })
+    });
+    reordered.swap_ops(a, b);
+
+    let mut freed_dep = base.clone();
+    let i = at(&freed_dep, |op| {
+        matches!(op, SchedOp::Recompute { block: 6 })
+    });
+    freed_dep.insert_op(i, SchedOp::FreeOutput { block: 5 });
+
+    let mut early_free = base;
+    let i = at(&early_free, |op| {
+        matches!(op, SchedOp::Backward { block: 2 })
+    });
+    early_free.insert_op(i, SchedOp::FreeOutput { block: 2 });
+
+    vec![
+        Mutant {
+            name: "dropped-recompute",
+            schedule: dropped,
+            expect: "use-after-evict",
+        },
+        Mutant {
+            name: "duplicated-evict",
+            schedule: duplicated,
+            expect: "double-free",
+        },
+        Mutant {
+            name: "reordered-backward",
+            schedule: reordered,
+            expect: "dependency-order-violation",
+        },
+        Mutant {
+            name: "freed-recompute-dependency",
+            schedule: freed_dep,
+            expect: "recompute-without-live-dependency",
+        },
+        Mutant {
+            name: "early-output-free",
+            schedule: early_free,
+            expect: "use-after-free",
+        },
+    ]
+}
+
+/// Run the sanitizer section: canonical schedules must lint clean through
+/// the audit diagnostics, and every mutant must be caught with its expected
+/// check id. Returns human-readable failure descriptions (empty = pass).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics only on an internal invariant violation: the canonical plans
+/// are hard-coded valid.
+pub fn check_sanitizer() -> Vec<String> {
+    let mut failures = Vec::new();
+    for plan in [
+        CheckpointPlan::none(8),
+        CheckpointPlan::all(8),
+        CheckpointPlan::from_indices(8, &[0, 2, 5, 7]).expect("valid indices"),
+    ] {
+        let sched = Schedule::from_plan(&plan);
+        let diags = lint_schedule(&sched, "gate/canonical");
+        if !diags.is_empty() {
+            failures.push(format!(
+                "canonical lowering of {plan} reported {} finding(s): {}",
+                diags.len(),
+                diags[0].to_json()
+            ));
+        }
+        if !sanitize(&sched).is_empty() {
+            failures.push(format!("canonical lowering of {plan} fails raw sanitize"));
+        }
+    }
+    for m in mutant_catalogue() {
+        let diags = lint_schedule(&m.schedule, &format!("gate/{}", m.name));
+        let caught = diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.check == m.expect);
+        if !caught {
+            failures.push(format!(
+                "mutant {} not caught: expected error check {}, got {:?}",
+                m.name,
+                m.expect,
+                diags.iter().map(|d| d.check).collect::<Vec<_>>()
+            ));
+        }
+    }
+    failures
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: differential soundness sweeps
+// ---------------------------------------------------------------------------
+
+/// Tally of one soundness sweep.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Seeds examined.
+    pub seeds: usize,
+    /// Certificates issued.
+    pub certified: usize,
+    /// Certification refusals.
+    pub rejected: usize,
+    /// Refusals whose plan survived replay at the requested budget anyway —
+    /// the conservatism the interval domain trades for soundness.
+    pub false_rejects: usize,
+    /// Engine replays performed.
+    pub replays: usize,
+    /// Soundness violations: certified plans that OOMed inside an arena of
+    /// exactly their certified bound. Must be empty.
+    pub failures: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// False rejects as a fraction of refusals (0.0 when nothing was
+    /// refused).
+    #[must_use]
+    pub fn false_reject_rate(&self) -> f64 {
+        if self.rejected == 0 {
+            0.0
+        } else {
+            self.false_rejects as f64 / self.rejected as f64
+        }
+    }
+
+    fn merge(&mut self, other: SweepOutcome) {
+        self.seeds += other.seeds;
+        self.certified += other.certified;
+        self.rejected += other.rejected;
+        self.false_rejects += other.false_rejects;
+        self.replays += other.replays;
+        self.failures.extend(other.failures);
+    }
+}
+
+/// Replay `directive` over `profile` inside a `capacity`-byte arena and
+/// return the iteration report.
+fn replay_report(
+    profile: &ModelProfile,
+    directive: &Directive,
+    capacity: usize,
+    dtr_budget: usize,
+) -> mimose_runtime::IterationReport {
+    match directive {
+        Directive::RunPlan(p) | Directive::Shuttle(p) => {
+            BlockIteration::plan(profile, p)
+                .capacity(capacity)
+                .run()
+                .report
+        }
+        Directive::RunFine(fp) => {
+            BlockIteration::fine(profile, fp)
+                .capacity(capacity)
+                .run()
+                .report
+        }
+        Directive::RunHybrid(hp) => {
+            BlockIteration::hybrid(profile, hp)
+                .capacity(capacity)
+                .run()
+                .report
+        }
+        Directive::DtrDynamic => DtrIteration::new(profile, dtr_budget)
+            .capacity(capacity)
+            .run(),
+    }
+}
+
+/// [`replay_report`], reduced to the OOM description, if any.
+fn replay(
+    profile: &ModelProfile,
+    directive: &Directive,
+    capacity: usize,
+    dtr_budget: usize,
+) -> Option<String> {
+    replay_report(profile, directive, capacity, dtr_budget)
+        .oom
+        .map(|o| {
+            format!(
+                "{} (requested {} B, free {} B)",
+                o.phase, o.requested, o.free_bytes
+            )
+        })
+}
+
+/// Drive `policy` through its collection phase the way a session would:
+/// execute each shuttle directive in the engine and feed the measured
+/// per-block observations back. Static planners return a non-shuttle
+/// directive immediately; Mimose leaves its shuttle phase within the loop
+/// bound even on degenerate streams.
+fn warm_policy(policy: &mut dyn MemoryPolicy, profiles: &[ModelProfile]) -> usize {
+    let mut iter = 0;
+    for k in 0..40 {
+        let p = &profiles[k % profiles.len()];
+        let directive = policy.begin_iteration(iter, p);
+        if !matches!(directive, Directive::Shuttle(_)) {
+            return iter;
+        }
+        let run = BlockIteration::shuttle(p).capacity(TRACE_CAPACITY).run();
+        policy.end_iteration(&IterationObservation {
+            iter,
+            input: p.input,
+            input_size: p.input_size,
+            blocks: run.observations,
+            peak_bytes: run.report.peak_bytes,
+            oom: false,
+            recovery: Vec::new(),
+        });
+        iter += 1;
+    }
+    iter
+}
+
+/// Certify `directive` against `envelope`/`bucket`/`budget`, then replay:
+/// certified plans inside an arena of exactly their bound (over every
+/// envelope profile — the differential soundness check), refusals at the
+/// requested budget (the false-reject measurement).
+fn certify_and_replay(
+    directive: &Directive,
+    envelope: &[ModelProfile],
+    bucket: SizeBucket,
+    budget: usize,
+    dtr_budget: usize,
+    label: &str,
+    out: &mut SweepOutcome,
+) {
+    let cert = match directive {
+        Directive::RunPlan(p) | Directive::Shuttle(p) => certify(envelope, p, bucket, budget),
+        Directive::RunFine(fp) => certify_fine(envelope, fp, bucket, budget),
+        Directive::RunHybrid(hp) => certify_hybrid(envelope, hp, bucket, budget),
+        Directive::DtrDynamic => certify_dtr(envelope, dtr_budget, bucket, budget),
+    };
+    match cert {
+        Ok(c) => {
+            out.certified += 1;
+            // DTR's allocation sequence depends on arena pressure (it evicts
+            // on demand), so only static directives make the exact
+            // unconstrained-peak claim; DTR is held to claim (ii) alone.
+            let capacity_independent = !matches!(directive, Directive::DtrDynamic);
+            for q in envelope {
+                // (i) Logical soundness, exact: the engine's measured peak
+                // residency in an unconstrained arena must stay under the
+                // certified bound — no slack of any kind.
+                if capacity_independent {
+                    out.replays += 1;
+                    let report = replay_report(q, directive, TRACE_CAPACITY, dtr_budget);
+                    if let Some(o) = &report.oom {
+                        out.failures.push(format!(
+                            "{label}: certified {c} but size {} OOMed unconstrained in {}",
+                            q.input_size, o.phase
+                        ));
+                    } else if report.peak_bytes > c.peak_upper_bound {
+                        out.failures.push(format!(
+                            "{label}: certified {c} but size {} measured peak {} B over the bound",
+                            q.input_size, report.peak_bytes
+                        ));
+                    }
+                }
+                // (ii) No dynamic OOM in an arena sized by the certificate
+                // (logical bound + the repo-standard 2 % fragmentation
+                // headroom — address-space fragmentation depends on
+                // allocation order, which byte-count analysis cannot bound).
+                out.replays += 1;
+                if let Some(oom) = replay(q, directive, c.arena_capacity(), dtr_budget) {
+                    out.failures.push(format!(
+                        "{label}: certified {c} but size {} OOMed at arena capacity in {oom}",
+                        q.input_size
+                    ));
+                }
+            }
+        }
+        Err(_) => {
+            out.rejected += 1;
+            let oomed = envelope.iter().any(|q| {
+                out.replays += 1;
+                replay(q, directive, budget, dtr_budget).is_some()
+            });
+            if !oomed {
+                out.false_rejects += 1;
+            }
+        }
+    }
+}
+
+/// Ground-truth profiles for a window of batches drawn from the task's
+/// stream, sorted by input size. This *is* the envelope: every size the
+/// sweep replays is one of these profiles, so the bucket's concretisation
+/// is covered exactly.
+fn window_profiles(task: &Task, seed: u64, n: usize) -> Vec<ModelProfile> {
+    let mut profiles: Vec<ModelProfile> = task
+        .dataset
+        .stream(seed)
+        .take_batches(n)
+        .iter()
+        .map(|b| task.model.profile(b).expect("profile"))
+        .collect();
+    profiles.sort_by_key(|p| p.input_size);
+    profiles.dedup_by_key(|p| p.input_size);
+    profiles
+}
+
+fn all_kinds() -> Vec<PlannerKind> {
+    let mut kinds = PlannerKind::comparison_set().to_vec();
+    kinds.push(PlannerKind::MimoseKnapsack);
+    kinds
+}
+
+/// One policy-driven seed: pick a task × planner × budget, warm the policy,
+/// then certify-and-replay the directive it emits for every window size.
+fn sweep_policy_seed(seed: u64, out: &mut SweepOutcome) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks = Task::all();
+    let task = &tasks[rng.gen_range(0..tasks.len())];
+    let kinds = all_kinds();
+    let kind = kinds[rng.gen_range(0..kinds.len())];
+
+    let worst = task.worst_profile();
+    let lo = min_feasible_budget(&worst);
+    let hi = worst.peak_no_checkpoint();
+    let frac: f64 = rng.gen_range(0.3..1.0);
+    let budget = lo + ((hi - lo) as f64 * frac) as usize;
+
+    let profiles = window_profiles(task, seed, 5);
+    let bucket = SizeBucket::new(
+        profiles[0].input_size,
+        profiles[profiles.len() - 1].input_size,
+    );
+
+    let mut policy = build_policy(kind, task, budget);
+    let warm_iters = warm_policy(policy.as_mut(), &profiles);
+    let dtr_budget = policy.budget_bytes();
+
+    for (iter, p) in (warm_iters..).zip(&profiles) {
+        let directive = policy.begin_iteration(iter, p);
+        let label = format!("seed {seed} {}/{}", task.abbr, kind.name());
+        certify_and_replay(
+            &directive, &profiles, bucket, budget, dtr_budget, &label, out,
+        );
+    }
+    out.seeds += 1;
+}
+
+/// One randomized-plan seed: certify an arbitrary checkpoint plan (not one a
+/// planner chose) over a random task window, then replay. Exercises the
+/// interval domain over the whole plan space, cheaply.
+fn sweep_random_plan_seed(seed: u64, out: &mut SweepOutcome) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let tasks = Task::all();
+    let task = &tasks[rng.gen_range(0..tasks.len())];
+
+    let worst = task.worst_profile();
+    let lo = min_feasible_budget(&worst);
+    let hi = worst.peak_no_checkpoint();
+    let frac: f64 = rng.gen_range(0.2..1.0);
+    let budget = lo + ((hi - lo) as f64 * frac) as usize;
+
+    let profiles = window_profiles(task, seed, 4);
+    let bucket = SizeBucket::new(
+        profiles[0].input_size,
+        profiles[profiles.len() - 1].input_size,
+    );
+
+    let n = profiles[0].blocks.len();
+    let mut mask = vec![false; n];
+    for m in &mut mask {
+        *m = rng.gen_bool(0.5);
+    }
+    let indices: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+    let plan = CheckpointPlan::from_indices(n, &indices).expect("indices in range");
+    let directive = Directive::RunPlan(plan);
+    let label = format!("seed {seed} {}/random-plan", task.abbr);
+    certify_and_replay(&directive, &profiles, bucket, budget, budget, &label, out);
+    out.seeds += 1;
+}
+
+/// The policy-driven differential sweep over `seeds` (all planners, warm
+/// policies, real directives).
+#[must_use]
+pub fn soundness_sweep_policies(seeds: std::ops::Range<u64>) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for seed in seeds {
+        sweep_policy_seed(seed, &mut out);
+    }
+    out
+}
+
+/// The randomized-plan differential sweep over `seeds`.
+#[must_use]
+pub fn soundness_sweep_random_plans(seeds: std::ops::Range<u64>) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for seed in seeds {
+        sweep_random_plan_seed(seed, &mut out);
+    }
+    out
+}
+
+/// Both sweeps merged: `policy_seeds` policy-driven seeds plus
+/// `plan_seeds` randomized-plan seeds.
+#[must_use]
+pub fn soundness_sweep(policy_seeds: u64, plan_seeds: u64) -> SweepOutcome {
+    let mut out = soundness_sweep_policies(0..policy_seeds);
+    out.merge(soundness_sweep_random_plans(0..plan_seeds));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: plan-cache zero-solve check
+// ---------------------------------------------------------------------------
+
+/// Verify that a certified bucket hit in the Mimose plan cache performs zero
+/// planner solves: warm a policy on real BERT batches, force one certified
+/// insert, then query a *different* size in the same quantisation bucket and
+/// watch the solve counter. Returns failure descriptions (empty = pass).
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when profiling a probe input fails.
+pub fn check_cache_zero_solve() -> Vec<String> {
+    let mut failures = Vec::new();
+    let task = Task::tc_bert();
+    let profiles = window_profiles(&task, 7, 12);
+    let mut pol = MimosePolicy::new(MimoseConfig::with_budget(5 << 30));
+    let mut iter = warm_policy(&mut pol, &profiles);
+    if pol.phase() != mimose_core::Phase::Responsive {
+        return vec!["policy failed to reach the responsive phase".into()];
+    }
+
+    // Force a certified insert at a mid-window size.
+    let p = &profiles[profiles.len() / 2];
+    let certified_before = pol.cache().certified_len();
+    let _ = pol.begin_iteration(iter, p);
+    iter += 1;
+    if pol.cache().certified_len() != certified_before + 1 {
+        failures.push(format!(
+            "cache miss did not certify: {} certified entries before, {} after",
+            certified_before,
+            pol.cache().certified_len()
+        ));
+    }
+
+    // A different size in the same bucket must be served off the
+    // certificate.
+    let (lo, hi) = pol.cache().bucket_bounds(p.input_size);
+    let batch = p.input.batch;
+    let seq = p.input_size / batch;
+    let other_seq = if (seq + 1) * batch <= hi {
+        seq + 1
+    } else {
+        seq - 1
+    };
+    let q = task
+        .model
+        .profile(&ModelInput::tokens(batch, other_seq))
+        .expect("profile");
+    if q.input_size < lo || q.input_size > hi || q.input_size == p.input_size {
+        return vec![format!(
+            "bucket [{lo}, {hi}] too narrow around {} for a distinct probe",
+            p.input_size
+        )];
+    }
+    let gen_before = pol.stats().plans_generated;
+    let reval_before = pol.stats().revalidations;
+    let cert_hits_before = pol.stats().certified_hits;
+    match pol.begin_iteration(iter, &q) {
+        Directive::RunPlan(_) => {}
+        d => failures.push(format!("expected RunPlan on certified hit, got {d:?}")),
+    }
+    if pol.stats().plans_generated != gen_before {
+        failures.push(format!(
+            "certified bucket hit re-solved: {} plans generated before, {} after",
+            gen_before,
+            pol.stats().plans_generated
+        ));
+    }
+    if pol.stats().certified_hits != cert_hits_before + 1 {
+        failures.push("certified hit not counted".into());
+    }
+    if pol.stats().revalidations != reval_before {
+        failures.push("certified hit fell back to O(L) revalidation".into());
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutant_catalogue_covers_five_classes() {
+        let mutants = mutant_catalogue();
+        assert_eq!(mutants.len(), 5);
+        let mut expects: Vec<_> = mutants.iter().map(|m| m.expect).collect();
+        expects.dedup();
+        assert_eq!(expects.len(), 5, "check ids must be distinct");
+    }
+
+    #[test]
+    fn sanitizer_section_passes() {
+        assert!(check_sanitizer().is_empty());
+    }
+
+    #[test]
+    fn a_few_policy_seeds_are_sound() {
+        let out = soundness_sweep_policies(0..4);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.certified > 0, "no certificate issued in 4 seeds");
+    }
+
+    #[test]
+    fn cache_zero_solve_section_passes() {
+        let failures = check_cache_zero_solve();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

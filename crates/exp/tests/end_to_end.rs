@@ -18,7 +18,7 @@ fn every_planner_runs_every_task() {
         for kind in PlannerKind::comparison_set() {
             let mut policy = build_policy(kind, &task, budget);
             let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 13);
-            let s = tr.run_summary(25);
+            let s = tr.run_summary(25).unwrap();
             assert!(s.total_ns > 0, "{} / {}", task.abbr, kind.name());
             // Some planners legitimately OOM (static plans on OD); the run
             // itself must still complete and account its time.
@@ -33,7 +33,7 @@ fn mimose_honours_budget_on_all_nlp_tasks() {
         let budget = 6usize << 30;
         let mut policy = MimosePolicy::new(MimoseConfig::with_budget(budget));
         let mut tr = Trainer::new(&task.model, &task.dataset, &mut policy, 29);
-        for r in tr.run(80) {
+        for r in tr.run(80).unwrap() {
             assert!(r.ok(), "{}: OOM at iter {}", task.abbr, r.iter);
             assert!(
                 r.peak_bytes <= budget,
@@ -56,7 +56,7 @@ fn mimose_beats_sublinear_on_every_nlp_task() {
         let total = |kind: PlannerKind| {
             let mut policy = build_policy(kind, &task, budget);
             let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 55);
-            tr.run_summary(iters).total_ns
+            tr.run_summary(iters).unwrap().total_ns
         };
         let mim = total(PlannerKind::Mimose);
         let sub = total(PlannerKind::Sublinear);
@@ -76,7 +76,7 @@ fn simulation_is_deterministic() {
     let run = || {
         let mut policy = build_policy(PlannerKind::Sublinear, &task, 5 << 30);
         let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 1234);
-        let s = tr.run_summary(60);
+        let s = tr.run_summary(60).unwrap();
         (s.total_ns, s.max_peak_bytes, s.max_frag_bytes)
     };
     assert_eq!(run(), run(), "virtual-time simulation must be bit-stable");
@@ -90,7 +90,7 @@ fn dtr_budget_violations_are_visible() {
     let budget = (4.5 * (1u64 << 30) as f64) as usize;
     let mut policy = build_policy(PlannerKind::Dtr, &task, budget);
     let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 77);
-    let s = tr.run_summary(60);
+    let s = tr.run_summary(60).unwrap();
     assert!(s.max_peak_bytes <= budget, "logical usage over budget");
     assert!(
         s.max_peak_extent > budget,
@@ -105,7 +105,7 @@ fn knapsack_scheduler_is_a_working_alternative() {
     let budget = 5usize << 30;
     let mut policy = build_policy(PlannerKind::MimoseKnapsack, &task, budget);
     let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 21);
-    let s = tr.run_summary(80);
+    let s = tr.run_summary(80).unwrap();
     assert_eq!(s.oom_iters, 0);
     assert!(s.max_peak_bytes <= budget);
 }
@@ -121,7 +121,7 @@ fn capuchin_hybrid_runs_within_budget() {
     assert!(policy.is_feasible());
     let actions = policy.plan().clone();
     let mut tr = Trainer::new(&task.model, &task.dataset, &mut policy, 41);
-    let s = tr.run_summary(60);
+    let s = tr.run_summary(60).unwrap();
     assert_eq!(s.oom_iters, 0);
     assert!(s.max_peak_bytes <= budget);
     // At V100 PCIe bandwidth the plan should recompute, not swap (§I).
@@ -138,7 +138,7 @@ fn adaptive_mimose_matches_base_on_stationary_data() {
     let budget = 6usize << 30;
     let mut pol = MimosePolicy::new(MimoseConfig::with_budget_adaptive(budget));
     let mut tr = Trainer::new(&task.model, &task.dataset, &mut pol, 19);
-    let s = tr.run_summary(120);
+    let s = tr.run_summary(120).unwrap();
     assert_eq!(s.oom_iters, 0);
     assert!(s.max_peak_bytes <= budget);
     assert_eq!(pol.stats().recollections, 0, "stationary data re-collected");
@@ -150,7 +150,7 @@ fn csv_export_round_trips_run_length() {
     let task = Task::qa_bert();
     let mut policy = build_policy(PlannerKind::Mimose, &task, 6 << 30);
     let mut tr = Trainer::new(&task.model, &task.dataset, policy.as_mut(), 5);
-    let reports = tr.run(30);
+    let reports = tr.run(30).unwrap();
     let csv = iterations_to_csv(&reports);
     assert_eq!(csv.lines().count(), 31);
 }

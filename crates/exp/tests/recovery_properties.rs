@@ -280,7 +280,7 @@ fn e2e_estimator_under_prediction_is_fatal_without_ladder_and_recovered_with_it(
     let mut bare_policy = make_policy(estimate_scale);
     let mut bare = Trainer::new(&task.model, &task.dataset, &mut bare_policy, opt.seed)
         .with_chaos(FaultInjector::new(spec.clone()));
-    let bare_reports = bare.run(opt.iters);
+    let bare_reports = bare.run(opt.iters).unwrap();
     let bare_fatal = bare_reports.iter().filter(|r| !r.ok()).count();
     assert!(bare_fatal > 0, "scenario must be fatal without recovery");
 
@@ -290,7 +290,7 @@ fn e2e_estimator_under_prediction_is_fatal_without_ladder_and_recovered_with_it(
     let mut tr = Trainer::new(&task.model, &task.dataset, &mut policy, opt.seed)
         .with_recovery(recovery.clone())
         .with_chaos(FaultInjector::new(spec));
-    let reports = tr.run(opt.iters);
+    let reports = tr.run(opt.iters).unwrap();
 
     let fatal = reports.iter().filter(|r| !r.ok()).count();
     assert_eq!(fatal, 0, "ladder must rescue every injected OOM");

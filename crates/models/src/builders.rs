@@ -186,12 +186,14 @@ fn bert_family(
 /// BERT-base (12 layers, hidden 768, 12 heads, ≈ 109.5 M parameters) with
 /// the given task head. Blocks: embeddings, `encoder.0..=11`, head — 14
 /// total, so encoders are global blocks `1..=12` (Fig 9's indexing).
+#[must_use]
 pub fn bert_base(head: BertHead) -> ModelGraph {
     bert_family("bert-base", 30_522, 512, 2, head)
 }
 
 /// RoBERTa-base: BERT-base geometry with the 50 k BPE vocabulary and no
 /// segment embeddings (≈ 124.6 M parameters).
+#[must_use]
 pub fn roberta_base(head: BertHead) -> ModelGraph {
     bert_family("roberta-base", 50_265, 514, 0, head)
 }
@@ -259,6 +261,7 @@ fn t5_decoder(idx: usize, hidden: usize, heads: usize, ff: usize) -> Block {
 /// by decoder cross-attention; the LM head ties the embedding matrix
 /// ([`OpKind::TiedLinear`]), so it adds no parameters. Blocks: shared
 /// embedding, `encoder.0..=11`, `decoder.0..=11`, head — 26 total.
+#[must_use]
 pub fn t5_base() -> ModelGraph {
     let (hidden, heads, ff, layers, vocab) = (768, 12, 3072, 12, 32_128);
     let mut emb = Block::builder("shared_embedding");
@@ -434,12 +437,14 @@ fn resnet_od(name: &str, layer3_blocks: usize) -> ModelGraph {
 
 /// ResNet-50 detection backbone + dense head (OD-R50 of Table II). One
 /// block per bottleneck: stem + 3+4+6+3 bottlenecks + head = 18 blocks.
+#[must_use]
 pub fn resnet50_od() -> ModelGraph {
     resnet_od("resnet50-od", 6)
 }
 
 /// ResNet-101 detection backbone + dense head (OD-R101 of Table II). Stem +
 /// 3+4+23+3 bottlenecks + head = 35 blocks.
+#[must_use]
 pub fn resnet101_od() -> ModelGraph {
     resnet_od("resnet101-od", 23)
 }

@@ -53,6 +53,7 @@ impl Block {
     }
 
     /// Total learnable parameters in the block.
+    #[must_use]
     pub fn param_count(&self) -> usize {
         self.nodes.iter().map(|n| n.op.param_count()).sum()
     }
@@ -85,6 +86,11 @@ impl BlockBuilder {
     }
 
     /// Finish the block.
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block has no nodes.
     pub fn build(self) -> Block {
         assert!(
             !self.block.nodes.is_empty(),
@@ -118,6 +124,7 @@ pub enum OptimizerKind {
 
 impl OptimizerKind {
     /// Extra state bytes per parameter (beyond weight + gradient).
+    #[must_use]
     pub fn state_bytes_per_param(self) -> usize {
         match self {
             OptimizerKind::SgdMomentum => 4,
@@ -205,6 +212,7 @@ impl ModelGraph {
 
     /// Constant (input-independent) memory footprint: weights + gradients +
     /// optimizer state + framework overhead + reservation.
+    #[must_use]
     pub fn const_bytes(&self) -> usize {
         let p = self.param_count();
         p * 4 // weights (f32)
@@ -215,6 +223,7 @@ impl ModelGraph {
     }
 
     /// Total number of blocks across all stages.
+    #[must_use]
     pub fn num_blocks(&self) -> usize {
         self.stages.iter().map(|s| s.blocks.len()).sum()
     }

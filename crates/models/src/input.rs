@@ -33,6 +33,7 @@ pub struct ModelInput {
 
 impl ModelInput {
     /// Token-sequence input.
+    #[must_use]
     pub fn tokens(batch: usize, seq: usize) -> Self {
         ModelInput {
             batch,
@@ -41,6 +42,7 @@ impl ModelInput {
     }
 
     /// Image input.
+    #[must_use]
     pub fn image(batch: usize, h: usize, w: usize) -> Self {
         ModelInput {
             batch,
@@ -50,6 +52,7 @@ impl ModelInput {
 
     /// The paper's "input size": number of elements in the collated input
     /// tensor for this mini-batch.
+    #[must_use]
     pub fn input_size(&self) -> usize {
         match self.kind {
             ModelInputKind::Tokens { seq } => self.batch * seq,
@@ -58,6 +61,7 @@ impl ModelInput {
     }
 
     /// Tensor metadata fed to the model's first block.
+    #[must_use]
     pub fn meta(&self) -> TensorMeta {
         match self.kind {
             ModelInputKind::Tokens { seq } => {
@@ -70,6 +74,7 @@ impl ModelInput {
     }
 
     /// Per-sample sequence length or spatial extent, used as plan-cache keys.
+    #[must_use]
     pub fn per_sample_extent(&self) -> usize {
         match self.kind {
             ModelInputKind::Tokens { seq } => seq,

@@ -72,12 +72,14 @@ pub struct ModelProfile {
 impl ModelProfile {
     /// Total activation bytes if nothing is checkpointed (internal
     /// activations plus every block output).
+    #[must_use]
     pub fn total_act_bytes(&self) -> usize {
         self.blocks.iter().map(|b| b.act_bytes + b.out_bytes).sum()
     }
 
     /// Peak memory if nothing is checkpointed: constant + input + all
     /// activations (the paper's `baseline` upper star in Fig 10).
+    #[must_use]
     pub fn peak_no_checkpoint(&self) -> usize {
         self.const_bytes + self.input_bytes + self.total_act_bytes()
     }
@@ -85,6 +87,7 @@ impl ModelProfile {
     /// Approximate peak when *every* block is checkpointed (the lower star in
     /// Fig 10): constant + input + all block outputs + the largest single
     /// block's transient working set during recomputation.
+    #[must_use]
     pub fn peak_all_checkpointed(&self) -> usize {
         let outs: usize = self.blocks.iter().map(|b| b.out_bytes).sum();
         let max_work = self.blocks.iter().map(|b| b.act_bytes).max().unwrap_or(0);
@@ -92,11 +95,13 @@ impl ModelProfile {
     }
 
     /// Total forward FLOPs of one iteration.
+    #[must_use]
     pub fn total_fwd_flops(&self) -> f64 {
         self.blocks.iter().map(|b| b.fwd_flops).sum()
     }
 
     /// Total backward FLOPs of one iteration.
+    #[must_use]
     pub fn total_bwd_flops(&self) -> f64 {
         self.blocks.iter().map(|b| b.bwd_flops).sum()
     }
@@ -104,6 +109,11 @@ impl ModelProfile {
 
 impl ModelGraph {
     /// Compute the full profile of this model under `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal invariant violation: a context reference
+    /// before any context exists is rejected during graph validation.
     pub fn profile(&self, input: &ModelInput) -> Result<ModelProfile, ModelError> {
         let mut blocks = Vec::with_capacity(self.num_blocks());
         let mut cur = input.meta();

@@ -32,6 +32,7 @@ pub enum OpCategory {
 impl OpCategory {
     /// Maximum polynomial degree (in the iteration input size) of the output
     /// byte count for this category, as argued in §IV-C.
+    #[must_use]
     pub const fn max_poly_degree(self) -> u32 {
         match self {
             OpCategory::FixedOutput => 0,

@@ -35,6 +35,7 @@ impl OpCost {
 impl OpKind {
     /// Compute the cost of applying this operator to `inputs`, producing
     /// `output` (as returned by [`OpKind::infer`]).
+    #[must_use]
     pub fn cost(&self, inputs: &[TensorMeta], output: TensorMeta) -> OpCost {
         use OpKind::*;
         if self.is_view() {

@@ -177,6 +177,7 @@ pub enum ReshapeRule {
 
 impl OpKind {
     /// The paper's category for this operator.
+    #[must_use]
     pub const fn category(&self) -> OpCategory {
         use OpKind::*;
         match self {
@@ -207,6 +208,7 @@ impl OpKind {
     }
 
     /// Number of tensor inputs this operator consumes.
+    #[must_use]
     pub const fn arity(&self) -> usize {
         use OpKind::*;
         match self {
@@ -216,6 +218,7 @@ impl OpKind {
     }
 
     /// Learnable parameter count contributed by this operator.
+    #[must_use]
     pub fn param_count(&self) -> usize {
         use OpKind::*;
         match self {
@@ -239,11 +242,13 @@ impl OpKind {
     }
 
     /// True for metadata-only operators that neither compute nor save bytes.
+    #[must_use]
     pub const fn is_view(&self) -> bool {
         matches!(self, OpKind::Reshape(_) | OpKind::TransposeLast2)
     }
 
     /// Short printable mnemonic.
+    #[must_use]
     pub fn mnemonic(&self) -> &'static str {
         use OpKind::*;
         match self {

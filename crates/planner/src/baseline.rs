@@ -9,6 +9,7 @@ pub struct BaselinePolicy;
 
 impl BaselinePolicy {
     /// Create the baseline policy.
+    #[must_use]
     pub fn new() -> Self {
         BaselinePolicy
     }

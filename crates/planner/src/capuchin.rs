@@ -39,6 +39,7 @@ pub struct HybridPlan {
 
 impl HybridPlan {
     /// All-keep plan over `n` blocks.
+    #[must_use]
     pub fn keep_all(n: usize) -> Self {
         HybridPlan {
             actions: vec![BlockAction::Keep; n],
@@ -46,11 +47,13 @@ impl HybridPlan {
     }
 
     /// Number of blocks covered.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.actions.len()
     }
 
     /// True when covering zero blocks.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.actions.is_empty()
     }
@@ -58,6 +61,7 @@ impl HybridPlan {
     /// The memory-equivalent checkpoint plan: both `Recompute` and `Swap`
     /// free the block's internals between forward and backward, so the
     /// peak-memory timeline is identical to a checkpoint plan.
+    #[must_use]
     pub fn as_checkpoint_equivalent(&self) -> CheckpointPlan {
         let mut p = CheckpointPlan::none(self.actions.len());
         for (i, a) in self.actions.iter().enumerate() {
@@ -69,6 +73,7 @@ impl HybridPlan {
     }
 
     /// Count of blocks with the given action.
+    #[must_use]
     pub fn count(&self, action: BlockAction) -> usize {
         self.actions.iter().filter(|&&a| a == action).count()
     }
@@ -79,6 +84,7 @@ impl HybridPlan {
 /// One-shot query for callers holding only a [`HybridPlan`]; the planner's
 /// candidate loop instead mutates a [`ResidencyModel`] directly, so it never
 /// rebuilds the checkpoint-equivalent plan per candidate.
+#[must_use]
 pub fn peak_bytes_hybrid(profile: &ModelProfile, plan: &HybridPlan) -> usize {
     peak_bytes(profile, &plan.as_checkpoint_equivalent())
 }
@@ -94,6 +100,7 @@ pub struct CapuchinPolicy {
 impl CapuchinPolicy {
     /// Plan against `reference` under `budget`, choosing per block the
     /// cheaper of swap and recompute given `dev`'s PCIe model.
+    #[must_use]
     pub fn plan_offline(reference: &ModelProfile, budget: usize, dev: &DeviceProfile) -> Self {
         let n = reference.blocks.len();
         let mut plan = HybridPlan::keep_all(n);
@@ -145,11 +152,13 @@ impl CapuchinPolicy {
     }
 
     /// Whether the reference fits under the budget.
+    #[must_use]
     pub fn is_feasible(&self) -> bool {
         self.feasible
     }
 
     /// The hybrid plan.
+    #[must_use]
     pub fn plan(&self) -> &HybridPlan {
         &self.plan
     }

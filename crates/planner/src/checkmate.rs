@@ -96,6 +96,7 @@ fn local_search(reference: &ModelProfile, budget: usize, model: &mut ResidencyMo
 impl CheckmatePolicy {
     /// Solve offline against `reference` (the input the static graph was
     /// exported for) under `budget` bytes.
+    #[must_use]
     pub fn plan_offline(reference: &ModelProfile, budget: usize) -> Self {
         let t0 = Instant::now();
         let n = reference.blocks.len();
@@ -113,16 +114,19 @@ impl CheckmatePolicy {
     }
 
     /// Whether the reference input fits under the budget.
+    #[must_use]
     pub fn is_feasible(&self) -> bool {
         self.feasible
     }
 
     /// The static plan.
+    #[must_use]
     pub fn plan(&self) -> &CheckpointPlan {
         &self.plan
     }
 
     /// Wall-clock solve time (ns).
+    #[must_use]
     pub fn solve_time_ns(&self) -> u64 {
         self.solve_time_ns
     }

@@ -18,6 +18,7 @@ use mimose_models::ModelProfile;
 /// evicted neighbours), `bytes` its size, `staleness_ns` the time since its
 /// last access.
 #[inline]
+#[must_use]
 pub fn h_dtr(cost_ns: f64, bytes: usize, staleness_ns: u64) -> f64 {
     let denom = (bytes as f64) * (staleness_ns.max(1) as f64);
     cost_ns / denom
@@ -32,6 +33,7 @@ pub struct DtrPolicy {
 impl DtrPolicy {
     /// DTR with the given memory budget (the engine evicts when exceeding
     /// it).
+    #[must_use]
     pub fn new(budget: usize) -> Self {
         DtrPolicy { budget }
     }

@@ -33,6 +33,7 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Every variant, in the paper's comparison order.
+    #[must_use]
     pub fn all() -> [PolicyKind; 6] {
         [
             PolicyKind::Baseline,
@@ -45,6 +46,7 @@ impl PolicyKind {
     }
 
     /// Display name (matches each policy's `PlannerMeta::name`).
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             PolicyKind::Baseline => "Baseline",
@@ -57,6 +59,7 @@ impl PolicyKind {
     }
 
     /// Parse a (case-insensitive) name as printed by [`Self::name`].
+    #[must_use]
     pub fn parse(s: &str) -> Option<PolicyKind> {
         Self::all()
             .into_iter()
@@ -66,12 +69,14 @@ impl PolicyKind {
     /// Build the policy against `reference` (the profile static planners
     /// solve for — typically the dataset's worst case) under `budget`
     /// bytes, on the default V100 device. `Baseline` ignores both.
+    #[must_use]
     pub fn build(&self, reference: &ModelProfile, budget: usize) -> Box<dyn MemoryPolicy> {
         self.build_on(reference, budget, &DeviceProfile::v100())
     }
 
     /// [`Self::build`] with an explicit device (only Capuchin's swap-cost
     /// model consults it).
+    #[must_use]
     pub fn build_on(
         &self,
         reference: &ModelProfile,

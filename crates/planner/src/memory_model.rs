@@ -41,6 +41,11 @@ use mimose_models::ModelProfile;
 /// other candidate at block `i` and is independent of block `i`'s own bit,
 /// so one forward sweep suffices. [`peak_bytes_reference`] keeps the
 /// original two-pass walk as the differential-test oracle.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `plan` and `profile` disagree on block count.
 pub fn peak_bytes(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut s = profile.const_bytes + profile.input_bytes; // base + S(i)
@@ -59,6 +64,11 @@ pub fn peak_bytes(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
 /// the reference oracle for the differential property tests that pin the
 /// incremental [`crate::ResidencyModel`] (and the closed-form rewrite) to
 /// the executor-validated semantics.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `plan` and `profile` disagree on block count.
 pub fn peak_bytes_reference(profile: &ModelProfile, plan: &CheckpointPlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut resident = profile.const_bytes + profile.input_bytes;
@@ -100,6 +110,11 @@ pub fn peak_bytes_reference(profile: &ModelProfile, plan: &CheckpointPlan) -> us
 /// `debug_assertions` or `MIMOSE_SHADOW_CHECK=1`) compares the allocator's
 /// live-byte count against this curve at every boundary, so the analytic
 /// model and the engine cannot silently drift apart.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `plan` and `profile` disagree on block count.
 pub fn resident_curve(profile: &ModelProfile, plan: &CheckpointPlan) -> Vec<usize> {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let n = profile.blocks.len();
@@ -138,6 +153,7 @@ pub struct FinePlan {
 
 impl FinePlan {
     /// Nothing dropped.
+    #[must_use]
     pub fn none(n: usize) -> Self {
         FinePlan {
             dropped_bytes: vec![0; n],
@@ -146,16 +162,19 @@ impl FinePlan {
     }
 
     /// Number of blocks covered.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.dropped_bytes.len()
     }
 
     /// True when covering zero blocks.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.dropped_bytes.is_empty()
     }
 
     /// Total recompute FLOPs.
+    #[must_use]
     pub fn total_recompute_flops(&self) -> f64 {
         self.recompute_flops.iter().sum()
     }
@@ -169,6 +188,11 @@ impl FinePlan {
 /// candidate at block `i` is again `S(i) + act_i + 2·out_i + in_i` with
 /// `S(i) = Σ_{j<i} (act_j − dropped_j + out_j)`. The original walk survives
 /// as [`peak_bytes_fine_reference`].
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `plan` and `profile` disagree on block count.
 pub fn peak_bytes_fine(profile: &ModelProfile, plan: &FinePlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut s = profile.const_bytes + profile.input_bytes; // base + S(i)
@@ -183,6 +207,11 @@ pub fn peak_bytes_fine(profile: &ModelProfile, plan: &FinePlan) -> usize {
 
 /// The original two-pass walk of [`peak_bytes_fine`], kept as the
 /// differential-test oracle for tensor-granular plans.
+#[must_use]
+///
+/// # Panics
+///
+/// Panics when `plan` and `profile` disagree on block count.
 pub fn peak_bytes_fine_reference(profile: &ModelProfile, plan: &FinePlan) -> usize {
     assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
     let mut resident = profile.const_bytes + profile.input_bytes;
@@ -203,23 +232,27 @@ pub fn peak_bytes_fine_reference(profile: &ModelProfile, plan: &FinePlan) -> usi
 }
 
 /// Extra forward FLOPs spent on recomputation under `plan`.
+#[must_use]
 pub fn recompute_flops(profile: &ModelProfile, plan: &CheckpointPlan) -> f64 {
     plan.indices().map(|i| profile.blocks[i].fwd_flops).sum()
 }
 
 /// Total compute FLOPs of one iteration under `plan` (forward + backward +
 /// recomputation).
+#[must_use]
 pub fn total_flops(profile: &ModelProfile, plan: &CheckpointPlan) -> f64 {
     profile.total_fwd_flops() + profile.total_bwd_flops() + recompute_flops(profile, plan)
 }
 
 /// Whether `plan` fits `budget` under the analytic model.
+#[must_use]
 pub fn fits(profile: &ModelProfile, plan: &CheckpointPlan, budget: usize) -> bool {
     peak_bytes(profile, plan) <= budget
 }
 
 /// The smallest budget any plan can satisfy for this profile (everything
 /// checkpointed) — the paper's lower "★" marker in Fig 10.
+#[must_use]
 pub fn min_feasible_budget(profile: &ModelProfile) -> usize {
     peak_bytes(profile, &CheckpointPlan::all(profile.blocks.len()))
 }

@@ -49,6 +49,7 @@ fn apply(plan: &mut FinePlan, model: &mut ResidencyModel, c: &Candidate, on: boo
 
 impl MonetPolicy {
     /// Solve offline against `reference` under `budget` bytes.
+    #[must_use]
     pub fn plan_offline(reference: &ModelProfile, budget: usize) -> Self {
         let t0 = Instant::now();
         let n = reference.blocks.len();
@@ -117,16 +118,19 @@ impl MonetPolicy {
     }
 
     /// Whether the reference input fits under the budget.
+    #[must_use]
     pub fn is_feasible(&self) -> bool {
         self.feasible
     }
 
     /// The static tensor-granular plan.
+    #[must_use]
     pub fn plan(&self) -> &FinePlan {
         &self.plan
     }
 
     /// Wall-clock solve time (ns).
+    #[must_use]
     pub fn solve_time_ns(&self) -> u64 {
         self.solve_time_ns
     }

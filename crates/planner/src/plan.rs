@@ -33,6 +33,7 @@ pub struct CheckpointPlan {
 
 impl CheckpointPlan {
     /// A plan over `n` blocks with nothing checkpointed.
+    #[must_use]
     pub fn none(n: usize) -> Self {
         CheckpointPlan {
             drop: vec![false; n],
@@ -40,6 +41,7 @@ impl CheckpointPlan {
     }
 
     /// A plan over `n` blocks with everything checkpointed.
+    #[must_use]
     pub fn all(n: usize) -> Self {
         CheckpointPlan {
             drop: vec![true; n],
@@ -63,11 +65,13 @@ impl CheckpointPlan {
     }
 
     /// Number of blocks the plan covers.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.drop.len()
     }
 
     /// True when the plan covers zero blocks.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.drop.is_empty()
     }
@@ -78,6 +82,7 @@ impl CheckpointPlan {
     /// Panics when `i >= self.len()`; use [`CheckpointPlan::get`] for a
     /// non-panicking lookup.
     #[inline]
+    #[must_use]
     pub fn is_checkpointed(&self, i: usize) -> bool {
         debug_assert!(
             i < self.drop.len(),
@@ -89,6 +94,7 @@ impl CheckpointPlan {
 
     /// Whether block `i` is checkpointed, or `None` when `i` is out of range.
     #[inline]
+    #[must_use]
     pub fn get(&self, i: usize) -> Option<bool> {
         self.drop.get(i).copied()
     }
@@ -122,6 +128,7 @@ impl CheckpointPlan {
     }
 
     /// Number of checkpointed blocks.
+    #[must_use]
     pub fn count(&self) -> usize {
         self.drop.iter().filter(|&&d| d).count()
     }

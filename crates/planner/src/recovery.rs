@@ -43,6 +43,7 @@ pub enum RecoveryRung {
 
 impl RecoveryRung {
     /// Short lower-case name for tables and JSON.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             RecoveryRung::CoalesceRetry => "coalesce-retry",
@@ -88,6 +89,7 @@ pub struct RecoveryEvent {
 
 impl RecoveryEvent {
     /// Render as a single JSON object (no external dependencies).
+    #[must_use]
     pub fn to_json(&self) -> String {
         format!(
             "{{\"rung\":\"{}\",\"attempt\":{},\"phase\":\"{}\",\"requested\":{},\

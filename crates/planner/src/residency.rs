@@ -209,6 +209,11 @@ pub struct ResidencyModel {
 
 impl ResidencyModel {
     /// Build from a block-granular checkpoint plan. O(L).
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan` and `profile` disagree on block count.
     pub fn from_plan(profile: &ModelProfile, plan: &CheckpointPlan) -> Self {
         assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
         let kept: Vec<usize> = profile
@@ -229,6 +234,11 @@ impl ResidencyModel {
 
     /// Build from a tensor-granular plan: block `i` keeps
     /// `act_i − dropped_i` internal bytes. O(L).
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan` and `profile` disagree on block count.
     pub fn from_fine(profile: &ModelProfile, plan: &FinePlan) -> Self {
         assert_eq!(profile.blocks.len(), plan.len(), "plan/model size mismatch");
         let kept: Vec<usize> = profile
@@ -266,16 +276,19 @@ impl ResidencyModel {
     }
 
     /// Number of blocks covered.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.act.len()
     }
 
     /// True when covering zero blocks.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.act.is_empty()
     }
 
     /// Exact peak resident bytes for the current state. O(1).
+    #[must_use]
     pub fn peak(&self) -> usize {
         if self.is_empty() {
             return self.base;
@@ -286,26 +299,31 @@ impl ResidencyModel {
     }
 
     /// Whether the current state fits under `budget` bytes. O(1).
+    #[must_use]
     pub fn fits(&self, budget: usize) -> bool {
         self.peak() <= budget
     }
 
     /// Whether block `i` is checkpointed.
+    #[must_use]
     pub fn is_checkpointed(&self, i: usize) -> bool {
         self.ckpt[i]
     }
 
     /// Internal bytes block `i` currently keeps resident.
+    #[must_use]
     pub fn kept_bytes(&self, i: usize) -> usize {
         self.kept[i]
     }
 
     /// Internal bytes block `i` currently drops (recomputed in backward).
+    #[must_use]
     pub fn dropped_bytes(&self, i: usize) -> usize {
         self.act[i] - self.kept[i]
     }
 
     /// Number of checkpointed blocks.
+    #[must_use]
     pub fn count_checkpointed(&self) -> usize {
         self.ckpt.iter().filter(|&&c| c).count()
     }
@@ -313,6 +331,7 @@ impl ResidencyModel {
     /// Exact block-granular recompute FLOPs: the sum of `fwd_flops` over
     /// checkpointed blocks, recomputed from scratch (O(L)) so repeated flips
     /// can never accumulate floating-point residue.
+    #[must_use]
     pub fn recompute_flops(&self) -> f64 {
         self.ckpt
             .iter()
@@ -322,6 +341,7 @@ impl ResidencyModel {
     }
 
     /// Extract the current block-granular plan. O(L).
+    #[must_use]
     pub fn to_plan(&self) -> CheckpointPlan {
         let mut plan = CheckpointPlan::none(self.len());
         for (i, &c) in self.ckpt.iter().enumerate() {
@@ -357,6 +377,7 @@ impl ResidencyModel {
     /// probes (prune/sweep passes) should ask this first and only mutate on
     /// accept — a rejected probe then costs one read-only descent instead of
     /// a mutate + undo pair.
+    #[must_use]
     pub fn peak_if_kept(&self, i: usize, new_kept: usize) -> usize {
         let delta = new_kept.min(self.act[i]) as i64 - self.kept[i] as i64;
         if delta == 0 || i + 1 >= self.len() {
@@ -370,12 +391,14 @@ impl ResidencyModel {
     }
 
     /// Peak if block `i`'s checkpoint bit were `on`. Non-mutating, O(log L).
+    #[must_use]
     pub fn peak_if_checkpointed(&self, i: usize, on: bool) -> usize {
         self.peak_if_kept(i, if on { 0 } else { self.act[i] })
     }
 
     /// Peak if block `i` dropped `dropped` internal bytes (clamped to
     /// `act_i`). Non-mutating, O(log L).
+    #[must_use]
     pub fn peak_if_dropped(&self, i: usize, dropped: usize) -> usize {
         self.peak_if_kept(i, self.act[i] - dropped.min(self.act[i]))
     }
@@ -413,6 +436,7 @@ impl ResidencyModel {
     }
 
     /// Savepoint for [`undo_to`](Self::undo_to).
+    #[must_use]
     pub fn mark(&self) -> Mark {
         Mark(self.journal.len())
     }

@@ -22,6 +22,7 @@ pub struct SublinearPolicy {
 impl SublinearPolicy {
     /// Plan offline for `worst` (the largest input the dataset can collate)
     /// under `budget` bytes.
+    #[must_use]
     pub fn plan_offline(worst: &ModelProfile, budget: usize) -> Self {
         let n = worst.blocks.len();
         // Greedy over segments: repeatedly checkpoint the block with the
@@ -48,11 +49,13 @@ impl SublinearPolicy {
     }
 
     /// Whether the offline plan satisfies the budget for the worst case.
+    #[must_use]
     pub fn is_feasible(&self) -> bool {
         self.feasible
     }
 
     /// The static plan.
+    #[must_use]
     pub fn plan(&self) -> &CheckpointPlan {
         &self.plan
     }

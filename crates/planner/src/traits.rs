@@ -154,6 +154,7 @@ pub trait MemoryPolicy: Send {
 }
 
 /// Helper: the collated input of a profile (convenience for policies).
+#[must_use]
 pub fn input_of(profile: &ModelProfile) -> ModelInput {
     profile.input
 }

@@ -102,6 +102,7 @@ impl<'a> EngineCore<'a> {
 
     /// Current virtual time in ns.
     #[inline]
+    #[must_use]
     pub fn now_ns(&self) -> u64 {
         self.clock.now().0
     }
@@ -224,6 +225,7 @@ impl<'a> EngineCore<'a> {
     /// arena operation performed, and assemble the report from the arena's
     /// watermarks. Returns the arena alongside so traced callers can read
     /// its final statistics.
+    #[must_use]
     pub fn finish(mut self, meta: ReportMeta) -> (IterationReport, Arena) {
         let stats = self.arena.stats();
         let alloc_ns = ((stats.allocs + stats.frees) as f64 * self.dev.alloc_ns) as u64;

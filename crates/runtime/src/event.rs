@@ -132,6 +132,7 @@ impl ExecEvent {
     /// The allocator-level [`TraceEvent`] this event corresponds to, if
     /// any. Projecting a stream through this function yields exactly the
     /// trace the arena itself would have recorded with tracing enabled.
+    #[must_use]
     pub fn to_trace_event(&self) -> Option<TraceEvent> {
         match *self {
             ExecEvent::Alloc {
@@ -191,6 +192,7 @@ pub struct EventLog {
 
 impl EventLog {
     /// Empty log.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }

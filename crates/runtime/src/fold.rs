@@ -49,6 +49,7 @@ pub struct EventFold {
 impl EventFold {
     /// The report's `peak_extent` field: extent and footprint watermarks
     /// are folded together exactly as the engines do at finish.
+    #[must_use]
     pub fn report_extent(&self) -> usize {
         self.peak_extent.max(self.peak_footprint)
     }
@@ -66,6 +67,7 @@ fn largest_gap(live: &BTreeMap<usize, usize>, capacity: usize) -> usize {
 }
 
 /// Replay `events` over an arena of `capacity` bytes.
+#[must_use]
 pub fn fold_events(capacity: usize, events: &[ExecEvent]) -> EventFold {
     let mut f = EventFold::default();
     // Live ranges by start address; disjoint by construction of the stream.

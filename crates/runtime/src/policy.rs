@@ -31,6 +31,7 @@ pub struct AllocSite {
 
 impl AllocSite {
     /// A site with no executing block (const/input setup).
+    #[must_use]
     pub fn setup(phase: &'static str) -> Self {
         AllocSite {
             phase,
@@ -55,6 +56,7 @@ pub enum AllocFail {
 
 impl AllocFail {
     /// Bytes the failed request asked for.
+    #[must_use]
     pub fn requested(&self) -> usize {
         match *self {
             AllocFail::Oom(e) => e.requested,
@@ -65,6 +67,7 @@ impl AllocFail {
     /// Shape the failure into the shared report schema. `Oom` keeps the
     /// allocator's own free-space snapshot; `NoVictim` never reached the
     /// allocator, so the arena's current picture is sampled instead.
+    #[must_use]
     pub fn to_report(&self, arena: &Arena, phase: &'static str) -> OomReport {
         match self {
             AllocFail::Oom(e) => OomReport::from_error(e, phase),

@@ -26,6 +26,7 @@ impl OomReport {
     /// Build a report from the allocator's own error. This is *the* way
     /// every engine shapes its OOM reports, so audit/exp consumers see one
     /// schema regardless of which engine failed.
+    #[must_use]
     pub fn from_error(e: &OomError, phase: &'static str) -> Self {
         OomReport {
             requested: e.requested,
@@ -38,6 +39,7 @@ impl OomReport {
     /// Build a report for a failure detected *outside* the allocator (e.g.
     /// a budget check that never reached `alloc`), sampling the arena's
     /// current free-space picture.
+    #[must_use]
     pub fn from_arena(arena: &Arena, requested: usize, phase: &'static str) -> Self {
         OomReport {
             requested,
@@ -49,6 +51,7 @@ impl OomReport {
 
     /// True when the failure is due to fragmentation rather than genuine
     /// exhaustion (mirrors [`OomError::is_fragmentation`]).
+    #[must_use]
     pub fn is_fragmentation(&self) -> bool {
         self.free_bytes >= self.requested
     }
@@ -77,6 +80,7 @@ pub struct TimeBreakdown {
 
 impl TimeBreakdown {
     /// Total iteration time, ns.
+    #[must_use]
     pub fn total_ns(&self) -> u64 {
         self.compute_ns
             + self.recompute_ns
@@ -88,6 +92,7 @@ impl TimeBreakdown {
     }
 
     /// Fraction of the iteration spent outside useful compute.
+    #[must_use]
     pub fn overhead_fraction(&self) -> f64 {
         let t = self.total_ns();
         if t == 0 {
@@ -139,11 +144,13 @@ pub struct IterationReport {
 
 impl IterationReport {
     /// Whether the iteration completed within budget.
+    #[must_use]
     pub fn ok(&self) -> bool {
         self.oom.is_none()
     }
 
     /// Whether the iteration completed only thanks to the recovery ladder.
+    #[must_use]
     pub fn recovered(&self) -> bool {
         self.ok() && !self.recovery.is_empty()
     }
@@ -196,6 +203,7 @@ impl RunSummary {
     }
 
     /// Mean iteration time in ns.
+    #[must_use]
     pub fn mean_iter_ns(&self) -> u64 {
         if self.iters == 0 {
             0

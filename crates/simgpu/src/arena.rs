@@ -30,6 +30,7 @@ pub const ARENA_ALIGN: usize = 512;
 /// Saturates near `usize::MAX` instead of overflowing: the result is always
 /// a multiple of `ARENA_ALIGN`.
 #[inline]
+#[must_use]
 pub fn align_up(bytes: usize) -> usize {
     (bytes.saturating_add(ARENA_ALIGN - 1) & !(ARENA_ALIGN - 1)).max(ARENA_ALIGN)
 }
@@ -54,6 +55,7 @@ pub struct AllocId(u64);
 
 impl AllocId {
     /// The raw id value (stable within one arena; used by trace tooling).
+    #[must_use]
     pub fn raw(self) -> u64 {
         self.0
     }
@@ -61,6 +63,7 @@ impl AllocId {
     /// Rebuild an id from its raw value. Only meaningful for trace tooling
     /// (replaying or synthesizing [`TraceEvent`] streams); passing a
     /// fabricated id to [`Arena::free`] is a simulator bug.
+    #[must_use]
     pub fn from_raw(raw: u64) -> Self {
         AllocId(raw)
     }
@@ -154,6 +157,7 @@ impl OomError {
     /// only be cured by freeing more bytes. `requested` is the *aligned*
     /// request, so a caller asking for `free_bytes` exactly can still see
     /// a genuine-exhaustion OOM after rounding.
+    #[must_use]
     pub fn is_fragmentation(&self) -> bool {
         self.free_bytes >= self.requested
     }
@@ -241,11 +245,13 @@ pub struct Arena {
 
 impl Arena {
     /// Create a first-fit arena of `capacity` bytes.
+    #[must_use]
     pub fn new(capacity: usize) -> Self {
         Arena::with_policy(capacity, AllocPolicy::FirstFit)
     }
 
     /// Create an arena with an explicit fit policy.
+    #[must_use]
     pub fn with_policy(capacity: usize, policy: AllocPolicy) -> Self {
         let mut free = BTreeMap::new();
         let mut free_by_size = BTreeMap::new();
@@ -290,6 +296,7 @@ impl Arena {
     }
 
     /// The recorded events so far, if tracing is enabled.
+    #[must_use]
     pub fn trace(&self) -> Option<&[TraceEvent]> {
         self.trace.as_deref()
     }
@@ -304,21 +311,25 @@ impl Arena {
     }
 
     /// The arena's fit policy.
+    #[must_use]
     pub fn policy(&self) -> AllocPolicy {
         self.policy
     }
 
     /// Arena capacity in bytes.
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Bytes currently allocated.
+    #[must_use]
     pub fn used_bytes(&self) -> usize {
         self.used
     }
 
     /// Bytes currently free.
+    #[must_use]
     pub fn free_bytes(&self) -> usize {
         self.capacity - self.used
     }
@@ -326,6 +337,7 @@ impl Arena {
     /// Largest contiguous free range. O(log n) via the size index (this is
     /// on the allocation fast path: the fragmentation watermarks sample it
     /// after every successful carve).
+    #[must_use]
     pub fn largest_free(&self) -> usize {
         self.free_by_size
             .last_key_value()
@@ -335,22 +347,26 @@ impl Arena {
 
     /// Free bytes that cannot satisfy a request the size of the largest
     /// contiguous range — the fragmentation measure reported in Fig 5/§VI-B.
+    #[must_use]
     pub fn fragmentation_bytes(&self) -> usize {
         self.free_bytes() - self.largest_free()
     }
 
     /// Statistics snapshot.
+    #[must_use]
     pub fn stats(&self) -> ArenaStats {
         self.stats
     }
 
     /// Number of live allocations.
+    #[must_use]
     pub fn live_count(&self) -> usize {
         self.live.len()
     }
 
     /// Whether a request of `bytes` (unaligned) would currently succeed.
     /// O(log n): any fitting range exists iff the largest one fits.
+    #[must_use]
     pub fn would_fit(&self, bytes: usize) -> bool {
         self.largest_free() >= Self::aligned(bytes)
     }
@@ -522,12 +538,14 @@ impl Arena {
     }
 
     /// Size (aligned) of a live allocation.
+    #[must_use]
     pub fn size_of(&self, id: AllocId) -> Option<usize> {
         self.live.get(&id).map(|&(_, len)| len)
     }
 
     /// `(offset, aligned size)` of a live allocation. `None` when `id` is
     /// not live. Offsets are only stable until the next [`Arena::compact`].
+    #[must_use]
     pub fn range_of(&self, id: AllocId) -> Option<(usize, usize)> {
         self.live.get(&id).copied()
     }
@@ -596,11 +614,13 @@ impl Arena {
 
     /// Total `alloc` calls made on this arena so far (successful, failed,
     /// or injected).
+    #[must_use]
     pub fn alloc_attempts(&self) -> u64 {
         self.alloc_attempts
     }
 
     /// Number of armed spurious failures that have not fired yet.
+    #[must_use]
     pub fn pending_injected_failures(&self) -> usize {
         self.fail_attempts.len()
     }

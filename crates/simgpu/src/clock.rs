@@ -11,6 +11,7 @@ pub struct VirtualTime(pub u64);
 impl VirtualTime {
     /// Duration since `earlier`.
     #[inline]
+    #[must_use]
     pub fn since(self, earlier: VirtualTime) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
@@ -24,12 +25,14 @@ pub struct VirtualClock {
 
 impl VirtualClock {
     /// New clock at t=0.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Current virtual time.
     #[inline]
+    #[must_use]
     pub fn now(&self) -> VirtualTime {
         self.now
     }

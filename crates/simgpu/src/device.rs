@@ -39,6 +39,7 @@ pub struct DeviceProfile {
 
 impl DeviceProfile {
     /// V100-16GB calibration used throughout the evaluation.
+    #[must_use]
     pub fn v100() -> Self {
         DeviceProfile {
             flops_per_sec: 6.0e12,
@@ -55,6 +56,7 @@ impl DeviceProfile {
 
     /// Non-overlapped time of transferring `bytes` over PCIe, in ns.
     #[inline]
+    #[must_use]
     pub fn swap_ns(&self, bytes: usize) -> f64 {
         bytes as f64 / self.pcie_bytes_per_sec * 1e9 * (1.0 - self.swap_overlap)
     }
@@ -62,6 +64,7 @@ impl DeviceProfile {
     /// A100-40GB calibration: ~3x the V100's sustained compute and ~2.4x
     /// the memory bandwidth, NVLink-class host link on SXM boards. Used by
     /// the device-sensitivity extension experiment.
+    #[must_use]
     pub fn a100() -> Self {
         DeviceProfile {
             flops_per_sec: 1.8e13,
@@ -78,6 +81,7 @@ impl DeviceProfile {
 
     /// Roofline execution time for a kernel with the given work.
     #[inline]
+    #[must_use]
     pub fn exec_ns(&self, flops: f64, bytes_moved: usize) -> f64 {
         let compute = flops / self.flops_per_sec * 1e9;
         let memory = bytes_moved as f64 / self.bytes_per_sec * 1e9;

@@ -25,6 +25,7 @@ pub enum DType {
 impl DType {
     /// Storage width of one element in bytes.
     #[inline]
+    #[must_use]
     pub const fn size_bytes(self) -> usize {
         match self {
             DType::F32 | DType::I32 => 4,
@@ -36,6 +37,7 @@ impl DType {
 
     /// True for floating-point types.
     #[inline]
+    #[must_use]
     pub const fn is_float(self) -> bool {
         matches!(self, DType::F32 | DType::F16 | DType::BF16)
     }

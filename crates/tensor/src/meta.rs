@@ -29,6 +29,7 @@ impl TensorMeta {
 
     /// Number of elements.
     #[inline]
+    #[must_use]
     pub fn elems(&self) -> usize {
         self.shape.elems()
     }
@@ -36,6 +37,7 @@ impl TensorMeta {
     /// Storage footprint in bytes (unaligned; allocator alignment is applied
     /// by the memory simulator, not here).
     #[inline]
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.elems() * self.dtype.size_bytes()
     }
@@ -51,6 +53,7 @@ impl std::fmt::Display for TensorMeta {
 /// caching allocator (512 B), which the paper's memory numbers implicitly
 /// include.
 #[inline]
+#[must_use]
 pub fn aligned_bytes(bytes: usize, align: usize) -> usize {
     debug_assert!(align.is_power_of_two());
     (bytes + align - 1) & !(align - 1)

@@ -21,6 +21,7 @@ impl Shape {
     /// # Panics
     /// Panics if `dims.len() > MAX_RANK`.
     #[inline]
+    #[must_use]
     pub fn new(dims: &[usize]) -> Self {
         assert!(
             dims.len() <= MAX_RANK,
@@ -38,24 +39,28 @@ impl Shape {
 
     /// A scalar (rank-0) shape.
     #[inline]
+    #[must_use]
     pub fn scalar() -> Self {
         Shape::new(&[])
     }
 
     /// Dimensions as a slice.
     #[inline]
+    #[must_use]
     pub fn dims(&self) -> &[usize] {
         &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions.
     #[inline]
+    #[must_use]
     pub fn rank(&self) -> usize {
         self.rank as usize
     }
 
     /// Total number of elements (product of dims, 1 for scalars).
     #[inline]
+    #[must_use]
     pub fn elems(&self) -> usize {
         self.dims().iter().product()
     }
@@ -65,6 +70,7 @@ impl Shape {
     /// # Panics
     /// Panics if `idx >= rank`.
     #[inline]
+    #[must_use]
     pub fn back(&self, idx: usize) -> usize {
         let r = self.rank();
         assert!(idx < r, "back({idx}) out of range for rank {r}");
@@ -73,6 +79,11 @@ impl Shape {
 
     /// Returns a copy with the trailing dimension replaced.
     #[inline]
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a scalar (rank-0) shape.
     pub fn with_last(&self, dim: usize) -> Self {
         let mut out = *self;
         let r = self.rank();
@@ -83,6 +94,11 @@ impl Shape {
 
     /// Returns a copy with one more trailing dimension appended.
     #[inline]
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is already at `MAX_RANK`.
     pub fn push_back(&self, dim: usize) -> Self {
         let r = self.rank();
         assert!(r < MAX_RANK, "push_back beyond MAX_RANK");
@@ -94,6 +110,11 @@ impl Shape {
 
     /// Returns a copy with the trailing dimension removed.
     #[inline]
+    #[must_use]
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a scalar (rank-0) shape.
     pub fn pop_back(&self) -> Self {
         let r = self.rank();
         assert!(r > 0, "pop_back on scalar shape");
@@ -107,6 +128,7 @@ impl Shape {
     /// model broadcasting beyond identical shapes since every graph we build
     /// uses explicit shapes).
     #[inline]
+    #[must_use]
     pub fn same_as(&self, other: &Shape) -> bool {
         self == other
     }

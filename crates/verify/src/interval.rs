@@ -1,0 +1,498 @@
+//! Interval-domain abstract interpretation for peak residency.
+//!
+//! The abstract state is an *envelope profile*: the block-wise join (per-byte
+//! channel maximum) of concrete profiles evaluated across an input-size
+//! bucket `[lo, hi]`. Because every peak model in `mimose-planner` is
+//! monotone in each per-block byte figure (`peak = base + max_i (S(i) +
+//! act_i + 2·out_i + in_i)` — sums and maxes of the inputs), evaluating it on
+//! the join yields a sound upper bound over everything the envelope covers.
+//! The transfer function for checkpointing decisions is the residency
+//! segment-tree's `peak_if_*` what-if queries, applied bit by bit.
+
+use std::hash::{Hash, Hasher};
+
+use mimose_models::{ModelProfile, ALLOC_ALIGN};
+use mimose_planner::{peak_bytes_hybrid, CheckpointPlan, HybridPlan, ResidencyModel};
+
+use mimose_planner::memory_model::{peak_bytes_fine, FinePlan};
+
+/// A quantized input-size bucket `[lo, hi]`, both ends inclusive — the
+/// concretisation of one plan-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SizeBucket {
+    /// Smallest input size the bucket covers.
+    pub lo: usize,
+    /// Largest input size the bucket covers.
+    pub hi: usize,
+}
+
+impl SizeBucket {
+    /// Bucket covering `[lo, hi]` (swapping the ends if reversed).
+    #[must_use]
+    pub fn new(lo: usize, hi: usize) -> Self {
+        SizeBucket {
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+
+    /// Whether `input_size` lies inside the bucket.
+    #[must_use]
+    pub fn contains(&self, input_size: usize) -> bool {
+        self.lo <= input_size && input_size <= self.hi
+    }
+}
+
+impl std::fmt::Display for SizeBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Proof that a specific plan stays under a peak-residency bound for every
+/// input size in a bucket. `plan_hash` ties the certificate to the exact
+/// plan it was derived for, so a cache or admission hit can check validity
+/// in O(1): `covers(x) && fits(budget) && matches_hash(h)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafetyCertificate {
+    /// Input-size range the bound holds for.
+    pub bucket: SizeBucket,
+    /// Sound upper bound on peak resident bytes across the bucket.
+    pub peak_upper_bound: usize,
+    /// Largest single allocation the certified execution can request, in
+    /// granule-rounded bytes. Feeds the fragmentation headroom of
+    /// [`arena_capacity`](Self::arena_capacity).
+    pub largest_alloc: usize,
+    /// Hash of the certified plan (see [`plan_hash`]).
+    pub plan_hash: u64,
+}
+
+impl SafetyCertificate {
+    /// Whether the certificate's bucket contains `input_size`.
+    #[must_use]
+    pub fn covers(&self, input_size: usize) -> bool {
+        self.bucket.contains(input_size)
+    }
+
+    /// Whether the certified bound fits under `budget` bytes.
+    #[must_use]
+    pub fn fits(&self, budget: usize) -> bool {
+        self.peak_upper_bound <= budget
+    }
+
+    /// Arena bytes sufficient to execute the certified plan without
+    /// fragmentation-induced OOM: the logical bound, plus the 2 % allocator
+    /// headroom the planner factory already grants exact-budget plans, plus
+    /// one largest-single-allocation. `peak_upper_bound` bounds *logical*
+    /// residency exactly; a real arena additionally fragments its address
+    /// space depending on allocation order, which no byte-count analysis can
+    /// bound tightly. The largest-allocation term covers the worst hole: a
+    /// first-fit arena only fails a request when no free region is large
+    /// enough, and extending capacity extends the top free region
+    /// contiguously, so one extra largest-allocation of space heals any
+    /// single unsatisfiable request the logical bound permits.
+    #[must_use]
+    pub fn arena_capacity(&self) -> usize {
+        self.peak_upper_bound + self.peak_upper_bound / 50 + self.largest_alloc
+    }
+
+    /// Whether the certificate was issued for a plan hashing to `hash`.
+    #[must_use]
+    pub fn matches_hash(&self, hash: u64) -> bool {
+        self.plan_hash == hash
+    }
+
+    /// Whether the certificate was issued for exactly `plan`.
+    #[must_use]
+    pub fn matches_plan(&self, plan: &CheckpointPlan) -> bool {
+        self.plan_hash == plan_hash(plan)
+    }
+}
+
+impl std::fmt::Display for SafetyCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cert{{bucket: {}, peak ≤ {} B, plan: {:#018x}}}",
+            self.bucket, self.peak_upper_bound, self.plan_hash
+        )
+    }
+}
+
+/// Why certification failed. The bound is still reported so callers can
+/// measure false-reject rates against dynamic replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// No envelope profiles were supplied.
+    EmptyEnvelope,
+    /// Envelope profiles or the plan disagree on block count.
+    ShapeMismatch {
+        /// Block count expected (from the first envelope profile).
+        expected: usize,
+        /// Mismatching block count found.
+        got: usize,
+    },
+    /// The sound bound exceeds the budget; the plan is not certifiable for
+    /// the whole bucket (it may still fit at individual sizes).
+    BudgetExceeded {
+        /// The sound upper bound computed.
+        bound: usize,
+        /// The budget it had to fit under.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::EmptyEnvelope => write!(f, "no envelope profiles supplied"),
+            CertifyError::ShapeMismatch { expected, got } => {
+                write!(f, "block-count mismatch: expected {expected}, got {got}")
+            }
+            CertifyError::BudgetExceeded { bound, budget } => {
+                write!(f, "sound peak bound {bound} B exceeds budget {budget} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Stable hash of a checkpoint plan (SipHash over the drop mask).
+#[must_use]
+pub fn plan_hash(plan: &CheckpointPlan) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    plan.hash(&mut h);
+    h.finish()
+}
+
+/// Stable hash of a tensor-granular plan (byte counts + FLOP bit patterns).
+#[must_use]
+pub fn fine_plan_hash(plan: &FinePlan) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    plan.dropped_bytes.hash(&mut h);
+    for f in &plan.recompute_flops {
+        f.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Stable hash of a hybrid plan (memory-wise it is its checkpoint
+/// equivalent, but swap/recompute choices are distinguished).
+#[must_use]
+pub fn hybrid_plan_hash(plan: &HybridPlan) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for a in &plan.actions {
+        (*a as u8).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Round a byte figure up to the allocator granule, minimum one granule —
+/// the arena's accounting for any allocation it actually makes.
+fn granule(bytes: usize) -> usize {
+    bytes
+        .saturating_add(ALLOC_ALIGN - 1)
+        .div_euclid(ALLOC_ALIGN)
+        .saturating_mul(ALLOC_ALIGN)
+        .max(ALLOC_ALIGN)
+}
+
+/// Join a non-empty envelope of concrete profiles into the abstract state:
+/// per block the channel-wise byte maximum, plus the maxima of the constant
+/// and input footprints. Evaluating any monotone peak model on the join
+/// soundly bounds its value on every member of the envelope.
+///
+/// The join's byte figures are rounded to the allocator granule: the arena
+/// rounds every allocation up to the 512 B granule (minimum one granule),
+/// and while profiling pre-aligns per-block tensor figures, the constant,
+/// input and boundary-output footprints are allocated from their raw sizes.
+/// Rounding here makes the abstract state dominate the bytes the arena
+/// *accounts*, not just the bytes requested — without it a certificate can
+/// be a few hundred bytes short of what replay actually consumes.
+pub fn join_envelope(envelope: &[ModelProfile]) -> Result<ModelProfile, CertifyError> {
+    let Some(first) = envelope.first() else {
+        return Err(CertifyError::EmptyEnvelope);
+    };
+    let n = first.blocks.len();
+    let mut join = first.clone();
+    for p in &envelope[1..] {
+        if p.blocks.len() != n {
+            return Err(CertifyError::ShapeMismatch {
+                expected: n,
+                got: p.blocks.len(),
+            });
+        }
+        join.const_bytes = join.const_bytes.max(p.const_bytes);
+        join.input_bytes = join.input_bytes.max(p.input_bytes);
+        join.input_size = join.input_size.max(p.input_size);
+        for (jb, pb) in join.blocks.iter_mut().zip(&p.blocks) {
+            jb.act_bytes = jb.act_bytes.max(pb.act_bytes);
+            jb.out_bytes = jb.out_bytes.max(pb.out_bytes);
+            jb.in_bytes = jb.in_bytes.max(pb.in_bytes);
+            jb.fwd_flops = jb.fwd_flops.max(pb.fwd_flops);
+            jb.bwd_flops = jb.bwd_flops.max(pb.bwd_flops);
+        }
+    }
+    // Granule rounding (see above): the channels the engine allocates as
+    // single raw-sized allocations get the arena's min-one-granule rule; the
+    // activation channel is a sum of already-aligned tensors, so a plain
+    // round-up suffices and zero stays zero.
+    join.const_bytes = granule(join.const_bytes);
+    join.input_bytes = granule(join.input_bytes);
+    for jb in join.blocks.iter_mut() {
+        jb.out_bytes = granule(jb.out_bytes);
+        if jb.act_bytes > 0 {
+            jb.act_bytes = granule(jb.act_bytes);
+        }
+        if jb.in_bytes > 0 {
+            jb.in_bytes = granule(jb.in_bytes);
+        }
+    }
+    Ok(join)
+}
+
+/// Largest single allocation the engine can request when executing the
+/// joined profile: the constant and input footprints plus every per-block
+/// channel (activations, boundary output, boundary input — gradients are
+/// output-sized). Expects a granule-rounded join.
+fn largest_alloc(join: &ModelProfile) -> usize {
+    let blocks = join
+        .blocks
+        .iter()
+        .map(|b| b.act_bytes.max(b.out_bytes).max(b.in_bytes))
+        .max()
+        .unwrap_or(0);
+    join.const_bytes.max(join.input_bytes).max(blocks)
+}
+
+/// Sound upper bound on peak resident bytes for `plan` across `envelope`,
+/// computed by abstract interpretation: start from the all-kept state on the
+/// joined profile and apply each checkpoint bit through the residency
+/// tree's `peak_if_checkpointed` what-if transfer function.
+pub fn peak_upper_bound(
+    envelope: &[ModelProfile],
+    plan: &CheckpointPlan,
+) -> Result<usize, CertifyError> {
+    let join = join_envelope(envelope)?;
+    if join.blocks.len() != plan.len() {
+        return Err(CertifyError::ShapeMismatch {
+            expected: join.blocks.len(),
+            got: plan.len(),
+        });
+    }
+    let mut model = ResidencyModel::from_plan(&join, &CheckpointPlan::none(plan.len()));
+    for i in plan.indices() {
+        // Transfer function: query the what-if bound, then commit the bit.
+        let after = model.peak_if_checkpointed(i, true);
+        model.set_checkpointed(i, true);
+        debug_assert_eq!(model.peak(), after, "what-if disagrees with commit");
+    }
+    Ok(model.peak())
+}
+
+/// Certify `plan` for every input size in `bucket` under `budget` bytes.
+///
+/// `envelope` must contain profiles whose block-wise byte figures bound
+/// every concrete profile the bucket can produce (e.g. the bucket endpoints
+/// plus any interior extrema of the per-block estimators — the quadratic
+/// estimator attains channel extrema only at endpoints or its vertex).
+pub fn certify(
+    envelope: &[ModelProfile],
+    plan: &CheckpointPlan,
+    bucket: SizeBucket,
+    budget: usize,
+) -> Result<SafetyCertificate, CertifyError> {
+    let bound = peak_upper_bound(envelope, plan)?;
+    if bound > budget {
+        return Err(CertifyError::BudgetExceeded { bound, budget });
+    }
+    Ok(SafetyCertificate {
+        bucket,
+        peak_upper_bound: bound,
+        largest_alloc: largest_alloc(&join_envelope(envelope)?),
+        plan_hash: plan_hash(plan),
+    })
+}
+
+/// [`certify`] for a tensor-granular (MONeT) plan.
+pub fn certify_fine(
+    envelope: &[ModelProfile],
+    plan: &FinePlan,
+    bucket: SizeBucket,
+    budget: usize,
+) -> Result<SafetyCertificate, CertifyError> {
+    let join = join_envelope(envelope)?;
+    if join.blocks.len() != plan.len() {
+        return Err(CertifyError::ShapeMismatch {
+            expected: join.blocks.len(),
+            got: plan.len(),
+        });
+    }
+    let bound = peak_bytes_fine(&join, plan);
+    if bound > budget {
+        return Err(CertifyError::BudgetExceeded { bound, budget });
+    }
+    Ok(SafetyCertificate {
+        bucket,
+        peak_upper_bound: bound,
+        largest_alloc: largest_alloc(&join),
+        plan_hash: fine_plan_hash(plan),
+    })
+}
+
+/// [`certify`] for a hybrid swap/recompute (Capuchin) plan.
+pub fn certify_hybrid(
+    envelope: &[ModelProfile],
+    plan: &HybridPlan,
+    bucket: SizeBucket,
+    budget: usize,
+) -> Result<SafetyCertificate, CertifyError> {
+    let join = join_envelope(envelope)?;
+    if join.blocks.len() != plan.len() {
+        return Err(CertifyError::ShapeMismatch {
+            expected: join.blocks.len(),
+            got: plan.len(),
+        });
+    }
+    let bound = peak_bytes_hybrid(&join, plan);
+    if bound > budget {
+        return Err(CertifyError::BudgetExceeded { bound, budget });
+    }
+    Ok(SafetyCertificate {
+        bucket,
+        peak_upper_bound: bound,
+        largest_alloc: largest_alloc(&join),
+        plan_hash: hybrid_plan_hash(plan),
+    })
+}
+
+/// Certify a DTR-style reactive policy config for every size in the bucket.
+///
+/// DTR needs no plan: with device capacity at least the no-eviction peak,
+/// the engine can never run out even if every eviction is useless, and with
+/// less it relies on reactive eviction. The sound (if loose) bound is
+/// therefore the joined no-checkpoint peak; the pinned constant + input
+/// footprint must additionally fit the eviction budget, since no eviction
+/// can reclaim pinned bytes.
+pub fn certify_dtr(
+    envelope: &[ModelProfile],
+    dtr_budget: usize,
+    bucket: SizeBucket,
+    budget: usize,
+) -> Result<SafetyCertificate, CertifyError> {
+    let join = join_envelope(envelope)?;
+    let pinned = join.const_bytes + join.input_bytes;
+    let bound = join.peak_no_checkpoint();
+    if pinned > dtr_budget || bound > budget {
+        return Err(CertifyError::BudgetExceeded {
+            bound: bound.max(pinned),
+            budget: budget.min(dtr_budget),
+        });
+    }
+    Ok(SafetyCertificate {
+        bucket,
+        peak_upper_bound: bound,
+        largest_alloc: largest_alloc(&join),
+        plan_hash: dtr_budget as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, BertHead};
+    use mimose_models::ModelInput;
+    use mimose_planner::memory_model::peak_bytes;
+
+    fn profile(seq: usize) -> ModelProfile {
+        bert_base(BertHead::Classification { labels: 2 })
+            .profile(&ModelInput::tokens(8, seq))
+            .unwrap()
+    }
+
+    #[test]
+    fn join_dominates_every_member() {
+        let envelope = [profile(64), profile(128), profile(256)];
+        let join = join_envelope(&envelope).unwrap();
+        for p in &envelope {
+            for (jb, pb) in join.blocks.iter().zip(&p.blocks) {
+                assert!(jb.act_bytes >= pb.act_bytes);
+                assert!(jb.out_bytes >= pb.out_bytes);
+                assert!(jb.in_bytes >= pb.in_bytes);
+            }
+            assert!(join.const_bytes >= p.const_bytes);
+            assert!(join.input_bytes >= p.input_bytes);
+        }
+    }
+
+    #[test]
+    fn bound_matches_direct_peak_on_join_and_dominates_members() {
+        let envelope = [profile(64), profile(192)];
+        let join = join_envelope(&envelope).unwrap();
+        let n = join.blocks.len();
+        for plan in [
+            CheckpointPlan::none(n),
+            CheckpointPlan::all(n),
+            CheckpointPlan::from_indices(n, &[1, 4, 7]).unwrap(),
+        ] {
+            let bound = peak_upper_bound(&envelope, &plan).unwrap();
+            assert_eq!(bound, peak_bytes(&join, &plan));
+            for p in &envelope {
+                assert!(bound >= peak_bytes(p, &plan), "{plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn certify_respects_budget() {
+        let envelope = [profile(64), profile(128)];
+        let n = envelope[0].blocks.len();
+        let plan = CheckpointPlan::all(n);
+        let bucket = SizeBucket::new(8 * 64, 8 * 128);
+        let bound = peak_upper_bound(&envelope, &plan).unwrap();
+        let cert = certify(&envelope, &plan, bucket, bound).unwrap();
+        assert_eq!(cert.peak_upper_bound, bound);
+        assert!(cert.covers(8 * 100));
+        assert!(!cert.covers(8 * 200));
+        assert!(cert.fits(bound));
+        assert!(cert.matches_plan(&plan));
+        assert!(!cert.matches_plan(&CheckpointPlan::none(n)));
+        let err = certify(&envelope, &plan, bucket, bound - 1).unwrap_err();
+        assert_eq!(
+            err,
+            CertifyError::BudgetExceeded {
+                bound,
+                budget: bound - 1
+            }
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let envelope = [profile(64)];
+        let plan = CheckpointPlan::none(3);
+        assert!(matches!(
+            certify(&envelope, &plan, SizeBucket::new(1, 2), usize::MAX),
+            Err(CertifyError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            join_envelope(&[]),
+            Err(CertifyError::EmptyEnvelope)
+        ));
+    }
+
+    #[test]
+    fn dtr_certificate_requires_pinned_fit() {
+        let envelope = [profile(64)];
+        // The bound works on the granule-rounded join, which dominates the
+        // raw member figures.
+        let join = join_envelope(&envelope).unwrap();
+        let pinned = join.const_bytes + join.input_bytes;
+        let bucket = SizeBucket::new(1, 8 * 64);
+        assert!(certify_dtr(&envelope, pinned - 1, bucket, usize::MAX).is_err());
+        let cert = certify_dtr(&envelope, pinned, bucket, usize::MAX).unwrap();
+        assert_eq!(cert.peak_upper_bound, join.peak_no_checkpoint());
+        assert!(cert.peak_upper_bound >= envelope[0].peak_no_checkpoint());
+    }
+}

@@ -1,0 +1,35 @@
+//! Pre-execution static analysis for checkpoint plans (`mimose-verify`).
+//!
+//! Everything in `mimose-audit` is *dynamic*: it replays recorded traces and
+//! event streams after an iteration already ran, so a bad plan is only caught
+//! once it has cost an OOM and a trip up the recovery ladder. This crate adds
+//! the static layer in front of execution:
+//!
+//! 1. A **schedule sanitizer** ([`sanitize`]) that lowers a plan to its
+//!    symbolic forward/backward timeline ([`Schedule`]) and walks the def-use
+//!    dataflow — no arena, no engine — flagging use-after-free,
+//!    use-after-evict, double-free, recompute-without-live-dependency and
+//!    dependency-order violations before anything executes.
+//! 2. An **interval-domain abstract interpreter** ([`certify`]) that, given a
+//!    quantized input-size bucket `[lo, hi]` and envelope profiles evaluated
+//!    across that bucket, computes a sound upper bound on peak residency and
+//!    issues a [`SafetyCertificate`] a cache or admission controller can
+//!    check in O(1) instead of re-solving.
+//!
+//! The crate deliberately depends only on `mimose-models` and
+//! `mimose-planner` so that `mimose-core` (plan cache) and `mimose-cluster`
+//! (admission) can consume certificates without a dependency cycle;
+//! `mimose-audit` converts [`Violation`]s into its diagnostic JSON family.
+
+#![warn(missing_docs)]
+
+mod interval;
+mod sanitize;
+mod schedule;
+
+pub use interval::{
+    certify, certify_dtr, certify_fine, certify_hybrid, fine_plan_hash, hybrid_plan_hash,
+    join_envelope, plan_hash, CertifyError, SafetyCertificate, SizeBucket,
+};
+pub use sanitize::{sanitize, Severity, Violation};
+pub use schedule::{SchedOp, Schedule};

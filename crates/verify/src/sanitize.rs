@@ -1,0 +1,382 @@
+//! The schedule sanitizer: a symbolic def-use dataflow walk.
+//!
+//! Each tensor (`act[i]`, `out[i]`) moves through a four-state lattice
+//! `Undefined → Live → Evicted → Freed`; gradients are tracked implicitly as
+//! "backward of block `i+1` has completed". Every op's uses are checked
+//! against the current state before its defs/kills are applied, so each
+//! class of malformed schedule maps to a distinct check id.
+
+use crate::schedule::{SchedOp, Schedule};
+
+/// How bad a sanitizer finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The schedule would read or free dead memory — must not execute.
+    Error,
+    /// Suspicious but executable (leaks, incomplete backward sweeps).
+    Warning,
+}
+
+/// One sanitizer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable check id (`use-after-free`, `use-after-evict`, `double-free`,
+    /// `recompute-without-live-dependency`, `dependency-order-violation`,
+    /// `activation-leak`, `incomplete-backward`).
+    pub check: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Index of the offending op in the schedule, when tied to one op.
+    pub op_index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    fn error(check: &'static str, op_index: usize, message: String) -> Self {
+        Violation {
+            check,
+            severity: Severity::Error,
+            op_index: Some(op_index),
+            message,
+        }
+    }
+
+    fn warning(check: &'static str, message: String) -> Self {
+        Violation {
+            check,
+            severity: Severity::Warning,
+            op_index: None,
+            message,
+        }
+    }
+
+    /// True for [`Severity::Error`].
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// Lifetime state of one symbolic tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Undefined,
+    Live,
+    Evicted,
+    Freed,
+}
+
+/// Walk `schedule`'s def-use dataflow and report every violation found.
+///
+/// The canonical lowering of any well-formed [`CheckpointPlan`]
+/// ([`Schedule::from_plan`]) sanitizes clean; each mutation class (dropped
+/// recompute, duplicated evict, reordered backward, early frees) trips the
+/// corresponding check id.
+///
+/// [`CheckpointPlan`]: mimose_planner::CheckpointPlan
+#[must_use]
+pub fn sanitize(schedule: &Schedule) -> Vec<Violation> {
+    let n = schedule.n_blocks();
+    let mut act = vec![State::Undefined; n];
+    let mut out = vec![State::Undefined; n];
+    let mut backward_done = vec![false; n];
+    let mut v: Vec<Violation> = Vec::new();
+
+    // Check a *use* of a tensor expected to be Live.
+    let check_use = |v: &mut Vec<Violation>,
+                     state: State,
+                     what: String,
+                     by: &SchedOp,
+                     idx: usize,
+                     undefined_check: &'static str| {
+        match state {
+            State::Live => {}
+            State::Evicted => v.push(Violation::error(
+                "use-after-evict",
+                idx,
+                format!("{by} reads {what}, which was evicted and never recomputed"),
+            )),
+            State::Freed => v.push(Violation::error(
+                "use-after-free",
+                idx,
+                format!("{by} reads {what}, which was already freed"),
+            )),
+            State::Undefined => v.push(Violation::error(
+                undefined_check,
+                idx,
+                format!("{by} reads {what}, which is not yet defined"),
+            )),
+        }
+    };
+
+    for (idx, op) in schedule.ops().iter().enumerate() {
+        let b = op.block();
+        if b >= n {
+            v.push(Violation::error(
+                "dependency-order-violation",
+                idx,
+                format!("{op} targets block {b}, but the schedule covers {n} blocks"),
+            ));
+            continue;
+        }
+        match *op {
+            SchedOp::Forward { block } => {
+                if block > 0 {
+                    check_use(
+                        &mut v,
+                        out[block - 1],
+                        format!("out[{}]", block - 1),
+                        op,
+                        idx,
+                        "dependency-order-violation",
+                    );
+                }
+                if act[block] == State::Live || out[block] == State::Live {
+                    v.push(Violation::error(
+                        "dependency-order-violation",
+                        idx,
+                        format!("{op} re-runs a block whose tensors are still live"),
+                    ));
+                }
+                act[block] = State::Live;
+                out[block] = State::Live;
+            }
+            SchedOp::Evict { block } => match act[block] {
+                State::Live => act[block] = State::Evicted,
+                State::Evicted | State::Freed => v.push(Violation::error(
+                    "double-free",
+                    idx,
+                    format!("{op} releases act[{block}], which is already dead"),
+                )),
+                State::Undefined => v.push(Violation::error(
+                    "dependency-order-violation",
+                    idx,
+                    format!("{op} releases act[{block}] before its forward defined it"),
+                )),
+            },
+            SchedOp::FreeOutput { block } => match out[block] {
+                State::Live => out[block] = State::Freed,
+                State::Evicted | State::Freed => v.push(Violation::error(
+                    "double-free",
+                    idx,
+                    format!("{op} releases out[{block}], which is already dead"),
+                )),
+                State::Undefined => v.push(Violation::error(
+                    "dependency-order-violation",
+                    idx,
+                    format!("{op} releases out[{block}] before its forward defined it"),
+                )),
+            },
+            SchedOp::Recompute { block } => {
+                // Recompute re-runs the forward from the block's input; that
+                // boundary tensor must still be resident.
+                if block > 0 && out[block - 1] != State::Live {
+                    v.push(Violation::error(
+                        "recompute-without-live-dependency",
+                        idx,
+                        format!(
+                            "{op} needs out[{}] to re-run the forward, but it is {}",
+                            block - 1,
+                            state_name(out[block - 1]),
+                        ),
+                    ));
+                }
+                match act[block] {
+                    State::Evicted => act[block] = State::Live,
+                    State::Live => v.push(Violation::warning(
+                        "redundant-recompute",
+                        format!("{op} rematerialises act[{block}], which is still live"),
+                    )),
+                    State::Undefined | State::Freed => v.push(Violation::error(
+                        "dependency-order-violation",
+                        idx,
+                        format!(
+                            "{op} rematerialises act[{block}], which is {}",
+                            state_name(act[block])
+                        ),
+                    )),
+                }
+            }
+            SchedOp::Backward { block } => {
+                // Gradient dependency: the loss feeds the last block, every
+                // other block's incoming gradient is produced by backward of
+                // the next block.
+                let grad_ready = block + 1 >= n || backward_done[block + 1];
+                if !grad_ready {
+                    v.push(Violation::error(
+                        "dependency-order-violation",
+                        idx,
+                        format!(
+                            "{op} runs before backward({}) produced its gradient",
+                            block + 1
+                        ),
+                    ));
+                }
+                if backward_done[block] {
+                    v.push(Violation::error(
+                        "double-free",
+                        idx,
+                        format!("{op} runs twice; its tensors were freed the first time"),
+                    ));
+                } else {
+                    check_use(
+                        &mut v,
+                        act[block],
+                        format!("act[{block}]"),
+                        op,
+                        idx,
+                        "dependency-order-violation",
+                    );
+                    check_use(
+                        &mut v,
+                        out[block],
+                        format!("out[{block}]"),
+                        op,
+                        idx,
+                        "dependency-order-violation",
+                    );
+                }
+                act[block] = State::Freed;
+                out[block] = State::Freed;
+                backward_done[block] = true;
+            }
+        }
+    }
+
+    for i in 0..n {
+        if !backward_done[i] {
+            v.push(Violation::warning(
+                "incomplete-backward",
+                format!("block {i} never ran its backward pass"),
+            ));
+        }
+        if act[i] == State::Live || out[i] == State::Live {
+            v.push(Violation::warning(
+                "activation-leak",
+                format!("block {i} leaves tensors live at the end of the schedule"),
+            ));
+        }
+    }
+    v
+}
+
+fn state_name(s: State) -> &'static str {
+    match s {
+        State::Undefined => "not yet defined",
+        State::Live => "live",
+        State::Evicted => "evicted",
+        State::Freed => "freed",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use mimose_planner::CheckpointPlan;
+
+    fn checks(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.check).collect()
+    }
+
+    #[test]
+    fn canonical_schedules_sanitize_clean() {
+        for plan in [
+            CheckpointPlan::none(6),
+            CheckpointPlan::all(6),
+            CheckpointPlan::from_indices(6, &[0, 2, 5]).unwrap(),
+        ] {
+            let s = Schedule::from_plan(&plan);
+            let v = sanitize(&s);
+            assert!(v.is_empty(), "{plan}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn dropped_recompute_is_use_after_evict() {
+        let plan = CheckpointPlan::from_indices(4, &[2]).unwrap();
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Recompute { block: 2 }))
+            .unwrap();
+        s.remove_op(i);
+        let v = sanitize(&s);
+        assert!(checks(&v).contains(&"use-after-evict"), "{v:?}");
+    }
+
+    #[test]
+    fn duplicated_evict_is_double_free() {
+        let plan = CheckpointPlan::from_indices(4, &[1]).unwrap();
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Evict { block: 1 }))
+            .unwrap();
+        s.insert_op(i + 1, SchedOp::Evict { block: 1 });
+        let v = sanitize(&s);
+        assert!(checks(&v).contains(&"double-free"), "{v:?}");
+    }
+
+    #[test]
+    fn reordered_backward_is_dependency_order_violation() {
+        let plan = CheckpointPlan::none(4);
+        let mut s = Schedule::from_plan(&plan);
+        let a = s
+            .position(|op| matches!(op, SchedOp::Backward { block: 3 }))
+            .unwrap();
+        let b = s
+            .position(|op| matches!(op, SchedOp::Backward { block: 2 }))
+            .unwrap();
+        s.swap_ops(a, b);
+        let v = sanitize(&s);
+        assert!(checks(&v).contains(&"dependency-order-violation"), "{v:?}");
+    }
+
+    #[test]
+    fn freed_dependency_is_recompute_without_live_dependency() {
+        let plan = CheckpointPlan::from_indices(4, &[2]).unwrap();
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Recompute { block: 2 }))
+            .unwrap();
+        s.insert_op(i, SchedOp::FreeOutput { block: 1 });
+        let v = sanitize(&s);
+        assert!(
+            checks(&v).contains(&"recompute-without-live-dependency"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn early_output_free_is_use_after_free() {
+        let plan = CheckpointPlan::none(3);
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Backward { block: 1 }))
+            .unwrap();
+        s.insert_op(i, SchedOp::FreeOutput { block: 1 });
+        let v = sanitize(&s);
+        assert!(checks(&v).contains(&"use-after-free"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_backward_is_a_warning_not_an_error() {
+        let plan = CheckpointPlan::none(2);
+        let mut s = Schedule::from_plan(&plan);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Backward { block: 0 }))
+            .unwrap();
+        s.remove_op(i);
+        let v = sanitize(&s);
+        assert!(v.iter().all(|x| !x.is_error()), "{v:?}");
+        assert!(checks(&v).contains(&"incomplete-backward"), "{v:?}");
+        assert!(checks(&v).contains(&"activation-leak"), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_range_block_is_flagged() {
+        let s = Schedule::from_ops(2, vec![SchedOp::Forward { block: 7 }]);
+        let v = sanitize(&s);
+        assert!(checks(&v).contains(&"dependency-order-violation"), "{v:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Symbolic forward/backward schedules.
+//!
+//! A [`Schedule`] is the def-use timeline a checkpoint plan *implies*: which
+//! activation and boundary tensors are defined, evicted, recomputed and freed
+//! in what order. The sanitizer walks this IR symbolically — no arena, no
+//! engine — so a malformed schedule is caught before any execution.
+
+use mimose_planner::CheckpointPlan;
+
+/// One step of a symbolic execution schedule, at block granularity.
+///
+/// Per block `i` the IR tracks two tensors: `act[i]` (the block's internal
+/// activations) and `out[i]` (its boundary output, which is block `i+1`'s
+/// input). Gradients are implicit: `Backward { block: i }` consumes the
+/// gradient produced by `Backward { block: i + 1 }` (or the loss for the
+/// last block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedOp {
+    /// Run block `i`'s forward pass: uses `out[i-1]` (or the model input for
+    /// block 0), defines `act[i]` and `out[i]`.
+    Forward {
+        /// Global block index.
+        block: usize,
+    },
+    /// Drop `act[i]` after the forward pass (the checkpointing evict).
+    Evict {
+        /// Global block index.
+        block: usize,
+    },
+    /// Release the boundary output `out[i]` early (normally `Backward`
+    /// releases it). Only appears in hand-built or mutated schedules.
+    FreeOutput {
+        /// Global block index.
+        block: usize,
+    },
+    /// Rematerialise `act[i]` from `out[i-1]` before block `i`'s backward.
+    Recompute {
+        /// Global block index.
+        block: usize,
+    },
+    /// Run block `i`'s backward pass: uses `act[i]`, `out[i]` and the
+    /// incoming gradient, then frees `act[i]` and `out[i]`.
+    Backward {
+        /// Global block index.
+        block: usize,
+    },
+}
+
+impl SchedOp {
+    /// The block the op targets.
+    #[must_use]
+    pub fn block(&self) -> usize {
+        match *self {
+            SchedOp::Forward { block }
+            | SchedOp::Evict { block }
+            | SchedOp::FreeOutput { block }
+            | SchedOp::Recompute { block }
+            | SchedOp::Backward { block } => block,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SchedOp::Forward { block } => write!(f, "forward({block})"),
+            SchedOp::Evict { block } => write!(f, "evict({block})"),
+            SchedOp::FreeOutput { block } => write!(f, "free-output({block})"),
+            SchedOp::Recompute { block } => write!(f, "recompute({block})"),
+            SchedOp::Backward { block } => write!(f, "backward({block})"),
+        }
+    }
+}
+
+/// A symbolic execution schedule over `n_blocks` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n_blocks: usize,
+    ops: Vec<SchedOp>,
+}
+
+impl Schedule {
+    /// Build from an explicit op list (hand-built schedules, mutants).
+    #[must_use]
+    pub fn from_ops(n_blocks: usize, ops: Vec<SchedOp>) -> Self {
+        Schedule { n_blocks, ops }
+    }
+
+    /// The canonical lowering of a checkpoint plan: forwards in order with an
+    /// evict after each checkpointed block, then the reverse sweep with a
+    /// recompute before each checkpointed block's backward. This is exactly
+    /// the timeline `peak_bytes` / the block engine assume, and it must
+    /// always sanitize clean.
+    #[must_use]
+    pub fn from_plan(plan: &CheckpointPlan) -> Self {
+        let n = plan.len();
+        let mut ops = Vec::with_capacity(2 * n + 2 * plan.count());
+        for i in 0..n {
+            ops.push(SchedOp::Forward { block: i });
+            if plan.is_checkpointed(i) {
+                ops.push(SchedOp::Evict { block: i });
+            }
+        }
+        for i in (0..n).rev() {
+            if plan.is_checkpointed(i) {
+                ops.push(SchedOp::Recompute { block: i });
+            }
+            ops.push(SchedOp::Backward { block: i });
+        }
+        Schedule { n_blocks: n, ops }
+    }
+
+    /// Number of blocks the schedule covers.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// The op sequence.
+    #[must_use]
+    pub fn ops(&self) -> &[SchedOp] {
+        &self.ops
+    }
+
+    /// Remove the op at `index` (mutant builder). Out-of-range is a no-op.
+    pub fn remove_op(&mut self, index: usize) {
+        if index < self.ops.len() {
+            self.ops.remove(index);
+        }
+    }
+
+    /// Insert `op` at `index`, clamped to the op-list length (mutant builder).
+    pub fn insert_op(&mut self, index: usize, op: SchedOp) {
+        let at = index.min(self.ops.len());
+        self.ops.insert(at, op);
+    }
+
+    /// Swap the ops at `a` and `b` (mutant builder). Out-of-range is a no-op.
+    pub fn swap_ops(&mut self, a: usize, b: usize) {
+        if a < self.ops.len() && b < self.ops.len() {
+            self.ops.swap(a, b);
+        }
+    }
+
+    /// Index of the first op matching `pred`, if any.
+    pub fn position(&self, pred: impl Fn(&SchedOp) -> bool) -> Option<usize> {
+        self.ops.iter().position(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_lowering_shape() {
+        let plan = CheckpointPlan::from_indices(4, &[1, 3]).unwrap();
+        let s = Schedule::from_plan(&plan);
+        assert_eq!(s.n_blocks(), 4);
+        // 4 forwards + 2 evicts + 2 recomputes + 4 backwards.
+        assert_eq!(s.ops().len(), 12);
+        assert_eq!(s.ops()[0], SchedOp::Forward { block: 0 });
+        assert_eq!(s.ops()[2], SchedOp::Evict { block: 1 });
+        // The reverse sweep recomputes 3 before backward(3).
+        assert_eq!(s.ops()[6], SchedOp::Recompute { block: 3 });
+        assert_eq!(s.ops()[7], SchedOp::Backward { block: 3 });
+        assert_eq!(*s.ops().last().unwrap(), SchedOp::Backward { block: 0 });
+    }
+
+    #[test]
+    fn mutant_builders() {
+        let plan = CheckpointPlan::all(3);
+        let mut s = Schedule::from_plan(&plan);
+        let len = s.ops().len();
+        s.remove_op(0);
+        assert_eq!(s.ops().len(), len - 1);
+        s.insert_op(0, SchedOp::Forward { block: 0 });
+        assert_eq!(s.ops().len(), len);
+        let i = s
+            .position(|op| matches!(op, SchedOp::Recompute { block: 2 }))
+            .unwrap();
+        assert_eq!(s.ops()[i], SchedOp::Recompute { block: 2 });
+    }
+}

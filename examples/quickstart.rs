@@ -28,7 +28,12 @@ fn main() {
     let mut trainer = Trainer::new(&model, &dataset, &mut policy, 42);
 
     println!("iter  seqlen  phase       peak(GiB)  ckpt  time(ms)");
-    for (i, report) in trainer.run(40).into_iter().enumerate() {
+    for (i, report) in trainer
+        .run(40)
+        .expect("training run")
+        .into_iter()
+        .enumerate()
+    {
         let phase = if report.shuttle {
             "sheltered "
         } else {
