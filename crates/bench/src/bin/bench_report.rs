@@ -1,30 +1,36 @@
-//! Runs the planner and arena before/after suites and writes
-//! `BENCH_planner.json` + `BENCH_arena.json` at the repository root — the
-//! machine-readable record the acceptance criteria (and future regression
-//! tracking) read. `cargo run --release -p mimose-bench --bin bench_report`.
+//! Runs the planner, arena, and recorded-iteration suites and writes
+//! `BENCH_planner.json` + `BENCH_arena.json` + `BENCH_runtime.json` at the
+//! repository root — the machine-readable record the acceptance criteria
+//! (and future regression tracking) read.
+//! `cargo run --release -p mimose-bench --bin bench_report`.
+//!
+//! Pass suite names (`planner`, `arena`, `runtime`) to regenerate a subset
+//! — useful when one suite caught machine-load noise and the others are
+//! fine: `cargo run --release -p mimose-bench --bin bench_report -- runtime`.
 
 use mimose_bench::harness::Criterion;
-use mimose_bench::suites::{arena_suite, planner_suite};
+use mimose_bench::suites::{arena_suite, planner_suite, runtime_suite};
 use std::path::Path;
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+    let wants = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
-    let mut planner = Criterion::default();
-    planner_suite(&mut planner);
-    planner.report();
-    let planner_path = root.join("BENCH_planner.json");
-    planner
-        .write_json("planner", &planner_path)
-        .expect("write BENCH_planner.json");
-    eprintln!("wrote {}", planner_path.display());
-
-    let mut arena = Criterion::default();
-    arena_suite(&mut arena);
-    arena.report();
-    let arena_path = root.join("BENCH_arena.json");
-    arena
-        .write_json("arena", &arena_path)
-        .expect("write BENCH_arena.json");
-    eprintln!("wrote {}", arena_path.display());
+    for (name, suite) in [
+        ("planner", planner_suite as fn(&mut Criterion)),
+        ("arena", arena_suite),
+        ("runtime", runtime_suite),
+    ] {
+        if !wants(name) {
+            continue;
+        }
+        let mut c = Criterion::default();
+        suite(&mut c);
+        c.report();
+        let path = root.join(format!("BENCH_{name}.json"));
+        c.write_json(name, &path)
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -60,12 +60,16 @@ impl JobPolicy {
     }
 }
 
-/// Modeled plan-generation cost charged per cache-missing responsive
+/// Modeled plan-generation cost charged per cold-solving responsive
 /// iteration (Table III puts Mimose's estimator+scheduler pass in the
 /// sub-millisecond range).
 pub const MIMOSE_PLAN_COST_NS: u64 = 120_000;
 /// Modeled cost of serving a cached plan.
 pub const MIMOSE_CACHE_HIT_COST_NS: u64 = 2_000;
+/// Modeled cost of repairing a neighboring bucket's plan on a bucket miss
+/// — an order of magnitude under a cold solve (a bounded number of
+/// `O(log L)` residency flips vs a full scheduler pass), well above a hit.
+pub const MIMOSE_REPAIR_COST_NS: u64 = 12_000;
 
 /// [`MimosePolicy`] with its wall-clock plan-overhead measurement replaced
 /// by a fixed modeled cost — the only nondeterministic channel in the
@@ -100,13 +104,17 @@ impl MemoryPolicy for DeterministicMimose {
 
     fn begin_iteration(&mut self, iter: usize, profile: &ModelProfile) -> Directive {
         let plans_before = self.inner.stats().plans_generated;
-        let hits_before = self.inner.stats().cache_hits;
+        let repairs_before = self.inner.stats().repaired_plans;
+        let hits_before = self.inner.stats().cache_hits + self.inner.stats().certified_hits;
         let directive = self.inner.begin_iteration(iter, profile);
-        // Classify what the inner policy just did by its own counters and
-        // charge the modeled cost instead of the measured one.
-        self.last_ns = if self.inner.stats().plans_generated > plans_before {
+        // Classify which ladder rung the inner policy just took by its own
+        // counters and charge the modeled cost instead of the measured one.
+        let st = self.inner.stats();
+        self.last_ns = if st.plans_generated > plans_before {
             MIMOSE_PLAN_COST_NS
-        } else if self.inner.stats().cache_hits > hits_before {
+        } else if st.repaired_plans > repairs_before {
+            MIMOSE_REPAIR_COST_NS
+        } else if st.cache_hits + st.certified_hits > hits_before {
             MIMOSE_CACHE_HIT_COST_NS
         } else {
             0 // shuttle iterations plan nothing
@@ -124,6 +132,10 @@ impl MemoryPolicy for DeterministicMimose {
 
     fn predicted_peak_bytes(&self, profile: &ModelProfile) -> Option<usize> {
         self.inner.predicted_peak_bytes(profile)
+    }
+
+    fn plan_tier_stats(&self) -> Option<mimose_planner::PlanTierStats> {
+        self.inner.plan_tier_stats()
     }
 }
 

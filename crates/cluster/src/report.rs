@@ -4,6 +4,7 @@
 //! same seed serialize byte-identically).
 
 use crate::admission::AdmissionStats;
+use mimose_planner::PlanTierStats;
 
 /// How a job's cluster run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +58,9 @@ pub struct JobReport {
     pub recovery_events: usize,
     /// Mimose shuttle (collection) iterations.
     pub shuttle_iters: usize,
+    /// Planning-tier ladder counters (certified hit → cached hit → repair
+    /// → cold solve) for runtime planners; `None` for static policies.
+    pub plan_tiers: Option<PlanTierStats>,
 }
 
 /// One device's rollup.
@@ -218,7 +222,18 @@ impl ClusterReport {
             push_kv_u(&mut o, "oom_iters", j.oom_iters as u128, true);
             push_kv_u(&mut o, "recovered_iters", j.recovered_iters as u128, true);
             push_kv_u(&mut o, "recovery_events", j.recovery_events as u128, true);
-            push_kv_u(&mut o, "shuttle_iters", j.shuttle_iters as u128, false);
+            push_kv_u(&mut o, "shuttle_iters", j.shuttle_iters as u128, true);
+            match &j.plan_tiers {
+                Some(t) => {
+                    o.push_str("\"plan_tiers\":{");
+                    push_kv_u(&mut o, "certified_hits", u128::from(t.certified_hits), true);
+                    push_kv_u(&mut o, "cache_hits", u128::from(t.cache_hits), true);
+                    push_kv_u(&mut o, "repaired_plans", u128::from(t.repaired_plans), true);
+                    push_kv_u(&mut o, "cold_solves", u128::from(t.cold_solves), false);
+                    o.push('}');
+                }
+                None => o.push_str("\"plan_tiers\":null"),
+            }
             o.push('}');
             if i + 1 < self.jobs.len() {
                 o.push(',');
@@ -268,6 +283,12 @@ mod tests {
                 recovered_iters: 0,
                 recovery_events: 0,
                 shuttle_iters: 0,
+                plan_tiers: Some(PlanTierStats {
+                    certified_hits: 3,
+                    cache_hits: 1,
+                    repaired_plans: 2,
+                    cold_solves: 1,
+                }),
             }],
         };
         let a = report.to_json();
@@ -276,6 +297,10 @@ mod tests {
         assert!(a.contains("\"schedule\":\"fifo\""));
         assert!(a.contains("job \\\"a\\\""));
         assert!(a.contains("\"utilization_pct\":45.0000"));
+        assert!(a.contains(
+            "\"plan_tiers\":{\"certified_hits\":3,\"cache_hits\":1,\
+             \"repaired_plans\":2,\"cold_solves\":1}"
+        ));
         assert!(a.starts_with('{') && a.ends_with('}'));
     }
 }

@@ -18,7 +18,7 @@ use mimose_chaos::FleetFaultPlan;
 use mimose_exec::{IterationRecord, RecoveryConfig, Session};
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::min_feasible_budget;
-use mimose_planner::{CheckpointPlan, MemoryPolicy};
+use mimose_planner::{CheckpointPlan, MemoryPolicy, PlanTierStats};
 use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
 use mimose_verify::{certify, SafetyCertificate, SizeBucket};
@@ -143,6 +143,9 @@ pub struct JobDetail {
     pub records: Vec<IterationRecord>,
     /// The session's own fold of the run.
     pub summary: RunSummary,
+    /// Planning-tier ladder counters snapshotted at job completion
+    /// (`None` for static planners, which have no tiered planner).
+    pub plan_tiers: Option<PlanTierStats>,
 }
 
 /// A finished cluster run: the rollup plus per-job evidence.
@@ -451,6 +454,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 outcomes[run.job] = Some(outcome);
                 details[run.job].records = run.session.take_records();
                 details[run.job].summary = run.session.summary().clone();
+                details[run.job].plan_tiers = run.session.policy().plan_tier_stats();
                 details[run.job].reports = std::mem::take(&mut run.reports);
             }
         }
@@ -493,6 +497,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 recovered_iters: s.recovered_iters,
                 recovery_events: s.recovery_events,
                 shuttle_iters: s.shuttle_iters,
+                plan_tiers: details[j].plan_tiers,
             }
         })
         .collect();

@@ -45,7 +45,12 @@ pub struct PlanCache {
     recency: BTreeMap<u64, Key>,
     /// Monotonic touch counter feeding the stamps.
     clock: u64,
+    /// Hits served from entries *without* a certificate. Disjoint from
+    /// `certified_hits`: a lookup bumps exactly one of the two, so
+    /// `hits + certified_hits` is the total hit count.
     hits: u64,
+    /// Hits served from entries carrying a certificate.
+    certified_hits: u64,
     misses: u64,
     evictions: u64,
 }
@@ -74,6 +79,7 @@ impl PlanCache {
             recency: BTreeMap::new(),
             clock: 0,
             hits: 0,
+            certified_hits: 0,
             misses: 0,
             evictions: 0,
         }
@@ -108,9 +114,13 @@ impl PlanCache {
     }
 
     /// Look up a plan together with its safety certificate, if the bucket
-    /// entry carries one. Counts exactly one hit or miss, like [`get`].
+    /// entry carries one. Counts exactly one hit or miss, like [`get`] —
+    /// and exactly one of [`hits`] / [`certified_hits`], never both, so a
+    /// certified hit is not double-counted.
     ///
     /// [`get`]: PlanCache::get
+    /// [`hits`]: PlanCache::hits
+    /// [`certified_hits`]: PlanCache::certified_hits
     pub fn get_with_certificate(
         &mut self,
         input_size: usize,
@@ -119,7 +129,11 @@ impl PlanCache {
         let k = self.key(input_size, budget);
         match self.map.get(&k) {
             Some(e) => {
-                self.hits += 1;
+                if e.certificate.is_some() {
+                    self.certified_hits += 1;
+                } else {
+                    self.hits += 1;
+                }
                 let (plan, cert, prev) = (e.plan.clone(), e.certificate, e.stamp);
                 let stamp = self.touch(k, Some(prev));
                 if let Some(e) = self.map.get_mut(&k) {
@@ -190,11 +204,15 @@ impl PlanCache {
         let k = self.key(input_size, 0).0;
         let bucket_of = |s: usize| self.key(s, 0).0;
         let w = 1.0 + self.width;
-        // Geometric bucket k covers [w^k, w^(k+1)); floats land us near the
-        // ends, integer scans snap exactly onto them.
+        // Geometric bucket k covers [w^k, w^(k+1)); float seeds can land on
+        // *either* side of each boundary (`powi` rounding), so snap from
+        // both directions before widening to the exact integer endpoints.
         let mut lo = (w.powi(k as i32).floor() as usize).max(1);
         while bucket_of(lo) < k {
             lo += 1;
+        }
+        while lo > 1 && bucket_of(lo) > k {
+            lo -= 1;
         }
         while lo > 1 && bucket_of(lo - 1) == k {
             lo -= 1;
@@ -203,11 +221,37 @@ impl PlanCache {
         while hi > lo && bucket_of(hi) > k {
             hi -= 1;
         }
+        while bucket_of(hi) < k {
+            hi += 1;
+        }
         while bucket_of(hi + 1) == k {
             hi += 1;
         }
         debug_assert!(lo <= input_size.max(1) && input_size.max(1) <= hi);
         (lo, hi)
+    }
+
+    /// A donor plan for repairing a bucket miss: the nearest cached plan
+    /// (by bucket distance, then lower bucket first) within
+    /// `max_distance` size buckets of `input_size`, under exactly this
+    /// budget. Read-only — no recency touch, no hit/miss accounting; the
+    /// primary lookup already counted the miss that led here.
+    #[must_use]
+    pub fn neighbor_plan(
+        &self,
+        input_size: usize,
+        budget: usize,
+        max_distance: u64,
+    ) -> Option<CheckpointPlan> {
+        let (k, b) = self.key(input_size, budget);
+        for d in 1..=max_distance {
+            for nk in [k.checked_sub(d), k.checked_add(d)].into_iter().flatten() {
+                if let Some(e) = self.map.get(&(nk, b)) {
+                    return Some(e.plan.clone());
+                }
+            }
+        }
+        None
     }
 
     /// Number of stored plans carrying a certificate.
@@ -219,10 +263,18 @@ impl PlanCache {
             .count()
     }
 
-    /// Cache hits so far.
+    /// Hits served from *uncertified* entries so far. Disjoint from
+    /// [`certified_hits`](PlanCache::certified_hits); the total hit count
+    /// is the sum of the two.
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Hits served from certified entries so far.
+    #[must_use]
+    pub fn certified_hits(&self) -> u64 {
+        self.certified_hits
     }
 
     /// Cache misses so far.
@@ -418,6 +470,58 @@ mod tests {
         assert_eq!(c.certified_len(), 0);
         let (_, none_cert) = c.get_with_certificate(10_000, B).unwrap();
         assert!(none_cert.is_none());
-        assert_eq!(c.hits(), 2);
+        // One certified hit, one uncertified — never double-counted.
+        assert_eq!(c.certified_hits(), 1);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn bucket_bounds_exact_at_width_boundaries() {
+        // Regression: the float seeds `w^k` / `w^(k+1)` can land on either
+        // side of the true integer boundary; every size — including the
+        // exact endpoints of each bucket — must get back the identical
+        // exact `[lo, hi]` with both endpoints in-bucket and both
+        // outside-neighbors out.
+        for width in [0.01, 0.02, 0.04, 0.05, 0.10, 0.25] {
+            let c = PlanCache::new(width);
+            let mut s = 1usize;
+            while s < 100_000_000 {
+                let (lo, hi) = c.bucket_bounds(s);
+                let k = c.key(s, 0).0;
+                assert!(lo <= s && s <= hi, "w={width} s={s}: [{lo}, {hi}]");
+                assert_eq!(c.key(lo, 0).0, k, "w={width} lo of {s}");
+                assert_eq!(c.key(hi, 0).0, k, "w={width} hi of {s}");
+                assert_ne!(c.key(hi + 1, 0).0, k, "w={width} hi+1 of {s}");
+                if lo > 1 {
+                    assert_ne!(c.key(lo - 1, 0).0, k, "w={width} lo-1 of {s}");
+                }
+                // The boundary sizes themselves must agree with the bucket
+                // they report: the next bucket starts exactly at hi+1.
+                assert_eq!(c.bucket_bounds(lo), (lo, hi), "w={width} lo of {s}");
+                assert_eq!(c.bucket_bounds(hi), (lo, hi), "w={width} hi of {s}");
+                let (nlo, _) = c.bucket_bounds(hi + 1);
+                assert_eq!(nlo, hi + 1, "w={width} next bucket after {s}");
+                // Jump to the next bucket, probing both of its endpoints.
+                s = hi + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_probe_finds_adjacent_buckets_only() {
+        let mut c = PlanCache::new(0.04);
+        c.insert(10_000, B, CheckpointPlan::all(4));
+        let (lo, hi) = c.bucket_bounds(10_000);
+        // One bucket up and one down are donors; same budget only.
+        assert!(c.neighbor_plan(hi + 1, B, 1).is_some());
+        assert!(c.neighbor_plan(lo - 1, B, 1).is_some());
+        assert!(c.neighbor_plan(hi + 1, B - 1, 1).is_none(), "budget keyed");
+        // Far away needs a larger allowed distance.
+        let (_, hi2) = c.bucket_bounds(hi + 1);
+        assert!(c.neighbor_plan(hi2 + 1, B, 1).is_none());
+        assert!(c.neighbor_plan(hi2 + 1, B, 2).is_some());
+        // The probe is read-only: no hit/miss accounting.
+        assert_eq!(c.hits() + c.certified_hits(), 0);
+        assert_eq!(c.misses(), 0);
     }
 }

@@ -5,7 +5,9 @@
 //! (sheltered execution; the double-forward measurement itself runs in
 //! `mimose-exec`), the **lightning memory estimator** (per-block quadratic
 //! polynomials over the input size) and the **responsive memory scheduler**
-//! (Algorithm 1 greedy bucketing + plan cache).
+//! (Algorithm 1 greedy bucketing + plan cache), plus the **incremental
+//! plan repair** rung that serves bucket misses from a neighboring
+//! bucket's plan instead of a cold solve (hit → repair → solve ladder).
 
 #![warn(missing_docs)]
 
@@ -14,6 +16,7 @@ mod cache;
 mod config;
 mod estimator;
 mod policy;
+mod repair;
 mod scheduler;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveState};
@@ -21,4 +24,5 @@ pub use cache::PlanCache;
 pub use config::MimoseConfig;
 pub use estimator::{MemoryEstimator, ShuttleSample};
 pub use policy::{MimosePolicy, MimoseStats, Phase};
+pub use repair::{covering_flop_lower_bound, repair_plan, RepairConfig};
 pub use scheduler::{CostAwareScheduler, GreedyBucketScheduler, KnapsackScheduler, Scheduler};

@@ -1,0 +1,505 @@
+//! Incremental plan repair — the middle rung of the responsive ladder.
+//!
+//! The paper's core exploit is that input sizes recur *and cluster*: a
+//! bucket miss is almost always one bucket away from a cached plan. A full
+//! re-solve at that point costs 10²–10³ µs (greedy–MONeT at 1024 blocks);
+//! repairing the neighbor's plan against the new profile costs a handful of
+//! `O(log L)` residency flips. The responsive path therefore runs a
+//! three-tier ladder: certified cache **hit** (~50 ns) → neighbor-plan
+//! **repair** (this module) → cold **solve** (the configured scheduler).
+//!
+//! ## Algorithm
+//!
+//! The donor plan is repaired closed-form against the *new* estimated
+//! profile — one streaming sweep of the peak candidates plus two bounded
+//! greedy phases, no residency tree and no full density sort, so the whole
+//! repair is `O(L + f·log L)` for `f` productive flips:
+//!
+//! 1. **Fit** — walk the closed-form candidates left to right carrying the
+//!    donor's checkpoint bits; whenever a candidate overflows the budget,
+//!    pop the cheapest-density non-checkpointed block seen so far (a small
+//!    min-heap) and checkpoint it. A flip at `j` lowers every candidate
+//!    after `j`, never one before, so the sweep is *exact*: if the heap
+//!    runs dry at position `k`, no extension of the donor plan can fit and
+//!    the caller falls back to a cold solve.
+//! 2. **Trim** — un-checkpointing block `i` raises every candidate after
+//!    `i` by exactly `act_i` (and nothing else), so the last block is
+//!    always free to shed, and any block whose `act` fits the current
+//!    slack `budget − peak` is shed without further checking; candidates
+//!    are drawn highest recompute density first from a max-heap until the
+//!    slack cannot cover even the cheapest remaining activation.
+//!
+//! ## Quality bound
+//!
+//! In the block memory model the peak is the largest closed-form candidate
+//! `base + S(i) + act_i + 2·out_i + in_i`, and a block's own bit never
+//! changes its own candidate (Fig 9's suffix-delta independence). Let `i*`
+//! be the candidate argmax under the *empty* plan. For any feasible `P`,
+//! `budget ≥ peak(P) ≥ C_{i*}(P) = peak(no-ckpt) − Σ_{j<i*, j∈ckpt} act_j`,
+//! so every feasible plan must checkpoint at least
+//! `excess = peak(no-ckpt) − budget` activation bytes **among blocks before
+//! `i*`**. The cheapest *fractional* covering of that excess — prefix
+//! blocks taken in ascending FLOPs-per-byte order, last one pro-rated — is
+//! therefore a lower bound `lb` on the recompute FLOPs of **every**
+//! feasible plan, including whatever the cold solver would have produced
+//! (an analogous forward-end-residency constraint over all blocks is
+//! max'd in; see [`covering_flop_lower_bound`]). A repair is accepted only
+//! when its FLOPs are within [`RepairConfig::max_quality_ratio`] of `lb`,
+//! which transitively bounds it against the cold solve without ever
+//! running one.
+
+use mimose_models::ModelProfile;
+use mimose_planner::CheckpointPlan;
+
+/// Knobs for the repair pass, with the defaults the policy ships.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Accept a repaired plan only when `recompute_flops ≤ ratio × lb`
+    /// where `lb` is the fractional covering lower bound (see the module
+    /// docs). `1.10` by default — the differential suite pins that every
+    /// accepted repair is within 1.10× of the cold solve.
+    pub max_quality_ratio: f64,
+    /// How many size buckets away a donor plan may come from.
+    pub max_neighbor_distance: u64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_quality_ratio: 1.10,
+            max_neighbor_distance: 2,
+        }
+    }
+}
+
+/// A block ordered by recompute density (FLOPs per activation byte)
+/// *without dividing*: `f_a/a_a < f_b/a_b ⟺ f_a·a_b < f_b·a_a` for the
+/// positive activation sizes the heaps ever hold, so each comparison is
+/// two multiplies instead of a division per block up front. Ties break by
+/// index so heap pops are deterministic. Carries `flops` so productive
+/// flips can adjust the running plan cost without re-reading the profile.
+#[derive(Clone, Copy, Debug)]
+struct DensItem {
+    flops: f64,
+    act: usize,
+    i: u32,
+}
+
+impl Ord for DensItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.flops * other.act as f64)
+            .total_cmp(&(other.flops * self.act as f64))
+            .then(self.i.cmp(&other.i))
+    }
+}
+
+impl PartialOrd for DensItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for DensItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for DensItem {}
+
+/// Blocks with activations, ascending by recompute density (FLOPs per
+/// activation byte), ties by index. The key packs the density's IEEE-754
+/// bit pattern (order-identical to the value for the non-negative finite
+/// densities profiles produce) so the sort is a branch-cheap `u64` sort.
+/// Only the exact covering bound needs the full order; the repair hot
+/// path orders lazily through small [`DensItem`] heaps instead.
+fn density_order(profile: &ModelProfile) -> Vec<(u64, u32)> {
+    let mut order: Vec<(u64, u32)> = profile
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.act_bytes > 0)
+        .map(|(i, b)| {
+            (
+                (b.fwd_flops.max(0.0) / b.act_bytes as f64).to_bits(),
+                i as u32,
+            )
+        })
+        .collect();
+    order.sort_unstable();
+    order
+}
+
+/// Cheapest fractional covering of `excess` activation bytes by the blocks
+/// with index `< bound`, walked in the shared ascending-density order with
+/// the last block pro-rated. When even all of them cannot cover the
+/// excess, their full FLOPs are returned (the constraint is then
+/// unsatisfiable, so any value vacuously lower-bounds the empty set of
+/// feasible plans).
+fn fractional_cover(
+    profile: &ModelProfile,
+    order: &[(u64, u32)],
+    excess: usize,
+    bound: usize,
+) -> f64 {
+    if excess == 0 {
+        return 0.0;
+    }
+    let mut remaining = excess as f64;
+    let mut lb = 0.0;
+    for &(_, i) in order {
+        let i = i as usize;
+        if i >= bound {
+            continue;
+        }
+        let b = &profile.blocks[i];
+        let act = b.act_bytes as f64;
+        if act >= remaining {
+            return lb + b.fwd_flops * (remaining / act);
+        }
+        lb += b.fwd_flops;
+        remaining -= act;
+    }
+    lb
+}
+
+/// The fractional covering lower bound on recompute FLOPs for *any* plan
+/// fitting `budget` on `profile` (see the module docs for the argument).
+/// Zero when the unconstrained peak already fits.
+///
+/// Two sound covering constraints are combined (max):
+///
+/// * **Peak-candidate prefix** — the unconstrained peak is the candidate
+///   `base + S(i*) + act + 2·out + in` at some block `i*`, and only
+///   checkpoints *strictly before* `i*` lower that candidate (a block's own
+///   bit never changes its own candidate), so feasible plans must cover
+///   `peak(no-ckpt) − budget` using blocks `j < i*` alone;
+/// * **Forward-end residency** — after the forward pass every
+///   non-checkpointed activation is resident, so feasible plans must cover
+///   `(base + Σ out + Σ act) − budget` using any blocks.
+#[must_use]
+pub fn covering_flop_lower_bound(profile: &ModelProfile, budget: usize) -> f64 {
+    covering_lb_ordered(profile, budget, &density_order(profile))
+}
+
+/// [`covering_flop_lower_bound`] against a precomputed [`density_order`],
+/// so the repair hot path shares one sort across all its passes.
+fn covering_lb_ordered(profile: &ModelProfile, budget: usize, order: &[(u64, u32)]) -> f64 {
+    // One sweep of the closed-form candidates: the no-checkpoint peak and
+    // its argmax position, plus the forward-end residency.
+    let base = profile.const_bytes + profile.input_bytes;
+    let mut s = base;
+    let mut peak = base;
+    let mut argmax = 0usize;
+    for (i, b) in profile.blocks.iter().enumerate() {
+        let cand = s + b.act_bytes + 2 * b.out_bytes + b.in_bytes;
+        if cand > peak {
+            peak = cand;
+            argmax = i;
+        }
+        s += b.out_bytes + b.act_bytes;
+    }
+    let prefix = fractional_cover(profile, order, peak.saturating_sub(budget), argmax);
+    let fwd_end = fractional_cover(profile, order, s.saturating_sub(budget), usize::MAX);
+    prefix.max(fwd_end)
+}
+
+/// Repair `donor` (a plan cached for a *neighboring* size bucket) against
+/// the new `profile` under `budget`. Returns the repaired plan, or `None`
+/// when the repair cannot fit the budget or misses the quality bound — the
+/// caller then falls back to a cold solve.
+#[must_use]
+pub fn repair_plan(
+    profile: &ModelProfile,
+    donor: &CheckpointPlan,
+    budget: usize,
+    cfg: &RepairConfig,
+) -> Option<CheckpointPlan> {
+    let n = profile.blocks.len();
+    if donor.len() != n {
+        // A neighbor bucket with a different block count (variable-depth
+        // models) cannot seed a repair.
+        return None;
+    }
+
+    // Phase 1 — fit, one exact left-to-right cover sweep that doubles as
+    // the gather pass: it reads the (large, name-carrying) block structs
+    // exactly once, filling compact cache-resident columns for the later
+    // phases while it walks the closed-form candidates. `reduced` is the
+    // total activation of blocks this sweep checkpointed, all at indices
+    // `< k`, so `cand − reduced` is block `k`'s exact current candidate.
+    // A heap miss while still over budget means even checkpointing every
+    // prior block leaves candidate `k` oversized: no extension of the
+    // donor fits, exactly. The running `plan_flops` is adjusted at every
+    // flip, so the quality screen at the end costs no extra pass, and no
+    // per-block division happens anywhere on this path (density orders
+    // via cross-multiplication in [`DensItem`]).
+    let base = profile.const_bytes + profile.input_bytes;
+    // Start from the donor's mask wholesale (one memcpy): the sweep below
+    // only ever flips indices *behind* its cursor, so reading `ckpt[k]` at
+    // step `k` still yields the donor's bit — no per-block copy needed.
+    let mut ckpt = donor.as_mask().to_vec();
+    let mut total_act = 0usize;
+    // One unconditional FLOPs chain plus two rare-branch corrections keep
+    // the loop's float latency at a single add per block: the screen's
+    // act>0 total is `all − zeroact`, and the plan's recompute cost is
+    // `all − nonckpt` (fit flips shrink `nonckpt`, trim sheds grow it).
+    // Likewise `Σ out` is never accumulated — it falls out of the sweep's
+    // final residency `s = base + Σ out + Σ_{non-donor} act` and the
+    // rare-branch `nonckpt_act`.
+    let mut all_flops = 0.0f64;
+    let mut all_flops_odd = 0.0f64;
+    let mut zeroact_flops = 0.0f64;
+    let mut nonckpt_flops = 0.0f64;
+    let mut nonckpt_act = 0usize;
+    // Sound *upper* bound on the max recompute density, tracked without
+    // any per-block multiply or divide: `max_flops / min_act ≥ max(f/a)`.
+    // A looser bound only sends more borderline repairs to the exact
+    // fallback; it never accepts anything the exact gate would not.
+    let mut max_flops = 0.0f64;
+    let mut min_act_all = usize::MAX;
+    let mut avail: std::collections::BinaryHeap<std::cmp::Reverse<DensItem>> =
+        std::collections::BinaryHeap::new();
+    let mut s = base;
+    let mut reduced = 0usize;
+    let mut peak = base; // running peak of the fitted plan
+    for (k, b) in profile.blocks.iter().enumerate() {
+        let donor_bit = ckpt[k];
+        if k & 1 == 0 {
+            all_flops += b.fwd_flops;
+        } else {
+            all_flops_odd += b.fwd_flops;
+        }
+        if b.act_bytes > 0 {
+            total_act += b.act_bytes;
+            max_flops = max_flops.max(b.fwd_flops);
+            min_act_all = min_act_all.min(b.act_bytes);
+        } else {
+            zeroact_flops += b.fwd_flops;
+        }
+        let cand = s + b.act_bytes + 2 * b.out_bytes + b.in_bytes;
+        while cand - reduced > budget {
+            let std::cmp::Reverse(item) = avail.pop()?;
+            ckpt[item.i as usize] = true;
+            reduced += item.act;
+            nonckpt_flops -= item.flops;
+        }
+        peak = peak.max(cand - reduced);
+        s += b.out_bytes;
+        if !donor_bit {
+            s += b.act_bytes;
+            nonckpt_flops += b.fwd_flops;
+            nonckpt_act += b.act_bytes;
+            if b.act_bytes > 0 {
+                avail.push(std::cmp::Reverse(DensItem {
+                    flops: b.fwd_flops,
+                    act: b.act_bytes,
+                    i: k as u32,
+                }));
+            }
+        }
+    }
+    // The sweep kept every candidate ≤ budget; only constant-plus-input
+    // pressure alone (no blocks to sweep, or `base > budget`) can be left
+    // over, and checkpointing cannot shed it.
+    if peak > budget {
+        return None;
+    }
+
+    // Phase 2 — trim. Un-checkpointing block `i` raises candidates after
+    // `i` by exactly `act_i` and touches nothing else, so:
+    //  * the last block never raises any candidate — always shed it;
+    //  * any block with `act ≤ budget − peak` sheds safely, charging the
+    //    slack conservatively (the true raise can be smaller).
+    // Candidates come highest density first from a max-heap; the loop
+    // stops as soon as the slack cannot cover the cheapest remaining
+    // activation, so tight budgets trim in O(L) heap build + O(1) pops.
+    if n > 0 && ckpt[n - 1] {
+        ckpt[n - 1] = false;
+        nonckpt_flops += profile.blocks[n - 1].fwd_flops;
+    }
+    // `min_act_all` lower-bounds every checkpointed activation, so when
+    // the slack cannot even cover it no shed is possible and the common
+    // tight-budget case skips the scan below entirely.
+    let mut slack = budget - peak;
+    if n > 0 && slack >= min_act_all {
+        let mut min_act_ckpt = usize::MAX;
+        let mut heap_src: Vec<DensItem> = Vec::with_capacity(n);
+        for (i, b) in profile.blocks[..n - 1].iter().enumerate() {
+            if ckpt[i] && b.act_bytes > 0 {
+                min_act_ckpt = min_act_ckpt.min(b.act_bytes);
+                heap_src.push(DensItem {
+                    flops: b.fwd_flops,
+                    act: b.act_bytes,
+                    i: i as u32,
+                });
+            }
+        }
+        if slack >= min_act_ckpt {
+            let mut heap = std::collections::BinaryHeap::from(heap_src);
+            while slack >= min_act_ckpt {
+                let Some(item) = heap.pop() else { break };
+                if item.act <= slack {
+                    ckpt[item.i as usize] = false;
+                    slack -= item.act;
+                    nonckpt_flops += item.flops;
+                }
+            }
+        }
+    }
+
+    // Quality gate: accept only near-lower-bound repairs, so an accepted
+    // repair is provably within the ratio of the cold solve too. The
+    // cheap screen bounds the coverable FLOPs by `free bytes × max
+    // density` using the incrementally-tracked plan cost; only when it
+    // cannot certify does the exact path run — an exact re-sum of the
+    // plan's FLOPs (the tracked value can carry float drift after many
+    // flips) against the exact fractional covering bound (one sort).
+    let all_flops = all_flops + all_flops_odd;
+    let plan_flops = all_flops - nonckpt_flops;
+    let total_flops = all_flops - zeroact_flops;
+    // `s` ended at `base + Σ out + Σ_{non-donor} act`, so the forward-end
+    // residency `base + Σ out + Σ act` is `s` plus the donor-checkpointed
+    // activation — no `Σ out` accumulator needed in the sweep.
+    let fwd_end = s - nonckpt_act + total_act;
+    let excess = fwd_end.saturating_sub(budget);
+    let free = total_act.saturating_sub(excess) as f64;
+    let dens_ub = if min_act_all == usize::MAX {
+        0.0
+    } else {
+        max_flops / min_act_all as f64
+    };
+    let lb_screen = total_flops - free * dens_ub;
+    if plan_flops > cfg.max_quality_ratio * lb_screen {
+        let exact: f64 = profile
+            .blocks
+            .iter()
+            .zip(&ckpt)
+            .filter(|&(_, &c)| c)
+            .map(|(b, _)| b.fwd_flops)
+            .sum();
+        let lb = covering_flop_lower_bound(profile, budget);
+        if exact > cfg.max_quality_ratio * lb {
+            return None;
+        }
+    }
+
+    Some(CheckpointPlan::from_mask(ckpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use mimose_planner::memory_model::peak_bytes;
+    use mimose_planner::ResidencyModel;
+
+    /// A synthetic transformer-ish profile: uniform blocks with one
+    /// attention-style activation spike.
+    fn profile(l: usize, scale: usize) -> ModelProfile {
+        use mimose_models::{BlockProfile, ModelInput};
+        let blocks = (0..l)
+            .map(|i| {
+                let spike = if i == l / 8 { 4 } else { 1 };
+                BlockProfile {
+                    name: format!("b{i}"),
+                    stage: 0,
+                    index: i,
+                    act_bytes: scale * 1024 * spike,
+                    out_bytes: scale * 256,
+                    in_bytes: scale * 256,
+                    fwd_flops: 1e9 * spike as f64,
+                    bwd_flops: 2e9,
+                    fwd_bytes_moved: scale * 2048,
+                    tensors: Vec::new(),
+                }
+            })
+            .collect();
+        ModelProfile {
+            model: "synthetic".into(),
+            input: ModelInput::tokens(1, scale),
+            input_size: scale,
+            blocks,
+            const_bytes: 1 << 20,
+            param_count: 0,
+            input_bytes: scale * 512,
+        }
+    }
+
+    fn tight_budget(p: &ModelProfile) -> usize {
+        let n = p.blocks.len();
+        let lo = peak_bytes(p, &CheckpointPlan::all(n));
+        let hi = peak_bytes(p, &CheckpointPlan::none(n));
+        lo + (hi - lo) / 256
+    }
+
+    #[test]
+    fn repair_fits_a_grown_profile_from_a_smaller_donor() {
+        let donor_p = profile(64, 100);
+        let new_p = profile(64, 110);
+        let budget = tight_budget(&new_p);
+        // Donor: a plan that fit the *smaller* profile under its budget.
+        let donor = {
+            let b = tight_budget(&donor_p);
+            crate::GreedyBucketScheduler::new(0.1).schedule(&donor_p, b)
+        };
+        let repaired =
+            repair_plan(&new_p, &donor, budget, &RepairConfig::default()).expect("repair must fit");
+        assert!(peak_bytes(&new_p, &repaired) <= budget);
+    }
+
+    #[test]
+    fn repair_trims_a_shrunk_profile_and_meets_the_bound() {
+        let donor_p = profile(64, 110);
+        let new_p = profile(64, 100);
+        let budget = tight_budget(&new_p);
+        let donor = {
+            let b = tight_budget(&donor_p);
+            crate::GreedyBucketScheduler::new(0.1).schedule(&donor_p, b)
+        };
+        let repaired =
+            repair_plan(&new_p, &donor, budget, &RepairConfig::default()).expect("repair must fit");
+        assert!(peak_bytes(&new_p, &repaired) <= budget);
+        let m = ResidencyModel::from_plan(&new_p, &repaired);
+        let lb = covering_flop_lower_bound(&new_p, budget);
+        assert!(m.recompute_flops() <= 1.10 * lb + 1.0);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let p = profile(32, 100);
+        // Below even the all-checkpoint floor: nothing can fit.
+        let floor = peak_bytes(&p, &CheckpointPlan::all(32));
+        let donor = CheckpointPlan::none(32);
+        assert!(repair_plan(&p, &donor, floor / 2, &RepairConfig::default()).is_none());
+    }
+
+    #[test]
+    fn mismatched_block_count_returns_none() {
+        let p = profile(32, 100);
+        let donor = CheckpointPlan::none(16);
+        assert!(repair_plan(&p, &donor, usize::MAX, &RepairConfig::default()).is_none());
+    }
+
+    #[test]
+    fn lower_bound_is_zero_when_unconstrained_fits() {
+        let p = profile(32, 100);
+        assert_eq!(covering_flop_lower_bound(&p, usize::MAX), 0.0);
+        // And a roomy budget repairs to the empty plan (zero recompute).
+        let donor = CheckpointPlan::all(32);
+        let repaired = repair_plan(&p, &donor, usize::MAX, &RepairConfig::default()).unwrap();
+        assert_eq!(repaired.count(), 0);
+    }
+
+    #[test]
+    fn lower_bound_is_monotone_in_budget_pressure() {
+        let p = profile(64, 100);
+        let n = p.blocks.len();
+        let lo = peak_bytes(&p, &CheckpointPlan::all(n));
+        let hi = peak_bytes(&p, &CheckpointPlan::none(n));
+        let tight = covering_flop_lower_bound(&p, lo + (hi - lo) / 256);
+        let loose = covering_flop_lower_bound(&p, lo + (hi - lo) / 2);
+        assert!(tight > loose);
+        assert!(loose > 0.0);
+    }
+}

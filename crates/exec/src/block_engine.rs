@@ -25,8 +25,8 @@ use mimose_models::{BlockProfile, ModelProfile};
 use mimose_planner::memory_model::FinePlan;
 use mimose_planner::{BlockAction, BlockObservation, CheckpointPlan, HybridPlan};
 use mimose_runtime::{
-    policy_alloc, AllocSite, EngineCore, EventLog, ExecEvent, IterationReport, LiveBlock,
-    NullRecorder, Recorder, ReportMeta, Tee,
+    policy_alloc, AllocSite, EngineCore, ExecEvent, IterationReport, LiveBlock, NullRecorder,
+    Recorder, ReportMeta, RingRecorder, Tee,
 };
 use mimose_simgpu::{Arena, ArenaStats, DeviceProfile, TraceEvent};
 
@@ -121,7 +121,11 @@ pub fn run_block_iteration_recorded(
     iter: usize,
     planning_ns: u64,
 ) -> (BlockRun, Vec<ExecEvent>, ArenaStats) {
-    let mut log = EventLog::new();
+    // The default recorded path runs on the packed ring, not a
+    // `Vec<ExecEvent>`: events append as a handful of bytes each and the
+    // full stream materializes once, at the end, via `take_decoded` — the
+    // byte-identity differential suite pins that the decode is lossless.
+    let mut ring = RingRecorder::for_blocks(profile.blocks.len()).growable();
     let (run, arena) = run_block_iteration_impl(
         profile,
         mode,
@@ -130,9 +134,10 @@ pub fn run_block_iteration_recorded(
         iter,
         planning_ns,
         &EngineOpts::default(),
-        &mut log,
+        &mut ring,
     );
-    (run, log.take(), arena.stats())
+    debug_assert_eq!(ring.dropped_events(), 0);
+    (run, ring.take_decoded(), arena.stats())
 }
 
 /// Like [`run_block_iteration`], but projecting the recorded stream down to

@@ -12,8 +12,8 @@ use crate::eviction::DtrEvictionPolicy;
 use crate::shadow::DtrShadow;
 use mimose_models::ModelProfile;
 use mimose_runtime::{
-    policy_alloc, AllocSite, EngineCore, EventLog, ExecEvent, IterationReport, NullRecorder,
-    OomReport, Recorder, ReportMeta, Tee,
+    policy_alloc, AllocSite, EngineCore, ExecEvent, IterationReport, NullRecorder, OomReport,
+    Recorder, ReportMeta, RingRecorder, Tee,
 };
 use mimose_simgpu::{AllocPolicy, ArenaStats, DeviceProfile};
 
@@ -71,7 +71,11 @@ pub fn run_dtr_iteration_recorded(
     dev: &DeviceProfile,
     iter: usize,
 ) -> (IterationReport, Vec<ExecEvent>, ArenaStats) {
-    let mut log = EventLog::new();
+    // DTR's eviction/recompute churn emits far more events per block than
+    // the timeline engine, so size the ring with DTR-scale headroom (the
+    // byte-identity suite would catch any eviction-induced truncation).
+    let mut ring =
+        RingRecorder::new(64 * 1024 + profile.blocks.len().saturating_mul(8 * 1024)).growable();
     let (report, stats) = run_dtr_impl(
         profile,
         budget,
@@ -79,9 +83,10 @@ pub fn run_dtr_iteration_recorded(
         dev,
         iter,
         AllocPolicy::FirstFit,
-        &mut log,
+        &mut ring,
     );
-    (report, log.take(), stats)
+    debug_assert_eq!(ring.dropped_events(), 0);
+    (report, ring.take_decoded(), stats)
 }
 
 fn run_dtr_impl(

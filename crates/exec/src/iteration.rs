@@ -15,7 +15,7 @@ use crate::recovery::{
 use mimose_chaos::IterationFaults;
 use mimose_models::ModelProfile;
 use mimose_planner::{CheckpointPlan, HybridPlan};
-use mimose_runtime::{ExecEvent, IterationReport};
+use mimose_runtime::{ExecEvent, IterationReport, Recorder};
 use mimose_simgpu::{AllocPolicy, ArenaStats, DeviceProfile, TraceEvent};
 
 /// One block-engine iteration, configured fluently. Construct with
@@ -150,6 +150,36 @@ impl<'a> BlockIteration<'a> {
             self.recovery,
             self.faults,
         )
+    }
+
+    /// Execute, emitting the event stream into a caller-supplied
+    /// [`Recorder`] — the zero-churn seam: a caller that holds a
+    /// [`RingRecorder`](mimose_runtime::RingRecorder) across iterations
+    /// records every iteration without a single per-iteration allocation.
+    ///
+    /// Single-attempt only: the restart rungs of the recovery ladder need
+    /// attempt-scoped streams, so a configured `recovery` ladder here
+    /// drives its inline rungs but not restarts (exactly the semantics of
+    /// one engine attempt). Use [`run_recorded`](Self::run_recorded) for
+    /// ladder-driven recording.
+    #[must_use]
+    pub fn run_into(self, rec: &mut dyn Recorder) -> BlockRun {
+        crate::block_engine::run_block_iteration_impl(
+            self.profile,
+            self.mode,
+            self.capacity,
+            &self.device,
+            self.iter,
+            self.planning_ns,
+            &crate::block_engine::EngineOpts {
+                attempt: 0,
+                shrink: 1.0,
+                recovery: self.recovery,
+                faults: self.faults,
+            },
+            rec,
+        )
+        .0
     }
 
     /// Execute, recording the full [`ExecEvent`] stream (final attempt
@@ -315,6 +345,23 @@ mod tests {
         let legacy = run_dtr_iteration(&p, 4 << 30, dev.total_mem_bytes, &dev, 1);
         let built = DtrIteration::new(&p, 4 << 30).iter(1).run();
         assert_eq!(format!("{legacy:?}"), format!("{built:?}"));
+    }
+
+    #[test]
+    fn run_into_a_ring_matches_the_recorded_stream() {
+        let p = profile(128);
+        let n = p.blocks.len();
+        let plan = CheckpointPlan::from_indices(n, &[0, 2, 4]).unwrap();
+        let (_, events, _) = BlockIteration::plan(&p, &plan)
+            .capacity(8 << 30)
+            .run_recorded();
+        let mut ring = mimose_runtime::RingRecorder::for_blocks(n);
+        let run = BlockIteration::plan(&p, &plan)
+            .capacity(8 << 30)
+            .run_into(&mut ring);
+        assert!(run.report.ok());
+        assert_eq!(ring.dropped_events(), 0);
+        assert_eq!(ring.decode(), events);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use mimose_chaos::IterationFaults;
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::peak_bytes;
 use mimose_planner::{CheckpointPlan, RecoveryEvent, RecoveryRung};
-use mimose_runtime::{EventLog, ExecEvent, NullRecorder, Recorder};
+use mimose_runtime::{ExecEvent, NullRecorder, Recorder, RingRecorder};
 use mimose_simgpu::{ArenaStats, DeviceProfile, TraceEvent};
 
 /// Tunables for the OOM-recovery ladder. The default configuration enables
@@ -232,6 +232,11 @@ fn drive(
         did_fallback: false,
     };
     let mut attempt = 0usize;
+    // One packed ring serves every attempt (when recording): `clear()`
+    // keeps the buffer allocation, so ladder restarts record for free and
+    // the returned stream covers the final attempt only.
+    let mut ring = RingRecorder::for_blocks(n).growable();
+    let mut null = NullRecorder;
     loop {
         let attempt_mode = match &st.restart_plan {
             Some(p) => BlockMode::Plan(p),
@@ -246,11 +251,8 @@ fn drive(
         // Planning time is a per-iteration cost, charged once; the aborted
         // attempts' own elapsed time is charged via recovery_ns instead.
         let attempt_planning = if attempt == 0 { planning_ns } else { 0 };
-        // Each attempt records into its own event log (when recording): the
-        // returned stream covers the final attempt only.
-        let mut log = EventLog::new();
-        let mut null = NullRecorder;
-        let rec: &mut dyn Recorder = if record { &mut log } else { &mut null };
+        ring.clear();
+        let rec: &mut dyn Recorder = if record { &mut ring } else { &mut null };
         let (mut run, arena) = run_block_iteration_impl(
             profile,
             attempt_mode,
@@ -276,7 +278,8 @@ fn drive(
                 }
                 run.report.time.recovery_ns += st.wasted_ns;
                 let (ev, stats) = if record {
-                    (Some(log.take()), Some(arena.stats()))
+                    debug_assert_eq!(ring.dropped_events(), 0);
+                    (Some(ring.take_decoded()), Some(arena.stats()))
                 } else {
                     (None, None)
                 };
@@ -371,7 +374,8 @@ fn drive(
         run.report.recovery = std::mem::take(&mut st.events);
         run.report.time.recovery_ns += st.wasted_ns;
         let (ev, stats) = if record {
-            (Some(log.take()), Some(arena.stats()))
+            debug_assert_eq!(ring.dropped_events(), 0);
+            (Some(ring.take_decoded()), Some(arena.stats()))
         } else {
             (None, None)
         };

@@ -16,9 +16,11 @@ use mimose_simgpu::{AllocPolicy, DeviceProfile};
 pub struct CacheAblationRow {
     /// Cache width label.
     pub label: &'static str,
-    /// Plans generated (cache misses).
+    /// Plans generated (cold solves on cache+repair misses).
     pub plans_generated: u64,
-    /// Cache hits.
+    /// Bucket misses served by incremental repair of a neighbor's plan.
+    pub repaired_plans: u64,
+    /// Cache hits (certified and uncertified combined).
     pub cache_hits: u64,
     /// Total estimator+scheduler wall time, ns.
     pub plan_ns: u64,
@@ -43,7 +45,8 @@ pub fn cache_ablation(budget: usize, iters: usize) -> Vec<CacheAblationRow> {
         rows.push(CacheAblationRow {
             label,
             plans_generated: st.plans_generated,
-            cache_hits: st.cache_hits,
+            repaired_plans: st.repaired_plans,
+            cache_hits: st.cache_hits + st.certified_hits,
             plan_ns: st.total_plan_ns(),
         });
     }
@@ -59,6 +62,7 @@ pub fn render_cache(rows: &[CacheAblationRow], iters: usize) -> String {
             vec![
                 r.label.to_string(),
                 r.plans_generated.to_string(),
+                r.repaired_plans.to_string(),
                 r.cache_hits.to_string(),
                 ms(r.plan_ns),
             ]
@@ -66,7 +70,13 @@ pub fn render_cache(rows: &[CacheAblationRow], iters: usize) -> String {
         .collect();
     render_table(
         &format!("Ablation: plan cache (TC-Bert, {iters} iters)"),
-        &["config", "plans generated", "cache hits", "total plan ms"],
+        &[
+            "config",
+            "plans generated",
+            "repaired",
+            "cache hits",
+            "total plan ms",
+        ],
         &t,
     )
 }

@@ -34,5 +34,5 @@ pub use residency::{Mark, ResidencyModel};
 pub use sublinear::SublinearPolicy;
 pub use traits::{
     input_of, BlockObservation, Directive, Granularity, IterationObservation, MemoryPolicy,
-    PlanTiming, PlannerMeta,
+    PlanTierStats, PlanTiming, PlannerMeta,
 };

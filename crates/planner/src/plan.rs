@@ -48,6 +48,14 @@ impl CheckpointPlan {
         }
     }
 
+    /// Build from a per-block mask: `mask[i] == true` checkpoints block
+    /// `i`. Takes ownership, so callers that already materialized a mask
+    /// (the repair hot path) pay nothing to turn it into a plan.
+    #[must_use]
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        CheckpointPlan { drop: mask }
+    }
+
     /// Build from an explicit set of checkpointed block indices.
     ///
     /// Returns [`PlanIndexError`] when any index is `>= n` — planner inputs
@@ -125,6 +133,14 @@ impl CheckpointPlan {
                 len: self.drop.len(),
             }),
         }
+    }
+
+    /// The plan as a per-block mask slice (`mask[i] == true` ⟺ block `i`
+    /// is checkpointed) — the bulk counterpart of [`CheckpointPlan::get`]
+    /// for hot paths that walk every block anyway.
+    #[must_use]
+    pub fn as_mask(&self) -> &[bool] {
+        &self.drop
     }
 
     /// Number of checkpointed blocks.

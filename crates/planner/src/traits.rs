@@ -151,6 +151,40 @@ pub trait MemoryPolicy: Send {
     fn predicted_peak_bytes(&self, _profile: &ModelProfile) -> Option<usize> {
         None
     }
+
+    /// How this policy's iterations were served across the planning-tier
+    /// ladder (certified hit → uncertified hit → repair → cold solve), for
+    /// policies that plan at runtime. `None` (the default) means the policy
+    /// has no tiered planner — static planners solve once at construction.
+    /// The cluster scheduler snapshots this at job completion for the
+    /// fleet report.
+    fn plan_tier_stats(&self) -> Option<PlanTierStats> {
+        None
+    }
+}
+
+/// Snapshot of a runtime planner's tier ladder counters — how many
+/// iterations each rung served. The rungs are disjoint: an iteration is
+/// counted in exactly one of the four.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanTierStats {
+    /// Bucket hits served off a safety certificate (O(1), zero solves).
+    pub certified_hits: u64,
+    /// Bucket hits served from uncertified entries (paid a revalidation).
+    pub cache_hits: u64,
+    /// Bucket misses served by incremental repair of a neighboring
+    /// bucket's plan.
+    pub repaired_plans: u64,
+    /// Bucket misses that required a cold scheduler solve.
+    pub cold_solves: u64,
+}
+
+impl PlanTierStats {
+    /// Total planned (responsive) iterations across all four rungs.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.certified_hits + self.cache_hits + self.repaired_plans + self.cold_solves
+    }
 }
 
 /// Helper: the collated input of a profile (convenience for policies).

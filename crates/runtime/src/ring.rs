@@ -1,0 +1,960 @@
+//! Compact ring-buffer event recording.
+//!
+//! [`RingRecorder`] is a fixed-capacity, reusable [`Recorder`] sink that
+//! stores the event stream as a packed binary encoding — one `u8` tag plus
+//! LEB128 varint payload fields per event — instead of a `Vec<ExecEvent>`
+//! of full enum values. A recorded block iteration costs a handful of bytes
+//! per event and **zero** per-iteration allocations once the buffer is
+//! warm: `clear()` keeps the allocation (and the phase intern table), so
+//! one recorder serves every iteration of a run.
+//!
+//! The encoding is lossless: [`RingRecorder::decode`] reconstructs the
+//! exact `Vec<ExecEvent>` that an [`EventLog`](crate::EventLog) would have
+//! captured — including the identical `&'static str` phase pointers, via a
+//! per-instance intern table — so `fold_events`, the shadow checkers
+//! (through [`Tee`](crate::Tee)) and the audit replay all keep working on
+//! ring-recorded streams, byte-for-byte.
+//!
+//! When the buffer is full the *oldest* complete events are evicted to make
+//! room (the recorder is a true ring); [`RingRecorder::dropped_events`]
+//! counts evictions so consumers that need the full stream can detect
+//! truncation. The engines size their rings from the workload shape so the
+//! recorded paths never evict in practice — the byte-identity differential
+//! suites pin that.
+
+use crate::event::{ClockChannel, ExecEvent, Recorder};
+use mimose_planner::{CheckpointPlan, RecoveryEvent, RecoveryRung};
+use mimose_simgpu::AllocId;
+
+/// Event tags. One byte each; payload layout is fixed per tag.
+const TAG_ALLOC: u8 = 0;
+const TAG_FREE: u8 = 1;
+const TAG_OOM: u8 = 2;
+const TAG_INJECTED_OOM: u8 = 3;
+const TAG_COMPACT: u8 = 4;
+const TAG_RESET: u8 = 5;
+const TAG_COMPUTE: u8 = 6;
+const TAG_RECOMPUTE: u8 = 7;
+const TAG_SWAP: u8 = 8;
+const TAG_CLOCK_CHARGE: u8 = 9;
+const TAG_PLAN_APPLIED: u8 = 10;
+const TAG_RECOVERY: u8 = 11;
+const TAG_BOUNDARY: u8 = 12;
+
+/// Append `v` as an unsigned LEB128 varint (1 byte for values < 128, which
+/// covers most tags, indices and small sizes in practice).
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint from `buf` at `*pos`, advancing `*pos`. Returns
+/// `None` on truncated or over-long input instead of panicking: the decoder
+/// must stay panic-free on arbitrary bytes.
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_varint(buf, v as u64);
+}
+
+/// Stack scratch for one fixed-shape event frame: a length header byte, a
+/// tag, and at most six varints of ≤ 10 bytes each. Only `PlanApplied` and
+/// `Recovery` (whose payloads grow with the plan) use the heap scratch.
+const SMALL_MAX: usize = 64;
+
+/// [`put_varint`] into the stack frame: identical byte sequence, but built
+/// branch-free — 7-bit groups spread into a `u64` and stored in one 8-byte
+/// write. The per-byte loop's data-dependent trip count mispredicts on
+/// mixed-size fields, and those stalls (not raw instruction count) are what
+/// showed up as recorder overhead inside the engine's hot loop.
+#[inline]
+fn arr_varint(buf: &mut [u8; SMALL_MAX], pos: &mut usize, v: u64) {
+    if v < 0x80 {
+        buf[*pos] = v as u8;
+        *pos += 1;
+        return;
+    }
+    if v >> 56 != 0 {
+        // 9–10 byte encodings; never hit by engine streams, keep it cold.
+        arr_varint_slow(buf, pos, v);
+        return;
+    }
+    // 2..=8 payload bytes: spread each 7-bit group into its own byte, set
+    // continuation bits on all but the last, store once.
+    let bits = 64 - v.leading_zeros() as usize;
+    let n = bits.div_ceil(7);
+    let x = (v & 0x7f)
+        | (v & (0x7f << 7)) << 1
+        | (v & (0x7f << 14)) << 2
+        | (v & (0x7f << 21)) << 3
+        | (v & (0x7f << 28)) << 4
+        | (v & (0x7f << 35)) << 5
+        | (v & (0x7f << 42)) << 6
+        | (v & (0x7f << 49)) << 7
+        | (0x8080_8080_8080_8080u64 >> (8 * (9 - n)));
+    buf[*pos..*pos + 8].copy_from_slice(&x.to_le_bytes());
+    *pos += n;
+}
+
+/// Loop fallback for ≥ 2⁵⁷ values (9–10 LEB128 bytes).
+#[cold]
+fn arr_varint_slow(buf: &mut [u8; SMALL_MAX], pos: &mut usize, mut v: u64) {
+    while v >= 0x80 {
+        buf[*pos] = (v as u8) | 0x80;
+        *pos += 1;
+        v >>= 7;
+    }
+    buf[*pos] = v as u8;
+    *pos += 1;
+}
+
+#[inline]
+fn arr_usize(buf: &mut [u8; SMALL_MAX], pos: &mut usize, v: usize) {
+    arr_varint(buf, pos, v as u64);
+}
+
+#[inline]
+fn arr_byte(buf: &mut [u8; SMALL_MAX], pos: &mut usize, b: u8) {
+    buf[*pos] = b;
+    *pos += 1;
+}
+
+/// `Option<usize>` as a presence byte followed by the value: `0` = `None`,
+/// `1 v` = `Some(v)`. Exact round-trip for every value including
+/// `usize::MAX` (no `+1` bias tricks).
+#[inline]
+fn arr_opt_usize(buf: &mut [u8; SMALL_MAX], pos: &mut usize, v: Option<usize>) {
+    match v {
+        None => arr_byte(buf, pos, 0),
+        Some(v) => {
+            arr_byte(buf, pos, 1);
+            arr_usize(buf, pos, v);
+        }
+    }
+}
+
+fn get_usize(buf: &[u8], pos: &mut usize) -> Option<usize> {
+    get_varint(buf, pos).and_then(|v| usize::try_from(v).ok())
+}
+
+fn get_opt_usize(buf: &[u8], pos: &mut usize) -> Option<Option<usize>> {
+    let flag = *buf.get(*pos)?;
+    *pos += 1;
+    match flag {
+        0 => Some(None),
+        1 => get_usize(buf, pos).map(Some),
+        _ => None,
+    }
+}
+
+fn channel_tag(ch: ClockChannel) -> u8 {
+    match ch {
+        ClockChannel::Planning => 0,
+        ClockChannel::Bookkeeping => 1,
+        ClockChannel::Allocator => 2,
+        ClockChannel::Recovery => 3,
+    }
+}
+
+fn channel_from_tag(t: u8) -> Option<ClockChannel> {
+    match t {
+        0 => Some(ClockChannel::Planning),
+        1 => Some(ClockChannel::Bookkeeping),
+        2 => Some(ClockChannel::Allocator),
+        3 => Some(ClockChannel::Recovery),
+        _ => None,
+    }
+}
+
+fn rung_tag(r: RecoveryRung) -> u8 {
+    match r {
+        RecoveryRung::CoalesceRetry => 0,
+        RecoveryRung::Demotion => 1,
+        RecoveryRung::Restart => 2,
+        RecoveryRung::Fallback => 3,
+    }
+}
+
+fn rung_from_tag(t: u8) -> Option<RecoveryRung> {
+    match t {
+        0 => Some(RecoveryRung::CoalesceRetry),
+        1 => Some(RecoveryRung::Demotion),
+        2 => Some(RecoveryRung::Restart),
+        3 => Some(RecoveryRung::Fallback),
+        _ => None,
+    }
+}
+
+/// A fixed-capacity [`Recorder`] that stores the stream as packed bytes.
+///
+/// See the module-level docs for the design; the short version:
+///
+/// ```
+/// use mimose_runtime::{ExecEvent, Recorder, RingRecorder};
+///
+/// let mut ring = RingRecorder::new(4096);
+/// ring.record(&ExecEvent::Compute { ns: 250 });
+/// ring.record(&ExecEvent::Reset);
+/// assert_eq!(
+///     ring.decode(),
+///     vec![ExecEvent::Compute { ns: 250 }, ExecEvent::Reset]
+/// );
+/// ring.clear(); // keeps the allocation for the next iteration
+/// assert_eq!(ring.len_events(), 0);
+/// ```
+#[derive(Debug)]
+pub struct RingRecorder {
+    /// Packed frames: `varint(payload_len)` then `tag + fields`. The valid
+    /// region is `buf[start..]`; eviction advances `start` and the buffer
+    /// is re-based lazily so appends stay amortized O(1).
+    buf: Vec<u8>,
+    /// Offset of the oldest live frame within `buf`.
+    start: usize,
+    /// Hard byte bound on the live region (`buf.len() - start`).
+    capacity: usize,
+    /// Scratch buffer one event is encoded into before framing; reused
+    /// across events so encoding never allocates once warm.
+    scratch: Vec<u8>,
+    /// Phase intern table. Encoding stores indices into this table and
+    /// decoding reads the original `&'static str` back out of it, so phase
+    /// pointers round-trip exactly. Survives `clear()`.
+    phases: Vec<&'static str>,
+    /// Grow the capacity instead of evicting when full (recorded entry
+    /// points, which must return the complete stream, set this).
+    grow: bool,
+    /// Index of the most recently interned phase (one-entry intern cache).
+    last_interned: usize,
+    /// Live (decodable) events in the buffer.
+    events: usize,
+    /// Events evicted to make room since construction (not reset by
+    /// `clear()`): non-zero means decode returns a truncated suffix.
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity_bytes` of packed events. A typical
+    /// block-engine event packs to well under 32 bytes, so even small rings
+    /// hold thousands of events.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        // Clamp to one full stack frame so `push_small` can rely on a frame
+        // always fitting an empty ring.
+        let capacity = capacity_bytes.max(SMALL_MAX);
+        Self {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            start: 0,
+            capacity,
+            scratch: Vec::with_capacity(64),
+            phases: Vec::new(),
+            grow: false,
+            last_interned: 0,
+            events: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A ring sized for one recorded engine iteration over `blocks` blocks
+    /// (or DTR slots), with enough headroom that recovery chains, demotion
+    /// plans and chaos-injected churn never evict: 4 KiB per block against
+    /// a measured ~1.2 KiB per block on the densest profile in the task
+    /// suite (T5's ~90 events/block), plus a fixed floor for
+    /// iteration-level events.
+    #[must_use]
+    pub fn for_blocks(blocks: usize) -> Self {
+        Self::new(64 * 1024 + blocks.saturating_mul(4 * 1024))
+    }
+
+    /// Switch this ring from evict-on-full to grow-on-full: when a frame
+    /// does not fit, the capacity doubles (at least to the required size)
+    /// instead of dropping the oldest events. The recorded entry points —
+    /// which must hand back the *complete* stream for `fold_events` and
+    /// audit replay — use this so an unusually event-dense profile can
+    /// never silently truncate its own evidence; steady-state reuse via
+    /// [`clear`](Self::clear) still never re-allocates once the buffer has
+    /// reached its high-water mark.
+    #[must_use]
+    pub fn growable(mut self) -> Self {
+        self.grow = true;
+        self
+    }
+
+    /// Byte capacity of the live region.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Packed bytes currently live in the ring.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Events currently live (decodable) in the ring.
+    #[must_use]
+    pub fn len_events(&self) -> usize {
+        self.events
+    }
+
+    /// `true` when no events are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Events evicted from the front to make room since construction. When
+    /// this is non-zero, [`decode`](Self::decode) returns only the newest
+    /// suffix of the stream.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forget the recorded events but keep the buffer allocation and the
+    /// phase intern table — the per-iteration reset that makes the
+    /// recorder allocation-free in steady state.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+        self.events = 0;
+    }
+
+    /// On a grow-on-full ring ([`growable`](Self::growable)), raise the
+    /// capacity so a `frame_len`-byte frame fits without evicting. A
+    /// single predictable not-taken branch on the hot path for
+    /// fixed-capacity rings.
+    #[inline]
+    fn make_room(&mut self, frame_len: usize) {
+        if self.grow && self.len_bytes() + frame_len > self.capacity {
+            self.capacity = (self.len_bytes() + frame_len).max(self.capacity.saturating_mul(2));
+        }
+    }
+
+    /// Evict the oldest frame. Returns `false` if the buffer is empty or
+    /// corrupt (frame header unreadable) — corruption is impossible for
+    /// frames we wrote, but the decoder discipline is "never panic".
+    fn evict_oldest(&mut self) -> bool {
+        let mut pos = self.start;
+        let Some(len) = get_usize(&self.buf, &mut pos) else {
+            return false;
+        };
+        let end = pos.saturating_add(len);
+        if end > self.buf.len() {
+            return false;
+        }
+        self.start = end;
+        self.events = self.events.saturating_sub(1);
+        self.dropped += 1;
+        true
+    }
+
+    /// Append the scratch-encoded event as one frame, evicting from the
+    /// front if needed.
+    fn push_frame(&mut self) {
+        // Frame = varint(len) + payload; varint of a u32-ish length is ≤ 5
+        // bytes.
+        let frame_len = self.scratch.len() + 5;
+        self.make_room(frame_len);
+        if frame_len > self.capacity {
+            // A single event larger than the whole ring: count it dropped.
+            self.dropped += 1;
+            return;
+        }
+        while self.len_bytes() + frame_len > self.capacity {
+            if !self.evict_oldest() {
+                // Unreadable front (cannot happen for self-written frames);
+                // drop everything rather than looping.
+                self.clear();
+                break;
+            }
+        }
+        // Re-base once the dead prefix dominates, so `buf` itself stays
+        // bounded by ~2× capacity.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= self.capacity) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        put_usize(&mut self.buf, self.scratch.len());
+        self.buf.extend_from_slice(&self.scratch);
+        self.events += 1;
+    }
+
+    /// Append one stack-built frame (length header included, `len` live
+    /// bytes). The whole fixed-size array is appended and then truncated to
+    /// `len`: a constant-size copy compiles to a few inline wide stores,
+    /// where a `len`-sized `extend_from_slice` is an out-of-line `memcpy`
+    /// call that costs more than the rest of the encode combined.
+    fn push_small(&mut self, frame: &[u8; SMALL_MAX], len: usize) {
+        debug_assert!(len <= SMALL_MAX);
+        self.make_room(SMALL_MAX);
+        // Conservative capacity check against the fixed frame size keeps
+        // this branch shape constant; `capacity` is clamped to ≥ SMALL_MAX
+        // at construction, so a frame always fits. Only micro-capacity
+        // rings (tests) evict slightly more eagerly than strictly needed.
+        while self.len_bytes() + SMALL_MAX > self.capacity {
+            if !self.evict_oldest() {
+                self.clear();
+                break;
+            }
+        }
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= self.capacity) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let old = self.buf.len();
+        self.buf.extend_from_slice(frame);
+        self.buf.truncate(old + len);
+        self.events += 1;
+    }
+
+    /// Intern `phase`, returning its table index. The table is tiny (the
+    /// engines use ~10 distinct phase strings), so a linear scan wins over
+    /// any hashing.
+    fn intern(&mut self, phase: &'static str) -> usize {
+        // Engines emit long runs of the same phase (all of a block's allocs,
+        // then all its frees), so a one-entry cache short-circuits the scan
+        // almost every time.
+        if let Some(&p) = self.phases.get(self.last_interned) {
+            if std::ptr::eq(p, phase) {
+                return self.last_interned;
+            }
+        }
+        // Engines pass the same `&'static str` constants over and over, so
+        // a pointer-identity scan hits nearly always; the content scan only
+        // runs for a genuinely new pointer (e.g. equal literals duplicated
+        // across codegen units).
+        let i = self
+            .phases
+            .iter()
+            .position(|p| std::ptr::eq(*p, phase))
+            .or_else(|| self.phases.iter().position(|p| *p == phase))
+            .unwrap_or_else(|| {
+                self.phases.push(phase);
+                self.phases.len() - 1
+            });
+        self.last_interned = i;
+        i
+    }
+
+    /// Encode a variable-size event (`PlanApplied`, `Recovery`) into
+    /// `self.scratch` (cleared first). Fixed-shape events never come here —
+    /// [`Recorder::record`] packs them straight into a stack frame.
+    fn encode_large(&mut self, ev: &ExecEvent) {
+        self.scratch.clear();
+        // The borrow checker disallows `&mut self.scratch` while calling
+        // `self.intern`, so intern first where needed.
+        match *ev {
+            ExecEvent::PlanApplied { ref plan } => {
+                let s = &mut self.scratch;
+                s.push(TAG_PLAN_APPLIED);
+                put_usize(s, plan.len());
+                // LSB-first bitset: bit i of byte i/8 is block i.
+                let mut byte = 0u8;
+                for i in 0..plan.len() {
+                    if plan.is_checkpointed(i) {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        s.push(byte);
+                        byte = 0;
+                    }
+                }
+                if plan.len() % 8 != 0 {
+                    s.push(byte);
+                }
+            }
+            ExecEvent::Recovery(ref rev) => {
+                let p = self.intern(rev.phase);
+                let s = &mut self.scratch;
+                s.push(TAG_RECOVERY);
+                s.push(rung_tag(rev.rung));
+                put_usize(s, rev.attempt);
+                put_usize(s, p);
+                put_usize(s, rev.requested);
+                put_usize(s, rev.ckpt_before);
+                put_usize(s, rev.ckpt_after);
+                put_varint(s, rev.shrink_factor.to_bits());
+                put_varint(s, rev.time_cost_ns);
+                put_usize(s, rev.freed_bytes);
+            }
+            _ => debug_assert!(false, "fixed-shape event routed to encode_large"),
+        }
+    }
+
+    /// Decode one event from `payload`. `None` on malformed bytes.
+    fn decode_one(&self, payload: &[u8]) -> Option<ExecEvent> {
+        let mut pos = 0usize;
+        let tag = *payload.get(pos)?;
+        pos += 1;
+        let phase_at = |idx: usize| self.phases.get(idx).copied();
+        let ev = match tag {
+            TAG_ALLOC => {
+                let id = AllocId::from_raw(get_varint(payload, &mut pos)?);
+                let offset = get_usize(payload, &mut pos)?;
+                let size = get_usize(payload, &mut pos)?;
+                let requested = get_usize(payload, &mut pos)?;
+                let phase = phase_at(get_usize(payload, &mut pos)?)?;
+                ExecEvent::Alloc {
+                    id,
+                    offset,
+                    size,
+                    requested,
+                    phase,
+                }
+            }
+            TAG_FREE => ExecEvent::Free {
+                id: AllocId::from_raw(get_varint(payload, &mut pos)?),
+                offset: get_usize(payload, &mut pos)?,
+                size: get_usize(payload, &mut pos)?,
+            },
+            TAG_OOM => ExecEvent::Oom {
+                requested: get_usize(payload, &mut pos)?,
+                free_bytes: get_usize(payload, &mut pos)?,
+                largest_free: get_usize(payload, &mut pos)?,
+                phase: phase_at(get_usize(payload, &mut pos)?)?,
+            },
+            TAG_INJECTED_OOM => ExecEvent::InjectedOom {
+                requested: get_usize(payload, &mut pos)?,
+                phase: phase_at(get_usize(payload, &mut pos)?)?,
+            },
+            TAG_COMPACT => ExecEvent::Compact {
+                moved: get_usize(payload, &mut pos)?,
+            },
+            TAG_RESET => ExecEvent::Reset,
+            TAG_COMPUTE => ExecEvent::Compute {
+                ns: get_varint(payload, &mut pos)?,
+            },
+            TAG_RECOMPUTE => ExecEvent::Recompute {
+                ns: get_varint(payload, &mut pos)?,
+            },
+            TAG_SWAP => ExecEvent::Swap {
+                ns: get_varint(payload, &mut pos)?,
+            },
+            TAG_CLOCK_CHARGE => {
+                let ch = *payload.get(pos)?;
+                pos += 1;
+                ExecEvent::ClockCharge {
+                    channel: channel_from_tag(ch)?,
+                    ns: get_varint(payload, &mut pos)?,
+                }
+            }
+            TAG_PLAN_APPLIED => {
+                let len = get_usize(payload, &mut pos)?;
+                let bytes = len.div_ceil(8);
+                let bits = payload.get(pos..pos + bytes)?;
+                let mut plan = CheckpointPlan::none(len);
+                for i in 0..len {
+                    if bits[i / 8] & (1 << (i % 8)) != 0 {
+                        plan.set(i, true);
+                    }
+                }
+                ExecEvent::PlanApplied { plan }
+            }
+            TAG_RECOVERY => {
+                let rung = rung_from_tag(*payload.get(pos)?)?;
+                pos += 1;
+                ExecEvent::Recovery(RecoveryEvent {
+                    rung,
+                    attempt: get_usize(payload, &mut pos)?,
+                    phase: phase_at(get_usize(payload, &mut pos)?)?,
+                    requested: get_usize(payload, &mut pos)?,
+                    ckpt_before: get_usize(payload, &mut pos)?,
+                    ckpt_after: get_usize(payload, &mut pos)?,
+                    shrink_factor: f64::from_bits(get_varint(payload, &mut pos)?),
+                    time_cost_ns: get_varint(payload, &mut pos)?,
+                    freed_bytes: get_usize(payload, &mut pos)?,
+                })
+            }
+            TAG_BOUNDARY => ExecEvent::Boundary {
+                phase: phase_at(get_usize(payload, &mut pos)?)?,
+                index: get_opt_usize(payload, &mut pos)?,
+                live_hint: get_opt_usize(payload, &mut pos)?,
+            },
+            _ => return None,
+        };
+        Some(ev)
+    }
+
+    /// Decode the live region back into the event vector an `EventLog`
+    /// would have recorded. Stops cleanly at the first malformed frame
+    /// (impossible for frames this recorder wrote) rather than panicking.
+    #[must_use]
+    pub fn decode(&self) -> Vec<ExecEvent> {
+        let mut out = Vec::with_capacity(self.events);
+        let mut pos = self.start;
+        while pos < self.buf.len() {
+            let Some(len) = get_usize(&self.buf, &mut pos) else {
+                break;
+            };
+            let Some(payload) = self.buf.get(pos..pos + len) else {
+                break;
+            };
+            pos += len;
+            let Some(ev) = self.decode_one(payload) else {
+                break;
+            };
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Decode and reset in one step — the per-iteration drain used by the
+    /// recorded engine paths.
+    pub fn take_decoded(&mut self) -> Vec<ExecEvent> {
+        let out = self.decode();
+        self.clear();
+        out
+    }
+}
+
+impl Recorder for RingRecorder {
+    // Deliberately out-of-line: the engines call `record` from dozens of
+    // monomorphized sites, and inlining this match everywhere bloats their
+    // hot loops (icache pressure) far beyond the ~ns a call costs.
+    #[inline(never)]
+    fn record(&mut self, ev: &ExecEvent) {
+        // Fixed-shape events (every tag except `PlanApplied` / `Recovery`)
+        // are packed into a stack frame and land in the ring with a single
+        // copy. `arr[0]` is the frame length header: every fixed-shape
+        // payload is < 128 bytes, so its varint is exactly one byte and the
+        // wire format is byte-identical to the heap path.
+        let mut arr = [0u8; SMALL_MAX];
+        let mut pos = 1usize;
+        match *ev {
+            ExecEvent::Alloc {
+                id,
+                offset,
+                size,
+                requested,
+                phase,
+            } => {
+                let p = self.intern(phase);
+                arr_byte(&mut arr, &mut pos, TAG_ALLOC);
+                arr_varint(&mut arr, &mut pos, id.raw());
+                arr_usize(&mut arr, &mut pos, offset);
+                arr_usize(&mut arr, &mut pos, size);
+                arr_usize(&mut arr, &mut pos, requested);
+                arr_usize(&mut arr, &mut pos, p);
+            }
+            ExecEvent::Free { id, offset, size } => {
+                arr_byte(&mut arr, &mut pos, TAG_FREE);
+                arr_varint(&mut arr, &mut pos, id.raw());
+                arr_usize(&mut arr, &mut pos, offset);
+                arr_usize(&mut arr, &mut pos, size);
+            }
+            ExecEvent::Oom {
+                requested,
+                free_bytes,
+                largest_free,
+                phase,
+            } => {
+                let p = self.intern(phase);
+                arr_byte(&mut arr, &mut pos, TAG_OOM);
+                arr_usize(&mut arr, &mut pos, requested);
+                arr_usize(&mut arr, &mut pos, free_bytes);
+                arr_usize(&mut arr, &mut pos, largest_free);
+                arr_usize(&mut arr, &mut pos, p);
+            }
+            ExecEvent::InjectedOom { requested, phase } => {
+                let p = self.intern(phase);
+                arr_byte(&mut arr, &mut pos, TAG_INJECTED_OOM);
+                arr_usize(&mut arr, &mut pos, requested);
+                arr_usize(&mut arr, &mut pos, p);
+            }
+            ExecEvent::Compact { moved } => {
+                arr_byte(&mut arr, &mut pos, TAG_COMPACT);
+                arr_usize(&mut arr, &mut pos, moved);
+            }
+            ExecEvent::Reset => arr_byte(&mut arr, &mut pos, TAG_RESET),
+            ExecEvent::Compute { ns } => {
+                arr_byte(&mut arr, &mut pos, TAG_COMPUTE);
+                arr_varint(&mut arr, &mut pos, ns);
+            }
+            ExecEvent::Recompute { ns } => {
+                arr_byte(&mut arr, &mut pos, TAG_RECOMPUTE);
+                arr_varint(&mut arr, &mut pos, ns);
+            }
+            ExecEvent::Swap { ns } => {
+                arr_byte(&mut arr, &mut pos, TAG_SWAP);
+                arr_varint(&mut arr, &mut pos, ns);
+            }
+            ExecEvent::ClockCharge { channel, ns } => {
+                arr_byte(&mut arr, &mut pos, TAG_CLOCK_CHARGE);
+                arr_byte(&mut arr, &mut pos, channel_tag(channel));
+                arr_varint(&mut arr, &mut pos, ns);
+            }
+            ExecEvent::Boundary {
+                phase,
+                index,
+                live_hint,
+            } => {
+                let p = self.intern(phase);
+                arr_byte(&mut arr, &mut pos, TAG_BOUNDARY);
+                arr_usize(&mut arr, &mut pos, p);
+                arr_opt_usize(&mut arr, &mut pos, index);
+                arr_opt_usize(&mut arr, &mut pos, live_hint);
+            }
+            ExecEvent::PlanApplied { .. } | ExecEvent::Recovery(_) => {
+                self.encode_large(ev);
+                self.push_frame();
+                return;
+            }
+        }
+        debug_assert!(pos - 1 < 0x80, "fixed-shape payload exceeds 1-byte header");
+        arr[0] = (pos - 1) as u8;
+        self.push_small(&arr, pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventLog;
+    use crate::Tee;
+
+    fn sample_events() -> Vec<ExecEvent> {
+        let mut plan = CheckpointPlan::none(11);
+        plan.set(2, true);
+        plan.set(7, true);
+        plan.set(10, true);
+        vec![
+            ExecEvent::Alloc {
+                id: AllocId::from_raw(42),
+                offset: 512,
+                size: 1024,
+                requested: 1000,
+                phase: "forward",
+            },
+            ExecEvent::Free {
+                id: AllocId::from_raw(42),
+                offset: 512,
+                size: 1024,
+            },
+            ExecEvent::Oom {
+                requested: 1 << 30,
+                free_bytes: 12_345,
+                largest_free: 512,
+                phase: "backward",
+            },
+            ExecEvent::InjectedOom {
+                requested: 777,
+                phase: "recompute",
+            },
+            ExecEvent::Compact { moved: 4096 },
+            ExecEvent::Reset,
+            ExecEvent::Compute { ns: u64::MAX },
+            ExecEvent::Recompute { ns: 0 },
+            ExecEvent::Swap { ns: 1 },
+            ExecEvent::ClockCharge {
+                channel: ClockChannel::Planning,
+                ns: 5,
+            },
+            ExecEvent::ClockCharge {
+                channel: ClockChannel::Bookkeeping,
+                ns: 6,
+            },
+            ExecEvent::ClockCharge {
+                channel: ClockChannel::Allocator,
+                ns: 7,
+            },
+            ExecEvent::ClockCharge {
+                channel: ClockChannel::Recovery,
+                ns: 8,
+            },
+            ExecEvent::PlanApplied { plan },
+            ExecEvent::Recovery(RecoveryEvent {
+                rung: RecoveryRung::Restart,
+                attempt: 2,
+                phase: "input",
+                requested: usize::MAX,
+                ckpt_before: 3,
+                ckpt_after: 9,
+                shrink_factor: 0.875,
+                time_cost_ns: 123_456_789,
+                freed_bytes: 0,
+            }),
+            ExecEvent::Boundary {
+                phase: "init",
+                index: None,
+                live_hint: None,
+            },
+            ExecEvent::Boundary {
+                phase: "end-of-forward",
+                index: Some(usize::MAX),
+                live_hint: Some(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        let events = sample_events();
+        let mut ring = RingRecorder::new(1 << 16);
+        for ev in &events {
+            ring.record(ev);
+        }
+        assert_eq!(ring.len_events(), events.len());
+        assert_eq!(ring.dropped_events(), 0);
+        let decoded = ring.decode();
+        assert_eq!(decoded, events);
+        // Phase pointers round-trip exactly (intern table, not copies).
+        for (a, b) in events.iter().zip(&decoded) {
+            if let (ExecEvent::Alloc { phase: pa, .. }, ExecEvent::Alloc { phase: pb, .. }) = (a, b)
+            {
+                assert!(std::ptr::eq(*pa, *pb));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_the_allocation_and_intern_table() {
+        let mut ring = RingRecorder::new(4096);
+        for ev in sample_events() {
+            ring.record(&ev);
+        }
+        let cap_before = ring.buf.capacity();
+        let interned = ring.phases.len();
+        ring.clear();
+        assert_eq!(ring.len_events(), 0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.buf.capacity(), cap_before);
+        assert_eq!(ring.phases.len(), interned);
+        // Second iteration re-uses the table and still round-trips.
+        let events = sample_events();
+        for ev in &events {
+            ring.record(ev);
+        }
+        assert_eq!(ring.decode(), events);
+        assert_eq!(ring.phases.len(), interned);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_events_and_counts_them() {
+        let mut ring = RingRecorder::new(64);
+        for i in 0..100u64 {
+            ring.record(&ExecEvent::Compute { ns: i });
+        }
+        assert!(ring.dropped_events() > 0);
+        assert!(ring.len_bytes() <= ring.capacity_bytes());
+        let decoded = ring.decode();
+        assert_eq!(decoded.len(), ring.len_events());
+        // The survivors are the newest suffix, still in order.
+        let tail: Vec<u64> = decoded
+            .iter()
+            .map(|e| match e {
+                ExecEvent::Compute { ns } => *ns,
+                _ => unreachable!(),
+            })
+            .collect();
+        let expect: Vec<u64> = (100 - tail.len() as u64..100).collect();
+        assert_eq!(tail, expect);
+    }
+
+    #[test]
+    fn growable_ring_never_drops() {
+        // Start absurdly small: a fixed ring would evict almost everything,
+        // a growable one must keep the complete stream.
+        let mut ring = RingRecorder::new(64).growable();
+        let mut events = Vec::new();
+        for i in 0..500u64 {
+            let ev = ExecEvent::Alloc {
+                id: AllocId::from_raw(i),
+                offset: (i as usize) << 20,
+                size: 1 << 20,
+                requested: 1 << 20,
+                phase: "forward",
+            };
+            ring.record(&ev);
+            events.push(ev);
+        }
+        assert_eq!(ring.dropped_events(), 0);
+        assert_eq!(ring.len_events(), events.len());
+        assert_eq!(ring.decode(), events);
+        // clear() keeps the grown capacity: the next iteration records the
+        // same volume without growing again.
+        let cap = ring.capacity_bytes();
+        ring.clear();
+        for ev in &events {
+            ring.record(ev);
+        }
+        assert_eq!(ring.capacity_bytes(), cap);
+        assert_eq!(ring.decode(), events);
+    }
+
+    #[test]
+    fn tee_into_ring_matches_event_log() {
+        let events = sample_events();
+        let mut ring = RingRecorder::new(1 << 16);
+        let mut log = EventLog::new();
+        {
+            let mut tee = Tee(&mut ring, &mut log);
+            for ev in &events {
+                tee.record(ev);
+            }
+        }
+        assert_eq!(ring.decode(), log.events);
+    }
+
+    #[test]
+    fn take_decoded_drains_for_the_next_iteration() {
+        let mut ring = RingRecorder::for_blocks(8);
+        ring.record(&ExecEvent::Reset);
+        let first = ring.take_decoded();
+        assert_eq!(first, vec![ExecEvent::Reset]);
+        assert!(ring.is_empty());
+        assert!(ring.decode().is_empty());
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        // Truncated input decodes to None, never panics.
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80, 0x80], &mut pos), None);
+    }
+
+    #[test]
+    fn packed_encoding_is_compact() {
+        // The headline claim: a typical event packs to a small fraction of
+        // `size_of::<ExecEvent>()` (which embeds a CheckpointPlan Vec).
+        let mut ring = RingRecorder::new(1 << 16);
+        ring.record(&ExecEvent::Alloc {
+            id: AllocId::from_raw(7),
+            offset: 4096,
+            size: 512,
+            requested: 300,
+            phase: "forward",
+        });
+        assert!(ring.len_bytes() <= 12);
+        assert!(ring.len_bytes() < std::mem::size_of::<ExecEvent>());
+    }
+}

@@ -1,0 +1,88 @@
+//! Differential pin of the ring-buffer recorder against the plain
+//! [`EventLog`]: tee'd into the same engine run over the committed seed
+//! fixture's scenario grid, the ring must decode back the *identical*
+//! event stream, and folding either stream must agree byte for byte —
+//! proving the packed encoding is lossless exactly where the recorded
+//! default path now relies on it.
+
+use mimose::exec::BlockIteration;
+use mimose::models::builders::{bert_base, BertHead};
+use mimose::models::{ModelInput, ModelProfile};
+use mimose::planner::CheckpointPlan;
+use mimose::runtime::{fold_events, EventLog, RingRecorder, Tee};
+use mimose::simgpu::DeviceProfile;
+
+fn profile(batch: usize, seq: usize) -> ModelProfile {
+    bert_base(BertHead::Classification { labels: 2 })
+        .profile(&ModelInput::tokens(batch, seq))
+        .expect("fixture input must profile")
+}
+
+#[test]
+fn ring_decodes_the_exact_stream_and_folds_identically_across_the_seed_grid() {
+    let dev = DeviceProfile::v100();
+    let cap = 64usize << 30;
+    for (batch, seq) in [(32usize, 128usize), (32, 200), (16, 320)] {
+        let p = profile(batch, seq);
+        let n = p.blocks.len();
+        let plans = [
+            ("none", CheckpointPlan::none(n)),
+            ("all", CheckpointPlan::all(n)),
+            (
+                "alt",
+                CheckpointPlan::from_indices(n, &[1, 3, 5, 7, 9]).expect("indices in range"),
+            ),
+        ];
+        for (pname, plan) in &plans {
+            let mut log = EventLog::new();
+            let mut ring = RingRecorder::for_blocks(n);
+            let mut tee = Tee(&mut log, &mut ring);
+            let _run = BlockIteration::plan(&p, plan)
+                .device(&dev)
+                .capacity(cap)
+                .planning_ns(4321)
+                .run_into(&mut tee);
+            assert_eq!(
+                ring.dropped_events(),
+                0,
+                "bert_b{batch}_s{seq}_plan_{pname}: for_blocks sizing evicted"
+            );
+            let decoded = ring.decode();
+            assert_eq!(
+                decoded, log.events,
+                "bert_b{batch}_s{seq}_plan_{pname}: decode diverged from the log"
+            );
+            let ff = fold_events(cap, &decoded);
+            let fl = fold_events(cap, &log.events);
+            assert_eq!(
+                ff.time, fl.time,
+                "bert_b{batch}_s{seq}_plan_{pname}: fold clock diverged"
+            );
+            assert_eq!(ff.peak_used, fl.peak_used);
+            assert_eq!(ff.peak_frag, fl.peak_frag);
+            assert_eq!(ff.report_extent(), fl.report_extent());
+            assert_eq!(ff.allocs, fl.allocs);
+            assert_eq!(ff.frees, fl.frees);
+        }
+
+        // The shuttle (double-forward) iteration exercises the measurement
+        // path's boundary/clock events too.
+        let mut log = EventLog::new();
+        let mut ring = RingRecorder::for_blocks(n);
+        let mut tee = Tee(&mut log, &mut ring);
+        let _run = BlockIteration::shuttle(&p)
+            .device(&dev)
+            .capacity(cap)
+            .run_into(&mut tee);
+        assert_eq!(
+            ring.dropped_events(),
+            0,
+            "shuttle: for_blocks sizing evicted"
+        );
+        assert_eq!(
+            ring.decode(),
+            log.events,
+            "bert_b{batch}_s{seq}_shuttle: decode diverged from the log"
+        );
+    }
+}
