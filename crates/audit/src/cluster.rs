@@ -8,9 +8,17 @@
 //! re-folds the iteration reports, re-sums the device counters, replays
 //! recorded event streams through [`fold_events`], and cross-checks every
 //! number the report claims.
+//!
+//! The fleet-failure checks prove the failure protocol's central promise:
+//! a lost device's jobs are never silently dropped. Every checkpointed
+//! job must carry a balanced event chain (checkpoint → requeue → backoff,
+//! then migrate or an explicit shed/fail), every rollup counter must
+//! re-derive from that chain, every migration must land on a device the
+//! embedded fault plan says was reachable, and retries must stay within
+//! the configured budget.
 
 use crate::diag::Diagnostic;
-use mimose_cluster::{ClusterOutcome, JobOutcome};
+use mimose_cluster::{ClusterOutcome, FleetEventKind, JobOutcome};
 use mimose_runtime::{fold_events, RunSummary};
 
 /// Audit a finished cluster run. Returns one diagnostic per violated
@@ -35,20 +43,221 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         return diags; // every per-job check below would misalign
     }
 
+    // --- Fleet event chain: tally per-job protocol steps once, for the
+    // per-job and rollup cross-checks below. ---
+    let n_jobs = report.jobs.len();
+    let mut checkpoints = vec![0usize; n_jobs];
+    let mut requeues = vec![0usize; n_jobs];
+    let mut backoffs = vec![0usize; n_jobs];
+    let mut migrates = vec![0usize; n_jobs];
+    let mut sheds = vec![0usize; n_jobs];
+    let mut event_cost = vec![0u64; n_jobs];
+    let mut lost_by_event = vec![false; report.devices.len()];
+    let mut last_round = 0usize;
+    for e in &report.events {
+        if e.round < last_round {
+            diags.push(Diagnostic::error(
+                "cluster-event-order",
+                "fleet",
+                format!(
+                    "{} event in round {} after an event in round {last_round}",
+                    e.kind.tag(),
+                    e.round
+                ),
+            ));
+        }
+        last_round = e.round;
+        let Some(j) = e.kind.job() else {
+            if let FleetEventKind::DeviceDown {
+                device,
+                until_round: None,
+            } = &e.kind
+            {
+                if *device < lost_by_event.len() {
+                    lost_by_event[*device] = true;
+                }
+            }
+            continue;
+        };
+        if j >= n_jobs {
+            diags.push(Diagnostic::error(
+                "cluster-event-job",
+                "fleet",
+                format!("{} event names job #{j}, out of range", e.kind.tag()),
+            ));
+            continue;
+        }
+        event_cost[j] += e.cost_ns;
+        match &e.kind {
+            FleetEventKind::Checkpoint { .. } => checkpoints[j] += 1,
+            FleetEventKind::Requeue { .. } => requeues[j] += 1,
+            FleetEventKind::Backoff { until_round, .. } => {
+                backoffs[j] += 1;
+                if *until_round <= e.round {
+                    diags.push(Diagnostic::error(
+                        "cluster-backoff-window",
+                        report.jobs[j].name.clone(),
+                        format!(
+                            "backoff until round {until_round} is not after round {}",
+                            e.round
+                        ),
+                    ));
+                }
+            }
+            FleetEventKind::Migrate { to, .. } => {
+                migrates[j] += 1;
+                if report.fault_plan.is_lost(*to, e.round) {
+                    diags.push(Diagnostic::error(
+                        "cluster-migrate-target",
+                        report.jobs[j].name.clone(),
+                        format!(
+                            "migrated onto device {to} in round {}, but the fault plan \
+                             says that device was already lost",
+                            e.round
+                        ),
+                    ));
+                }
+            }
+            FleetEventKind::Shed { .. } => sheds[j] += 1,
+            _ => {}
+        }
+    }
+
     // --- Per-job: re-fold the iteration reports and compare. ---
-    let mut dispatched = 0usize;
-    for (row, detail) in report.jobs.iter().zip(details) {
+    let mut first_dispatches = 0usize;
+    for (j, (row, detail)) in report.jobs.iter().zip(details).enumerate() {
         let subject = row.name.clone();
-        if row.device.is_some() {
-            dispatched += 1;
+        if detail.dispatch_seq.is_some() {
+            first_dispatches += 1;
         }
         // A job with no device must have been settled, never starved.
-        if row.device.is_none() && row.outcome == JobOutcome::Completed {
+        if row.device.is_none() && row.outcome.finished() {
             diags.push(Diagnostic::error(
                 "cluster-starvation",
                 subject.clone(),
-                "job marked completed but never dispatched to a device",
+                "job marked finished but never dispatched to a device",
             ));
+        }
+        // Failure-protocol chain balance and the no-silent-drop rule.
+        if checkpoints[j] != requeues[j] || requeues[j] != backoffs[j] {
+            diags.push(Diagnostic::error(
+                "cluster-fleet-chain",
+                subject.clone(),
+                format!(
+                    "unbalanced protocol chain: {} checkpoints, {} requeues, {} backoffs",
+                    checkpoints[j], requeues[j], backoffs[j]
+                ),
+            ));
+        }
+        if migrates[j] > requeues[j] {
+            diags.push(Diagnostic::error(
+                "cluster-fleet-chain",
+                subject.clone(),
+                format!(
+                    "{} migrations exceed {} requeues (migrated without a checkpoint)",
+                    migrates[j], requeues[j]
+                ),
+            ));
+        }
+        if checkpoints[j] > 0
+            && !matches!(
+                row.outcome,
+                JobOutcome::Migrated | JobOutcome::Shed(_) | JobOutcome::Failed(_)
+            )
+        {
+            diags.push(Diagnostic::error(
+                "cluster-displaced-outcome",
+                subject.clone(),
+                format!(
+                    "job was checkpointed off a device but its outcome is {:?} — \
+                     displaced work must end migrated, shed, or failed",
+                    row.outcome.tag()
+                ),
+            ));
+        }
+        if (sheds[j] > 0) != matches!(row.outcome, JobOutcome::Shed(_)) || sheds[j] > 1 {
+            diags.push(Diagnostic::error(
+                "cluster-shed-outcome",
+                subject.clone(),
+                format!(
+                    "{} shed events for outcome {:?}",
+                    sheds[j],
+                    row.outcome.tag()
+                ),
+            ));
+        }
+        if row.outcome == JobOutcome::Migrated && migrates[j] == 0 {
+            diags.push(Diagnostic::error(
+                "cluster-migrated-evidence",
+                subject.clone(),
+                "outcome says migrated but no migrate event exists",
+            ));
+        }
+        if row.migrations != migrates[j] {
+            diags.push(Diagnostic::error(
+                "cluster-migration-count",
+                subject.clone(),
+                format!(
+                    "row claims {} migrations, events show {}",
+                    row.migrations, migrates[j]
+                ),
+            ));
+        }
+        if row.retries != requeues[j] {
+            diags.push(Diagnostic::error(
+                "cluster-retry-count",
+                subject.clone(),
+                format!(
+                    "row claims {} retries, events show {}",
+                    row.retries, requeues[j]
+                ),
+            ));
+        }
+        if row.retries > report.fleet.max_retries {
+            diags.push(Diagnostic::error(
+                "cluster-retry-budget",
+                subject.clone(),
+                format!(
+                    "{} retries exceed the configured budget {}",
+                    row.retries, report.fleet.max_retries
+                ),
+            ));
+        }
+        if row.fleet_overhead_ns != event_cost[j] {
+            diags.push(Diagnostic::error(
+                "cluster-fleet-overhead",
+                subject.clone(),
+                format!(
+                    "row attributes {} ns of fleet overhead, events sum to {} ns",
+                    row.fleet_overhead_ns, event_cost[j]
+                ),
+            ));
+        }
+        // Placement segments must partition the job's execution.
+        let seg_iters: usize = row.placements.iter().map(|p| p.iters).sum();
+        let seg_busy: u64 = row.placements.iter().map(|p| p.busy_ns).sum();
+        if seg_iters != row.iters || seg_busy != row.total_ns {
+            diags.push(Diagnostic::error(
+                "cluster-placement-sum",
+                subject.clone(),
+                format!(
+                    "placements sum to {seg_iters} iters / {seg_busy} ns, \
+                     row says {} iters / {} ns",
+                    row.iters, row.total_ns
+                ),
+            ));
+        }
+        if let (Some(last), Some(dev)) = (row.placements.last(), row.device) {
+            if last.device != dev {
+                diags.push(Diagnostic::error(
+                    "cluster-placement-device",
+                    subject.clone(),
+                    format!(
+                        "last placement ran on device {}, row says device {dev}",
+                        last.device
+                    ),
+                ));
+            }
         }
         if row.device.is_some() && detail.dispatch_seq.is_none() {
             diags.push(Diagnostic::error(
@@ -144,20 +353,22 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         }
     }
 
-    // --- Devices: counters must re-derive from the job rows. ---
+    // --- Devices: counters must re-derive from the jobs' placement
+    // segments (a migrated job's iterations split across devices). ---
     for dev in &report.devices {
         let iters: usize = report
             .jobs
             .iter()
-            .filter(|j| j.device == Some(dev.index))
-            .map(|j| j.iters)
+            .flat_map(|j| &j.placements)
+            .filter(|p| p.device == dev.index)
+            .map(|p| p.iters)
             .sum();
         if iters != dev.iters {
             diags.push(Diagnostic::error(
                 "cluster-device-iters",
                 format!("device {}", dev.index),
                 format!(
-                    "device counted {} iters, its jobs sum to {iters}",
+                    "device counted {} iters, its placement segments sum to {iters}",
                     dev.iters
                 ),
             ));
@@ -165,14 +376,28 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         let busy: u64 = report
             .jobs
             .iter()
-            .filter(|j| j.device == Some(dev.index))
-            .map(|j| j.total_ns)
+            .flat_map(|j| &j.placements)
+            .filter(|p| p.device == dev.index)
+            .map(|p| p.busy_ns)
             .sum();
         if busy != dev.busy_ns {
             diags.push(Diagnostic::error(
                 "cluster-device-busy",
                 format!("device {}", dev.index),
-                format!("device busy {} ns, its jobs sum to {busy} ns", dev.busy_ns),
+                format!(
+                    "device busy {} ns, its placement segments sum to {busy} ns",
+                    dev.busy_ns
+                ),
+            ));
+        }
+        if dev.lost != lost_by_event[dev.index] {
+            diags.push(Diagnostic::error(
+                "cluster-device-lost",
+                format!("device {}", dev.index),
+                format!(
+                    "device lost flag {} disagrees with the event chain ({})",
+                    dev.lost, lost_by_event[dev.index]
+                ),
             ));
         }
     }
@@ -244,15 +469,71 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         }
     }
 
-    // Admission bookkeeping: every dispatched job was admitted or demoted,
-    // every undispatched one rejected or failed.
+    // --- Fleet rollup: every counter re-derives from the event chain. ---
+    let total_migrates: usize = migrates.iter().sum();
+    let total_cost: u64 = report.events.iter().map(|e| e.cost_ns).sum();
+    let failed_rows = report
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.outcome, JobOutcome::Failed(_)))
+        .count();
+    for (check, reported, derived) in [
+        (
+            "cluster-fleet-checkpoints",
+            report.fleet.checkpoints,
+            checkpoints.iter().sum::<usize>(),
+        ),
+        (
+            "cluster-fleet-migrations",
+            report.fleet.migrations,
+            total_migrates,
+        ),
+        (
+            "cluster-fleet-shed",
+            report.fleet.shed_jobs,
+            sheds.iter().sum::<usize>(),
+        ),
+        (
+            "cluster-fleet-failed",
+            report.fleet.failed_jobs,
+            failed_rows,
+        ),
+        (
+            "cluster-fleet-lost",
+            report.fleet.devices_lost,
+            lost_by_event.iter().filter(|l| **l).count(),
+        ),
+    ] {
+        if reported != derived {
+            diags.push(Diagnostic::error(
+                check,
+                "fleet",
+                format!("rollup says {reported}, the event chain derives {derived}"),
+            ));
+        }
+    }
+    if report.fleet.overhead_ns != total_cost {
+        diags.push(Diagnostic::error(
+            "cluster-fleet-overhead",
+            "fleet",
+            format!(
+                "rollup attributes {} ns of fleet overhead, events sum to {total_cost} ns",
+                report.fleet.overhead_ns
+            ),
+        ));
+    }
+
+    // Admission bookkeeping: every dispatch — first placement or
+    // migration — passed through the controller; every undispatched job
+    // was rejected or failed.
     let adm = &report.admission;
-    if adm.admitted + adm.demoted != dispatched {
+    if adm.admitted + adm.demoted != first_dispatches + total_migrates {
         diags.push(Diagnostic::error(
             "cluster-admission-count",
             "report",
             format!(
-                "{} admitted + {} demoted != {dispatched} dispatched jobs",
+                "{} admitted + {} demoted != {first_dispatches} first dispatches + \
+                 {total_migrates} migrations",
                 adm.admitted, adm.demoted
             ),
         ));
@@ -293,16 +574,24 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         ));
     }
 
-    // --- Dispatch-sequence structure: unique, dense, round-monotone; and
-    // under FIFO, same-round dispatches onto equal-capacity devices must
-    // honor submission order. ---
+    // --- Dispatch-sequence structure: the union of first dispatches and
+    // migration dispatches must be unique, dense and round-monotone; and
+    // under FIFO, same-round first dispatches onto equal-capacity devices
+    // must honor submission order. ---
     let mut seq: Vec<(usize, usize, usize)> = details // (seq, round, submit idx)
         .iter()
         .enumerate()
         .filter_map(|(j, d)| Some((d.dispatch_seq?, d.dispatch_round?, j)))
         .collect();
     seq.sort_unstable();
-    for (k, (s, round, _)) in seq.iter().enumerate() {
+    let mut all_dispatches = seq.clone();
+    for e in &report.events {
+        if let FleetEventKind::Migrate { job, seq: s, .. } = &e.kind {
+            all_dispatches.push((*s, e.round, *job));
+        }
+    }
+    all_dispatches.sort_unstable();
+    for (k, (s, round, _)) in all_dispatches.iter().enumerate() {
         if *s != k {
             diags.push(Diagnostic::error(
                 "cluster-dispatch-seq",
@@ -311,7 +600,7 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
             ));
             break;
         }
-        if k > 0 && *round < seq[k - 1].1 {
+        if k > 0 && *round < all_dispatches[k - 1].1 {
             diags.push(Diagnostic::error(
                 "cluster-dispatch-rounds",
                 "schedule",
@@ -380,5 +669,70 @@ mod tests {
         assert!(checks.contains(&"cluster-makespan"), "{checks:?}");
         assert!(checks.contains(&"cluster-row-vs-summary"), "{checks:?}");
         assert!(checks.contains(&"cluster-oom-total"), "{checks:?}");
+    }
+
+    fn lossy_outcome() -> mimose_cluster::ClusterOutcome {
+        use mimose_chaos::{DeviceFault, FleetFaultPlan};
+        let faults =
+            FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
+        run_cluster(
+            &ClusterSpec::new(mixed_workload(4), v100_pool(4))
+                .faults(faults)
+                .record(true),
+        )
+    }
+
+    #[test]
+    fn device_loss_run_lints_clean() {
+        let outcome = lossy_outcome();
+        // The scenario actually exercised the failure protocol.
+        assert!(outcome.report.fleet.migrations >= 1);
+        assert_eq!(outcome.report.fleet.devices_lost, 1);
+        let diags = lint_cluster(&outcome);
+        assert!(
+            diags.is_empty(),
+            "{:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupted_fleet_accounting_is_caught() {
+        let mut outcome = lossy_outcome();
+        let moved = outcome
+            .report
+            .jobs
+            .iter()
+            .position(|j| j.migrations > 0)
+            .expect("scenario migrates a job");
+        outcome.report.fleet.migrations += 1;
+        outcome.report.jobs[moved].retries += 1;
+        outcome.report.jobs[moved].fleet_overhead_ns += 1;
+        outcome.report.devices[1].lost = false;
+        let diags = lint_cluster(&outcome);
+        let checks: Vec<_> = diags.iter().map(|d| d.check).collect();
+        assert!(checks.contains(&"cluster-fleet-migrations"), "{checks:?}");
+        assert!(checks.contains(&"cluster-retry-count"), "{checks:?}");
+        assert!(checks.contains(&"cluster-fleet-overhead"), "{checks:?}");
+        assert!(checks.contains(&"cluster-device-lost"), "{checks:?}");
+    }
+
+    #[test]
+    fn silently_dropped_job_is_caught() {
+        let mut outcome = lossy_outcome();
+        // Forge the cover-up: pretend the displaced job plain-completed and
+        // erase its migration from the rollup and the row.
+        let moved = outcome
+            .report
+            .jobs
+            .iter()
+            .position(|j| j.migrations > 0)
+            .expect("scenario migrates a job");
+        outcome.report.jobs[moved].outcome = JobOutcome::Completed;
+        outcome.report.jobs[moved].migrations = 0;
+        let diags = lint_cluster(&outcome);
+        let checks: Vec<_> = diags.iter().map(|d| d.check).collect();
+        assert!(checks.contains(&"cluster-displaced-outcome"), "{checks:?}");
+        assert!(checks.contains(&"cluster-migration-count"), "{checks:?}");
     }
 }

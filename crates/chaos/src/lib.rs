@@ -95,35 +95,133 @@ impl FaultSpec {
             && self.alloc_failure_rate == 0.0
             && self.recompute_spike_rate == 0.0
     }
+
+    /// Deterministic JSON encoding (stable field order, fixed-precision
+    /// floats) so fault schedules can be embedded in run reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let shrink = match self.capacity_shrink {
+            Some((at, f)) => format!("{{\"at_iter\":{at},\"factor\":{f:.4}}}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seed\":{},\"estimator_bias\":{:.4},\"estimator_noise\":{:.4},\
+             \"capacity_shrink\":{},\"alloc_failure_rate\":{:.4},\
+             \"alloc_failures_per_iter\":{},\"alloc_failure_span\":{},\
+             \"recompute_spike_rate\":{:.4},\"recompute_spike_factor\":{:.4}}}",
+            self.seed,
+            self.estimator_bias,
+            self.estimator_noise,
+            shrink,
+            self.alloc_failure_rate,
+            self.alloc_failures_per_iter,
+            self.alloc_failure_span,
+            self.recompute_spike_rate,
+            self.recompute_spike_factor,
+        )
+    }
+}
+
+/// A device-lifecycle fault in a fleet plan, indexed by scheduler round
+/// (the cluster's virtual-time unit): a device can go down transiently,
+/// disappear permanently, or keep running with collapsed capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceFault {
+    /// The device is unreachable for `duration` rounds starting at
+    /// `at_round`, then returns. Any job on it when it drops must be
+    /// checkpointed and migrated — a down device's state is presumed lost.
+    Down {
+        /// First round the device is unreachable.
+        at_round: usize,
+        /// Rounds the outage lasts.
+        duration: usize,
+    },
+    /// The device disappears permanently at `at_round`.
+    Lost {
+        /// First round the device is gone.
+        at_round: usize,
+    },
+    /// The device stays up but its admission-usable capacity is multiplied
+    /// by `factor` for `duration` rounds (a co-located tenant grabbing
+    /// memory at the fleet level; the per-iteration analogue is
+    /// [`FaultSpec::capacity_shrink`]).
+    CapacityCollapse {
+        /// First round the collapse applies.
+        at_round: usize,
+        /// Rounds the collapse lasts.
+        duration: usize,
+        /// Capacity multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl DeviceFault {
+    /// The round boundaries at which this fault changes a device's state
+    /// (start, and end where one exists).
+    fn boundaries(&self) -> (usize, Option<usize>) {
+        match *self {
+            DeviceFault::Down { at_round, duration } => {
+                (at_round, Some(at_round.saturating_add(duration)))
+            }
+            DeviceFault::Lost { at_round } => (at_round, None),
+            DeviceFault::CapacityCollapse {
+                at_round, duration, ..
+            } => (at_round, Some(at_round.saturating_add(duration))),
+        }
+    }
+}
+
+/// A device's availability at one scheduler round, derived from the plan's
+/// [`DeviceFault`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceCondition {
+    /// Reachable; jobs may dispatch and step.
+    Up,
+    /// Transiently unreachable; it will return.
+    Down,
+    /// Permanently gone.
+    Lost,
 }
 
 /// A fleet-wide fault schedule: one base [`FaultSpec`] fanned out to a
 /// pool of devices, each device getting the same fault *intensities* under
 /// an independent per-device seed stream (so device 0's bad iterations are
 /// not device 3's bad iterations — faults decorrelate across the pool the
-/// way co-located interference does).
+/// way co-located interference does), plus explicit per-device lifecycle
+/// faults ([`DeviceFault`]) indexed by scheduler round.
 ///
 /// Derivation is pure: `injector_for(d)` is a function of
-/// `(base_spec, d)`, so a cluster run is reproducible from the base spec
-/// alone regardless of dispatch order or thread count.
+/// `(base_spec, d)` and `device_condition(d, round)` of the declared
+/// fault list, so a cluster run is reproducible from the plan alone
+/// regardless of dispatch order or thread count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetFaultPlan {
     base: FaultSpec,
+    device_faults: Vec<(usize, DeviceFault)>,
 }
 
 impl FleetFaultPlan {
     /// Fan `base` out across a device pool.
     #[must_use]
     pub fn new(base: FaultSpec) -> Self {
-        FleetFaultPlan { base }
+        FleetFaultPlan {
+            base,
+            device_faults: Vec::new(),
+        }
     }
 
     /// A plan that injects nothing anywhere.
     #[must_use]
     pub fn none(seed: u64) -> Self {
-        FleetFaultPlan {
-            base: FaultSpec::none(seed),
-        }
+        FleetFaultPlan::new(FaultSpec::none(seed))
+    }
+
+    /// Add a lifecycle fault for one device. Multiple faults may target
+    /// the same device; `Lost` dominates overlapping `Down` windows.
+    #[must_use]
+    pub fn with_device_fault(mut self, device: usize, fault: DeviceFault) -> Self {
+        self.device_faults.push((device, fault));
+        self
     }
 
     /// The base spec devices derive from.
@@ -132,10 +230,84 @@ impl FleetFaultPlan {
         &self.base
     }
 
+    /// The declared device-lifecycle faults, in declaration order.
+    #[must_use]
+    pub fn device_faults(&self) -> &[(usize, DeviceFault)] {
+        &self.device_faults
+    }
+
     /// True when no device will see any fault.
     #[must_use]
     pub fn is_noop(&self) -> bool {
-        self.base.is_noop()
+        self.base.is_noop() && self.device_faults.is_empty()
+    }
+
+    /// The availability of `device` at scheduler round `round`. `Lost`
+    /// dominates `Down`; with no matching fault the device is `Up`.
+    #[must_use]
+    pub fn device_condition(&self, device: usize, round: usize) -> DeviceCondition {
+        let mut cond = DeviceCondition::Up;
+        for (d, fault) in &self.device_faults {
+            if *d != device {
+                continue;
+            }
+            match *fault {
+                DeviceFault::Lost { at_round } if round >= at_round => {
+                    return DeviceCondition::Lost;
+                }
+                DeviceFault::Down { at_round, duration }
+                    if round >= at_round && round < at_round.saturating_add(duration) =>
+                {
+                    cond = DeviceCondition::Down;
+                }
+                _ => {}
+            }
+        }
+        cond
+    }
+
+    /// True when `device` is permanently gone by round `round` (it can
+    /// never host a job again).
+    #[must_use]
+    pub fn is_lost(&self, device: usize, round: usize) -> bool {
+        self.device_condition(device, round) == DeviceCondition::Lost
+    }
+
+    /// The admission-capacity multiplier for `device` at `round`: the
+    /// product of every active [`DeviceFault::CapacityCollapse`] window.
+    #[must_use]
+    pub fn capacity_factor(&self, device: usize, round: usize) -> f64 {
+        let mut f = 1.0;
+        for (d, fault) in &self.device_faults {
+            if let DeviceFault::CapacityCollapse {
+                at_round,
+                duration,
+                factor,
+            } = *fault
+            {
+                if *d == device && round >= at_round && round < at_round.saturating_add(duration) {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// The earliest round strictly after `round` at which any device's
+    /// lifecycle state changes (a fault starting or ending). `None` when
+    /// every declared boundary is behind `round` — the fleet's availability
+    /// is static from here on. Lets a scheduler with nothing runnable jump
+    /// its virtual round clock instead of spinning.
+    #[must_use]
+    pub fn next_transition_after(&self, round: usize) -> Option<usize> {
+        self.device_faults
+            .iter()
+            .flat_map(|(_, f)| {
+                let (start, end) = f.boundaries();
+                [Some(start), end].into_iter().flatten()
+            })
+            .filter(|&r| r > round)
+            .min()
     }
 
     /// The spec for device `device` of the pool: the base intensities under
@@ -151,14 +323,51 @@ impl FleetFaultPlan {
         spec
     }
 
-    /// The injector for device `device`; `None` when the plan is a no-op
-    /// (so clean fleets keep the exact no-injector execution path).
+    /// The injector for device `device`; `None` when the base spec is a
+    /// no-op (so clean fleets keep the exact no-injector execution path —
+    /// lifecycle faults need no per-iteration injector).
     #[must_use]
     pub fn injector_for(&self, device: usize) -> Option<FaultInjector> {
-        if self.is_noop() {
+        if self.base.is_noop() {
             return None;
         }
         Some(FaultInjector::new(self.spec_for(device)))
+    }
+
+    /// Deterministic JSON encoding of the whole plan (base spec plus
+    /// device-lifecycle faults), embedded in cluster reports so a gated
+    /// chaos run's evidence is self-describing.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256);
+        o.push_str("{\"base\":");
+        o.push_str(&self.base.to_json());
+        o.push_str(",\"device_faults\":[");
+        for (i, (d, fault)) in self.device_faults.iter().enumerate() {
+            o.push_str(&format!("{{\"device\":{d},"));
+            match *fault {
+                DeviceFault::Down { at_round, duration } => o.push_str(&format!(
+                    "\"kind\":\"down\",\"at_round\":{at_round},\"duration\":{duration}"
+                )),
+                DeviceFault::Lost { at_round } => {
+                    o.push_str(&format!("\"kind\":\"lost\",\"at_round\":{at_round}"));
+                }
+                DeviceFault::CapacityCollapse {
+                    at_round,
+                    duration,
+                    factor,
+                } => o.push_str(&format!(
+                    "\"kind\":\"capacity-collapse\",\"at_round\":{at_round},\
+                     \"duration\":{duration},\"factor\":{factor:.4}"
+                )),
+            }
+            o.push('}');
+            if i + 1 < self.device_faults.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("]}");
+        o
     }
 }
 
@@ -323,6 +532,110 @@ mod tests {
         assert!(differs, "per-device schedules must decorrelate");
         // No-op plans hand back no injector at all.
         assert!(FleetFaultPlan::none(5).injector_for(0).is_none());
+    }
+
+    #[test]
+    fn device_lifecycle_faults_derive_conditions() {
+        let plan = FleetFaultPlan::none(1)
+            .with_device_fault(
+                1,
+                DeviceFault::Down {
+                    at_round: 3,
+                    duration: 2,
+                },
+            )
+            .with_device_fault(2, DeviceFault::Lost { at_round: 5 })
+            .with_device_fault(
+                0,
+                DeviceFault::CapacityCollapse {
+                    at_round: 2,
+                    duration: 3,
+                    factor: 0.5,
+                },
+            );
+        assert!(!plan.is_noop());
+        // Base spec stays a no-op, so no per-iteration injector is built.
+        assert!(plan.injector_for(0).is_none());
+
+        // Down window: [3, 5).
+        assert_eq!(plan.device_condition(1, 2), DeviceCondition::Up);
+        assert_eq!(plan.device_condition(1, 3), DeviceCondition::Down);
+        assert_eq!(plan.device_condition(1, 4), DeviceCondition::Down);
+        assert_eq!(plan.device_condition(1, 5), DeviceCondition::Up);
+        // Lost is monotone.
+        assert_eq!(plan.device_condition(2, 4), DeviceCondition::Up);
+        assert!(plan.is_lost(2, 5));
+        assert!(plan.is_lost(2, 5000));
+        // Collapse affects capacity, not availability.
+        assert_eq!(plan.device_condition(0, 3), DeviceCondition::Up);
+        assert_eq!(plan.capacity_factor(0, 1), 1.0);
+        assert_eq!(plan.capacity_factor(0, 2), 0.5);
+        assert_eq!(plan.capacity_factor(0, 4), 0.5);
+        assert_eq!(plan.capacity_factor(0, 5), 1.0);
+        // Untouched device: always Up at nominal capacity.
+        assert_eq!(plan.device_condition(3, 100), DeviceCondition::Up);
+        assert_eq!(plan.capacity_factor(3, 100), 1.0);
+    }
+
+    #[test]
+    fn lost_dominates_overlapping_down() {
+        let plan = FleetFaultPlan::none(1)
+            .with_device_fault(
+                0,
+                DeviceFault::Down {
+                    at_round: 1,
+                    duration: 10,
+                },
+            )
+            .with_device_fault(0, DeviceFault::Lost { at_round: 4 });
+        assert_eq!(plan.device_condition(0, 2), DeviceCondition::Down);
+        assert_eq!(plan.device_condition(0, 4), DeviceCondition::Lost);
+        assert_eq!(plan.device_condition(0, 20), DeviceCondition::Lost);
+    }
+
+    #[test]
+    fn next_transition_walks_every_boundary() {
+        let plan = FleetFaultPlan::none(1)
+            .with_device_fault(
+                1,
+                DeviceFault::Down {
+                    at_round: 3,
+                    duration: 2,
+                },
+            )
+            .with_device_fault(2, DeviceFault::Lost { at_round: 8 });
+        assert_eq!(plan.next_transition_after(0), Some(3));
+        assert_eq!(plan.next_transition_after(3), Some(5));
+        assert_eq!(plan.next_transition_after(5), Some(8));
+        assert_eq!(plan.next_transition_after(8), None);
+        assert_eq!(FleetFaultPlan::none(0).next_transition_after(0), None);
+    }
+
+    #[test]
+    fn plan_json_is_stable_and_self_describing() {
+        let plan = FleetFaultPlan::new(FaultSpec {
+            capacity_shrink: Some((4, 0.75)),
+            ..FaultSpec::none(7)
+        })
+        .with_device_fault(1, DeviceFault::Lost { at_round: 2 })
+        .with_device_fault(
+            0,
+            DeviceFault::Down {
+                at_round: 1,
+                duration: 3,
+            },
+        );
+        let a = plan.to_json();
+        assert_eq!(a, plan.to_json());
+        assert!(a.contains("\"seed\":7"));
+        assert!(a.contains("\"capacity_shrink\":{\"at_iter\":4,\"factor\":0.7500}"));
+        assert!(a.contains("\"kind\":\"lost\",\"at_round\":2"));
+        assert!(a.contains("\"kind\":\"down\",\"at_round\":1,\"duration\":3"));
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        // The no-op plan serializes too (evidence of "no faults" is still
+        // evidence).
+        let none = FleetFaultPlan::none(0).to_json();
+        assert!(none.contains("\"device_faults\":[]"));
     }
 
     #[test]

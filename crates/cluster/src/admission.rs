@@ -32,6 +32,29 @@ pub enum AdmissionDecision {
     },
 }
 
+impl AdmissionDecision {
+    /// Human-readable explanation of a non-trivial decision, for the
+    /// fleet report: *why* a job was demoted or rejected, with the
+    /// concrete numbers the controller compared. `None` for a plain
+    /// admit. `predicted_peak` and `usable` are the values the decision
+    /// was made against.
+    #[must_use]
+    pub fn reason(&self, predicted_peak: usize, usable: usize) -> Option<String> {
+        match self {
+            AdmissionDecision::Admit => None,
+            AdmissionDecision::Demote { floor } => Some(format!(
+                "predicted peak {predicted_peak} B exceeds usable capacity {usable} B; \
+                 dispatched with the recovery ladder armed toward the \
+                 {floor} B all-checkpoint floor"
+            )),
+            AdmissionDecision::Reject { needed, capacity } => Some(format!(
+                "all-checkpoint floor {needed} B exceeds device capacity {capacity} B; \
+                 no plan can ever fit this job here"
+            )),
+        }
+    }
+}
+
 /// Running tally of admission outcomes and prediction quality — the
 /// "admission accuracy" block of the cluster report.
 #[derive(Debug, Clone, Default)]
@@ -235,6 +258,25 @@ mod tests {
         // No certificate at all: plain decide is unchanged.
         assert_eq!(ctl.decide(1 << 30, &p, &dev), AdmissionDecision::Admit);
         assert_eq!(ctl.stats.verified_admits, 1);
+    }
+
+    #[test]
+    fn reasons_explain_demote_and_reject_with_numbers() {
+        assert_eq!(AdmissionDecision::Admit.reason(10, 20), None);
+        let demote = AdmissionDecision::Demote { floor: 512 }
+            .reason(2048, 1024)
+            .unwrap();
+        assert!(demote.contains("2048 B"), "{demote}");
+        assert!(demote.contains("1024 B"), "{demote}");
+        assert!(demote.contains("512 B"), "{demote}");
+        let reject = AdmissionDecision::Reject {
+            needed: 4096,
+            capacity: 1024,
+        }
+        .reason(9999, 1024)
+        .unwrap();
+        assert!(reject.contains("4096 B"), "{reject}");
+        assert!(reject.contains("1024 B"), "{reject}");
     }
 
     #[test]

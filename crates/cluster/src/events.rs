@@ -1,0 +1,164 @@
+//! Typed fleet-lifecycle events: the scheduler's failure protocol as an
+//! append-only, cost-attributed chain on the [`ClusterReport`]
+//! (`crate::ClusterReport`) — device down/up transitions, job checkpoints,
+//! requeues with exponential backoff, migrations and load shedding. The
+//! audit layer re-derives every fleet rollup counter from this chain, so a
+//! lost device's jobs can never be dropped silently.
+
+/// Modeled virtual cost of checkpointing an in-flight job at an iteration
+/// boundary (serializing the policy/estimator state and stream cursor).
+pub const CHECKPOINT_COST_NS: u64 = 25_000;
+/// Modeled virtual cost of restoring a checkpoint on the migration target
+/// (rebuilding the session and fast-forwarding the batch stream).
+pub const RESTORE_COST_NS: u64 = 40_000;
+/// Base of the exponential requeue backoff: a job displaced for the
+/// `n`-th time waits `BACKOFF_BASE_ROUNDS << (n - 1)` rounds before it is
+/// eligible for re-admission.
+pub const BACKOFF_BASE_ROUNDS: usize = 1;
+
+/// What happened, fleet-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEventKind {
+    /// A device became unreachable. `until_round` is the round it returns
+    /// (`None` = permanently lost).
+    DeviceDown {
+        /// Device index.
+        device: usize,
+        /// First round the device is back up; `None` for permanent loss.
+        until_round: Option<usize>,
+    },
+    /// A transiently-down device returned to service.
+    DeviceUp {
+        /// Device index.
+        device: usize,
+    },
+    /// An in-flight job was parked at its last completed iteration
+    /// boundary because its device went down.
+    Checkpoint {
+        /// Job submission index.
+        job: usize,
+        /// Device the job was checkpointed off.
+        device: usize,
+        /// Next iteration the resumed job will run.
+        cursor: usize,
+    },
+    /// A checkpointed job re-entered the admission queue.
+    Requeue {
+        /// Job submission index.
+        job: usize,
+        /// How many times this job has now been displaced.
+        retries: usize,
+    },
+    /// The requeued job's exponential-backoff window.
+    Backoff {
+        /// Job submission index.
+        job: usize,
+        /// First round the job is eligible for re-admission.
+        until_round: usize,
+    },
+    /// A checkpointed job was re-admitted and resumed on a surviving
+    /// device.
+    Migrate {
+        /// Job submission index.
+        job: usize,
+        /// Device the job was displaced from.
+        from: usize,
+        /// Device the job resumed on.
+        to: usize,
+        /// Iteration the job resumed at.
+        cursor: usize,
+        /// Global dispatch sequence number of the migration dispatch.
+        seq: usize,
+    },
+    /// A job was shed: the degraded fleet can never place it, so it is
+    /// dropped explicitly (lowest priority first) rather than starved.
+    Shed {
+        /// Job submission index.
+        job: usize,
+        /// Why the job was shed.
+        reason: String,
+    },
+    /// A displaced job was failed (retry budget exhausted or the resumed
+    /// session could not be rebuilt).
+    Fail {
+        /// Job submission index.
+        job: usize,
+        /// Why the job failed.
+        reason: String,
+    },
+}
+
+impl FleetEventKind {
+    /// Stable lowercase tag for serialization.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FleetEventKind::DeviceDown { .. } => "device-down",
+            FleetEventKind::DeviceUp { .. } => "device-up",
+            FleetEventKind::Checkpoint { .. } => "checkpoint",
+            FleetEventKind::Requeue { .. } => "requeue",
+            FleetEventKind::Backoff { .. } => "backoff",
+            FleetEventKind::Migrate { .. } => "migrate",
+            FleetEventKind::Shed { .. } => "shed",
+            FleetEventKind::Fail { .. } => "fail",
+        }
+    }
+
+    /// The job the event concerns, when it concerns one.
+    #[must_use]
+    pub fn job(&self) -> Option<usize> {
+        match self {
+            FleetEventKind::Checkpoint { job, .. }
+            | FleetEventKind::Requeue { job, .. }
+            | FleetEventKind::Backoff { job, .. }
+            | FleetEventKind::Migrate { job, .. }
+            | FleetEventKind::Shed { job, .. }
+            | FleetEventKind::Fail { job, .. } => Some(*job),
+            FleetEventKind::DeviceDown { .. } | FleetEventKind::DeviceUp { .. } => None,
+        }
+    }
+}
+
+/// One entry of the fleet-event chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Scheduler round the event was observed in.
+    pub round: usize,
+    /// What happened.
+    pub kind: FleetEventKind,
+    /// Modeled virtual cost attributed to the affected job's fleet
+    /// overhead (zero for pure bookkeeping like backoff windows).
+    pub cost_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_job_attribution_are_stable() {
+        let e = FleetEventKind::Migrate {
+            job: 3,
+            from: 1,
+            to: 0,
+            cursor: 2,
+            seq: 9,
+        };
+        assert_eq!(e.tag(), "migrate");
+        assert_eq!(e.job(), Some(3));
+        let d = FleetEventKind::DeviceDown {
+            device: 1,
+            until_round: None,
+        };
+        assert_eq!(d.tag(), "device-down");
+        assert_eq!(d.job(), None);
+        assert_eq!(
+            FleetEventKind::Shed {
+                job: 0,
+                reason: "x".into()
+            }
+            .job(),
+            Some(0)
+        );
+    }
+}

@@ -157,6 +157,11 @@ pub struct JobSpec {
     /// OOM-recovery ladder; `None` runs report-and-die. The admission
     /// controller arms a default ladder when it admits a job by demotion.
     pub recovery: Option<RecoveryConfig>,
+    /// Fleet priority: when device loss shrinks the pool below the
+    /// workload, the scheduler sheds *lower*-priority jobs first and
+    /// offers freed capacity to *higher*-priority displaced jobs first.
+    /// Ties break by submission order. Default 0.
+    pub priority: u32,
 }
 
 impl JobSpec {
@@ -177,6 +182,7 @@ impl JobSpec {
             iters,
             seed,
             recovery: None,
+            priority: 0,
         }
     }
 
@@ -184,6 +190,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = Some(cfg);
+        self
+    }
+
+    /// Set the fleet priority (see the field docs; higher sheds later).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
         self
     }
 

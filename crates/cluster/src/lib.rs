@@ -33,15 +33,20 @@
 #![deny(missing_docs)]
 
 mod admission;
+mod events;
 mod job;
 mod report;
 mod scheduler;
 mod workload;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionStats};
+pub use events::{
+    FleetEvent, FleetEventKind, BACKOFF_BASE_ROUNDS, CHECKPOINT_COST_NS, RESTORE_COST_NS,
+};
 pub use job::{
     DeterministicMimose, JobPolicy, JobSpec, MIMOSE_CACHE_HIT_COST_NS, MIMOSE_PLAN_COST_NS,
+    MIMOSE_REPAIR_COST_NS,
 };
-pub use report::{ClusterReport, DeviceReport, JobOutcome, JobReport};
+pub use report::{ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlacement, JobReport};
 pub use scheduler::{run_cluster, ClusterOutcome, ClusterSpec, JobDetail, SchedulePolicy};
 pub use workload::{mixed_workload, v100_pool};

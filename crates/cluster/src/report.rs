@@ -4,16 +4,25 @@
 //! same seed serialize byte-identically).
 
 use crate::admission::AdmissionStats;
+use crate::events::{FleetEvent, FleetEventKind};
+use mimose_chaos::FleetFaultPlan;
 use mimose_planner::PlanTierStats;
 
 /// How a job's cluster run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobOutcome {
-    /// Ran every requested iteration.
+    /// Ran every requested iteration on one device.
     Completed,
+    /// Ran every requested iteration, surviving at least one device loss
+    /// via checkpointed migration.
+    Migrated,
     /// No device in the pool could ever admit it.
     Rejected,
-    /// Aborted mid-run on a typed executor error.
+    /// Explicitly dropped by fleet load shedding: after device loss, no
+    /// surviving device could ever hold it (or the whole pool died).
+    Shed(String),
+    /// Aborted mid-run on a typed executor error, or displaced past the
+    /// retry budget.
     Failed(String),
 }
 
@@ -23,10 +32,55 @@ impl JobOutcome {
     pub fn tag(&self) -> &'static str {
         match self {
             JobOutcome::Completed => "completed",
+            JobOutcome::Migrated => "migrated",
             JobOutcome::Rejected => "rejected",
+            JobOutcome::Shed(_) => "shed",
             JobOutcome::Failed(_) => "failed",
         }
     }
+
+    /// True when the job executed every requested iteration (with or
+    /// without migrating).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        matches!(self, JobOutcome::Completed | JobOutcome::Migrated)
+    }
+}
+
+/// One contiguous span of a job's execution on one device. A job that
+/// never migrates has exactly one placement; each migration opens a new
+/// one. Placements let the audit layer re-derive per-device busy time and
+/// iteration counts even when jobs move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPlacement {
+    /// Device the span ran on.
+    pub device: usize,
+    /// Virtual nanoseconds of iteration time executed in the span.
+    pub busy_ns: u64,
+    /// Iterations executed in the span.
+    pub iters: usize,
+}
+
+/// Fleet-level fault-tolerance rollup: what the failure protocol did,
+/// re-derivable from the [`FleetEvent`] chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Devices that were permanently lost during the run.
+    pub devices_lost: usize,
+    /// Jobs checkpointed off a dying device.
+    pub checkpoints: usize,
+    /// Checkpointed jobs successfully resumed on a surviving device.
+    pub migrations: usize,
+    /// Jobs explicitly shed because the degraded pool could never place
+    /// them.
+    pub shed_jobs: usize,
+    /// Jobs that ended in failure (executor errors or retry exhaustion).
+    pub failed_jobs: usize,
+    /// The retry budget displaced jobs were bounded by.
+    pub max_retries: usize,
+    /// Total modeled checkpoint/restore overhead, virtual nanoseconds
+    /// (accounted per job, separate from device busy time).
+    pub overhead_ns: u64,
 }
 
 /// One job's rollup.
@@ -61,6 +115,20 @@ pub struct JobReport {
     /// Planning-tier ladder counters (certified hit → cached hit → repair
     /// → cold solve) for runtime planners; `None` for static policies.
     pub plan_tiers: Option<PlanTierStats>,
+    /// Successful checkpoint-and-resume moves between devices.
+    pub migrations: usize,
+    /// Times the job was displaced off a dying device (bounded by the
+    /// spec's retry budget).
+    pub retries: usize,
+    /// Modeled checkpoint/restore overhead attributed to this job,
+    /// virtual nanoseconds (separate from device busy time).
+    pub fleet_overhead_ns: u64,
+    /// Why admission demoted or rejected the job (`None` for a plain
+    /// admit); the first non-trivial decision the job received.
+    pub admission_reason: Option<String>,
+    /// Per-device execution spans, in execution order (empty when the
+    /// job never dispatched).
+    pub placements: Vec<JobPlacement>,
 }
 
 /// One device's rollup.
@@ -76,6 +144,9 @@ pub struct DeviceReport {
     pub jobs_run: usize,
     /// Iterations executed here.
     pub iters: usize,
+    /// True when the fault plan permanently removed this device during
+    /// the run.
+    pub lost: bool,
 }
 
 /// The whole fleet's rollup.
@@ -103,6 +174,14 @@ pub struct ClusterReport {
     pub recovery_events: usize,
     /// Admission outcomes and prediction quality.
     pub admission: AdmissionStats,
+    /// Fault-tolerance rollup (all zeros on a clean run).
+    pub fleet: FleetStats,
+    /// The fault plan the run executed under, embedded so a gated chaos
+    /// run's evidence is self-describing.
+    pub fault_plan: FleetFaultPlan,
+    /// The typed fleet-event chain, in observation order (empty on a
+    /// clean run).
+    pub events: Vec<FleetEvent>,
     /// Per-device rollups, in index order.
     pub devices: Vec<DeviceReport>,
     /// Per-job rollups, in submission order.
@@ -131,6 +210,63 @@ fn push_kv_s(out: &mut String, key: &str, v: &str, comma: bool) {
     if comma {
         out.push(',');
     }
+}
+
+fn push_event(o: &mut String, e: &FleetEvent) {
+    o.push('{');
+    push_kv_u(o, "round", e.round as u128, true);
+    push_kv_s(o, "kind", e.kind.tag(), true);
+    match &e.kind {
+        FleetEventKind::DeviceDown {
+            device,
+            until_round,
+        } => {
+            push_kv_u(o, "device", *device as u128, true);
+            match until_round {
+                Some(r) => push_kv_u(o, "until_round", *r as u128, true),
+                None => o.push_str("\"until_round\":null,"),
+            }
+        }
+        FleetEventKind::DeviceUp { device } => {
+            push_kv_u(o, "device", *device as u128, true);
+        }
+        FleetEventKind::Checkpoint {
+            job,
+            device,
+            cursor,
+        } => {
+            push_kv_u(o, "job", *job as u128, true);
+            push_kv_u(o, "device", *device as u128, true);
+            push_kv_u(o, "cursor", *cursor as u128, true);
+        }
+        FleetEventKind::Requeue { job, retries } => {
+            push_kv_u(o, "job", *job as u128, true);
+            push_kv_u(o, "retries", *retries as u128, true);
+        }
+        FleetEventKind::Backoff { job, until_round } => {
+            push_kv_u(o, "job", *job as u128, true);
+            push_kv_u(o, "until_round", *until_round as u128, true);
+        }
+        FleetEventKind::Migrate {
+            job,
+            from,
+            to,
+            cursor,
+            seq,
+        } => {
+            push_kv_u(o, "job", *job as u128, true);
+            push_kv_u(o, "from", *from as u128, true);
+            push_kv_u(o, "to", *to as u128, true);
+            push_kv_u(o, "cursor", *cursor as u128, true);
+            push_kv_u(o, "seq", *seq as u128, true);
+        }
+        FleetEventKind::Shed { job, reason } | FleetEventKind::Fail { job, reason } => {
+            push_kv_u(o, "job", *job as u128, true);
+            push_kv_s(o, "reason", reason, true);
+        }
+    }
+    push_kv_u(o, "cost_ns", u128::from(e.cost_ns), false);
+    o.push('}');
 }
 
 impl ClusterReport {
@@ -187,6 +323,30 @@ impl ClusterReport {
         );
         o.push_str("},");
 
+        o.push_str("\"fleet\":{");
+        let f = &self.fleet;
+        push_kv_u(&mut o, "devices_lost", f.devices_lost as u128, true);
+        push_kv_u(&mut o, "checkpoints", f.checkpoints as u128, true);
+        push_kv_u(&mut o, "migrations", f.migrations as u128, true);
+        push_kv_u(&mut o, "shed_jobs", f.shed_jobs as u128, true);
+        push_kv_u(&mut o, "failed_jobs", f.failed_jobs as u128, true);
+        push_kv_u(&mut o, "max_retries", f.max_retries as u128, true);
+        push_kv_u(&mut o, "overhead_ns", u128::from(f.overhead_ns), false);
+        o.push_str("},");
+
+        o.push_str("\"fault_plan\":");
+        o.push_str(&self.fault_plan.to_json());
+        o.push(',');
+
+        o.push_str("\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            push_event(&mut o, e);
+            if i + 1 < self.events.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("],");
+
         o.push_str("\"devices\":[");
         for (i, d) in self.devices.iter().enumerate() {
             o.push('{');
@@ -194,7 +354,8 @@ impl ClusterReport {
             push_kv_u(&mut o, "capacity_bytes", d.capacity_bytes as u128, true);
             push_kv_u(&mut o, "busy_ns", d.busy_ns as u128, true);
             push_kv_u(&mut o, "jobs_run", d.jobs_run as u128, true);
-            push_kv_u(&mut o, "iters", d.iters as u128, false);
+            push_kv_u(&mut o, "iters", d.iters as u128, true);
+            o.push_str(&format!("\"lost\":{}", d.lost));
             o.push('}');
             if i + 1 < self.devices.len() {
                 o.push(',');
@@ -223,6 +384,30 @@ impl ClusterReport {
             push_kv_u(&mut o, "recovered_iters", j.recovered_iters as u128, true);
             push_kv_u(&mut o, "recovery_events", j.recovery_events as u128, true);
             push_kv_u(&mut o, "shuttle_iters", j.shuttle_iters as u128, true);
+            push_kv_u(&mut o, "migrations", j.migrations as u128, true);
+            push_kv_u(&mut o, "retries", j.retries as u128, true);
+            push_kv_u(
+                &mut o,
+                "fleet_overhead_ns",
+                u128::from(j.fleet_overhead_ns),
+                true,
+            );
+            match &j.admission_reason {
+                Some(r) => push_kv_s(&mut o, "admission_reason", r, true),
+                None => o.push_str("\"admission_reason\":null,"),
+            }
+            o.push_str("\"placements\":[");
+            for (k, p) in j.placements.iter().enumerate() {
+                o.push('{');
+                push_kv_u(&mut o, "device", p.device as u128, true);
+                push_kv_u(&mut o, "busy_ns", u128::from(p.busy_ns), true);
+                push_kv_u(&mut o, "iters", p.iters as u128, false);
+                o.push('}');
+                if k + 1 < j.placements.len() {
+                    o.push(',');
+                }
+            }
+            o.push_str("],");
             match &j.plan_tiers {
                 Some(t) => {
                     o.push_str("\"plan_tiers\":{");
@@ -262,18 +447,59 @@ mod tests {
             recovered_iters: 0,
             recovery_events: 0,
             admission: AdmissionStats::default(),
+            fleet: FleetStats {
+                devices_lost: 1,
+                checkpoints: 1,
+                migrations: 1,
+                shed_jobs: 0,
+                failed_jobs: 0,
+                max_retries: 3,
+                overhead_ns: 65_000,
+            },
+            fault_plan: FleetFaultPlan::none(0),
+            events: vec![
+                FleetEvent {
+                    round: 1,
+                    kind: FleetEventKind::DeviceDown {
+                        device: 1,
+                        until_round: None,
+                    },
+                    cost_ns: 0,
+                },
+                FleetEvent {
+                    round: 1,
+                    kind: FleetEventKind::Checkpoint {
+                        job: 0,
+                        device: 1,
+                        cursor: 1,
+                    },
+                    cost_ns: 25_000,
+                },
+                FleetEvent {
+                    round: 2,
+                    kind: FleetEventKind::Migrate {
+                        job: 0,
+                        from: 1,
+                        to: 0,
+                        cursor: 1,
+                        seq: 2,
+                    },
+                    cost_ns: 40_000,
+                },
+            ],
             devices: vec![DeviceReport {
                 index: 0,
                 capacity_bytes: 16,
                 busy_ns: 90,
                 jobs_run: 1,
                 iters: 2,
+                lost: false,
             }],
             jobs: vec![JobReport {
                 name: "job \"a\"".into(),
                 policy: "Baseline".into(),
                 device: Some(0),
-                outcome: JobOutcome::Completed,
+                outcome: JobOutcome::Migrated,
                 demoted: false,
                 iters: 2,
                 queue_wait_ns: 0,
@@ -289,6 +515,22 @@ mod tests {
                     repaired_plans: 2,
                     cold_solves: 1,
                 }),
+                migrations: 1,
+                retries: 1,
+                fleet_overhead_ns: 65_000,
+                admission_reason: Some("fits under \"usable\"".into()),
+                placements: vec![
+                    JobPlacement {
+                        device: 1,
+                        busy_ns: 40,
+                        iters: 1,
+                    },
+                    JobPlacement {
+                        device: 0,
+                        busy_ns: 50,
+                        iters: 1,
+                    },
+                ],
             }],
         };
         let a = report.to_json();
@@ -301,6 +543,29 @@ mod tests {
             "\"plan_tiers\":{\"certified_hits\":3,\"cache_hits\":1,\
              \"repaired_plans\":2,\"cold_solves\":1}"
         ));
+        assert!(a.contains("\"fleet\":{\"devices_lost\":1,"));
+        assert!(a.contains("\"fault_plan\":{\"base\":{"));
+        assert!(a.contains("\"kind\":\"device-down\",\"device\":1,\"until_round\":null"));
+        assert!(a.contains(
+            "\"kind\":\"migrate\",\"job\":0,\"from\":1,\"to\":0,\
+             \"cursor\":1,\"seq\":2,\"cost_ns\":40000"
+        ));
+        assert!(a.contains("\"outcome\":\"migrated\""));
+        assert!(a.contains("\"admission_reason\":\"fits under \\\"usable\\\"\""));
+        assert!(a.contains(
+            "\"placements\":[{\"device\":1,\"busy_ns\":40,\"iters\":1},\
+             {\"device\":0,\"busy_ns\":50,\"iters\":1}]"
+        ));
+        assert!(a.contains("\"lost\":false"));
         assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn outcome_finished_covers_both_success_paths() {
+        assert!(JobOutcome::Completed.finished());
+        assert!(JobOutcome::Migrated.finished());
+        assert!(!JobOutcome::Rejected.finished());
+        assert!(!JobOutcome::Shed("x".into()).finished());
+        assert!(!JobOutcome::Failed("x".into()).finished());
     }
 }

@@ -9,13 +9,37 @@
 //! [`ClusterReport`] is byte-identical run-to-run and across thread
 //! counts — the fleet-level extension of the executor's determinism
 //! contract.
+//!
+//! # Failure protocol
+//!
+//! The fault plan can take devices away mid-run
+//! ([`DeviceFault`](mimose_chaos::DeviceFault)). At the top of every
+//! round the scheduler observes each device's condition; when a device
+//! with an in-flight job goes down or is lost, the job is **checkpointed**
+//! at its last completed iteration boundary
+//! ([`Session::checkpoint`](mimose_exec::Session::checkpoint) captures the
+//! warmed policy — plan cache, certificates, adaptive-estimator state —
+//! plus the data-stream cursor and accumulated summary), **requeued**
+//! under exponential virtual-round backoff, and **migrated** to a
+//! surviving device through the same admission controller that gated its
+//! first dispatch (so migration can demote). When the degraded pool can
+//! never place a job (its all-checkpoint floor exceeds every surviving
+//! device) or its retry budget is exhausted, the job is **shed** or
+//! **failed** explicitly — lowest priority first — never silently
+//! dropped or starved. Every step of the protocol is a typed, cost-
+//! attributed [`FleetEvent`](crate::FleetEvent) on the report, and all of
+//! it happens in the serial dispatch/merge phases, so the determinism
+//! contract survives device loss.
 
 use crate::admission::AdmissionController;
+use crate::events::{
+    FleetEvent, FleetEventKind, BACKOFF_BASE_ROUNDS, CHECKPOINT_COST_NS, RESTORE_COST_NS,
+};
 use crate::job::JobSpec;
-use crate::report::{ClusterReport, DeviceReport, JobOutcome, JobReport};
+use crate::report::{ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlacement, JobReport};
 use crate::AdmissionDecision;
-use mimose_chaos::FleetFaultPlan;
-use mimose_exec::{IterationRecord, RecoveryConfig, Session};
+use mimose_chaos::{DeviceCondition, FleetFaultPlan};
+use mimose_exec::{IterationRecord, RecoveryConfig, Session, SessionCheckpoint};
 use mimose_models::ModelProfile;
 use mimose_planner::memory_model::min_feasible_budget;
 use mimose_planner::{CheckpointPlan, MemoryPolicy, PlanTierStats};
@@ -78,11 +102,14 @@ pub struct ClusterSpec {
     pub faults: FleetFaultPlan,
     /// Record every iteration's event stream for auditing.
     pub record: bool,
+    /// How many times a job may be displaced off a dying device before
+    /// the scheduler fails it instead of requeueing again.
+    pub max_retries: usize,
 }
 
 impl ClusterSpec {
     /// A spec with default knobs: FIFO dispatch, parallel rounds, 0.95
-    /// headroom, no faults, no recording.
+    /// headroom, no faults, no recording, 3 displacement retries.
     #[must_use]
     pub fn new(jobs: Vec<JobSpec>, devices: Vec<DeviceProfile>) -> Self {
         ClusterSpec {
@@ -93,6 +120,7 @@ impl ClusterSpec {
             headroom: 0.95,
             faults: FleetFaultPlan::none(0),
             record: false,
+            max_retries: 3,
         }
     }
 
@@ -123,6 +151,13 @@ impl ClusterSpec {
         self.record = record;
         self
     }
+
+    /// Set the displacement retry budget.
+    #[must_use]
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
 }
 
 /// Everything the scheduler kept about one job, for auditing and
@@ -131,13 +166,15 @@ impl ClusterSpec {
 pub struct JobDetail {
     /// Job name.
     pub name: String,
-    /// Device the job ran on.
+    /// Device the job last ran on.
     pub device: Option<usize>,
-    /// Round at which the job was dispatched.
+    /// Round at which the job was first dispatched.
     pub dispatch_round: Option<usize>,
-    /// Global dispatch sequence number (0 = dispatched first).
+    /// Global dispatch sequence number of the first dispatch
+    /// (0 = dispatched first; migrations take fresh numbers, recorded on
+    /// their [`FleetEvent`]).
     pub dispatch_seq: Option<usize>,
-    /// Per-iteration reports, in order.
+    /// Per-iteration reports, in order, across every placement.
     pub reports: Vec<IterationReport>,
     /// Recorded event streams (empty unless the spec set `record`).
     pub records: Vec<IterationRecord>,
@@ -146,6 +183,9 @@ pub struct JobDetail {
     /// Planning-tier ladder counters snapshotted at job completion
     /// (`None` for static planners, which have no tiered planner).
     pub plan_tiers: Option<PlanTierStats>,
+    /// Why admission demoted or rejected the job (`None` for plain
+    /// admits).
+    pub admission_reason: Option<String>,
 }
 
 /// A finished cluster run: the rollup plus per-job evidence.
@@ -176,7 +216,7 @@ struct Submitted {
     /// peak bound), when it fits at least one device in the pool. Admits
     /// backed by it are scored as `verified_admits`.
     certificate: Option<SafetyCertificate>,
-    /// The built policy, taken at dispatch.
+    /// The built policy, taken at first dispatch.
     policy: Option<Box<dyn MemoryPolicy>>,
 }
 
@@ -186,6 +226,19 @@ struct Running<'a> {
     session: Session<'a>,
     remaining: usize,
     reports: Vec<IterationReport>,
+    /// Busy time executed in the current placement span.
+    seg_ns: u64,
+    /// Iterations executed in the current placement span.
+    seg_iters: usize,
+}
+
+/// A checkpointed job waiting out its backoff window for re-admission.
+struct Displaced {
+    job: usize,
+    checkpoint: SessionCheckpoint,
+    remaining: usize,
+    ready_round: usize,
+    from_device: usize,
 }
 
 /// Per-device accumulator.
@@ -202,13 +255,15 @@ fn usable_bytes(dev: &DeviceProfile, headroom: f64) -> usize {
 }
 
 /// Run the whole spec to completion. Per-job failures (profile errors,
-/// data exhaustion) are recorded in the report, not returned — a fleet
-/// run always yields a report.
+/// data exhaustion, displacement past the retry budget) and load-shed
+/// jobs are recorded in the report, not returned — a fleet run always
+/// yields a report, even when the fault plan kills every device.
 #[must_use]
 ///
 /// # Panics
 ///
 /// Panics when `spec` has no devices.
+#[allow(clippy::too_many_lines)]
 pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
     let n_jobs = spec.jobs.len();
     let n_devs = spec.devices.len();
@@ -229,6 +284,15 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         .collect();
     let mut queue_waits: Vec<Option<u64>> = vec![None; n_jobs];
     let mut demoted: Vec<bool> = vec![false; n_jobs];
+    let mut placements: Vec<Vec<JobPlacement>> = vec![Vec::new(); n_jobs];
+    let mut migrations = vec![0usize; n_jobs];
+    let mut retries = vec![0usize; n_jobs];
+    let mut overhead = vec![0u64; n_jobs];
+    let mut events: Vec<FleetEvent> = Vec::new();
+    let mut fleet = FleetStats {
+        max_retries: spec.max_retries,
+        ..FleetStats::default()
+    };
 
     // Submission: profile each job, build its policy (static planners
     // solve once against the worst case, costed on device 0), and settle
@@ -253,6 +317,10 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         if floor > max_usable {
             ctl.stats.rejected += 1;
             outcomes[j] = Some(JobOutcome::Rejected);
+            details[j].admission_reason = Some(format!(
+                "all-checkpoint floor {floor} B exceeds every device's usable \
+                 capacity (max {max_usable} B)"
+            ));
             submitted.push(None);
             continue;
         }
@@ -291,18 +359,323 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
     }
 
     let mut pending: Vec<usize> = (0..n_jobs).filter(|&j| outcomes[j].is_none()).collect();
+    let mut displaced: Vec<Displaced> = Vec::new();
     let mut devices: Vec<DeviceState> = (0..n_devs).map(|_| DeviceState::default()).collect();
+    let mut last_cond: Vec<DeviceCondition> = vec![DeviceCondition::Up; n_devs];
+    let mut lost: Vec<bool> = vec![false; n_devs];
     let mut rounds = 0usize;
     let mut dispatch_seq = 0usize;
 
     loop {
-        // Dispatch phase: idle devices pick from the queue in device-index
-        // order, so the choice sequence is deterministic.
+        // --- Fault observation: device transitions, displacement. ---
+        // Serial and in device-index order, so the event chain and every
+        // checkpoint decision are deterministic.
+        let conds: Vec<DeviceCondition> = (0..n_devs)
+            .map(|d| spec.faults.device_condition(d, rounds))
+            .collect();
+        // The best any permanently-surviving device can ever offer: the
+        // shed pivot. Down devices count — they come back.
+        let alive_usable = (0..n_devs)
+            .filter(|&d| conds[d] != DeviceCondition::Lost)
+            .map(|d| usable_bytes(&spec.devices[d], spec.headroom))
+            .max()
+            .unwrap_or(0);
         for d in 0..n_devs {
-            if devices[d].running.is_some() {
+            if conds[d] == last_cond[d] {
                 continue;
             }
-            let usable = usable_bytes(&spec.devices[d], spec.headroom);
+            match conds[d] {
+                DeviceCondition::Up => {
+                    events.push(FleetEvent {
+                        round: rounds,
+                        kind: FleetEventKind::DeviceUp { device: d },
+                        cost_ns: 0,
+                    });
+                }
+                DeviceCondition::Down | DeviceCondition::Lost => {
+                    let until_round = if conds[d] == DeviceCondition::Lost {
+                        lost[d] = true;
+                        fleet.devices_lost += 1;
+                        None
+                    } else {
+                        // Walk the plan's boundaries to the round this
+                        // device returns (None if it is lost before then).
+                        let mut probe = rounds;
+                        let mut until = None;
+                        while let Some(t) = spec.faults.next_transition_after(probe) {
+                            match spec.faults.device_condition(d, t) {
+                                DeviceCondition::Up => {
+                                    until = Some(t);
+                                    break;
+                                }
+                                DeviceCondition::Lost => break,
+                                DeviceCondition::Down => probe = t,
+                            }
+                        }
+                        until
+                    };
+                    events.push(FleetEvent {
+                        round: rounds,
+                        kind: FleetEventKind::DeviceDown {
+                            device: d,
+                            until_round,
+                        },
+                        cost_ns: 0,
+                    });
+                    // Displace the in-flight job, if any: checkpoint at
+                    // the last completed iteration boundary and requeue
+                    // under backoff — or fail it when the retry budget is
+                    // spent. (Whether the degraded pool can still place it
+                    // is the triage pass's call, so shedding stays in one
+                    // priority-ordered place.)
+                    if let Some(run) = devices[d].running.take() {
+                        let j = run.job;
+                        if run.seg_iters > 0 || run.seg_ns > 0 {
+                            placements[j].push(JobPlacement {
+                                device: d,
+                                busy_ns: run.seg_ns,
+                                iters: run.seg_iters,
+                            });
+                        }
+                        details[j].reports.extend(run.reports);
+                        if retries[j] + 1 > spec.max_retries {
+                            let reason = format!(
+                                "displaced {} times; retry budget {} exhausted",
+                                retries[j] + 1,
+                                spec.max_retries
+                            );
+                            events.push(FleetEvent {
+                                round: rounds,
+                                kind: FleetEventKind::Fail {
+                                    job: j,
+                                    reason: reason.clone(),
+                                },
+                                cost_ns: 0,
+                            });
+                            outcomes[j] = Some(JobOutcome::Failed(reason));
+                            let mut session = run.session;
+                            details[j].records.extend(session.take_records());
+                            details[j].summary = session.summary().clone();
+                            details[j].plan_tiers = session.policy().plan_tier_stats();
+                        } else {
+                            retries[j] += 1;
+                            let checkpoint = run.session.checkpoint();
+                            overhead[j] += CHECKPOINT_COST_NS;
+                            fleet.checkpoints += 1;
+                            events.push(FleetEvent {
+                                round: rounds,
+                                kind: FleetEventKind::Checkpoint {
+                                    job: j,
+                                    device: d,
+                                    cursor: checkpoint.cursor(),
+                                },
+                                cost_ns: CHECKPOINT_COST_NS,
+                            });
+                            events.push(FleetEvent {
+                                round: rounds,
+                                kind: FleetEventKind::Requeue {
+                                    job: j,
+                                    retries: retries[j],
+                                },
+                                cost_ns: 0,
+                            });
+                            let ready_round = rounds
+                                .saturating_add(BACKOFF_BASE_ROUNDS << (retries[j] - 1).min(32));
+                            events.push(FleetEvent {
+                                round: rounds,
+                                kind: FleetEventKind::Backoff {
+                                    job: j,
+                                    until_round: ready_round,
+                                },
+                                cost_ns: 0,
+                            });
+                            displaced.push(Displaced {
+                                job: j,
+                                checkpoint,
+                                remaining: run.remaining,
+                                ready_round,
+                                from_device: d,
+                            });
+                        }
+                    }
+                }
+            }
+            last_cond[d] = conds[d];
+        }
+
+        // --- Triage: shed queued work the degraded pool can never place,
+        // lowest priority first (graceful degradation instead of
+        // starvation). The only place jobs are shed, so the drop order is
+        // one deterministic priority sort per round. ---
+        let unplaceable = |j: usize| submitted[j].as_ref().is_none_or(|s| s.floor > alive_usable);
+        if pending.iter().any(|&j| unplaceable(j)) || displaced.iter().any(|x| unplaceable(x.job)) {
+            let mut to_shed: Vec<(usize, Option<Displaced>)> = Vec::new();
+            let mut kept = Vec::with_capacity(displaced.len());
+            for x in displaced.drain(..) {
+                if unplaceable(x.job) {
+                    to_shed.push((x.job, Some(x)));
+                } else {
+                    kept.push(x);
+                }
+            }
+            displaced = kept;
+            to_shed.extend(
+                pending
+                    .iter()
+                    .copied()
+                    .filter(|&j| unplaceable(j))
+                    .map(|j| (j, None)),
+            );
+            pending.retain(|&j| !unplaceable(j));
+            to_shed.sort_by_key(|(j, _)| (spec.jobs[*j].priority, *j));
+            for (j, dsp) in to_shed {
+                let reason = if alive_usable == 0 {
+                    "no surviving device in the pool".to_string()
+                } else {
+                    format!(
+                        "all-checkpoint floor exceeds every surviving device's usable \
+                         capacity ({alive_usable} B)"
+                    )
+                };
+                events.push(FleetEvent {
+                    round: rounds,
+                    kind: FleetEventKind::Shed {
+                        job: j,
+                        reason: reason.clone(),
+                    },
+                    cost_ns: 0,
+                });
+                fleet.shed_jobs += 1;
+                outcomes[j] = Some(JobOutcome::Shed(reason));
+                if let Some(dsp) = dsp {
+                    // Preserve the checkpointed evidence of what did run.
+                    let (summary, records, policy) = dsp.checkpoint.into_evidence();
+                    details[j].summary = summary;
+                    details[j].records.extend(records);
+                    details[j].plan_tiers = policy.plan_tier_stats();
+                }
+            }
+        }
+
+        // --- Dispatch phase: idle, reachable devices pick work in
+        // device-index order, so the choice sequence is deterministic.
+        // Displaced jobs (highest priority, then requeue order) outrank
+        // fresh submissions — they hold warmed checkpoints, and deferring
+        // new admissions is the fleet's backpressure under degradation. ---
+        for d in 0..n_devs {
+            if devices[d].running.is_some() || conds[d] != DeviceCondition::Up {
+                continue;
+            }
+            let cap_factor = spec.faults.capacity_factor(d, rounds);
+            let dev_eff = if cap_factor < 1.0 {
+                let mut dev = spec.devices[d].clone();
+                dev.total_mem_bytes = (dev.total_mem_bytes as f64 * cap_factor) as usize;
+                dev
+            } else {
+                spec.devices[d].clone()
+            };
+            let usable = usable_bytes(&dev_eff, spec.headroom);
+
+            // 1. A ready displaced job that fits?
+            let pick = displaced
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| {
+                    x.ready_round <= rounds
+                        && submitted[x.job].as_ref().is_some_and(|s| s.floor <= usable)
+                })
+                .min_by_key(|(pos, x)| (std::cmp::Reverse(spec.jobs[x.job].priority), *pos))
+                .map(|(pos, _)| pos);
+            if let Some(pos) = pick {
+                let dsp = displaced.remove(pos);
+                let j = dsp.job;
+                let sub = submitted[j].as_ref().expect("displaced job was submitted");
+                let decision = ctl.decide_certified(
+                    sub.predicted_peak,
+                    &sub.worst,
+                    &dev_eff,
+                    sub.certificate.as_ref(),
+                );
+                if details[j].admission_reason.is_none() {
+                    details[j].admission_reason = decision.reason(sub.predicted_peak, usable);
+                }
+                let recovery: Option<RecoveryConfig> = match decision {
+                    AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
+                    AdmissionDecision::Demote { .. } => {
+                        demoted[j] = true;
+                        Some(spec.jobs[j].recovery.clone().unwrap_or_default())
+                    }
+                    AdmissionDecision::Reject { .. } => {
+                        // Pre-filtered on the floor, so unreachable; settle
+                        // the job explicitly rather than dropping it.
+                        let reason = "re-admission rejected below the floor".to_string();
+                        events.push(FleetEvent {
+                            round: rounds,
+                            kind: FleetEventKind::Fail {
+                                job: j,
+                                reason: reason.clone(),
+                            },
+                            cost_ns: 0,
+                        });
+                        outcomes[j] = Some(JobOutcome::Failed(reason));
+                        continue;
+                    }
+                };
+                let cursor = dsp.checkpoint.cursor();
+                let mut builder = Session::builder(&spec.jobs[j].model, &spec.jobs[j].dataset)
+                    .device(spec.devices[d].clone())
+                    .record(spec.record)
+                    .resume(dsp.checkpoint);
+                if let Some(cfg) = recovery {
+                    builder = builder.recovery(cfg);
+                }
+                if let Some(inj) = spec.faults.injector_for(d) {
+                    builder = builder.chaos(inj);
+                }
+                match builder.build() {
+                    Ok(session) => {
+                        details[j].device = Some(d);
+                        overhead[j] += RESTORE_COST_NS;
+                        migrations[j] += 1;
+                        fleet.migrations += 1;
+                        events.push(FleetEvent {
+                            round: rounds,
+                            kind: FleetEventKind::Migrate {
+                                job: j,
+                                from: dsp.from_device,
+                                to: d,
+                                cursor,
+                                seq: dispatch_seq,
+                            },
+                            cost_ns: RESTORE_COST_NS,
+                        });
+                        dispatch_seq += 1;
+                        devices[d].running = Some(Running {
+                            job: j,
+                            session,
+                            remaining: dsp.remaining,
+                            reports: Vec::with_capacity(dsp.remaining),
+                            seg_ns: 0,
+                            seg_iters: 0,
+                        });
+                    }
+                    Err(e) => {
+                        let reason = e.to_string();
+                        events.push(FleetEvent {
+                            round: rounds,
+                            kind: FleetEventKind::Fail {
+                                job: j,
+                                reason: reason.clone(),
+                            },
+                            cost_ns: 0,
+                        });
+                        outcomes[j] = Some(JobOutcome::Failed(reason));
+                    }
+                }
+                continue;
+            }
+
+            // 2. Otherwise a fresh submission under the dispatch policy.
             let admissible = |j: &usize| submitted[*j].as_ref().is_some_and(|s| s.floor <= usable);
             let pick = match spec.schedule {
                 SchedulePolicy::Fifo => pending.iter().position(admissible),
@@ -337,9 +710,12 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             let decision = ctl.decide_certified(
                 sub.predicted_peak,
                 &sub.worst,
-                &spec.devices[d],
+                &dev_eff,
                 sub.certificate.as_ref(),
             );
+            if details[j].admission_reason.is_none() {
+                details[j].admission_reason = decision.reason(sub.predicted_peak, usable);
+            }
             let recovery: Option<RecoveryConfig> = match decision {
                 AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
                 AdmissionDecision::Demote { .. } => {
@@ -380,6 +756,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                         session,
                         remaining: spec.jobs[j].iters,
                         reports: Vec::with_capacity(spec.jobs[j].iters),
+                        seg_ns: 0,
+                        seg_iters: 0,
                     });
                 }
                 Err(e) => outcomes[j] = Some(JobOutcome::Failed(e.to_string())),
@@ -388,13 +766,57 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
 
         let busy = devices.iter().filter(|s| s.running.is_some()).count();
         if busy == 0 {
-            debug_assert!(
-                pending.iter().all(|&j| outcomes[j].is_some()),
-                "every queued job must be dispatchable somewhere"
-            );
-            break;
+            if displaced.is_empty() && pending.is_empty() {
+                break;
+            }
+            // Waiting round: nothing runnable now, but work remains (a
+            // down device will return, or a backoff window is open). Jump
+            // the virtual round clock to the next boundary instead of
+            // spinning; if no boundary lies ahead the stragglers are
+            // unreachable — shed them explicitly and stop.
+            let next_fault = spec.faults.next_transition_after(rounds);
+            let next_ready = displaced
+                .iter()
+                .map(|x| x.ready_round)
+                .filter(|&r| r > rounds)
+                .min();
+            match [next_fault, next_ready].into_iter().flatten().min() {
+                Some(r) => {
+                    rounds = r;
+                    continue;
+                }
+                None => {
+                    let mut stragglers: Vec<(usize, Option<Displaced>)> = pending
+                        .drain(..)
+                        .map(|j| (j, None))
+                        .chain(displaced.drain(..).map(|x| (x.job, Some(x))))
+                        .collect();
+                    stragglers.sort_by_key(|(j, _)| (spec.jobs[*j].priority, *j));
+                    for (j, dsp) in stragglers {
+                        let reason =
+                            "fleet quiesced with no placement path for this job".to_string();
+                        events.push(FleetEvent {
+                            round: rounds,
+                            kind: FleetEventKind::Shed {
+                                job: j,
+                                reason: reason.clone(),
+                            },
+                            cost_ns: 0,
+                        });
+                        fleet.shed_jobs += 1;
+                        outcomes[j] = Some(JobOutcome::Shed(reason));
+                        if let Some(dsp) = dsp {
+                            let (summary, records, policy) = dsp.checkpoint.into_evidence();
+                            details[j].summary = summary;
+                            details[j].records.extend(records);
+                            details[j].plan_tiers = policy.plan_tier_stats();
+                        }
+                    }
+                    break;
+                }
+            }
         }
-        ctl.stats.deferred_rounds += pending.len();
+        ctl.stats.deferred_rounds += pending.len() + displaced.len();
 
         // Run phase: one iteration per busy device. `steps[d]` is the
         // device's (prediction, outcome) pair; order never depends on
@@ -436,14 +858,23 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 let run = state.running.as_mut().expect("stepped device was busy");
                 match outcome {
                     Ok(report) => {
-                        state.busy_ns += report.time.total_ns();
+                        let t = report.time.total_ns();
+                        state.busy_ns += t;
                         state.iters += 1;
+                        run.seg_ns += t;
+                        run.seg_iters += 1;
                         if let Some(p) = predicted {
                             ctl.stats.score(p, report.peak_bytes);
                         }
                         run.reports.push(report);
                         run.remaining -= 1;
-                        (run.remaining == 0).then_some(JobOutcome::Completed)
+                        (run.remaining == 0).then(|| {
+                            if migrations[run.job] > 0 {
+                                JobOutcome::Migrated
+                            } else {
+                                JobOutcome::Completed
+                            }
+                        })
                     }
                     Err(e) => Some(JobOutcome::Failed(e.to_string())),
                 }
@@ -452,10 +883,19 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 let mut run = devices[d].running.take().expect("finishing job was busy");
                 devices[d].jobs_run += 1;
                 outcomes[run.job] = Some(outcome);
-                details[run.job].records = run.session.take_records();
+                if run.seg_iters > 0 || run.seg_ns > 0 {
+                    placements[run.job].push(JobPlacement {
+                        device: d,
+                        busy_ns: run.seg_ns,
+                        iters: run.seg_iters,
+                    });
+                }
+                details[run.job].records.extend(run.session.take_records());
                 details[run.job].summary = run.session.summary().clone();
                 details[run.job].plan_tiers = run.session.policy().plan_tier_stats();
-                details[run.job].reports = std::mem::take(&mut run.reports);
+                details[run.job]
+                    .reports
+                    .extend(std::mem::take(&mut run.reports));
             }
         }
         rounds += 1;
@@ -476,6 +916,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         waits.iter().sum::<u64>() / waits.len() as u64
     };
     let max_queue_wait_ns = waits.iter().copied().max().unwrap_or(0);
+    fleet.overhead_ns = overhead.iter().sum();
 
     let jobs: Vec<JobReport> = spec
         .jobs
@@ -498,9 +939,18 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 recovery_events: s.recovery_events,
                 shuttle_iters: s.shuttle_iters,
                 plan_tiers: details[j].plan_tiers,
+                migrations: migrations[j],
+                retries: retries[j],
+                fleet_overhead_ns: overhead[j],
+                admission_reason: details[j].admission_reason.clone(),
+                placements: placements[j].clone(),
             }
         })
         .collect();
+    fleet.failed_jobs = jobs
+        .iter()
+        .filter(|j| matches!(j.outcome, JobOutcome::Failed(_)))
+        .count();
     let report = ClusterReport {
         schedule: spec.schedule.name().to_string(),
         rounds,
@@ -513,6 +963,9 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         recovered_iters: jobs.iter().map(|j| j.recovered_iters).sum(),
         recovery_events: jobs.iter().map(|j| j.recovery_events).sum(),
         admission: ctl.stats,
+        fleet,
+        fault_plan: spec.faults.clone(),
+        events,
         devices: devices
             .iter()
             .enumerate()
@@ -522,6 +975,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 busy_ns: s.busy_ns,
                 jobs_run: s.jobs_run,
                 iters: s.iters,
+                lost: lost[i],
             })
             .collect(),
         jobs,
@@ -534,7 +988,7 @@ mod tests {
     use super::*;
     use crate::job::JobPolicy;
     use crate::workload::{mixed_workload, v100_pool};
-    use mimose_chaos::{FaultSpec, FleetFaultPlan};
+    use mimose_chaos::{DeviceFault, FaultSpec, FleetFaultPlan};
     use mimose_data::presets;
     use mimose_models::builders::{bert_base, BertHead};
     use mimose_planner::PolicyKind;
@@ -577,6 +1031,8 @@ mod tests {
             }
             assert!(outcome.report.makespan_ns > 0);
             assert!(outcome.report.utilization_pct > 0.0);
+            assert!(outcome.report.events.is_empty());
+            assert_eq!(outcome.report.fleet.migrations, 0);
         }
     }
 
@@ -608,6 +1064,9 @@ mod tests {
         assert_eq!(outcome.report.jobs[0].device, None);
         assert_eq!(outcome.report.admission.rejected, 1);
         assert_eq!(outcome.report.makespan_ns, 0);
+        // Satellite: the rejection explains itself.
+        let reason = outcome.report.jobs[0].admission_reason.as_ref().unwrap();
+        assert!(reason.contains("all-checkpoint floor"), "{reason}");
     }
 
     #[test]
@@ -631,6 +1090,187 @@ mod tests {
         for (da, db) in a.details.iter().zip(&b.details) {
             assert_eq!(da.records.len(), da.reports.len());
             assert_eq!(format!("{:?}", da.reports), format!("{:?}", db.reports));
+        }
+    }
+
+    #[test]
+    fn lost_device_migrates_its_job_and_the_fleet_finishes() {
+        // 4 devices, 8 jobs, 4 iterations each; device 1 dies permanently
+        // in round 2, mid-flight. Everything must still finish (the
+        // displaced job via migration), with the full event chain.
+        let faults =
+            FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
+        let spec = ClusterSpec::new(mixed_workload(4), v100_pool(4)).faults(faults);
+        let outcome = run_cluster(&spec);
+        let r = &outcome.report;
+        assert!(
+            r.jobs.iter().all(|j| j.outcome.finished()),
+            "{:?}",
+            r.jobs
+                .iter()
+                .map(|j| (j.name.clone(), j.outcome.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.fleet.devices_lost, 1);
+        assert!(r.fleet.migrations >= 1);
+        assert_eq!(r.fleet.checkpoints, r.fleet.migrations);
+        assert_eq!(r.fleet.shed_jobs, 0);
+        assert!(r.devices[1].lost);
+        // The migrated job's evidence: two placements, full iteration
+        // count, chained events, attributed overhead.
+        let moved: Vec<_> = r.jobs.iter().filter(|j| j.migrations > 0).collect();
+        assert!(!moved.is_empty());
+        for j in moved {
+            assert_eq!(j.outcome, JobOutcome::Migrated);
+            assert_eq!(j.iters, 4);
+            assert!(j.placements.len() >= 2);
+            assert_eq!(j.placements.iter().map(|p| p.iters).sum::<usize>(), 4);
+            assert_eq!(
+                j.fleet_overhead_ns,
+                (CHECKPOINT_COST_NS + RESTORE_COST_NS) * j.migrations as u64
+            );
+            assert!(j.retries >= 1);
+        }
+        let kinds: Vec<_> = r.events.iter().map(|e| e.kind.tag()).collect();
+        for k in ["device-down", "checkpoint", "requeue", "backoff", "migrate"] {
+            assert!(kinds.contains(&k), "missing {k} in {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn device_loss_replays_byte_identically_across_threads() {
+        let mk = |threads| {
+            let faults =
+                FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
+            ClusterSpec::new(mixed_workload(4), v100_pool(4))
+                .faults(faults)
+                .threads(threads)
+                .record(true)
+        };
+        let serial = run_cluster(&mk(1)).report.to_json();
+        let parallel = run_cluster(&mk(4)).report.to_json();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, run_cluster(&mk(1)).report.to_json());
+    }
+
+    #[test]
+    fn transient_outage_returns_the_device_to_service() {
+        // Device 0 of 2 goes down for 3 rounds; its job migrates to the
+        // survivor and the device serves again after the outage.
+        let faults = FleetFaultPlan::none(0).with_device_fault(
+            0,
+            DeviceFault::Down {
+                at_round: 1,
+                duration: 3,
+            },
+        );
+        let spec = ClusterSpec::new(mixed_workload(3), v100_pool(2)).faults(faults);
+        let outcome = run_cluster(&spec);
+        let r = &outcome.report;
+        assert!(r.jobs.iter().all(|j| j.outcome.finished()));
+        assert_eq!(r.fleet.devices_lost, 0);
+        assert!(!r.devices[0].lost);
+        let kinds: Vec<_> = r.events.iter().map(|e| e.kind.tag()).collect();
+        assert!(kinds.contains(&"device-down"));
+        assert!(kinds.contains(&"device-up"));
+        // The down event knows when the device returns.
+        let down = r.events.iter().find_map(|e| match &e.kind {
+            FleetEventKind::DeviceDown {
+                device: 0,
+                until_round,
+            } => Some(*until_round),
+            _ => None,
+        });
+        assert_eq!(down, Some(Some(4)));
+        // Device 0 ran iterations after returning (it served again).
+        assert!(r.devices[0].iters > 0);
+    }
+
+    #[test]
+    fn losing_every_device_sheds_the_backlog_explicitly() {
+        let faults = FleetFaultPlan::none(0)
+            .with_device_fault(0, DeviceFault::Lost { at_round: 1 })
+            .with_device_fault(1, DeviceFault::Lost { at_round: 1 });
+        let spec = ClusterSpec::new(mixed_workload(4), v100_pool(2)).faults(faults);
+        let outcome = run_cluster(&spec);
+        let r = &outcome.report;
+        // No hangs, no silent drops: every job has an explicit outcome.
+        for j in &r.jobs {
+            assert!(
+                matches!(j.outcome, JobOutcome::Shed(_)) || j.outcome.finished(),
+                "{}: {:?}",
+                j.name,
+                j.outcome
+            );
+        }
+        assert!(r.fleet.shed_jobs > 0);
+        assert_eq!(r.fleet.devices_lost, 2);
+        // Within a round, shedding drops the lowest-priority jobs first.
+        let shed_events: Vec<(usize, usize)> = r
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FleetEventKind::Shed { job, .. } => Some((e.round, *job)),
+                _ => None,
+            })
+            .collect();
+        assert!(shed_events.len() > 1);
+        for w in shed_events.windows(2) {
+            let ((ra, a), (rb, b)) = (w[0], w[1]);
+            if ra == rb {
+                assert!(
+                    (spec.jobs[a].priority, a) <= (spec.jobs[b].priority, b),
+                    "shed order not lowest-priority-first: {a} before {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_budget_bounds_repeated_displacement() {
+        // One device that flaps down every other round around a 1-device
+        // pool forces repeated displacement of the same job; with a
+        // 1-retry budget the job must fail explicitly, not loop forever.
+        let faults = FleetFaultPlan::none(0)
+            .with_device_fault(
+                0,
+                DeviceFault::Down {
+                    at_round: 1,
+                    duration: 1,
+                },
+            )
+            .with_device_fault(
+                0,
+                DeviceFault::Down {
+                    at_round: 3,
+                    duration: 1,
+                },
+            )
+            .with_device_fault(
+                0,
+                DeviceFault::Down {
+                    at_round: 5,
+                    duration: 1,
+                },
+            );
+        let jobs = vec![mixed_workload(8).remove(0)];
+        let spec = ClusterSpec::new(jobs, v100_pool(1))
+            .faults(faults)
+            .max_retries(1);
+        let outcome = run_cluster(&spec);
+        let job = &outcome.report.jobs[0];
+        assert!(
+            matches!(job.outcome, JobOutcome::Failed(_)) || job.outcome.finished(),
+            "{:?}",
+            job.outcome
+        );
+        assert!(
+            job.retries <= 2,
+            "retries {} exceeded budget+1",
+            job.retries
+        );
+        if let JobOutcome::Failed(reason) = &job.outcome {
+            assert!(reason.contains("retry budget"), "{reason}");
         }
     }
 }

@@ -18,7 +18,9 @@ pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
 /// BERT/RoBERTa fine-tuning and ResNet-50 detection across four datasets,
 /// under a spread of policies (Mimose, static planners, DTR, unconstrained
 /// baseline) and budgets. `iters` sets each job's length; seeds are fixed
-/// so the workload is one deterministic value.
+/// so the workload is one deterministic value. The Mimose jobs carry fleet
+/// priority 1 (everything else 0), so degraded pools shed the static
+/// baselines before the input-aware jobs — inert in clean runs.
 #[must_use]
 pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
     let cls = || bert_base(BertHead::Classification { labels: 2 });
@@ -30,7 +32,8 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
             JobPolicy::Mimose { budget: 6 * GIB },
             iters,
             11,
-        ),
+        )
+        .with_priority(1),
         JobSpec::new(
             "roberta-squad-mimose",
             roberta_base(BertHead::QuestionAnswering),
@@ -38,7 +41,8 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
             JobPolicy::Mimose { budget: 7 * GIB },
             iters,
             12,
-        ),
+        )
+        .with_priority(1),
         JobSpec::new(
             "bert-swag-sublinear",
             bert_base(BertHead::Classification { labels: 4 }),
@@ -78,7 +82,8 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
             JobPolicy::Mimose { budget: 9 * GIB },
             iters,
             17,
-        ),
+        )
+        .with_priority(1),
         JobSpec::new(
             "bert-squad-sublinear",
             bert_base(BertHead::QuestionAnswering),

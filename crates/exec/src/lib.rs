@@ -33,7 +33,7 @@ mod trainer;
 pub use iteration::{BlockIteration, DtrIteration};
 pub use mimose_runtime::{IterationReport, OomReport, RunSummary, TimeBreakdown};
 pub use recovery::{grow_plan, RecoveryConfig};
-pub use session::{Session, SessionBuilder};
+pub use session::{Session, SessionBuilder, SessionCheckpoint};
 pub use shadow::{shadow_check_enabled, DtrShadow, ShadowChecker};
 pub use trainer::{ExecError, IterationRecord, Trainer};
 

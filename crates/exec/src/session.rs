@@ -38,6 +38,81 @@ use mimose_planner::MemoryPolicy;
 use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
 
+/// A parked session, detached from its device: everything needed to
+/// resume the job at the last completed iteration boundary on *another*
+/// device — the warmed policy (plan cache, certificates and adaptive
+/// estimator state ride inside the policy box), the batch-stream seed and
+/// cursor, the accumulated summary and any recorded event streams.
+///
+/// Because a [`BatchStream`](mimose_data::BatchStream) is a pure function
+/// of its seed, the checkpoint stores only the *cursor*: resuming fast-
+/// forwards a fresh stream by `cursor` draws and lands on byte-identical
+/// batches, so a migrated run replays exactly as the uninterrupted run
+/// would have.
+pub struct SessionCheckpoint {
+    policy: Box<dyn MemoryPolicy>,
+    seed: u64,
+    cursor: usize,
+    summary: RunSummary,
+    records: Vec<IterationRecord>,
+}
+
+impl SessionCheckpoint {
+    /// The iteration the resumed session will run next.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The batch-stream seed the checkpointed run used.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The run folded up to the checkpoint boundary.
+    #[must_use]
+    pub fn summary(&self) -> &RunSummary {
+        &self.summary
+    }
+
+    /// The parked policy (for inspecting budget or plan-tier state before
+    /// resuming).
+    #[must_use]
+    pub fn policy(&self) -> &dyn MemoryPolicy {
+        &*self.policy
+    }
+
+    /// Dissolve the checkpoint without resuming, yielding the parked
+    /// evidence — the folded summary, recorded event streams, and policy
+    /// box — for a job that will never run again (e.g. one a degraded
+    /// fleet sheds after displacement).
+    #[must_use]
+    pub fn into_evidence(self) -> (RunSummary, Vec<IterationRecord>, Box<dyn MemoryPolicy>) {
+        (self.summary, self.records, self.policy)
+    }
+
+    /// Deterministic JSON digest of the checkpoint — the serialized
+    /// evidence a fleet report embeds for a migrated job (the policy box
+    /// itself resumes in-process; its budget and ladder counters are the
+    /// externally meaningful state).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let budget = self.policy.budget_bytes();
+        let budget = if budget == usize::MAX { 0 } else { budget };
+        format!(
+            "{{\"seed\":{},\"cursor\":{},\"iters\":{},\"total_ns\":{},\
+             \"max_peak_bytes\":{},\"budget_bytes\":{budget},\"records\":{}}}",
+            self.seed,
+            self.cursor,
+            self.summary.iters,
+            self.summary.total_ns,
+            self.summary.max_peak_bytes,
+            self.records.len(),
+        )
+    }
+}
+
 /// Configures and validates a [`Session`]. Created by [`Session::builder`].
 pub struct SessionBuilder<'a> {
     model: &'a ModelGraph,
@@ -48,6 +123,7 @@ pub struct SessionBuilder<'a> {
     recovery: Option<RecoveryConfig>,
     injector: Option<FaultInjector>,
     record: bool,
+    resume: Option<(usize, RunSummary, Vec<IterationRecord>)>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -102,6 +178,20 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Resume from a [`SessionCheckpoint`] instead of starting fresh: the
+    /// checkpoint supplies the policy, seed, stream cursor, accumulated
+    /// summary and recorded streams (overriding any `policy`/`seed` set on
+    /// the builder). Device, recovery, chaos and recording stay builder
+    /// knobs — a migrated job resumes on a *different* device with that
+    /// device's fault stream.
+    #[must_use]
+    pub fn resume(mut self, checkpoint: SessionCheckpoint) -> Self {
+        self.policy = Some(checkpoint.policy);
+        self.seed = checkpoint.seed;
+        self.resume = Some((checkpoint.cursor, checkpoint.summary, checkpoint.records));
+        self
+    }
+
     /// Validate and build the session.
     ///
     /// Fails with [`ExecError::MissingPolicy`] when no policy was supplied
@@ -112,7 +202,15 @@ impl<'a> SessionBuilder<'a> {
         self.model
             .profile(&self.dataset.worst_case())
             .map_err(|source| ExecError::Profile { iter: 0, source })?;
-        let stream = self.dataset.stream(self.seed);
+        let mut stream = self.dataset.stream(self.seed);
+        let (cursor, summary, records) = self.resume.unwrap_or_default();
+        // Fast-forward to the checkpoint boundary: the stream is a pure
+        // function of the seed, so drawing `cursor` batches reproduces the
+        // exact position (and therefore the exact future batches) the
+        // checkpointed session saw.
+        for _ in 0..cursor {
+            stream.next_batch();
+        }
         Ok(Session {
             model: self.model,
             dataset: self.dataset,
@@ -124,10 +222,10 @@ impl<'a> SessionBuilder<'a> {
             record: self.record,
             stream,
             pending: None,
-            next_iter: 0,
+            next_iter: cursor,
             epoch_len: self.dataset.iters_per_epoch(),
-            summary: RunSummary::default(),
-            records: Vec::new(),
+            summary,
+            records,
         })
     }
 }
@@ -166,6 +264,7 @@ impl<'a> Session<'a> {
             recovery: None,
             injector: None,
             record: false,
+            resume: None,
         }
     }
 
@@ -215,6 +314,22 @@ impl<'a> Session<'a> {
     /// with `.record(true)`).
     pub fn take_records(&mut self) -> Vec<IterationRecord> {
         std::mem::take(&mut self.records)
+    }
+
+    /// Park the session at the last completed iteration boundary,
+    /// detaching it from its device: consumes the session and returns the
+    /// [`SessionCheckpoint`] a [`SessionBuilder::resume`] call can restart
+    /// from (on any device). Any peeked-but-unrun batch is discarded; the
+    /// resumed stream re-draws it byte-identically from the cursor.
+    #[must_use]
+    pub fn checkpoint(self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            policy: self.policy,
+            seed: self.seed,
+            cursor: self.next_iter,
+            summary: self.summary,
+            records: self.records,
+        }
     }
 
     /// The next iteration's input, drawn from the stream without running
@@ -437,6 +552,59 @@ mod tests {
             let fold = mimose_runtime::fold_events(rec.capacity, &rec.events);
             assert_eq!(fold.peak_used, rep.peak_bytes, "iter {}", rec.iter);
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_byte_identically() {
+        let model = bert_base(BertHead::Classification { labels: 2 });
+        let ds = presets::glue_qqp();
+        let worst = model.profile(&ds.worst_case()).unwrap();
+        let budget = 5usize << 30;
+        let mk_policy = || SublinearPolicy::plan_offline(&worst, budget);
+
+        let mut whole = Session::builder(&model, &ds)
+            .policy(mk_policy())
+            .seed(13)
+            .record(true)
+            .build()
+            .unwrap();
+        let whole_reports = whole.run(12).unwrap();
+
+        // Run 5 iterations, peek (so a pending batch is in flight), then
+        // park, resume and run the remaining 7.
+        let mut first = Session::builder(&model, &ds)
+            .policy(mk_policy())
+            .seed(13)
+            .record(true)
+            .build()
+            .unwrap();
+        let mut resumed_reports = first.run(5).unwrap();
+        let _ = first.peek_input();
+        let cp = first.checkpoint();
+        assert_eq!(cp.cursor(), 5);
+        assert_eq!(cp.seed(), 13);
+        assert_eq!(cp.summary().iters, 5);
+        let digest = cp.to_json();
+        assert!(digest.contains("\"cursor\":5"), "{digest}");
+        let mut second = Session::builder(&model, &ds)
+            .record(true)
+            .resume(cp)
+            .build()
+            .unwrap();
+        assert_eq!(second.next_iter(), 5);
+        resumed_reports.extend(second.run(7).unwrap());
+
+        assert_eq!(
+            format!("{whole_reports:?}"),
+            format!("{resumed_reports:?}"),
+            "checkpoint/resume must replay the uninterrupted run"
+        );
+        assert_eq!(
+            format!("{:?}", whole.summary()),
+            format!("{:?}", second.summary())
+        );
+        // Recorded streams accumulate across the boundary.
+        assert_eq!(second.take_records().len(), 12);
     }
 
     #[test]

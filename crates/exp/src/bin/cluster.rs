@@ -5,9 +5,17 @@
 //! determinism contract: same seed ⇒ byte-identical `ClusterReport` across
 //! two runs and across thread counts; a 1-job/1-device cluster run
 //! byte-identical to driving the job through `Session::run`; the audit
-//! cluster lint clean under every dispatch policy; and makespan improving
-//! monotonically from 1 to 4 devices. The gate also writes
-//! `BENCH_cluster.json` (the device-scaling record) at the repository root.
+//! cluster lint clean under every dispatch policy; makespan improving
+//! monotonically from 1 to 4 devices; and — the survivability leg — a
+//! fault plan permanently killing one device mid-run must end with every
+//! job finished or explicitly shed (zero lost jobs), a lint-clean fleet
+//! trace, and byte-identical replay across runs and thread counts. The
+//! gate also writes `BENCH_cluster.json` (the device-scaling record) at
+//! the repository root.
+//!
+//! `--lose` / `--down` inject device-lifecycle faults into plain runs, so
+//! the failure protocol's event chain can be inspected by hand
+//! (`--json` includes the full chain).
 
 use mimose::cluster::{mixed_workload, v100_pool, ClusterOutcome};
 use mimose::prelude::*;
@@ -26,9 +34,11 @@ OPTIONS:
     --iters <N>       iterations per job  [4]
     --threads <N>     worker threads (1 = serial; 0 = one per busy device)  [0]
     --schedule <P>    fifo | shortest-predicted | best-fit-memory  [fifo]
+    --lose <D:R>      permanently lose device D at round R (repeatable)
+    --down <D:R:N>    take device D down at round R for N rounds (repeatable)
     --json            print the ClusterReport JSON instead of the table
-    --gate            run the determinism/audit/scaling gate and write
-                      BENCH_cluster.json at the repository root
+    --gate            run the determinism/audit/scaling/survivability gate
+                      and write BENCH_cluster.json at the repository root
     --help            print this message
 ";
 
@@ -37,6 +47,7 @@ struct Args {
     iters: usize,
     threads: usize,
     schedule: SchedulePolicy,
+    faults: Vec<(usize, DeviceFault)>,
     json: bool,
     gate: bool,
 }
@@ -48,9 +59,32 @@ impl Default for Args {
             iters: 4,
             threads: 0,
             schedule: SchedulePolicy::Fifo,
+            faults: Vec::new(),
             json: false,
             gate: false,
         }
+    }
+}
+
+fn parse_fault(arg: &str, spec: &str) -> Result<(usize, DeviceFault), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("{arg}: '{s}' is not an integer"))
+    };
+    match (arg, parts.as_slice()) {
+        ("--lose", [d, r]) => Ok((num(d)?, DeviceFault::Lost { at_round: num(r)? })),
+        ("--down", [d, r, n]) => Ok((
+            num(d)?,
+            DeviceFault::Down {
+                at_round: num(r)?,
+                duration: num(n)?,
+            },
+        )),
+        _ => Err(format!(
+            "{arg} expects {}",
+            if arg == "--lose" { "D:R" } else { "D:R:N" }
+        )),
     }
 }
 
@@ -91,16 +125,32 @@ fn parse(args: &[String]) -> Result<Option<Args>, String> {
                 a.schedule = SchedulePolicy::parse(name)
                     .ok_or_else(|| format!("unknown schedule '{name}'"))?;
             }
+            "--lose" | "--down" => {
+                let flag = arg.as_str();
+                a.faults.push(parse_fault(flag, value(flag)?)?);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
+    for (d, _) in &a.faults {
+        if *d >= a.devices {
+            return Err(format!("fault names device {d}, pool has {}", a.devices));
+        }
+    }
     Ok(Some(a))
+}
+
+fn fault_plan(faults: &[(usize, DeviceFault)]) -> FleetFaultPlan {
+    faults.iter().fold(FleetFaultPlan::none(0), |plan, (d, f)| {
+        plan.with_device_fault(*d, *f)
+    })
 }
 
 fn spec(args: &Args) -> ClusterSpec {
     ClusterSpec::new(mixed_workload(args.iters), v100_pool(args.devices))
         .schedule(args.schedule)
         .threads(args.threads)
+        .faults(fault_plan(&args.faults))
 }
 
 fn render(outcome: &ClusterOutcome) {
@@ -157,6 +207,21 @@ fn render(outcome: &ClusterOutcome) {
         r.admission.demoted,
         r.admission.rejected,
     );
+    if !r.events.is_empty() {
+        println!(
+            "fleet: {} device(s) lost | {} checkpoints | {} migrations | \
+             {} shed | {} failed | overhead {} ms",
+            r.fleet.devices_lost,
+            r.fleet.checkpoints,
+            r.fleet.migrations,
+            r.fleet.shed_jobs,
+            r.fleet.failed_jobs,
+            ms(r.fleet.overhead_ns),
+        );
+        for e in &r.events {
+            println!("  round {:>3}  {}", e.round, e.kind.tag());
+        }
+    }
 }
 
 /// One device-count sample of the scaling sweep.
@@ -300,7 +365,54 @@ fn gate(args: &Args) -> Vec<String> {
         ),
     );
 
-    // 6. Emit the scaling record.
+    // 6. Survivability: permanently lose device 1 of 4 in round 2 of the
+    // canonical 8-job workload. Every job must finish or be explicitly
+    // shed (here: capacity still fits, so zero shed and zero failed), the
+    // fleet trace must lint clean, and the whole degraded run must replay
+    // byte-identically across runs and thread counts.
+    {
+        let lossy = || {
+            ClusterSpec::new(mixed_workload(args.iters), v100_pool(4))
+                .faults(
+                    FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 }),
+                )
+                .record(true)
+        };
+        let outcome = run_cluster(&lossy());
+        let r = &outcome.report;
+        let unaccounted: Vec<&str> = r
+            .jobs
+            .iter()
+            .filter(|j| !j.outcome.finished())
+            .map(|j| j.name.as_str())
+            .collect();
+        check(
+            "survivability: zero lost jobs",
+            unaccounted.is_empty() && r.fleet.devices_lost == 1 && r.fleet.migrations >= 1,
+            format!(
+                "unaccounted jobs {unaccounted:?}, {} lost device(s), {} migration(s)",
+                r.fleet.devices_lost, r.fleet.migrations
+            ),
+        );
+        let diags = lint_cluster(&outcome);
+        check(
+            "survivability: fleet trace lints clean",
+            diags.is_empty(),
+            format!(
+                "{:?}",
+                diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            ),
+        );
+        let replay = run_cluster(&lossy()).report.to_json();
+        let threaded = run_cluster(&lossy().threads(1)).report.to_json();
+        check(
+            "survivability: byte-identical replay under device loss",
+            r.to_json() == replay && replay == threaded,
+            "degraded runs diverged across replays or thread counts".into(),
+        );
+    }
+
+    // 7. Emit the scaling record.
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
     match std::fs::write(&path, bench_json(args.iters, &points)) {
         Ok(()) => eprintln!("cluster gate: wrote {}", path.display()),

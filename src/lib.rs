@@ -61,14 +61,16 @@ pub use mimose_tensor as tensor;
 /// and the handful of substrate types (device, dataset, model builders)
 /// every experiment needs.
 pub mod prelude {
-    pub use mimose_chaos::{FaultInjector, FaultSpec, FleetFaultPlan};
+    pub use mimose_chaos::{DeviceFault, FaultInjector, FaultSpec, FleetFaultPlan};
     pub use mimose_cluster::{
-        run_cluster, ClusterReport, ClusterSpec, JobPolicy, JobSpec, SchedulePolicy,
+        run_cluster, ClusterReport, ClusterSpec, FleetEvent, FleetEventKind, JobOutcome, JobPolicy,
+        JobSpec, SchedulePolicy,
     };
     pub use mimose_core::{MimoseConfig, MimosePolicy};
     pub use mimose_data::{presets, Dataset};
     pub use mimose_exec::{
-        BlockIteration, DtrIteration, ExecError, RecoveryConfig, Session, SessionBuilder, Trainer,
+        BlockIteration, DtrIteration, ExecError, RecoveryConfig, Session, SessionBuilder,
+        SessionCheckpoint, Trainer,
     };
     pub use mimose_models::builders::{bert_base, resnet50_od, roberta_base, t5_base, BertHead};
     pub use mimose_models::{ModelGraph, ModelInput, ModelProfile};
