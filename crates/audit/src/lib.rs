@@ -28,7 +28,12 @@
 //! * [`lint_schedule`] / [`lint_plan_schedule`] — the *static* family:
 //!   `mimose-verify`'s symbolic def-use sanitizer over a plan's
 //!   forward/backward timeline, reported through the same diagnostics
-//!   before anything executes.
+//!   before anything executes;
+//! * [`lint_optimized_graph`] — `mimose-verify`'s graph-equivalence lint
+//!   over an [`OptimizedGraph`](mimose_models::OptimizedGraph): the
+//!   optimization pipeline must preserve FLOPs, boundaries and dataflow
+//!   while only shrinking activation bytes, with every stash elision
+//!   independently re-derived.
 //!
 //! The runtime counterpart — the planner/executor shadow checker that
 //! compares the allocator's live bytes against the analytic residency curve
@@ -54,5 +59,5 @@ pub use exec_stream::audit_exec_events;
 pub use lint::{lint_fine_plan, lint_hybrid_plan, lint_plan};
 pub use profile::lint_profile;
 pub use recovery::lint_recovery_trace;
-pub use statics::{lint_plan_schedule, lint_schedule};
+pub use statics::{lint_optimized_graph, lint_plan_schedule, lint_schedule};
 pub use trace::audit_trace;

@@ -8,8 +8,9 @@
 //! severity accounting and gating as every dynamic audit pass.
 
 use crate::diag::Diagnostic;
+use mimose_models::{ModelInput, OptimizedGraph};
 use mimose_planner::CheckpointPlan;
-use mimose_verify::{sanitize, Schedule, Severity, Violation};
+use mimose_verify::{lint_graph, sanitize, Schedule, Severity, Violation};
 
 fn to_diagnostic(v: &Violation, subject: &str) -> Diagnostic {
     let message = match v.op_index {
@@ -41,6 +42,23 @@ pub fn lint_plan_schedule(plan: &CheckpointPlan, subject: &str) -> Vec<Diagnosti
     lint_schedule(&Schedule::from_plan(plan), subject)
 }
 
+/// Run `mimose-verify`'s graph-equivalence lint over an optimized graph
+/// and report its findings as diagnostics: changed FLOPs, grown
+/// activation footprints, mutated block boundaries or dataflow, and
+/// unsound stash elisions all surface as errors through the same JSON
+/// pipeline as every other audit pass.
+#[must_use]
+pub fn lint_optimized_graph(
+    opt: &OptimizedGraph,
+    input: &ModelInput,
+    subject: &str,
+) -> Vec<Diagnostic> {
+    lint_graph(opt, input)
+        .iter()
+        .map(|v| to_diagnostic(v, subject))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +70,20 @@ mod tests {
         let plan = CheckpointPlan::from_indices(6, &[1, 3, 5]).unwrap();
         let diags = lint_plan_schedule(&plan, "test-plan");
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn optimized_graph_lints_clean_through_diag_machinery() {
+        use mimose_models::builders::{bert_base, BertHead};
+        let opt = bert_base(BertHead::Classification { labels: 2 }).optimize();
+        let input = ModelInput::tokens(8, 128);
+        let diags = lint_optimized_graph(&opt, &input, "bert-base");
+        assert!(diags.is_empty(), "{diags:?}");
+        // The pipeline must actually have shrunk something for this test
+        // to be meaningful evidence.
+        let raw = opt.raw_profile(&input).unwrap().total_act_bytes();
+        let shrunk = opt.profile(&input).unwrap().total_act_bytes();
+        assert!(shrunk < raw);
     }
 
     #[test]

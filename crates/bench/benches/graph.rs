@@ -1,0 +1,45 @@
+//! Cost of the graph optimization pass pipeline. The pipeline runs once
+//! per model at session construction — not per iteration — but it sits
+//! on every startup path (and on every job submission in the fleet
+//! scheduler), so its wall time must stay in the sub-millisecond range
+//! the `graph --gate` record (`BENCH_graph.json`) pins.
+//!
+//! The second group measures what the pipeline buys at profile time: the
+//! annotation-aware profile must cost the same as the raw one (the
+//! annotations are a table lookup per node, not extra analysis).
+
+use mimose_bench::harness::Criterion;
+use mimose_bench::tc_bert_model;
+use mimose_bench::{criterion_group, criterion_main};
+use mimose_models::builders::{resnet50_od, t5_base};
+use mimose_models::ModelInput;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_optimize");
+    g.bench_function("bert_base", |b| {
+        b.iter(|| black_box(black_box(tc_bert_model()).optimize()))
+    });
+    g.bench_function("t5_base", |b| {
+        b.iter(|| black_box(black_box(t5_base()).optimize()))
+    });
+    g.bench_function("resnet50_od", |b| {
+        b.iter(|| black_box(black_box(resnet50_od()).optimize()))
+    });
+    g.finish();
+
+    let raw = tc_bert_model();
+    let opt = tc_bert_model().optimize();
+    let input = ModelInput::tokens(32, 200);
+    let mut g = c.benchmark_group("graph_profile");
+    g.bench_function("raw", |b| {
+        b.iter(|| black_box(raw.profile(black_box(&input)).unwrap()))
+    });
+    g.bench_function("annotated", |b| {
+        b.iter(|| black_box(opt.profile(black_box(&input)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -222,6 +222,30 @@ mod tests {
     }
 
     #[test]
+    fn graph_passes_flip_demote_to_admit() {
+        // A device sized between the raw graph's predicted peak and the
+        // optimized graph's: without the pass pipeline the job demotes,
+        // with it the identical job admits outright.
+        let opt = bert_base(BertHead::Classification { labels: 2 }).optimize();
+        let input = ModelInput::tokens(32, 256);
+        let raw_peak = opt.raw_profile(&input).unwrap().peak_no_checkpoint();
+        let opt_peak = opt.profile(&input).unwrap().peak_no_checkpoint();
+        assert!(opt_peak < raw_peak, "passes saved nothing on BERT");
+
+        let p = opt.profile(&input).unwrap();
+        let mut dev = DeviceProfile::v100();
+        let mid = (raw_peak + opt_peak) / 2;
+        dev.total_mem_bytes = (mid as f64 / 0.95).ceil() as usize;
+        let mut ctl = AdmissionController::default();
+
+        match ctl.decide(raw_peak, &p, &dev) {
+            AdmissionDecision::Demote { .. } => {}
+            other => panic!("raw peak should demote, got {other:?}"),
+        }
+        assert_eq!(ctl.decide(opt_peak, &p, &dev), AdmissionDecision::Admit);
+    }
+
+    #[test]
     fn certified_admits_are_scored_separately() {
         use mimose_verify::{certify, SizeBucket};
         let m = bert_base(BertHead::Classification { labels: 2 });

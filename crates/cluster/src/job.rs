@@ -6,7 +6,7 @@
 use mimose_core::{MimoseConfig, MimosePolicy};
 use mimose_data::Dataset;
 use mimose_exec::RecoveryConfig;
-use mimose_models::{ModelGraph, ModelProfile};
+use mimose_models::{ModelProfile, OptimizedGraph};
 use mimose_planner::{Directive, IterationObservation, MemoryPolicy, PlannerMeta, PolicyKind};
 use mimose_simgpu::DeviceProfile;
 
@@ -144,8 +144,9 @@ impl MemoryPolicy for DeterministicMimose {
 pub struct JobSpec {
     /// Human-readable job name (unique within a workload).
     pub name: String,
-    /// The model to train.
-    pub model: ModelGraph,
+    /// The model to train (post optimization-pipeline; carries its raw
+    /// graph and pass reports for admission evidence).
+    pub model: OptimizedGraph,
     /// The dataset to stream.
     pub dataset: Dataset,
     /// The memory policy to train under.
@@ -168,7 +169,7 @@ impl JobSpec {
     /// A job with the default ladder disabled.
     pub fn new(
         name: impl Into<String>,
-        model: ModelGraph,
+        model: OptimizedGraph,
         dataset: Dataset,
         policy: JobPolicy,
         iters: usize,

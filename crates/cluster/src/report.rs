@@ -123,6 +123,14 @@ pub struct JobReport {
     /// Modeled checkpoint/restore overhead attributed to this job,
     /// virtual nanoseconds (separate from device busy time).
     pub fleet_overhead_ns: u64,
+    /// The policy's predicted first-iteration peak over the raw
+    /// (pre-pass) graph — what admission would have gated on without
+    /// the optimization pipeline (`None` when the job never profiled).
+    pub graph_raw_peak_bytes: Option<usize>,
+    /// The same prediction over the optimized graph, the number
+    /// admission actually gated on; the gap to `graph_raw_peak_bytes`
+    /// is the pass pipeline's credit.
+    pub graph_opt_peak_bytes: Option<usize>,
     /// Why admission demoted or rejected the job (`None` for a plain
     /// admit); the first non-trivial decision the job received.
     pub admission_reason: Option<String>,
@@ -392,6 +400,14 @@ impl ClusterReport {
                 u128::from(j.fleet_overhead_ns),
                 true,
             );
+            match j.graph_raw_peak_bytes {
+                Some(v) => push_kv_u(&mut o, "graph_raw_peak_bytes", v as u128, true),
+                None => o.push_str("\"graph_raw_peak_bytes\":null,"),
+            }
+            match j.graph_opt_peak_bytes {
+                Some(v) => push_kv_u(&mut o, "graph_opt_peak_bytes", v as u128, true),
+                None => o.push_str("\"graph_opt_peak_bytes\":null,"),
+            }
             match &j.admission_reason {
                 Some(r) => push_kv_s(&mut o, "admission_reason", r, true),
                 None => o.push_str("\"admission_reason\":null,"),
@@ -518,6 +534,8 @@ mod tests {
                 migrations: 1,
                 retries: 1,
                 fleet_overhead_ns: 65_000,
+                graph_raw_peak_bytes: Some(12),
+                graph_opt_peak_bytes: Some(8),
                 admission_reason: Some("fits under \"usable\"".into()),
                 placements: vec![
                     JobPlacement {
@@ -552,6 +570,7 @@ mod tests {
         ));
         assert!(a.contains("\"outcome\":\"migrated\""));
         assert!(a.contains("\"admission_reason\":\"fits under \\\"usable\\\"\""));
+        assert!(a.contains("\"graph_raw_peak_bytes\":12,\"graph_opt_peak_bytes\":8,"));
         assert!(a.contains(
             "\"placements\":[{\"device\":1,\"busy_ns\":40,\"iters\":1},\
              {\"device\":0,\"busy_ns\":50,\"iters\":1}]"

@@ -40,7 +40,7 @@ use crate::report::{ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlac
 use crate::AdmissionDecision;
 use mimose_chaos::{DeviceCondition, FleetFaultPlan};
 use mimose_exec::{IterationRecord, RecoveryConfig, Session, SessionCheckpoint};
-use mimose_models::ModelProfile;
+use mimose_models::{ModelProfile, PassReport};
 use mimose_planner::memory_model::min_feasible_budget;
 use mimose_planner::{CheckpointPlan, MemoryPolicy, PlanTierStats};
 use mimose_runtime::{IterationReport, RunSummary};
@@ -186,6 +186,14 @@ pub struct JobDetail {
     /// Why admission demoted or rejected the job (`None` for plain
     /// admits).
     pub admission_reason: Option<String>,
+    /// The policy's predicted first-iteration peak over the *raw*
+    /// (pre-pass) graph, when it could be profiled — what admission
+    /// would have gated on without the optimization pipeline.
+    pub graph_raw_peak_bytes: Option<usize>,
+    /// The same prediction over the optimized graph — what admission
+    /// actually gated on. The gap to `graph_raw_peak_bytes` is the
+    /// pass pipeline's credit.
+    pub graph_opt_peak_bytes: Option<usize>,
 }
 
 /// A finished cluster run: the rollup plus per-job evidence.
@@ -218,6 +226,10 @@ struct Submitted {
     certificate: Option<SafetyCertificate>,
     /// The built policy, taken at first dispatch.
     policy: Option<Box<dyn MemoryPolicy>>,
+    /// One-line summary of the graph passes that shrank the job's
+    /// predicted peak, appended to demote/reject reasons so the report
+    /// names the evidence behind the number it gated on.
+    graph_evidence: Option<String>,
 }
 
 /// One job executing on a device.
@@ -252,6 +264,36 @@ struct DeviceState<'a> {
 
 fn usable_bytes(dev: &DeviceProfile, headroom: f64) -> usize {
     (dev.total_mem_bytes as f64 * headroom) as usize
+}
+
+/// One line naming the optimization passes behind an admission number:
+/// which passes touched the graph and how far they moved the predicted
+/// peak. `None` when the raw graph could not be profiled, no pass did
+/// anything, or the passes saved no bytes at this input size.
+fn graph_evidence(
+    reports: &[PassReport],
+    raw_peak: Option<usize>,
+    opt_peak: usize,
+) -> Option<String> {
+    let raw_peak = raw_peak?;
+    let passes: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.is_noop())
+        .map(|r| {
+            format!(
+                "{} ({} nodes)",
+                r.pass.name(),
+                r.nodes_removed + r.nodes_rewired + r.nodes_annotated
+            )
+        })
+        .collect();
+    if passes.is_empty() || raw_peak <= opt_peak {
+        return None;
+    }
+    Some(format!(
+        "graph passes [{}] cut the predicted peak from {raw_peak} B (raw graph) to {opt_peak} B",
+        passes.join(", ")
+    ))
 }
 
 /// Run the whole spec to completion. Per-job failures (profile errors,
@@ -338,6 +380,18 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 continue;
             }
         };
+        // Graph-pass evidence: run the same prediction over the raw
+        // (pre-pass) graph. A strictly lower optimized prediction is the
+        // byte credit the admission report attributes to the pipeline.
+        let graph_raw_peak = spec.jobs[j].model.raw_profile(&first).ok().map(|p| {
+            policy
+                .predicted_peak_bytes(&p)
+                .unwrap_or_else(|| p.peak_no_checkpoint())
+        });
+        details[j].graph_raw_peak_bytes = graph_raw_peak;
+        details[j].graph_opt_peak_bytes = Some(predicted_peak);
+        let graph_evidence =
+            graph_evidence(spec.jobs[j].model.reports(), graph_raw_peak, predicted_peak);
         // Statically verify the job where possible: the no-checkpoint peak
         // over the worst profile soundly bounds every plan at every input
         // size up to it, so a certificate that fits a device makes the
@@ -355,6 +409,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             predicted_peak,
             certificate,
             policy: Some(policy),
+            graph_evidence,
         }));
     }
 
@@ -597,7 +652,13 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                     sub.certificate.as_ref(),
                 );
                 if details[j].admission_reason.is_none() {
-                    details[j].admission_reason = decision.reason(sub.predicted_peak, usable);
+                    details[j].admission_reason =
+                        decision.reason(sub.predicted_peak, usable).map(|r| {
+                            match &sub.graph_evidence {
+                                Some(g) => format!("{r}; {g}"),
+                                None => r,
+                            }
+                        });
                 }
                 let recovery: Option<RecoveryConfig> = match decision {
                     AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
@@ -714,7 +775,13 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 sub.certificate.as_ref(),
             );
             if details[j].admission_reason.is_none() {
-                details[j].admission_reason = decision.reason(sub.predicted_peak, usable);
+                details[j].admission_reason =
+                    decision.reason(sub.predicted_peak, usable).map(|r| {
+                        match &sub.graph_evidence {
+                            Some(g) => format!("{r}; {g}"),
+                            None => r,
+                        }
+                    });
             }
             let recovery: Option<RecoveryConfig> = match decision {
                 AdmissionDecision::Admit => spec.jobs[j].recovery.clone(),
@@ -942,6 +1009,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 migrations: migrations[j],
                 retries: retries[j],
                 fleet_overhead_ns: overhead[j],
+                graph_raw_peak_bytes: details[j].graph_raw_peak_bytes,
+                graph_opt_peak_bytes: details[j].graph_opt_peak_bytes,
                 admission_reason: details[j].admission_reason.clone(),
                 placements: placements[j].clone(),
             }
@@ -998,6 +1067,30 @@ mod tests {
     }
 
     #[test]
+    fn graph_pass_evidence_reaches_the_report() {
+        let outcome = run_cluster(&small_spec(2));
+        let mut strictly_lower = 0;
+        for job in &outcome.report.jobs {
+            let raw = job.graph_raw_peak_bytes.expect("raw peak recorded");
+            let opt = job.graph_opt_peak_bytes.expect("opt peak recorded");
+            assert!(
+                opt <= raw,
+                "{}: optimized predicted peak {opt} B above raw {raw} B",
+                job.name
+            );
+            if opt < raw {
+                strictly_lower += 1;
+            }
+        }
+        // Budget-capped policies (DTR) predict their budget either way;
+        // every planner-predicted job must show the pipeline's credit.
+        assert!(strictly_lower > 0, "no job's predicted peak moved");
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"graph_raw_peak_bytes\":"));
+        assert!(json.contains("\"graph_opt_peak_bytes\":"));
+    }
+
+    #[test]
     fn two_runs_are_byte_identical() {
         let a = run_cluster(&small_spec(2)).report.to_json();
         let b = run_cluster(&small_spec(2)).report.to_json();
@@ -1047,7 +1140,7 @@ mod tests {
 
     #[test]
     fn impossible_job_is_rejected_not_hung() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let job = crate::JobSpec::new(
             "too-big",

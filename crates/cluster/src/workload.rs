@@ -23,7 +23,7 @@ pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
 /// baselines before the input-aware jobs — inert in clean runs.
 #[must_use]
 pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
-    let cls = || bert_base(BertHead::Classification { labels: 2 });
+    let cls = || bert_base(BertHead::Classification { labels: 2 }).optimize();
     vec![
         JobSpec::new(
             "bert-qqp-mimose",
@@ -36,7 +36,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         .with_priority(1),
         JobSpec::new(
             "roberta-squad-mimose",
-            roberta_base(BertHead::QuestionAnswering),
+            roberta_base(BertHead::QuestionAnswering).optimize(),
             presets::squad(),
             JobPolicy::Mimose { budget: 7 * GIB },
             iters,
@@ -45,7 +45,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         .with_priority(1),
         JobSpec::new(
             "bert-swag-sublinear",
-            bert_base(BertHead::Classification { labels: 4 }),
+            bert_base(BertHead::Classification { labels: 4 }).optimize(),
             presets::swag(),
             JobPolicy::Planner(PolicyKind::Sublinear, 8 * GIB),
             iters,
@@ -53,7 +53,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         ),
         JobSpec::new(
             "resnet-coco-dtr",
-            resnet50_od(),
+            resnet50_od().optimize(),
             presets::coco(8),
             JobPolicy::Planner(PolicyKind::Dtr, 10 * GIB),
             iters,
@@ -69,7 +69,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         ),
         JobSpec::new(
             "roberta-qqp-capuchin",
-            roberta_base(BertHead::Classification { labels: 2 }),
+            roberta_base(BertHead::Classification { labels: 2 }).optimize(),
             presets::glue_qqp(),
             JobPolicy::Planner(PolicyKind::Capuchin, 8 * GIB),
             iters,
@@ -77,7 +77,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         ),
         JobSpec::new(
             "resnet-coco-mimose",
-            resnet50_od(),
+            resnet50_od().optimize(),
             presets::coco(6),
             JobPolicy::Mimose { budget: 9 * GIB },
             iters,
@@ -86,7 +86,7 @@ pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
         .with_priority(1),
         JobSpec::new(
             "bert-squad-sublinear",
-            bert_base(BertHead::QuestionAnswering),
+            bert_base(BertHead::QuestionAnswering).optimize(),
             presets::squad(),
             JobPolicy::Planner(PolicyKind::Sublinear, 7 * GIB),
             iters,

@@ -11,7 +11,7 @@ use mimose_simgpu::DeviceProfile;
 
 #[test]
 fn single_job_single_device_equals_session_over_200_seeds() {
-    let model = bert_base(BertHead::Classification { labels: 2 });
+    let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
     let dataset = presets::glue_qqp();
     let worst = model.profile(&dataset.worst_case()).unwrap();
     let device = DeviceProfile::v100();

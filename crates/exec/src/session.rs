@@ -10,7 +10,7 @@
 //! use mimose_models::builders::{bert_base, BertHead};
 //! use mimose_planner::BaselinePolicy;
 //!
-//! let model = bert_base(BertHead::Classification { labels: 2 });
+//! let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
 //! let dataset = presets::glue_qqp();
 //! let mut session = Session::builder(&model, &dataset)
 //!     .policy(BaselinePolicy::new())
@@ -33,7 +33,7 @@ use crate::recovery::RecoveryConfig;
 use crate::trainer::{run_one_iteration, ExecError, IterationCtx, IterationRecord};
 use mimose_chaos::FaultInjector;
 use mimose_data::{BatchStream, Dataset};
-use mimose_models::{ModelGraph, ModelInput, ModelProfile};
+use mimose_models::{ModelInput, ModelProfile, OptimizedGraph};
 use mimose_planner::MemoryPolicy;
 use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
@@ -115,7 +115,7 @@ impl SessionCheckpoint {
 
 /// Configures and validates a [`Session`]. Created by [`Session::builder`].
 pub struct SessionBuilder<'a> {
-    model: &'a ModelGraph,
+    model: &'a OptimizedGraph,
     dataset: &'a Dataset,
     policy: Option<Box<dyn MemoryPolicy>>,
     device: DeviceProfile,
@@ -234,7 +234,7 @@ impl<'a> SessionBuilder<'a> {
 /// runnable one iteration at a time. See the module docs for the full
 /// lifecycle.
 pub struct Session<'a> {
-    model: &'a ModelGraph,
+    model: &'a OptimizedGraph,
     dataset: &'a Dataset,
     policy: Box<dyn MemoryPolicy>,
     device: DeviceProfile,
@@ -254,7 +254,7 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Start configuring a session over `model` and `dataset`.
     #[must_use]
-    pub fn builder(model: &'a ModelGraph, dataset: &'a Dataset) -> SessionBuilder<'a> {
+    pub fn builder(model: &'a OptimizedGraph, dataset: &'a Dataset) -> SessionBuilder<'a> {
         SessionBuilder {
             model,
             dataset,
@@ -422,7 +422,7 @@ mod tests {
 
     #[test]
     fn session_matches_trainer_byte_for_byte() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let budget = 5usize << 30;
         let worst = model.profile(&ds.worst_case()).unwrap();
@@ -451,7 +451,7 @@ mod tests {
     fn session_drives_mimose_like_the_trainer() {
         // Mimose measures its plan time with a wall clock, so time fields
         // are not reproducible across instances — compare everything else.
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let budget = 5usize << 30;
 
@@ -476,7 +476,7 @@ mod tests {
 
     #[test]
     fn build_without_policy_fails_typed() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         match Session::builder(&model, &ds).build() {
             Err(ExecError::MissingPolicy) => {}
@@ -487,7 +487,7 @@ mod tests {
 
     #[test]
     fn peeking_does_not_perturb_the_stream() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut plain = Session::builder(&model, &ds)
             .policy(BaselinePolicy::new())
@@ -521,7 +521,7 @@ mod tests {
 
     #[test]
     fn recording_changes_nothing_and_yields_streams() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let worst = model.profile(&ds.worst_case()).unwrap();
         let budget = 5usize << 30;
@@ -556,7 +556,7 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_replays_byte_identically() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let worst = model.profile(&ds.worst_case()).unwrap();
         let budget = 5usize << 30;
@@ -609,7 +609,7 @@ mod tests {
 
     #[test]
     fn step_past_epoch_is_data_exhausted() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let mut ds = presets::glue_qqp();
         if let Dataset::Text(d) = &mut ds {
             d.epoch_samples = d.batch_size * 2;

@@ -8,7 +8,7 @@ use crate::recovery::{
 };
 use mimose_chaos::{FaultInjector, IterationFaults};
 use mimose_data::Dataset;
-use mimose_models::{ModelError, ModelGraph, ModelInput, ModelProfile};
+use mimose_models::{ModelError, ModelInput, ModelProfile, OptimizedGraph};
 use mimose_planner::{Directive, IterationObservation, MemoryPolicy};
 use mimose_runtime::{ExecEvent, IterationReport, RunSummary};
 use mimose_simgpu::{ArenaStats, DeviceProfile};
@@ -104,7 +104,7 @@ pub struct IterationRecord {
 /// Simulated training session binding model + data + policy + device.
 pub struct Trainer<'a> {
     /// The model being trained.
-    pub model: &'a ModelGraph,
+    pub model: &'a OptimizedGraph,
     /// The dataset stream source.
     pub dataset: &'a Dataset,
     /// The memory policy under test.
@@ -123,7 +123,7 @@ pub struct Trainer<'a> {
 impl<'a> Trainer<'a> {
     /// Create a trainer with the default V100 device.
     pub fn new(
-        model: &'a ModelGraph,
+        model: &'a OptimizedGraph,
         dataset: &'a Dataset,
         policy: &'a mut dyn MemoryPolicy,
         seed: u64,
@@ -202,7 +202,7 @@ impl<'a> Trainer<'a> {
 /// [`Trainer`] or a [`Session`](crate::Session)); the single shared
 /// execution path keeps both byte-identical.
 pub(crate) struct IterationCtx<'m> {
-    pub model: &'m ModelGraph,
+    pub model: &'m OptimizedGraph,
     pub policy: &'m mut dyn MemoryPolicy,
     pub device: &'m DeviceProfile,
     pub recovery: Option<&'m RecoveryConfig>,
@@ -435,7 +435,7 @@ mod tests {
 
     #[test]
     fn baseline_runs_unconstrained() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut pol = BaselinePolicy::new();
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
@@ -446,7 +446,7 @@ mod tests {
 
     #[test]
     fn mimose_respects_budget_after_collection() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let budget = 5usize << 30;
         let mut pol = MimosePolicy::new(MimoseConfig::with_budget(budget));
@@ -468,7 +468,7 @@ mod tests {
 
     #[test]
     fn sublinear_and_mimose_same_budget_mimose_faster() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let budget = 4usize << 30;
         let worst = model
@@ -495,7 +495,7 @@ mod tests {
 
     #[test]
     fn dtr_runs_with_overhead() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut pol = DtrPolicy::new(5 << 30);
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
@@ -506,7 +506,7 @@ mod tests {
 
     #[test]
     fn run_input_reports_profile_error() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut pol = BaselinePolicy::new();
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
@@ -538,7 +538,7 @@ mod tests {
                 Directive::RunPlan(CheckpointPlan::none(3))
             }
         }
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut pol = BadPolicy;
         let mut tr = Trainer::new(&model, &ds, &mut pol, 7);
@@ -560,7 +560,7 @@ mod tests {
 
     #[test]
     fn over_epoch_run_is_data_exhausted() {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let mut ds = presets::glue_qqp();
         // Shrink the epoch to exactly 3 iterations.
         if let Dataset::Text(d) = &mut ds {
@@ -588,7 +588,7 @@ mod tests {
         use mimose_chaos::{FaultInjector, FaultSpec};
         use mimose_planner::memory_model::peak_bytes;
         use mimose_planner::CheckpointPlan;
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let ds = presets::glue_qqp();
         let mut pol = BaselinePolicy::new();
         // Shrink the device (from iteration 3 onward) to just above the

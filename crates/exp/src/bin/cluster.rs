@@ -284,7 +284,7 @@ fn gate(args: &Args) -> Vec<String> {
 
     // 3. Degenerate 1-job/1-device run ≡ Session::run.
     {
-        let model = bert_base(BertHead::Classification { labels: 2 });
+        let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
         let dataset = presets::glue_qqp();
         let device = DeviceProfile::v100();
         let kind = PolicyKind::Sublinear;

@@ -4,7 +4,7 @@ use mimose_data::{presets, Dataset};
 use mimose_models::builders::{
     bert_base, resnet101_od, resnet50_od, roberta_base, t5_base, BertHead,
 };
-use mimose_models::{ModelGraph, ModelProfile};
+use mimose_models::{ModelProfile, OptimizedGraph};
 
 /// One evaluation task: model + dataset + batch size (batch size lives in
 /// the dataset preset).
@@ -13,8 +13,10 @@ pub struct Task {
     pub abbr: &'static str,
     /// Task description.
     pub kind: &'static str,
-    /// The model graph.
-    pub model: ModelGraph,
+    /// The model graph, run through the standard optimization
+    /// pipeline — every experiment plans and executes against the
+    /// shrunk footprint, exactly like production sessions do.
+    pub model: OptimizedGraph,
     /// The dataset.
     pub dataset: Dataset,
 }
@@ -26,7 +28,7 @@ impl Task {
         Task {
             abbr: "MC-Roberta",
             kind: "Multiple Choice",
-            model: roberta_base(BertHead::Classification { labels: 1 }),
+            model: roberta_base(BertHead::Classification { labels: 1 }).optimize(),
             dataset: presets::swag(),
         }
     }
@@ -37,7 +39,7 @@ impl Task {
         Task {
             abbr: "TR-T5",
             kind: "Translation",
-            model: t5_base(),
+            model: t5_base().optimize(),
             dataset: presets::un_pc(),
         }
     }
@@ -48,7 +50,7 @@ impl Task {
         Task {
             abbr: "QA-Bert",
             kind: "Question Answering",
-            model: bert_base(BertHead::QuestionAnswering),
+            model: bert_base(BertHead::QuestionAnswering).optimize(),
             dataset: presets::squad(),
         }
     }
@@ -59,7 +61,7 @@ impl Task {
         Task {
             abbr: "TC-Bert",
             kind: "Text Classification",
-            model: bert_base(BertHead::Classification { labels: 2 }),
+            model: bert_base(BertHead::Classification { labels: 2 }).optimize(),
             dataset: presets::glue_qqp(),
         }
     }
@@ -70,7 +72,7 @@ impl Task {
         Task {
             abbr: "OD-R50",
             kind: "Object Detection",
-            model: resnet50_od(),
+            model: resnet50_od().optimize(),
             dataset: presets::coco(8),
         }
     }
@@ -81,7 +83,7 @@ impl Task {
         Task {
             abbr: "OD-R101",
             kind: "Object Detection",
-            model: resnet101_od(),
+            model: resnet101_od().optimize(),
             dataset: presets::coco(6),
         }
     }

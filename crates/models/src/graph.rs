@@ -23,7 +23,7 @@ pub enum NodeInput {
 }
 
 /// One operator application inside a block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// The operator.
     pub op: OpKind,
@@ -33,7 +33,7 @@ pub struct Node {
 
 /// A checkpointable unit: a named DAG of operators. The output of the block
 /// is the output of its last node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Human-readable name, e.g. `encoder.3`.
     pub name: String,
@@ -66,13 +66,39 @@ pub struct BlockBuilder {
 
 impl BlockBuilder {
     /// Append a node; returns its index for later reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len()` does not match the operator's arity — in
+    /// every build profile, not just debug (a malformed builder must never
+    /// silently construct an invalid DAG). Use [`BlockBuilder::try_push`] for
+    /// a recoverable variant.
     pub fn push(&mut self, op: OpKind, inputs: &[NodeInput]) -> usize {
-        debug_assert_eq!(op.arity(), inputs.len(), "{}", op.mnemonic());
+        match self.try_push(op, inputs) {
+            Ok(idx) => idx,
+            Err(e) => panic!("block {}: {e}", self.block.name),
+        }
+    }
+
+    /// Append a node, returning [`OpError::Arity`] instead of panicking when
+    /// the operand count does not match the operator's arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpError::Arity`] when `inputs.len() != op.arity()`.
+    pub fn try_push(&mut self, op: OpKind, inputs: &[NodeInput]) -> Result<usize, OpError> {
+        if op.arity() != inputs.len() {
+            return Err(OpError::Arity {
+                op: op.mnemonic(),
+                expected: op.arity(),
+                got: inputs.len(),
+            });
+        }
         self.block.nodes.push(Node {
             op,
             inputs: inputs.to_vec(),
         });
-        self.block.nodes.len() - 1
+        Ok(self.block.nodes.len() - 1)
     }
 
     /// Append a unary node reading the block input.
@@ -103,7 +129,7 @@ impl BlockBuilder {
 
 /// A named group of blocks. `capture_context` marks the stage whose final
 /// output becomes the model-level context tensor (T5 encoder).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stage {
     /// Stage name, e.g. `encoder` / `layer2`.
     pub name: String,
@@ -134,7 +160,7 @@ impl OptimizerKind {
 }
 
 /// A complete model: stages of blocks plus footprint constants.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelGraph {
     /// Model name (e.g. `bert-base`).
     pub name: String,
@@ -341,6 +367,31 @@ mod tests {
     fn validate_accepts_good_input() {
         let m = tiny_model();
         assert!(m.validate(&ModelInput::tokens(4, 10)).is_ok());
+    }
+
+    #[test]
+    fn try_push_rejects_arity_mismatch() {
+        let mut b = Block::builder("bad");
+        let err = b
+            .try_push(OpKind::Add, &[NodeInput::BlockInput])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OpError::Arity {
+                op: "add",
+                expected: 2,
+                got: 1
+            }
+        ));
+        // The malformed node must not have been recorded.
+        assert!(b.try_push(OpKind::Relu, &[NodeInput::BlockInput]) == Ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad: add")]
+    fn push_arity_mismatch_panics_in_all_profiles() {
+        let mut b = Block::builder("bad");
+        b.push(OpKind::Add, &[NodeInput::BlockInput]);
     }
 
     #[test]

@@ -11,10 +11,15 @@
 pub mod builders;
 mod graph;
 mod input;
+pub mod optimize;
 mod profile;
 
 pub use graph::{
     Block, BlockBuilder, ModelError, ModelGraph, Node, NodeInput, OptimizerKind, Stage,
 };
 pub use input::{ModelInput, ModelInputKind};
+pub use optimize::{
+    GraphDelta, GraphPass, NodeAnnotation, OptimizedGraph, PassKind, PassPipeline, PassReport,
+    StashMode,
+};
 pub use profile::{BlockProfile, ModelProfile, TensorRecord, ALLOC_ALIGN};

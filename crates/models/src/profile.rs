@@ -5,6 +5,7 @@
 //! planners consume the profile of the *worst-case* input; Mimose consumes
 //! the profile of *each* input.
 
+use crate::optimize::{NodeAnnotation, StashMode};
 use crate::{ModelError, ModelGraph, ModelInput, NodeInput};
 use mimose_ops::OpCategory;
 use mimose_tensor::{aligned_bytes, TensorMeta};
@@ -115,35 +116,58 @@ impl ModelGraph {
     /// Panics only on an internal invariant violation: a context reference
     /// before any context exists is rejected during graph validation.
     pub fn profile(&self, input: &ModelInput) -> Result<ModelProfile, ModelError> {
-        let mut blocks = Vec::with_capacity(self.num_blocks());
-        let mut cur = input.meta();
-        let mut context: Option<TensorMeta> = None;
-        let mut global_idx = 0usize;
-        for (si, stage) in self.stages.iter().enumerate() {
-            for block in &stage.blocks {
-                let outs = ModelGraph::eval_block(block, cur, context)?;
-                let mut act = 0usize;
-                let mut fwd = 0.0f64;
-                let mut bwd = 0.0f64;
-                let mut moved = 0usize;
-                let mut tensors = Vec::new();
-                let last = outs.len() - 1;
-                for (ni, node) in block.nodes.iter().enumerate() {
-                    let operands: Vec<TensorMeta> = node
-                        .inputs
-                        .iter()
-                        .map(|src| match *src {
-                            NodeInput::BlockInput => cur,
-                            NodeInput::Node(j) => outs[j],
-                            NodeInput::Context => context.expect("checked in eval_block"),
-                        })
-                        .collect();
-                    let cost = node.op.cost(&operands, outs[ni]);
-                    fwd += cost.fwd_flops;
-                    bwd += cost.bwd_flops;
-                    moved += cost.fwd_bytes_moved;
-                    if ni != last && cost.saved_bytes > 0 {
-                        let b = aligned_bytes(cost.saved_bytes, ALLOC_ALIGN);
+        profile_with_stash(self, input, None)
+    }
+}
+
+/// Shared profiling walk.
+///
+/// When `annotations` is `Some`, nodes the optimization pipeline marked
+/// [`StashMode::Elided`] contribute no activation bytes and nodes marked
+/// [`StashMode::MaskOnly`] contribute only their compact forward mask —
+/// FLOPs and bytes-moved are untouched either way (stash elision is
+/// execution-time-neutral). `annotations` is indexed `[global_block][node]`.
+pub(crate) fn profile_with_stash(
+    graph: &ModelGraph,
+    input: &ModelInput,
+    annotations: Option<&[Vec<NodeAnnotation>]>,
+) -> Result<ModelProfile, ModelError> {
+    let mut blocks = Vec::with_capacity(graph.num_blocks());
+    let mut cur = input.meta();
+    let mut context: Option<TensorMeta> = None;
+    let mut global_idx = 0usize;
+    for (si, stage) in graph.stages.iter().enumerate() {
+        for block in &stage.blocks {
+            let outs = ModelGraph::eval_block(block, cur, context)?;
+            let mut act = 0usize;
+            let mut fwd = 0.0f64;
+            let mut bwd = 0.0f64;
+            let mut moved = 0usize;
+            let mut tensors = Vec::new();
+            let last = outs.len() - 1;
+            for (ni, node) in block.nodes.iter().enumerate() {
+                let operands: Vec<TensorMeta> = node
+                    .inputs
+                    .iter()
+                    .map(|src| match *src {
+                        NodeInput::BlockInput => cur,
+                        NodeInput::Node(j) => outs[j],
+                        NodeInput::Context => context.expect("checked in eval_block"),
+                    })
+                    .collect();
+                let cost = node.op.cost(&operands, outs[ni]);
+                fwd += cost.fwd_flops;
+                bwd += cost.bwd_flops;
+                moved += cost.fwd_bytes_moved;
+                if ni != last && cost.saved_bytes > 0 {
+                    let mode = annotations.map_or(StashMode::Default, |a| a[global_idx][ni].stash);
+                    let logical = match mode {
+                        StashMode::Default => cost.saved_bytes,
+                        StashMode::MaskOnly => node.op.stash_mask_bytes(outs[ni]),
+                        StashMode::Elided => 0,
+                    };
+                    if logical > 0 {
+                        let b = aligned_bytes(logical, ALLOC_ALIGN);
                         act += b;
                         tensors.push(TensorRecord {
                             bytes: b,
@@ -152,36 +176,36 @@ impl ModelGraph {
                         });
                     }
                 }
-                let out_meta = outs[last];
-                blocks.push(BlockProfile {
-                    name: block.name.clone(),
-                    stage: si,
-                    index: global_idx,
-                    act_bytes: act,
-                    out_bytes: aligned_bytes(out_meta.bytes(), ALLOC_ALIGN),
-                    in_bytes: aligned_bytes(cur.bytes(), ALLOC_ALIGN),
-                    fwd_flops: fwd,
-                    bwd_flops: bwd,
-                    fwd_bytes_moved: moved,
-                    tensors,
-                });
-                cur = out_meta;
-                global_idx += 1;
             }
-            if stage.capture_context {
-                context = Some(cur);
-            }
+            let out_meta = outs[last];
+            blocks.push(BlockProfile {
+                name: block.name.clone(),
+                stage: si,
+                index: global_idx,
+                act_bytes: act,
+                out_bytes: aligned_bytes(out_meta.bytes(), ALLOC_ALIGN),
+                in_bytes: aligned_bytes(cur.bytes(), ALLOC_ALIGN),
+                fwd_flops: fwd,
+                bwd_flops: bwd,
+                fwd_bytes_moved: moved,
+                tensors,
+            });
+            cur = out_meta;
+            global_idx += 1;
         }
-        Ok(ModelProfile {
-            model: self.name.clone(),
-            input: *input,
-            input_size: input.input_size(),
-            blocks,
-            const_bytes: self.const_bytes(),
-            param_count: self.param_count(),
-            input_bytes: aligned_bytes(input.meta().bytes(), ALLOC_ALIGN),
-        })
+        if stage.capture_context {
+            context = Some(cur);
+        }
     }
+    Ok(ModelProfile {
+        model: graph.name.clone(),
+        input: *input,
+        input_size: input.input_size(),
+        blocks,
+        const_bytes: graph.const_bytes(),
+        param_count: graph.param_count(),
+        input_bytes: aligned_bytes(input.meta().bytes(), ALLOC_ALIGN),
+    })
 }
 
 #[cfg(test)]

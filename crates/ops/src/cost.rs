@@ -33,6 +33,22 @@ impl OpCost {
 }
 
 impl OpKind {
+    /// Bytes of the compact forward mask this op stashes for backward when
+    /// the full output is elided ([`BackwardNeeds::Mask`]): dropout keeps a
+    /// byte mask, max-pool keeps argmax indices. Zero for everything else.
+    ///
+    /// Mirrors the mask term folded into [`OpKind::cost`]'s `saved_bytes`.
+    ///
+    /// [`BackwardNeeds::Mask`]: crate::BackwardNeeds::Mask
+    #[must_use]
+    pub fn stash_mask_bytes(&self, output: TensorMeta) -> usize {
+        match self {
+            OpKind::Dropout { .. } => output.elems() * DType::U8.size_bytes(),
+            OpKind::MaxPool2d { .. } => output.elems() * DType::I64.size_bytes() / 2,
+            _ => 0,
+        }
+    }
+
     /// Compute the cost of applying this operator to `inputs`, producing
     /// `output` (as returned by [`OpKind::infer`]).
     #[must_use]

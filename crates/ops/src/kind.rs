@@ -175,6 +175,78 @@ pub enum ReshapeRule {
     Merge2x2,
 }
 
+/// What an operator's backward pass needs of the operator's **own output**.
+///
+/// This is the autograd-liveness fact the graph optimization passes consult
+/// (`mimose-models::optimize`): if an op's backward can be computed without
+/// its full-precision output (and no consumer reads the tensor in *its*
+/// backward, see [`OpKind::backward_needs_input`]), the per-node activation
+/// stash can be elided or shrunk to a mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackwardNeeds {
+    /// Backward is a pure function of the incoming gradient (e.g. `Add`,
+    /// `Scale`); nothing of this op's output need stay resident.
+    Nothing,
+    /// Backward needs only a compact mask derived during forward (dropout's
+    /// keep mask, max-pool's argmax indices), not the full output tensor.
+    Mask,
+    /// Backward re-reads the full output tensor (`Relu` sign test, sigmoid /
+    /// tanh / softmax derivative-from-output identities).
+    Output,
+}
+
+impl OpKind {
+    /// What this operator's backward needs of its own output.
+    ///
+    /// `Output` for ops whose derivative is conventionally computed from the
+    /// forward output; `Mask` for ops that stash a compact index/keep mask;
+    /// `Nothing` for ops whose backward only touches the incoming gradient
+    /// (or reads their *inputs*, which is tracked separately by
+    /// [`OpKind::backward_needs_input`]).
+    #[must_use]
+    pub const fn backward_needs(&self) -> BackwardNeeds {
+        use OpKind::*;
+        match self {
+            Relu | Sigmoid | Tanh | Softmax => BackwardNeeds::Output,
+            Dropout { .. } | MaxPool2d { .. } => BackwardNeeds::Mask,
+            _ => BackwardNeeds::Nothing,
+        }
+    }
+
+    /// Whether this operator's backward re-reads the value of operand
+    /// `operand_idx` (PyTorch `save_for_backward` semantics on inputs).
+    ///
+    /// A producer's output may only be released early if **no** consumer
+    /// answers `true` for the operand slot that references it: e.g. `Gelu`
+    /// and `Linear` stash their input, so whatever feeds them must stay
+    /// resident even if that producer itself needs nothing.
+    #[must_use]
+    pub const fn backward_needs_input(&self, operand_idx: usize) -> bool {
+        use OpKind::*;
+        match self {
+            // d/dx gelu(x) is a function of x; matmul-family grads multiply
+            // by the other operand, and weight grads need the input; norms
+            // need the input to re-derive statistics; embedding backward
+            // scatters along the saved indices; the loss re-reads logits.
+            Gelu
+            | Linear { .. }
+            | TiedLinear { .. }
+            | Conv2d { .. }
+            | LayerNorm { .. }
+            | BatchNorm2d { .. }
+            | Embedding { .. }
+            | LossReduce => true,
+            // Both matmul/mul grads need the *other* operand — since either
+            // slot is "the other" for one of the two grads, both are read.
+            MatMul | Mul => true,
+            // scores grad passes through the fill untouched; the mask
+            // operand is re-read to know where.
+            MaskedFill => operand_idx == 1,
+            _ => false,
+        }
+    }
+}
+
 impl OpKind {
     /// The paper's category for this operator.
     #[must_use]
@@ -341,6 +413,45 @@ mod tests {
             .param_count(),
             800
         );
+    }
+
+    #[test]
+    fn backward_needs_taxonomy() {
+        assert_eq!(OpKind::Relu.backward_needs(), BackwardNeeds::Output);
+        assert_eq!(OpKind::Softmax.backward_needs(), BackwardNeeds::Output);
+        assert_eq!(
+            OpKind::Dropout { p: 0.1 }.backward_needs(),
+            BackwardNeeds::Mask
+        );
+        assert_eq!(
+            OpKind::MaxPool2d {
+                kernel: 3,
+                stride: 2,
+                pad: 1
+            }
+            .backward_needs(),
+            BackwardNeeds::Mask
+        );
+        // Gelu recomputes from its *input*, so its own output is free.
+        assert_eq!(OpKind::Gelu.backward_needs(), BackwardNeeds::Nothing);
+        assert_eq!(OpKind::Add.backward_needs(), BackwardNeeds::Nothing);
+        assert_eq!(
+            OpKind::TransposeLast2.backward_needs(),
+            BackwardNeeds::Nothing
+        );
+    }
+
+    #[test]
+    fn backward_input_reads() {
+        assert!(OpKind::Gelu.backward_needs_input(0));
+        assert!(OpKind::MatMul.backward_needs_input(0));
+        assert!(OpKind::MatMul.backward_needs_input(1));
+        assert!(OpKind::LayerNorm { features: 8 }.backward_needs_input(0));
+        assert!(!OpKind::Relu.backward_needs_input(0));
+        assert!(!OpKind::Add.backward_needs_input(0));
+        assert!(!OpKind::Dropout { p: 0.1 }.backward_needs_input(0));
+        assert!(!OpKind::MaskedFill.backward_needs_input(0));
+        assert!(OpKind::MaskedFill.backward_needs_input(1));
     }
 
     #[test]

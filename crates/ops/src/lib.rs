@@ -14,4 +14,4 @@ mod kind;
 pub use category::OpCategory;
 pub use cost::OpCost;
 pub use infer::OpError;
-pub use kind::{OpKind, ReshapeRule};
+pub use kind::{BackwardNeeds, OpKind, ReshapeRule};

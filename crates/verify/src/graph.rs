@@ -1,0 +1,399 @@
+//! Graph-equivalence lint for [`OptimizedGraph`]s.
+//!
+//! The optimization passes in `mimose-models::optimize` claim three safety
+//! properties; this module re-derives each one **independently** — from
+//! `mimose-ops` metadata and its own dataflow walk, never by calling the
+//! optimizer's analysis — so a bug in a pass cannot hide behind the same
+//! bug in its checker:
+//!
+//! 1. **FLOPs preserved**: every optimized block computes exactly the FLOPs
+//!    of the raw block's *live* subgraph (nodes reachable from the block
+//!    output) — passes may drop dead work but never live work, and never
+//!    add any.
+//! 2. **Bytes monotone**: per-block activation bytes never increase, and
+//!    block input/output boundaries (the checkpoint interface every planner
+//!    and the executor depend on) are byte-identical.
+//! 3. **Dataflow isomorphic**: the value computed by each block output is
+//!    structurally unchanged modulo merged views — checked by canonical
+//!    value-numbering hashes of the output expression trees.
+//! 4. **Elisions safe**: every node annotated `Elided`/`MaskOnly` is in the
+//!    releasable set this module re-derives from
+//!    [`OpKind::backward_needs`](mimose_ops::OpKind::backward_needs) and
+//!    [`OpKind::backward_needs_input`](mimose_ops::OpKind::backward_needs_input).
+
+use crate::{Severity, Violation};
+use mimose_models::{Block, ModelGraph, ModelInput, NodeInput, OptimizedGraph, StashMode};
+use mimose_ops::BackwardNeeds;
+use mimose_tensor::TensorMeta;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn err(check: &'static str, message: String) -> Violation {
+    Violation {
+        check,
+        severity: Severity::Error,
+        op_index: None,
+        message,
+    }
+}
+
+/// Shape-evaluate a block locally (independent of the models crate's
+/// internal evaluator). Returns `None` on any inference failure — which the
+/// lint reports as a structure violation.
+fn eval_nodes(
+    block: &Block,
+    input: TensorMeta,
+    context: Option<TensorMeta>,
+) -> Option<Vec<TensorMeta>> {
+    let mut outs: Vec<TensorMeta> = Vec::with_capacity(block.nodes.len());
+    for (ni, node) in block.nodes.iter().enumerate() {
+        let mut operands = Vec::with_capacity(node.inputs.len());
+        for src in &node.inputs {
+            operands.push(match *src {
+                NodeInput::BlockInput => input,
+                NodeInput::Node(j) if j < ni => outs[j],
+                NodeInput::Node(_) => return None,
+                NodeInput::Context => context?,
+            });
+        }
+        outs.push(node.op.infer(&operands).ok()?);
+    }
+    Some(outs)
+}
+
+/// Nodes reachable from the block's last node through operand edges.
+fn live_set(block: &Block) -> Vec<bool> {
+    let n = block.nodes.len();
+    let mut live = vec![false; n];
+    let mut stack = vec![n - 1];
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        for src in &block.nodes[i].inputs {
+            if let NodeInput::Node(j) = *src {
+                stack.push(j);
+            }
+        }
+    }
+    live
+}
+
+/// Forward FLOPs of the block's live subgraph.
+fn live_flops(block: &Block, input: TensorMeta, context: Option<TensorMeta>) -> Option<f64> {
+    let outs = eval_nodes(block, input, context)?;
+    let live = live_set(block);
+    let mut total = 0.0;
+    for (ni, node) in block.nodes.iter().enumerate() {
+        if !live[ni] {
+            continue;
+        }
+        let operands: Vec<TensorMeta> = node
+            .inputs
+            .iter()
+            .map(|src| match *src {
+                NodeInput::BlockInput => input,
+                NodeInput::Node(j) => outs[j],
+                NodeInput::Context => context.expect("checked in eval_nodes"),
+            })
+            .collect();
+        total += node.op.cost(&operands, outs[ni]).fwd_flops;
+    }
+    Some(total)
+}
+
+/// Canonical value-number of the expression a node computes: a hash over
+/// the operator and its operands' value-numbers. Two blocks whose last
+/// nodes hash equal compute structurally identical functions of the block
+/// input and context (modulo hash collision).
+fn value_number(block: &Block, memo: &mut Vec<Option<u64>>, ni: usize) -> u64 {
+    if let Some(h) = memo[ni] {
+        return h;
+    }
+    let node = &block.nodes[ni];
+    let mut hasher = DefaultHasher::new();
+    // OpKind carries f32 attributes, so hash its debug rendering (stable
+    // within one process, which is all a comparison lint needs).
+    format!("{:?}", node.op).hash(&mut hasher);
+    for src in &node.inputs {
+        match *src {
+            NodeInput::BlockInput => "input".hash(&mut hasher),
+            NodeInput::Context => "context".hash(&mut hasher),
+            NodeInput::Node(j) => value_number(block, memo, j).hash(&mut hasher),
+        }
+    }
+    let h = hasher.finish();
+    memo[ni] = Some(h);
+    h
+}
+
+fn output_value_number(block: &Block) -> u64 {
+    let mut memo = vec![None; block.nodes.len()];
+    value_number(block, &mut memo, block.nodes.len() - 1)
+}
+
+/// Independently re-derived releasable stash mode for node `ni`: the most
+/// aggressive mode the autograd metadata permits. Mirrors (by design, as a
+/// second implementation) the optimizer's safety predicate.
+fn releasable_mode(block: &Block, ni: usize) -> StashMode {
+    let n = block.nodes.len();
+    if ni == n - 1 {
+        return StashMode::Default;
+    }
+    // Does the last node transitively view-alias ni?
+    let mut idx = n - 1;
+    while block.nodes[idx].op.is_view() {
+        match block.nodes[idx].inputs[0] {
+            NodeInput::Node(j) => {
+                if j == ni {
+                    return StashMode::Default;
+                }
+                idx = j;
+            }
+            _ => break,
+        }
+    }
+    // Collect effective readers through views.
+    let mut pending: Vec<usize> = vec![ni];
+    let mut reads: Vec<(usize, usize)> = Vec::new();
+    while let Some(p) = pending.pop() {
+        for (ci, cons) in block.nodes.iter().enumerate() {
+            for (k, src) in cons.inputs.iter().enumerate() {
+                if *src == NodeInput::Node(p) {
+                    if cons.op.is_view() {
+                        pending.push(ci);
+                    } else {
+                        reads.push((ci, k));
+                    }
+                }
+            }
+        }
+    }
+    if reads
+        .iter()
+        .any(|&(ci, k)| block.nodes[ci].op.backward_needs_input(k))
+    {
+        return StashMode::Default;
+    }
+    match block.nodes[ni].op.backward_needs() {
+        BackwardNeeds::Nothing => StashMode::Elided,
+        BackwardNeeds::Mask => StashMode::MaskOnly,
+        BackwardNeeds::Output => StashMode::Default,
+    }
+}
+
+/// Walk `(stage, block, input_meta, context)` tuples of a graph.
+fn per_block_inputs(
+    graph: &ModelGraph,
+    input: &ModelInput,
+) -> Option<Vec<(TensorMeta, Option<TensorMeta>)>> {
+    let mut cur = input.meta();
+    let mut context: Option<TensorMeta> = None;
+    let mut out = Vec::with_capacity(graph.num_blocks());
+    for stage in &graph.stages {
+        for block in &stage.blocks {
+            out.push((cur, context));
+            let outs = eval_nodes(block, cur, context)?;
+            cur = *outs.last()?;
+        }
+        if stage.capture_context {
+            context = Some(cur);
+        }
+    }
+    Some(out)
+}
+
+/// Lint an [`OptimizedGraph`] against its raw graph for one concrete input.
+///
+/// Returns one [`Violation`] per broken equivalence property (empty means
+/// the optimization is provably safe for this input):
+/// `graph-block-structure`, `graph-flops-changed`, `graph-bytes-increased`,
+/// `graph-boundary-changed`, `graph-dataflow-changed`,
+/// `graph-unsafe-elision`.
+#[must_use]
+pub fn lint_graph(opt: &OptimizedGraph, input: &ModelInput) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let raw = opt.raw();
+    let g: &ModelGraph = opt;
+
+    if raw.num_blocks() != g.num_blocks() {
+        v.push(err(
+            "graph-block-structure",
+            format!(
+                "block count changed: raw {} vs optimized {}",
+                raw.num_blocks(),
+                g.num_blocks()
+            ),
+        ));
+        return v; // everything below assumes aligned blocks
+    }
+
+    let (Ok(raw_p), Ok(opt_p)) = (raw.profile(input), opt.profile(input)) else {
+        v.push(err(
+            "graph-block-structure",
+            "profile evaluation failed on raw or optimized graph".into(),
+        ));
+        return v;
+    };
+    let (Some(raw_in), Some(opt_in)) = (per_block_inputs(raw, input), per_block_inputs(g, input))
+    else {
+        v.push(err(
+            "graph-block-structure",
+            "shape evaluation failed during lint".into(),
+        ));
+        return v;
+    };
+
+    let raw_blocks: Vec<&Block> = raw.blocks().map(|(_, b)| b).collect();
+    let opt_blocks: Vec<&Block> = g.blocks().map(|(_, b)| b).collect();
+
+    for bi in 0..raw_blocks.len() {
+        let name = &opt_p.blocks[bi].name;
+
+        // 1. FLOPs: optimized block == live subgraph of raw block.
+        let expect = live_flops(raw_blocks[bi], raw_in[bi].0, raw_in[bi].1);
+        let got = opt_p.blocks[bi].fwd_flops;
+        match expect {
+            Some(e) if (e - got).abs() <= 1e-6 * e.max(1.0) => {}
+            Some(e) => v.push(err(
+                "graph-flops-changed",
+                format!("{name}: live raw flops {e} vs optimized {got}"),
+            )),
+            None => v.push(err(
+                "graph-block-structure",
+                format!("{name}: raw block failed shape evaluation"),
+            )),
+        }
+
+        // 2. Bytes: activations monotone, boundaries identical.
+        if opt_p.blocks[bi].act_bytes > raw_p.blocks[bi].act_bytes {
+            v.push(err(
+                "graph-bytes-increased",
+                format!(
+                    "{name}: act bytes grew {} -> {}",
+                    raw_p.blocks[bi].act_bytes, opt_p.blocks[bi].act_bytes
+                ),
+            ));
+        }
+        if opt_p.blocks[bi].out_bytes != raw_p.blocks[bi].out_bytes
+            || opt_p.blocks[bi].in_bytes != raw_p.blocks[bi].in_bytes
+        {
+            v.push(err(
+                "graph-boundary-changed",
+                format!("{name}: block input/output bytes changed"),
+            ));
+        }
+
+        // 3. Dataflow isomorphism of the block output.
+        if output_value_number(raw_blocks[bi]) != output_value_number(opt_blocks[bi]) {
+            v.push(err(
+                "graph-dataflow-changed",
+                format!("{name}: output expression tree changed"),
+            ));
+        }
+
+        // 4. Every elision is in the independently re-derived releasable set.
+        for (ni, ann) in opt.annotations()[bi].iter().enumerate() {
+            let node = &opt_blocks[bi].nodes[ni];
+            if node.op.is_view() {
+                continue; // views own no storage; any mode is vacuous
+            }
+            let allowed = releasable_mode(opt_blocks[bi], ni);
+            let safe = match ann.stash {
+                StashMode::Default => true,
+                // MaskOnly is weaker than Elided: permitted wherever full
+                // elision is.
+                StashMode::MaskOnly => allowed != StashMode::Default,
+                StashMode::Elided => allowed == StashMode::Elided,
+            };
+            if !safe {
+                v.push(err(
+                    "graph-unsafe-elision",
+                    format!(
+                        "{name}[{ni}] ({}): annotated {:?} but only {:?} is releasable",
+                        node.op.mnemonic(),
+                        ann.stash,
+                        allowed
+                    ),
+                ));
+            }
+        }
+        let _ = opt_in; // inputs validated above; silences unused in release
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimose_models::builders::{bert_base, resnet50_od, roberta_base, t5_base, BertHead};
+    use mimose_models::{GraphPass, NodeAnnotation, PassKind, PassPipeline, PassReport};
+
+    #[test]
+    fn canonical_builders_lint_clean() {
+        let cases: Vec<(ModelGraph, ModelInput)> = vec![
+            (
+                bert_base(BertHead::Classification { labels: 2 }),
+                ModelInput::tokens(8, 128),
+            ),
+            (
+                roberta_base(BertHead::Classification { labels: 1 }),
+                ModelInput::tokens(8, 128),
+            ),
+            (t5_base(), ModelInput::tokens(4, 128)),
+            (resnet50_od(), ModelInput::image(2, 640, 640)),
+        ];
+        for (g, input) in cases {
+            let name = g.name.clone();
+            let opt = g.optimize();
+            let viols = lint_graph(&opt, &input);
+            assert!(viols.is_empty(), "{name}: {viols:?}");
+        }
+    }
+
+    /// A deliberately unsound pass that elides every stash unconditionally.
+    struct ElideEverything;
+    impl GraphPass for ElideEverything {
+        fn kind(&self) -> PassKind {
+            PassKind::InplaceStash
+        }
+        fn apply(&self, graph: &mut ModelGraph, ann: &mut Vec<Vec<NodeAnnotation>>) -> PassReport {
+            let mut n = 0;
+            for (bi, (_, block)) in graph.blocks().enumerate() {
+                for slot in ann[bi].iter_mut().take(block.nodes.len()) {
+                    *slot = NodeAnnotation {
+                        stash: StashMode::Elided,
+                        by: Some(PassKind::InplaceStash),
+                    };
+                    n += 1;
+                }
+            }
+            PassReport {
+                pass: PassKind::InplaceStash,
+                nodes_removed: 0,
+                nodes_rewired: 0,
+                nodes_annotated: n,
+                blocks_touched: graph.num_blocks(),
+            }
+        }
+    }
+
+    #[test]
+    fn unsound_pass_is_caught() {
+        let g = bert_base(BertHead::Classification { labels: 2 });
+        let evil = PassPipeline::new(vec![Box::new(ElideEverything)]);
+        let opt = evil.run(g);
+        let viols = lint_graph(&opt, &ModelInput::tokens(4, 64));
+        assert!(
+            viols.iter().any(|v| v.check == "graph-unsafe-elision"),
+            "{viols:?}"
+        );
+    }
+
+    #[test]
+    fn identity_wrapper_lints_clean() {
+        let opt = OptimizedGraph::unoptimized(t5_base());
+        assert!(lint_graph(&opt, &ModelInput::tokens(2, 64)).is_empty());
+    }
+}

@@ -23,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+mod graph;
 mod interval;
 mod sanitize;
 mod schedule;
 
+pub use graph::lint_graph;
 pub use interval::{
     certify, certify_dtr, certify_fine, certify_hybrid, fine_plan_hash, hybrid_plan_hash,
     join_envelope, plan_hash, CertifyError, SafetyCertificate, SizeBucket,

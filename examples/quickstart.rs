@@ -12,7 +12,7 @@ use mimose::planner::MemoryPolicy;
 
 fn main() {
     let budget = 5usize << 30;
-    let model = bert_base(BertHead::Classification { labels: 2 });
+    let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
     let dataset = presets::glue_qqp();
 
     println!(

@@ -29,7 +29,9 @@
 //! ```
 //! use mimose::prelude::*;
 //!
-//! let model = bert_base(BertHead::Classification { labels: 2 });
+//! // `.optimize()` runs the graph-pass pipeline (dedup, DCE, in-place
+//! // stash elision) — sessions plan against the shrunk footprint.
+//! let model = bert_base(BertHead::Classification { labels: 2 }).optimize();
 //! let dataset = presets::glue_qqp();
 //! let mut session = Session::builder(&model, &dataset)
 //!     .policy(MimosePolicy::new(MimoseConfig::with_budget(5 << 30)))
@@ -73,7 +75,9 @@ pub mod prelude {
         SessionCheckpoint, Trainer,
     };
     pub use mimose_models::builders::{bert_base, resnet50_od, roberta_base, t5_base, BertHead};
-    pub use mimose_models::{ModelGraph, ModelInput, ModelProfile};
+    pub use mimose_models::{
+        GraphDelta, ModelGraph, ModelInput, ModelProfile, OptimizedGraph, PassPipeline,
+    };
     pub use mimose_planner::{MemoryPolicy, PolicyKind};
     pub use mimose_runtime::{IterationReport, RunSummary};
     pub use mimose_simgpu::DeviceProfile;
