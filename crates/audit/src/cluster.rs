@@ -16,10 +16,33 @@
 //! re-derive from that chain, every migration must land on a device the
 //! embedded fault plan says was reachable, and retries must stay within
 //! the configured budget.
+//!
+//! Serving-mode (event-driven) reports get two further treatments: every
+//! SLO tail percentile (p50/p95/p99 queue wait and iteration latency),
+//! the goodput and the rejection/shed rates are re-folded from the job
+//! rows through an independent nearest-rank implementation; and the
+//! timestamped event chain must be self-consistent — arrival echoes,
+//! queue waits as `dispatch.at_ns - arrive.at_ns`, completion instants,
+//! a terminal event for every job, and a makespan equal to the last
+//! event's timestamp.
 
 use crate::diag::Diagnostic;
 use mimose_cluster::{ClusterOutcome, FleetEventKind, JobOutcome};
 use mimose_runtime::{fold_events, RunSummary};
+
+/// Independent nearest-rank percentile: the smallest sample element with
+/// at least `p`% of the sample at or below it (0 for an empty sample).
+/// Deliberately re-implemented here rather than shared with the cluster
+/// crate, so a bug in the report's fold cannot hide from the lint.
+fn nearest_rank(sample: &[u64], p: f64) -> u64 {
+    let mut xs = sample.to_vec();
+    xs.sort_unstable();
+    if xs.is_empty() {
+        return 0;
+    }
+    let need = ((p / 100.0 * xs.len() as f64).ceil()).max(1.0) as usize;
+    xs[need - 1]
+}
 
 /// Audit a finished cluster run. Returns one diagnostic per violated
 /// invariant; an empty vector means the rollup is exactly reproducible
@@ -53,7 +76,9 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
     let mut sheds = vec![0usize; n_jobs];
     let mut event_cost = vec![0u64; n_jobs];
     let mut lost_by_event = vec![false; report.devices.len()];
+    let event_mode = report.mode == "event-driven";
     let mut last_round = 0usize;
+    let mut last_at_ns = 0u64;
     for e in &report.events {
         if e.round < last_round {
             diags.push(Diagnostic::error(
@@ -67,6 +92,18 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
             ));
         }
         last_round = e.round;
+        if e.at_ns < last_at_ns {
+            diags.push(Diagnostic::error(
+                "cluster-event-time",
+                "fleet",
+                format!(
+                    "{} event at {} ns after an event at {last_at_ns} ns",
+                    e.kind.tag(),
+                    e.at_ns
+                ),
+            ));
+        }
+        last_at_ns = e.at_ns;
         let Some(j) = e.kind.job() else {
             if let FleetEventKind::DeviceDown {
                 device,
@@ -93,27 +130,36 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
             FleetEventKind::Requeue { .. } => requeues[j] += 1,
             FleetEventKind::Backoff { until_round, .. } => {
                 backoffs[j] += 1;
-                if *until_round <= e.round {
+                // In event mode the window is a virtual-ns instant and the
+                // epoch is not a clock; compare against the right axis.
+                let window_open = if event_mode {
+                    *until_round as u64 > e.at_ns
+                } else {
+                    *until_round > e.round
+                };
+                if !window_open {
                     diags.push(Diagnostic::error(
                         "cluster-backoff-window",
                         report.jobs[j].name.clone(),
-                        format!(
-                            "backoff until round {until_round} is not after round {}",
-                            e.round
-                        ),
+                        format!("backoff until {until_round} is not after the event's instant"),
                     ));
                 }
             }
             FleetEventKind::Migrate { to, .. } => {
                 migrates[j] += 1;
-                if report.fault_plan.is_lost(*to, e.round) {
+                let target_lost = if event_mode {
+                    report.fault_plan.is_lost_at_ns(*to, e.at_ns)
+                } else {
+                    report.fault_plan.is_lost(*to, e.round)
+                };
+                if target_lost {
                     diags.push(Diagnostic::error(
                         "cluster-migrate-target",
                         report.jobs[j].name.clone(),
                         format!(
-                            "migrated onto device {to} in round {}, but the fault plan \
-                             says that device was already lost",
-                            e.round
+                            "migrated onto device {to} at {} ns (round {}), but the \
+                             fault plan says that device was already lost",
+                            e.at_ns, e.round
                         ),
                     ));
                 }
@@ -402,17 +448,33 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         }
     }
 
-    // --- Fleet rollup: totals, makespan, utilization. ---
-    let max_busy = report.devices.iter().map(|d| d.busy_ns).max().unwrap_or(0);
-    if report.makespan_ns != max_busy {
-        diags.push(Diagnostic::error(
-            "cluster-makespan",
-            "report",
-            format!(
-                "makespan {} != max device busy {max_busy}",
-                report.makespan_ns
-            ),
-        ));
+    // --- Fleet rollup: totals, makespan, utilization. In BSP mode the
+    // makespan is the furthest any device ran; in event mode it is the
+    // last instant anything happened — the maximum event timestamp. ---
+    if event_mode {
+        let max_at = report.events.iter().map(|e| e.at_ns).max().unwrap_or(0);
+        if report.makespan_ns != max_at {
+            diags.push(Diagnostic::error(
+                "cluster-makespan",
+                "report",
+                format!(
+                    "event-mode makespan {} != last event timestamp {max_at}",
+                    report.makespan_ns
+                ),
+            ));
+        }
+    } else {
+        let max_busy = report.devices.iter().map(|d| d.busy_ns).max().unwrap_or(0);
+        if report.makespan_ns != max_busy {
+            diags.push(Diagnostic::error(
+                "cluster-makespan",
+                "report",
+                format!(
+                    "makespan {} != max device busy {max_busy}",
+                    report.makespan_ns
+                ),
+            ));
+        }
     }
     let sum_busy: u64 = report.devices.iter().map(|d| d.busy_ns).sum();
     if report.busy_ns != sum_busy {
@@ -574,6 +636,205 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
         ));
     }
 
+    // --- SLO rollup: re-fold every tail percentile, the goodput and the
+    // rates from the job rows through an independent nearest-rank
+    // implementation. A quoted p99 must be exactly reproducible. ---
+    let slo = &report.slo;
+    let waits: Vec<u64> = report
+        .jobs
+        .iter()
+        .filter(|j| j.device.is_some())
+        .map(|j| j.queue_wait_ns)
+        .collect();
+    let latencies: Vec<u64> = details
+        .iter()
+        .flat_map(|d| d.reports.iter().map(|r| r.time.total_ns()))
+        .collect();
+    for (check, reported, sample, p) in [
+        ("cluster-slo-wait-p50", slo.queue_wait_p50_ns, &waits, 50.0),
+        ("cluster-slo-wait-p95", slo.queue_wait_p95_ns, &waits, 95.0),
+        ("cluster-slo-wait-p99", slo.queue_wait_p99_ns, &waits, 99.0),
+        (
+            "cluster-slo-latency-p50",
+            slo.iter_latency_p50_ns,
+            &latencies,
+            50.0,
+        ),
+        (
+            "cluster-slo-latency-p95",
+            slo.iter_latency_p95_ns,
+            &latencies,
+            95.0,
+        ),
+        (
+            "cluster-slo-latency-p99",
+            slo.iter_latency_p99_ns,
+            &latencies,
+            99.0,
+        ),
+    ] {
+        let derived = nearest_rank(sample, p);
+        if reported != derived {
+            diags.push(Diagnostic::error(
+                check,
+                "slo",
+                format!("rollup quotes {reported} ns, the evidence re-folds to {derived} ns"),
+            ));
+        }
+    }
+    let goodput: usize = report
+        .jobs
+        .iter()
+        .filter(|j| j.outcome.finished())
+        .map(|j| j.iters)
+        .sum();
+    if slo.goodput_iters != goodput {
+        diags.push(Diagnostic::error(
+            "cluster-slo-goodput",
+            "slo",
+            format!(
+                "rollup claims {} goodput iters, finished rows sum to {goodput}",
+                slo.goodput_iters
+            ),
+        ));
+    }
+    let goodput_rate = if report.makespan_ns > 0 {
+        goodput as f64 / (report.makespan_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    if (slo.goodput_iters_per_s - goodput_rate).abs() > 1e-6 * goodput_rate.max(1.0) {
+        diags.push(Diagnostic::error(
+            "cluster-slo-goodput-rate",
+            "slo",
+            format!(
+                "goodput rate {} iters/s does not re-derive ({goodput_rate})",
+                slo.goodput_iters_per_s
+            ),
+        ));
+    }
+    let shed_rows = report
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.outcome, JobOutcome::Shed(_)))
+        .count();
+    for (check, reported, derived) in [
+        ("cluster-slo-rejected", slo.rejected_jobs, rejected_rows),
+        ("cluster-slo-shed", slo.shed_jobs, shed_rows),
+        ("cluster-slo-failed", slo.failed_jobs, failed_rows),
+    ] {
+        if reported != derived {
+            diags.push(Diagnostic::error(
+                check,
+                "slo",
+                format!("rollup counts {reported}, job rows show {derived}"),
+            ));
+        }
+    }
+    let n = report.jobs.len().max(1) as f64;
+    for (check, reported, count) in [
+        (
+            "cluster-slo-rejection-rate",
+            slo.rejection_rate_pct,
+            rejected_rows,
+        ),
+        ("cluster-slo-shed-rate", slo.shed_rate_pct, shed_rows),
+    ] {
+        let derived = if report.jobs.is_empty() {
+            0.0
+        } else {
+            count as f64 / n * 100.0
+        };
+        if (reported - derived).abs() > 1e-9 {
+            diags.push(Diagnostic::error(
+                check,
+                "slo",
+                format!("rate {reported} % does not re-derive ({derived} %)"),
+            ));
+        }
+    }
+
+    // --- Event-mode chain consistency: arrival echoes, queue waits,
+    // completion instants and terminal settlement all re-derive from the
+    // timestamped chain. ---
+    if event_mode {
+        for (j, row) in report.jobs.iter().enumerate() {
+            let subject = row.name.clone();
+            let arrive = report
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, FleetEventKind::Arrive { job } if *job == j));
+            let Some(arrive) = arrive else {
+                diags.push(Diagnostic::error(
+                    "cluster-arrival-missing",
+                    subject,
+                    "event-mode job has no arrive event on the chain",
+                ));
+                continue;
+            };
+            if arrive.at_ns != row.arrival_ns {
+                diags.push(Diagnostic::error(
+                    "cluster-arrival-echo",
+                    subject.clone(),
+                    format!(
+                        "row claims arrival at {} ns, the chain says {} ns",
+                        row.arrival_ns, arrive.at_ns
+                    ),
+                ));
+            }
+            let dispatch = report
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, FleetEventKind::Dispatch { job, .. } if *job == j));
+            if let Some(dispatch) = dispatch {
+                if dispatch.at_ns != arrive.at_ns + row.queue_wait_ns {
+                    diags.push(Diagnostic::error(
+                        "cluster-queue-wait-refold",
+                        subject.clone(),
+                        format!(
+                            "row claims a {} ns queue wait, the chain derives {} ns",
+                            row.queue_wait_ns,
+                            dispatch.at_ns.saturating_sub(arrive.at_ns)
+                        ),
+                    ));
+                }
+            }
+            let complete = report
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, FleetEventKind::Complete { job, .. } if *job == j));
+            if let Some(complete) = complete {
+                if Some(complete.at_ns) != row.finish_ns {
+                    diags.push(Diagnostic::error(
+                        "cluster-finish-echo",
+                        subject.clone(),
+                        format!(
+                            "row claims finish at {:?} ns, the chain says {} ns",
+                            row.finish_ns, complete.at_ns
+                        ),
+                    ));
+                }
+            }
+            let has_terminal = report.events.iter().any(|e| match &e.kind {
+                FleetEventKind::Complete { job, .. }
+                | FleetEventKind::Reject { job, .. }
+                | FleetEventKind::Shed { job, .. }
+                | FleetEventKind::Fail { job, .. } => *job == j,
+                _ => false,
+            });
+            if !has_terminal {
+                diags.push(Diagnostic::error(
+                    "cluster-terminal-event",
+                    subject,
+                    format!(
+                        "job settled as {:?} but carries no terminal event on the chain",
+                        row.outcome.tag()
+                    ),
+                ));
+            }
+        }
+    }
+
     // --- Dispatch-sequence structure: the union of first dispatches and
     // migration dispatches must be unique, dense and round-monotone; and
     // under FIFO, same-round first dispatches onto equal-capacity devices
@@ -635,7 +896,7 @@ pub fn lint_cluster(outcome: &ClusterOutcome) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mimose_cluster::{mixed_workload, run_cluster, v100_pool, ClusterSpec, SchedulePolicy};
+    use mimose_cluster::{ArrivalProcess, Cluster, DevicePool, Mode, SchedulePolicy, Workload};
 
     #[test]
     fn clean_run_lints_clean() {
@@ -644,10 +905,13 @@ mod tests {
             SchedulePolicy::ShortestPredicted,
             SchedulePolicy::BestFitMemory,
         ] {
-            let spec = ClusterSpec::new(mixed_workload(2), v100_pool(2))
+            let outcome = Cluster::builder()
+                .devices(DevicePool::v100(2))
+                .workload(Workload::mixed(2))
                 .schedule(schedule)
-                .record(true);
-            let outcome = run_cluster(&spec);
+                .record(true)
+                .run()
+                .expect("canonical workload runs");
             let diags = lint_cluster(&outcome);
             assert!(
                 diags.is_empty(),
@@ -660,8 +924,12 @@ mod tests {
 
     #[test]
     fn corrupted_rollup_is_caught() {
-        let spec = ClusterSpec::new(mixed_workload(2), v100_pool(2)).record(true);
-        let mut outcome = run_cluster(&spec);
+        let mut outcome = Cluster::builder()
+            .devices(DevicePool::v100(2))
+            .workload(Workload::mixed(2))
+            .record(true)
+            .run()
+            .expect("canonical workload runs");
         outcome.report.makespan_ns += 1;
         outcome.report.jobs[0].oom_iters += 1;
         let diags = lint_cluster(&outcome);
@@ -675,11 +943,77 @@ mod tests {
         use mimose_chaos::{DeviceFault, FleetFaultPlan};
         let faults =
             FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
-        run_cluster(
-            &ClusterSpec::new(mixed_workload(4), v100_pool(4))
-                .faults(faults)
-                .record(true),
-        )
+        Cluster::builder()
+            .devices(DevicePool::v100(4))
+            .workload(Workload::mixed(4))
+            .faults(faults)
+            .record(true)
+            .run()
+            .expect("faulted workload runs")
+    }
+
+    fn serving_outcome() -> mimose_cluster::ClusterOutcome {
+        use mimose_chaos::{FleetFaultPlan, TimedDeviceFault};
+        let faults = FleetFaultPlan::none(0).with_timed_fault(
+            1,
+            TimedDeviceFault::Down {
+                at_ns: 600_000,
+                duration_ns: 1_500_000,
+            },
+        );
+        Cluster::builder()
+            .devices(DevicePool::v100(2))
+            .workload(Workload::mixed(2))
+            .mode(Mode::EventDriven)
+            .arrivals(ArrivalProcess::poisson(400_000, 17))
+            .faults(faults)
+            .record(true)
+            .run()
+            .expect("serving run")
+    }
+
+    #[test]
+    fn event_mode_run_lints_clean() {
+        let outcome = serving_outcome();
+        assert_eq!(outcome.report.mode, "event-driven");
+        let diags = lint_cluster(&outcome);
+        assert!(
+            diags.is_empty(),
+            "{:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupted_slo_tails_are_caught() {
+        let mut outcome = serving_outcome();
+        outcome.report.slo.queue_wait_p99_ns += 1;
+        outcome.report.slo.iter_latency_p50_ns += 1;
+        outcome.report.slo.goodput_iters += 1;
+        outcome.report.slo.shed_rate_pct += 0.5;
+        let diags = lint_cluster(&outcome);
+        let checks: Vec<_> = diags.iter().map(|d| d.check).collect();
+        assert!(checks.contains(&"cluster-slo-wait-p99"), "{checks:?}");
+        assert!(checks.contains(&"cluster-slo-latency-p50"), "{checks:?}");
+        assert!(checks.contains(&"cluster-slo-goodput"), "{checks:?}");
+        assert!(checks.contains(&"cluster-slo-shed-rate"), "{checks:?}");
+    }
+
+    #[test]
+    fn corrupted_event_chain_is_caught() {
+        let mut outcome = serving_outcome();
+        let dispatched = outcome
+            .report
+            .jobs
+            .iter()
+            .position(|j| j.device.is_some() && j.queue_wait_ns > 0)
+            .unwrap_or(0);
+        outcome.report.jobs[dispatched].queue_wait_ns += 1;
+        outcome.report.jobs[dispatched].arrival_ns += 1;
+        let diags = lint_cluster(&outcome);
+        let checks: Vec<_> = diags.iter().map(|d| d.check).collect();
+        assert!(checks.contains(&"cluster-arrival-echo"), "{checks:?}");
+        assert!(checks.contains(&"cluster-queue-wait-refold"), "{checks:?}");
     }
 
     #[test]

@@ -7,30 +7,39 @@
 
 use mimose_bench::harness::{BenchMeta, Criterion};
 use mimose_bench::{criterion_group, criterion_main};
-use mimose_cluster::{mixed_workload, run_cluster, v100_pool, ClusterSpec};
+use mimose_cluster::{Cluster, DevicePool, Workload};
 use std::hint::black_box;
 
 fn bench_cluster(c: &mut Criterion) {
     let iters = 2;
-    let jobs = mixed_workload(iters);
-    let ops = (jobs.len() * iters) as u64;
+    let ops = (Workload::mixed(iters).len() * iters) as u64;
     let meta = BenchMeta {
         blocks: None,
         ops_per_iter: Some(ops),
     };
-    let mut g = c.benchmark_group("cluster_mixed_workload");
+    let mut g = c.benchmark_group("cluster_mixed");
     for devices in [1usize, 2, 4] {
         g.bench_function_with(&format!("serial_{devices}dev"), meta, |b| {
             b.iter(|| {
-                let spec = ClusterSpec::new(mixed_workload(iters), v100_pool(devices)).threads(1);
-                black_box(run_cluster(&spec))
+                let outcome = Cluster::builder()
+                    .devices(DevicePool::v100(devices))
+                    .workload(Workload::mixed(iters))
+                    .threads(1)
+                    .run()
+                    .expect("canonical workload runs");
+                black_box(outcome)
             })
         });
     }
     g.bench_function_with("threaded_4dev", meta, |b| {
         b.iter(|| {
-            let spec = ClusterSpec::new(mixed_workload(iters), v100_pool(4)).threads(4);
-            black_box(run_cluster(&spec))
+            let outcome = Cluster::builder()
+                .devices(DevicePool::v100(4))
+                .workload(Workload::mixed(iters))
+                .threads(4)
+                .run()
+                .expect("canonical workload runs");
+            black_box(outcome)
         })
     });
     g.finish();

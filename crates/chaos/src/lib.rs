@@ -171,6 +171,54 @@ impl DeviceFault {
     }
 }
 
+/// A device-lifecycle fault indexed by **virtual time** (nanoseconds on
+/// the cluster's event clock) rather than by BSP round — the form the
+/// event-driven serving mode consumes. Semantics mirror [`DeviceFault`]:
+/// a device can go down transiently, disappear permanently, or keep
+/// running with collapsed capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimedDeviceFault {
+    /// The device is unreachable for `duration_ns` starting at `at_ns`,
+    /// then returns.
+    Down {
+        /// First virtual nanosecond the device is unreachable.
+        at_ns: u64,
+        /// Virtual nanoseconds the outage lasts.
+        duration_ns: u64,
+    },
+    /// The device disappears permanently at `at_ns`.
+    Lost {
+        /// First virtual nanosecond the device is gone.
+        at_ns: u64,
+    },
+    /// The device stays up but its admission-usable capacity is
+    /// multiplied by `factor` for `duration_ns` starting at `at_ns`.
+    CapacityCollapse {
+        /// First virtual nanosecond the collapse applies.
+        at_ns: u64,
+        /// Virtual nanoseconds the collapse lasts.
+        duration_ns: u64,
+        /// Capacity multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl TimedDeviceFault {
+    /// The virtual-time boundaries at which this fault changes a device's
+    /// state (start, and end where one exists).
+    fn boundaries(&self) -> (u64, Option<u64>) {
+        match *self {
+            TimedDeviceFault::Down { at_ns, duration_ns } => {
+                (at_ns, Some(at_ns.saturating_add(duration_ns)))
+            }
+            TimedDeviceFault::Lost { at_ns } => (at_ns, None),
+            TimedDeviceFault::CapacityCollapse {
+                at_ns, duration_ns, ..
+            } => (at_ns, Some(at_ns.saturating_add(duration_ns))),
+        }
+    }
+}
+
 /// A device's availability at one scheduler round, derived from the plan's
 /// [`DeviceFault`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +246,7 @@ pub enum DeviceCondition {
 pub struct FleetFaultPlan {
     base: FaultSpec,
     device_faults: Vec<(usize, DeviceFault)>,
+    timed_faults: Vec<(usize, TimedDeviceFault)>,
 }
 
 impl FleetFaultPlan {
@@ -207,6 +256,7 @@ impl FleetFaultPlan {
         FleetFaultPlan {
             base,
             device_faults: Vec::new(),
+            timed_faults: Vec::new(),
         }
     }
 
@@ -230,16 +280,32 @@ impl FleetFaultPlan {
         &self.base
     }
 
+    /// Add a virtual-time lifecycle fault for one device — the
+    /// event-driven analogue of [`with_device_fault`](Self::with_device_fault).
+    /// Round-indexed faults drive BSP runs; timed faults drive
+    /// event-driven runs; a plan may carry both.
+    #[must_use]
+    pub fn with_timed_fault(mut self, device: usize, fault: TimedDeviceFault) -> Self {
+        self.timed_faults.push((device, fault));
+        self
+    }
+
     /// The declared device-lifecycle faults, in declaration order.
     #[must_use]
     pub fn device_faults(&self) -> &[(usize, DeviceFault)] {
         &self.device_faults
     }
 
+    /// The declared virtual-time lifecycle faults, in declaration order.
+    #[must_use]
+    pub fn timed_faults(&self) -> &[(usize, TimedDeviceFault)] {
+        &self.timed_faults
+    }
+
     /// True when no device will see any fault.
     #[must_use]
     pub fn is_noop(&self) -> bool {
-        self.base.is_noop() && self.device_faults.is_empty()
+        self.base.is_noop() && self.device_faults.is_empty() && self.timed_faults.is_empty()
     }
 
     /// The availability of `device` at scheduler round `round`. `Lost`
@@ -310,6 +376,76 @@ impl FleetFaultPlan {
             .min()
     }
 
+    /// The availability of `device` at virtual time `at_ns`, derived from
+    /// the plan's [`TimedDeviceFault`]s (round-indexed faults are ignored
+    /// here — they belong to the BSP clock). `Lost` dominates `Down`; with
+    /// no matching fault the device is `Up`.
+    #[must_use]
+    pub fn device_condition_at_ns(&self, device: usize, at_ns: u64) -> DeviceCondition {
+        let mut cond = DeviceCondition::Up;
+        for (d, fault) in &self.timed_faults {
+            if *d != device {
+                continue;
+            }
+            match *fault {
+                TimedDeviceFault::Lost { at_ns: start } if at_ns >= start => {
+                    return DeviceCondition::Lost;
+                }
+                TimedDeviceFault::Down {
+                    at_ns: start,
+                    duration_ns,
+                } if at_ns >= start && at_ns < start.saturating_add(duration_ns) => {
+                    cond = DeviceCondition::Down;
+                }
+                _ => {}
+            }
+        }
+        cond
+    }
+
+    /// True when `device` is permanently gone by virtual time `at_ns`.
+    #[must_use]
+    pub fn is_lost_at_ns(&self, device: usize, at_ns: u64) -> bool {
+        self.device_condition_at_ns(device, at_ns) == DeviceCondition::Lost
+    }
+
+    /// The admission-capacity multiplier for `device` at virtual time
+    /// `at_ns`: the product of every active timed
+    /// [`TimedDeviceFault::CapacityCollapse`] window.
+    #[must_use]
+    pub fn capacity_factor_at_ns(&self, device: usize, at_ns: u64) -> f64 {
+        let mut f = 1.0;
+        for (d, fault) in &self.timed_faults {
+            if let TimedDeviceFault::CapacityCollapse {
+                at_ns: start,
+                duration_ns,
+                factor,
+            } = *fault
+            {
+                if *d == device && at_ns >= start && at_ns < start.saturating_add(duration_ns) {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// The earliest virtual time strictly after `at_ns` at which any
+    /// device's timed lifecycle state changes. `None` when every declared
+    /// boundary is behind `at_ns` — availability is static from here on.
+    /// The event-driven scheduler seeds its queue with these boundaries.
+    #[must_use]
+    pub fn next_transition_after_ns(&self, at_ns: u64) -> Option<u64> {
+        self.timed_faults
+            .iter()
+            .flat_map(|(_, f)| {
+                let (start, end) = f.boundaries();
+                [Some(start), end].into_iter().flatten()
+            })
+            .filter(|&t| t > at_ns)
+            .min()
+    }
+
     /// The spec for device `device` of the pool: the base intensities under
     /// a seed decorrelated by the device index (SplitMix64-style mixing,
     /// matching the per-iteration derivation below).
@@ -363,6 +499,30 @@ impl FleetFaultPlan {
             }
             o.push('}');
             if i + 1 < self.device_faults.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("],\"timed_faults\":[");
+        for (i, (d, fault)) in self.timed_faults.iter().enumerate() {
+            o.push_str(&format!("{{\"device\":{d},"));
+            match *fault {
+                TimedDeviceFault::Down { at_ns, duration_ns } => o.push_str(&format!(
+                    "\"kind\":\"down\",\"at_ns\":{at_ns},\"duration_ns\":{duration_ns}"
+                )),
+                TimedDeviceFault::Lost { at_ns } => {
+                    o.push_str(&format!("\"kind\":\"lost\",\"at_ns\":{at_ns}"));
+                }
+                TimedDeviceFault::CapacityCollapse {
+                    at_ns,
+                    duration_ns,
+                    factor,
+                } => o.push_str(&format!(
+                    "\"kind\":\"capacity-collapse\",\"at_ns\":{at_ns},\
+                     \"duration_ns\":{duration_ns},\"factor\":{factor:.4}"
+                )),
+            }
+            o.push('}');
+            if i + 1 < self.timed_faults.len() {
                 o.push(',');
             }
         }
@@ -609,6 +769,89 @@ mod tests {
         assert_eq!(plan.next_transition_after(5), Some(8));
         assert_eq!(plan.next_transition_after(8), None);
         assert_eq!(FleetFaultPlan::none(0).next_transition_after(0), None);
+    }
+
+    #[test]
+    fn timed_faults_resolve_conditions_on_the_virtual_clock() {
+        let plan = FleetFaultPlan::none(0)
+            .with_timed_fault(
+                0,
+                TimedDeviceFault::Down {
+                    at_ns: 1_000,
+                    duration_ns: 500,
+                },
+            )
+            .with_timed_fault(1, TimedDeviceFault::Lost { at_ns: 2_000 })
+            .with_timed_fault(
+                2,
+                TimedDeviceFault::CapacityCollapse {
+                    at_ns: 100,
+                    duration_ns: 300,
+                    factor: 0.5,
+                },
+            );
+        assert!(!plan.is_noop());
+        assert_eq!(plan.device_condition_at_ns(0, 999), DeviceCondition::Up);
+        assert_eq!(plan.device_condition_at_ns(0, 1_000), DeviceCondition::Down);
+        assert_eq!(plan.device_condition_at_ns(0, 1_499), DeviceCondition::Down);
+        assert_eq!(plan.device_condition_at_ns(0, 1_500), DeviceCondition::Up);
+        assert!(!plan.is_lost_at_ns(1, 1_999));
+        assert!(plan.is_lost_at_ns(1, 2_000));
+        assert!(plan.is_lost_at_ns(1, u64::MAX));
+        // Capacity collapse leaves the device Up but halves usable bytes.
+        assert_eq!(plan.device_condition_at_ns(2, 200), DeviceCondition::Up);
+        assert!((plan.capacity_factor_at_ns(2, 200) - 0.5).abs() < 1e-12);
+        assert!((plan.capacity_factor_at_ns(2, 400) - 1.0).abs() < 1e-12);
+        // Round-indexed queries never see timed faults and vice versa.
+        assert_eq!(plan.device_condition(0, 1_000), DeviceCondition::Up);
+        assert_eq!(plan.next_transition_after(0), None);
+    }
+
+    #[test]
+    fn timed_transitions_enumerate_every_boundary() {
+        let plan = FleetFaultPlan::none(0)
+            .with_timed_fault(
+                0,
+                TimedDeviceFault::Down {
+                    at_ns: 1_000,
+                    duration_ns: 500,
+                },
+            )
+            .with_timed_fault(1, TimedDeviceFault::Lost { at_ns: 2_000 });
+        assert_eq!(plan.next_transition_after_ns(0), Some(1_000));
+        assert_eq!(plan.next_transition_after_ns(1_000), Some(1_500));
+        assert_eq!(plan.next_transition_after_ns(1_500), Some(2_000));
+        assert_eq!(plan.next_transition_after_ns(2_000), None);
+        assert_eq!(FleetFaultPlan::none(0).next_transition_after_ns(0), None);
+    }
+
+    #[test]
+    fn timed_faults_serialize_alongside_round_faults() {
+        let plan = FleetFaultPlan::none(3)
+            .with_device_fault(1, DeviceFault::Lost { at_round: 2 })
+            .with_timed_fault(
+                0,
+                TimedDeviceFault::Down {
+                    at_ns: 1_000,
+                    duration_ns: 500,
+                },
+            )
+            .with_timed_fault(
+                2,
+                TimedDeviceFault::CapacityCollapse {
+                    at_ns: 100,
+                    duration_ns: 300,
+                    factor: 0.25,
+                },
+            );
+        let a = plan.to_json();
+        assert_eq!(a, plan.to_json());
+        assert!(a.contains("\"timed_faults\":["));
+        assert!(a.contains("\"kind\":\"down\",\"at_ns\":1000,\"duration_ns\":500"));
+        assert!(a.contains("\"factor\":0.2500"));
+        assert!(FleetFaultPlan::none(0)
+            .to_json()
+            .contains("\"timed_faults\":[]"));
     }
 
     #[test]

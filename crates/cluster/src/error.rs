@@ -1,0 +1,62 @@
+//! Typed cluster-construction errors: the conditions under which a fleet
+//! run cannot even start. Everything that can go wrong *during* a run
+//! (profile failures, displacement past the retry budget, shedding) is
+//! data on the [`ClusterReport`](crate::ClusterReport) — a run that starts
+//! always yields a report.
+
+use std::fmt;
+
+/// Why a cluster run could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The device pool is empty (or was never set on the builder): there
+    /// is nowhere to dispatch, so admission has nothing to decide against.
+    EmptyDevicePool,
+    /// The builder was run without a workload.
+    MissingWorkload,
+    /// A job requests zero iterations; the scheduler's invariant is that
+    /// every dispatched job executes at least one iteration per placement.
+    ZeroIterationJob {
+        /// Name of the offending job.
+        name: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyDevicePool => {
+                write!(f, "cluster needs at least one device in the pool")
+            }
+            ClusterError::MissingWorkload => {
+                write!(
+                    f,
+                    "cluster needs a workload (Cluster::builder().workload(..))"
+                )
+            }
+            ClusterError::ZeroIterationJob { name } => {
+                write!(f, "job {name:?} requests zero iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_condition() {
+        assert!(ClusterError::EmptyDevicePool.to_string().contains("device"));
+        assert!(ClusterError::MissingWorkload
+            .to_string()
+            .contains("workload"));
+        let e = ClusterError::ZeroIterationJob {
+            name: "bert-qqp".into(),
+        };
+        assert!(e.to_string().contains("bert-qqp"));
+        assert!(e.to_string().contains("zero iterations"));
+    }
+}

@@ -1,9 +1,17 @@
-//! Typed fleet-lifecycle events: the scheduler's failure protocol as an
+//! Typed fleet-lifecycle events: the scheduler's protocol as an
 //! append-only, cost-attributed chain on the [`ClusterReport`]
 //! (`crate::ClusterReport`) — device down/up transitions, job checkpoints,
-//! requeues with exponential backoff, migrations and load shedding. The
-//! audit layer re-derives every fleet rollup counter from this chain, so a
-//! lost device's jobs can never be dropped silently.
+//! requeues with exponential backoff, migrations and load shedding, plus
+//! (in event-driven mode) every arrival, dispatch, completion and
+//! rejection. The audit layer re-derives every fleet rollup counter and
+//! every SLO tail percentile from this chain, so a lost device's jobs can
+//! never be dropped silently and a quoted p99 can never drift from the
+//! events behind it.
+//!
+//! Every event carries two clocks: `round` (the BSP round or event-loop
+//! epoch it was observed in) and `at_ns` (the fleet's virtual time at
+//! emission — the furthest any device has run in BSP mode, the event-queue
+//! time in event-driven mode). Both are nondecreasing in chain order.
 
 /// Modeled virtual cost of checkpointing an in-flight job at an iteration
 /// boundary (serializing the policy/estimator state and stream cursor).
@@ -11,20 +19,58 @@ pub const CHECKPOINT_COST_NS: u64 = 25_000;
 /// Modeled virtual cost of restoring a checkpoint on the migration target
 /// (rebuilding the session and fast-forwarding the batch stream).
 pub const RESTORE_COST_NS: u64 = 40_000;
-/// Base of the exponential requeue backoff: a job displaced for the
-/// `n`-th time waits `BACKOFF_BASE_ROUNDS << (n - 1)` rounds before it is
-/// eligible for re-admission.
+/// Base of the exponential requeue backoff in BSP mode: a job displaced
+/// for the `n`-th time waits `BACKOFF_BASE_ROUNDS << (n - 1)` rounds
+/// before it is eligible for re-admission.
 pub const BACKOFF_BASE_ROUNDS: usize = 1;
+/// Base of the exponential requeue backoff in event-driven mode: a job
+/// displaced for the `n`-th time waits `BACKOFF_BASE_NS << (n - 1)`
+/// virtual nanoseconds before it is eligible for re-admission.
+pub const BACKOFF_BASE_NS: u64 = 1_000_000;
 
 /// What happened, fleet-wise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FleetEventKind {
-    /// A device became unreachable. `until_round` is the round it returns
+    /// A job entered the fleet (event-driven mode only; in BSP mode every
+    /// job is present at round 0 and no arrival is recorded).
+    Arrive {
+        /// Job submission index.
+        job: usize,
+    },
+    /// A fresh job was admitted and started on a device (event-driven
+    /// mode only; BSP dispatches are recorded on the job's detail row).
+    Dispatch {
+        /// Job submission index.
+        job: usize,
+        /// Device the job started on.
+        device: usize,
+        /// Global dispatch sequence number.
+        seq: usize,
+    },
+    /// A job executed its last requested iteration (event-driven mode
+    /// only).
+    Complete {
+        /// Job submission index.
+        job: usize,
+        /// Device the job finished on.
+        device: usize,
+    },
+    /// A job's submission-time rejection, replayed on its arrival so the
+    /// event chain settles every job (event-driven mode only).
+    Reject {
+        /// Job submission index.
+        job: usize,
+        /// Why admission rejected the job.
+        reason: String,
+    },
+    /// A device became unreachable. `until_round` is the BSP round (or,
+    /// in event-driven mode, the virtual nanosecond) it returns
     /// (`None` = permanently lost).
     DeviceDown {
         /// Device index.
         device: usize,
-        /// First round the device is back up; `None` for permanent loss.
+        /// First round (BSP) or virtual nanosecond (event-driven) the
+        /// device is back up; `None` for permanent loss.
         until_round: Option<usize>,
     },
     /// A transiently-down device returned to service.
@@ -53,7 +99,8 @@ pub enum FleetEventKind {
     Backoff {
         /// Job submission index.
         job: usize,
-        /// First round the job is eligible for re-admission.
+        /// First round (BSP) or virtual nanosecond (event-driven) the job
+        /// is eligible for re-admission.
         until_round: usize,
     },
     /// A checkpointed job was re-admitted and resumed on a surviving
@@ -70,8 +117,9 @@ pub enum FleetEventKind {
         /// Global dispatch sequence number of the migration dispatch.
         seq: usize,
     },
-    /// A job was shed: the degraded fleet can never place it, so it is
-    /// dropped explicitly (lowest priority first) rather than starved.
+    /// A job was shed: the degraded fleet can never place it (or, in
+    /// event-driven mode, its bounded queue was full on arrival), so it
+    /// is dropped explicitly rather than starved.
     Shed {
         /// Job submission index.
         job: usize,
@@ -93,6 +141,10 @@ impl FleetEventKind {
     #[must_use]
     pub fn tag(&self) -> &'static str {
         match self {
+            FleetEventKind::Arrive { .. } => "arrive",
+            FleetEventKind::Dispatch { .. } => "dispatch",
+            FleetEventKind::Complete { .. } => "complete",
+            FleetEventKind::Reject { .. } => "reject",
             FleetEventKind::DeviceDown { .. } => "device-down",
             FleetEventKind::DeviceUp { .. } => "device-up",
             FleetEventKind::Checkpoint { .. } => "checkpoint",
@@ -108,7 +160,11 @@ impl FleetEventKind {
     #[must_use]
     pub fn job(&self) -> Option<usize> {
         match self {
-            FleetEventKind::Checkpoint { job, .. }
+            FleetEventKind::Arrive { job }
+            | FleetEventKind::Dispatch { job, .. }
+            | FleetEventKind::Complete { job, .. }
+            | FleetEventKind::Reject { job, .. }
+            | FleetEventKind::Checkpoint { job, .. }
             | FleetEventKind::Requeue { job, .. }
             | FleetEventKind::Backoff { job, .. }
             | FleetEventKind::Migrate { job, .. }
@@ -122,8 +178,11 @@ impl FleetEventKind {
 /// One entry of the fleet-event chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetEvent {
-    /// Scheduler round the event was observed in.
+    /// Scheduler round (BSP) or event-loop epoch (event-driven) the event
+    /// was observed in.
     pub round: usize,
+    /// Fleet virtual time at emission, nanoseconds (see module docs).
+    pub at_ns: u64,
     /// What happened.
     pub kind: FleetEventKind,
     /// Modeled virtual cost attributed to the affected job's fleet
@@ -160,5 +219,27 @@ mod tests {
             .job(),
             Some(0)
         );
+        for (kind, tag) in [
+            (FleetEventKind::Arrive { job: 2 }, "arrive"),
+            (
+                FleetEventKind::Dispatch {
+                    job: 2,
+                    device: 0,
+                    seq: 1,
+                },
+                "dispatch",
+            ),
+            (FleetEventKind::Complete { job: 2, device: 0 }, "complete"),
+            (
+                FleetEventKind::Reject {
+                    job: 2,
+                    reason: "floor".into(),
+                },
+                "reject",
+            ),
+        ] {
+            assert_eq!(kind.tag(), tag);
+            assert_eq!(kind.job(), Some(2));
+        }
     }
 }

@@ -11,42 +11,85 @@
 //!   policy's predicted peak for the job's next iteration against the
 //!   device's headroom-discounted capacity, demoting (arming the recovery
 //!   ladder) or rejecting via the analytic all-checkpoint floor.
-//! - **Scheduling** ([`run_cluster`]) advances the fleet in BSP rounds —
-//!   one iteration per busy device per round, real scoped threads, merge
-//!   in device-index order — so a [`ClusterReport`] is byte-identical
-//!   run-to-run and across thread counts, and a 1-job/1-device cluster
-//!   degenerates exactly to [`mimose_exec::Session::run`].
+//! - **Scheduling** comes in two modes behind one front door,
+//!   [`Cluster::builder`]: **BSP rounds** ([`Mode::Bsp`]) — one iteration
+//!   per busy device per round, real scoped threads, merge in
+//!   device-index order — and a **discrete-event loop**
+//!   ([`Mode::EventDriven`]) where an [`ArrivalProcess`] feeds jobs into
+//!   a virtual-time queue and dispatch happens at event boundaries.
+//!   Either way a [`ClusterReport`] is byte-identical run-to-run and
+//!   across thread counts, and a 1-job/1-device BSP cluster degenerates
+//!   exactly to [`mimose_exec::Session::run`].
 //! - **Reporting** ([`ClusterReport`]) folds per-device
 //!   [`RunSummary`](mimose_runtime::RunSummary)-compatible rollups into
-//!   makespan, utilization, queue latency, OOM/recovery counts and
-//!   admission accuracy, serialized as deterministic JSON.
+//!   makespan, utilization, queue latency, OOM/recovery counts, admission
+//!   accuracy and (from the typed [`FleetEvent`] chain) the serving-mode
+//!   SLO tails ([`SloRollup`]: p50/p95/p99 queue wait and iteration
+//!   latency, goodput, rejection/shed rates), serialized as deterministic
+//!   JSON.
 //!
 //! ```
-//! use mimose_cluster::{run_cluster, ClusterSpec, mixed_workload, v100_pool};
+//! use mimose_cluster::{Cluster, ClusterError, DevicePool, Workload};
 //!
-//! let spec = ClusterSpec::new(mixed_workload(3), v100_pool(2));
-//! let outcome = run_cluster(&spec);
+//! # fn main() -> Result<(), ClusterError> {
+//! let outcome = Cluster::builder()
+//!     .devices(DevicePool::v100(2))
+//!     .workload(Workload::mixed(3))
+//!     .run()?;
 //! assert_eq!(outcome.report.jobs.len(), 8);
 //! assert!(outcome.report.makespan_ns > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Serving mode, with arrivals and a bounded queue:
+//!
+//! ```
+//! use mimose_cluster::{ArrivalProcess, Cluster, ClusterError, DevicePool, Mode, Workload};
+//!
+//! # fn main() -> Result<(), ClusterError> {
+//! let outcome = Cluster::builder()
+//!     .devices(DevicePool::v100(2))
+//!     .workload(Workload::mixed(2))
+//!     .mode(Mode::EventDriven)
+//!     .arrivals(ArrivalProcess::poisson(500_000, 42))
+//!     .queue_limit(Some(16))
+//!     .run()?;
+//! assert_eq!(outcome.report.mode, "event-driven");
+//! assert!(outcome.report.slo.iter_latency_p99_ns > 0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![deny(missing_docs)]
 
 mod admission;
+mod des;
+mod error;
 mod events;
 mod job;
+mod protocol;
 mod report;
 mod scheduler;
+mod spec;
 mod workload;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionStats};
+pub use error::ClusterError;
 pub use events::{
-    FleetEvent, FleetEventKind, BACKOFF_BASE_ROUNDS, CHECKPOINT_COST_NS, RESTORE_COST_NS,
+    FleetEvent, FleetEventKind, BACKOFF_BASE_NS, BACKOFF_BASE_ROUNDS, CHECKPOINT_COST_NS,
+    RESTORE_COST_NS,
 };
 pub use job::{
     DeterministicMimose, JobPolicy, JobSpec, MIMOSE_CACHE_HIT_COST_NS, MIMOSE_PLAN_COST_NS,
     MIMOSE_REPAIR_COST_NS,
 };
-pub use report::{ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlacement, JobReport};
-pub use scheduler::{run_cluster, ClusterOutcome, ClusterSpec, JobDetail, SchedulePolicy};
-pub use workload::{mixed_workload, v100_pool};
+/// Re-exported from `mimose-data`: the arrival processes the event-driven
+/// mode draws job submission times from.
+pub use mimose_data::ArrivalProcess;
+pub use report::{
+    ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlacement, JobReport, SloRollup,
+};
+pub use scheduler::{run_bsp, run_cluster, ClusterOutcome, ClusterSpec, JobDetail, SchedulePolicy};
+pub use spec::{Cluster, ClusterBuilder, Mode};
+pub use workload::{mixed_workload, v100_pool, DevicePool, Workload};

@@ -1,4 +1,4 @@
-//! The round-based fleet scheduler.
+//! The round-based (BSP) fleet driver and the mode-shared [`ClusterSpec`].
 //!
 //! Execution proceeds in BSP rounds over virtual time: each round, every
 //! busy device runs exactly one iteration of its job (in parallel real
@@ -8,7 +8,8 @@
 //! shared state and the merge order is fixed, the resulting
 //! [`ClusterReport`] is byte-identical run-to-run and across thread
 //! counts — the fleet-level extension of the executor's determinism
-//! contract.
+//! contract. The event-driven driver lives in [`crate::des`]; both share
+//! the submission, picking and rollup machinery in [`crate::protocol`].
 //!
 //! # Failure protocol
 //!
@@ -32,20 +33,21 @@
 //! contract survives device loss.
 
 use crate::admission::AdmissionController;
+use crate::error::ClusterError;
 use crate::events::{
     FleetEvent, FleetEventKind, BACKOFF_BASE_ROUNDS, CHECKPOINT_COST_NS, RESTORE_COST_NS,
 };
 use crate::job::JobSpec;
-use crate::report::{ClusterReport, DeviceReport, FleetStats, JobOutcome, JobPlacement, JobReport};
+use crate::protocol::{self, DeviceAccum, RollupInputs};
+use crate::report::{ClusterReport, FleetStats, JobOutcome, JobPlacement};
+use crate::spec::{validate, Mode};
 use crate::AdmissionDecision;
 use mimose_chaos::{DeviceCondition, FleetFaultPlan};
+use mimose_data::ArrivalProcess;
 use mimose_exec::{IterationRecord, RecoveryConfig, Session, SessionCheckpoint};
-use mimose_models::{ModelProfile, PassReport};
-use mimose_planner::memory_model::min_feasible_budget;
-use mimose_planner::{CheckpointPlan, MemoryPolicy, PlanTierStats};
+use mimose_planner::PlanTierStats;
 use mimose_runtime::{IterationReport, RunSummary};
 use mimose_simgpu::DeviceProfile;
-use mimose_verify::{certify, SafetyCertificate, SizeBucket};
 
 /// How idle devices choose among queued jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +85,9 @@ impl SchedulePolicy {
     }
 }
 
-/// A whole cluster run, as data: jobs, devices, and the knobs.
+/// A whole cluster run, as data: jobs, devices, and the knobs. Most code
+/// should construct one through [`Cluster::builder`](crate::Cluster),
+/// which validates into this spec.
 pub struct ClusterSpec {
     /// Jobs, in submission order.
     pub jobs: Vec<JobSpec>,
@@ -91,25 +95,35 @@ pub struct ClusterSpec {
     pub devices: Vec<DeviceProfile>,
     /// Dispatch policy.
     pub schedule: SchedulePolicy,
-    /// `1` runs rounds serially on the calling thread; any other value
-    /// spawns one scoped thread per busy device. The report is
-    /// byte-identical either way.
+    /// `1` runs BSP rounds serially on the calling thread; any other
+    /// value spawns one scoped thread per busy device. The report is
+    /// byte-identical either way. Ignored in event-driven mode (the event
+    /// loop is serial by construction).
     pub threads: usize,
     /// Admission headroom (fraction of device memory admission may plan
     /// into).
     pub headroom: f64,
-    /// Per-device fault derivation (noop by default).
+    /// Per-device fault derivation (noop by default). BSP mode consumes
+    /// round-indexed faults; event-driven mode consumes timed faults.
     pub faults: FleetFaultPlan,
     /// Record every iteration's event stream for auditing.
     pub record: bool,
     /// How many times a job may be displaced off a dying device before
     /// the scheduler fails it instead of requeueing again.
     pub max_retries: usize,
+    /// How virtual time advances (BSP rounds or discrete events).
+    pub mode: Mode,
+    /// When jobs enter the fleet (event-driven mode; BSP ignores it).
+    pub arrivals: ArrivalProcess,
+    /// Bound on the pending queue (event-driven mode): arrivals past it
+    /// are shed explicitly. `None` queues without bound.
+    pub queue_limit: Option<usize>,
 }
 
 impl ClusterSpec {
     /// A spec with default knobs: FIFO dispatch, parallel rounds, 0.95
-    /// headroom, no faults, no recording, 3 displacement retries.
+    /// headroom, no faults, no recording, 3 displacement retries, BSP
+    /// mode with immediate arrivals and no queue limit.
     #[must_use]
     pub fn new(jobs: Vec<JobSpec>, devices: Vec<DeviceProfile>) -> Self {
         ClusterSpec {
@@ -121,6 +135,9 @@ impl ClusterSpec {
             faults: FleetFaultPlan::none(0),
             record: false,
             max_retries: 3,
+            mode: Mode::Bsp,
+            arrivals: ArrivalProcess::Immediate,
+            queue_limit: None,
         }
     }
 
@@ -158,6 +175,27 @@ impl ClusterSpec {
         self.max_retries = max_retries;
         self
     }
+
+    /// Set the execution mode.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the arrival process (event-driven mode).
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Bound the pending queue (event-driven mode).
+    #[must_use]
+    pub fn queue_limit(mut self, queue_limit: Option<usize>) -> Self {
+        self.queue_limit = queue_limit;
+        self
+    }
 }
 
 /// Everything the scheduler kept about one job, for auditing and
@@ -168,7 +206,8 @@ pub struct JobDetail {
     pub name: String,
     /// Device the job last ran on.
     pub device: Option<usize>,
-    /// Round at which the job was first dispatched.
+    /// Round (BSP) or event-loop epoch (event-driven) at which the job
+    /// was first dispatched.
     pub dispatch_round: Option<usize>,
     /// Global dispatch sequence number of the first dispatch
     /// (0 = dispatched first; migrations take fresh numbers, recorded on
@@ -211,27 +250,6 @@ type StepResult = (
     Result<IterationReport, mimose_exec::ExecError>,
 );
 
-/// What the scheduler precomputes about a job at submission.
-struct Submitted {
-    /// Worst-case profile the static planners solved against.
-    worst: ModelProfile,
-    /// All-checkpoint floor over the worst case — the admit/demote/reject
-    /// pivot.
-    floor: usize,
-    /// The policy's predicted peak for the job's first iteration.
-    predicted_peak: usize,
-    /// Static safety certificate over the job's worst case (sound no-plan
-    /// peak bound), when it fits at least one device in the pool. Admits
-    /// backed by it are scored as `verified_admits`.
-    certificate: Option<SafetyCertificate>,
-    /// The built policy, taken at first dispatch.
-    policy: Option<Box<dyn MemoryPolicy>>,
-    /// One-line summary of the graph passes that shrank the job's
-    /// predicted peak, appended to demote/reject reasons so the report
-    /// names the evidence behind the number it gated on.
-    graph_evidence: Option<String>,
-}
-
 /// One job executing on a device.
 struct Running<'a> {
     job: usize,
@@ -262,54 +280,35 @@ struct DeviceState<'a> {
     running: Option<Running<'a>>,
 }
 
-fn usable_bytes(dev: &DeviceProfile, headroom: f64) -> usize {
-    (dev.total_mem_bytes as f64 * headroom) as usize
-}
-
-/// One line naming the optimization passes behind an admission number:
-/// which passes touched the graph and how far they moved the predicted
-/// peak. `None` when the raw graph could not be profiled, no pass did
-/// anything, or the passes saved no bytes at this input size.
-fn graph_evidence(
-    reports: &[PassReport],
-    raw_peak: Option<usize>,
-    opt_peak: usize,
-) -> Option<String> {
-    let raw_peak = raw_peak?;
-    let passes: Vec<String> = reports
-        .iter()
-        .filter(|r| !r.is_noop())
-        .map(|r| {
-            format!(
-                "{} ({} nodes)",
-                r.pass.name(),
-                r.nodes_removed + r.nodes_rewired + r.nodes_annotated
-            )
-        })
-        .collect();
-    if passes.is_empty() || raw_peak <= opt_peak {
-        return None;
-    }
-    Some(format!(
-        "graph passes [{}] cut the predicted peak from {raw_peak} B (raw graph) to {opt_peak} B",
-        passes.join(", ")
-    ))
-}
-
-/// Run the whole spec to completion. Per-job failures (profile errors,
-/// data exhaustion, displacement past the retry budget) and load-shed
-/// jobs are recorded in the report, not returned — a fleet run always
-/// yields a report, even when the fault plan kills every device.
+/// Legacy entry point, kept so pre-builder call sites keep compiling.
+/// New code goes through [`Cluster::builder`](crate::Cluster), which
+/// returns the same outcome as a `Result` instead of panicking.
+#[doc(hidden)]
 #[must_use]
 ///
 /// # Panics
 ///
-/// Panics when `spec` has no devices.
-#[allow(clippy::too_many_lines)]
+/// Panics when `spec` is malformed (e.g. has no devices) — the condition
+/// [`run_bsp`] reports as a typed [`ClusterError`].
 pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
+    run_bsp(spec).unwrap()
+}
+
+/// Run the whole spec to completion under BSP rounds. Per-job failures
+/// (profile errors, data exhaustion, displacement past the retry budget)
+/// and load-shed jobs are recorded in the report, not returned — a fleet
+/// run that starts always yields a report, even when the fault plan kills
+/// every device.
+///
+/// # Errors
+///
+/// [`ClusterError`] when the spec cannot start at all (empty device pool,
+/// zero-iteration job).
+#[allow(clippy::too_many_lines)]
+pub fn run_bsp(spec: &ClusterSpec) -> Result<ClusterOutcome, ClusterError> {
+    validate(spec)?;
     let n_jobs = spec.jobs.len();
     let n_devs = spec.devices.len();
-    assert!(n_devs > 0, "cluster needs at least one device");
 
     let mut ctl = AdmissionController {
         headroom: spec.headroom,
@@ -336,82 +335,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         ..FleetStats::default()
     };
 
-    // Submission: profile each job, build its policy (static planners
-    // solve once against the worst case, costed on device 0), and settle
-    // jobs no device can ever hold.
-    let mut submitted: Vec<Option<Submitted>> = Vec::with_capacity(n_jobs);
-    let max_usable = spec
-        .devices
-        .iter()
-        .map(|d| usable_bytes(d, spec.headroom))
-        .max()
-        .unwrap_or(0);
-    for (j, job) in spec.jobs.iter().enumerate() {
-        let worst = match job.worst_profile() {
-            Ok(p) => p,
-            Err(e) => {
-                outcomes[j] = Some(JobOutcome::Failed(e.to_string()));
-                submitted.push(None);
-                continue;
-            }
-        };
-        let floor = min_feasible_budget(&worst);
-        if floor > max_usable {
-            ctl.stats.rejected += 1;
-            outcomes[j] = Some(JobOutcome::Rejected);
-            details[j].admission_reason = Some(format!(
-                "all-checkpoint floor {floor} B exceeds every device's usable \
-                 capacity (max {max_usable} B)"
-            ));
-            submitted.push(None);
-            continue;
-        }
-        let policy = job.policy.build(&worst, &spec.devices[0]);
-        // Predict the first iteration's peak: that is the iteration the
-        // dispatch decision gates.
-        let first = spec.jobs[j].dataset.stream(job.seed).next_batch();
-        let predicted_peak = match spec.jobs[j].model.profile(&first) {
-            Ok(p) => policy
-                .predicted_peak_bytes(&p)
-                .unwrap_or_else(|| p.peak_no_checkpoint()),
-            Err(e) => {
-                outcomes[j] = Some(JobOutcome::Failed(e.to_string()));
-                submitted.push(None);
-                continue;
-            }
-        };
-        // Graph-pass evidence: run the same prediction over the raw
-        // (pre-pass) graph. A strictly lower optimized prediction is the
-        // byte credit the admission report attributes to the pipeline.
-        let graph_raw_peak = spec.jobs[j].model.raw_profile(&first).ok().map(|p| {
-            policy
-                .predicted_peak_bytes(&p)
-                .unwrap_or_else(|| p.peak_no_checkpoint())
-        });
-        details[j].graph_raw_peak_bytes = graph_raw_peak;
-        details[j].graph_opt_peak_bytes = Some(predicted_peak);
-        let graph_evidence =
-            graph_evidence(spec.jobs[j].model.reports(), graph_raw_peak, predicted_peak);
-        // Statically verify the job where possible: the no-checkpoint peak
-        // over the worst profile soundly bounds every plan at every input
-        // size up to it, so a certificate that fits a device makes the
-        // admit unconditional for this job.
-        let certificate = certify(
-            std::slice::from_ref(&worst),
-            &CheckpointPlan::none(worst.blocks.len()),
-            SizeBucket::new(1, worst.input_size),
-            max_usable,
-        )
-        .ok();
-        submitted.push(Some(Submitted {
-            worst,
-            floor,
-            predicted_peak,
-            certificate,
-            policy: Some(policy),
-            graph_evidence,
-        }));
-    }
+    let mut submitted = protocol::submit_jobs(spec, &mut ctl, &mut outcomes, &mut details);
 
     let mut pending: Vec<usize> = (0..n_jobs).filter(|&j| outcomes[j].is_none()).collect();
     let mut displaced: Vec<Displaced> = Vec::new();
@@ -422,6 +346,10 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
     let mut dispatch_seq = 0usize;
 
     loop {
+        // The fleet's virtual now — the furthest any device has run —
+        // stamps every event and queue wait observed this round.
+        let now = devices.iter().map(|s| s.busy_ns).max().unwrap_or(0);
+
         // --- Fault observation: device transitions, displacement. ---
         // Serial and in device-index order, so the event chain and every
         // checkpoint decision are deterministic.
@@ -432,7 +360,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         // shed pivot. Down devices count — they come back.
         let alive_usable = (0..n_devs)
             .filter(|&d| conds[d] != DeviceCondition::Lost)
-            .map(|d| usable_bytes(&spec.devices[d], spec.headroom))
+            .map(|d| protocol::usable_bytes(&spec.devices[d], spec.headroom))
             .max()
             .unwrap_or(0);
         for d in 0..n_devs {
@@ -443,6 +371,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 DeviceCondition::Up => {
                     events.push(FleetEvent {
                         round: rounds,
+                        at_ns: now,
                         kind: FleetEventKind::DeviceUp { device: d },
                         cost_ns: 0,
                     });
@@ -471,6 +400,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                     };
                     events.push(FleetEvent {
                         round: rounds,
+                        at_ns: now,
                         kind: FleetEventKind::DeviceDown {
                             device: d,
                             until_round,
@@ -501,6 +431,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                             );
                             events.push(FleetEvent {
                                 round: rounds,
+                                at_ns: now,
                                 kind: FleetEventKind::Fail {
                                     job: j,
                                     reason: reason.clone(),
@@ -519,6 +450,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                             fleet.checkpoints += 1;
                             events.push(FleetEvent {
                                 round: rounds,
+                                at_ns: now,
                                 kind: FleetEventKind::Checkpoint {
                                     job: j,
                                     device: d,
@@ -528,6 +460,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                             });
                             events.push(FleetEvent {
                                 round: rounds,
+                                at_ns: now,
                                 kind: FleetEventKind::Requeue {
                                     job: j,
                                     retries: retries[j],
@@ -538,6 +471,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                                 .saturating_add(BACKOFF_BASE_ROUNDS << (retries[j] - 1).min(32));
                             events.push(FleetEvent {
                                 round: rounds,
+                                at_ns: now,
                                 kind: FleetEventKind::Backoff {
                                     job: j,
                                     until_round: ready_round,
@@ -594,6 +528,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 };
                 events.push(FleetEvent {
                     round: rounds,
+                    at_ns: now,
                     kind: FleetEventKind::Shed {
                         job: j,
                         reason: reason.clone(),
@@ -622,14 +557,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 continue;
             }
             let cap_factor = spec.faults.capacity_factor(d, rounds);
-            let dev_eff = if cap_factor < 1.0 {
-                let mut dev = spec.devices[d].clone();
-                dev.total_mem_bytes = (dev.total_mem_bytes as f64 * cap_factor) as usize;
-                dev
-            } else {
-                spec.devices[d].clone()
-            };
-            let usable = usable_bytes(&dev_eff, spec.headroom);
+            let dev_eff = protocol::effective_device(spec, d, cap_factor);
+            let usable = protocol::usable_bytes(&dev_eff, spec.headroom);
 
             // 1. A ready displaced job that fits?
             let pick = displaced
@@ -644,7 +573,14 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             if let Some(pos) = pick {
                 let dsp = displaced.remove(pos);
                 let j = dsp.job;
-                let sub = submitted[j].as_ref().expect("displaced job was submitted");
+                let Some(sub) = submitted[j].as_ref() else {
+                    // The pick filter proved submission; settle explicitly
+                    // rather than panicking if that invariant ever breaks.
+                    outcomes[j] = Some(JobOutcome::Failed(
+                        "internal: displaced job lost its submission record".into(),
+                    ));
+                    continue;
+                };
                 let decision = ctl.decide_certified(
                     sub.predicted_peak,
                     &sub.worst,
@@ -672,6 +608,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                         let reason = "re-admission rejected below the floor".to_string();
                         events.push(FleetEvent {
                             round: rounds,
+                            at_ns: now,
                             kind: FleetEventKind::Fail {
                                 job: j,
                                 reason: reason.clone(),
@@ -701,6 +638,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                         fleet.migrations += 1;
                         events.push(FleetEvent {
                             round: rounds,
+                            at_ns: now,
                             kind: FleetEventKind::Migrate {
                                 job: j,
                                 from: dsp.from_device,
@@ -724,6 +662,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                         let reason = e.to_string();
                         events.push(FleetEvent {
                             round: rounds,
+                            at_ns: now,
                             kind: FleetEventKind::Fail {
                                 job: j,
                                 reason: reason.clone(),
@@ -737,37 +676,23 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             }
 
             // 2. Otherwise a fresh submission under the dispatch policy.
-            let admissible = |j: &usize| submitted[*j].as_ref().is_some_and(|s| s.floor <= usable);
-            let pick = match spec.schedule {
-                SchedulePolicy::Fifo => pending.iter().position(admissible),
-                SchedulePolicy::ShortestPredicted => pending
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, j)| admissible(j))
-                    .min_by_key(|(_, j)| {
-                        let s = submitted[**j].as_ref().expect("admissible");
-                        spec.jobs[**j].predicted_iter_ns(&s.worst, &spec.devices[d])
-                    })
-                    .map(|(i, _)| i),
-                SchedulePolicy::BestFitMemory => pending
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, j)| admissible(j))
-                    .max_by_key(|(_, j)| {
-                        let s = submitted[**j].as_ref().expect("admissible");
-                        // Jobs that only fit demoted fill the device to
-                        // their floor, not their prediction.
-                        if s.predicted_peak <= usable {
-                            s.predicted_peak
-                        } else {
-                            s.floor
-                        }
-                    })
-                    .map(|(i, _)| i),
+            let Some(pos) = protocol::pick_pending(
+                spec.schedule,
+                &pending,
+                &submitted,
+                &spec.jobs,
+                &spec.devices[d],
+                usable,
+            ) else {
+                continue;
             };
-            let Some(pos) = pick else { continue };
             let j = pending.remove(pos);
-            let sub = submitted[j].as_mut().expect("picked job was submitted");
+            let Some(sub) = submitted[j].as_mut() else {
+                outcomes[j] = Some(JobOutcome::Failed(
+                    "internal: picked job lost its submission record".into(),
+                ));
+                continue;
+            };
             let decision = ctl.decide_certified(
                 sub.predicted_peak,
                 &sub.worst,
@@ -796,7 +721,12 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                     continue;
                 }
             };
-            let policy = sub.policy.take().expect("policy consumed once");
+            let Some(policy) = sub.policy.take() else {
+                outcomes[j] = Some(JobOutcome::Failed(
+                    "internal: job policy consumed before dispatch".into(),
+                ));
+                continue;
+            };
             let mut builder = Session::builder(&spec.jobs[j].model, &spec.jobs[j].dataset)
                 .policy_boxed(policy)
                 .device(spec.devices[d].clone())
@@ -812,7 +742,6 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 Ok(session) => {
                     // Queue wait: the cluster's virtual now — the furthest
                     // any device has run — at the dispatch instant.
-                    let now = devices.iter().map(|s| s.busy_ns).max().unwrap_or(0);
                     queue_waits[j] = Some(now);
                     details[j].device = Some(d);
                     details[j].dispatch_round = Some(rounds);
@@ -864,6 +793,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                             "fleet quiesced with no placement path for this job".to_string();
                         events.push(FleetEvent {
                             round: rounds,
+                            at_ns: now,
                             kind: FleetEventKind::Shed {
                                 job: j,
                                 reason: reason.clone(),
@@ -908,8 +838,10 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                     }
                 }
                 for h in handles {
-                    let (d, step) = h.join().expect("device thread panicked");
-                    steps[d] = Some(step);
+                    match h.join() {
+                        Ok((d, step)) => steps[d] = Some(step),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
             });
         }
@@ -922,7 +854,9 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
             };
             let finished = {
                 let state = &mut devices[d];
-                let run = state.running.as_mut().expect("stepped device was busy");
+                let Some(run) = state.running.as_mut() else {
+                    continue;
+                };
                 match outcome {
                     Ok(report) => {
                         let t = report.time.total_ns();
@@ -934,7 +868,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                             ctl.stats.score(p, report.peak_bytes);
                         }
                         run.reports.push(report);
-                        run.remaining -= 1;
+                        run.remaining = run.remaining.saturating_sub(1);
                         (run.remaining == 0).then(|| {
                             if migrations[run.job] > 0 {
                                 JobOutcome::Migrated
@@ -947,7 +881,9 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
                 }
             };
             if let Some(outcome) = finished {
-                let mut run = devices[d].running.take().expect("finishing job was busy");
+                let Some(mut run) = devices[d].running.take() else {
+                    continue;
+                };
                 devices[d].jobs_run += 1;
                 outcomes[run.job] = Some(outcome);
                 if run.seg_iters > 0 || run.seg_ns > 0 {
@@ -968,107 +904,65 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterOutcome {
         rounds += 1;
     }
 
-    // Roll up.
     let makespan_ns = devices.iter().map(|s| s.busy_ns).max().unwrap_or(0);
-    let busy_ns: u64 = devices.iter().map(|s| s.busy_ns).sum();
-    let utilization_pct = if makespan_ns > 0 {
-        busy_ns as f64 / (makespan_ns as f64 * n_devs as f64) * 100.0
-    } else {
-        0.0
-    };
-    let waits: Vec<u64> = queue_waits.iter().filter_map(|w| *w).collect();
-    let mean_queue_wait_ns = if waits.is_empty() {
-        0
-    } else {
-        waits.iter().sum::<u64>() / waits.len() as u64
-    };
-    let max_queue_wait_ns = waits.iter().copied().max().unwrap_or(0);
-    fleet.overhead_ns = overhead.iter().sum();
-
-    let jobs: Vec<JobReport> = spec
-        .jobs
+    let device_stats = devices
         .iter()
-        .enumerate()
-        .map(|(j, job)| {
-            let s = &details[j].summary;
-            JobReport {
-                name: job.name.clone(),
-                policy: job.policy.name().to_string(),
-                device: details[j].device,
-                outcome: outcomes[j].clone().unwrap_or(JobOutcome::Rejected),
-                demoted: demoted[j],
-                iters: s.iters,
-                queue_wait_ns: queue_waits[j].unwrap_or(0),
-                total_ns: s.total_ns,
-                max_peak_bytes: s.max_peak_bytes,
-                oom_iters: s.oom_iters,
-                recovered_iters: s.recovered_iters,
-                recovery_events: s.recovery_events,
-                shuttle_iters: s.shuttle_iters,
-                plan_tiers: details[j].plan_tiers,
-                migrations: migrations[j],
-                retries: retries[j],
-                fleet_overhead_ns: overhead[j],
-                graph_raw_peak_bytes: details[j].graph_raw_peak_bytes,
-                graph_opt_peak_bytes: details[j].graph_opt_peak_bytes,
-                admission_reason: details[j].admission_reason.clone(),
-                placements: placements[j].clone(),
-            }
+        .map(|s| DeviceAccum {
+            busy_ns: s.busy_ns,
+            jobs_run: s.jobs_run,
+            iters: s.iters,
         })
         .collect();
-    fleet.failed_jobs = jobs
-        .iter()
-        .filter(|j| matches!(j.outcome, JobOutcome::Failed(_)))
-        .count();
-    let report = ClusterReport {
-        schedule: spec.schedule.name().to_string(),
-        rounds,
-        makespan_ns,
-        busy_ns,
-        utilization_pct,
-        mean_queue_wait_ns,
-        max_queue_wait_ns,
-        oom_iters: jobs.iter().map(|j| j.oom_iters).sum(),
-        recovered_iters: jobs.iter().map(|j| j.recovered_iters).sum(),
-        recovery_events: jobs.iter().map(|j| j.recovery_events).sum(),
-        admission: ctl.stats,
-        fleet,
-        fault_plan: spec.faults.clone(),
-        events,
-        devices: devices
-            .iter()
-            .enumerate()
-            .map(|(i, s)| DeviceReport {
-                index: i,
-                capacity_bytes: spec.devices[i].total_mem_bytes,
-                busy_ns: s.busy_ns,
-                jobs_run: s.jobs_run,
-                iters: s.iters,
-                lost: lost[i],
-            })
-            .collect(),
-        jobs,
-    };
-    ClusterOutcome { report, details }
+    let report = protocol::finish_report(
+        spec,
+        ctl,
+        &details,
+        RollupInputs {
+            outcomes,
+            queue_waits,
+            demoted,
+            placements,
+            migrations,
+            retries,
+            overhead,
+            arrival_ns: vec![0; n_jobs],
+            finish_ns: vec![None; n_jobs],
+            events,
+            fleet,
+            lost,
+            device_stats,
+            rounds,
+            makespan_ns,
+        },
+    );
+    Ok(ClusterOutcome { report, details })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{CHECKPOINT_COST_NS, RESTORE_COST_NS};
     use crate::job::JobPolicy;
-    use crate::workload::{mixed_workload, v100_pool};
+    use crate::workload::{DevicePool, Workload};
+    use crate::Cluster;
     use mimose_chaos::{DeviceFault, FaultSpec, FleetFaultPlan};
     use mimose_data::presets;
     use mimose_models::builders::{bert_base, BertHead};
     use mimose_planner::PolicyKind;
 
-    fn small_spec(devices: usize) -> ClusterSpec {
-        ClusterSpec::new(mixed_workload(2), v100_pool(devices))
+    fn small(devices: usize) -> crate::ClusterBuilder {
+        Cluster::builder()
+            .devices(DevicePool::v100(devices))
+            .workload(Workload::mixed(2))
+    }
+
+    fn run(builder: crate::ClusterBuilder) -> ClusterOutcome {
+        builder.run().expect("spec is well-formed")
     }
 
     #[test]
     fn graph_pass_evidence_reaches_the_report() {
-        let outcome = run_cluster(&small_spec(2));
+        let outcome = run(small(2));
         let mut strictly_lower = 0;
         for job in &outcome.report.jobs {
             let raw = job.graph_raw_peak_bytes.expect("raw peak recorded");
@@ -1092,15 +986,15 @@ mod tests {
 
     #[test]
     fn two_runs_are_byte_identical() {
-        let a = run_cluster(&small_spec(2)).report.to_json();
-        let b = run_cluster(&small_spec(2)).report.to_json();
+        let a = run(small(2)).report.to_json();
+        let b = run(small(2)).report.to_json();
         assert_eq!(a, b);
     }
 
     #[test]
     fn thread_count_does_not_change_the_report() {
-        let serial = run_cluster(&small_spec(3).threads(1)).report.to_json();
-        let parallel = run_cluster(&small_spec(3).threads(0)).report.to_json();
+        let serial = run(small(3).threads(1)).report.to_json();
+        let parallel = run(small(3).threads(0)).report.to_json();
         assert_eq!(serial, parallel);
     }
 
@@ -1111,8 +1005,9 @@ mod tests {
             SchedulePolicy::ShortestPredicted,
             SchedulePolicy::BestFitMemory,
         ] {
-            let outcome = run_cluster(&small_spec(2).schedule(schedule));
+            let outcome = run(small(2).schedule(schedule));
             assert_eq!(outcome.report.schedule, schedule.name());
+            assert_eq!(outcome.report.mode, "bsp");
             for job in &outcome.report.jobs {
                 assert_eq!(
                     job.outcome,
@@ -1130,8 +1025,22 @@ mod tests {
     }
 
     #[test]
+    fn slo_rollup_is_folded_in_bsp_mode_too() {
+        let outcome = run(small(2));
+        let slo = &outcome.report.slo;
+        assert!(slo.iter_latency_p50_ns > 0);
+        assert!(slo.iter_latency_p50_ns <= slo.iter_latency_p99_ns);
+        assert!(slo.queue_wait_p50_ns <= slo.queue_wait_p99_ns);
+        assert_eq!(slo.goodput_iters, 8 * 2);
+        assert!(slo.goodput_iters_per_s > 0.0);
+        assert_eq!(slo.rejected_jobs, 0);
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"slo\":{\"queue_wait_p50_ns\":"));
+    }
+
+    #[test]
     fn verified_admits_reach_the_fleet_report() {
-        let outcome = run_cluster(&small_spec(2));
+        let outcome = run(small(2));
         let adm = &outcome.report.admission;
         assert!(adm.verified_admits <= adm.admitted);
         let json = outcome.report.to_json();
@@ -1152,7 +1061,9 @@ mod tests {
         );
         let mut tiny = mimose_simgpu::DeviceProfile::v100();
         tiny.total_mem_bytes = 1 << 20; // 1 MiB: below any BERT floor
-        let outcome = run_cluster(&ClusterSpec::new(vec![job], vec![tiny]));
+        let outcome = run(Cluster::builder()
+            .devices(DevicePool::custom(vec![tiny]))
+            .workload(Workload::custom(vec![job])));
         assert_eq!(outcome.report.jobs[0].outcome, JobOutcome::Rejected);
         assert_eq!(outcome.report.jobs[0].device, None);
         assert_eq!(outcome.report.admission.rejected, 1);
@@ -1164,8 +1075,8 @@ mod tests {
 
     #[test]
     fn more_devices_never_lengthen_the_makespan() {
-        let one = run_cluster(&small_spec(1)).report.makespan_ns;
-        let two = run_cluster(&small_spec(2)).report.makespan_ns;
+        let one = run(small(1)).report.makespan_ns;
+        let two = run(small(2)).report.makespan_ns;
         assert!(two <= one, "two devices {two} > one device {one}");
     }
 
@@ -1175,9 +1086,9 @@ mod tests {
             alloc_failure_rate: 0.3,
             ..FaultSpec::none(99)
         });
-        let mk = || small_spec(2).faults(faults.clone()).record(true);
-        let a = run_cluster(&mk());
-        let b = run_cluster(&mk());
+        let mk = || small(2).faults(faults.clone()).record(true);
+        let a = run(mk());
+        let b = run(mk());
         assert_eq!(a.report.to_json(), b.report.to_json());
         // Recording captured event streams for every executed iteration.
         for (da, db) in a.details.iter().zip(&b.details) {
@@ -1193,8 +1104,10 @@ mod tests {
         // displaced job via migration), with the full event chain.
         let faults =
             FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
-        let spec = ClusterSpec::new(mixed_workload(4), v100_pool(4)).faults(faults);
-        let outcome = run_cluster(&spec);
+        let outcome = run(Cluster::builder()
+            .devices(DevicePool::v100(4))
+            .workload(Workload::mixed(4))
+            .faults(faults));
         let r = &outcome.report;
         assert!(
             r.jobs.iter().all(|j| j.outcome.finished()),
@@ -1228,6 +1141,10 @@ mod tests {
         for k in ["device-down", "checkpoint", "requeue", "backoff", "migrate"] {
             assert!(kinds.contains(&k), "missing {k} in {kinds:?}");
         }
+        // Event timestamps never run backwards.
+        for w in r.events.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
     }
 
     #[test]
@@ -1235,15 +1152,17 @@ mod tests {
         let mk = |threads| {
             let faults =
                 FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
-            ClusterSpec::new(mixed_workload(4), v100_pool(4))
+            Cluster::builder()
+                .devices(DevicePool::v100(4))
+                .workload(Workload::mixed(4))
                 .faults(faults)
                 .threads(threads)
                 .record(true)
         };
-        let serial = run_cluster(&mk(1)).report.to_json();
-        let parallel = run_cluster(&mk(4)).report.to_json();
+        let serial = run(mk(1)).report.to_json();
+        let parallel = run(mk(4)).report.to_json();
         assert_eq!(serial, parallel);
-        assert_eq!(serial, run_cluster(&mk(1)).report.to_json());
+        assert_eq!(serial, run(mk(1)).report.to_json());
     }
 
     #[test]
@@ -1257,8 +1176,10 @@ mod tests {
                 duration: 3,
             },
         );
-        let spec = ClusterSpec::new(mixed_workload(3), v100_pool(2)).faults(faults);
-        let outcome = run_cluster(&spec);
+        let outcome = run(Cluster::builder()
+            .devices(DevicePool::v100(2))
+            .workload(Workload::mixed(3))
+            .faults(faults));
         let r = &outcome.report;
         assert!(r.jobs.iter().all(|j| j.outcome.finished()));
         assert_eq!(r.fleet.devices_lost, 0);
@@ -1284,8 +1205,13 @@ mod tests {
         let faults = FleetFaultPlan::none(0)
             .with_device_fault(0, DeviceFault::Lost { at_round: 1 })
             .with_device_fault(1, DeviceFault::Lost { at_round: 1 });
-        let spec = ClusterSpec::new(mixed_workload(4), v100_pool(2)).faults(faults);
-        let outcome = run_cluster(&spec);
+        let spec = Cluster::builder()
+            .devices(DevicePool::v100(2))
+            .workload(Workload::mixed(4))
+            .faults(faults)
+            .build()
+            .expect("valid spec");
+        let outcome = run_bsp(&spec).expect("validated spec runs");
         let r = &outcome.report;
         // No hangs, no silent drops: every job has an explicit outcome.
         for j in &r.jobs {
@@ -1346,11 +1272,12 @@ mod tests {
                     duration: 1,
                 },
             );
-        let jobs = vec![mixed_workload(8).remove(0)];
-        let spec = ClusterSpec::new(jobs, v100_pool(1))
+        let jobs = vec![Workload::mixed(8).into_jobs().remove(0)];
+        let outcome = run(Cluster::builder()
+            .devices(DevicePool::v100(1))
+            .workload(Workload::custom(jobs))
             .faults(faults)
-            .max_retries(1);
-        let outcome = run_cluster(&spec);
+            .max_retries(1));
         let job = &outcome.report.jobs[0];
         assert!(
             matches!(job.outcome, JobOutcome::Failed(_)) || job.outcome.finished(),

@@ -1,0 +1,301 @@
+//! The cluster front door: [`Cluster::builder()`] mirrors
+//! [`Session::builder`](mimose_exec::Session::builder) one level up —
+//! devices, workload, arrival process and execution mode are chained onto
+//! a [`ClusterBuilder`], and `.run()` returns
+//! `Result<ClusterOutcome, ClusterError>` instead of panicking on a
+//! malformed spec.
+//!
+//! ```
+//! use mimose_cluster::{Cluster, ClusterError, DevicePool, Workload};
+//!
+//! # fn main() -> Result<(), ClusterError> {
+//! let outcome = Cluster::builder()
+//!     .devices(DevicePool::v100(2))
+//!     .workload(Workload::mixed(3))
+//!     .run()?;
+//! assert_eq!(outcome.report.jobs.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::des::run_event;
+use crate::error::ClusterError;
+use crate::scheduler::{run_bsp, ClusterOutcome, ClusterSpec, SchedulePolicy};
+use crate::workload::{DevicePool, Workload};
+use mimose_chaos::FleetFaultPlan;
+use mimose_data::ArrivalProcess;
+
+/// How the fleet advances virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// BSP rounds: every job is present at `t = 0`, each round every busy
+    /// device runs exactly one iteration, a barrier joins them. The batch
+    /// world — maximally parallel, arrival-blind.
+    #[default]
+    Bsp,
+    /// Discrete-event simulation: a virtual-time event queue drives job
+    /// arrivals, per-iteration completions, timed device faults and
+    /// backoff expiries; dispatch happens at event boundaries. The serving
+    /// world — queueing, SLO tails and overload behavior become visible.
+    /// The `threads` knob has no effect here (the event loop is serial by
+    /// construction), so reports are trivially thread-count-independent.
+    EventDriven,
+}
+
+impl Mode {
+    /// Stable lowercase name ("bsp", "event-driven").
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Bsp => "bsp",
+            Mode::EventDriven => "event-driven",
+        }
+    }
+
+    /// Parse a [`Self::name`] string (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "bsp" => Some(Mode::Bsp),
+            "event-driven" | "event" | "des" => Some(Mode::EventDriven),
+            _ => None,
+        }
+    }
+}
+
+/// The fleet. Construct runs through [`Cluster::builder`].
+pub struct Cluster;
+
+impl Cluster {
+    /// Start building a cluster run.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+}
+
+/// Builder for one cluster run; see the module docs for the shape.
+/// Defaults mirror `ClusterSpec::new`: FIFO dispatch, parallel rounds,
+/// 0.95 headroom, no faults, no recording, 3 displacement retries, BSP
+/// mode with immediate arrivals and no queue limit.
+pub struct ClusterBuilder {
+    devices: Option<DevicePool>,
+    workload: Option<Workload>,
+    arrivals: ArrivalProcess,
+    mode: Mode,
+    schedule: SchedulePolicy,
+    threads: usize,
+    headroom: f64,
+    faults: FleetFaultPlan,
+    record: bool,
+    max_retries: usize,
+    queue_limit: Option<usize>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            devices: None,
+            workload: None,
+            arrivals: ArrivalProcess::Immediate,
+            mode: Mode::Bsp,
+            schedule: SchedulePolicy::Fifo,
+            threads: 0,
+            headroom: 0.95,
+            faults: FleetFaultPlan::none(0),
+            record: false,
+            max_retries: 3,
+            queue_limit: None,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Set the device pool (required).
+    #[must_use]
+    pub fn devices(mut self, devices: DevicePool) -> Self {
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Set the workload (required).
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Set the arrival process (event-driven mode only; BSP ignores it —
+    /// the batch world has every job present at `t = 0`).
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Set the execution mode.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the dispatch policy.
+    #[must_use]
+    pub fn schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Set the BSP threading mode: `1` runs rounds serially on the calling
+    /// thread; any other value spawns one scoped thread per busy device.
+    /// The report is byte-identical either way; event-driven mode ignores
+    /// the knob entirely.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the admission headroom (fraction of device memory admission may
+    /// plan into).
+    #[must_use]
+    pub fn headroom(mut self, headroom: f64) -> Self {
+        self.headroom = headroom;
+        self
+    }
+
+    /// Set the fleet fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FleetFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable event recording.
+    #[must_use]
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Set the displacement retry budget.
+    #[must_use]
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Bound the pending queue (event-driven mode): a job arriving while
+    /// `queue_limit` jobs already wait is shed on arrival with an explicit
+    /// "queue full" outcome — the fleet's overload valve. `None` (the
+    /// default) queues without bound.
+    #[must_use]
+    pub fn queue_limit(mut self, queue_limit: Option<usize>) -> Self {
+        self.queue_limit = queue_limit;
+        self
+    }
+
+    /// Compile the builder into a validated [`ClusterSpec`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::MissingWorkload`] when no workload was set,
+    /// [`ClusterError::EmptyDevicePool`] when the pool is missing or
+    /// empty, [`ClusterError::ZeroIterationJob`] when a job requests zero
+    /// iterations.
+    pub fn build(self) -> Result<ClusterSpec, ClusterError> {
+        let workload = self.workload.ok_or(ClusterError::MissingWorkload)?;
+        let devices = self.devices.unwrap_or_else(|| DevicePool::custom(vec![]));
+        let spec = ClusterSpec {
+            jobs: workload.into_jobs(),
+            devices: devices.into_devices(),
+            schedule: self.schedule,
+            threads: self.threads,
+            headroom: self.headroom,
+            faults: self.faults,
+            record: self.record,
+            max_retries: self.max_retries,
+            mode: self.mode,
+            arrivals: self.arrivals,
+            queue_limit: self.queue_limit,
+        };
+        validate(&spec)?;
+        Ok(spec)
+    }
+
+    /// Compile and run the cluster to completion. Per-job failures
+    /// (profile errors, data exhaustion, displacement past the retry
+    /// budget) and load-shed jobs are recorded in the report, not
+    /// returned — a run that starts always yields a report, even when the
+    /// fault plan kills every device.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterBuilder::build`].
+    pub fn run(self) -> Result<ClusterOutcome, ClusterError> {
+        let spec = self.build()?;
+        match spec.mode {
+            Mode::Bsp => run_bsp(&spec),
+            Mode::EventDriven => run_event(&spec),
+        }
+    }
+}
+
+/// Shared spec validation: both drivers re-check before running, so even
+/// hand-built `ClusterSpec`s (the legacy path) get the typed errors.
+pub(crate) fn validate(spec: &ClusterSpec) -> Result<(), ClusterError> {
+    if spec.devices.is_empty() {
+        return Err(ClusterError::EmptyDevicePool);
+    }
+    if let Some(job) = spec.jobs.iter().find(|j| j.iters == 0) {
+        return Err(ClusterError::ZeroIterationJob {
+            name: job.name.clone(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in [Mode::Bsp, Mode::EventDriven] {
+            assert_eq!(Mode::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mode::parse("des"), Some(Mode::EventDriven));
+        assert_eq!(Mode::parse("nope"), None);
+        assert_eq!(Mode::default(), Mode::Bsp);
+    }
+
+    #[test]
+    fn builder_rejects_malformed_specs_with_typed_errors() {
+        assert_eq!(
+            Cluster::builder().devices(DevicePool::v100(2)).run().err(),
+            Some(ClusterError::MissingWorkload)
+        );
+        assert_eq!(
+            Cluster::builder().workload(Workload::mixed(2)).run().err(),
+            Some(ClusterError::EmptyDevicePool)
+        );
+        assert_eq!(
+            Cluster::builder()
+                .devices(DevicePool::v100(0))
+                .workload(Workload::mixed(2))
+                .run()
+                .err(),
+            Some(ClusterError::EmptyDevicePool)
+        );
+        let err = Cluster::builder()
+            .devices(DevicePool::v100(1))
+            .workload(Workload::mixed(0))
+            .run()
+            .err();
+        assert!(
+            matches!(err, Some(ClusterError::ZeroIterationJob { .. })),
+            "{err:?}"
+        );
+    }
+}

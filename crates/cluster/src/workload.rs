@@ -1,4 +1,7 @@
-//! Canonical workloads: reproducible job mixes for benchmarks and gates.
+//! Canonical device pools and workloads: the typed inputs to
+//! [`Cluster::builder`](crate::Cluster), with every magic budget, seed and
+//! priority hoisted into a named, documented constant so the report's
+//! numbers trace back to something greppable.
 
 use crate::job::{JobPolicy, JobSpec};
 use mimose_data::presets;
@@ -8,91 +11,240 @@ use mimose_simgpu::DeviceProfile;
 
 const GIB: usize = 1 << 30;
 
-/// A pool of `n` identical V100s.
-#[must_use]
-pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
-    (0..n).map(|_| DeviceProfile::v100()).collect()
+/// A typed pool of devices for the builder. Wraps the raw
+/// [`DeviceProfile`] list so call sites say what the pool *is*
+/// (`DevicePool::v100(4)`) rather than how it is assembled.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<DeviceProfile>,
 }
 
-/// The eight-job mixed NLP/vision workload the cluster benchmarks run:
-/// BERT/RoBERTa fine-tuning and ResNet-50 detection across four datasets,
-/// under a spread of policies (Mimose, static planners, DTR, unconstrained
-/// baseline) and budgets. `iters` sets each job's length; seeds are fixed
-/// so the workload is one deterministic value. The Mimose jobs carry fleet
-/// priority 1 (everything else 0), so degraded pools shed the static
-/// baselines before the input-aware jobs — inert in clean runs.
+impl DevicePool {
+    /// A pool of `n` identical V100s — the canonical benchmark pool.
+    #[must_use]
+    pub fn v100(n: usize) -> Self {
+        DevicePool {
+            devices: (0..n).map(|_| DeviceProfile::v100()).collect(),
+        }
+    }
+
+    /// A pool of explicit device profiles.
+    #[must_use]
+    pub fn custom(devices: Vec<DeviceProfile>) -> Self {
+        DevicePool { devices }
+    }
+
+    /// Number of devices in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty (the builder rejects such pools).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    pub(crate) fn into_devices(self) -> Vec<DeviceProfile> {
+        self.devices
+    }
+}
+
+/// A typed job mix for the builder.
+#[derive(Clone)]
+pub struct Workload {
+    jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Memory budget of the `bert-qqp-mimose` job: tight enough that the
+    /// input-aware planner must checkpoint on long QQP batches.
+    pub const BERT_QQP_MIMOSE_BUDGET: usize = 6 * GIB;
+    /// Memory budget of the `roberta-squad-mimose` job.
+    pub const ROBERTA_SQUAD_MIMOSE_BUDGET: usize = 7 * GIB;
+    /// Memory budget of the `bert-swag-sublinear` static plan.
+    pub const BERT_SWAG_SUBLINEAR_BUDGET: usize = 8 * GIB;
+    /// Memory budget of the `resnet-coco-dtr` eviction policy.
+    pub const RESNET_COCO_DTR_BUDGET: usize = 10 * GIB;
+    /// Memory budget of the `roberta-qqp-capuchin` swap policy.
+    pub const ROBERTA_QQP_CAPUCHIN_BUDGET: usize = 8 * GIB;
+    /// Memory budget of the `resnet-coco-mimose` job.
+    pub const RESNET_COCO_MIMOSE_BUDGET: usize = 9 * GIB;
+    /// Memory budget of the `bert-squad-sublinear` static plan.
+    pub const BERT_SQUAD_SUBLINEAR_BUDGET: usize = 7 * GIB;
+    /// Per-image detection batch size of the `resnet-coco-dtr` job.
+    pub const RESNET_DTR_BATCH: usize = 8;
+    /// Per-image detection batch size of the `resnet-coco-mimose` job.
+    pub const RESNET_MIMOSE_BATCH: usize = 6;
+    /// Base data-stream seed of the mixed workload; job `i` uses
+    /// `BASE_SEED + i`, so every job draws a distinct, reproducible
+    /// batch-length sequence.
+    pub const BASE_SEED: u64 = 11;
+    /// Fleet priority of the input-aware (Mimose) jobs. Higher wins under
+    /// degradation: a degraded pool sheds the static baselines
+    /// (priority [`Self::BASELINE_PRIORITY`]) before the input-aware
+    /// jobs — inert in clean runs.
+    pub const MIMOSE_PRIORITY: u32 = 1;
+    /// Fleet priority of everything else in the mix.
+    pub const BASELINE_PRIORITY: u32 = 0;
+    /// Seed stride between scaled-workload copies: copy `k` of job `i`
+    /// uses `BASE_SEED + i + SCALED_SEED_STRIDE * k`, keeping every
+    /// clone's batch-length draw distinct.
+    pub const SCALED_SEED_STRIDE: u64 = 97;
+
+    /// The eight-job mixed NLP/vision workload the cluster benchmarks
+    /// run: BERT/RoBERTa fine-tuning and ResNet-50 detection across four
+    /// datasets, under a spread of policies (Mimose, static planners,
+    /// DTR, unconstrained baseline) and budgets. `iters` sets each job's
+    /// length; seeds are fixed so the workload is one deterministic
+    /// value.
+    #[must_use]
+    pub fn mixed(iters: usize) -> Self {
+        let cls = || bert_base(BertHead::Classification { labels: 2 }).optimize();
+        let seed = |i: u64| Self::BASE_SEED + i;
+        Workload {
+            jobs: vec![
+                JobSpec::new(
+                    "bert-qqp-mimose",
+                    cls(),
+                    presets::glue_qqp(),
+                    JobPolicy::Mimose {
+                        budget: Self::BERT_QQP_MIMOSE_BUDGET,
+                    },
+                    iters,
+                    seed(0),
+                )
+                .with_priority(Self::MIMOSE_PRIORITY),
+                JobSpec::new(
+                    "roberta-squad-mimose",
+                    roberta_base(BertHead::QuestionAnswering).optimize(),
+                    presets::squad(),
+                    JobPolicy::Mimose {
+                        budget: Self::ROBERTA_SQUAD_MIMOSE_BUDGET,
+                    },
+                    iters,
+                    seed(1),
+                )
+                .with_priority(Self::MIMOSE_PRIORITY),
+                JobSpec::new(
+                    "bert-swag-sublinear",
+                    bert_base(BertHead::Classification { labels: 4 }).optimize(),
+                    presets::swag(),
+                    JobPolicy::Planner(PolicyKind::Sublinear, Self::BERT_SWAG_SUBLINEAR_BUDGET),
+                    iters,
+                    seed(2),
+                ),
+                JobSpec::new(
+                    "resnet-coco-dtr",
+                    resnet50_od().optimize(),
+                    presets::coco(Self::RESNET_DTR_BATCH),
+                    JobPolicy::Planner(PolicyKind::Dtr, Self::RESNET_COCO_DTR_BUDGET),
+                    iters,
+                    seed(3),
+                ),
+                JobSpec::new(
+                    "bert-qqp-baseline",
+                    cls(),
+                    presets::glue_qqp(),
+                    JobPolicy::Planner(PolicyKind::Baseline, 0),
+                    iters,
+                    seed(4),
+                ),
+                JobSpec::new(
+                    "roberta-qqp-capuchin",
+                    roberta_base(BertHead::Classification { labels: 2 }).optimize(),
+                    presets::glue_qqp(),
+                    JobPolicy::Planner(PolicyKind::Capuchin, Self::ROBERTA_QQP_CAPUCHIN_BUDGET),
+                    iters,
+                    seed(5),
+                ),
+                JobSpec::new(
+                    "resnet-coco-mimose",
+                    resnet50_od().optimize(),
+                    presets::coco(Self::RESNET_MIMOSE_BATCH),
+                    JobPolicy::Mimose {
+                        budget: Self::RESNET_COCO_MIMOSE_BUDGET,
+                    },
+                    iters,
+                    seed(6),
+                )
+                .with_priority(Self::MIMOSE_PRIORITY),
+                JobSpec::new(
+                    "bert-squad-sublinear",
+                    bert_base(BertHead::QuestionAnswering).optimize(),
+                    presets::squad(),
+                    JobPolicy::Planner(PolicyKind::Sublinear, Self::BERT_SQUAD_SUBLINEAR_BUDGET),
+                    iters,
+                    seed(7),
+                ),
+            ],
+        }
+    }
+
+    /// `n_jobs` jobs cycling through the mixed workload: copy `k` of job
+    /// `i` is renamed `<name>-<k>` and reseeded with
+    /// [`Self::SCALED_SEED_STRIDE`]` * k`, so an overload scenario's 200
+    /// jobs are 200 distinct deterministic jobs, not 25 repeats of 8.
+    #[must_use]
+    pub fn scaled(iters: usize, n_jobs: usize) -> Self {
+        let mut jobs = Vec::with_capacity(n_jobs);
+        let mut cycle = 0u64;
+        while jobs.len() < n_jobs {
+            for mut job in Self::mixed(iters).jobs {
+                if jobs.len() >= n_jobs {
+                    break;
+                }
+                if cycle > 0 {
+                    job.name = format!("{}-{cycle}", job.name);
+                    job.seed += Self::SCALED_SEED_STRIDE * cycle;
+                }
+                jobs.push(job);
+            }
+            cycle += 1;
+        }
+        Workload { jobs }
+    }
+
+    /// An explicit job list.
+    #[must_use]
+    pub fn custom(jobs: Vec<JobSpec>) -> Self {
+        Workload { jobs }
+    }
+
+    /// Number of jobs in the workload.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Consume the workload into its job list (submission order).
+    #[must_use]
+    pub fn into_jobs(self) -> Vec<JobSpec> {
+        self.jobs
+    }
+}
+
+/// Legacy helper, kept so pre-builder call sites keep compiling. New code
+/// says [`DevicePool::v100`].
+#[doc(hidden)]
+#[must_use]
+pub fn v100_pool(n: usize) -> Vec<DeviceProfile> {
+    DevicePool::v100(n).into_devices()
+}
+
+/// Legacy helper, kept so pre-builder call sites keep compiling. New code
+/// says [`Workload::mixed`].
+#[doc(hidden)]
 #[must_use]
 pub fn mixed_workload(iters: usize) -> Vec<JobSpec> {
-    let cls = || bert_base(BertHead::Classification { labels: 2 }).optimize();
-    vec![
-        JobSpec::new(
-            "bert-qqp-mimose",
-            cls(),
-            presets::glue_qqp(),
-            JobPolicy::Mimose { budget: 6 * GIB },
-            iters,
-            11,
-        )
-        .with_priority(1),
-        JobSpec::new(
-            "roberta-squad-mimose",
-            roberta_base(BertHead::QuestionAnswering).optimize(),
-            presets::squad(),
-            JobPolicy::Mimose { budget: 7 * GIB },
-            iters,
-            12,
-        )
-        .with_priority(1),
-        JobSpec::new(
-            "bert-swag-sublinear",
-            bert_base(BertHead::Classification { labels: 4 }).optimize(),
-            presets::swag(),
-            JobPolicy::Planner(PolicyKind::Sublinear, 8 * GIB),
-            iters,
-            13,
-        ),
-        JobSpec::new(
-            "resnet-coco-dtr",
-            resnet50_od().optimize(),
-            presets::coco(8),
-            JobPolicy::Planner(PolicyKind::Dtr, 10 * GIB),
-            iters,
-            14,
-        ),
-        JobSpec::new(
-            "bert-qqp-baseline",
-            cls(),
-            presets::glue_qqp(),
-            JobPolicy::Planner(PolicyKind::Baseline, 0),
-            iters,
-            15,
-        ),
-        JobSpec::new(
-            "roberta-qqp-capuchin",
-            roberta_base(BertHead::Classification { labels: 2 }).optimize(),
-            presets::glue_qqp(),
-            JobPolicy::Planner(PolicyKind::Capuchin, 8 * GIB),
-            iters,
-            16,
-        ),
-        JobSpec::new(
-            "resnet-coco-mimose",
-            resnet50_od().optimize(),
-            presets::coco(6),
-            JobPolicy::Mimose { budget: 9 * GIB },
-            iters,
-            17,
-        )
-        .with_priority(1),
-        JobSpec::new(
-            "bert-squad-sublinear",
-            bert_base(BertHead::QuestionAnswering).optimize(),
-            presets::squad(),
-            JobPolicy::Planner(PolicyKind::Sublinear, 7 * GIB),
-            iters,
-            18,
-        ),
-    ]
+    Workload::mixed(iters).into_jobs()
 }
 
 #[cfg(test)]
@@ -101,7 +253,7 @@ mod tests {
 
     #[test]
     fn workload_is_well_formed() {
-        let jobs = mixed_workload(10);
+        let jobs = Workload::mixed(10).into_jobs();
         assert_eq!(jobs.len(), 8);
         for job in &jobs {
             job.worst_profile()
@@ -113,5 +265,45 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn legacy_wrappers_match_the_typed_constructors() {
+        let a = mixed_workload(3);
+        let b = Workload::mixed(3).into_jobs();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.iters, y.iters);
+        }
+        assert_eq!(v100_pool(3).len(), DevicePool::v100(3).len());
+    }
+
+    #[test]
+    fn scaled_workload_is_distinct_and_deterministic() {
+        let jobs = Workload::scaled(2, 20).into_jobs();
+        assert_eq!(jobs.len(), 20);
+        let mut names: Vec<_> = jobs.iter().map(|j| j.name.clone()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "scaled names must be unique");
+        let mut seeds: Vec<_> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 20, "scaled seeds must be distinct");
+        // First cycle is the mixed workload verbatim.
+        let mixed = Workload::mixed(2).into_jobs();
+        for (a, b) in jobs.iter().take(8).zip(&mixed) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seed, b.seed);
+        }
+        // Determinism: same call, same value.
+        let again = Workload::scaled(2, 20).into_jobs();
+        for (a, b) in jobs.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seed, b.seed);
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! the same job through `Session::run` directly — the scheduler adds
 //! orchestration, never behavior.
 
-use mimose_cluster::{run_cluster, ClusterSpec, JobOutcome, JobPolicy, JobSpec};
+use mimose_cluster::{Cluster, DevicePool, JobOutcome, JobPolicy, JobSpec, Workload};
 use mimose_data::presets;
 use mimose_exec::Session;
 use mimose_models::builders::{bert_base, BertHead};
@@ -34,7 +34,11 @@ fn single_job_single_device_equals_session_over_200_seeds() {
             iters,
             seed,
         );
-        let outcome = run_cluster(&ClusterSpec::new(vec![job], vec![device.clone()]));
+        let outcome = Cluster::builder()
+            .devices(DevicePool::custom(vec![device.clone()]))
+            .workload(Workload::custom(vec![job]))
+            .run()
+            .unwrap();
         assert_eq!(
             outcome.report.jobs[0].outcome,
             JobOutcome::Completed,

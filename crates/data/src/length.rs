@@ -9,7 +9,7 @@ use mimose_rng::Rng;
 use mimose_rng::{Distribution, LogNormal, Normal};
 
 /// A bounded distribution over per-sample sizes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LengthSampler {
     /// Truncated normal distribution (SWAG-, SQuAD-like).
     Normal {

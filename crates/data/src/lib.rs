@@ -8,12 +8,14 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 mod length;
 mod loader;
 pub mod presets;
 mod text;
 mod vision;
 
+pub use arrivals::ArrivalProcess;
 pub use length::LengthSampler;
 pub use loader::{BatchStream, Dataset};
 pub use text::TextDataset;

@@ -76,6 +76,15 @@ impl SessionCheckpoint {
         &self.summary
     }
 
+    /// Virtual nanoseconds of execution accumulated at the checkpoint
+    /// boundary. Checkpoints always land on iteration boundaries, so this
+    /// is the exact virtual time an event-driven scheduler should stamp on
+    /// the displacement event that parked the session.
+    #[must_use]
+    pub fn boundary_ns(&self) -> u64 {
+        self.summary.total_ns
+    }
+
     /// The parked policy (for inspecting budget or plan-tier state before
     /// resuming).
     #[must_use]
@@ -308,6 +317,15 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn summary(&self) -> &RunSummary {
         &self.summary
+    }
+
+    /// Virtual nanoseconds of execution accumulated so far — the
+    /// session's position on a virtual event clock. After `step()` returns,
+    /// the session sits at an iteration boundary and `elapsed_ns()` is the
+    /// boundary's timestamp relative to the session's own start.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.summary.total_ns
     }
 
     /// Drain the recorded per-iteration event streams (empty unless built

@@ -17,7 +17,7 @@
 //! the failure protocol's event chain can be inspected by hand
 //! (`--json` includes the full chain).
 
-use mimose::cluster::{mixed_workload, v100_pool, ClusterOutcome};
+use mimose::cluster::{ClusterBuilder, ClusterOutcome};
 use mimose::prelude::*;
 use mimose_audit::lint_cluster;
 use mimose_exp::table::{gib, ms, render_table};
@@ -146,11 +146,17 @@ fn fault_plan(faults: &[(usize, DeviceFault)]) -> FleetFaultPlan {
     })
 }
 
-fn spec(args: &Args) -> ClusterSpec {
-    ClusterSpec::new(mixed_workload(args.iters), v100_pool(args.devices))
+fn builder(args: &Args) -> ClusterBuilder {
+    Cluster::builder()
+        .devices(DevicePool::v100(args.devices))
+        .workload(Workload::mixed(args.iters))
         .schedule(args.schedule)
         .threads(args.threads)
         .faults(fault_plan(&args.faults))
+}
+
+fn run(b: ClusterBuilder) -> ClusterOutcome {
+    b.run().expect("gate specs are well-formed")
 }
 
 fn render(outcome: &ClusterOutcome) {
@@ -269,13 +275,13 @@ fn gate(args: &Args) -> Vec<String> {
     };
 
     // 1. Same spec twice ⇒ byte-identical report.
-    let a = run_cluster(&spec(args)).report.to_json();
-    let b = run_cluster(&spec(args)).report.to_json();
+    let a = run(builder(args)).report.to_json();
+    let b = run(builder(args)).report.to_json();
     check("replay determinism", a == b, "two runs diverged".into());
 
     // 2. Serial vs parallel rounds ⇒ byte-identical report.
-    let serial = run_cluster(&spec(args).threads(1)).report.to_json();
-    let parallel = run_cluster(&spec(args).threads(4)).report.to_json();
+    let serial = run(builder(args).threads(1)).report.to_json();
+    let parallel = run(builder(args).threads(4)).report.to_json();
     check(
         "thread independence",
         serial == parallel,
@@ -297,7 +303,9 @@ fn gate(args: &Args) -> Vec<String> {
             args.iters,
             7,
         );
-        let outcome = run_cluster(&ClusterSpec::new(vec![job], vec![device.clone()]));
+        let outcome = run(Cluster::builder()
+            .devices(DevicePool::custom(vec![device.clone()]))
+            .workload(Workload::custom(vec![job])));
         let worst = model.profile(&dataset.worst_case()).expect("profiles");
         let mut session = Session::builder(&model, &dataset)
             .policy_boxed(kind.build_on(&worst, budget, &device))
@@ -321,7 +329,7 @@ fn gate(args: &Args) -> Vec<String> {
         SchedulePolicy::ShortestPredicted,
         SchedulePolicy::BestFitMemory,
     ] {
-        let outcome = run_cluster(&spec(args).schedule(schedule).record(true));
+        let outcome = run(builder(args).schedule(schedule).record(true));
         let diags = lint_cluster(&outcome);
         check(
             &format!("audit lint ({})", schedule.name()),
@@ -336,7 +344,10 @@ fn gate(args: &Args) -> Vec<String> {
     // 5. Makespan improves monotonically 1 → 4 devices.
     let points: Vec<ScalePoint> = (1..=4)
         .map(|m| {
-            let r = run_cluster(&ClusterSpec::new(mixed_workload(args.iters), v100_pool(m))).report;
+            let r = run(Cluster::builder()
+                .devices(DevicePool::v100(m))
+                .workload(Workload::mixed(args.iters)))
+            .report;
             eprintln!(
                 "cluster gate: scaling: {m} device(s) → makespan {} ms, utilization {:.1}%",
                 ms(r.makespan_ns),
@@ -372,13 +383,15 @@ fn gate(args: &Args) -> Vec<String> {
     // byte-identically across runs and thread counts.
     {
         let lossy = || {
-            ClusterSpec::new(mixed_workload(args.iters), v100_pool(4))
+            Cluster::builder()
+                .devices(DevicePool::v100(4))
+                .workload(Workload::mixed(args.iters))
                 .faults(
                     FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 }),
                 )
                 .record(true)
         };
-        let outcome = run_cluster(&lossy());
+        let outcome = run(lossy());
         let r = &outcome.report;
         let unaccounted: Vec<&str> = r
             .jobs
@@ -403,8 +416,8 @@ fn gate(args: &Args) -> Vec<String> {
                 diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
             ),
         );
-        let replay = run_cluster(&lossy()).report.to_json();
-        let threaded = run_cluster(&lossy().threads(1)).report.to_json();
+        let replay = run(lossy()).report.to_json();
+        let threaded = run(lossy().threads(1)).report.to_json();
         check(
             "survivability: byte-identical replay under device loss",
             r.to_json() == replay && replay == threaded,
@@ -450,7 +463,7 @@ fn main() {
         return;
     }
 
-    let outcome = run_cluster(&spec(&args));
+    let outcome = run(builder(&args));
     if args.json {
         println!("{}", outcome.report.to_json());
     } else {

@@ -9,19 +9,20 @@
 //! and the degraded run must replay byte-identically across runs and
 //! thread counts.
 
-use mimose::cluster::{mixed_workload, v100_pool};
 use mimose::prelude::*;
 use mimose_audit::lint_cluster;
 use mimose_cluster::{ClusterOutcome, JobOutcome};
 
 fn lose_one_of_four(threads: usize) -> ClusterOutcome {
     let faults = FleetFaultPlan::none(0).with_device_fault(1, DeviceFault::Lost { at_round: 2 });
-    run_cluster(
-        &ClusterSpec::new(mixed_workload(4), v100_pool(4))
-            .faults(faults)
-            .threads(threads)
-            .record(true),
-    )
+    Cluster::builder()
+        .devices(DevicePool::v100(4))
+        .workload(Workload::mixed(4))
+        .faults(faults)
+        .threads(threads)
+        .record(true)
+        .run()
+        .expect("degraded canonical workload runs")
 }
 
 #[test]
@@ -134,11 +135,13 @@ fn capacity_collapse_degrades_gracefully() {
                 factor: 0.5,
             },
         );
-    let outcome = run_cluster(
-        &ClusterSpec::new(mixed_workload(4), v100_pool(4))
-            .faults(faults)
-            .record(true),
-    );
+    let outcome = Cluster::builder()
+        .devices(DevicePool::v100(4))
+        .workload(Workload::mixed(4))
+        .faults(faults)
+        .record(true)
+        .run()
+        .expect("collapsed canonical workload runs");
     for job in &outcome.report.jobs {
         assert!(
             !matches!(job.outcome, JobOutcome::Rejected),
@@ -167,11 +170,13 @@ fn shed_jobs_are_reported_with_reasons_and_lint_clean() {
     let faults = FleetFaultPlan::none(0)
         .with_device_fault(0, DeviceFault::Lost { at_round: 1 })
         .with_device_fault(1, DeviceFault::Lost { at_round: 1 });
-    let outcome = run_cluster(
-        &ClusterSpec::new(mixed_workload(6), v100_pool(2))
-            .faults(faults)
-            .record(true),
-    );
+    let outcome = Cluster::builder()
+        .devices(DevicePool::v100(2))
+        .workload(Workload::mixed(6))
+        .faults(faults)
+        .record(true)
+        .run()
+        .expect("dead-pool workload still settles");
     let r = &outcome.report;
     assert!(r.fleet.shed_jobs > 0);
     for job in &r.jobs {

@@ -63,10 +63,13 @@ pub use mimose_tensor as tensor;
 /// and the handful of substrate types (device, dataset, model builders)
 /// every experiment needs.
 pub mod prelude {
-    pub use mimose_chaos::{DeviceFault, FaultInjector, FaultSpec, FleetFaultPlan};
+    pub use mimose_chaos::{
+        DeviceFault, FaultInjector, FaultSpec, FleetFaultPlan, TimedDeviceFault,
+    };
     pub use mimose_cluster::{
-        run_cluster, ClusterReport, ClusterSpec, FleetEvent, FleetEventKind, JobOutcome, JobPolicy,
-        JobSpec, SchedulePolicy,
+        ArrivalProcess, Cluster, ClusterBuilder, ClusterError, ClusterReport, ClusterSpec,
+        DevicePool, FleetEvent, FleetEventKind, JobOutcome, JobPolicy, JobSpec, Mode,
+        SchedulePolicy, SloRollup, Workload,
     };
     pub use mimose_core::{MimoseConfig, MimosePolicy};
     pub use mimose_data::{presets, Dataset};
